@@ -1,0 +1,66 @@
+#ifndef NGB_BENCH_BENCH_UTIL_H
+#define NGB_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bench.h"
+
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: compact
+ * fixed-width table printing and the category column order used by the
+ * paper's Figure 6 legend.
+ */
+
+namespace ngb {
+namespace bench {
+
+/** Figure 6 legend order. */
+inline const std::vector<OpCategory> &
+figureCategories()
+{
+    static const std::vector<OpCategory> kCats = {
+        OpCategory::Gemm,          OpCategory::Activation,
+        OpCategory::Normalization, OpCategory::Memory,
+        OpCategory::RoiSelection,  OpCategory::Interpolation,
+        OpCategory::ElementWise,   OpCategory::LogitCompute,
+        OpCategory::Embedding,     OpCategory::QDQ,
+        OpCategory::Misc,
+    };
+    return kCats;
+}
+
+/** Print the category header row. */
+inline void
+printCategoryHeader(const char *label)
+{
+    std::printf("%-18s %9s", label, "total_ms");
+    for (OpCategory c : figureCategories())
+        std::printf(" %6.6s", opCategoryName(c).c_str());
+    std::printf("\n");
+}
+
+/** Print one breakdown row: per-category percent of total latency. */
+inline void
+printCategoryRow(const std::string &label, const ProfileReport &r)
+{
+    std::printf("%-18s %9.2f", label.c_str(), r.totalMs());
+    for (OpCategory c : figureCategories())
+        std::printf(" %5.1f%%", r.categoryPct(c));
+    std::printf("\n");
+}
+
+inline void
+printRule(int width = 100)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace ngb
+
+#endif  // NGB_BENCH_BENCH_UTIL_H

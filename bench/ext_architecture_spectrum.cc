@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extension experiment: the architecture spectrum of the paper's
+ * Figure 3, quantified. How does the non-GEMM share vary across the
+ * three model families — norm-free CNN (VGG), BN CNN (ResNet,
+ * MobileNet), and transformers (ViT, Swin, GPT-2) — before and after
+ * fusion? Also emits the Section III-C Non-GEMM report per model and a
+ * roofline SVG for one representative.
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.h"
+#include "deploy/flow.h"
+#include "models/registry.h"
+#include "profiler/nongemm_report.h"
+#include "profiler/svg_chart.h"
+
+using namespace ngb;
+
+int
+main()
+{
+    std::printf("Extension: architecture spectrum (Platform A, batch 1)\n");
+    bench::printRule(86);
+    std::printf("%-14s %-14s %14s %14s %14s\n", "model", "family",
+                "eager ng%%", "tensorrt ng%%", "dominant");
+    struct Row {
+        const char *model;
+        const char *family;
+    };
+    const Row rows[] = {
+        {"vgg16", "norm-free CNN"},   {"resnet50", "BN CNN"},
+        {"mobilenet_v2", "DW CNN"},   {"vit_b", "transformer"},
+        {"swin_t", "transformer"},    {"gpt2", "decoder LLM"},
+    };
+    for (const Row &row : rows) {
+        BenchConfig c;
+        c.model = row.model;
+        c.flow = "pytorch";
+        ProfileReport pt = Bench::run(c);
+        c.flow = "tensorrt";
+        ProfileReport trt = Bench::run(c);
+        std::printf("%-14s %-14s %13.1f%% %13.1f%% %14s\n", row.model,
+                    row.family, pt.nonGemmPct(), trt.nonGemmPct(),
+                    opCategoryName(pt.dominantNonGemmCategory()).c_str());
+    }
+    std::printf("\nShape: the further right on the paper's Fig. 3 (CNN ->\n"
+                "R-CNN -> transformer), the larger and more fusion-"
+                "resistant\nthe non-GEMM share.\n");
+
+    // Section III-C Non-GEMM report for two contrasting models.
+    std::printf("\n");
+    for (const char *m : {"detr", "gpt2"}) {
+        ModelConfig mc;
+        mc.seqLen = 8;
+        Graph g = models::findModel(m).build(mc);
+        printNonGemmReport(buildNonGemmReport(g), std::cout);
+    }
+
+    // Domain trace across one model per task.
+    std::vector<std::pair<std::string, Graph>> domain_graphs;
+    for (const char *m : {"vit_b", "detr", "segformer", "gpt2"}) {
+        const auto &info = models::findModel(m);
+        ModelConfig mc;
+        mc.seqLen = info.defaultSeqLen > 0 ? info.defaultSeqLen : 8;
+        domain_graphs.emplace_back(info.task, info.build(mc));
+    }
+    printDomainTrace(buildDomainTrace(domain_graphs), std::cout);
+
+    // Roofline SVG of eager Swin-T on the A100.
+    {
+        ModelConfig mc;
+        Graph g = models::findModel("swin_t").build(mc);
+        auto plan = makePyTorchFlow()->plan(g, {true, false});
+        CostModel cm(platformA());
+        auto timings = cm.priceAll(plan);
+        std::ofstream f("roofline_swin_t.svg");
+        writeRooflineSvg(plan, timings, platformA().gpu,
+                         "Swin-T eager kernels on A100", f);
+        std::printf("\nwrote roofline_swin_t.svg\n");
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Figure 6: operator-granularity latency breakdowns of all
+ * 17 models on both platforms, with and without GPU acceleration, at
+ * batch 1 and 8. Also emits the per-row data as CSV on request
+ * (pass --csv).
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "models/registry.h"
+
+using namespace ngb;
+
+int
+main(int argc, char **argv)
+{
+    bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+    if (csv) {
+        std::printf("platform,device,model,batch,total_ms");
+        for (OpCategory c : bench::figureCategories())
+            std::printf(",%s", opCategoryName(c).c_str());
+        std::printf("\n");
+    }
+
+    double cpu_share_sum = 0, gpu_share_sum = 0;
+    int cpu_n = 0, gpu_n = 0;
+
+    for (const char *platform : {"A", "B"}) {
+        for (bool gpu : {false, true}) {
+            if (!csv) {
+                std::printf("\nFigure 6: Platform %s, %s\n", platform,
+                            gpu ? "CPU+GPU" : "CPU only");
+                bench::printRule(100);
+                bench::printCategoryHeader("model/batch");
+            }
+            for (const std::string &name : models::paperModelNames()) {
+                for (int64_t batch : {1, 8}) {
+                    BenchConfig c;
+                    c.model = name;
+                    c.batch = batch;
+                    c.platform = platform;
+                    c.gpu = gpu;
+                    ProfileReport r = Bench::run(c);
+                    std::string label =
+                        name + " b" + std::to_string(batch);
+                    if (csv) {
+                        std::printf("%s,%s,%s,%ld,%.3f", platform,
+                                    gpu ? "cpu+gpu" : "cpu", name.c_str(),
+                                    static_cast<long>(batch), r.totalMs());
+                        for (OpCategory cat : bench::figureCategories())
+                            std::printf(",%.2f", r.categoryPct(cat));
+                        std::printf("\n");
+                    } else {
+                        bench::printCategoryRow(label, r);
+                    }
+                    if (gpu) {
+                        gpu_share_sum += r.nonGemmPct();
+                        ++gpu_n;
+                    } else {
+                        cpu_share_sum += r.nonGemmPct();
+                        ++cpu_n;
+                    }
+                }
+            }
+        }
+    }
+
+    if (!csv) {
+        bench::printRule(100);
+        std::printf("Average non-GEMM share: CPU %.1f%%  CPU+GPU %.1f%%\n",
+                    cpu_share_sum / cpu_n, gpu_share_sum / gpu_n);
+        std::printf("Paper reference (Sec. IV-A): CPU 17.2%% -> CPU+GPU "
+                    "42.3%% on average.\n");
+    }
+    return 0;
+}

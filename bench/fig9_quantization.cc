@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Figure 9 (Section IV-C): GEMM / non-GEMM breakdown of an
+ * LLM.int8()-quantized Llama3-8B versus the FP16 baseline across
+ * sequence lengths 512..8192 on Platform A.
+ *
+ * Shape to match: INT8 cuts GEMM time but dequantize/requantize adds
+ * non-GEMM operators, so the non-GEMM share balloons; the element-wise
+ * share grows with sequence length.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "quant/quantize_pass.h"
+#include "models/registry.h"
+
+using namespace ngb;
+
+int
+main()
+{
+    std::printf("Figure 9: Llama3-8B, FP16 vs LLM.int8() (Platform A)\n");
+    bench::printRule(110);
+    bench::printCategoryHeader("seq/precision");
+
+    double fp_ng = 0, q_ng = 0, fp_gemm_ms = 0, q_gemm_ms = 0;
+    double fp_ngemm_ms = 0, q_ngemm_ms = 0;
+    int n = 0;
+    for (int64_t seq : {512, 1024, 2048, 4096, 8192}) {
+        for (bool quant : {false, true}) {
+            BenchConfig c;
+            c.model = "llama3";
+            c.seqLen = seq;
+            c.quantize = quant;
+            ProfileReport r = Bench::run(c);
+            char label[64];
+            std::snprintf(label, sizeof(label), "seq%ld/%s",
+                          static_cast<long>(seq),
+                          quant ? "int8" : "fp16");
+            bench::printCategoryRow(label, r);
+            if (quant) {
+                q_ng += r.nonGemmPct();
+                q_gemm_ms += r.gemmUs / 1000;
+                q_ngemm_ms += r.nonGemmUs / 1000;
+            } else {
+                fp_ng += r.nonGemmPct();
+                fp_gemm_ms += r.gemmUs / 1000;
+                fp_ngemm_ms += r.nonGemmUs / 1000;
+                ++n;
+            }
+        }
+    }
+    bench::printRule(110);
+    std::printf("Averages over sequence lengths:\n");
+    std::printf("  non-GEMM share: FP16 %.1f%% -> INT8 %.1f%%   "
+                "(paper: 29.3%% -> 76.7%%)\n",
+                fp_ng / n, q_ng / n);
+    std::printf("  GEMM latency change: %.1f%%   (paper: -38.2%%)\n",
+                100.0 * (q_gemm_ms - fp_gemm_ms) / fp_gemm_ms);
+    std::printf("  non-GEMM latency ratio: %.2fx   (paper: 5.6x)\n",
+                q_ngemm_ms / fp_ngemm_ms);
+
+    // Extra operators introduced by the pass (paper: +6510).
+    {
+        ModelConfig mc;
+        mc.seqLen = 512;
+        Graph g = models::findModel("llama3").build(mc);
+        QuantizeStats st;
+        QuantizeConfig qc;
+        quantizeLlmInt8(g, qc, &st);
+        std::printf("  extra non-GEMM ops from Q/DQ + decomposition: %ld "
+                    "(paper: 6510 incl. decode steps)\n",
+                    static_cast<long>(st.addedNonGemmOps));
+    }
+    return 0;
+}

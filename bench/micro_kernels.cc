@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the real host kernels backing
+ * the framework — a supplementary, wall-clock counterpart to the
+ * analytical model: even on a CPU, GEMM ops dominate per-element cost
+ * while the non-GEMM inventory is bandwidth / overhead bound.
+ */
+#include <benchmark/benchmark.h>
+
+#include "ops/kernels.h"
+
+using namespace ngb;
+namespace kn = kernels;
+
+static void
+BM_Linear(benchmark::State &state)
+{
+    int64_t d = state.range(0);
+    Tensor x = Tensor::randn(Shape{8, d}, 1);
+    Tensor w = Tensor::randn(Shape{d, d}, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::linear(x, w, Tensor()));
+    state.SetItemsProcessed(state.iterations() * 8 * d * d * 2);
+}
+BENCHMARK(BM_Linear)->Arg(64)->Arg(128)->Arg(256);
+
+static void
+BM_Conv2d(benchmark::State &state)
+{
+    int64_t c = state.range(0);
+    Tensor x = Tensor::randn(Shape{1, c, 28, 28}, 3);
+    Tensor w = Tensor::randn(Shape{c, c, 3, 3}, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::conv2d(x, w, Tensor(), 1, 1));
+}
+BENCHMARK(BM_Conv2d)->Arg(8)->Arg(16)->Arg(32);
+
+static void
+BM_BMM(benchmark::State &state)
+{
+    int64_t t = state.range(0);
+    Tensor a = Tensor::randn(Shape{12, t, 64}, 5);
+    Tensor b = Tensor::randn(Shape{12, 64, t}, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::bmm(a, b));
+}
+BENCHMARK(BM_BMM)->Arg(49)->Arg(197);
+
+static void
+BM_LayerNorm(benchmark::State &state)
+{
+    int64_t d = state.range(0);
+    Tensor x = Tensor::randn(Shape{197, d}, 7);
+    Tensor g = Tensor::full(Shape{d}, 1.0f);
+    Tensor b = Tensor::zeros(Shape{d});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::layerNorm(x, g, b, 1e-5f));
+    state.SetBytesProcessed(state.iterations() * 197 * d * 8);
+}
+BENCHMARK(BM_LayerNorm)->Arg(768)->Arg(1600)->Arg(4096);
+
+static void
+BM_Softmax(benchmark::State &state)
+{
+    int64_t t = state.range(0);
+    Tensor x = Tensor::randn(Shape{25, t, t}, 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::softmax(x, -1));
+}
+BENCHMARK(BM_Softmax)->Arg(8)->Arg(64)->Arg(128);
+
+static void
+BM_Gelu(benchmark::State &state)
+{
+    Tensor x = Tensor::randn(Shape{state.range(0)}, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::gelu(x));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Gelu)->Arg(1 << 12)->Arg(1 << 16);
+
+static void
+BM_Relu(benchmark::State &state)
+{
+    Tensor x = Tensor::randn(Shape{state.range(0)}, 10);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::relu(x));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Relu)->Arg(1 << 12)->Arg(1 << 16);
+
+static void
+BM_Nms(benchmark::State &state)
+{
+    int64_t n = state.range(0);
+    Tensor boxes = Tensor::randn(Shape{n, 4}, 11, 10.0f);
+    for (int64_t i = 0; i < n; ++i) {
+        boxes.set({i, 2}, boxes.at({i, 0}) + 5.0f);
+        boxes.set({i, 3}, boxes.at({i, 1}) + 5.0f);
+    }
+    Tensor scores = Tensor::randn(Shape{n}, 12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::nms(boxes, scores, 0.5f, 0.0f));
+}
+BENCHMARK(BM_Nms)->Arg(256)->Arg(1024);
+
+static void
+BM_Roll(benchmark::State &state)
+{
+    Tensor x = Tensor::randn(Shape{1, 56, 56, state.range(0)}, 13);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::roll(x, 3, 1));
+}
+BENCHMARK(BM_Roll)->Arg(32)->Arg(96);
+
+static void
+BM_Interpolate(benchmark::State &state)
+{
+    Tensor x = Tensor::randn(Shape{1, 16, 32, 32}, 14);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kn::interpolateBilinear(x, state.range(0), state.range(0)));
+}
+BENCHMARK(BM_Interpolate)->Arg(64)->Arg(128);
+
+static void
+BM_Int8Linear(benchmark::State &state)
+{
+    int64_t d = state.range(0);
+    Tensor x = Tensor::randn(Shape{8, d}, 15);
+    Tensor w = Tensor::randn(Shape{d, d}, 16);
+    float xs = kn::absmaxScale(x);
+    float ws = kn::absmaxScale(w);
+    Tensor xq = kn::quantize(x, xs);
+    Tensor wq = kn::quantize(w, ws);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kn::int8Linear(xq, wq, Tensor(), xs, ws));
+}
+BENCHMARK(BM_Int8Linear)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

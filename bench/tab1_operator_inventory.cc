@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reproduces Table I: the non-GEMM operator inventory of selected
+ * model variants with example input shapes captured from the graphs,
+ * plus each operator's characteristic flags (non-linearity, dynamic
+ * behaviour, reduction).
+ */
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "models/registry.h"
+
+using namespace ngb;
+
+namespace {
+
+bool
+hasNonLinearity(OpKind k)
+{
+    switch (k) {
+      case OpKind::ReLU:
+      case OpKind::GELU:
+      case OpKind::SiLU:
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+      case OpKind::Erf:
+      case OpKind::Exp:
+      case OpKind::Log:
+      case OpKind::Sqrt:
+      case OpKind::Softmax:
+      case OpKind::LogSoftmax:
+      case OpKind::LayerNorm:
+      case OpKind::BatchNorm2d:
+      case OpKind::FrozenBatchNorm2d:
+      case OpKind::RMSNorm:
+      case OpKind::GroupNorm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDynamic(OpKind k)
+{
+    return k == OpKind::NMS || k == OpKind::TopK;
+}
+
+bool
+isReduction(OpKind k)
+{
+    switch (k) {
+      case OpKind::Softmax:
+      case OpKind::LogSoftmax:
+      case OpKind::LayerNorm:
+      case OpKind::RMSNorm:
+      case OpKind::GroupNorm:
+      case OpKind::CumSum:
+      case OpKind::TopK:
+      case OpKind::AdaptiveAvgPool2d:
+        return true;
+      default:
+        return false;
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    // The eight model variants Table I draws its examples from.
+    const char *variants[] = {"detr",   "vit_b",   "gpt2_xl", "llama2",
+                              "segformer", "mask_rcnn", "swin_b",
+                              "mixtral"};
+
+    std::printf("Table I: non-GEMM operators and characteristics\n");
+    bench::printRule(96);
+    std::printf("%-14s %-20s %-12s %-22s %3s %3s %3s\n", "group", "op",
+                "model", "example_input_shape", "NL", "Dyn", "Red");
+    bench::printRule(96);
+
+    for (const char *name : variants) {
+        const auto &info = models::findModel(name);
+        ModelConfig cfg;
+        cfg.batch = name == std::string("segformer") ? 2 : 1;
+        cfg.seqLen = info.defaultSeqLen > 0 ? info.defaultSeqLen : 8;
+        Graph g = info.build(cfg);
+
+        // One example (the largest input) per op kind per model.
+        std::map<OpKind, Shape> example;
+        for (const Node &n : g.nodes()) {
+            if (n.inputs.empty() || n.isGemm())
+                continue;
+            if (n.category() == OpCategory::Misc)
+                continue;
+            const Shape &in = g.shapeOf(n.inputs[0]);
+            auto it = example.find(n.kind);
+            if (it == example.end() || in.numel() > it->second.numel())
+                example[n.kind] = in;
+        }
+        for (const auto &[kind, shape] : example) {
+            std::printf("%-14s %-20s %-12s %-22s %3s %3s %3s\n",
+                        opCategoryName(opCategoryOf(kind)).c_str(),
+                        opKindName(kind).c_str(), name,
+                        shape.str().c_str(),
+                        hasNonLinearity(kind) ? "x" : "",
+                        isDynamic(kind) ? "x" : "",
+                        isReduction(kind) ? "x" : "");
+        }
+        bench::printRule(96);
+    }
+    return 0;
+}

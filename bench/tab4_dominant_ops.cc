@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Table IV: the most time-consuming non-GEMM operator group
+ * for every model on Platform A with GPU acceleration, averaged over
+ * batch sizes 1 and 8.
+ */
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "models/registry.h"
+
+using namespace ngb;
+
+int
+main()
+{
+    std::printf("Table IV: dominant non-GEMM operator group "
+                "(Platform A, CPU+GPU, avg of b1/b8)\n");
+    bench::printRule(76);
+    std::printf("%-6s %-14s %-16s %10s %14s\n", "task", "model",
+                "dominant_group", "latency%%", "paper_ref");
+
+    // Paper values for the reader's side-by-side comparison.
+    const std::map<std::string, std::string> paper = {
+        {"vit_b", "Norm 14.0"},      {"vit_l", "Norm 13.3"},
+        {"vit_h", "Norm 11.2"},      {"swin_t", "Mem 31.8"},
+        {"swin_s", "Mem 33.1"},      {"swin_b", "Mem 32.8"},
+        {"faster_rcnn", "Elt 34.4"}, {"mask_rcnn", "Elt 33.6"},
+        {"detr", "Norm 34.8"},       {"maskformer", "Mem 40.8"},
+        {"segformer", "Norm 17.4"},  {"gpt2", "Act 30.2"},
+        {"gpt2_l", "Act 29.9"},      {"gpt2_xl", "Act 28.1"},
+        {"llama2", "Norm 14.9"},     {"bert", "Norm 13.1"},
+        {"mixtral", "Mem 43.1"},
+    };
+
+    for (const std::string &name : models::paperModelNames()) {
+        const auto &info = models::findModel(name);
+        std::map<OpCategory, double> pct_sum;
+        for (int64_t batch : {1, 8}) {
+            BenchConfig c;
+            c.model = name;
+            c.batch = batch;
+            ProfileReport r = Bench::run(c);
+            for (const auto &[cat, us] : r.usByCategory) {
+                (void)us;
+                pct_sum[cat] += r.categoryPct(cat) / 2.0;
+            }
+        }
+        OpCategory best = OpCategory::Misc;
+        double best_pct = -1;
+        for (const auto &[cat, pct] : pct_sum) {
+            if (cat == OpCategory::Gemm)
+                continue;
+            if (pct > best_pct) {
+                best_pct = pct;
+                best = cat;
+            }
+        }
+        std::printf("%-6s %-14s %-16s %9.1f%% %14s\n", info.task.c_str(),
+                    name.c_str(), opCategoryName(best).c_str(), best_pct,
+                    paper.at(name).c_str());
+    }
+    return 0;
+}

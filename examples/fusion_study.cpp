@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Domain example (computer vision serving): decide which deployment
+ * flow to serve a detection model with, reproducing the Section IV-B
+ * workflow — compare PyTorch / TorchInductor / TensorRT, inspect what
+ * fusion did, and find the operators that remain hot afterwards.
+ */
+#include <iostream>
+
+#include "core/bench.h"
+
+using namespace ngb;
+
+int
+main(int argc, char **argv)
+{
+    std::string model = argc > 1 ? argv[1] : "detr";
+
+    std::cout << "Fusion study for " << model
+              << " (Platform A, batch 1)\n\n";
+
+    ProfileReport best;
+    std::string best_flow;
+    for (const char *flow : {"pytorch", "inductor", "tensorrt"}) {
+        BenchConfig c;
+        c.model = model;
+        c.flow = flow;
+        ProfileReport r = Bench::run(c);
+        std::cout << flow << ":\n  total " << r.totalMs()
+                  << " ms, non-GEMM " << r.nonGemmPct() << "% ("
+                  << r.nonGemmUs / 1000 << " ms)\n";
+        if (r.fusionStats.fusedNonGemm > 0) {
+            std::cout << "  fusion rate "
+                      << 100.0 * r.fusionStats.fusionRate() << "% ("
+                      << r.fusionStats.fusedWithGemm
+                      << " non-GEMM ops folded into GEMM kernels, "
+                      << r.fusionStats.fusedNonGemm -
+                             r.fusionStats.fusedWithGemm
+                      << " into point-wise chains)\n";
+        }
+        if (best_flow.empty() || r.totalUs < best.totalUs) {
+            best = r;
+            best_flow = flow;
+        }
+    }
+
+    std::cout << "\nBest flow: " << best_flow << ". Hot spots that "
+              << "fusion did NOT remove:\n";
+    for (const OpProfile &op : best.topOps(8)) {
+        if (op.category == OpCategory::Gemm)
+            continue;
+        std::cout << "  " << op.label << " ["
+                  << opCategoryName(op.category) << "] " << op.us
+                  << " us\n";
+    }
+    std::cout << "\nPaper conclusion (Sec. IV-B): operator fusion "
+                 "mitigates but does not\neliminate the non-GEMM "
+                 "bottleneck; its effectiveness depends on whether\n"
+                 "normalizations can fold into GEMM kernels "
+                 "(CONV+BN+RELU) or only into\nother non-GEMM chains.\n";
+    return 0;
+}

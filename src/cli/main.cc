@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The NonGEMM Bench command-line driver — the C++ counterpart of the
+ * original artifact's run.py. Profiles any registry model under any
+ * deployment flow and platform, and writes CSV / SVG / Chrome-trace
+ * outputs.
+ *
+ *   ngb --list
+ *   ngb --model swin_b --flow tensorrt --platform A --batch 8
+ *   ngb --model llama3 --quantize --seq 2048 --svg out.svg --trace t.json
+ */
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/bench.h"
+#include "graph/dot_export.h"
+#include "graph/validate.h"
+#include "deploy/flow.h"
+#include "models/registry.h"
+#include "profiler/svg_chart.h"
+#include "profiler/workload_report.h"
+#include "profiler/trace_export.h"
+#include "quant/quantize_pass.h"
+
+using namespace ngb;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "NonGEMM Bench (C++): operator-level GEMM/non-GEMM profiling\n"
+        "\n"
+        "usage: ngb [options]\n"
+        "  --list               list registry models and exit\n"
+        "  --model NAME         model to profile (default vit_b)\n"
+        "  --flow FLOW          pytorch|inductor|ort|tensorrt\n"
+        "  --platform A|B       data center (A) or workstation (B)\n"
+        "  --batch N            batch size (default 1)\n"
+        "  --seq N              sequence length for NLP models\n"
+        "  --cpu-only           disable GPU acceleration\n"
+        "  --quantize           apply the LLM.int8() pass\n"
+        "  --decode             profile one generate() decode step\n"
+        "  --ops-csv FILE       write per-op CSV\n"
+        "  --cat-csv FILE       write category CSV\n"
+        "  --json FILE          write the full report as JSON\n"
+        "  --svg FILE           write a stacked-bar SVG\n"
+        "  --trace FILE         write a Chrome trace JSON\n"
+        "  --dot FILE           write the operator graph as Graphviz\n"
+        "  --workload           print the Section III-C workload report\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig cfg;
+    std::string ops_csv, cat_csv, svg, trace, json, dot;
+    bool workload = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << a << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--list") {
+            std::cout << "registry (" << models::modelRegistry().size()
+                      << " models):\n";
+            for (const auto &m : models::modelRegistry())
+                std::cout << "  " << m.name << "  [" << m.task << ", "
+                          << m.dataset << "]"
+                          << (m.halfPrecision ? " fp16" : "") << "\n";
+            return 0;
+        } else if (a == "--model") {
+            cfg.model = next();
+        } else if (a == "--flow") {
+            cfg.flow = next();
+        } else if (a == "--platform") {
+            cfg.platform = next();
+        } else if (a == "--batch") {
+            cfg.batch = std::stol(next());
+        } else if (a == "--seq") {
+            cfg.seqLen = std::stol(next());
+        } else if (a == "--cpu-only") {
+            cfg.gpu = false;
+        } else if (a == "--quantize") {
+            cfg.quantize = true;
+        } else if (a == "--decode") {
+            cfg.decodeStep = true;
+        } else if (a == "--json") {
+            json = next();
+        } else if (a == "--dot") {
+            dot = next();
+        } else if (a == "--workload") {
+            workload = true;
+        } else if (a == "--ops-csv") {
+            ops_csv = next();
+        } else if (a == "--cat-csv") {
+            cat_csv = next();
+        } else if (a == "--svg") {
+            svg = next();
+        } else if (a == "--trace") {
+            trace = next();
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        ProfileReport r = Bench::run(cfg);
+        printReport(r, std::cout);
+
+        if (!ops_csv.empty()) {
+            std::ofstream f(ops_csv);
+            writeOpCsv(r, f);
+            std::cout << "wrote " << ops_csv << "\n";
+        }
+        if (!cat_csv.empty()) {
+            std::ofstream f(cat_csv);
+            writeCategoryCsv(r, f);
+            std::cout << "wrote " << cat_csv << "\n";
+        }
+        if (!svg.empty()) {
+            std::ofstream f(svg);
+            SvgChartOptions opts;
+            opts.title = cfg.model + " / " + cfg.flow + " / platform " +
+                         cfg.platform;
+            writeSvgChart({r}, opts, f);
+            std::cout << "wrote " << svg << "\n";
+        }
+        if (!json.empty()) {
+            std::ofstream f(json);
+            writeJsonReport(r, f);
+            std::cout << "wrote " << json << "\n";
+        }
+        if (workload || !dot.empty() || !trace.empty()) {
+            // Rebuild the graph/plan for graph-level outputs.
+            const auto &info = models::findModel(cfg.model);
+            ModelConfig mc;
+            mc.batch = cfg.batch;
+            mc.seqLen = cfg.seqLen > 0 ? cfg.seqLen
+                                       : std::max<int64_t>(
+                                             info.defaultSeqLen, 8);
+            mc.decodeStep = cfg.decodeStep;
+            Graph g = info.build(mc);
+            if (cfg.quantize) {
+                QuantizeConfig qc;
+                g = quantizeLlmInt8(g, qc);
+            }
+            ValidationResult vr = validateGraph(g);
+            if (!vr.ok())
+                std::cerr << "graph validation failed:\n"
+                          << formatIssues(vr);
+            if (workload)
+                printWorkloadReport(buildWorkloadReport(g), std::cout);
+            if (!dot.empty()) {
+                std::ofstream f(dot);
+                DotOptions opts;
+                writeDot(g, opts, f);
+                std::cout << "wrote " << dot << "\n";
+            }
+            if (!trace.empty()) {
+                auto flow = makeFlow(cfg.flow);
+                FlowOptions fo;
+                fo.gpu = cfg.gpu;
+                fo.f16 = info.halfPrecision;
+                ExecutionPlan plan = flow->plan(g, fo);
+                CostModel cm(platformById(cfg.platform), cfg.costParams);
+                auto timings = cm.priceAll(plan);
+                std::ofstream f(trace);
+                writeChromeTrace(plan, timings, f);
+                std::cout << "wrote " << trace << "\n";
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef NGB_CORE_BENCH_H
+#define NGB_CORE_BENCH_H
+
+#include <string>
+
+#include "platform/cost_model.h"
+#include "quant/quantize_pass.h"
+#include "profiler/profile_report.h"
+
+namespace ngb {
+
+/**
+ * One characterization point: which model, at what batch/sequence
+ * length, deployed through which flow on which platform.
+ *
+ * This is the library's primary entry point and mirrors the
+ * NonGEMM Bench inputs of Section III-B (models, deployment flow,
+ * dataset-shaped inputs, configuration).
+ */
+struct BenchConfig {
+    std::string model = "vit_b";   ///< registry key (src/models)
+    int64_t batch = 1;
+    std::string platform = "A";    ///< "A" data center, "B" workstation
+    bool gpu = true;               ///< GPU acceleration on/off
+    std::string flow = "pytorch";  ///< pytorch | inductor | ort | tensorrt
+    int64_t seqLen = 0;            ///< 0 = model default (NLP only)
+    bool decodeStep = false;       ///< one generate() step over a KV cache
+    bool quantize = false;         ///< apply the quantization pass
+    QuantMethod quantMethod = QuantMethod::LlmInt8;
+    double outlierFraction = 0.01; ///< LLM.int8() decomposition share
+    int64_t testScale = 1;         ///< >1 shrinks the model for tests
+
+    /** Cost-model constants (exposed for the ablation benchmarks). */
+    CostModelParams costParams = CostModelParams();
+};
+
+/**
+ * NonGEMM Bench core: builds the model graph, applies optional
+ * quantization, schedules it through the deployment flow, prices it on
+ * the platform cost model, and aggregates the three reports.
+ */
+class Bench
+{
+  public:
+    /** Run one characterization point. */
+    static ProfileReport run(const BenchConfig &cfg);
+};
+
+}  // namespace ngb
+
+#endif  // NGB_CORE_BENCH_H

@@ -1,0 +1,68 @@
+#ifndef NGB_DEPLOY_FLOW_H
+#define NGB_DEPLOY_FLOW_H
+
+#include <memory>
+#include <string>
+
+#include "platform/plan.h"
+
+namespace ngb {
+
+/**
+ * Options common to all deployment flows.
+ */
+struct FlowOptions {
+    bool gpu = true;   ///< place kernels on the GPU device
+    bool f16 = false;  ///< run GEMM kernels in half precision
+};
+
+/**
+ * A deployment flow: schedules a model graph into an ExecutionPlan,
+ * applying the flow's optimizations (operator fusion, kernel choice)
+ * and reflecting its operator-support limitations (CPU fallback).
+ *
+ * Four flows mirror the paper's Section III-B: PyTorch eager,
+ * TorchInductor, ONNX Runtime (CUDA EP), and TensorRT.
+ */
+class DeploymentFlow
+{
+  public:
+    virtual ~DeploymentFlow() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Schedule @p g under @p opts. The graph must outlive the plan. */
+    virtual ExecutionPlan plan(const Graph &g,
+                               const FlowOptions &opts) const = 0;
+};
+
+/** Eager PyTorch: one kernel (group) per operator, no fusion. */
+std::unique_ptr<DeploymentFlow> makePyTorchFlow();
+
+/**
+ * TorchInductor: compiles element-wise / normalization / logit chains
+ * into single fused kernels; GEMM kernels unchanged.
+ */
+std::unique_ptr<DeploymentFlow> makeInductorFlow();
+
+/**
+ * ONNX Runtime with the CUDA execution provider: compiled session
+ * (cheap dispatch, faster kernels) but memory-layout operators are
+ * unsupported on the EP and fall back to the CPU with PCIe transfers
+ * (paper Case Study 1).
+ */
+std::unique_ptr<DeploymentFlow> makeOrtFlow();
+
+/**
+ * TensorRT: CONV+BN+ReLU pattern fusion into the GEMM kernel,
+ * aggressive point-wise chain fusion, fastest kernels (paper Case
+ * Study 2).
+ */
+std::unique_ptr<DeploymentFlow> makeTensorRtFlow();
+
+/** Factory by name: "pytorch", "inductor", "ort", "tensorrt". */
+std::unique_ptr<DeploymentFlow> makeFlow(const std::string &name);
+
+}  // namespace ngb
+
+#endif  // NGB_DEPLOY_FLOW_H

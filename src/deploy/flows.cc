@@ -1,0 +1,233 @@
+#include <stdexcept>
+
+#include "deploy/flow.h"
+#include "deploy/fusion.h"
+
+namespace ngb {
+
+namespace {
+
+/** Activation bytes through a node, from shapes (ignores zero-copy). */
+double
+fullActBytes(const Graph &g, const Node &n)
+{
+    double b = 0;
+    for (const Value &v : n.inputs)
+        b += static_cast<double>(g.shapeOf(v).numel()) *
+             static_cast<double>(dtypeSize(g.dtypeOf(v)));
+    for (size_t i = 0; i < n.outShapes.size(); ++i)
+        b += static_cast<double>(n.outShapes[i].numel()) *
+             static_cast<double>(dtypeSize(n.outDtypes[i]));
+    return b;
+}
+
+void
+applyPrecision(KernelGroup &kg, const FlowOptions &opts)
+{
+    if (opts.f16 && !kg.i8) {
+        kg.f16 = true;
+        // Graphs are built with F32 tensors; halve the traffic.
+        kg.bytesIn *= 0.5;
+        kg.bytesOut *= 0.5;
+        kg.bytesParam *= 0.5;
+        kg.transferBytes *= 0.5;
+    }
+}
+
+void
+placeGroup(KernelGroup &kg, const FlowOptions &opts)
+{
+    kg.onGpu = opts.gpu && !kg.zeroCopy;
+}
+
+/**
+ * Eager PyTorch: every operator is its own dispatch; composite
+ * operators (attr "kernels") launch several primitive kernels.
+ */
+class PyTorchFlow : public DeploymentFlow
+{
+  public:
+    std::string name() const override { return "pytorch"; }
+
+    ExecutionPlan
+    plan(const Graph &g, const FlowOptions &opts) const override
+    {
+        ExecutionPlan p;
+        p.graph = &g;
+        p.flowName = name();
+        p.gpuEnabled = opts.gpu;
+        for (const Node &n : g.nodes()) {
+            if (n.inputs.empty())
+                continue;  // graph input
+            KernelGroup kg = singletonGroup(g, n);
+            placeGroup(kg, opts);
+            applyPrecision(kg, opts);
+            p.groups.push_back(std::move(kg));
+        }
+        return p;
+    }
+};
+
+/**
+ * TorchInductor: point-wise chain fusion, eager-grade GEMM kernels,
+ * moderate dispatch savings on fused regions.
+ */
+class InductorFlow : public DeploymentFlow
+{
+  public:
+    std::string name() const override { return "inductor"; }
+
+    ExecutionPlan
+    plan(const Graph &g, const FlowOptions &opts) const override
+    {
+        FusionConfig cfg;
+        cfg.fusePointwiseChains = true;
+        ExecutionPlan p;
+        p.graph = &g;
+        p.flowName = name();
+        p.gpuEnabled = opts.gpu;
+        for (KernelGroup &kg : fuseGraph(g, cfg)) {
+            placeGroup(kg, opts);
+            kg.dispatchUsOverride = kg.fused ? -1.0 : 4.0;
+            applyPrecision(kg, opts);
+            p.groups.push_back(std::move(kg));
+        }
+        return p;
+    }
+};
+
+/**
+ * ONNX Runtime CUDA EP: compiled session with cheap dispatch and
+ * slightly faster kernels, but memory-layout operators unsupported on
+ * the EP fall back to the CPU, forcing PCIe round trips (Case Study 1).
+ */
+class OrtFlow : public DeploymentFlow
+{
+  public:
+    std::string name() const override { return "ort"; }
+
+    static bool
+    unsupportedOnEp(OpKind k)
+    {
+        switch (k) {
+          case OpKind::View:
+          case OpKind::Reshape:
+          case OpKind::Permute:
+          case OpKind::Transpose:
+          case OpKind::Contiguous:
+          case OpKind::Split:
+          case OpKind::Expand:
+          case OpKind::Squeeze:
+          case OpKind::Unsqueeze:
+          case OpKind::Slice:
+          case OpKind::Roll:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    ExecutionPlan
+    plan(const Graph &g, const FlowOptions &opts) const override
+    {
+        ExecutionPlan p;
+        p.graph = &g;
+        p.flowName = name();
+        p.gpuEnabled = opts.gpu;
+        for (const Node &n : g.nodes()) {
+            if (n.inputs.empty())
+                continue;
+            KernelGroup kg = singletonGroup(g, n);
+            kg.dispatchUsOverride = 1.5;
+            kg.rateScale = 1.15;
+            if (opts.gpu && unsupportedOnEp(n.kind)) {
+                // CPU fallback: materialize the tensor on the host and
+                // copy it back, regardless of zero-copy semantics.
+                kg.onGpu = false;
+                kg.zeroCopy = false;
+                double bytes = fullActBytes(g, n);
+                kg.bytesIn = bytes * 0.5;
+                kg.bytesOut = bytes * 0.5;
+                kg.transferBytes = bytes;
+            } else {
+                placeGroup(kg, opts);
+            }
+            applyPrecision(kg, opts);
+            p.groups.push_back(std::move(kg));
+        }
+        return p;
+    }
+};
+
+/**
+ * TensorRT: engine-compiled execution. CONV+BN+ReLU folding,
+ * point-wise and shuffle fusion, fastest kernel implementations.
+ */
+class TensorRtFlow : public DeploymentFlow
+{
+  public:
+    std::string name() const override { return "tensorrt"; }
+
+    ExecutionPlan
+    plan(const Graph &g, const FlowOptions &opts) const override
+    {
+        FusionConfig cfg;
+        cfg.fuseConvBnRelu = true;
+        cfg.fusePointwiseChains = true;
+        cfg.minChainLen = 3;
+        ExecutionPlan p;
+        p.graph = &g;
+        p.flowName = name();
+        p.gpuEnabled = opts.gpu;
+        for (KernelGroup &kg : fuseGraph(g, cfg)) {
+            placeGroup(kg, opts);
+            kg.dispatchUsOverride = 1.0;
+            kg.rateScale = 1.25;
+            applyPrecision(kg, opts);
+            p.groups.push_back(std::move(kg));
+        }
+        return p;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<DeploymentFlow>
+makePyTorchFlow()
+{
+    return std::make_unique<PyTorchFlow>();
+}
+
+std::unique_ptr<DeploymentFlow>
+makeInductorFlow()
+{
+    return std::make_unique<InductorFlow>();
+}
+
+std::unique_ptr<DeploymentFlow>
+makeOrtFlow()
+{
+    return std::make_unique<OrtFlow>();
+}
+
+std::unique_ptr<DeploymentFlow>
+makeTensorRtFlow()
+{
+    return std::make_unique<TensorRtFlow>();
+}
+
+std::unique_ptr<DeploymentFlow>
+makeFlow(const std::string &name)
+{
+    if (name == "pytorch" || name == "pt")
+        return makePyTorchFlow();
+    if (name == "inductor" || name == "torchinductor")
+        return makeInductorFlow();
+    if (name == "ort" || name == "onnxruntime")
+        return makeOrtFlow();
+    if (name == "tensorrt" || name == "trt")
+        return makeTensorRtFlow();
+    throw std::runtime_error("unknown deployment flow: " + name);
+}
+
+}  // namespace ngb

@@ -1,0 +1,229 @@
+#include "deploy/fusion.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ngb {
+
+namespace {
+
+bool
+isInputNode(const Node &n)
+{
+    return n.inputs.empty();
+}
+
+/** Kinds allowed inside a point-wise fusion chain. */
+bool
+pointwiseFusible(const Node &n, bool through_layout)
+{
+    switch (n.category()) {
+      case OpCategory::Activation:
+      case OpCategory::ElementWise:
+      case OpCategory::Normalization:
+      case OpCategory::LogitCompute:
+      case OpCategory::QDQ:
+        return true;
+      case OpCategory::Memory:
+        return through_layout && n.cost.zeroCopy;
+      default:
+        return false;
+    }
+}
+
+/** Sum of activation bytes of a node's outputs. */
+double
+outBytes(const Node &n)
+{
+    double b = 0;
+    for (size_t i = 0; i < n.outShapes.size(); ++i)
+        b += static_cast<double>(n.outShapes[i].numel()) *
+             static_cast<double>(dtypeSize(n.outDtypes[i]));
+    return b;
+}
+
+double
+valueBytes(const Graph &g, const Value &v)
+{
+    return static_cast<double>(g.shapeOf(v).numel()) *
+           static_cast<double>(dtypeSize(g.dtypeOf(v)));
+}
+
+}  // namespace
+
+KernelGroup
+singletonGroup(const Graph &g, const Node &n)
+{
+    (void)g;
+    KernelGroup kg;
+    kg.nodeIds = {n.id};
+    kg.category = n.category();
+    kg.label = n.name;
+    kg.zeroCopy = n.cost.zeroCopy;
+    kg.kernelCount = static_cast<int>(n.attrs.getI("kernels", 1));
+    kg.bigKernels = static_cast<int>(
+        n.attrs.getI("big_kernels", kg.kernelCount));
+    kg.flops = n.cost.flops;
+    kg.bytesIn = n.cost.bytesIn;
+    kg.bytesOut = n.cost.bytesOut;
+    kg.bytesParam = n.cost.bytesParam;
+    kg.i8 = n.kind == OpKind::Int8Linear;
+    kg.hostSyncs = static_cast<int>(n.attrs.getI("syncs", 0));
+    return kg;
+}
+
+std::vector<KernelGroup>
+fuseGraph(const Graph &g, const FusionConfig &cfg, FusionStats *stats)
+{
+    std::vector<int> uses = g.useCounts();
+
+    // Map each value to its single consumer node id (or -1).
+    std::map<std::pair<int, int>, int> consumer;
+    for (const Node &n : g.nodes()) {
+        for (const Value &v : n.inputs) {
+            auto key = std::make_pair(v.node, v.index);
+            if (consumer.count(key))
+                consumer[key] = -2;  // multiple consumers
+            else
+                consumer[key] = n.id;
+        }
+    }
+    auto soleConsumer = [&](int node_id) -> const Node * {
+        const Node &n = g.node(node_id);
+        if (n.outShapes.size() != 1)
+            return nullptr;
+        if (uses[static_cast<size_t>(node_id)] != 1)
+            return nullptr;
+        auto it = consumer.find({node_id, 0});
+        if (it == consumer.end() || it->second < 0)
+            return nullptr;
+        return &g.node(it->second);
+    };
+
+    FusionStats st;
+    std::vector<bool> taken(g.size(), false);
+    std::vector<KernelGroup> groups;
+
+    for (const Node &n : g.nodes()) {
+        if (!isInputNode(n) && !n.isGemm())
+            ++st.totalNonGemm;
+    }
+
+    auto aggregate = [&](const std::vector<int> &ids) {
+        KernelGroup kg;
+        kg.nodeIds = ids;
+        kg.fused = ids.size() > 1;
+        kg.kernelCount = 1;
+        std::set<int> members(ids.begin(), ids.end());
+        double best_weight = -1;
+        bool has_gemm = false;
+        for (int id : ids) {
+            const Node &m = g.node(id);
+            kg.flops += m.cost.flops;
+            kg.bytesParam += m.cost.bytesParam;
+            kg.i8 = kg.i8 || m.kind == OpKind::Int8Linear;
+            if (m.isGemm())
+                has_gemm = true;
+            // External inputs only.
+            for (const Value &v : m.inputs) {
+                if (!members.count(v.node) &&
+                    !isInputNode(g.node(v.node)))
+                    kg.bytesIn += valueBytes(g, v);
+                else if (!members.count(v.node))
+                    kg.bytesIn += valueBytes(g, v);
+            }
+            double w = m.cost.flops + m.cost.bytesIn + m.cost.bytesOut;
+            if (!m.isGemm() && w > best_weight) {
+                best_weight = w;
+                kg.category = m.category();
+                kg.label = m.name;
+            }
+        }
+        // Outputs escaping the group.
+        int last = ids.back();
+        kg.bytesOut += outBytes(g.node(last));
+        if (has_gemm) {
+            kg.category = OpCategory::Gemm;
+            kg.label = g.node(ids.front()).name + "+fused";
+        }
+        return kg;
+    };
+
+    for (const Node &n : g.nodes()) {
+        if (taken[static_cast<size_t>(n.id)] || isInputNode(n))
+            continue;
+
+        std::vector<int> chain = {n.id};
+
+        if (cfg.fuseConvBnRelu && n.kind == OpKind::Conv2d) {
+            // CONV -> BN [-> ReLU] folding.
+            const Node *c = soleConsumer(n.id);
+            if (c && (c->kind == OpKind::BatchNorm2d ||
+                      c->kind == OpKind::FrozenBatchNorm2d ||
+                      c->kind == OpKind::GroupNorm)) {
+                chain.push_back(c->id);
+                const Node *r = soleConsumer(c->id);
+                if (r && (r->kind == OpKind::ReLU ||
+                          r->kind == OpKind::SiLU ||
+                          r->kind == OpKind::GELU))
+                    chain.push_back(r->id);
+            } else if (c && c->kind == OpKind::ReLU) {
+                chain.push_back(c->id);
+            }
+        } else if (cfg.fusePointwiseChains &&
+                   pointwiseFusible(n, cfg.fuseThroughLayout)) {
+            // Greedy point-wise chain extension.
+            int tail = n.id;
+            while (true) {
+                const Node *c = soleConsumer(tail);
+                if (!c || taken[static_cast<size_t>(c->id)])
+                    break;
+                if (!pointwiseFusible(*c, cfg.fuseThroughLayout))
+                    break;
+                // The chain tail must be the consumer's data producer;
+                // other inputs become external group inputs.
+                chain.push_back(c->id);
+                tail = c->id;
+            }
+            // Chains below the flow's profitability threshold stay
+            // unfused; a single zero-copy op stays zero-copy.
+            if (static_cast<int>(chain.size()) < cfg.minChainLen) {
+                chain.resize(1);
+            }
+            if (chain.size() == 1) {
+                KernelGroup kg = singletonGroup(g, n);
+                groups.push_back(kg);
+                taken[static_cast<size_t>(n.id)] = true;
+                ++st.groupsEmitted;
+                continue;
+            }
+        }
+
+        if (chain.size() > 1) {
+            for (int id : chain)
+                taken[static_cast<size_t>(id)] = true;
+            KernelGroup kg = aggregate(chain);
+            bool head_gemm = g.node(chain.front()).isGemm();
+            for (int id : chain) {
+                const Node &m = g.node(id);
+                if (!m.isGemm()) {
+                    ++st.fusedNonGemm;
+                    if (head_gemm)
+                        ++st.fusedWithGemm;
+                }
+            }
+            groups.push_back(std::move(kg));
+        } else {
+            taken[static_cast<size_t>(n.id)] = true;
+            groups.push_back(singletonGroup(g, n));
+        }
+        ++st.groupsEmitted;
+    }
+
+    if (stats)
+        *stats = st;
+    return groups;
+}
+
+}  // namespace ngb

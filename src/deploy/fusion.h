@@ -1,0 +1,79 @@
+#ifndef NGB_DEPLOY_FUSION_H
+#define NGB_DEPLOY_FUSION_H
+
+#include <vector>
+
+#include "platform/plan.h"
+
+namespace ngb {
+
+/**
+ * What a deployment flow's fusion pass is allowed to do.
+ */
+struct FusionConfig {
+    /**
+     * Fold BatchNorm (and a following ReLU) into a preceding Conv2d,
+     * the CONV+BN+RELU pattern the paper identifies as the reason
+     * TensorRT all but removes DETR's normalization latency.
+     */
+    bool fuseConvBnRelu = false;
+
+    /**
+     * Fuse chains of point-wise operators (element-wise arithmetic,
+     * activations, normalizations, softmax, Q/DQ) into one kernel.
+     */
+    bool fusePointwiseChains = false;
+
+    /**
+     * Allow zero-copy layout ops inside a chain (shuffle fusion);
+     * both studied flows break chains at layout boundaries by default.
+     */
+    bool fuseThroughLayout = false;
+
+    /**
+     * Minimum number of ops in a point-wise chain before it is worth
+     * compiling a fused kernel. TensorRT's documented pattern needs
+     * three consecutive point-wise operators (Section IV-B).
+     */
+    int minChainLen = 2;
+};
+
+/**
+ * Statistics of one fusion pass, matching Table V's metrics.
+ */
+struct FusionStats {
+    int64_t totalNonGemm = 0;  ///< non-GEMM nodes in the graph
+    int64_t fusedNonGemm = 0;  ///< non-GEMM nodes placed in fused groups
+    int64_t fusedWithGemm = 0; ///< non-GEMM nodes folded into GEMM kernels
+    int64_t groupsEmitted = 0;
+
+    /** Fraction of non-GEMM operators that were fused (Table V). */
+    double fusionRate() const
+    {
+        return totalNonGemm > 0
+                   ? static_cast<double>(fusedNonGemm) /
+                         static_cast<double>(totalNonGemm)
+                   : 0.0;
+    }
+};
+
+/**
+ * Pattern-based greedy fusion over a graph.
+ *
+ * Partitions every non-input node of @p g into kernel groups: fused
+ * multi-node groups where the config's patterns match (single-consumer
+ * chains only, so fusion never changes semantics) and singleton groups
+ * elsewhere. Group costs (flops, boundary bytes, params) are
+ * aggregated so that fusing removes the intermediate tensor traffic
+ * and all but one kernel launch — the two effects Section IV-B
+ * attributes TensorRT's speedups to.
+ */
+std::vector<KernelGroup> fuseGraph(const Graph &g, const FusionConfig &cfg,
+                                   FusionStats *stats = nullptr);
+
+/** Build a singleton kernel group for one node (no fusion). */
+KernelGroup singletonGroup(const Graph &g, const Node &n);
+
+}  // namespace ngb
+
+#endif  // NGB_DEPLOY_FUSION_H

@@ -1,0 +1,66 @@
+#ifndef NGB_GRAPH_ATTRS_H
+#define NGB_GRAPH_ATTRS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ngb {
+
+/**
+ * A small open-ended attribute bag for graph nodes (stride, padding,
+ * axis, eps, thresholds, ...). Attributes are written once by the
+ * GraphBuilder and read by the executor and the cost model.
+ */
+class Attrs
+{
+  public:
+    Attrs &set(const std::string &key, double v)
+    {
+        scalars_[key] = v;
+        return *this;
+    }
+
+    Attrs &setInts(const std::string &key, std::vector<int64_t> v)
+    {
+        int_lists_[key] = std::move(v);
+        return *this;
+    }
+
+    /** Fetch a scalar attribute, or @p def when absent. */
+    double getF(const std::string &key, double def = 0.0) const
+    {
+        auto it = scalars_.find(key);
+        return it == scalars_.end() ? def : it->second;
+    }
+
+    /** Fetch a scalar attribute as int64, or @p def when absent. */
+    int64_t getI(const std::string &key, int64_t def = 0) const
+    {
+        auto it = scalars_.find(key);
+        return it == scalars_.end() ? def
+                                    : static_cast<int64_t>(it->second);
+    }
+
+    /** Fetch an integer-list attribute; empty when absent. */
+    const std::vector<int64_t> &getInts(const std::string &key) const
+    {
+        static const std::vector<int64_t> kEmpty;
+        auto it = int_lists_.find(key);
+        return it == int_lists_.end() ? kEmpty : it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return scalars_.count(key) || int_lists_.count(key);
+    }
+
+  private:
+    std::map<std::string, double> scalars_;
+    std::map<std::string, std::vector<int64_t>> int_lists_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_ATTRS_H

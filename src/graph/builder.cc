@@ -1,0 +1,724 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/op_cost.h"
+
+namespace ngb {
+
+namespace {
+
+Shape
+broadcastShape(const Shape &a, const Shape &b)
+{
+    size_t r = std::max(a.rank(), b.rank());
+    std::vector<int64_t> out(r);
+    for (size_t i = 0; i < r; ++i) {
+        int64_t da = i < r - a.rank() ? 1 : a[i - (r - a.rank())];
+        int64_t db = i < r - b.rank() ? 1 : b[i - (r - b.rank())];
+        if (da != db && da != 1 && db != 1)
+            throw std::runtime_error("builder: broadcast mismatch " +
+                                     a.str() + " vs " + b.str());
+        out[i] = std::max(da, db);
+    }
+    return Shape(out);
+}
+
+int
+normDim(const Shape &s, int dim)
+{
+    int r = static_cast<int>(s.rank());
+    if (dim < 0)
+        dim += r;
+    if (dim < 0 || dim >= r)
+        throw std::runtime_error("builder: dim out of range");
+    return dim;
+}
+
+}  // namespace
+
+int
+GraphBuilder::add(Node n)
+{
+    if (n.name.empty())
+        n.name = opKindName(n.kind);
+    n.cost = computeOpCost(n, g_);
+    return g_.addNode(std::move(n));
+}
+
+Value
+GraphBuilder::input(const Shape &shape, DType dtype, const std::string &name)
+{
+    Node n;
+    n.kind = OpKind::View;  // placeholder kind; inputs cost nothing
+    n.name = name;
+    n.outShapes = {shape};
+    n.outDtypes = {dtype};
+    n.cost.zeroCopy = true;
+    int id = g_.addNode(std::move(n));
+    Value v{id, 0};
+    g_.markInput(v);
+    return v;
+}
+
+Value
+GraphBuilder::tokenInput(const Shape &shape, const std::string &name)
+{
+    return input(shape, DType::I32, name);
+}
+
+Value
+GraphBuilder::weight(const Shape &shape, const std::string &name)
+{
+    Node n;
+    n.kind = OpKind::View;
+    n.name = name;
+    n.outShapes = {shape};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {shape};
+    n.cost.zeroCopy = true;
+    int id = g_.addNode(std::move(n));
+    return {id, 0};
+}
+
+Value
+GraphBuilder::buffer(const Shape &shape, const std::string &name)
+{
+    Value v = weight(shape, name);
+    g_.node(v.node).attrs.set("buffer", 1);
+    return v;
+}
+
+Value
+GraphBuilder::unary(OpKind k, Value x, const std::string &name)
+{
+    Node n;
+    n.kind = k;
+    n.name = name;
+    n.inputs = {x};
+    n.outShapes = {shapeOf(x)};
+    n.outDtypes = {DType::F32};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::binary(OpKind k, Value a, Value b)
+{
+    Node n;
+    n.kind = k;
+    n.inputs = {a, b};
+    n.outShapes = {broadcastShape(shapeOf(a), shapeOf(b))};
+    n.outDtypes = {DType::F32};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::linear(Value x, int64_t out_features, bool bias,
+                     const std::string &name)
+{
+    const Shape &xs = shapeOf(x);
+    int64_t k = xs.dim(-1);
+    Node n;
+    n.kind = OpKind::Linear;
+    n.name = name;
+    n.inputs = {x};
+    std::vector<int64_t> dims = xs.dims();
+    dims.back() = out_features;
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{out_features, k}};
+    if (bias)
+        n.paramShapes.push_back(Shape{out_features});
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::int8Linear(Value x, int64_t out_features, bool bias,
+                         const std::string &name)
+{
+    const Shape &xs = shapeOf(x);
+    int64_t k = xs.dim(-1);
+    Node n;
+    n.kind = OpKind::Int8Linear;
+    n.name = name;
+    n.inputs = {x};
+    std::vector<int64_t> dims = xs.dims();
+    dims.back() = out_features;
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{out_features, k}};
+    n.paramDtype = DType::I8;
+    if (bias)
+        n.paramShapes.push_back(Shape{out_features});
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::conv2d(Value x, int64_t out_channels, int kernel, int stride,
+                     int padding, int groups, bool bias,
+                     const std::string &name)
+{
+    const Shape &xs = shapeOf(x);
+    if (xs.rank() != 4)
+        throw std::runtime_error("conv2d: NCHW input required");
+    int64_t c = xs[1];
+    int64_t oh = (xs[2] + 2 * padding - kernel) / stride + 1;
+    int64_t ow = (xs[3] + 2 * padding - kernel) / stride + 1;
+    Node n;
+    n.kind = OpKind::Conv2d;
+    n.name = name;
+    n.inputs = {x};
+    n.outShapes = {Shape{xs[0], out_channels, oh, ow}};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{out_channels, c / groups, kernel, kernel}};
+    if (bias)
+        n.paramShapes.push_back(Shape{out_channels});
+    n.attrs.set("kernel", kernel)
+        .set("stride", stride)
+        .set("padding", padding)
+        .set("groups", groups);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::bmm(Value a, Value b, const std::string &name)
+{
+    const Shape &as = shapeOf(a);
+    const Shape &bs = shapeOf(b);
+    if (as.rank() != 3 || bs.rank() != 3 || as[0] != bs[0] ||
+        as[2] != bs[1])
+        throw std::runtime_error("bmm: bad shapes " + as.str() + " x " +
+                                 bs.str());
+    Node n;
+    n.kind = OpKind::BMM;
+    n.name = name;
+    n.inputs = {a, b};
+    n.outShapes = {Shape{as[0], as[1], bs[2]}};
+    n.outDtypes = {DType::F32};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::matmul(Value a, Value b, const std::string &name)
+{
+    const Shape &as = shapeOf(a);
+    const Shape &bs = shapeOf(b);
+    if (as.rank() != 2 || bs.rank() != 2 || as[1] != bs[0])
+        throw std::runtime_error("matmul: bad shapes");
+    Node n;
+    n.kind = OpKind::MatMul;
+    n.name = name;
+    n.inputs = {a, b};
+    n.outShapes = {Shape{as[0], bs[1]}};
+    n.outDtypes = {DType::F32};
+    return {add(std::move(n)), 0};
+}
+
+Value GraphBuilder::relu(Value x) { return unary(OpKind::ReLU, x); }
+Value GraphBuilder::gelu(Value x) { return unary(OpKind::GELU, x); }
+Value GraphBuilder::silu(Value x) { return unary(OpKind::SiLU, x); }
+Value GraphBuilder::sigmoid(Value x) { return unary(OpKind::Sigmoid, x); }
+Value GraphBuilder::tanh(Value x) { return unary(OpKind::Tanh, x); }
+Value GraphBuilder::erf(Value x) { return unary(OpKind::Erf, x); }
+Value GraphBuilder::exp(Value x) { return unary(OpKind::Exp, x); }
+Value GraphBuilder::log(Value x) { return unary(OpKind::Log, x); }
+
+Value
+GraphBuilder::layerNorm(Value x, double eps)
+{
+    const Shape &xs = shapeOf(x);
+    int64_t d = xs.dim(-1);
+    Node n;
+    n.kind = OpKind::LayerNorm;
+    n.inputs = {x};
+    n.outShapes = {xs};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{d}, Shape{d}};
+    n.attrs.set("eps", eps).set("kernels", 2);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::batchNorm2d(Value x, bool frozen, double eps)
+{
+    const Shape &xs = shapeOf(x);
+    if (xs.rank() != 4)
+        throw std::runtime_error("batchNorm2d: NCHW input required");
+    int64_t c = xs[1];
+    Node n;
+    n.kind = frozen ? OpKind::FrozenBatchNorm2d : OpKind::BatchNorm2d;
+    n.inputs = {x};
+    n.outShapes = {xs};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{c}, Shape{c}, Shape{c}, Shape{c}};
+    n.attrs.set("eps", eps);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::rmsNorm(Value x, double eps)
+{
+    const Shape &xs = shapeOf(x);
+    Node n;
+    n.kind = OpKind::RMSNorm;
+    n.inputs = {x};
+    n.outShapes = {xs};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{xs.dim(-1)}};
+    n.attrs.set("eps", eps);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::groupNorm(Value x, int groups, double eps)
+{
+    const Shape &xs = shapeOf(x);
+    Node n;
+    n.kind = OpKind::GroupNorm;
+    n.inputs = {x};
+    n.outShapes = {xs};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{xs[1]}, Shape{xs[1]}};
+    n.attrs.set("eps", eps).set("groups", groups);
+    return {add(std::move(n)), 0};
+}
+
+Value GraphBuilder::add(Value a, Value b) { return binary(OpKind::Add, a, b); }
+Value GraphBuilder::sub(Value a, Value b) { return binary(OpKind::Sub, a, b); }
+Value GraphBuilder::mul(Value a, Value b) { return binary(OpKind::Mul, a, b); }
+Value GraphBuilder::div(Value a, Value b) { return binary(OpKind::Div, a, b); }
+Value GraphBuilder::neg(Value x) { return unary(OpKind::Neg, x); }
+Value GraphBuilder::sqrt(Value x) { return unary(OpKind::Sqrt, x); }
+
+Value
+GraphBuilder::powScalar(Value x, double e)
+{
+    Value v = unary(OpKind::Pow, x);
+    g_.node(v.node).attrs.set("exponent", e);
+    return v;
+}
+
+Value
+GraphBuilder::addScalar(Value x, double s)
+{
+    Value v = unary(OpKind::Add, x);
+    g_.node(v.node).attrs.set("scalar", s);
+    return v;
+}
+
+Value
+GraphBuilder::mulScalar(Value x, double s)
+{
+    Value v = unary(OpKind::Mul, x);
+    g_.node(v.node).attrs.set("scalar", s);
+    return v;
+}
+
+Value
+GraphBuilder::where(Value cond, Value a, Value b)
+{
+    Node n;
+    n.kind = OpKind::Where;
+    n.inputs = {cond, a, b};
+    n.outShapes = {broadcastShape(
+        broadcastShape(shapeOf(cond), shapeOf(a)), shapeOf(b))};
+    n.outDtypes = {DType::F32};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::softmax(Value x, int dim)
+{
+    Value v = unary(OpKind::Softmax, x);
+    g_.node(v.node).attrs.set("dim", normDim(shapeOf(x), dim));
+    return v;
+}
+
+Value
+GraphBuilder::logSoftmax(Value x, int dim)
+{
+    Value v = unary(OpKind::LogSoftmax, x);
+    g_.node(v.node).attrs.set("dim", normDim(shapeOf(x), dim));
+    return v;
+}
+
+Value
+GraphBuilder::reshape(Value x, const Shape &shape)
+{
+    if (shape.numel() != shapeOf(x).numel())
+        throw std::runtime_error("reshape: numel mismatch " +
+                                 shapeOf(x).str() + " -> " + shape.str());
+    Node n;
+    n.kind = OpKind::Reshape;
+    n.inputs = {x};
+    n.outShapes = {shape};
+    n.outDtypes = {g_.dtypeOf(x)};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::view(Value x, const Shape &shape)
+{
+    if (shape.numel() != shapeOf(x).numel())
+        throw std::runtime_error("view: numel mismatch");
+    Node n;
+    n.kind = OpKind::View;
+    n.inputs = {x};
+    n.outShapes = {shape};
+    n.outDtypes = {g_.dtypeOf(x)};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::permute(Value x, const std::vector<int64_t> &order)
+{
+    const Shape &xs = shapeOf(x);
+    if (order.size() != xs.rank())
+        throw std::runtime_error("permute: order rank mismatch");
+    std::vector<int64_t> dims(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        dims[i] = xs[static_cast<size_t>(order[i])];
+    Node n;
+    n.kind = OpKind::Permute;
+    n.inputs = {x};
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {g_.dtypeOf(x)};
+    n.attrs.setInts("order", order);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::transpose(Value x, int d0, int d1)
+{
+    const Shape &xs = shapeOf(x);
+    d0 = normDim(xs, d0);
+    d1 = normDim(xs, d1);
+    std::vector<int64_t> dims = xs.dims();
+    std::swap(dims[static_cast<size_t>(d0)], dims[static_cast<size_t>(d1)]);
+    Node n;
+    n.kind = OpKind::Transpose;
+    n.inputs = {x};
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {g_.dtypeOf(x)};
+    n.attrs.set("d0", d0).set("d1", d1);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::contiguous(Value x)
+{
+    Node n;
+    n.kind = OpKind::Contiguous;
+    n.inputs = {x};
+    n.outShapes = {shapeOf(x)};
+    n.outDtypes = {g_.dtypeOf(x)};
+    return {add(std::move(n)), 0};
+}
+
+std::vector<Value>
+GraphBuilder::split(Value x, int64_t size, int dim)
+{
+    const Shape &xs = shapeOf(x);
+    dim = normDim(xs, dim);
+    int64_t extent = xs[static_cast<size_t>(dim)];
+    Node n;
+    n.kind = OpKind::Split;
+    n.inputs = {x};
+    for (int64_t off = 0; off < extent; off += size) {
+        std::vector<int64_t> dims = xs.dims();
+        dims[static_cast<size_t>(dim)] = std::min(size, extent - off);
+        n.outShapes.push_back(Shape(dims));
+        n.outDtypes.push_back(g_.dtypeOf(x));
+    }
+    n.attrs.set("size", static_cast<double>(size)).set("dim", dim);
+    int id = add(std::move(n));
+    std::vector<Value> outs;
+    for (size_t i = 0; i < g_.node(id).outShapes.size(); ++i)
+        outs.push_back({id, static_cast<int>(i)});
+    return outs;
+}
+
+Value
+GraphBuilder::concat(const std::vector<Value> &xs, int dim)
+{
+    if (xs.empty())
+        throw std::runtime_error("concat: empty list");
+    const Shape &s0 = shapeOf(xs[0]);
+    dim = normDim(s0, dim);
+    std::vector<int64_t> dims = s0.dims();
+    int64_t total = 0;
+    for (const Value &v : xs)
+        total += shapeOf(v)[static_cast<size_t>(dim)];
+    dims[static_cast<size_t>(dim)] = total;
+    Node n;
+    n.kind = OpKind::Concat;
+    n.inputs = xs;
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {g_.dtypeOf(xs[0])};
+    n.attrs.set("dim", dim);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::slice(Value x, int dim, int64_t start, int64_t len)
+{
+    const Shape &xs = shapeOf(x);
+    dim = normDim(xs, dim);
+    std::vector<int64_t> dims = xs.dims();
+    dims[static_cast<size_t>(dim)] = len;
+    Node n;
+    n.kind = OpKind::Slice;
+    n.inputs = {x};
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {g_.dtypeOf(x)};
+    n.attrs.set("dim", dim).set("start", static_cast<double>(start));
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::expand(Value x, const Shape &shape)
+{
+    Node n;
+    n.kind = OpKind::Expand;
+    n.inputs = {x};
+    n.outShapes = {shape};
+    n.outDtypes = {g_.dtypeOf(x)};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::squeeze(Value x, int dim)
+{
+    const Shape &xs = shapeOf(x);
+    dim = normDim(xs, dim);
+    std::vector<int64_t> dims = xs.dims();
+    dims.erase(dims.begin() + dim);
+    Node n;
+    n.kind = OpKind::Squeeze;
+    n.inputs = {x};
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {g_.dtypeOf(x)};
+    n.attrs.set("dim", dim);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::unsqueeze(Value x, int dim)
+{
+    const Shape &xs = shapeOf(x);
+    int r = static_cast<int>(xs.rank());
+    if (dim < 0)
+        dim += r + 1;
+    std::vector<int64_t> dims = xs.dims();
+    dims.insert(dims.begin() + dim, 1);
+    Node n;
+    n.kind = OpKind::Unsqueeze;
+    n.inputs = {x};
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {g_.dtypeOf(x)};
+    n.attrs.set("dim", dim);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::roll(Value x, int64_t shift, int dim)
+{
+    const Shape &xs = shapeOf(x);
+    dim = normDim(xs, dim);
+    Node n;
+    n.kind = OpKind::Roll;
+    n.inputs = {x};
+    n.outShapes = {xs};
+    n.outDtypes = {g_.dtypeOf(x)};
+    n.attrs.set("shift", static_cast<double>(shift)).set("dim", dim);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::pad(Value x, int dim, int64_t before, int64_t after)
+{
+    const Shape &xs = shapeOf(x);
+    dim = normDim(xs, dim);
+    std::vector<int64_t> dims = xs.dims();
+    dims[static_cast<size_t>(dim)] += before + after;
+    Node n;
+    n.kind = OpKind::Pad;
+    n.inputs = {x};
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {g_.dtypeOf(x)};
+    n.attrs.set("dim", dim)
+        .set("before", static_cast<double>(before))
+        .set("after", static_cast<double>(after));
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::nms(Value boxes, Value scores, double iou_threshold,
+                  double score_threshold, int64_t expected_keep)
+{
+    Node n;
+    n.kind = OpKind::NMS;
+    n.inputs = {boxes, scores};
+    n.outShapes = {Shape{expected_keep}};
+    n.outDtypes = {DType::I32};
+    n.attrs.set("iou_threshold", iou_threshold)
+        .set("score_threshold", score_threshold)
+        .set("expected_keep", static_cast<double>(expected_keep));
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::roiAlign(Value feat, Value rois, int out_h, int out_w)
+{
+    const Shape &fs = shapeOf(feat);
+    const Shape &rs = shapeOf(rois);
+    Node n;
+    n.kind = OpKind::RoIAlign;
+    n.inputs = {feat, rois};
+    n.outShapes = {Shape{rs[0], fs[1], out_h, out_w}};
+    n.outDtypes = {DType::F32};
+    n.attrs.set("out_h", out_h).set("out_w", out_w);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::interpolate(Value x, int out_h, int out_w)
+{
+    const Shape &xs = shapeOf(x);
+    Node n;
+    n.kind = OpKind::Interpolate;
+    n.inputs = {x};
+    n.outShapes = {Shape{xs[0], xs[1], out_h, out_w}};
+    n.outDtypes = {DType::F32};
+    n.attrs.set("out_h", out_h).set("out_w", out_w);
+    return {add(std::move(n)), 0};
+}
+
+namespace {
+
+Shape
+poolOutShape(const Shape &xs, int kernel, int stride, int padding)
+{
+    int64_t oh = (xs[2] + 2 * padding - kernel) / stride + 1;
+    int64_t ow = (xs[3] + 2 * padding - kernel) / stride + 1;
+    return Shape{xs[0], xs[1], oh, ow};
+}
+
+}  // namespace
+
+Value
+GraphBuilder::maxPool2d(Value x, int kernel, int stride, int padding)
+{
+    Node n;
+    n.kind = OpKind::MaxPool2d;
+    n.inputs = {x};
+    n.outShapes = {poolOutShape(shapeOf(x), kernel, stride, padding)};
+    n.outDtypes = {DType::F32};
+    n.attrs.set("kernel", kernel).set("stride", stride).set("padding",
+                                                            padding);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::avgPool2d(Value x, int kernel, int stride, int padding)
+{
+    Node n;
+    n.kind = OpKind::AvgPool2d;
+    n.inputs = {x};
+    n.outShapes = {poolOutShape(shapeOf(x), kernel, stride, padding)};
+    n.outDtypes = {DType::F32};
+    n.attrs.set("kernel", kernel).set("stride", stride).set("padding",
+                                                            padding);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::adaptiveAvgPool2d(Value x, int out_h, int out_w)
+{
+    const Shape &xs = shapeOf(x);
+    Node n;
+    n.kind = OpKind::AdaptiveAvgPool2d;
+    n.inputs = {x};
+    n.outShapes = {Shape{xs[0], xs[1], out_h, out_w}};
+    n.outDtypes = {DType::F32};
+    n.attrs.set("out_h", out_h).set("out_w", out_w);
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::embedding(Value ids, int64_t vocab, int64_t dim,
+                        const std::string &name)
+{
+    const Shape &is = shapeOf(ids);
+    std::vector<int64_t> dims = is.dims();
+    dims.push_back(dim);
+    Node n;
+    n.kind = OpKind::Embedding;
+    n.name = name;
+    n.inputs = {ids};
+    n.outShapes = {Shape(dims)};
+    n.outDtypes = {DType::F32};
+    n.paramShapes = {Shape{vocab, dim}};
+    return {add(std::move(n)), 0};
+}
+
+std::pair<Value, Value>
+GraphBuilder::topk(Value x, int k)
+{
+    const Shape &xs = shapeOf(x);
+    std::vector<int64_t> dims = xs.dims();
+    dims.back() = k;
+    Node n;
+    n.kind = OpKind::TopK;
+    n.inputs = {x};
+    n.outShapes = {Shape(dims), Shape(dims)};
+    n.outDtypes = {DType::F32, DType::I32};
+    n.attrs.set("k", k);
+    int id = add(std::move(n));
+    return {{id, 0}, {id, 1}};
+}
+
+Value
+GraphBuilder::gather(Value x, int dim, Value index)
+{
+    Node n;
+    n.kind = OpKind::Gather;
+    n.inputs = {x, index};
+    n.outShapes = {shapeOf(index)};
+    n.outDtypes = {DType::F32};
+    n.attrs.set("dim", normDim(shapeOf(x), dim));
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::cumsum(Value x, int dim)
+{
+    Value v = unary(OpKind::CumSum, x);
+    g_.node(v.node).attrs.set("dim", normDim(shapeOf(x), dim));
+    return v;
+}
+
+Value
+GraphBuilder::quantize(Value x)
+{
+    Node n;
+    n.kind = OpKind::Quantize;
+    n.inputs = {x};
+    n.outShapes = {shapeOf(x)};
+    n.outDtypes = {DType::I8};
+    return {add(std::move(n)), 0};
+}
+
+Value
+GraphBuilder::dequantize(Value x)
+{
+    Node n;
+    n.kind = OpKind::Dequantize;
+    n.inputs = {x};
+    n.outShapes = {shapeOf(x)};
+    n.outDtypes = {DType::F32};
+    return {add(std::move(n)), 0};
+}
+
+}  // namespace ngb

@@ -1,0 +1,154 @@
+#ifndef NGB_GRAPH_BUILDER_H
+#define NGB_GRAPH_BUILDER_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/**
+ * Ergonomic construction of operator graphs with inline shape
+ * inference. Each method appends one node, computes its output
+ * shape(s) and resource cost, and returns a Value handle.
+ *
+ * The model zoo (src/models) is written entirely against this API.
+ */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(Graph &g) : g_(g) {}
+
+    /** Declare a graph input of the given shape/dtype. */
+    Value input(const Shape &shape, DType dtype = DType::F32,
+                const std::string &name = "input");
+
+    /** Mark a value as a graph output. */
+    void output(Value v) { g_.markOutput(v); }
+
+    /**
+     * A learned constant tensor (position embeddings, class tokens,
+     * anchor tables). Costs nothing at run time — it lives in device
+     * memory like any other parameter — and is materialized from the
+     * ParamStore during concrete execution.
+     */
+    Value weight(const Shape &shape, const std::string &name = "weight");
+
+    /**
+     * Like weight(), but for a runtime-derived constant (anchor grids,
+     * RoI lists, routing indices) that is not a learned parameter and
+     * is excluded from the model's parameter count.
+     */
+    Value buffer(const Shape &shape, const std::string &name = "buffer");
+
+    // ----- GEMM operators -----------------------------------------------
+
+    /** nn.Linear: x[..,K] -> [..,out_features]. */
+    Value linear(Value x, int64_t out_features, bool bias = true,
+                 const std::string &name = "linear");
+    /** Quantized linear (int8 weights/activations, fp32 out). */
+    Value int8Linear(Value x, int64_t out_features, bool bias = true,
+                     const std::string &name = "int8_linear");
+    Value conv2d(Value x, int64_t out_channels, int kernel, int stride,
+                 int padding, int groups = 1, bool bias = true,
+                 const std::string &name = "conv2d");
+    Value bmm(Value a, Value b, const std::string &name = "bmm");
+    Value matmul(Value a, Value b, const std::string &name = "matmul");
+
+    // ----- Activations ----------------------------------------------------
+
+    Value relu(Value x);
+    Value gelu(Value x);
+    Value silu(Value x);
+    Value sigmoid(Value x);
+    Value tanh(Value x);
+    Value erf(Value x);
+    Value exp(Value x);
+    Value log(Value x);
+
+    // ----- Normalization ---------------------------------------------------
+
+    Value layerNorm(Value x, double eps = 1e-5);
+    Value batchNorm2d(Value x, bool frozen = false, double eps = 1e-5);
+    Value rmsNorm(Value x, double eps = 1e-6);
+    Value groupNorm(Value x, int groups, double eps = 1e-5);
+
+    // ----- Element-wise -----------------------------------------------------
+
+    Value add(Value a, Value b);
+    Value sub(Value a, Value b);
+    Value mul(Value a, Value b);
+    Value div(Value a, Value b);
+    Value neg(Value x);
+    Value sqrt(Value x);
+    Value powScalar(Value x, double e);
+    Value addScalar(Value x, double s);
+    Value mulScalar(Value x, double s);
+    Value where(Value cond, Value a, Value b);
+
+    // ----- Logit ------------------------------------------------------------
+
+    Value softmax(Value x, int dim = -1);
+    Value logSoftmax(Value x, int dim = -1);
+
+    // ----- Memory operators --------------------------------------------------
+
+    Value reshape(Value x, const Shape &shape);
+    Value view(Value x, const Shape &shape);
+    Value permute(Value x, const std::vector<int64_t> &order);
+    Value transpose(Value x, int d0, int d1);
+    Value contiguous(Value x);
+    std::vector<Value> split(Value x, int64_t size, int dim);
+    Value concat(const std::vector<Value> &xs, int dim);
+    Value slice(Value x, int dim, int64_t start, int64_t len);
+    Value expand(Value x, const Shape &shape);
+    Value squeeze(Value x, int dim);
+    Value unsqueeze(Value x, int dim);
+    Value roll(Value x, int64_t shift, int dim);
+    /** Zero-pad @p dim (F.pad); a real copy kernel. */
+    Value pad(Value x, int dim, int64_t before, int64_t after);
+
+    // ----- RoI / interpolation / pooling -------------------------------------
+
+    /**
+     * NMS over @p boxes [N,4] with @p scores [N]. Graph-level shape
+     * inference is static, so @p expected_keep fixes the output size
+     * (dynamic behaviour is a defining non-GEMM property, Section II).
+     */
+    Value nms(Value boxes, Value scores, double iou_threshold,
+              double score_threshold, int64_t expected_keep);
+    Value roiAlign(Value feat, Value rois, int out_h, int out_w);
+    Value interpolate(Value x, int out_h, int out_w);
+    Value maxPool2d(Value x, int kernel, int stride, int padding);
+    Value avgPool2d(Value x, int kernel, int stride, int padding);
+    Value adaptiveAvgPool2d(Value x, int out_h, int out_w);
+
+    // ----- Embedding / indexing / quant ----------------------------------------
+
+    /** Token-id input of the given shape (I32). */
+    Value tokenInput(const Shape &shape,
+                     const std::string &name = "token_ids");
+    Value embedding(Value ids, int64_t vocab, int64_t dim,
+                    const std::string &name = "embedding");
+    std::pair<Value, Value> topk(Value x, int k);
+    Value gather(Value x, int dim, Value index);
+    Value cumsum(Value x, int dim);
+    Value quantize(Value x);
+    Value dequantize(Value x);
+
+    Graph &graph() { return g_; }
+
+  private:
+    int add(Node n);
+    Value unary(OpKind k, Value x, const std::string &name = "");
+    Value binary(OpKind k, Value a, Value b);
+    const Shape &shapeOf(Value v) const { return g_.shapeOf(v); }
+
+    Graph &g_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_BUILDER_H

@@ -1,0 +1,96 @@
+#include "graph/dot_export.h"
+
+#include <map>
+
+namespace ngb {
+
+namespace {
+
+const char *
+dotColor(OpCategory c)
+{
+    switch (c) {
+      case OpCategory::Gemm: return "#aec7e8";
+      case OpCategory::Activation: return "#ffbb78";
+      case OpCategory::Normalization: return "#98df8a";
+      case OpCategory::Memory: return "#ff9896";
+      case OpCategory::ElementWise: return "#c5b0d5";
+      case OpCategory::LogitCompute: return "#c49c94";
+      case OpCategory::RoiSelection: return "#f7b6d2";
+      case OpCategory::Interpolation: return "#c7c7c7";
+      case OpCategory::Embedding: return "#dbdb8d";
+      case OpCategory::QDQ: return "#9edae5";
+      case OpCategory::Misc: return "#ededed";
+    }
+    return "#ffffff";
+}
+
+std::string
+escapeLabel(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+writeDot(const Graph &g, const DotOptions &opts, std::ostream &os)
+{
+    os << "digraph \"" << escapeLabel(g.name()) << "\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box, style=filled, "
+          "fontname=\"sans-serif\", fontsize=10];\n";
+
+    size_t emitted = 0;
+    std::vector<bool> shown(g.size(), false);
+    for (const Node &n : g.nodes()) {
+        if (emitted >= opts.maxNodes)
+            break;
+        if (opts.hideZeroCopy && n.cost.zeroCopy && !n.inputs.empty())
+            continue;
+        shown[static_cast<size_t>(n.id)] = true;
+        ++emitted;
+        std::string label = n.inputs.empty()
+                                ? (n.paramShapes.empty() ? "input"
+                                                         : "weight")
+                                : opKindName(n.kind);
+        os << "  n" << n.id << " [label=\"" << escapeLabel(label);
+        if (!n.name.empty() && n.name != label)
+            os << "\\n" << escapeLabel(n.name);
+        os << "\", fillcolor=\"" << dotColor(n.category()) << "\"];\n";
+    }
+
+    // Edges, skipping through hidden zero-copy chains.
+    auto resolve = [&](Value v) {
+        while (v.valid() && !shown[static_cast<size_t>(v.node)]) {
+            const Node &src = g.node(v.node);
+            if (src.inputs.empty())
+                return Value{-1, 0};
+            v = src.inputs[0];
+        }
+        return v;
+    };
+    for (const Node &n : g.nodes()) {
+        if (!shown[static_cast<size_t>(n.id)])
+            continue;
+        for (const Value &raw : n.inputs) {
+            Value v = resolve(raw);
+            if (!v.valid())
+                continue;
+            os << "  n" << v.node << " -> n" << n.id;
+            if (opts.shapesOnEdges)
+                os << " [label=\""
+                   << escapeLabel(g.shapeOf(raw).str()) << "\", "
+                   << "fontsize=8]";
+            os << ";\n";
+        }
+    }
+    os << "}\n";
+}
+
+}  // namespace ngb

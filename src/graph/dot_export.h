@@ -1,0 +1,28 @@
+#ifndef NGB_GRAPH_DOT_EXPORT_H
+#define NGB_GRAPH_DOT_EXPORT_H
+
+#include <ostream>
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/**
+ * Graphviz DOT rendering of an operator graph, matching the
+ * operator-graph view of the NonGEMM Bench flow (Figure 4). Nodes are
+ * colored by operator category; edges are labeled with tensor shapes.
+ * Intended for small graphs (test-scale models, custom blocks) —
+ * paper-scale graphs render but are large.
+ */
+struct DotOptions {
+    bool shapesOnEdges = true;
+    /** Hide zero-copy layout ops to declutter (their chains collapse). */
+    bool hideZeroCopy = false;
+    size_t maxNodes = 4096;
+};
+
+void writeDot(const Graph &g, const DotOptions &opts, std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_DOT_EXPORT_H

@@ -1,0 +1,68 @@
+#ifndef NGB_GRAPH_EXECUTOR_H
+#define NGB_GRAPH_EXECUTOR_H
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace ngb {
+
+/**
+ * Deterministic synthetic parameters for a graph's operators.
+ *
+ * Weight values never affect the paper's metric (latency share), but
+ * concrete execution needs sane parameters: normalization scales are
+ * ones, shifts/means are zeros, variances are ones, and projection
+ * weights are seeded Gaussians so results are reproducible.
+ */
+class ParamStore
+{
+  public:
+    explicit ParamStore(uint64_t seed = 0x5eed) : seed_(seed) {}
+
+    /** Materialize (and cache) parameter @p index of node @p n. */
+    const Tensor &get(const Node &n, size_t index);
+
+  private:
+    uint64_t seed_;
+    std::map<std::pair<int, size_t>, Tensor> cache_;
+};
+
+/**
+ * Concrete reference execution of a graph on the host CPU.
+ *
+ * Executes nodes in topological order using the kernels in src/ops.
+ * This is the functional half of the framework: tests use it to verify
+ * operator and graph semantics (e.g. that quantization rewrites
+ * preserve accuracy bounds), while timing comes from the platform
+ * cost model instead of wall-clock.
+ */
+class Executor
+{
+  public:
+    explicit Executor(const Graph &g) : g_(g), params_(0x5eed) {}
+
+    /**
+     * Run the graph on @p inputs (one tensor per graph input, in
+     * order). Returns the tensors for the graph outputs.
+     */
+    std::vector<Tensor> run(const std::vector<Tensor> &inputs);
+
+    /** Tensor produced for @p v during the last run(). */
+    const Tensor &valueOf(Value v) const;
+
+    ParamStore &params() { return params_; }
+
+  private:
+    Tensor execNode(const Node &n);
+
+    const Graph &g_;
+    ParamStore params_;
+    std::map<std::pair<int, int>, Tensor> results_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_EXECUTOR_H

@@ -1,0 +1,54 @@
+#include "graph/graph.h"
+
+namespace ngb {
+
+int
+Graph::addNode(Node n)
+{
+    n.id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+GraphStats
+Graph::stats() const
+{
+    GraphStats s;
+    for (const Node &n : nodes_) {
+        if (n.inputs.empty()) {
+            // Graph inputs and weight/buffer placeholders are not
+            // executed operators; only their parameters count.
+            if (!n.attrs.has("buffer"))
+                s.totalParams += n.paramCount();
+            continue;
+        }
+        ++s.numOps;
+        if (n.isGemm()) {
+            ++s.numGemmOps;
+            s.gemmFlops += n.cost.flops;
+        } else {
+            ++s.numNonGemmOps;
+        }
+        s.totalFlops += n.cost.flops;
+        if (!n.attrs.has("buffer"))
+            s.totalParams += n.paramCount();
+        ++s.opsByCategory[n.category()];
+    }
+    return s;
+}
+
+std::vector<int>
+Graph::useCounts() const
+{
+    std::vector<int> uses(nodes_.size(), 0);
+    for (const Node &n : nodes_)
+        for (const Value &v : n.inputs)
+            if (v.valid())
+                ++uses[static_cast<size_t>(v.node)];
+    for (const Value &v : outputs_)
+        if (v.valid())
+            ++uses[static_cast<size_t>(v.node)];
+    return uses;
+}
+
+}  // namespace ngb

@@ -1,0 +1,77 @@
+#ifndef NGB_GRAPH_GRAPH_H
+#define NGB_GRAPH_GRAPH_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+
+namespace ngb {
+
+/**
+ * Aggregate statistics over a graph, used by the workload report.
+ */
+struct GraphStats {
+    int64_t numOps = 0;
+    int64_t numGemmOps = 0;
+    int64_t numNonGemmOps = 0;
+    double totalFlops = 0;
+    double gemmFlops = 0;
+    int64_t totalParams = 0;
+    std::map<OpCategory, int64_t> opsByCategory;
+};
+
+/**
+ * An operator graph for one model at fixed input shapes.
+ *
+ * Nodes are stored in topological (construction) order: every node's
+ * inputs refer to nodes with smaller ids, which both the executor and
+ * the deployment-flow rewriters rely on.
+ */
+class Graph
+{
+  public:
+    /** Append a node; fills in its id and returns it. */
+    int addNode(Node n);
+
+    const Node &node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+    Node &node(int id) { return nodes_[static_cast<size_t>(id)]; }
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    size_t size() const { return nodes_.size(); }
+
+    const Shape &shapeOf(Value v) const
+    {
+        return node(v.node).outShapes[static_cast<size_t>(v.index)];
+    }
+
+    DType dtypeOf(Value v) const
+    {
+        return node(v.node).outDtypes[static_cast<size_t>(v.index)];
+    }
+
+    void markInput(Value v) { inputs_.push_back(v); }
+    void markOutput(Value v) { outputs_.push_back(v); }
+    const std::vector<Value> &graphInputs() const { return inputs_; }
+    const std::vector<Value> &graphOutputs() const { return outputs_; }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Compute workload statistics (op counts, FLOPs, params). */
+    GraphStats stats() const;
+
+    /** Number of uses of each node's outputs, indexed by node id. */
+    std::vector<int> useCounts() const;
+
+  private:
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<Value> inputs_;
+    std::vector<Value> outputs_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_GRAPH_H

@@ -1,0 +1,90 @@
+#ifndef NGB_GRAPH_NODE_H
+#define NGB_GRAPH_NODE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/attrs.h"
+#include "ops/op_types.h"
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace ngb {
+
+/** A reference to one output of a node. */
+struct Value {
+    int node = -1;
+    int index = 0;
+
+    bool valid() const { return node >= 0; }
+    bool operator==(const Value &o) const
+    {
+        return node == o.node && index == o.index;
+    }
+};
+
+/**
+ * Resource demand of one operator instance, in device-independent
+ * units. Filled in at graph-construction time from the operator's
+ * shapes and attributes; the platform cost model turns these into
+ * seconds for a particular device.
+ */
+struct OpCost {
+    double flops = 0;        ///< arithmetic operations
+    double bytesIn = 0;      ///< activation bytes read
+    double bytesOut = 0;     ///< activation bytes written
+    double bytesParam = 0;   ///< parameter bytes read
+    bool zeroCopy = false;   ///< metadata-only layout change, no kernel
+
+    double totalBytes() const { return bytesIn + bytesOut + bytesParam; }
+};
+
+/**
+ * One operator instance in a model graph.
+ */
+struct Node {
+    int id = -1;
+    OpKind kind = OpKind::Add;
+    std::string name;
+
+    std::vector<Value> inputs;
+    std::vector<Shape> outShapes;
+    std::vector<DType> outDtypes;
+
+    /** Shapes of this operator's learned parameters, if any. */
+    std::vector<Shape> paramShapes;
+    DType paramDtype = DType::F32;
+
+    Attrs attrs;
+    OpCost cost;
+
+    /**
+     * For Fused nodes: the operator kinds folded into this kernel and
+     * the category the resulting latency is attributed to (a fused
+     * group containing a GEMM op is attributed to GEMM; a pure
+     * non-GEMM chain is attributed to its dominant member).
+     */
+    std::vector<OpKind> fusedKinds;
+    OpCategory attributedCategory = OpCategory::Misc;
+
+    /** Attribution group for latency accounting. */
+    OpCategory category() const
+    {
+        return kind == OpKind::Fused ? attributedCategory
+                                     : opCategoryOf(kind);
+    }
+
+    bool isGemm() const { return category() == OpCategory::Gemm; }
+
+    int64_t paramCount() const
+    {
+        int64_t n = 0;
+        for (const Shape &s : paramShapes)
+            n += s.numel();
+        return n;
+    }
+};
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_NODE_H

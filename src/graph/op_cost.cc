@@ -1,0 +1,195 @@
+#include "graph/op_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ngb {
+
+namespace {
+
+double
+shapeBytes(const Shape &s, DType t)
+{
+    return static_cast<double>(s.numel()) *
+           static_cast<double>(dtypeSize(t));
+}
+
+/** Approximate flops per element for element-wise functions. */
+double
+elemwiseFlopsPerElement(OpKind k)
+{
+    switch (k) {
+      case OpKind::ReLU: return 1;
+      case OpKind::GELU: return 10;  // erf-based CDF
+      case OpKind::SiLU: return 6;   // exp + div
+      case OpKind::Sigmoid: return 5;
+      case OpKind::Tanh: return 7;
+      case OpKind::Erf: return 8;
+      case OpKind::Exp: return 4;
+      case OpKind::Log: return 4;
+      case OpKind::Sqrt: return 2;
+      case OpKind::Pow: return 8;
+      case OpKind::Where: return 1;
+      case OpKind::Quantize: return 3;   // scale + round + clamp
+      case OpKind::Dequantize: return 2; // scale + widen
+      default: return 1;  // add/sub/mul/div/neg
+    }
+}
+
+}  // namespace
+
+OpCost
+computeOpCost(const Node &n, const Graph &g)
+{
+    OpCost c;
+
+    double in_bytes = 0;
+    for (const Value &v : n.inputs)
+        if (v.valid())
+            in_bytes += shapeBytes(g.shapeOf(v), g.dtypeOf(v));
+    double out_elems = 0;
+    double out_bytes = 0;
+    for (size_t i = 0; i < n.outShapes.size(); ++i) {
+        out_elems += static_cast<double>(n.outShapes[i].numel());
+        out_bytes += shapeBytes(n.outShapes[i], n.outDtypes[i]);
+    }
+    double param_bytes = 0;
+    for (const Shape &s : n.paramShapes)
+        param_bytes += shapeBytes(s, n.paramDtype);
+
+    c.bytesIn = in_bytes;
+    c.bytesOut = out_bytes;
+    c.bytesParam = param_bytes;
+
+    switch (n.kind) {
+      case OpKind::Linear:
+      case OpKind::Int8Linear: {
+        // x: [.., K], w: [N, K]
+        const Shape &x = g.shapeOf(n.inputs[0]);
+        int64_t k = x.dim(-1);
+        int64_t m = x.numel() / k;
+        int64_t nn = n.paramShapes[0][0];
+        c.flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                  static_cast<double>(nn);
+        break;
+      }
+      case OpKind::Conv2d: {
+        // out: [N, F, OH, OW]; w: [F, C/g, R, S]
+        const Shape &o = n.outShapes[0];
+        const Shape &w = n.paramShapes[0];
+        c.flops = 2.0 * static_cast<double>(o.numel()) *
+                  static_cast<double>(w[1] * w[2] * w[3]);
+        break;
+      }
+      case OpKind::BMM: {
+        const Shape &a = g.shapeOf(n.inputs[0]);
+        const Shape &b = g.shapeOf(n.inputs[1]);
+        c.flops = 2.0 * static_cast<double>(a[0] * a[1] * a[2] * b[2]);
+        break;
+      }
+      case OpKind::MatMul: {
+        const Shape &a = g.shapeOf(n.inputs[0]);
+        const Shape &b = g.shapeOf(n.inputs[1]);
+        c.flops = 2.0 * static_cast<double>(a[0] * a[1] * b[1]);
+        break;
+      }
+
+      case OpKind::LayerNorm:
+      case OpKind::GroupNorm:
+        c.flops = 8.0 * out_elems;  // mean, var, normalize, affine
+        break;
+      case OpKind::RMSNorm:
+        c.flops = 5.0 * out_elems;  // no mean subtraction
+        break;
+      case OpKind::BatchNorm2d:
+      case OpKind::FrozenBatchNorm2d:
+        c.flops = 2.0 * out_elems;  // folded scale + shift
+        break;
+
+      case OpKind::Softmax:
+      case OpKind::LogSoftmax:
+        c.flops = 6.0 * out_elems;  // max, exp, sum, div
+        break;
+
+      case OpKind::NMS: {
+        // Sort + pairwise IoU on the candidate set (Figure 2 (a)).
+        const Shape &boxes = g.shapeOf(n.inputs[0]);
+        double nb = static_cast<double>(boxes[0]);
+        double kept = static_cast<double>(
+            n.attrs.getI("expected_keep", boxes[0]));
+        c.flops = nb * std::log2(std::max(nb, 2.0)) * 4.0 +
+                  kept * nb * 16.0;
+        break;
+      }
+      case OpKind::RoIAlign:
+        c.flops = 14.0 * out_elems;  // 4-tap bilinear sample per output
+        break;
+      case OpKind::Interpolate:
+        c.flops = 12.0 * out_elems;
+        break;
+
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d: {
+        int64_t kk = n.attrs.getI("kernel", 1);
+        c.flops = out_elems * static_cast<double>(kk * kk);
+        break;
+      }
+      case OpKind::AdaptiveAvgPool2d: {
+        const Shape &x = g.shapeOf(n.inputs[0]);
+        c.flops = static_cast<double>(x.numel());
+        break;
+      }
+
+      case OpKind::Embedding:
+      case OpKind::Gather:
+        c.flops = 0;  // pure data movement
+        break;
+
+      case OpKind::TopK: {
+        const Shape &x = g.shapeOf(n.inputs[0]);
+        double d = static_cast<double>(x.dim(-1));
+        c.flops = static_cast<double>(x.numel()) *
+                  std::log2(std::max(d, 2.0));
+        break;
+      }
+      case OpKind::CumSum:
+        c.flops = out_elems;
+        break;
+
+      // Memory operators.
+      case OpKind::View:
+      case OpKind::Permute:
+      case OpKind::Transpose:
+      case OpKind::Expand:
+      case OpKind::Squeeze:
+      case OpKind::Unsqueeze:
+      case OpKind::Slice:
+      case OpKind::Split:
+        // Metadata-only stride updates: no kernel, no byte traffic.
+        c.flops = 0;
+        c.bytesIn = 0;
+        c.bytesOut = 0;
+        c.zeroCopy = true;
+        break;
+
+      case OpKind::Reshape:
+      case OpKind::Contiguous:
+      case OpKind::Concat:
+      case OpKind::Roll:
+      case OpKind::Pad:
+        // Copy kernels: bytes already counted, no arithmetic.
+        c.flops = 0;
+        break;
+
+      case OpKind::Fused:
+        // Filled in by the fusion engine from its constituents.
+        break;
+
+      default:
+        c.flops = elemwiseFlopsPerElement(n.kind) * out_elems;
+        break;
+    }
+    return c;
+}
+
+}  // namespace ngb

@@ -1,0 +1,23 @@
+#ifndef NGB_GRAPH_OP_COST_H
+#define NGB_GRAPH_OP_COST_H
+
+#include "graph/graph.h"
+#include "graph/node.h"
+
+namespace ngb {
+
+/**
+ * Derive the device-independent resource demand (FLOPs, activation and
+ * parameter byte traffic, zero-copy flag) of @p n from its input
+ * shapes in @p g, its output shapes, and its attributes.
+ *
+ * Element-wise FLOP weights follow the rough per-element instruction
+ * cost of each function (e.g. GELU via erf is ~10 flops/element while
+ * ReLU is 1); these relative weights, together with byte traffic,
+ * drive the roofline cost model.
+ */
+OpCost computeOpCost(const Node &n, const Graph &g);
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_OP_COST_H

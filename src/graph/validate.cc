@@ -1,0 +1,83 @@
+#include "graph/validate.h"
+
+#include <sstream>
+
+namespace ngb {
+
+ValidationResult
+validateGraph(const Graph &g)
+{
+    ValidationResult r;
+    auto error = [&](int node, const std::string &msg) {
+        r.issues.push_back(
+            {ValidationIssue::Severity::Error, node, msg});
+    };
+    auto warn = [&](int node, const std::string &msg) {
+        r.issues.push_back(
+            {ValidationIssue::Severity::Warning, node, msg});
+    };
+
+    int n_nodes = static_cast<int>(g.size());
+    std::vector<int> uses(g.size(), 0);
+
+    for (const Node &n : g.nodes()) {
+        if (n.outShapes.size() != n.outDtypes.size())
+            error(n.id, "output shape/dtype arity mismatch");
+        if (n.outShapes.empty())
+            error(n.id, "operator produces no outputs");
+        for (const Value &v : n.inputs) {
+            if (v.node < 0 || v.node >= n_nodes) {
+                error(n.id, "input references unknown node " +
+                                std::to_string(v.node));
+                continue;
+            }
+            if (v.node >= n.id)
+                error(n.id, "input references a later node " +
+                                std::to_string(v.node) +
+                                " (topology violated)");
+            const Node &src = g.node(v.node);
+            if (v.index < 0 ||
+                v.index >= static_cast<int>(src.outShapes.size()))
+                error(n.id, "input output-index " +
+                                std::to_string(v.index) +
+                                " out of range for node " +
+                                std::to_string(v.node));
+            else
+                ++uses[static_cast<size_t>(v.node)];
+        }
+        if (n.name.empty())
+            warn(n.id, "operator has no name");
+    }
+
+    for (const Value &v : g.graphOutputs()) {
+        if (v.node < 0 || v.node >= n_nodes)
+            error(-1, "graph output references unknown node " +
+                          std::to_string(v.node));
+        else
+            ++uses[static_cast<size_t>(v.node)];
+    }
+    if (g.graphOutputs().empty())
+        warn(-1, "graph declares no outputs");
+
+    for (const Node &n : g.nodes()) {
+        if (n.inputs.empty())
+            continue;  // inputs/weights may legitimately be unused
+        if (uses[static_cast<size_t>(n.id)] == 0)
+            warn(n.id, "result of '" + n.name + "' is never consumed");
+    }
+    return r;
+}
+
+std::string
+formatIssues(const ValidationResult &r)
+{
+    std::ostringstream os;
+    for (const ValidationIssue &i : r.issues) {
+        os << (i.severity == ValidationIssue::Severity::Error ? "error"
+                                                              : "warn")
+           << " [node " << i.node << "] " << i.message << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace ngb

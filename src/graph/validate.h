@@ -1,0 +1,61 @@
+#ifndef NGB_GRAPH_VALIDATE_H
+#define NGB_GRAPH_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/**
+ * Structural validation of a model graph, for users plugging custom
+ * builders into the registry: catches dangling value references,
+ * topological-order violations, shape/attribute inconsistencies, and
+ * unreachable (dead) operators before they hit the executor.
+ */
+struct ValidationIssue {
+    enum class Severity { Error, Warning };
+    Severity severity;
+    int node = -1;
+    std::string message;
+};
+
+struct ValidationResult {
+    std::vector<ValidationIssue> issues;
+
+    bool ok() const
+    {
+        for (const ValidationIssue &i : issues)
+            if (i.severity == ValidationIssue::Severity::Error)
+                return false;
+        return true;
+    }
+    size_t errorCount() const
+    {
+        size_t n = 0;
+        for (const ValidationIssue &i : issues)
+            n += i.severity == ValidationIssue::Severity::Error;
+        return n;
+    }
+    size_t warningCount() const
+    {
+        return issues.size() - errorCount();
+    }
+};
+
+/**
+ * Validate @p g. Errors: out-of-range value references, inputs that
+ * point forward (topology), output-index overflow, rank-0 operator
+ * results where inputs exist, graph outputs referencing missing nodes.
+ * Warnings: operators whose results are never consumed (dead code),
+ * missing names.
+ */
+ValidationResult validateGraph(const Graph &g);
+
+/** Render issues for logs / test failure messages. */
+std::string formatIssues(const ValidationResult &r);
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_VALIDATE_H

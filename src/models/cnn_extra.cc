@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <string>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+/**
+ * MobileNetV2 (Sandler et al., the paper's [51]): inverted residual
+ * bottlenecks built from 1x1 expand, 3x3 depthwise, 1x1 project, each
+ * followed by BatchNorm and ReLU6 — a CNN whose depthwise convolutions
+ * are bandwidth-bound rather than compute-bound, stressing a different
+ * corner of the GEMM/non-GEMM balance than ResNet.
+ */
+namespace {
+
+Value
+convBnAct(GraphBuilder &b, Value x, int64_t out_ch, int kernel, int stride,
+          int groups, bool act, const std::string &name)
+{
+    int pad = kernel / 2;
+    Value v = b.conv2d(x, out_ch, kernel, stride, pad, groups, false,
+                       name);
+    v = b.batchNorm2d(v);
+    setKernels(b, v, 1);  // eval-mode aten::batch_norm
+    if (act) {
+        // ReLU6 = clamp: one point-wise select kernel.
+        v = b.relu(v);
+    }
+    return v;
+}
+
+Value
+invertedResidual(GraphBuilder &b, Value x, int64_t out_ch, int stride,
+                 int64_t expand, const std::string &prefix)
+{
+    const Shape &xs = b.graph().shapeOf(x);
+    int64_t in_ch = xs[1];
+    int64_t hidden = in_ch * expand;
+    Value v = x;
+    if (expand != 1)
+        v = convBnAct(b, v, hidden, 1, 1, 1, true, prefix + ".expand");
+    v = convBnAct(b, v, hidden, 3, stride,
+                  static_cast<int>(hidden), true, prefix + ".dw");
+    v = convBnAct(b, v, out_ch, 1, 1, 1, false, prefix + ".project");
+    if (stride == 1 && in_ch == out_ch)
+        v = b.add(x, v);
+    return v;
+}
+
+}  // namespace
+
+Graph
+buildMobileNetV2(const ModelConfig &cfg)
+{
+    int64_t img = cfg.imageSize > 0 ? cfg.imageSize : 224;
+    int64_t width = 1;
+    if (cfg.testScale > 1) {
+        img = 64;
+        width = cfg.testScale;
+    }
+    auto ch = [width](int64_t c) {
+        return std::max<int64_t>(4, c / width);
+    };
+
+    Graph g;
+    g.setName("mobilenet_v2");
+    GraphBuilder b(g);
+    Value x = b.input(Shape{cfg.batch, 3, img, img}, DType::F32,
+                      "pixels");
+    Value v = convBnAct(b, x, ch(32), 3, 2, 1, true, "stem");
+
+    // (expand, out_ch, repeats, stride) per the MobileNetV2 table.
+    struct Stage {
+        int64_t t, c, n;
+        int s;
+    };
+    const Stage stages[] = {{1, 16, 1, 1},  {6, 24, 2, 2},
+                            {6, 32, 3, 2},  {6, 64, 4, 2},
+                            {6, 96, 3, 1},  {6, 160, 3, 2},
+                            {6, 320, 1, 1}};
+    int blk = 0;
+    for (const Stage &st : stages) {
+        for (int64_t i = 0; i < st.n; ++i) {
+            int stride = i == 0 ? st.s : 1;
+            v = invertedResidual(b, v, ch(st.c), stride, st.t,
+                                 "block" + std::to_string(blk++));
+        }
+    }
+    v = convBnAct(b, v, ch(1280), 1, 1, 1, true, "head_conv");
+    v = b.adaptiveAvgPool2d(v, 1, 1);
+    const Shape &ps = b.graph().shapeOf(v);
+    v = b.reshape(v, Shape{cfg.batch, ps[1]});
+    Value logits = b.linear(v, 1000, true, "classifier");
+    b.output(logits);
+    return g;
+}
+
+/**
+ * VGG-16 (the paper's [52]): the all-conv, norm-free CNN extreme —
+ * nearly pure GEMM work, a useful lower bound for non-GEMM share.
+ */
+Graph
+buildVgg16(const ModelConfig &cfg)
+{
+    int64_t img = cfg.imageSize > 0 ? cfg.imageSize : 224;
+    int64_t width = 1;
+    if (cfg.testScale > 1) {
+        img = 64;
+        width = cfg.testScale;
+    }
+    auto ch = [width](int64_t c) {
+        return std::max<int64_t>(4, c / width);
+    };
+
+    Graph g;
+    g.setName("vgg16");
+    GraphBuilder b(g);
+    Value x = b.input(Shape{cfg.batch, 3, img, img}, DType::F32,
+                      "pixels");
+    const int64_t plan[][2] = {{64, 2}, {128, 2}, {256, 3},
+                               {512, 3}, {512, 3}};
+    Value v = x;
+    int conv_id = 0;
+    for (const auto &stage : plan) {
+        for (int64_t i = 0; i < stage[1]; ++i) {
+            v = b.conv2d(v, ch(stage[0]), 3, 1, 1, 1, true,
+                         "conv" + std::to_string(conv_id++));
+            v = b.relu(v);
+        }
+        v = b.maxPool2d(v, 2, 2, 0);
+    }
+    const Shape &fs = b.graph().shapeOf(v);
+    v = b.reshape(v, Shape{cfg.batch, fs[1] * fs[2] * fs[3]});
+    v = b.linear(v, ch(4096), true, "fc6");
+    v = b.relu(v);
+    v = b.linear(v, ch(4096), true, "fc7");
+    v = b.relu(v);
+    Value logits = b.linear(v, 1000, true, "fc8");
+    b.output(logits);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,81 @@
+#ifndef NGB_MODELS_COMMON_H
+#define NGB_MODELS_COMMON_H
+
+#include <string>
+
+#include "graph/builder.h"
+
+namespace ngb {
+namespace models {
+
+/**
+ * Multi-head self attention written the way eager frameworks execute
+ * it, with every memory-layout operator explicit: qkv projections,
+ * head split (view + permute), scaled BMM logits, softmax, value BMM,
+ * head merge (permute + contiguous + view), output projection.
+ *
+ * @param x [B, T, D] token tensor.
+ * @param heads number of attention heads (D % heads == 0).
+ * @param fused_qkv one [D, 3D] projection + Split (GPT-2 style) when
+ *        true, three separate projections otherwise.
+ * @param mask_tokens apply a causal Where mask before softmax.
+ * @return [B, T, D]
+ */
+Value multiHeadSelfAttention(GraphBuilder &b, Value x, int64_t heads,
+                             bool fused_qkv, bool mask_tokens,
+                             const std::string &prefix);
+
+/**
+ * Cross attention: queries from @p q_tokens [B, Q, D], keys/values
+ * from @p kv_tokens [B, T, D] (DETR / MaskFormer decoders).
+ */
+Value multiHeadCrossAttention(GraphBuilder &b, Value q_tokens,
+                              Value kv_tokens, int64_t heads,
+                              const std::string &prefix);
+
+/**
+ * Transformer MLP: fc1 -> activation -> fc2.
+ *
+ * @param gelu_kernels primitive-kernel count of the activation: 1 for
+ *        a native aten::gelu, 8 for HuggingFace's NewGELUActivation
+ *        composed of primitive torch ops (GPT-2), matching the
+ *        composite-operator behaviour the paper profiles.
+ */
+Value transformerMlp(GraphBuilder &b, Value x, int64_t hidden,
+                     int gelu_kernels, const std::string &prefix);
+
+/**
+ * Pre-norm encoder layer: x + MHSA(LN(x)), then x + MLP(LN(x)).
+ * Used by ViT and (per-window) Swin.
+ */
+Value encoderLayerPreNorm(GraphBuilder &b, Value x, int64_t heads,
+                          int64_t mlp_hidden, const std::string &prefix);
+
+/**
+ * Post-norm encoder layer: LN(x + MHSA(x)), LN(x + MLP(x)).
+ * Used by BERT and the DETR encoder.
+ */
+Value encoderLayerPostNorm(GraphBuilder &b, Value x, int64_t heads,
+                           int64_t mlp_hidden, const std::string &prefix);
+
+/** Set the primitive-kernel count of the node producing @p v. */
+void setKernels(GraphBuilder &b, Value v, int kernels);
+
+/** [B, T, D] -> [B*H, T, D/H] via view + permute (+ contiguous). */
+Value splitHeadsOp(GraphBuilder &b, Value x, int64_t heads);
+
+/** [B*H, T, hd] -> [B, T, H*hd] via view + permute + contiguous. */
+Value mergeHeadsOp(GraphBuilder &b, Value x, int64_t batch, int64_t heads);
+
+/**
+ * Scaled-dot-product attention over per-head tensors
+ * q,k,v: [B*H, T, hd] -> merged [B, T, D].
+ */
+Value attentionCoreOp(GraphBuilder &b, Value q, Value k, Value v,
+                      int64_t batch, int64_t heads, int64_t head_dim,
+                      bool mask_tokens);
+
+}  // namespace models
+}  // namespace ngb
+
+#endif  // NGB_MODELS_COMMON_H

@@ -1,0 +1,106 @@
+#include <algorithm>
+#include <string>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "models/resnet.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+/**
+ * DETR decoder layer: query self-attention, cross-attention into the
+ * encoder memory, MLP — each post-normed with residuals.
+ */
+Value
+detrDecoderLayer(GraphBuilder &b, Value queries, Value memory,
+                 int64_t heads, int64_t ffn, const std::string &prefix)
+{
+    Value h = multiHeadSelfAttention(b, queries, heads, false, false,
+                                     prefix + ".self_attn");
+    Value q = b.layerNorm(b.add(queries, h));
+    Value c = multiHeadCrossAttention(b, q, memory, heads,
+                                      prefix + ".cross_attn");
+    Value q2 = b.layerNorm(b.add(q, c));
+    Value m = transformerMlp(b, q2, ffn, 1, prefix + ".mlp");
+    return b.layerNorm(b.add(q2, m));
+}
+
+}  // namespace
+
+Graph
+buildDetr(const ModelConfig &cfg)
+{
+    // COCO-scale input; 800x1088 puts the C5 map at 25x34 = 850 tokens,
+    // the encoder shape the paper reports in Table I.
+    int64_t img_h = 800, img_w = 1088;
+    int64_t d = 256, heads = 8, ffn = 2048;
+    int64_t enc_layers = 6, dec_layers = 6, queries = 100;
+    int64_t width = 1;
+    if (cfg.testScale > 1) {
+        img_h = 64;
+        img_w = 96;
+        width = cfg.testScale;
+        d = std::max<int64_t>(heads * 4, d / cfg.testScale);
+        d -= d % heads;
+        ffn = std::max<int64_t>(8, ffn / cfg.testScale);
+        enc_layers = dec_layers = 1;
+        queries = 10;
+    }
+
+    Graph g;
+    g.setName("detr");
+    GraphBuilder b(g);
+
+    Value x = b.input(Shape{cfg.batch, 3, img_h, img_w}, DType::F32,
+                      "pixels");
+
+    // ResNet-50 with DETR's custom FrozenBatchNorm2d, a Python
+    // composite that eager mode runs as ~6 independent kernels — the
+    // source of DETR's dominant Normalization latency (Table IV).
+    ResNetFeatures f = resnet50Backbone(b, x, FrozenBnStyle::NormModule,
+                                        width, "backbone");
+
+    // 1x1 projection to the transformer width, then flatten to tokens.
+    Value proj = b.conv2d(f.c5, d, 1, 1, 0, 1, true, "input_proj");
+    const Shape &ps = b.graph().shapeOf(proj);
+    int64_t tokens = ps[2] * ps[3];
+    Value seq = b.reshape(proj, Shape{cfg.batch, d, tokens});
+    seq = b.permute(seq, {0, 2, 1});
+    seq = b.contiguous(seq);
+
+    // Sine position embeddings are cached; adding them is one kernel.
+    Value pos = b.weight(Shape{1, tokens, d}, "pos_embed");
+    seq = b.add(seq, pos);
+
+    for (int64_t i = 0; i < enc_layers; ++i)
+        seq = encoderLayerPostNorm(b, seq, heads, ffn,
+                                   "encoder" + std::to_string(i));
+
+    // Learned object queries.
+    Value qw = b.weight(Shape{1, queries, d}, "query_embed");
+    Value q = b.expand(qw, Shape{cfg.batch, queries, d});
+    q = b.contiguous(q);
+
+    for (int64_t i = 0; i < dec_layers; ++i)
+        q = detrDecoderLayer(b, q, seq, heads, ffn,
+                             "decoder" + std::to_string(i));
+
+    // Prediction heads: class logits + 3-layer box MLP with sigmoid.
+    Value cls = b.linear(q, 92, true, "class_head");
+    b.output(cls);
+    Value box = b.linear(q, d, true, "bbox_mlp.0");
+    box = b.relu(box);
+    box = b.linear(box, d, true, "bbox_mlp.1");
+    box = b.relu(box);
+    box = b.linear(box, 4, true, "bbox_mlp.2");
+    box = b.sigmoid(box);
+    b.output(box);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,139 @@
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+struct Gpt2Config {
+    int64_t dim;
+    int64_t depth;
+    int64_t heads;
+    int64_t vocab = 50257;
+};
+
+Gpt2Config
+gpt2Variant(const std::string &v)
+{
+    if (v.empty() || v == "base")
+        return {768, 12, 12};
+    if (v == "l")
+        return {1280, 36, 20};
+    if (v == "xl")
+        return {1600, 48, 25};
+    throw std::runtime_error("unknown GPT2 variant: " + v);
+}
+
+}  // namespace
+
+Graph
+buildGpt2(const std::string &variant, const ModelConfig &cfg)
+{
+    Gpt2Config gc = gpt2Variant(variant);
+    if (cfg.testScale > 1) {
+        gc.dim = std::max<int64_t>(gc.heads * 4, gc.dim / cfg.testScale);
+        gc.dim -= gc.dim % gc.heads;
+        gc.depth = std::max<int64_t>(1, gc.depth / cfg.testScale);
+        gc.vocab = 512;
+    }
+    int64_t t = cfg.decodeStep ? 1 : cfg.seqLen;
+    int64_t cache_t = cfg.decodeStep ? cfg.seqLen : 0;
+    int64_t hd = gc.dim / gc.heads;
+
+    Graph g;
+    std::string base = variant.empty() ? "gpt2" : "gpt2-" + variant;
+    g.setName(cfg.decodeStep ? base + "-decode" : base);
+    GraphBuilder b(g);
+
+    Value ids = b.tokenInput(Shape{cfg.batch, t});
+    Value x = b.embedding(ids, gc.vocab, gc.dim, "wte");
+    Value pos = b.weight(Shape{1, t, gc.dim}, "wpe");
+    x = b.add(x, pos);
+
+    for (int64_t i = 0; i < gc.depth; ++i) {
+        std::string p = "h" + std::to_string(i);
+        // Attention with pre-LN, fused qkv, causal mask.
+        Value h = b.layerNorm(x);
+        if (cache_t > 0) {
+            // Decode step: project one token, append K/V to the cache.
+            Value qkv = b.linear(h, 3 * gc.dim, true, p + ".c_attn");
+            auto parts = b.split(qkv, gc.dim, -1);
+            Value q = splitHeadsOp(b, parts[0], gc.heads);
+            Value k = splitHeadsOp(b, parts[1], gc.heads);
+            Value v = splitHeadsOp(b, parts[2], gc.heads);
+            Value k_cache = b.buffer(
+                Shape{cfg.batch * gc.heads, cache_t, hd},
+                p + ".k_cache");
+            Value v_cache = b.buffer(
+                Shape{cfg.batch * gc.heads, cache_t, hd},
+                p + ".v_cache");
+            k = b.concat({k_cache, k}, 1);
+            g.node(k.node).name = p + ".kv_append";
+            v = b.concat({v_cache, v}, 1);
+            g.node(v.node).name = p + ".kv_append";
+            Value ctx = attentionCoreOp(b, q, k, v, cfg.batch, gc.heads,
+                                        hd, false);
+            h = b.linear(ctx, gc.dim, true, p + ".c_proj");
+        } else {
+            h = multiHeadSelfAttention(b, h, gc.heads, true, true,
+                                       p + ".attn");
+        }
+        x = b.add(x, h);
+        // MLP with HuggingFace's NewGELUActivation: the tanh
+        // approximation is composed of 8 primitive torch ops, each a
+        // separate eager kernel (the paper's dominant GPT-2 non-GEMM).
+        Value m = b.layerNorm(x);
+        m = transformerMlp(b, m, gc.dim * 4, 8, p + ".mlp");
+        x = b.add(x, m);
+    }
+
+    x = b.layerNorm(x);
+    Value logits = b.linear(x, gc.vocab, false, "lm_head");
+    b.output(logits);
+    return g;
+}
+
+Graph
+buildBert(const ModelConfig &cfg)
+{
+    int64_t dim = 768, depth = 12, heads = 12, vocab = 30522;
+    if (cfg.testScale > 1) {
+        dim = std::max<int64_t>(heads * 4, dim / cfg.testScale);
+        dim -= dim % heads;
+        depth = std::max<int64_t>(1, depth / cfg.testScale);
+        vocab = 512;
+    }
+    int64_t t = cfg.seqLen;
+
+    Graph g;
+    g.setName("bert");
+    GraphBuilder b(g);
+
+    Value ids = b.tokenInput(Shape{cfg.batch, t});
+    Value x = b.embedding(ids, vocab, dim, "word_embeddings");
+    Value pos = b.weight(Shape{1, t, dim}, "position_embeddings");
+    Value seg = b.weight(Shape{1, t, dim}, "token_type_embeddings");
+    x = b.add(x, pos);
+    x = b.add(x, seg);
+    x = b.layerNorm(x);
+
+    for (int64_t i = 0; i < depth; ++i)
+        x = encoderLayerPostNorm(b, x, heads, dim * 4,
+                                 "layer" + std::to_string(i));
+
+    // Pooler over [CLS].
+    Value cls = b.slice(x, 1, 0, 1);
+    cls = b.reshape(cls, Shape{cfg.batch, dim});
+    Value pooled = b.linear(cls, dim, true, "pooler");
+    pooled = b.tanh(pooled);
+    Value out = b.linear(pooled, 2, true, "classifier");
+    b.output(out);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <string>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+struct LlamaConfig {
+    int64_t dim;
+    int64_t depth;
+    int64_t heads;
+    int64_t kvHeads;  ///< < heads enables grouped-query attention
+    int64_t ffn;
+    int64_t vocab;
+};
+
+/**
+ * Rotary position embedding exactly as HuggingFace executes it in
+ * eager mode: rotate_half is two slices + neg + concat, then two
+ * broadcast multiplies with the cached cos/sin tables and an add —
+ * a burst of Memory and Element-wise non-GEMM ops per projection.
+ */
+Value
+applyRotary(GraphBuilder &b, Value x, Value cos_w, Value sin_w)
+{
+    const Shape &s = b.graph().shapeOf(x);  // [B*H, T, hd]
+    int64_t hd = s.dim(-1);
+    Value x1 = b.slice(x, -1, 0, hd / 2);
+    Value x2 = b.slice(x, -1, hd / 2, hd - hd / 2);
+    Value rot = b.concat({b.neg(x2), x1}, -1);
+    Value a = b.mul(x, cos_w);
+    Value c = b.mul(rot, sin_w);
+    return b.add(a, c);
+}
+
+/** Repeat KV heads for grouped-query attention (expand + reshape). */
+Value
+repeatKv(GraphBuilder &b, Value kv, int64_t batch, int64_t kv_heads,
+         int64_t groups)
+{
+    if (groups == 1)
+        return kv;
+    const Shape &s = b.graph().shapeOf(kv);  // [B*KVH, T, hd]
+    int64_t t = s[1], hd = s[2];
+    Value v = b.view(kv, Shape{batch, kv_heads, 1, t, hd});
+    v = b.expand(v, Shape{batch, kv_heads, groups, t, hd});
+    v = b.contiguous(v);
+    return b.view(v, Shape{batch * kv_heads * groups, t, hd});
+}
+
+Graph
+buildLlamaFamily(const std::string &name, LlamaConfig lc,
+                 const ModelConfig &cfg)
+{
+    if (cfg.testScale > 1) {
+        lc.dim = std::max<int64_t>(lc.heads * 4, lc.dim / cfg.testScale);
+        lc.dim -= lc.dim % lc.heads;
+        lc.ffn = std::max<int64_t>(8, lc.ffn / cfg.testScale);
+        lc.depth = std::max<int64_t>(1, lc.depth / cfg.testScale);
+        lc.vocab = 512;
+    }
+    // Prefill processes seqLen query tokens; a decode step processes
+    // one query token against a seqLen-entry KV cache.
+    int64_t t = cfg.decodeStep ? 1 : cfg.seqLen;
+    int64_t cache_t = cfg.decodeStep ? cfg.seqLen : 0;
+    int64_t hd = lc.dim / lc.heads;
+    int64_t kv_dim = lc.kvHeads * hd;
+    int64_t groups = lc.heads / lc.kvHeads;
+
+    Graph g;
+    g.setName(cfg.decodeStep ? name + "-decode" : name);
+    GraphBuilder b(g);
+
+    Value ids = b.tokenInput(Shape{cfg.batch, t});
+    Value x = b.embedding(ids, lc.vocab, lc.dim, "embed_tokens");
+
+    // Cached rotary tables, broadcast over batch*heads.
+    Value cos_w = b.weight(Shape{1, t, hd}, "rotary_cos");
+    Value sin_w = b.weight(Shape{1, t, hd}, "rotary_sin");
+
+    for (int64_t i = 0; i < lc.depth; ++i) {
+        std::string p = "layer" + std::to_string(i);
+
+        // HF LlamaRMSNorm is a composite of primitive torch kernels
+        // (pow, mean, add-eps, rsqrt, mul, weight-mul).
+        Value h = b.rmsNorm(x);
+        setKernels(b, h, 8);
+        b.graph().node(h.node).attrs.set("big_kernels", 3);
+
+        Value q = b.linear(h, lc.dim, false, p + ".q_proj");
+        Value k = b.linear(h, kv_dim, false, p + ".k_proj");
+        Value v = b.linear(h, kv_dim, false, p + ".v_proj");
+        q = splitHeadsOp(b, q, lc.heads);
+        k = splitHeadsOp(b, k, lc.kvHeads);
+        v = splitHeadsOp(b, v, lc.kvHeads);
+        q = applyRotary(b, q, cos_w, sin_w);
+        k = applyRotary(b, k, cos_w, sin_w);
+        if (cache_t > 0) {
+            // generate(): append the new K/V row to the layer cache —
+            // a real copy of the whole cache every step.
+            Value k_cache = b.buffer(
+                Shape{cfg.batch * lc.kvHeads, cache_t, hd},
+                p + ".k_cache");
+            Value v_cache = b.buffer(
+                Shape{cfg.batch * lc.kvHeads, cache_t, hd},
+                p + ".v_cache");
+            k = b.concat({k_cache, k}, 1);
+            g.node(k.node).name = p + ".kv_append";
+            v = b.concat({v_cache, v}, 1);
+            g.node(v.node).name = p + ".kv_append";
+        }
+        k = repeatKv(b, k, cfg.batch, lc.kvHeads, groups);
+        v = repeatKv(b, v, cfg.batch, lc.kvHeads, groups);
+
+        Value ctx = attentionCoreOp(b, q, k, v, cfg.batch, lc.heads, hd,
+                                    true);
+        Value attn_out = b.linear(ctx, lc.dim, false, p + ".o_proj");
+        x = b.add(x, attn_out);
+
+        // Gated SiLU MLP.
+        Value h2 = b.rmsNorm(x);
+        setKernels(b, h2, 8);
+        b.graph().node(h2.node).attrs.set("big_kernels", 3);
+        Value gate = b.linear(h2, lc.ffn, false, p + ".gate_proj");
+        Value up = b.linear(h2, lc.ffn, false, p + ".up_proj");
+        Value act = b.silu(gate);
+        Value prod = b.mul(act, up);
+        Value down = b.linear(prod, lc.dim, false, p + ".down_proj");
+        x = b.add(x, down);
+    }
+
+    Value fin = b.rmsNorm(x);
+    setKernels(b, fin, 8);
+    b.graph().node(fin.node).attrs.set("big_kernels", 3);
+    Value logits = b.linear(fin, lc.vocab, false, "lm_head");
+    b.output(logits);
+    return g;
+}
+
+}  // namespace
+
+Graph
+buildLlama2(const ModelConfig &cfg)
+{
+    // Llama 2 7B: MHA (no GQA), SwiGLU 11008, 32k vocab.
+    return buildLlamaFamily("llama2-7b",
+                            {4096, 32, 32, 32, 11008, 32000}, cfg);
+}
+
+Graph
+buildLlama3(const ModelConfig &cfg)
+{
+    // Llama 3 8B: GQA with 8 KV heads, SwiGLU 14336, 128k vocab.
+    return buildLlamaFamily("llama3-8b",
+                            {4096, 32, 32, 8, 14336, 128256}, cfg);
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <string>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "models/swin_backbone.h"
+
+namespace ngb {
+namespace models {
+
+/**
+ * MaskFormer (Swin-B backbone): hierarchical Swin features, an FPN
+ * pixel decoder with GroupNorm, a 6-layer transformer decoder over 100
+ * mask queries, and per-query mask embedding multiplied into the pixel
+ * embedding. The Swin backbone's window partition/reverse traffic is
+ * why Memory dominates MaskFormer's non-GEMM time (Table IV: 40.8%).
+ */
+Graph
+buildMaskFormer(const ModelConfig &cfg)
+{
+    // maskformer-swin-base-coco resizes COCO images to ~800 px on the
+    // short side; the non-divisible stages (200/100/50/25 vs window 12)
+    // force HF's maybe_pad copies in every block.
+    SwinSpec spec{128, {2, 2, 18, 2}, {4, 8, 16, 32}, 12};
+    int64_t img = 800;
+    int64_t d = 256, heads = 8, ffn = 2048, queries = 100;
+    int64_t dec_layers = 6;
+    if (cfg.testScale > 1) {
+        spec.embedDim = std::max<int64_t>(spec.heads[0] * 4,
+                                          spec.embedDim / cfg.testScale);
+        spec.embedDim -= spec.embedDim % spec.heads[0];
+        for (auto &dep : spec.depths)
+            dep = std::max<int64_t>(1, dep / cfg.testScale);
+        spec.window = 2;
+        img = 64;
+        d = std::max<int64_t>(heads * 4, d / cfg.testScale);
+        d -= d % heads;
+        ffn = std::max<int64_t>(8, ffn / cfg.testScale);
+        queries = 10;
+        dec_layers = 1;
+    }
+
+    Graph g;
+    g.setName("maskformer");
+    GraphBuilder b(g);
+
+    Value x = b.input(Shape{cfg.batch, 3, img, img}, DType::F32, "pixels");
+    SwinFeatures f = buildSwinBackbone(b, x, spec, "swin");
+
+    // --- Pixel decoder (FPN with GroupNorm) -----------------------------
+    auto toNchw = [&](const SwinStage &s) {
+        Value v = b.permute(s.tokens, {0, 2, 1});
+        v = b.contiguous(v);
+        return b.view(v, Shape{cfg.batch, s.c, s.h, s.w});
+    };
+
+    std::vector<Value> maps;
+    for (const SwinStage &s : f.stages)
+        maps.push_back(toNchw(s));
+
+    Value prev;
+    for (int i = static_cast<int>(maps.size()) - 1; i >= 0; --i) {
+        std::string lp = "pixel_decoder.l" + std::to_string(i);
+        Value lat = b.conv2d(maps[static_cast<size_t>(i)], d, 1, 1, 0, 1,
+                             false, lp + ".lateral");
+        lat = b.groupNorm(lat, 32);
+        if (prev.valid()) {
+            const Shape &ls = b.graph().shapeOf(lat);
+            Value up = b.interpolate(prev, static_cast<int>(ls[2]),
+                                     static_cast<int>(ls[3]));
+            lat = b.add(lat, up);
+        }
+        Value out = b.conv2d(lat, d, 3, 1, 1, 1, false, lp + ".out");
+        out = b.groupNorm(out, 32);
+        out = b.relu(out);
+        prev = out;
+    }
+    // Per-pixel mask features at stride 4.
+    Value mask_features =
+        b.conv2d(prev, d, 3, 1, 1, 1, true, "pixel_decoder.mask_features");
+
+    // --- Transformer decoder over the coarsest feature map --------------
+    const SwinStage &c5 = f.stages.back();
+    Value mem = b.conv2d(maps.back(), d, 1, 1, 0, 1, true,
+                         "transformer.input_proj");
+    Value mem_seq = b.reshape(mem, Shape{cfg.batch, d, c5.h * c5.w});
+    mem_seq = b.permute(mem_seq, {0, 2, 1});
+    mem_seq = b.contiguous(mem_seq);
+    Value pos = b.weight(Shape{1, c5.h * c5.w, d}, "pos_embed");
+    mem_seq = b.add(mem_seq, pos);
+
+    Value qw = b.weight(Shape{1, queries, d}, "query_embed");
+    Value q = b.contiguous(b.expand(qw, Shape{cfg.batch, queries, d}));
+    for (int64_t i = 0; i < dec_layers; ++i) {
+        std::string lp = "decoder" + std::to_string(i);
+        Value h = multiHeadSelfAttention(b, q, heads, false, false,
+                                         lp + ".self_attn");
+        q = b.layerNorm(b.add(q, h));
+        Value c = multiHeadCrossAttention(b, q, mem_seq, heads,
+                                          lp + ".cross_attn");
+        q = b.layerNorm(b.add(q, c));
+        Value m = transformerMlp(b, q, ffn, 1, lp + ".mlp");
+        q = b.layerNorm(b.add(q, m));
+    }
+
+    // --- Heads ------------------------------------------------------------
+    Value cls = b.linear(q, 134, true, "class_head");
+    b.output(cls);
+
+    Value emb = b.linear(q, d, true, "mask_embed.0");
+    emb = b.relu(emb);
+    emb = b.linear(emb, d, true, "mask_embed.1");
+    emb = b.relu(emb);
+    emb = b.linear(emb, d, true, "mask_embed.2");
+
+    // masks = einsum("bqc,bchw->bqhw"): flatten + BMM + view.
+    const Shape &ms = b.graph().shapeOf(mask_features);
+    Value flat = b.reshape(mask_features,
+                           Shape{cfg.batch, d, ms[2] * ms[3]});
+    Value masks = b.bmm(emb, flat, "mask_einsum");
+    masks = b.view(masks, Shape{cfg.batch, queries, ms[2], ms[3]});
+    masks = b.sigmoid(masks);
+    b.output(masks);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

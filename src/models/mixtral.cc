@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <string>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+/**
+ * Mixtral 8x7B: Llama-style attention (GQA, rotary) with a top-2
+ * mixture-of-experts MLP. The eager HF implementation dispatches
+ * tokens to experts with index ops (one-hot routing, index_select,
+ * index_add) — the Memory-operator traffic that makes Memory the
+ * dominant non-GEMM group for Mixtral in Table IV.
+ */
+Graph
+buildMixtral(const ModelConfig &cfg)
+{
+    int64_t dim = 4096, depth = 32, heads = 32, kv_heads = 8;
+    int64_t ffn = 14336, vocab = 32000;
+    int64_t experts_active = 2, experts_total = 8;
+    if (cfg.testScale > 1) {
+        dim = std::max<int64_t>(heads * 4, dim / cfg.testScale);
+        dim -= dim % heads;
+        ffn = std::max<int64_t>(8, ffn / cfg.testScale);
+        depth = std::max<int64_t>(1, depth / cfg.testScale);
+        vocab = 512;
+    }
+    int64_t t = cfg.seqLen;
+    int64_t hd = dim / heads;
+    int64_t kv_dim = kv_heads * hd;
+    int64_t groups = heads / kv_heads;
+    int64_t tokens = cfg.batch * t;
+    // Average expert load under top-2 routing.
+    int64_t tokens_per_expert =
+        std::max<int64_t>(1, tokens * experts_active / experts_total);
+
+    Graph g;
+    g.setName("mixtral-8x7b");
+    GraphBuilder b(g);
+
+    Value ids = b.tokenInput(Shape{cfg.batch, t});
+    Value x = b.embedding(ids, vocab, dim, "embed_tokens");
+    Value cos_w = b.weight(Shape{1, t, hd}, "rotary_cos");
+    Value sin_w = b.weight(Shape{1, t, hd}, "rotary_sin");
+
+    for (int64_t i = 0; i < depth; ++i) {
+        std::string p = "layer" + std::to_string(i);
+
+        Value h = b.rmsNorm(x);
+        setKernels(b, h, 8);
+        b.graph().node(h.node).attrs.set("big_kernels", 3);
+        Value q = b.linear(h, dim, false, p + ".q_proj");
+        Value k = b.linear(h, kv_dim, false, p + ".k_proj");
+        Value v = b.linear(h, kv_dim, false, p + ".v_proj");
+        q = splitHeadsOp(b, q, heads);
+        k = splitHeadsOp(b, k, kv_heads);
+        v = splitHeadsOp(b, v, kv_heads);
+
+        // Rotary (slices + neg + concat + muls + add), as in Llama.
+        auto rotary = [&](Value vv) {
+            Value x1 = b.slice(vv, -1, 0, hd / 2);
+            Value x2 = b.slice(vv, -1, hd / 2, hd - hd / 2);
+            Value rot = b.concat({b.neg(x2), x1}, -1);
+            return b.add(b.mul(vv, cos_w), b.mul(rot, sin_w));
+        };
+        q = rotary(q);
+        k = rotary(k);
+
+        auto repeat = [&](Value kv) {
+            Value r = b.view(kv, Shape{cfg.batch, kv_heads, 1, t, hd});
+            r = b.expand(r, Shape{cfg.batch, kv_heads, groups, t, hd});
+            r = b.contiguous(r);
+            return b.view(r, Shape{cfg.batch * heads, t, hd});
+        };
+        k = repeat(k);
+        v = repeat(v);
+
+        Value ctx = attentionCoreOp(b, q, k, v, cfg.batch, heads, hd,
+                                    true);
+        x = b.add(x, b.linear(ctx, dim, false, p + ".o_proj"));
+
+        // --- Sparse MoE block -----------------------------------------
+        Value h2 = b.rmsNorm(x);
+        setKernels(b, h2, 8);
+        b.graph().node(h2.node).attrs.set("big_kernels", 3);
+        Value flat = b.reshape(h2, Shape{tokens, dim});
+
+        // Router: logits -> softmax -> top-2 -> renormalize.
+        Value router_logits = b.linear(flat, experts_total, false,
+                                       p + ".router");
+        Value probs = b.softmax(router_logits, -1);
+        auto [topv, topi] = b.topk(probs, static_cast<int>(experts_active));
+        (void)topi;
+        Value denom = b.add(b.slice(topv, -1, 0, 1),
+                            b.slice(topv, -1, 1, 1));
+        Value weights = b.div(topv, denom);
+
+        // Expert dispatch: the HF eager implementation loops over all
+        // 8 experts, index-selecting each expert's token subset (T/4
+        // tokens on average under top-2 routing), running the gated
+        // MLP, and index_add-ing the result back.
+        Value merged = flat;
+        for (int64_t e = 0; e < experts_total; ++e) {
+            std::string ep = p + ".expert" + std::to_string(e);
+            Value sel_idx = b.buffer(Shape{tokens_per_expert, dim},
+                                     ep + ".token_index");
+            Value tok = b.gather(flat, 0, sel_idx);
+            g.node(tok.node).name = ep + ".index_select";
+            // torch.where(expert_mask[e]) materializes dynamic indices
+            // and stalls the CUDA stream before the gather can launch.
+            g.node(tok.node).attrs.set("syncs", 2);
+
+            Value gate = b.linear(tok, ffn, false, ep + ".w1");
+            Value up = b.linear(tok, ffn, false, ep + ".w3");
+            Value act = b.mul(b.silu(gate), up);
+            Value down = b.linear(act, dim, false, ep + ".w2");
+
+            // Routing weight column (the two top-2 slots alternate).
+            Value w_col = b.slice(weights, -1, e % 2, 1);  // [tokens, 1]
+            Value w_sel = b.slice(w_col, 0, 0, tokens_per_expert);
+            Value scaled = b.mul(down, w_sel);            // [tpe, dim]
+
+            // In-place index_add_ back into the token buffer: reads
+            // and rewrites the target rows plus the buffer stitch —
+            // Memory traffic, not a full-tensor arithmetic pass.
+            Value target_rows = b.slice(merged, 0, 0, tokens_per_expert);
+            Value summed = b.add(target_rows, scaled);
+            Value stitched = summed;
+            if (tokens_per_expert < tokens) {
+                Value rest = b.slice(merged, 0, tokens_per_expert,
+                                     tokens - tokens_per_expert);
+                stitched = b.concat({summed, rest}, 0);
+            }
+            g.node(stitched.node).name = ep + ".index_add";
+            merged = stitched;
+        }
+        x = b.add(x, b.reshape(merged, Shape{cfg.batch, t, dim}));
+    }
+
+    Value fin = b.rmsNorm(x);
+    setKernels(b, fin, 8);
+    b.graph().node(fin.node).attrs.set("big_kernels", 3);
+    Value logits = b.linear(fin, vocab, false, "lm_head");
+    b.output(logits);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

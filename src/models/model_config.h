@@ -1,0 +1,60 @@
+#ifndef NGB_MODELS_MODEL_CONFIG_H
+#define NGB_MODELS_MODEL_CONFIG_H
+
+#include <cstdint>
+
+namespace ngb {
+
+/**
+ * Workload configuration for a model-graph builder.
+ *
+ * Paper-scale defaults reproduce the shapes the paper captured on real
+ * datasets (Table I): batch 1/8, short wikitext queries for decoder
+ * LLMs, ImageNet 224x224 crops, COCO ~800x1066 images.
+ *
+ * testScale shrinks hidden dimensions and layer counts so the same
+ * builders produce small graphs that concrete-execution tests can run
+ * end to end on the host.
+ */
+struct ModelConfig {
+    int64_t batch = 1;
+
+    /** NLP: input sequence length (prefill) or KV-cache length when
+     *  decodeStep is set. */
+    int64_t seqLen = 8;
+
+    /**
+     * NLP: build one autoregressive decode step instead of a prefill
+     * forward — a single query token attending to a seqLen-long KV
+     * cache, with the cache-append Concat ops HF generate() executes
+     * per layer. This is the regime behind the paper's LLM latencies.
+     */
+    bool decodeStep = false;
+
+    /** CV: input image height (width derived per model). */
+    int64_t imageSize = 0;  // 0 = model default
+
+    /**
+     * Divide hidden dims / depths by this factor for test-size graphs
+     * (1 = paper scale). Builders round to keep head counts valid.
+     */
+    int64_t testScale = 1;
+
+    ModelConfig withBatch(int64_t b) const
+    {
+        ModelConfig c = *this;
+        c.batch = b;
+        return c;
+    }
+
+    ModelConfig withSeqLen(int64_t s) const
+    {
+        ModelConfig c = *this;
+        c.seqLen = s;
+        return c;
+    }
+};
+
+}  // namespace ngb
+
+#endif  // NGB_MODELS_MODEL_CONFIG_H

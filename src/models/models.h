@@ -1,0 +1,48 @@
+#ifndef NGB_MODELS_MODELS_H
+#define NGB_MODELS_MODELS_H
+
+#include "graph/graph.h"
+#include "models/model_config.h"
+
+/**
+ * @file
+ * Graph builders for the 17 NonGEMM Bench models (Table II) plus the
+ * Llama3-8B model of the quantization study (Figure 9). Builders
+ * reconstruct each architecture operator by operator at the shapes the
+ * paper profiled; weights are synthetic (latency attribution does not
+ * depend on weight values).
+ */
+
+namespace ngb {
+namespace models {
+
+// Image classification (ImageNet).
+Graph buildViT(const std::string &variant, const ModelConfig &cfg);   // b, l, h
+Graph buildSwin(const std::string &variant, const ModelConfig &cfg);  // t, s, b
+/** Extension beyond Table II: the classic CNN baseline of Fig. 3 (a). */
+Graph buildResNet50(const ModelConfig &cfg);
+/** Extension: bandwidth-bound depthwise CNN (the paper's ref [51]). */
+Graph buildMobileNetV2(const ModelConfig &cfg);
+/** Extension: norm-free all-conv CNN (the paper's ref [52]). */
+Graph buildVgg16(const ModelConfig &cfg);
+
+// Object detection (COCO).
+Graph buildFasterRcnn(const ModelConfig &cfg);
+Graph buildMaskRcnn(const ModelConfig &cfg);
+Graph buildDetr(const ModelConfig &cfg);
+
+// Image segmentation (COCO).
+Graph buildMaskFormer(const ModelConfig &cfg);
+Graph buildSegFormer(const ModelConfig &cfg);
+
+// NLP (wikitext).
+Graph buildGpt2(const std::string &variant, const ModelConfig &cfg);  // "", l, xl
+Graph buildBert(const ModelConfig &cfg);
+Graph buildLlama2(const ModelConfig &cfg);
+Graph buildLlama3(const ModelConfig &cfg);
+Graph buildMixtral(const ModelConfig &cfg);
+
+}  // namespace models
+}  // namespace ngb
+
+#endif  // NGB_MODELS_MODELS_H

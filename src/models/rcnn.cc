@@ -1,0 +1,248 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "models/resnet.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+/**
+ * torchvision-style box decoding: apply regression deltas to anchors.
+ * In eager mode this is a burst of small element-wise kernels (slices,
+ * muls, exps, adds, clamps) per feature level — the Element-wise
+ * Arithmetic latency that dominates the R-CNNs in Table IV.
+ *
+ * @param deltas [N, 4] regression output.
+ * @return decoded, clipped boxes [N, 4].
+ */
+Value
+boxDecode(GraphBuilder &b, Value deltas, int64_t n,
+          const std::string &prefix)
+{
+    Value anchors = b.buffer(Shape{n, 4}, prefix + ".anchors");
+    // Split deltas and anchors into coordinates.
+    Value dx = b.slice(deltas, 1, 0, 1);
+    Value dy = b.slice(deltas, 1, 1, 1);
+    Value dw = b.slice(deltas, 1, 2, 1);
+    Value dh = b.slice(deltas, 1, 3, 1);
+    Value ax = b.slice(anchors, 1, 0, 1);
+    Value ay = b.slice(anchors, 1, 1, 1);
+    Value aw = b.slice(anchors, 1, 2, 1);
+    Value ah = b.slice(anchors, 1, 3, 1);
+
+    Value cx = b.add(b.mul(dx, aw), ax);
+    Value cy = b.add(b.mul(dy, ah), ay);
+    Value w = b.mul(b.exp(dw), aw);
+    Value h = b.mul(b.exp(dh), ah);
+
+    // Corners + clip to the image (clamp = a select kernel per side).
+    Value x1 = b.sub(cx, b.mulScalar(w, 0.5));
+    Value y1 = b.sub(cy, b.mulScalar(h, 0.5));
+    Value x2 = b.add(cx, b.mulScalar(w, 0.5));
+    Value y2 = b.add(cy, b.mulScalar(h, 0.5));
+    x1 = b.where(x1, x1, x1);
+    y1 = b.where(y1, y1, y1);
+    x2 = b.where(x2, x2, x2);
+    y2 = b.where(y2, y2, y2);
+    Value boxes = b.concat({y1, x1, y2, x2}, 1);
+
+    // remove_small_boxes: widths/heights + two comparisons + AND.
+    Value ww = b.sub(x2, x1);
+    Value hh = b.sub(y2, y1);
+    Value keep_w = b.where(ww, ww, ww);
+    Value keep_h = b.where(hh, hh, hh);
+    Value keep = b.mul(keep_w, keep_h);
+    (void)keep;
+    return boxes;
+}
+
+struct RcnnTrunk {
+    Value detections;      ///< [keep, 4] final boxes
+    Value det_scores;      ///< [keep] final scores
+    Value det_features;    ///< pooled features for downstream heads
+    std::vector<Value> fpn;  ///< P2..P5 maps
+    int64_t keep;
+};
+
+/**
+ * The shared Faster/Mask R-CNN trunk: ResNet-50 + FPN + RPN with
+ * per-level decoding, proposal NMS, RoIAlign, and the box head with
+ * final per-class decoding and NMS.
+ */
+RcnnTrunk
+rcnnTrunk(GraphBuilder &b, const ModelConfig &cfg)
+{
+    int64_t img_h = 800, img_w = 1088;
+    int64_t width = 1;
+    int64_t pre_nms = 1000, post_nms = 1000, detections = 100;
+    if (cfg.testScale > 1) {
+        img_h = 64;
+        img_w = 96;
+        width = cfg.testScale;
+        pre_nms = 50;
+        post_nms = 20;
+        detections = 5;
+    }
+    int64_t fpn_ch = std::max<int64_t>(8, 256 / width);
+
+    Value x = b.input(Shape{cfg.batch, 3, img_h, img_w}, DType::F32,
+                      "pixels");
+    // GeneralizedRCNNTransform: per-channel normalize (sub + div).
+    Value mean = b.weight(Shape{1, 3, 1, 1}, "pixel_mean");
+    Value stdv = b.weight(Shape{1, 3, 1, 1}, "pixel_std");
+    x = b.sub(x, mean);
+    x = b.div(x, stdv);
+    // torchvision's FrozenBatchNorm2d traces as element-wise aten ops.
+    ResNetFeatures f = resnet50Backbone(b, x, FrozenBnStyle::Elementwise,
+                                        width, "backbone");
+
+    // --- FPN ------------------------------------------------------------
+    std::vector<Value> c = {f.c2, f.c3, f.c4, f.c5};
+    std::vector<Value> lat(4);
+    for (int i = 0; i < 4; ++i)
+        lat[static_cast<size_t>(i)] =
+            b.conv2d(c[static_cast<size_t>(i)], fpn_ch, 1, 1, 0, 1, true,
+                     "fpn.lateral" + std::to_string(i));
+    std::vector<Value> p(4);
+    p[3] = lat[3];
+    for (int i = 2; i >= 0; --i) {
+        const Shape &ls = b.graph().shapeOf(lat[static_cast<size_t>(i)]);
+        Value up = b.interpolate(p[static_cast<size_t>(i) + 1],
+                                 static_cast<int>(ls[2]),
+                                 static_cast<int>(ls[3]));
+        p[static_cast<size_t>(i)] =
+            b.add(lat[static_cast<size_t>(i)], up);
+    }
+    for (int i = 0; i < 4; ++i)
+        p[static_cast<size_t>(i)] =
+            b.conv2d(p[static_cast<size_t>(i)], fpn_ch, 3, 1, 1, 1, true,
+                     "fpn.out" + std::to_string(i));
+    Value p6 = b.maxPool2d(p[3], 1, 2, 0);
+    std::vector<Value> levels = p;
+    levels.push_back(p6);
+
+    // --- RPN -------------------------------------------------------------
+    std::vector<Value> level_boxes, level_scores;
+    int64_t total_anchors = 0;
+    for (size_t li = 0; li < levels.size(); ++li) {
+        std::string lp = "rpn.l" + std::to_string(li);
+        Value h = b.conv2d(levels[li], fpn_ch, 3, 1, 1, 1, true,
+                           lp + ".conv");
+        h = b.relu(h);
+        Value logits = b.conv2d(h, 3, 1, 1, 0, 1, true, lp + ".cls");
+        Value deltas = b.conv2d(h, 12, 1, 1, 0, 1, true, lp + ".bbox");
+
+        const Shape &hs = b.graph().shapeOf(logits);
+        int64_t n = hs[0] * 3 * hs[2] * hs[3];
+        total_anchors += n;
+        // Objectness: permute + reshape + sigmoid.
+        Value s = b.permute(logits, {0, 2, 3, 1});
+        s = b.contiguous(s);
+        s = b.view(s, Shape{n});
+        s = b.sigmoid(s);
+        level_scores.push_back(s);
+
+        Value d4 = b.permute(deltas, {0, 2, 3, 1});
+        d4 = b.contiguous(d4);
+        d4 = b.view(d4, Shape{n, 4});
+        level_boxes.push_back(boxDecode(b, d4, n, lp));
+    }
+    Value all_boxes = b.concat(level_boxes, 0);
+    Value all_scores = b.concat(level_scores, 0);
+
+    // Pre-NMS top-k, then NMS down to the proposal budget.
+    auto [top_scores, top_idx] =
+        b.topk(all_scores, static_cast<int>(std::min(pre_nms * 4,
+                                                     total_anchors)));
+    (void)top_idx;
+    int64_t cand = b.graph().shapeOf(top_scores)[0];
+    Value cand_boxes = b.slice(all_boxes, 0, 0, cand);
+    Value kept = b.nms(cand_boxes, top_scores, 0.7, 0.0, post_nms);
+    (void)kept;
+
+    // --- RoIAlign + box head ----------------------------------------------
+    Value rois = b.buffer(Shape{post_nms, 5}, "proposal_rois");
+    Value pooled = b.roiAlign(p[0], rois, 7, 7);
+    Value flat = b.reshape(pooled, Shape{post_nms, fpn_ch * 7 * 7});
+    Value bh = b.linear(flat, 1024 / width, true, "box_head.fc6");
+    bh = b.relu(bh);
+    bh = b.linear(bh, 1024 / width, true, "box_head.fc7");
+    bh = b.relu(bh);
+    Value cls_logits = b.linear(bh, 91, true, "box_predictor.cls");
+    Value box_deltas = b.linear(bh, 364, true, "box_predictor.bbox");
+
+    // Final decode over every class column + softmax + NMS
+    // (torchvision decodes [N, num_classes, 4] in one burst of
+    // element-wise kernels, then filters by score).
+    Value probs = b.softmax(cls_logits, -1);
+    Value best = b.slice(probs, 1, 0, 1);
+    best = b.reshape(best, Shape{post_nms});
+    Value all_deltas = b.view(box_deltas, Shape{post_nms * 91, 4});
+    Value decoded = boxDecode(b, all_deltas, post_nms * 91, "final");
+    Value score_keep = b.where(probs, probs, probs);  // score threshold
+    (void)score_keep;
+    Value final_boxes = b.slice(decoded, 0, 0, post_nms);
+    Value det = b.nms(final_boxes, best, 0.5, 0.05, detections);
+    (void)det;
+
+    RcnnTrunk t;
+    t.detections = final_boxes;
+    t.det_scores = best;
+    t.det_features = bh;
+    t.fpn = p;
+    t.keep = detections;
+    return t;
+}
+
+}  // namespace
+
+Graph
+buildFasterRcnn(const ModelConfig &cfg)
+{
+    Graph g;
+    g.setName("faster_rcnn");
+    GraphBuilder b(g);
+    RcnnTrunk t = rcnnTrunk(b, cfg);
+    b.output(t.detections);
+    b.output(t.det_scores);
+    return g;
+}
+
+Graph
+buildMaskRcnn(const ModelConfig &cfg)
+{
+    Graph g;
+    g.setName("mask_rcnn");
+    GraphBuilder b(g);
+    RcnnTrunk t = rcnnTrunk(b, cfg);
+
+    // Mask head: RoIAlign at 14x14 over the detections, 4 convs, a
+    // 2x upsample (deconv modeled as interpolate + conv), mask logits.
+    int64_t fpn_ch = b.graph().shapeOf(t.fpn[0])[1];
+    Value mask_rois = b.buffer(Shape{t.keep, 5}, "mask_rois");
+    Value m = b.roiAlign(t.fpn[0], mask_rois, 14, 14);
+    for (int i = 0; i < 4; ++i) {
+        m = b.conv2d(m, fpn_ch, 3, 1, 1, 1, true,
+                     "mask_head.conv" + std::to_string(i));
+        m = b.relu(m);
+    }
+    m = b.interpolate(m, 28, 28);
+    m = b.conv2d(m, fpn_ch, 3, 1, 1, 1, true, "mask_head.deconv");
+    m = b.relu(m);
+    Value logits = b.conv2d(m, 81, 1, 1, 0, 1, true, "mask_predictor");
+    Value masks = b.sigmoid(logits);
+
+    b.output(t.detections);
+    b.output(t.det_scores);
+    b.output(masks);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,82 @@
+#include "models/registry.h"
+
+#include <stdexcept>
+
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+const std::vector<ModelInfo> &
+modelRegistry()
+{
+    static const std::vector<ModelInfo> kRegistry = {
+        // Image classification.
+        {"vit_b", "Vt-b", "IC", "ImageNet", false, 0,
+         [](const ModelConfig &c) { return buildViT("b", c); }},
+        {"vit_l", "Vt-l", "IC", "ImageNet", false, 0,
+         [](const ModelConfig &c) { return buildViT("l", c); }},
+        {"vit_h", "Vt-h", "IC", "ImageNet", false, 0,
+         [](const ModelConfig &c) { return buildViT("h", c); }},
+        {"swin_t", "Sw-t", "IC", "ImageNet", false, 0,
+         [](const ModelConfig &c) { return buildSwin("t", c); }},
+        {"swin_s", "Sw-s", "IC", "ImageNet", false, 0,
+         [](const ModelConfig &c) { return buildSwin("s", c); }},
+        {"swin_b", "Sw-b", "IC", "ImageNet", false, 0,
+         [](const ModelConfig &c) { return buildSwin("b", c); }},
+
+        // Object detection.
+        {"faster_rcnn", "FRCNN", "OD", "COCO", false, 0, buildFasterRcnn},
+        {"mask_rcnn", "MRCNN", "OD", "COCO", false, 0, buildMaskRcnn},
+        {"detr", "DETR", "OD", "COCO", false, 0, buildDetr},
+
+        // Image segmentation.
+        {"maskformer", "MF", "IS", "COCO", false, 0, buildMaskFormer},
+        {"segformer", "Seg", "IS", "COCO", false, 0, buildSegFormer},
+
+        // NLP.
+        {"gpt2", "gpt2", "NLP", "wikitext", false, 8,
+         [](const ModelConfig &c) { return buildGpt2("", c); }},
+        {"gpt2_l", "gpt2-l", "NLP", "wikitext", false, 8,
+         [](const ModelConfig &c) { return buildGpt2("l", c); }},
+        {"gpt2_xl", "gpt2-xl", "NLP", "wikitext", false, 8,
+         [](const ModelConfig &c) { return buildGpt2("xl", c); }},
+        {"llama2", "llama2", "NLP", "wikitext", true, 10, buildLlama2},
+        {"bert", "bert", "NLP", "wikitext", false, 128, buildBert},
+        {"mixtral", "mixtral", "NLP", "wikitext", true, 10, buildMixtral},
+
+        // Quantization case-study subject (Figure 9).
+        {"llama3", "llama3-8b", "NLP", "wikitext", true, 512, buildLlama3},
+
+        // Extension beyond Table II: the CNN baseline of Figure 3 (a),
+        // demonstrating the registry's plug-in path for new models.
+        {"resnet50", "RN50", "IC", "ImageNet", false, 0, buildResNet50},
+        {"mobilenet_v2", "MNv2", "IC", "ImageNet", false, 0,
+         buildMobileNetV2},
+        {"vgg16", "VGG16", "IC", "ImageNet", false, 0, buildVgg16},
+    };
+    return kRegistry;
+}
+
+const ModelInfo &
+findModel(const std::string &name)
+{
+    for (const ModelInfo &m : modelRegistry())
+        if (m.name == name)
+            return m;
+    throw std::runtime_error("unknown model: " + name);
+}
+
+std::vector<std::string>
+paperModelNames()
+{
+    std::vector<std::string> out;
+    for (const ModelInfo &m : modelRegistry())
+        if (m.name != "llama3" && m.name != "resnet50" &&
+            m.name != "mobilenet_v2" && m.name != "vgg16")
+            out.push_back(m.name);
+    return out;
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,40 @@
+#ifndef NGB_MODELS_REGISTRY_H
+#define NGB_MODELS_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "models/model_config.h"
+
+namespace ngb {
+namespace models {
+
+/**
+ * One entry of the NonGEMM Bench model registry (paper Table II, plus
+ * Llama3-8B from the quantization study).
+ */
+struct ModelInfo {
+    std::string name;         ///< registry key, e.g. "swin_b"
+    std::string displayName;  ///< paper label, e.g. "Sw-b"
+    std::string task;         ///< "IC", "OD", "IS", or "NLP"
+    std::string dataset;      ///< dataset the paper profiled on
+    bool halfPrecision;       ///< deployed in FP16 (large LLMs)
+    int64_t defaultSeqLen;    ///< captured wikitext query length (NLP)
+    std::function<Graph(const ModelConfig &)> build;
+};
+
+/** All registered models, in Table II order. */
+const std::vector<ModelInfo> &modelRegistry();
+
+/** Look up a model by registry key; throws for unknown names. */
+const ModelInfo &findModel(const std::string &name);
+
+/** The 17 Table II models (excludes the Llama3 quantization subject). */
+std::vector<std::string> paperModelNames();
+
+}  // namespace models
+}  // namespace ngb
+
+#endif  // NGB_MODELS_REGISTRY_H

@@ -1,0 +1,126 @@
+#include "models/resnet.h"
+
+#include <algorithm>
+
+#include "models/common.h"
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+/** Conv + FrozenBatchNorm (+ optional ReLU). */
+Value
+convBn(GraphBuilder &b, Value x, int64_t out_ch, int kernel, int stride,
+       int padding, FrozenBnStyle style, bool relu,
+       const std::string &name)
+{
+    Value v = b.conv2d(x, out_ch, kernel, stride, padding, 1, false, name);
+    Value n;
+    if (style == FrozenBnStyle::NativeBn) {
+        // Eval-mode nn.BatchNorm2d: a single fused aten kernel.
+        n = b.batchNorm2d(v, /*frozen=*/false);
+        setKernels(b, n, 1);
+    } else if (style == FrozenBnStyle::NormModule) {
+        // 7 launches per forward (rsqrt/mul/sub stat kernels + the two
+        // full passes); only the passes traverse the feature map.
+        n = b.batchNorm2d(v, /*frozen=*/true);
+        setKernels(b, n, 7);
+        b.graph().node(n.node).attrs.set("big_kernels", 2);
+    } else {
+        // The same computation traced at aten granularity: a big mul
+        // and a big add, each dragging along the small stat kernels.
+        const Shape &vs = b.graph().shapeOf(v);
+        Value scale = b.weight(Shape{1, vs[1], 1, 1}, name + ".bn_scale");
+        Value bias = b.weight(Shape{1, vs[1], 1, 1}, name + ".bn_bias");
+        Value m = b.mul(v, scale);
+        setKernels(b, m, 3);
+        b.graph().node(m.node).attrs.set("big_kernels", 1);
+        n = b.add(m, bias);
+        setKernels(b, n, 2);
+        b.graph().node(n.node).attrs.set("big_kernels", 1);
+    }
+    return relu ? b.relu(n) : n;
+}
+
+/** Standard ResNet bottleneck: 1x1 -> 3x3 -> 1x1 with residual. */
+Value
+bottleneck(GraphBuilder &b, Value x, int64_t mid, int64_t out_ch,
+           int stride, bool downsample, FrozenBnStyle style,
+           const std::string &prefix)
+{
+    Value v = convBn(b, x, mid, 1, 1, 0, style, true, prefix + ".conv1");
+    v = convBn(b, v, mid, 3, stride, 1, style, true, prefix + ".conv2");
+    v = convBn(b, v, out_ch, 1, 1, 0, style, false, prefix + ".conv3");
+    Value identity = x;
+    if (downsample)
+        identity = convBn(b, x, out_ch, 1, stride, 0, style, false,
+                          prefix + ".downsample");
+    Value sum = b.add(v, identity);
+    return b.relu(sum);
+}
+
+Value
+stage(GraphBuilder &b, Value x, int blocks, int64_t mid, int64_t out_ch,
+      int stride, FrozenBnStyle style, const std::string &prefix)
+{
+    Value v = bottleneck(b, x, mid, out_ch, stride, true, style,
+                         prefix + ".0");
+    for (int i = 1; i < blocks; ++i)
+        v = bottleneck(b, v, mid, out_ch, 1, false, style,
+                       prefix + "." + std::to_string(i));
+    return v;
+}
+
+}  // namespace
+
+ResNetFeatures
+resnet50Backbone(GraphBuilder &b, Value image, FrozenBnStyle style,
+                 int64_t width, const std::string &prefix)
+{
+    auto ch = [width](int64_t c) {
+        return std::max<int64_t>(4, c / width);
+    };
+
+    Value v = convBn(b, image, ch(64), 7, 2, 3, style, true,
+                     prefix + ".stem");
+    v = b.maxPool2d(v, 3, 2, 1);
+
+    ResNetFeatures f;
+    f.c2 = stage(b, v, 3, ch(64), ch(256), 1, style, prefix + ".layer1");
+    f.c3 = stage(b, f.c2, 4, ch(128), ch(512), 2, style,
+                 prefix + ".layer2");
+    f.c4 = stage(b, f.c3, 6, ch(256), ch(1024), 2, style,
+                 prefix + ".layer3");
+    f.c5 = stage(b, f.c4, 3, ch(512), ch(2048), 2, style,
+                 prefix + ".layer4");
+    return f;
+}
+
+Graph
+buildResNet50(const ModelConfig &cfg)
+{
+    int64_t img = cfg.imageSize > 0 ? cfg.imageSize : 224;
+    int64_t width = 1;
+    if (cfg.testScale > 1) {
+        img = 64;
+        width = cfg.testScale;
+    }
+    Graph g;
+    g.setName("resnet50");
+    GraphBuilder b(g);
+    Value x = b.input(Shape{cfg.batch, 3, img, img}, DType::F32,
+                      "pixels");
+    ResNetFeatures f =
+        resnet50Backbone(b, x, FrozenBnStyle::NativeBn, width, "resnet");
+    Value pooled = b.adaptiveAvgPool2d(f.c5, 1, 1);
+    const Shape &ps = b.graph().shapeOf(pooled);
+    pooled = b.reshape(pooled, Shape{cfg.batch, ps[1]});
+    Value logits = b.linear(pooled, 1000, true, "fc");
+    b.output(logits);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

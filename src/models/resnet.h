@@ -1,0 +1,46 @@
+#ifndef NGB_MODELS_RESNET_H
+#define NGB_MODELS_RESNET_H
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace ngb {
+namespace models {
+
+/** Multi-scale feature maps of a ResNet backbone (strides 4..32). */
+struct ResNetFeatures {
+    Value c2, c3, c4, c5;
+};
+
+/**
+ * How FrozenBatchNorm2d latency shows up in an eager profile.
+ *
+ * Both DETR and torchvision implement it in Python out of primitive
+ * torch ops (the "custom implementation ... identified as independent
+ * kernels" of Section IV-A). DETR's module is attributed to the
+ * Normalization group (Table IV: DETR Norm 34.8%), while torchvision's
+ * big x*scale and +bias passes trace as aten::mul / aten::add and land
+ * in Element-wise Arithmetic (Table IV: R-CNNs Elt-wise ~34%).
+ */
+enum class FrozenBnStyle {
+    NormModule,   ///< attribute to Normalization (DETR)
+    Elementwise,  ///< attribute big passes to ElementWise (torchvision)
+    NativeBn,     ///< plain eval-mode nn.BatchNorm2d (one aten kernel)
+};
+
+/**
+ * ResNet-50 backbone as used by the detection models.
+ *
+ * @param style profiler attribution of the frozen batch norms.
+ * @param width divide channel widths by this for test-size graphs.
+ */
+ResNetFeatures resnet50Backbone(GraphBuilder &b, Value image,
+                                FrozenBnStyle style, int64_t width,
+                                const std::string &prefix);
+
+}  // namespace models
+}  // namespace ngb
+
+#endif  // NGB_MODELS_RESNET_H

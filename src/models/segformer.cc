@@ -1,0 +1,181 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+/**
+ * SegFormer efficient self-attention: keys/values are computed on a
+ * spatially reduced token set (strided conv by sr), which is why the
+ * softmax shape of Table I is [2, 1, 16384, 256] at stage 1.
+ */
+Value
+efficientAttention(GraphBuilder &b, Value x, int64_t batch, int64_t h,
+                   int64_t w, int64_t c, int64_t heads, int64_t sr,
+                   const std::string &prefix)
+{
+    int64_t t = h * w;
+    int64_t hd = c / heads;
+
+    Value q = b.linear(x, c, true, prefix + ".q");
+    q = splitHeadsOp(b, q, heads);
+
+    Value kv_src = x;
+    int64_t kt = t;
+    if (sr > 1) {
+        // Reshape tokens to NCHW, strided conv, back to tokens + LN.
+        Value v = b.permute(x, {0, 2, 1});
+        v = b.contiguous(v);
+        v = b.view(v, Shape{batch, c, h, w});
+        v = b.conv2d(v, c, static_cast<int>(sr), static_cast<int>(sr), 0,
+                     1, true, prefix + ".sr");
+        kt = (h / sr) * (w / sr);
+        v = b.view(v, Shape{batch, c, kt});
+        v = b.permute(v, {0, 2, 1});
+        kv_src = b.layerNorm(v);
+    }
+    Value k = b.linear(kv_src, c, true, prefix + ".k");
+    Value v = b.linear(kv_src, c, true, prefix + ".v");
+    k = splitHeadsOp(b, k, heads);
+    v = splitHeadsOp(b, v, heads);
+
+    Value ktr = b.contiguous(b.transpose(k, 1, 2));
+    Value logits = b.bmm(q, ktr, prefix + ".logits");
+    logits = b.mulScalar(logits,
+                         1.0 / std::sqrt(static_cast<double>(hd)));
+    Value probs = b.softmax(logits, -1);
+    Value ctx = b.bmm(probs, v, prefix + ".ctx");
+    ctx = mergeHeadsOp(b, ctx, batch, heads);
+    return b.linear(ctx, c, true, prefix + ".proj");
+}
+
+/** Mix-FFN: linear -> 3x3 depthwise conv -> GELU -> linear. */
+Value
+mixFfn(GraphBuilder &b, Value x, int64_t batch, int64_t h, int64_t w,
+       int64_t c, int64_t hidden, const std::string &prefix)
+{
+    Value v = b.linear(x, hidden, true, prefix + ".fc1");
+    Value n = b.permute(v, {0, 2, 1});
+    n = b.contiguous(n);
+    n = b.view(n, Shape{batch, hidden, h, w});
+    n = b.conv2d(n, hidden, 3, 1, 1, static_cast<int>(hidden), true,
+                 prefix + ".dwconv");
+    n = b.reshape(n, Shape{batch, hidden, h * w});
+    n = b.permute(n, {0, 2, 1});
+    n = b.contiguous(n);
+    Value a = b.gelu(n);
+    return b.linear(a, c, true, prefix + ".fc2");
+}
+
+}  // namespace
+
+Graph
+buildSegFormer(const ModelConfig &cfg)
+{
+    // SegFormer-B0 (MiT-B0), 512x512 ADE/COCO-style input.
+    std::vector<int64_t> dims = {32, 64, 160, 256};
+    std::vector<int64_t> depths = {2, 2, 2, 2};
+    std::vector<int64_t> heads = {1, 2, 5, 8};
+    std::vector<int64_t> srs = {8, 4, 2, 1};
+    int64_t img = 512;
+    int64_t decoder_dim = 256;
+    if (cfg.testScale > 1) {
+        img = 64;
+        for (size_t i = 0; i < dims.size(); ++i) {
+            dims[i] = std::max<int64_t>(heads[i] * 4,
+                                        dims[i] / cfg.testScale);
+            dims[i] -= dims[i] % heads[i];
+        }
+        decoder_dim = 32;
+        srs = {2, 2, 1, 1};
+    }
+
+    Graph g;
+    g.setName("segformer");
+    GraphBuilder b(g);
+
+    Value x = b.input(Shape{cfg.batch, 3, img, img}, DType::F32, "pixels");
+
+    std::vector<Value> stage_maps;
+    std::vector<std::pair<int64_t, int64_t>> stage_hw;
+    Value cur = x;
+    int64_t h = img, w = img;
+    for (size_t s = 0; s < dims.size(); ++s) {
+        std::string sp = "stage" + std::to_string(s);
+        int64_t c = dims[s];
+        // Overlapped patch embedding.
+        if (s == 0) {
+            cur = b.conv2d(cur, c, 7, 4, 3, 1, true, sp + ".patch_embed");
+            h /= 4;
+            w /= 4;
+        } else {
+            cur = b.conv2d(cur, c, 3, 2, 1, 1, true, sp + ".patch_embed");
+            h /= 2;
+            w /= 2;
+        }
+        // flatten(2).transpose(1,2): stride tricks, no copy.
+        Value seq = b.view(cur, Shape{cfg.batch, c, h * w});
+        seq = b.permute(seq, {0, 2, 1});
+        seq = b.layerNorm(seq);
+
+        for (int64_t blk = 0; blk < depths[s]; ++blk) {
+            std::string bp = sp + ".b" + std::to_string(blk);
+            Value a = b.layerNorm(seq);
+            a = efficientAttention(b, a, cfg.batch, h, w, c, heads[s],
+                                   srs[s], bp + ".attn");
+            seq = b.add(seq, a);
+            Value m = b.layerNorm(seq);
+            m = mixFfn(b, m, cfg.batch, h, w, c, c * 4, bp + ".ffn");
+            seq = b.add(seq, m);
+        }
+        seq = b.layerNorm(seq);
+
+        // Back to NCHW for the next stage / decoder.
+        Value map = b.permute(seq, {0, 2, 1});
+        map = b.contiguous(map);
+        map = b.view(map, Shape{cfg.batch, c, h, w});
+        stage_maps.push_back(map);
+        stage_hw.push_back({h, w});
+        cur = map;
+    }
+
+    // --- All-MLP decode head ---------------------------------------------
+    int64_t oh = stage_hw[0].first, ow = stage_hw[0].second;
+    std::vector<Value> unified;
+    for (size_t s = 0; s < stage_maps.size(); ++s) {
+        std::string dp = "decode.l" + std::to_string(s);
+        int64_t c = dims[s];
+        auto [sh, sw] = stage_hw[s];
+        Value seq = b.view(stage_maps[s], Shape{cfg.batch, c, sh * sw});
+        seq = b.permute(seq, {0, 2, 1});
+        Value proj = b.linear(seq, decoder_dim, true, dp + ".proj");
+        Value map = b.permute(proj, {0, 2, 1});
+        map = b.contiguous(map);
+        map = b.view(map, Shape{cfg.batch, decoder_dim, sh, sw});
+        if (sh != oh || sw != ow)
+            map = b.interpolate(map, static_cast<int>(oh),
+                                static_cast<int>(ow));
+        unified.push_back(map);
+    }
+    Value fused = b.concat(unified, 1);
+    fused = b.conv2d(fused, decoder_dim, 1, 1, 0, 1, false, "decode.fuse");
+    fused = b.batchNorm2d(fused);
+    fused = b.relu(fused);
+    Value logits = b.conv2d(fused, 150, 1, 1, 0, 1, true,
+                            "decode.classifier");
+    // Upsample predictions back toward input resolution.
+    logits = b.interpolate(logits, static_cast<int>(oh * 2),
+                           static_cast<int>(ow * 2));
+    b.output(logits);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,247 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "models/swin_backbone.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+/** [B, HW, C] -> windowed [B*nW, win*win, C]: view/permute/contiguous. */
+Value
+windowPartition(GraphBuilder &b, Value x, int64_t batch, int64_t h,
+                int64_t w, int64_t c, int64_t win)
+{
+    Value v = b.view(x, Shape{batch, h / win, win, w / win, win, c});
+    v = b.permute(v, {0, 1, 3, 2, 4, 5});
+    v = b.contiguous(v);
+    return b.view(v, Shape{batch * (h / win) * (w / win), win * win, c});
+}
+
+/** Inverse of windowPartition. */
+Value
+windowReverse(GraphBuilder &b, Value x, int64_t batch, int64_t h, int64_t w,
+              int64_t c, int64_t win)
+{
+    Value v = b.view(x, Shape{batch, h / win, w / win, win, win, c});
+    v = b.permute(v, {0, 1, 3, 2, 4, 5});
+    v = b.contiguous(v);
+    return b.view(v, Shape{batch, h * w, c});
+}
+
+/** One (shifted-)window attention block at resolution h x w. */
+Value
+swinBlock(GraphBuilder &b, Value x, int64_t batch, int64_t h, int64_t w,
+          int64_t c, int64_t heads, int64_t win, bool shifted,
+          const std::string &prefix)
+{
+    int64_t hd = c / heads;
+    // HF's maybe_pad: feature maps whose sides are not multiples of
+    // the window get zero-padded before partitioning and cropped back
+    // after — two more full copies per block (big Memory traffic at
+    // detection resolutions).
+    int64_t hp = (h + win - 1) / win * win;
+    int64_t wp = (w + win - 1) / win * win;
+    bool padded = hp != h || wp != w;
+    int64_t n_win = (hp / win) * (wp / win);
+    int64_t bw = batch * n_win;
+    int64_t t = win * win;
+
+    Value shortcut = x;
+    Value v = b.layerNorm(x);
+
+    v = b.view(v, Shape{batch, h, w, c});
+    if (padded) {
+        if (hp != h)
+            v = b.pad(v, 1, 0, hp - h);
+        if (wp != w)
+            v = b.pad(v, 2, 0, wp - w);
+    }
+    // The cyclic shift for shifted windows (torch.roll) moves the
+    // whole feature map — a real copy, the Swin memory signature.
+    if (shifted) {
+        v = b.roll(v, -(win / 2), 1);
+        v = b.roll(v, -(win / 2), 2);
+    }
+    v = b.view(v, Shape{batch, hp * wp, c});
+    v = windowPartition(b, v, batch, hp, wp, c, win);
+
+    // Fused qkv + head split.
+    Value qkv = b.linear(v, 3 * c, true, prefix + ".qkv");
+    Value q5 = b.view(qkv, Shape{bw, t, 3, heads, hd});
+    Value qp = b.permute(q5, {2, 0, 3, 1, 4});
+    qp = b.contiguous(qp);
+    Value flat = b.view(qp, Shape{3 * bw * heads, t, hd});
+    auto parts = b.split(flat, bw * heads, 0);
+    Value q = parts[0], k = parts[1], vv = parts[2];
+
+    q = b.mulScalar(q, 1.0 / std::sqrt(static_cast<double>(hd)));
+    Value kt = b.contiguous(b.transpose(k, 1, 2));
+    Value logits = b.bmm(q, kt, prefix + ".attn_logits");
+
+    // Relative position bias (+ shift mask for shifted windows).
+    Value bias = b.weight(Shape{1, t, t}, prefix + ".rel_pos_bias");
+    logits = b.add(logits, bias);
+    if (shifted) {
+        Value mask = b.weight(Shape{1, t, t}, prefix + ".shift_mask");
+        logits = b.add(logits, mask);
+    }
+    Value probs = b.softmax(logits, -1);
+    Value ctx = b.bmm(probs, vv, prefix + ".attn_context");
+
+    // Merge heads: view + permute + contiguous + view.
+    ctx = b.view(ctx, Shape{bw, heads, t, hd});
+    ctx = b.permute(ctx, {0, 2, 1, 3});
+    ctx = b.contiguous(ctx);
+    ctx = b.view(ctx, Shape{bw, t, c});
+    ctx = b.linear(ctx, c, true, prefix + ".proj");
+
+    Value merged = windowReverse(b, ctx, batch, hp, wp, c, win);
+    if (shifted) {
+        merged = b.view(merged, Shape{batch, hp, wp, c});
+        merged = b.roll(merged, win / 2, 1);
+        merged = b.roll(merged, win / 2, 2);
+        merged = b.view(merged, Shape{batch, hp * wp, c});
+    }
+    if (padded) {
+        // Crop the pad back off (strided slices + one copy).
+        merged = b.view(merged, Shape{batch, hp, wp, c});
+        merged = b.slice(merged, 1, 0, h);
+        merged = b.slice(merged, 2, 0, w);
+        merged = b.contiguous(merged);
+        merged = b.view(merged, Shape{batch, h * w, c});
+    }
+    Value y = b.add(shortcut, merged);
+
+    Value m = b.layerNorm(y);
+    m = transformerMlp(b, m, c * 4, 1, prefix + ".mlp");
+    return b.add(y, m);
+}
+
+/** Patch merging: 4 strided slices + concat + LN + reduction linear. */
+Value
+patchMerging(GraphBuilder &b, Value x, int64_t batch, int64_t h, int64_t w,
+             int64_t c, const std::string &prefix)
+{
+    Value v = b.view(x, Shape{batch, h, w, c});
+    if (h % 2 || w % 2) {
+        if (h % 2)
+            v = b.pad(v, 1, 0, 1);
+        if (w % 2)
+            v = b.pad(v, 2, 0, 1);
+        h += h % 2;
+        w += w % 2;
+    }
+    // x[:, 0::2, 0::2], [1::2, 0::2], [0::2, 1::2], [1::2, 1::2]:
+    // strided slices followed by a channel concat.
+    std::vector<Value> quads;
+    for (int i = 0; i < 4; ++i) {
+        Value s = b.slice(v, 1, (i & 1), h / 2);
+        s = b.slice(s, 2, (i >> 1), w / 2);
+        quads.push_back(s);
+    }
+    Value cat = b.concat(quads, -1);  // [B, h/2, w/2, 4c]
+    cat = b.view(cat, Shape{batch, (h / 2) * (w / 2), 4 * c});
+    cat = b.layerNorm(cat);
+    return b.linear(cat, 2 * c, false, prefix + ".reduction");
+}
+
+}  // namespace
+
+SwinFeatures
+buildSwinBackbone(GraphBuilder &b, Value image, const SwinSpec &spec,
+                  const std::string &prefix)
+{
+    const Shape &is = b.graph().shapeOf(image);
+    int64_t batch = is[0];
+    int64_t img = is[2];
+    int64_t side = img / 4;
+    int64_t c = spec.embedDim;
+
+    // Patch embedding: conv k4 s4 + flatten + LN.
+    Value v = b.conv2d(image, c, 4, 4, 0, 1, true, prefix + ".patch_embed");
+    v = b.reshape(v, Shape{batch, c, side * side});
+    v = b.permute(v, {0, 2, 1});
+    v = b.contiguous(v);
+    v = b.layerNorm(v);
+
+    SwinFeatures feats;
+    int64_t h = side, w = side;
+    for (size_t stage = 0; stage < spec.depths.size(); ++stage) {
+        int64_t heads = spec.heads[stage];
+        for (int64_t blk = 0; blk < spec.depths[stage]; ++blk) {
+            bool shifted = (blk % 2) == 1;
+            v = swinBlock(b, v, batch, h, w, c, heads, spec.window,
+                          shifted,
+                          prefix + ".s" + std::to_string(stage) + ".b" +
+                              std::to_string(blk));
+        }
+        feats.stages.push_back({v, h, w, c});
+        if (stage + 1 < spec.depths.size()) {
+            v = patchMerging(b, v, batch, h, w, c,
+                             prefix + ".merge" + std::to_string(stage));
+            h = (h + 1) / 2;
+            w = (w + 1) / 2;
+            c *= 2;
+        }
+    }
+    return feats;
+}
+
+SwinSpec
+swinVariant(const std::string &v)
+{
+    if (v == "t")
+        return {96, {2, 2, 6, 2}, {3, 6, 12, 24}, 7};
+    if (v == "s")
+        return {96, {2, 2, 18, 2}, {3, 6, 12, 24}, 7};
+    if (v == "b")
+        return {128, {2, 2, 18, 2}, {4, 8, 16, 32}, 7};
+    throw std::runtime_error("unknown Swin variant: " + v);
+}
+
+Graph
+buildSwin(const std::string &variant, const ModelConfig &cfg)
+{
+    SwinSpec spec = swinVariant(variant);
+    int64_t img = cfg.imageSize > 0 ? cfg.imageSize : 224;
+    if (cfg.testScale > 1) {
+        spec.embedDim =
+            std::max<int64_t>(spec.heads[0] * 4,
+                              spec.embedDim / cfg.testScale);
+        spec.embedDim -= spec.embedDim % spec.heads[0];
+        for (auto &d : spec.depths)
+            d = std::max<int64_t>(1, d / cfg.testScale);
+        // Tiny spatial config whose stages stay window-divisible.
+        spec.window = 2;
+        img = 64;
+    }
+
+    Graph g;
+    g.setName("swin_" + variant);
+    GraphBuilder b(g);
+
+    Value x = b.input(Shape{cfg.batch, 3, img, img}, DType::F32, "pixels");
+    SwinFeatures f = buildSwinBackbone(b, x, spec, "swin");
+
+    // Classification head: LN + mean-pool + linear.
+    const SwinStage &last = f.stages.back();
+    Value v = b.layerNorm(last.tokens);
+    Value pooled = b.reshape(v, Shape{cfg.batch, last.h * last.w, last.c});
+    // Global average pool over tokens via AdaptiveAvgPool on NCHW view.
+    pooled = b.permute(pooled, {0, 2, 1});
+    pooled = b.contiguous(pooled);
+    pooled = b.view(pooled, Shape{cfg.batch, last.c, last.h, last.w});
+    pooled = b.adaptiveAvgPool2d(pooled, 1, 1);
+    pooled = b.reshape(pooled, Shape{cfg.batch, last.c});
+    Value logits = b.linear(pooled, 1000, true, "head");
+    b.output(logits);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

@@ -1,0 +1,48 @@
+#ifndef NGB_MODELS_SWIN_BACKBONE_H
+#define NGB_MODELS_SWIN_BACKBONE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace ngb {
+namespace models {
+
+/** Architecture hyper-parameters of a Swin Transformer backbone. */
+struct SwinSpec {
+    int64_t embedDim;
+    std::vector<int64_t> depths;
+    std::vector<int64_t> heads;
+    int64_t window;
+};
+
+/** Token tensor of one backbone stage, with its spatial layout. */
+struct SwinStage {
+    Value tokens;  ///< [B, h*w, c]
+    int64_t h;
+    int64_t w;
+    int64_t c;
+};
+
+struct SwinFeatures {
+    std::vector<SwinStage> stages;  ///< one entry per stage, stride 4..32
+};
+
+/** Specs for the "t", "s", "b" variants of Table II. */
+SwinSpec swinVariant(const std::string &v);
+
+/**
+ * Build the full hierarchical Swin backbone on @p image (NCHW), with
+ * the eager-mode window partition/reverse, cyclic roll, and patch
+ * merging memory operators made explicit. Shared between the Swin
+ * classifiers and MaskFormer.
+ */
+SwinFeatures buildSwinBackbone(GraphBuilder &b, Value image,
+                               const SwinSpec &spec,
+                               const std::string &prefix);
+
+}  // namespace models
+}  // namespace ngb
+
+#endif  // NGB_MODELS_SWIN_BACKBONE_H

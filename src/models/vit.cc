@@ -1,0 +1,82 @@
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "models/common.h"
+#include "models/models.h"
+
+namespace ngb {
+namespace models {
+
+namespace {
+
+struct VitConfig {
+    int64_t dim;
+    int64_t depth;
+    int64_t heads;
+    int64_t patch;
+};
+
+VitConfig
+vitVariant(const std::string &v)
+{
+    if (v == "b")
+        return {768, 12, 12, 16};
+    if (v == "l")
+        return {1024, 24, 16, 16};
+    if (v == "h")
+        return {1280, 32, 16, 14};
+    throw std::runtime_error("unknown ViT variant: " + v);
+}
+
+}  // namespace
+
+Graph
+buildViT(const std::string &variant, const ModelConfig &cfg)
+{
+    VitConfig vc = vitVariant(variant);
+    if (cfg.testScale > 1) {
+        vc.dim = std::max<int64_t>(vc.heads * 4, vc.dim / cfg.testScale);
+        vc.dim -= vc.dim % vc.heads;
+        vc.depth = std::max<int64_t>(1, vc.depth / cfg.testScale);
+    }
+    int64_t img = cfg.imageSize > 0 ? cfg.imageSize : 224;
+    int64_t tokens_side = img / vc.patch;
+    int64_t tokens = tokens_side * tokens_side + 1;  // + [CLS]
+
+    Graph g;
+    g.setName("vit_" + variant);
+    GraphBuilder b(g);
+
+    Value x = b.input(Shape{cfg.batch, 3, img, img}, DType::F32, "pixels");
+
+    // Patch embedding: Conv2d stride=patch, then flatten + transpose.
+    Value p = b.conv2d(x, vc.dim, static_cast<int>(vc.patch),
+                       static_cast<int>(vc.patch), 0, 1, true,
+                       "patch_embed");
+    p = b.reshape(p, Shape{cfg.batch, vc.dim, tokens_side * tokens_side});
+    p = b.permute(p, {0, 2, 1});
+    p = b.contiguous(p);
+
+    // Prepend the class token (expand + concat, Table I memory ops).
+    Value cls = b.weight(Shape{1, 1, vc.dim}, "cls_token");
+    Value cls_b = b.expand(cls, Shape{cfg.batch, 1, vc.dim});
+    Value seq = b.concat({cls_b, p}, 1);
+
+    // Learned position embeddings.
+    Value pos = b.weight(Shape{1, tokens, vc.dim}, "pos_embed");
+    seq = b.add(seq, pos);
+
+    for (int64_t i = 0; i < vc.depth; ++i)
+        seq = encoderLayerPreNorm(b, seq, vc.heads, vc.dim * 4,
+                                  "layer" + std::to_string(i));
+
+    seq = b.layerNorm(seq);
+    Value cls_out = b.slice(seq, 1, 0, 1);
+    cls_out = b.reshape(cls_out, Shape{cfg.batch, vc.dim});
+    Value logits = b.linear(cls_out, 1000, true, "head");
+    b.output(logits);
+    return g;
+}
+
+}  // namespace models
+}  // namespace ngb

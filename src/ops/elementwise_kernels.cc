@@ -1,0 +1,188 @@
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace kernels {
+
+namespace {
+
+/** numpy-style broadcast of two shapes. */
+Shape
+broadcastShape(const Shape &a, const Shape &b)
+{
+    size_t r = std::max(a.rank(), b.rank());
+    std::vector<int64_t> out(r);
+    for (size_t i = 0; i < r; ++i) {
+        int64_t da = i < r - a.rank() ? 1 : a[i - (r - a.rank())];
+        int64_t db = i < r - b.rank() ? 1 : b[i - (r - b.rank())];
+        if (da != db && da != 1 && db != 1)
+            throw std::runtime_error("broadcast: incompatible shapes " +
+                                     a.str() + " vs " + b.str());
+        out[i] = std::max(da, db);
+    }
+    return Shape(out);
+}
+
+/** View @p t broadcast up to @p target via unsqueeze + expand. */
+Tensor
+broadcastTo(const Tensor &t, const Shape &target)
+{
+    Tensor v = t;
+    while (v.shape().rank() < target.rank())
+        v = v.unsqueeze(0);
+    if (v.shape() == target)
+        return v;
+    return v.expand(target);
+}
+
+Tensor
+binaryOp(const Tensor &a, const Tensor &b,
+         const std::function<float(float, float)> &f)
+{
+    Shape out_shape = broadcastShape(a.shape(), b.shape());
+    Tensor av = broadcastTo(a, out_shape);
+    Tensor bv = broadcastTo(b, out_shape);
+    Tensor out(out_shape, DType::F32);
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < out.numel(); ++i)
+        po[i] = f(av.flatAt(i), bv.flatAt(i));
+    return out;
+}
+
+Tensor
+unaryOp(const Tensor &x, const std::function<float(float)> &f)
+{
+    Tensor out(x.shape(), DType::F32);
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        po[i] = f(x.flatAt(i));
+    return out;
+}
+
+}  // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor
+div(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor
+neg(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return -v; });
+}
+
+Tensor
+sqrtOp(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return std::sqrt(v); });
+}
+
+Tensor
+powScalar(const Tensor &x, float e)
+{
+    return unaryOp(x, [e](float v) { return std::pow(v, e); });
+}
+
+Tensor
+addScalar(const Tensor &x, float s)
+{
+    return unaryOp(x, [s](float v) { return v + s; });
+}
+
+Tensor
+mulScalar(const Tensor &x, float s)
+{
+    return unaryOp(x, [s](float v) { return v * s; });
+}
+
+Tensor
+where(const Tensor &cond, const Tensor &a, const Tensor &b)
+{
+    Shape out_shape = broadcastShape(
+        broadcastShape(cond.shape(), a.shape()), b.shape());
+    Tensor cv = broadcastTo(cond, out_shape);
+    Tensor av = broadcastTo(a, out_shape);
+    Tensor bv = broadcastTo(b, out_shape);
+    Tensor out(out_shape, DType::F32);
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < out.numel(); ++i)
+        po[i] = cv.flatAt(i) != 0.0f ? av.flatAt(i) : bv.flatAt(i);
+    return out;
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor
+gelu(const Tensor &x)
+{
+    return unaryOp(x, [](float v) {
+        return 0.5f * v * (1.0f + std::erf(v * 0.70710678f));
+    });
+}
+
+Tensor
+sigmoid(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor
+silu(const Tensor &x)
+{
+    return unaryOp(x,
+                   [](float v) { return v / (1.0f + std::exp(-v)); });
+}
+
+Tensor
+tanhOp(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return std::tanh(v); });
+}
+
+Tensor
+expOp(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return std::exp(v); });
+}
+
+Tensor
+logOp(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return std::log(v); });
+}
+
+Tensor
+erfOp(const Tensor &x)
+{
+    return unaryOp(x, [](float v) { return std::erf(v); });
+}
+
+}  // namespace kernels
+}  // namespace ngb

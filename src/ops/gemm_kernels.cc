@@ -1,0 +1,229 @@
+#include <stdexcept>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace kernels {
+
+namespace {
+
+/** Flatten all but the last dimension into rows. */
+Tensor
+asRows(const Tensor &x)
+{
+    int64_t k = x.shape().dim(-1);
+    return x.contiguous().view(Shape{x.numel() / k, k});
+}
+
+/** Restore row-flattened output back to x's leading dims with new last. */
+Tensor
+fromRows(const Tensor &rows, const Tensor &x, int64_t n)
+{
+    std::vector<int64_t> dims = x.shape().dims();
+    dims.back() = n;
+    return rows.view(Shape(dims));
+}
+
+}  // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    if (a.shape().rank() != 2 || b.shape().rank() != 2)
+        throw std::runtime_error("matmul: rank-2 inputs required");
+    int64_t m = a.shape()[0], k = a.shape()[1];
+    int64_t k2 = b.shape()[0], n = b.shape()[1];
+    if (k != k2)
+        throw std::runtime_error("matmul: inner dim mismatch");
+    Tensor ac = a.contiguous().to(DType::F32);
+    Tensor bc = b.contiguous().to(DType::F32);
+    Tensor out(Shape{m, n}, DType::F32);
+    const float *pa = ac.dataF32();
+    const float *pb = bc.dataF32();
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+            float av = pa[i * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + kk * n;
+            float *orow = po + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+linear(const Tensor &x, const Tensor &w, const Tensor &b)
+{
+    if (w.shape().rank() != 2)
+        throw std::runtime_error("linear: weight must be [N,K]");
+    int64_t n = w.shape()[0], k = w.shape()[1];
+    if (x.shape().dim(-1) != k)
+        throw std::runtime_error("linear: input last dim != K");
+    Tensor rows = asRows(x);
+    Tensor wt = w.transpose(0, 1).contiguous();
+    Tensor out = matmul(rows, wt);
+    if (b.defined()) {
+        float *po = out.dataF32();
+        Tensor bc = b.contiguous().to(DType::F32);
+        const float *pb = bc.dataF32();
+        int64_t m = out.shape()[0];
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j)
+                po[i * n + j] += pb[j];
+    }
+    return fromRows(out, x, n);
+}
+
+Tensor
+bmm(const Tensor &a, const Tensor &b)
+{
+    if (a.shape().rank() != 3 || b.shape().rank() != 3)
+        throw std::runtime_error("bmm: rank-3 inputs required");
+    int64_t bs = a.shape()[0];
+    if (b.shape()[0] != bs)
+        throw std::runtime_error("bmm: batch mismatch");
+    int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[2];
+    if (b.shape()[1] != k)
+        throw std::runtime_error("bmm: inner dim mismatch");
+    Tensor out(Shape{bs, m, n}, DType::F32);
+    for (int64_t i = 0; i < bs; ++i) {
+        Tensor oi = matmul(a.slice(0, i, 1).reshape(Shape{m, k}),
+                           b.slice(0, i, 1).reshape(Shape{k, n}));
+        const float *p = oi.dataF32();
+        float *po = out.dataF32() + i * m * n;
+        for (int64_t j = 0; j < m * n; ++j)
+            po[j] = p[j];
+    }
+    return out;
+}
+
+Tensor
+conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+       int padding, int groups)
+{
+    if (x.shape().rank() != 4 || w.shape().rank() != 4)
+        throw std::runtime_error("conv2d: NCHW input and FCRS weight");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], wd = x.shape()[3];
+    int64_t f = w.shape()[0], cg = w.shape()[1];
+    int64_t r = w.shape()[2], s = w.shape()[3];
+    if (c != cg * groups)
+        throw std::runtime_error("conv2d: channel/group mismatch");
+    if (f % groups != 0)
+        throw std::runtime_error("conv2d: filters not divisible by groups");
+    int64_t oh = (h + 2 * padding - r) / stride + 1;
+    int64_t ow = (wd + 2 * padding - s) / stride + 1;
+    int64_t fg = f / groups;
+
+    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor wc = w.contiguous().to(DType::F32);
+    const float *px = xc.dataF32();
+    const float *pw = wc.dataF32();
+    Tensor out(Shape{n, f, oh, ow}, DType::F32);
+    float *po = out.dataF32();
+
+    // im2col per (image, group), then GEMM over the patch matrix.
+    int64_t patch = cg * r * s;
+    std::vector<float> col(static_cast<size_t>(patch * oh * ow));
+    for (int64_t img = 0; img < n; ++img) {
+        for (int g = 0; g < groups; ++g) {
+            // Build the column matrix: [patch, oh*ow].
+            for (int64_t cc = 0; cc < cg; ++cc) {
+                int64_t cin = g * cg + cc;
+                const float *chan = px + (img * c + cin) * h * wd;
+                for (int64_t rr = 0; rr < r; ++rr) {
+                    for (int64_t ss = 0; ss < s; ++ss) {
+                        int64_t row = (cc * r + rr) * s + ss;
+                        float *crow = col.data() + row * oh * ow;
+                        for (int64_t oy = 0; oy < oh; ++oy) {
+                            int64_t iy = oy * stride - padding + rr;
+                            for (int64_t ox = 0; ox < ow; ++ox) {
+                                int64_t ix = ox * stride - padding + ss;
+                                float v = 0.0f;
+                                if (iy >= 0 && iy < h && ix >= 0 && ix < wd)
+                                    v = chan[iy * wd + ix];
+                                crow[oy * ow + ox] = v;
+                            }
+                        }
+                    }
+                }
+            }
+            // out[fg rows] = W[fg, patch] @ col[patch, oh*ow]
+            for (int64_t ff = 0; ff < fg; ++ff) {
+                int64_t fout = g * fg + ff;
+                const float *wrow = pw + fout * patch;
+                float *orow = po + (img * f + fout) * oh * ow;
+                for (int64_t j = 0; j < oh * ow; ++j)
+                    orow[j] = 0.0f;
+                for (int64_t p = 0; p < patch; ++p) {
+                    float wv = wrow[p];
+                    if (wv == 0.0f)
+                        continue;
+                    const float *crow = col.data() + p * oh * ow;
+                    for (int64_t j = 0; j < oh * ow; ++j)
+                        orow[j] += wv * crow[j];
+                }
+            }
+        }
+    }
+    if (b.defined()) {
+        Tensor bc = b.contiguous().to(DType::F32);
+        const float *pb = bc.dataF32();
+        for (int64_t img = 0; img < n; ++img)
+            for (int64_t ff = 0; ff < f; ++ff) {
+                float *orow = po + (img * f + ff) * oh * ow;
+                for (int64_t j = 0; j < oh * ow; ++j)
+                    orow[j] += pb[ff];
+            }
+    }
+    return out;
+}
+
+Tensor
+int8Linear(const Tensor &x_q, const Tensor &w_q, const Tensor &b,
+           float x_scale, float w_scale)
+{
+    if (x_q.dtype() != DType::I8 || w_q.dtype() != DType::I8)
+        throw std::runtime_error("int8Linear: int8 inputs required");
+    int64_t n = w_q.shape()[0], k = w_q.shape()[1];
+    if (x_q.shape().dim(-1) != k)
+        throw std::runtime_error("int8Linear: input last dim != K");
+    Tensor xc = x_q.contiguous();
+    int64_t m = xc.numel() / k;
+    const int8_t *px = xc.dataI8();
+    Tensor wc = w_q.contiguous();
+    const int8_t *pw = wc.dataI8();
+
+    std::vector<int64_t> dims = x_q.shape().dims();
+    dims.back() = n;
+    Tensor out(Shape(dims), DType::F32);
+    Tensor flat = out.view(Shape{m, n});
+    float *po = flat.dataF32();
+    float scale = x_scale * w_scale;
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            int32_t acc = 0;
+            const int8_t *xrow = px + i * k;
+            const int8_t *wrow = pw + j * k;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += static_cast<int32_t>(xrow[kk]) *
+                       static_cast<int32_t>(wrow[kk]);
+            po[i * n + j] = static_cast<float>(acc) * scale;
+        }
+    }
+    if (b.defined()) {
+        Tensor bc = b.contiguous().to(DType::F32);
+        const float *pb = bc.dataF32();
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j)
+                po[i * n + j] += pb[j];
+    }
+    return out;
+}
+
+}  // namespace kernels
+}  // namespace ngb

@@ -1,0 +1,181 @@
+#ifndef NGB_OPS_KERNELS_H
+#define NGB_OPS_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+/**
+ * @file
+ * Reference CPU kernels for every operator in the NonGEMM Bench
+ * inventory. Kernels are straightforward, well-tested implementations:
+ * correctness (and FLOP/byte accounting elsewhere) matters, raw host
+ * speed does not, because platform latency comes from the analytical
+ * cost model.
+ */
+
+namespace ngb {
+namespace kernels {
+
+// ----- GEMM-based operators ---------------------------------------------
+
+/**
+ * Fully connected layer: y = x @ w^T + b.
+ *
+ * @param x [.., K] input; leading dims are flattened to rows.
+ * @param w [N, K] weight (PyTorch nn.Linear layout).
+ * @param b optional [N] bias (pass an undefined Tensor to skip).
+ * @return [.., N]
+ */
+Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b);
+
+/** Plain 2-D matrix product: [M,K] @ [K,N] -> [M,N]. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Batched matrix product: [B,M,K] @ [B,K,N] -> [B,M,N]. */
+Tensor bmm(const Tensor &a, const Tensor &b);
+
+/**
+ * 2-D convolution via explicit im2col + GEMM, NCHW layout.
+ *
+ * @param x [N, C, H, W]
+ * @param w [F, C/groups, R, S]
+ * @param b optional [F]
+ */
+Tensor conv2d(const Tensor &x, const Tensor &w, const Tensor &b,
+              int stride, int padding, int groups = 1);
+
+/**
+ * LLM.int8()-style quantized linear: int8 x int8 -> int32 accumulate,
+ * then rescale by x_scale * w_scale into float.
+ */
+Tensor int8Linear(const Tensor &x_q, const Tensor &w_q, const Tensor &b,
+                  float x_scale, float w_scale);
+
+// ----- Activations -------------------------------------------------------
+
+Tensor relu(const Tensor &x);
+/** Exact GELU using erf (the variant HF transformers defaults to). */
+Tensor gelu(const Tensor &x);
+/** SiLU / swish: x * sigmoid(x). */
+Tensor silu(const Tensor &x);
+Tensor sigmoid(const Tensor &x);
+Tensor tanhOp(const Tensor &x);
+Tensor expOp(const Tensor &x);
+Tensor logOp(const Tensor &x);
+Tensor erfOp(const Tensor &x);
+
+// ----- Normalization -----------------------------------------------------
+
+/** LayerNorm over the last dimension. */
+Tensor layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 float eps);
+/** Inference-mode BatchNorm over dim 1 of NCHW using running stats. */
+Tensor batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                   const Tensor &mean, const Tensor &var, float eps);
+/** RMSNorm over the last dimension (no mean subtraction). */
+Tensor rmsNorm(const Tensor &x, const Tensor &gamma, float eps);
+/** GroupNorm over NCHW with @p groups channel groups. */
+Tensor groupNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 int groups, float eps);
+
+// ----- Element-wise arithmetic (numpy-style broadcasting) ----------------
+
+Tensor add(const Tensor &a, const Tensor &b);
+Tensor sub(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b);
+Tensor div(const Tensor &a, const Tensor &b);
+Tensor neg(const Tensor &x);
+Tensor sqrtOp(const Tensor &x);
+/** Element-wise power with scalar exponent. */
+Tensor powScalar(const Tensor &x, float e);
+Tensor addScalar(const Tensor &x, float s);
+Tensor mulScalar(const Tensor &x, float s);
+/** where(cond, a, b) with cond broadcast against a/b. */
+Tensor where(const Tensor &cond, const Tensor &a, const Tensor &b);
+
+// ----- Logit computation --------------------------------------------------
+
+/** Numerically stable softmax along dimension @p dim. */
+Tensor softmax(const Tensor &x, int dim);
+Tensor logSoftmax(const Tensor &x, int dim);
+
+// ----- RoI selection ------------------------------------------------------
+
+/**
+ * Non-maximum suppression (Figure 2 (a) of the paper).
+ *
+ * @param boxes [N,4] as (y1,x1,y2,x2).
+ * @param scores [N].
+ * @param iou_threshold overlapping proposals above this IoU are dropped.
+ * @param score_threshold proposals below this score are dropped first.
+ * @return indices of kept boxes, sorted by descending score (I32 [K]).
+ */
+Tensor nms(const Tensor &boxes, const Tensor &scores, float iou_threshold,
+           float score_threshold);
+
+/**
+ * RoIAlign with bilinear sampling.
+ *
+ * @param feat [N,C,H,W] feature map.
+ * @param rois [R,5] as (batch_idx, y1, x1, y2, x2) in feature coords.
+ * @param out_h,out_w output resolution per RoI.
+ * @return [R, C, out_h, out_w]
+ */
+Tensor roiAlign(const Tensor &feat, const Tensor &rois, int out_h,
+                int out_w);
+
+// ----- Interpolation ------------------------------------------------------
+
+/** Bilinear resize of NCHW input to (out_h, out_w). */
+Tensor interpolateBilinear(const Tensor &x, int out_h, int out_w);
+
+// ----- Pooling ------------------------------------------------------------
+
+Tensor maxPool2d(const Tensor &x, int kernel, int stride, int padding);
+Tensor avgPool2d(const Tensor &x, int kernel, int stride, int padding);
+/** Adaptive average pool to (out_h, out_w). */
+Tensor adaptiveAvgPool2d(const Tensor &x, int out_h, int out_w);
+
+// ----- Embedding / indexing ----------------------------------------------
+
+/** Row gather: ids (I32 [..]) indexing table [V,D] -> [.., D]. */
+Tensor embedding(const Tensor &ids, const Tensor &table);
+
+/** Top-k along the last dimension; returns (values, indices). */
+std::pair<Tensor, Tensor> topk(const Tensor &x, int k);
+
+/** Gather along @p dim with an index tensor of the same rank. */
+Tensor gather(const Tensor &x, int dim, const Tensor &index);
+
+/** Inclusive cumulative sum along @p dim. */
+Tensor cumsum(const Tensor &x, int dim);
+
+// ----- Memory operators that move bytes -----------------------------------
+
+/** Concatenate along @p dim. */
+Tensor concat(const std::vector<Tensor> &xs, int dim);
+
+/** Split into equal chunks of @p size along @p dim. */
+std::vector<Tensor> split(const Tensor &x, int64_t size, int dim);
+
+/** Circular shift by @p shift along @p dim (torch.roll). */
+Tensor roll(const Tensor &x, int64_t shift, int dim);
+
+/** Zero-pad @p dim with @p before/@p after extra entries (F.pad). */
+Tensor pad(const Tensor &x, int dim, int64_t before, int64_t after);
+
+// ----- Quantization --------------------------------------------------------
+
+/** Symmetric per-tensor quantization to int8 with the given scale. */
+Tensor quantize(const Tensor &x, float scale);
+/** Dequantize int8 back to float with the given scale. */
+Tensor dequantize(const Tensor &x_q, float scale);
+/** absmax / 127 scale for symmetric quantization. */
+float absmaxScale(const Tensor &x);
+
+}  // namespace kernels
+}  // namespace ngb
+
+#endif  // NGB_OPS_KERNELS_H

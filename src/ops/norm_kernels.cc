@@ -1,0 +1,166 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace kernels {
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          float eps)
+{
+    int64_t d = x.shape().dim(-1);
+    Tensor xc = x.contiguous().to(DType::F32);
+    int64_t rows = xc.numel() / d;
+    Tensor out(x.shape(), DType::F32);
+    const float *px = xc.dataF32();
+    float *po = out.dataF32();
+    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
+                                : Tensor();
+    Tensor bc = beta.defined() ? beta.contiguous().to(DType::F32) : Tensor();
+    const float *pg = gc.defined() ? gc.dataF32() : nullptr;
+    const float *pb = bc.defined() ? bc.dataF32() : nullptr;
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *row = px + i * d;
+        float *orow = po + i * d;
+        float mean = 0.0f;
+        for (int64_t j = 0; j < d; ++j)
+            mean += row[j];
+        mean /= static_cast<float>(d);
+        float var = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+            float c = row[j] - mean;
+            var += c * c;
+        }
+        var /= static_cast<float>(d);
+        float inv = 1.0f / std::sqrt(var + eps);
+        for (int64_t j = 0; j < d; ++j) {
+            float v = (row[j] - mean) * inv;
+            if (pg)
+                v *= pg[j];
+            if (pb)
+                v += pb[j];
+            orow[j] = v;
+        }
+    }
+    return out;
+}
+
+Tensor
+batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+            const Tensor &mean, const Tensor &var, float eps)
+{
+    if (x.shape().rank() != 4)
+        throw std::runtime_error("batchNorm2d: NCHW input required");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t hw = x.shape()[2] * x.shape()[3];
+    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor out(x.shape(), DType::F32);
+    const float *px = xc.dataF32();
+    float *po = out.dataF32();
+    Tensor mc = mean.contiguous().to(DType::F32);
+    Tensor vc = var.contiguous().to(DType::F32);
+    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
+                                : Tensor();
+    Tensor bc = beta.defined() ? beta.contiguous().to(DType::F32) : Tensor();
+    const float *pm = mc.dataF32();
+    const float *pv = vc.dataF32();
+    const float *pg = gc.defined() ? gc.dataF32() : nullptr;
+    const float *pb = bc.defined() ? bc.dataF32() : nullptr;
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            float inv = 1.0f / std::sqrt(pv[cc] + eps);
+            float scale = pg ? pg[cc] * inv : inv;
+            float shift = (pb ? pb[cc] : 0.0f) - pm[cc] * scale;
+            const float *row = px + (img * c + cc) * hw;
+            float *orow = po + (img * c + cc) * hw;
+            for (int64_t j = 0; j < hw; ++j)
+                orow[j] = row[j] * scale + shift;
+        }
+    }
+    return out;
+}
+
+Tensor
+rmsNorm(const Tensor &x, const Tensor &gamma, float eps)
+{
+    int64_t d = x.shape().dim(-1);
+    Tensor xc = x.contiguous().to(DType::F32);
+    int64_t rows = xc.numel() / d;
+    Tensor out(x.shape(), DType::F32);
+    const float *px = xc.dataF32();
+    float *po = out.dataF32();
+    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
+                                : Tensor();
+    const float *pg = gc.defined() ? gc.dataF32() : nullptr;
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *row = px + i * d;
+        float *orow = po + i * d;
+        float ms = 0.0f;
+        for (int64_t j = 0; j < d; ++j)
+            ms += row[j] * row[j];
+        ms /= static_cast<float>(d);
+        float inv = 1.0f / std::sqrt(ms + eps);
+        for (int64_t j = 0; j < d; ++j) {
+            float v = row[j] * inv;
+            if (pg)
+                v *= pg[j];
+            orow[j] = v;
+        }
+    }
+    return out;
+}
+
+Tensor
+groupNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          int groups, float eps)
+{
+    if (x.shape().rank() != 4)
+        throw std::runtime_error("groupNorm: NCHW input required");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t hw = x.shape()[2] * x.shape()[3];
+    if (c % groups != 0)
+        throw std::runtime_error("groupNorm: channels not divisible");
+    int64_t cg = c / groups;
+    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor out(x.shape(), DType::F32);
+    const float *px = xc.dataF32();
+    float *po = out.dataF32();
+    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
+                                : Tensor();
+    Tensor bc = beta.defined() ? beta.contiguous().to(DType::F32) : Tensor();
+    const float *pg = gc.defined() ? gc.dataF32() : nullptr;
+    const float *pb = bc.defined() ? bc.dataF32() : nullptr;
+    for (int64_t img = 0; img < n; ++img) {
+        for (int g = 0; g < groups; ++g) {
+            int64_t base = (img * c + g * cg) * hw;
+            int64_t cnt = cg * hw;
+            float mean = 0.0f;
+            for (int64_t j = 0; j < cnt; ++j)
+                mean += px[base + j];
+            mean /= static_cast<float>(cnt);
+            float var = 0.0f;
+            for (int64_t j = 0; j < cnt; ++j) {
+                float d = px[base + j] - mean;
+                var += d * d;
+            }
+            var /= static_cast<float>(cnt);
+            float inv = 1.0f / std::sqrt(var + eps);
+            for (int64_t cc = 0; cc < cg; ++cc) {
+                int64_t chan = g * cg + cc;
+                float scale = pg ? pg[chan] * inv : inv;
+                float shift =
+                    (pb ? pb[chan] : 0.0f) - mean * scale;
+                const float *row = px + (img * c + chan) * hw;
+                float *orow = po + (img * c + chan) * hw;
+                for (int64_t j = 0; j < hw; ++j)
+                    orow[j] = row[j] * scale + shift;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace kernels
+}  // namespace ngb

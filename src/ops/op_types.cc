@@ -1,0 +1,192 @@
+#include "ops/op_types.h"
+
+namespace ngb {
+
+std::string
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Linear: return "linear";
+      case OpKind::Conv2d: return "conv2d";
+      case OpKind::BMM: return "bmm";
+      case OpKind::MatMul: return "matmul";
+      case OpKind::Int8Linear: return "int8_linear";
+      case OpKind::ReLU: return "relu";
+      case OpKind::GELU: return "gelu";
+      case OpKind::SiLU: return "silu";
+      case OpKind::LayerNorm: return "layer_norm";
+      case OpKind::BatchNorm2d: return "batch_norm2d";
+      case OpKind::FrozenBatchNorm2d: return "frozen_batch_norm2d";
+      case OpKind::RMSNorm: return "rms_norm";
+      case OpKind::GroupNorm: return "group_norm";
+      case OpKind::Reshape: return "reshape";
+      case OpKind::View: return "view";
+      case OpKind::Permute: return "permute";
+      case OpKind::Transpose: return "transpose";
+      case OpKind::Contiguous: return "contiguous";
+      case OpKind::Split: return "split";
+      case OpKind::Expand: return "expand";
+      case OpKind::Squeeze: return "squeeze";
+      case OpKind::Unsqueeze: return "unsqueeze";
+      case OpKind::Concat: return "concat";
+      case OpKind::Slice: return "slice";
+      case OpKind::Roll: return "roll";
+      case OpKind::Pad: return "pad";
+      case OpKind::Add: return "add";
+      case OpKind::Sub: return "sub";
+      case OpKind::Mul: return "mul";
+      case OpKind::Div: return "div";
+      case OpKind::Neg: return "neg";
+      case OpKind::Pow: return "pow";
+      case OpKind::Sqrt: return "sqrt";
+      case OpKind::Erf: return "erf";
+      case OpKind::Exp: return "exp";
+      case OpKind::Log: return "log";
+      case OpKind::Tanh: return "tanh";
+      case OpKind::Where: return "where";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::LogSoftmax: return "log_softmax";
+      case OpKind::NMS: return "nms";
+      case OpKind::RoIAlign: return "roi_align";
+      case OpKind::Interpolate: return "interpolate";
+      case OpKind::Embedding: return "embedding";
+      case OpKind::MaxPool2d: return "max_pool2d";
+      case OpKind::AvgPool2d: return "avg_pool2d";
+      case OpKind::AdaptiveAvgPool2d: return "adaptive_avg_pool2d";
+      case OpKind::TopK: return "topk";
+      case OpKind::Gather: return "gather";
+      case OpKind::CumSum: return "cumsum";
+      case OpKind::Sigmoid: return "sigmoid";
+      case OpKind::Quantize: return "quantize";
+      case OpKind::Dequantize: return "dequantize";
+      case OpKind::Fused: return "fused";
+    }
+    return "?";
+}
+
+std::string
+opCategoryName(OpCategory c)
+{
+    switch (c) {
+      case OpCategory::Gemm: return "GEMM";
+      case OpCategory::Activation: return "Activation";
+      case OpCategory::Normalization: return "Normalization";
+      case OpCategory::Memory: return "Memory";
+      case OpCategory::ElementWise: return "ElementWise";
+      case OpCategory::LogitCompute: return "LogitCompute";
+      case OpCategory::RoiSelection: return "RoiSelection";
+      case OpCategory::Interpolation: return "Interpolation";
+      case OpCategory::Embedding: return "Embedding";
+      case OpCategory::QDQ: return "QDQ";
+      case OpCategory::Misc: return "Misc";
+    }
+    return "?";
+}
+
+OpCategory
+opCategoryOf(OpKind k)
+{
+    switch (k) {
+      case OpKind::Linear:
+      case OpKind::Conv2d:
+      case OpKind::BMM:
+      case OpKind::MatMul:
+      case OpKind::Int8Linear:
+        return OpCategory::Gemm;
+
+      case OpKind::ReLU:
+      case OpKind::GELU:
+      case OpKind::SiLU:
+      case OpKind::Sigmoid:
+        return OpCategory::Activation;
+
+      case OpKind::LayerNorm:
+      case OpKind::BatchNorm2d:
+      case OpKind::FrozenBatchNorm2d:
+      case OpKind::RMSNorm:
+      case OpKind::GroupNorm:
+        return OpCategory::Normalization;
+
+      case OpKind::Reshape:
+      case OpKind::View:
+      case OpKind::Permute:
+      case OpKind::Transpose:
+      case OpKind::Contiguous:
+      case OpKind::Split:
+      case OpKind::Expand:
+      case OpKind::Squeeze:
+      case OpKind::Unsqueeze:
+      case OpKind::Concat:
+      case OpKind::Slice:
+      case OpKind::Roll:
+      case OpKind::Pad:
+      case OpKind::Gather:
+        return OpCategory::Memory;
+
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Neg:
+      case OpKind::Pow:
+      case OpKind::Sqrt:
+      case OpKind::Erf:
+      case OpKind::Exp:
+      case OpKind::Log:
+      case OpKind::Tanh:
+      case OpKind::Where:
+        return OpCategory::ElementWise;
+
+      case OpKind::Softmax:
+      case OpKind::LogSoftmax:
+        return OpCategory::LogitCompute;
+
+      case OpKind::NMS:
+      case OpKind::RoIAlign:
+        return OpCategory::RoiSelection;
+
+      case OpKind::Interpolate:
+        return OpCategory::Interpolation;
+
+      case OpKind::Embedding:
+        return OpCategory::Embedding;
+
+      case OpKind::Quantize:
+      case OpKind::Dequantize:
+        return OpCategory::QDQ;
+
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d:
+      case OpKind::AdaptiveAvgPool2d:
+      case OpKind::TopK:
+      case OpKind::CumSum:
+      case OpKind::Fused:
+        return OpCategory::Misc;
+    }
+    return OpCategory::Misc;
+}
+
+bool
+isGemmOp(OpKind k)
+{
+    return opCategoryOf(k) == OpCategory::Gemm;
+}
+
+bool
+isZeroCopyLayoutOp(OpKind k)
+{
+    switch (k) {
+      case OpKind::View:
+      case OpKind::Permute:
+      case OpKind::Transpose:
+      case OpKind::Expand:
+      case OpKind::Squeeze:
+      case OpKind::Unsqueeze:
+      case OpKind::Slice:
+        return true;
+      default:
+        return false;
+    }
+}
+
+}  // namespace ngb

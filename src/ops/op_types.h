@@ -1,0 +1,137 @@
+#ifndef NGB_OPS_OP_TYPES_H
+#define NGB_OPS_OP_TYPES_H
+
+#include <string>
+
+namespace ngb {
+
+/**
+ * Every concrete ML operator the framework can represent.
+ *
+ * The set is the union of the GEMM operators and the non-GEMM operator
+ * inventory of NonGEMM Bench Table I, plus the quantization operators
+ * introduced by the LLM.int8() pass (Section IV-C) and a Fused
+ * pseudo-operator produced by the deployment-flow fusion engines.
+ */
+enum class OpKind {
+    // GEMM-based operators.
+    Linear,
+    Conv2d,
+    BMM,
+    MatMul,
+    Int8Linear,
+
+    // Activation operators.
+    ReLU,
+    GELU,
+    SiLU,
+
+    // Normalization operators.
+    LayerNorm,
+    BatchNorm2d,
+    FrozenBatchNorm2d,
+    RMSNorm,
+    GroupNorm,
+
+    // Memory (layout) operators.
+    Reshape,
+    View,
+    Permute,
+    Transpose,
+    Contiguous,
+    Split,
+    Expand,
+    Squeeze,
+    Unsqueeze,
+    Concat,
+    Slice,
+    Roll,
+    Pad,
+
+    // Element-wise arithmetic operators.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Pow,
+    Sqrt,
+    Erf,
+    Exp,
+    Log,
+    Tanh,
+    Where,
+
+    // Logit computation.
+    Softmax,
+    LogSoftmax,
+
+    // RoI selection.
+    NMS,
+    RoIAlign,
+
+    // Interpolation.
+    Interpolate,
+
+    // Embedding.
+    Embedding,
+
+    // Pooling and misc.
+    MaxPool2d,
+    AvgPool2d,
+    AdaptiveAvgPool2d,
+    TopK,
+    Gather,
+    CumSum,
+    Sigmoid,
+
+    // Quantization (Q/DQ) operators.
+    Quantize,
+    Dequantize,
+
+    // A kernel produced by operator fusion in a deployment flow.
+    Fused,
+};
+
+/**
+ * Operator groups used for latency attribution. These are exactly the
+ * legend categories of the paper's Figure 6 plus the Q/DQ class that
+ * appears in Figure 9.
+ */
+enum class OpCategory {
+    Gemm,
+    Activation,
+    Normalization,
+    Memory,
+    ElementWise,
+    LogitCompute,
+    RoiSelection,
+    Interpolation,
+    Embedding,
+    QDQ,
+    Misc,
+};
+
+/** Stable lower_snake name for an operator kind, e.g. "layer_norm". */
+std::string opKindName(OpKind k);
+
+/** Display name for a category, e.g. "Normalization". */
+std::string opCategoryName(OpCategory c);
+
+/** The attribution group an operator belongs to. */
+OpCategory opCategoryOf(OpKind k);
+
+/** True for the GEMM-based operator class (Section II-A). */
+bool isGemmOp(OpKind k);
+
+/**
+ * True for layout operators that are pure metadata updates (stride
+ * tricks) in eager PyTorch and therefore cost only a kernel-free call:
+ * View, Transpose/Permute (no copy), Squeeze/Unsqueeze, Expand, Slice.
+ * Contiguous, Reshape-with-copy, Concat, Split and Roll move bytes.
+ */
+bool isZeroCopyLayoutOp(OpKind k);
+
+}  // namespace ngb
+
+#endif  // NGB_OPS_OP_TYPES_H

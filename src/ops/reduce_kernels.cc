@@ -1,0 +1,187 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace kernels {
+
+namespace {
+
+/** Move dim to the last axis, returning the permutation used. */
+std::vector<int>
+permToLast(size_t rank, int dim)
+{
+    std::vector<int> order(rank);
+    std::iota(order.begin(), order.end(), 0);
+    order.erase(order.begin() + dim);
+    order.push_back(dim);
+    return order;
+}
+
+std::vector<int>
+inversePerm(const std::vector<int> &p)
+{
+    std::vector<int> inv(p.size());
+    for (size_t i = 0; i < p.size(); ++i)
+        inv[static_cast<size_t>(p[i])] = static_cast<int>(i);
+    return inv;
+}
+
+int
+normDim(const Tensor &x, int dim)
+{
+    int r = static_cast<int>(x.shape().rank());
+    if (dim < 0)
+        dim += r;
+    if (dim < 0 || dim >= r)
+        throw std::runtime_error("softmax: bad dim");
+    return dim;
+}
+
+}  // namespace
+
+Tensor
+softmax(const Tensor &x, int dim)
+{
+    dim = normDim(x, dim);
+    std::vector<int> perm = permToLast(x.shape().rank(), dim);
+    Tensor xl = x.permute(perm).contiguous().to(DType::F32);
+    int64_t d = xl.shape().dim(-1);
+    int64_t rows = xl.numel() / d;
+    Tensor out(xl.shape(), DType::F32);
+    const float *px = xl.dataF32();
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *row = px + i * d;
+        float *orow = po + i * d;
+        float mx = row[0];
+        for (int64_t j = 1; j < d; ++j)
+            mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            sum += orow[j];
+        }
+        float inv = 1.0f / sum;
+        for (int64_t j = 0; j < d; ++j)
+            orow[j] *= inv;
+    }
+    return out.permute(inversePerm(perm)).contiguous();
+}
+
+Tensor
+logSoftmax(const Tensor &x, int dim)
+{
+    Tensor sm = softmax(x, dim);
+    Tensor out(sm.shape(), DType::F32);
+    float *po = out.dataF32();
+    const float *ps = sm.dataF32();
+    for (int64_t i = 0; i < sm.numel(); ++i)
+        po[i] = std::log(ps[i]);
+    return out;
+}
+
+std::pair<Tensor, Tensor>
+topk(const Tensor &x, int k)
+{
+    int64_t d = x.shape().dim(-1);
+    if (k > d)
+        throw std::runtime_error("topk: k > last dim");
+    Tensor xc = x.contiguous().to(DType::F32);
+    int64_t rows = xc.numel() / d;
+    std::vector<int64_t> dims = x.shape().dims();
+    dims.back() = k;
+    Tensor values(Shape(dims), DType::F32);
+    Tensor indices(Shape(dims), DType::I32);
+    const float *px = xc.dataF32();
+    float *pv = values.dataF32();
+    int32_t *pi = indices.dataI32();
+    std::vector<int32_t> order(static_cast<size_t>(d));
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *row = px + i * d;
+        std::iota(order.begin(), order.end(), 0);
+        std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                          [row](int32_t a, int32_t b) {
+                              return row[a] > row[b];
+                          });
+        for (int j = 0; j < k; ++j) {
+            pv[i * k + j] = row[order[static_cast<size_t>(j)]];
+            pi[i * k + j] = order[static_cast<size_t>(j)];
+        }
+    }
+    return {values, indices};
+}
+
+Tensor
+gather(const Tensor &x, int dim, const Tensor &index)
+{
+    dim = normDim(x, dim);
+    Tensor out(index.shape(), DType::F32);
+    int64_t n = index.numel();
+    size_t rank = x.shape().rank();
+    for (int64_t i = 0; i < n; ++i) {
+        // Decompose i into the index tensor's coordinates.
+        std::vector<int64_t> coord(rank);
+        int64_t rem = i;
+        for (int d2 = static_cast<int>(rank) - 1; d2 >= 0; --d2) {
+            size_t du = static_cast<size_t>(d2);
+            coord[du] = rem % index.shape()[du];
+            rem /= index.shape()[du];
+        }
+        std::vector<int64_t> src = coord;
+        src[static_cast<size_t>(dim)] =
+            static_cast<int64_t>(index.at(coord));
+        out.set(coord, x.at(src));
+    }
+    return out;
+}
+
+Tensor
+cumsum(const Tensor &x, int dim)
+{
+    dim = normDim(x, dim);
+    std::vector<int> perm = permToLast(x.shape().rank(), dim);
+    Tensor xl = x.permute(perm).contiguous().to(DType::F32);
+    int64_t d = xl.shape().dim(-1);
+    int64_t rows = xl.numel() / d;
+    Tensor out(xl.shape(), DType::F32);
+    const float *px = xl.dataF32();
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < rows; ++i) {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+            acc += px[i * d + j];
+            po[i * d + j] = acc;
+        }
+    }
+    return out.permute(inversePerm(perm)).contiguous();
+}
+
+Tensor
+embedding(const Tensor &ids, const Tensor &table)
+{
+    if (table.shape().rank() != 2)
+        throw std::runtime_error("embedding: table must be [V,D]");
+    int64_t v = table.shape()[0], d = table.shape()[1];
+    Tensor tc = table.contiguous().to(DType::F32);
+    const float *pt = tc.dataF32();
+    std::vector<int64_t> dims = ids.shape().dims();
+    dims.push_back(d);
+    Tensor out(Shape(dims), DType::F32);
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < ids.numel(); ++i) {
+        int64_t id = static_cast<int64_t>(ids.flatAt(i));
+        if (id < 0 || id >= v)
+            throw std::runtime_error("embedding: id out of range");
+        const float *row = pt + id * d;
+        for (int64_t j = 0; j < d; ++j)
+            po[i * d + j] = row[j];
+    }
+    return out;
+}
+
+}  // namespace kernels
+}  // namespace ngb

@@ -1,0 +1,371 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace kernels {
+
+namespace {
+
+float
+iou(const float *a, const float *b)
+{
+    // Boxes as (y1, x1, y2, x2).
+    float iy1 = std::max(a[0], b[0]);
+    float ix1 = std::max(a[1], b[1]);
+    float iy2 = std::min(a[2], b[2]);
+    float ix2 = std::min(a[3], b[3]);
+    float ih = std::max(0.0f, iy2 - iy1);
+    float iw = std::max(0.0f, ix2 - ix1);
+    float inter = ih * iw;
+    float area_a = (a[2] - a[0]) * (a[3] - a[1]);
+    float area_b = (b[2] - b[0]) * (b[3] - b[1]);
+    float uni = area_a + area_b - inter;
+    return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+/** Bilinear sample from one channel plane. */
+float
+bilinear(const float *plane, int64_t h, int64_t w, float y, float x)
+{
+    if (y < -1.0f || y > static_cast<float>(h) || x < -1.0f ||
+        x > static_cast<float>(w))
+        return 0.0f;
+    y = std::clamp(y, 0.0f, static_cast<float>(h - 1));
+    x = std::clamp(x, 0.0f, static_cast<float>(w - 1));
+    int64_t y0 = static_cast<int64_t>(y);
+    int64_t x0 = static_cast<int64_t>(x);
+    int64_t y1 = std::min(y0 + 1, h - 1);
+    int64_t x1 = std::min(x0 + 1, w - 1);
+    float fy = y - static_cast<float>(y0);
+    float fx = x - static_cast<float>(x0);
+    float v00 = plane[y0 * w + x0];
+    float v01 = plane[y0 * w + x1];
+    float v10 = plane[y1 * w + x0];
+    float v11 = plane[y1 * w + x1];
+    return v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx +
+           v10 * fy * (1 - fx) + v11 * fy * fx;
+}
+
+}  // namespace
+
+Tensor
+nms(const Tensor &boxes, const Tensor &scores, float iou_threshold,
+    float score_threshold)
+{
+    if (boxes.shape().rank() != 2 || boxes.shape()[1] != 4)
+        throw std::runtime_error("nms: boxes must be [N,4]");
+    int64_t n = boxes.shape()[0];
+    if (scores.numel() != n)
+        throw std::runtime_error("nms: scores/boxes size mismatch");
+    Tensor bc = boxes.contiguous().to(DType::F32);
+    Tensor sc = scores.contiguous().to(DType::F32);
+    const float *pb = bc.dataF32();
+    const float *ps = sc.dataF32();
+
+    // Sort candidates by descending score, dropping low scores.
+    std::vector<int64_t> order;
+    order.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        if (ps[i] >= score_threshold)
+            order.push_back(i);
+    std::sort(order.begin(), order.end(),
+              [ps](int64_t a, int64_t b) { return ps[a] > ps[b]; });
+
+    std::vector<int64_t> keep;
+    std::vector<bool> removed(order.size(), false);
+    for (size_t i = 0; i < order.size(); ++i) {
+        if (removed[i])
+            continue;
+        keep.push_back(order[i]);
+        const float *bi = pb + order[i] * 4;
+        for (size_t j = i + 1; j < order.size(); ++j) {
+            if (removed[j])
+                continue;
+            if (iou(bi, pb + order[j] * 4) > iou_threshold)
+                removed[j] = true;
+        }
+    }
+    Tensor out(Shape{static_cast<int64_t>(keep.size())}, DType::I32);
+    int32_t *po = out.dataI32();
+    for (size_t i = 0; i < keep.size(); ++i)
+        po[i] = static_cast<int32_t>(keep[i]);
+    return out;
+}
+
+Tensor
+roiAlign(const Tensor &feat, const Tensor &rois, int out_h, int out_w)
+{
+    if (feat.shape().rank() != 4)
+        throw std::runtime_error("roiAlign: NCHW feature map required");
+    if (rois.shape().rank() != 2 || rois.shape()[1] != 5)
+        throw std::runtime_error("roiAlign: rois must be [R,5]");
+    int64_t n = feat.shape()[0], c = feat.shape()[1];
+    int64_t h = feat.shape()[2], w = feat.shape()[3];
+    int64_t r = rois.shape()[0];
+    Tensor fc = feat.contiguous().to(DType::F32);
+    Tensor rc = rois.contiguous().to(DType::F32);
+    const float *pf = fc.dataF32();
+    const float *pr = rc.dataF32();
+    Tensor out(Shape{r, c, out_h, out_w}, DType::F32);
+    float *po = out.dataF32();
+    for (int64_t ri = 0; ri < r; ++ri) {
+        const float *roi = pr + ri * 5;
+        int64_t img = static_cast<int64_t>(roi[0]);
+        if (img < 0 || img >= n)
+            throw std::runtime_error("roiAlign: batch index out of range");
+        float y1 = roi[1], x1 = roi[2], y2 = roi[3], x2 = roi[4];
+        float rh = std::max(y2 - y1, 1.0f);
+        float rw = std::max(x2 - x1, 1.0f);
+        float bin_h = rh / static_cast<float>(out_h);
+        float bin_w = rw / static_cast<float>(out_w);
+        for (int64_t cc = 0; cc < c; ++cc) {
+            const float *plane = pf + (img * c + cc) * h * w;
+            float *oplane = po + (ri * c + cc) * out_h * out_w;
+            for (int oy = 0; oy < out_h; ++oy) {
+                for (int ox = 0; ox < out_w; ++ox) {
+                    // One center sample per bin (sampling_ratio = 1).
+                    float sy = y1 + (static_cast<float>(oy) + 0.5f) * bin_h;
+                    float sx = x1 + (static_cast<float>(ox) + 0.5f) * bin_w;
+                    oplane[oy * out_w + ox] = bilinear(plane, h, w, sy, sx);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+interpolateBilinear(const Tensor &x, int out_h, int out_w)
+{
+    if (x.shape().rank() != 4)
+        throw std::runtime_error("interpolate: NCHW input required");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], w = x.shape()[3];
+    Tensor xc = x.contiguous().to(DType::F32);
+    const float *px = xc.dataF32();
+    Tensor out(Shape{n, c, out_h, out_w}, DType::F32);
+    float *po = out.dataF32();
+    float sy = static_cast<float>(h) / static_cast<float>(out_h);
+    float sx = static_cast<float>(w) / static_cast<float>(out_w);
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            const float *plane = px + (img * c + cc) * h * w;
+            float *oplane = po + (img * c + cc) * out_h * out_w;
+            for (int oy = 0; oy < out_h; ++oy) {
+                float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
+                for (int ox = 0; ox < out_w; ++ox) {
+                    float fx = (static_cast<float>(ox) + 0.5f) * sx - 0.5f;
+                    oplane[oy * out_w + ox] = bilinear(plane, h, w, fy, fx);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+Tensor
+pool2d(const Tensor &x, int kernel, int stride, int padding, bool is_max)
+{
+    if (x.shape().rank() != 4)
+        throw std::runtime_error("pool2d: NCHW input required");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], w = x.shape()[3];
+    int64_t oh = (h + 2 * padding - kernel) / stride + 1;
+    int64_t ow = (w + 2 * padding - kernel) / stride + 1;
+    Tensor xc = x.contiguous().to(DType::F32);
+    const float *px = xc.dataF32();
+    Tensor out(Shape{n, c, oh, ow}, DType::F32);
+    float *po = out.dataF32();
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            const float *plane = px + (img * c + cc) * h * w;
+            float *oplane = po + (img * c + cc) * oh * ow;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    float best = is_max ? -1e30f : 0.0f;
+                    int count = 0;
+                    for (int ky = 0; ky < kernel; ++ky) {
+                        int64_t iy = oy * stride - padding + ky;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        for (int kx = 0; kx < kernel; ++kx) {
+                            int64_t ix = ox * stride - padding + kx;
+                            if (ix < 0 || ix >= w)
+                                continue;
+                            float v = plane[iy * w + ix];
+                            if (is_max)
+                                best = std::max(best, v);
+                            else
+                                best += v;
+                            ++count;
+                        }
+                    }
+                    if (!is_max && count > 0)
+                        best /= static_cast<float>(kernel * kernel);
+                    oplane[oy * ow + ox] = best;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+Tensor
+maxPool2d(const Tensor &x, int kernel, int stride, int padding)
+{
+    return pool2d(x, kernel, stride, padding, true);
+}
+
+Tensor
+avgPool2d(const Tensor &x, int kernel, int stride, int padding)
+{
+    return pool2d(x, kernel, stride, padding, false);
+}
+
+Tensor
+adaptiveAvgPool2d(const Tensor &x, int out_h, int out_w)
+{
+    if (x.shape().rank() != 4)
+        throw std::runtime_error("adaptiveAvgPool2d: NCHW input required");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], w = x.shape()[3];
+    Tensor xc = x.contiguous().to(DType::F32);
+    const float *px = xc.dataF32();
+    Tensor out(Shape{n, c, out_h, out_w}, DType::F32);
+    float *po = out.dataF32();
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            const float *plane = px + (img * c + cc) * h * w;
+            float *oplane = po + (img * c + cc) * out_h * out_w;
+            for (int oy = 0; oy < out_h; ++oy) {
+                int64_t y0 = oy * h / out_h;
+                int64_t y1 = std::max<int64_t>((oy + 1) * h / out_h, y0 + 1);
+                for (int ox = 0; ox < out_w; ++ox) {
+                    int64_t x0 = ox * w / out_w;
+                    int64_t x1 =
+                        std::max<int64_t>((ox + 1) * w / out_w, x0 + 1);
+                    float sum = 0.0f;
+                    for (int64_t iy = y0; iy < y1; ++iy)
+                        for (int64_t ix = x0; ix < x1; ++ix)
+                            sum += plane[iy * w + ix];
+                    oplane[oy * out_w + ox] =
+                        sum / static_cast<float>((y1 - y0) * (x1 - x0));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+concat(const std::vector<Tensor> &xs, int dim)
+{
+    if (xs.empty())
+        throw std::runtime_error("concat: empty input list");
+    int r = static_cast<int>(xs[0].shape().rank());
+    if (dim < 0)
+        dim += r;
+    size_t du = static_cast<size_t>(dim);
+    std::vector<int64_t> dims = xs[0].shape().dims();
+    int64_t total = 0;
+    for (const Tensor &t : xs) {
+        for (size_t i = 0; i < dims.size(); ++i)
+            if (i != du && t.shape()[i] != dims[i])
+                throw std::runtime_error("concat: shape mismatch");
+        total += t.shape()[du];
+    }
+    dims[du] = total;
+    Tensor out(Shape(dims), xs[0].dtype());
+    int64_t off = 0;
+    for (const Tensor &t : xs) {
+        Tensor dst = out.slice(dim, off, t.shape()[du]);
+        for (int64_t i = 0; i < t.numel(); ++i)
+            dst.flatSet(i, t.flatAt(i));
+        off += t.shape()[du];
+    }
+    return out;
+}
+
+std::vector<Tensor>
+split(const Tensor &x, int64_t size, int dim)
+{
+    int r = static_cast<int>(x.shape().rank());
+    if (dim < 0)
+        dim += r;
+    int64_t extent = x.shape()[static_cast<size_t>(dim)];
+    std::vector<Tensor> out;
+    for (int64_t off = 0; off < extent; off += size)
+        out.push_back(x.slice(dim, off, std::min(size, extent - off)));
+    return out;
+}
+
+Tensor
+roll(const Tensor &x, int64_t shift, int dim)
+{
+    int r = static_cast<int>(x.shape().rank());
+    if (dim < 0)
+        dim += r;
+    size_t du = static_cast<size_t>(dim);
+    int64_t extent = x.shape()[du];
+    shift = ((shift % extent) + extent) % extent;
+    if (shift == 0)
+        return x.clone();
+    Tensor hi = x.slice(dim, extent - shift, shift);
+    Tensor lo = x.slice(dim, 0, extent - shift);
+    return concat({hi, lo}, dim);
+}
+
+Tensor
+pad(const Tensor &x, int dim, int64_t before, int64_t after)
+{
+    int r = static_cast<int>(x.shape().rank());
+    if (dim < 0)
+        dim += r;
+    size_t du = static_cast<size_t>(dim);
+    std::vector<int64_t> dims = x.shape().dims();
+    dims[du] += before + after;
+    Tensor out(Shape(dims), x.dtype());
+    Tensor dst = out.slice(dim, before, x.shape()[du]);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        dst.flatSet(i, x.flatAt(i));
+    return out;
+}
+
+Tensor
+quantize(const Tensor &x, float scale)
+{
+    Tensor out(x.shape(), DType::I8);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        out.flatSet(i, x.flatAt(i) / scale);
+    return out;
+}
+
+Tensor
+dequantize(const Tensor &x_q, float scale)
+{
+    Tensor out(x_q.shape(), DType::F32);
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < x_q.numel(); ++i)
+        po[i] = x_q.flatAt(i) * scale;
+    return out;
+}
+
+float
+absmaxScale(const Tensor &x)
+{
+    float mx = 0.0f;
+    for (int64_t i = 0; i < x.numel(); ++i)
+        mx = std::max(mx, std::abs(x.flatAt(i)));
+    return mx > 0.0f ? mx / 127.0f : 1.0f;
+}
+
+}  // namespace kernels
+}  // namespace ngb

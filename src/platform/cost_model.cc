@@ -1,0 +1,138 @@
+#include "platform/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ngb {
+
+GroupTiming
+CostModel::price(const KernelGroup &g) const
+{
+    GroupTiming t;
+    t.onGpu = g.onGpu;
+
+    if (g.zeroCopy) {
+        // Metadata-only layout update: a host library call, no kernel.
+        t.hostUs = params_.zeroCopyUs * g.kernelCount;
+        return t;
+    }
+
+    const DeviceSpec &dev = g.onGpu ? platform_.gpu : platform_.cpu;
+    bool gemm = g.category == OpCategory::Gemm;
+
+    // Effective compute rate in GFLOP/s.
+    double rate;
+    if (gemm) {
+        double eff = dev.isGpu ? params_.gemmEffGpu : params_.gemmEffCpu;
+        double ramp = dev.isGpu ? params_.gemmRampFlopsGpu
+                                : params_.gemmRampFlopsCpu;
+        double util = g.flops / (g.flops + ramp);
+        rate = dev.gemmPeakGflops(g.f16, g.i8) * eff * util;
+    } else {
+        double eff = dev.isGpu ? params_.nonGemmComputeEffGpu
+                               : params_.nonGemmComputeEffCpu;
+        rate = dev.peakGflopsF32 * eff;
+    }
+    rate *= g.rateScale;
+
+    // Effective bandwidth in GB/s. Composite eager operators re-read
+    // and re-write the activation once per primitive kernel.
+    double bw_eff = dev.isGpu
+                        ? (gemm ? params_.bwEffGemm : params_.bwEffNonGemm)
+                        : params_.bwEffCpu;
+    double bw = dev.memBwGBs * bw_eff;
+    double act_bytes = (g.bytesIn + g.bytesOut) *
+                       std::max(1, g.bigKernels);
+    double bytes = act_bytes + g.bytesParam;
+
+    double compute_us = g.flops / rate * 1e-3;       // flops/GFLOPs = ns
+    double mem_us = bytes / bw * 1e-3;
+    double exec_us = std::max(compute_us, mem_us);
+
+    double launches = std::max(1, g.kernelCount);
+    if (dev.isGpu)
+        t.deviceUs = exec_us + launches * dev.kernelLaunchUs;
+    else
+        t.deviceUs = exec_us;
+
+    // Host-side framework dispatch. Fused kernels were compiled ahead
+    // of time and dispatch once, cheaply.
+    double per_launch = g.dispatchUsOverride >= 0 ? g.dispatchUsOverride
+                                                  : params_.hostDispatchUs;
+    double dispatch = g.fused ? params_.fusedDispatchUs
+                              : per_launch * launches;
+    t.hostUs = dispatch;
+    if (dev.isGpu) {
+        if (g.category == OpCategory::RoiSelection)
+            t.hostUs += params_.dynamicSyncUs;  // NMS syncs the stream
+        t.hostUs += g.hostSyncs * params_.dynamicSyncUs;
+    }
+
+    if (g.transferBytes > 0) {
+        t.transferUs = g.transferBytes / platform_.pcieGBs * 1e-3 +
+                       2.0 * platform_.pcieLatencyUs;
+    }
+    return t;
+}
+
+std::vector<GroupTiming>
+CostModel::priceAll(const ExecutionPlan &plan) const
+{
+    std::vector<GroupTiming> out;
+    out.reserve(plan.groups.size());
+    for (const KernelGroup &g : plan.groups)
+        out.push_back(price(g));
+    return out;
+}
+
+double
+CostModel::latencyUs(const ExecutionPlan &plan) const
+{
+    if (!params_.asyncDispatch) {
+        double total = 0;
+        for (const KernelGroup &g : plan.groups)
+            total += price(g).totalUs();
+        return total;
+    }
+    // Async mode: host dispatch runs ahead of the device queue; a
+    // sync point (dynamic op) forces both timelines to converge.
+    double host_t = 0, dev_t = 0;
+    for (const KernelGroup &g : plan.groups) {
+        GroupTiming t = price(g);
+        host_t += t.hostUs;
+        double start = std::max(dev_t, host_t);
+        dev_t = start + t.deviceUs + t.transferUs;
+        if (g.hostSyncs > 0 || g.category == OpCategory::RoiSelection)
+            host_t = dev_t;  // queue drained
+    }
+    return std::max(host_t, dev_t);
+}
+
+EnergyBreakdown
+energyOf(const ExecutionPlan &plan, const std::vector<GroupTiming> &timings,
+         const PlatformSpec &platform)
+{
+    EnergyBreakdown e;
+    double total_us = 0;
+    double gpu_busy_us = 0;
+    double cpu_busy_us = 0;
+    for (const GroupTiming &t : timings) {
+        total_us += t.totalUs();
+        if (t.onGpu)
+            gpu_busy_us += t.deviceUs;
+        else
+            cpu_busy_us += t.deviceUs;
+        cpu_busy_us += t.hostUs;
+    }
+    double sec = 1e-6;
+    if (plan.gpuEnabled) {
+        e.gpuJoules = gpu_busy_us * sec * platform.gpu.busyPowerW +
+                      (total_us - gpu_busy_us) * sec *
+                          platform.gpu.idlePowerW;
+    }
+    e.cpuJoules = cpu_busy_us * sec * platform.cpu.busyPowerW +
+                  (total_us - cpu_busy_us) * sec * platform.cpu.idlePowerW;
+    return e;
+}
+
+}  // namespace ngb

@@ -1,0 +1,85 @@
+#include "platform/device_spec.h"
+
+#include <stdexcept>
+
+namespace ngb {
+
+PlatformSpec
+platformA()
+{
+    PlatformSpec p;
+    p.id = "A";
+    p.description = "Data center: AMD EPYC 7763 + NVIDIA A100 80GB PCIe";
+
+    p.cpu.name = "AMD EPYC 7763";
+    p.cpu.isGpu = false;
+    // 64 cores x 2.45 GHz x 32 FP32 FLOP/cycle (2x FMA AVX2).
+    p.cpu.peakGflopsF32 = 5017;
+    p.cpu.peakGflopsF16 = 5017;
+    p.cpu.peakTopsI8 = 10.0;  // VNNI-less; int8 via AVX2 ~2x fp32
+    p.cpu.memBwGBs = 204.8;   // 8-channel DDR4-3200
+    p.cpu.kernelLaunchUs = 0;
+    p.cpu.busyPowerW = 280;
+    p.cpu.idlePowerW = 100;
+
+    p.gpu.name = "NVIDIA A100 80GB";
+    p.gpu.isGpu = true;
+    p.gpu.peakGflopsF32 = 19500;
+    p.gpu.peakGflopsTf32 = 156000;
+    p.gpu.peakGflopsF16 = 312000;
+    p.gpu.peakTopsI8 = 624;
+    p.gpu.memBwGBs = 2039;
+    p.gpu.kernelLaunchUs = 8.0;
+    p.gpu.busyPowerW = 300;
+    p.gpu.idlePowerW = 60;
+
+    p.pcieGBs = 24.0;  // PCIe 4.0 x16 effective
+    p.pcieLatencyUs = 8.0;
+    return p;
+}
+
+PlatformSpec
+platformB()
+{
+    PlatformSpec p;
+    p.id = "B";
+    p.description = "Workstation: Intel i9-13900K + NVIDIA RTX 4090";
+
+    p.cpu.name = "Intel i9-13900K";
+    p.cpu.isGpu = false;
+    // 8P (5.5 GHz) + 16E (4.3 GHz) cores, AVX2.
+    p.cpu.peakGflopsF32 = 1900;
+    p.cpu.peakGflopsF16 = 1900;
+    p.cpu.peakTopsI8 = 7.6;  // VNNI
+    p.cpu.memBwGBs = 89.6;   // dual-channel DDR5-5600
+    p.cpu.kernelLaunchUs = 0;
+    p.cpu.busyPowerW = 253;
+    p.cpu.idlePowerW = 40;
+
+    p.gpu.name = "NVIDIA RTX 4090";
+    p.gpu.isGpu = true;
+    p.gpu.peakGflopsF32 = 82600;
+    p.gpu.peakGflopsTf32 = 82600;  // Ada TF32 tensor rate ~ FP32 rate x2
+    p.gpu.peakGflopsF16 = 330000;
+    p.gpu.peakTopsI8 = 660;
+    p.gpu.memBwGBs = 1008;
+    p.gpu.kernelLaunchUs = 6.0;
+    p.gpu.busyPowerW = 450;
+    p.gpu.idlePowerW = 25;
+
+    p.pcieGBs = 24.0;
+    p.pcieLatencyUs = 8.0;
+    return p;
+}
+
+PlatformSpec
+platformById(const std::string &id)
+{
+    if (id == "A" || id == "a")
+        return platformA();
+    if (id == "B" || id == "b")
+        return platformB();
+    throw std::runtime_error("unknown platform id: " + id);
+}
+
+}  // namespace ngb

@@ -1,0 +1,64 @@
+#ifndef NGB_PLATFORM_DEVICE_SPEC_H
+#define NGB_PLATFORM_DEVICE_SPEC_H
+
+#include <string>
+
+namespace ngb {
+
+/**
+ * Static performance envelope of one compute device.
+ *
+ * Rates are peak theoretical numbers from vendor datasheets; the cost
+ * model derates them with per-operator-class efficiency factors.
+ */
+struct DeviceSpec {
+    std::string name;
+    bool isGpu = false;
+
+    double peakGflopsF32 = 0;  ///< dense FP32 (CUDA core / AVX) GFLOP/s
+    double peakGflopsTf32 = 0; ///< TF32 tensor-core rate PyTorch GEMMs use
+    double peakGflopsF16 = 0;  ///< FP16 tensor-core (GPU) or 2x AVX rate
+    double peakTopsI8 = 0;     ///< INT8 tensor-core TOPS
+    double memBwGBs = 0;       ///< DRAM/HBM bandwidth, GB/s
+    double kernelLaunchUs = 0; ///< per-kernel launch latency (GPU only)
+    double busyPowerW = 0;     ///< average power while executing
+    double idlePowerW = 0;
+
+    /** Peak GFLOP/s for GEMM kernels at the given precision. */
+    double gemmPeakGflops(bool f16, bool i8) const
+    {
+        if (i8 && peakTopsI8 > 0)
+            return peakTopsI8 * 1000.0;
+        if (f16 && peakGflopsF16 > 0)
+            return peakGflopsF16;
+        if (peakGflopsTf32 > 0)
+            return peakGflopsTf32;  // PyTorch enables TF32 on Ampere+
+        return peakGflopsF32;
+    }
+};
+
+/**
+ * A two-device evaluation platform (host CPU + optional discrete GPU)
+ * mirroring Table III of the paper.
+ */
+struct PlatformSpec {
+    std::string id;           ///< "A" (data center) or "B" (workstation)
+    std::string description;
+    DeviceSpec cpu;
+    DeviceSpec gpu;
+    double pcieGBs = 0;       ///< host<->device copy bandwidth
+    double pcieLatencyUs = 0; ///< per-transfer latency
+};
+
+/** Platform A: AMD EPYC 7763 + NVIDIA A100 80GB (data center). */
+PlatformSpec platformA();
+
+/** Platform B: Intel i9-13900K + NVIDIA RTX 4090 (workstation). */
+PlatformSpec platformB();
+
+/** Look up by id ("A" or "B"). */
+PlatformSpec platformById(const std::string &id);
+
+}  // namespace ngb
+
+#endif  // NGB_PLATFORM_DEVICE_SPEC_H

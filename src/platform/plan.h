@@ -1,0 +1,82 @@
+#ifndef NGB_PLATFORM_PLAN_H
+#define NGB_PLATFORM_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/**
+ * One scheduled kernel group: either a single graph node or a set of
+ * nodes fused into one device kernel by a deployment flow.
+ *
+ * A group is the unit the cost model prices. kernelCount captures
+ * composite eager operators (e.g. HuggingFace's GELU or DETR's custom
+ * FrozenBatchNorm) that launch several primitive kernels and re-read
+ * the whole tensor between them — exactly the traffic operator fusion
+ * later removes.
+ */
+struct KernelGroup {
+    std::vector<int> nodeIds;   ///< member nodes, in graph order
+    OpCategory category = OpCategory::Misc;  ///< latency attribution
+    std::string label;
+
+    bool onGpu = false;     ///< executes on the GPU device
+    bool zeroCopy = false;  ///< metadata-only; host bookkeeping only
+    bool fused = false;     ///< more than one graph node in this kernel
+    int kernelCount = 1;    ///< primitive device kernels launched
+    /** How many of those kernels traverse the full activation tensor
+     *  (composite ops often launch several tiny scalar kernels plus a
+     *  couple of full passes; only the full passes cost bandwidth). */
+    int bigKernels = 1;
+
+    double flops = 0;
+    double bytesIn = 0;
+    double bytesOut = 0;
+    double bytesParam = 0;
+    /** Host<->device bytes moved because of a CPU fallback. */
+    double transferBytes = 0;
+    /** Device->host synchronizations this op forces (dynamic index
+     *  ops like nonzero/where stall the CUDA stream). */
+    int hostSyncs = 0;
+    /** Computation precision for GEMM rate selection. */
+    bool f16 = false;
+    bool i8 = false;
+
+    /**
+     * Flow-specific host dispatch cost per launch, us; negative means
+     * "use the cost model default". Compiled flows (ORT, TensorRT)
+     * dispatch from a prebuilt session and are much cheaper than
+     * eager PyTorch.
+     */
+    double dispatchUsOverride = -1.0;
+    /** Flow-specific multiplier on the effective compute rate. */
+    double rateScale = 1.0;
+};
+
+/**
+ * A fully scheduled execution of a graph under one deployment flow:
+ * an ordered list of kernel groups plus flow-level metadata.
+ */
+struct ExecutionPlan {
+    const Graph *graph = nullptr;
+    std::string flowName;
+    bool gpuEnabled = false;
+    std::vector<KernelGroup> groups;
+
+    /** Number of graph nodes covered by multi-node (fused) groups. */
+    int64_t fusedNodeCount() const
+    {
+        int64_t n = 0;
+        for (const KernelGroup &g : groups)
+            if (g.fused)
+                n += static_cast<int64_t>(g.nodeIds.size());
+        return n;
+    }
+};
+
+}  // namespace ngb
+
+#endif  // NGB_PLATFORM_PLAN_H

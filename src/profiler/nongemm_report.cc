@@ -1,0 +1,80 @@
+#include "profiler/nongemm_report.h"
+
+#include <set>
+
+namespace ngb {
+
+const CategoryVariants *
+NonGemmReport::find(OpCategory c) const
+{
+    for (const CategoryVariants &v : categories)
+        if (v.category == c)
+            return &v;
+    return nullptr;
+}
+
+NonGemmReport
+buildNonGemmReport(const Graph &g)
+{
+    NonGemmReport r;
+    r.model = g.name();
+    std::map<OpCategory, CategoryVariants> acc;
+    for (const Node &n : g.nodes()) {
+        if (n.inputs.empty() || n.isGemm())
+            continue;
+        CategoryVariants &v = acc[n.category()];
+        v.category = n.category();
+        ++v.variants[n.kind];
+    }
+    for (auto &[cat, v] : acc)
+        r.categories.push_back(std::move(v));
+    return r;
+}
+
+DomainTrace
+buildDomainTrace(const std::vector<std::pair<std::string, Graph>> &graphs)
+{
+    DomainTrace t;
+    std::map<std::string, std::map<OpCategory, std::set<OpKind>>> kinds;
+    for (const auto &[domain, g] : graphs) {
+        for (const Node &n : g.nodes()) {
+            if (n.inputs.empty() || n.isGemm())
+                continue;
+            kinds[domain][n.category()].insert(n.kind);
+            ++t.instancesByDomain[domain];
+        }
+    }
+    for (const auto &[domain, per_cat] : kinds)
+        for (const auto &[cat, ks] : per_cat)
+            t.variantsByDomain[domain][cat] =
+                static_cast<int64_t>(ks.size());
+    return t;
+}
+
+void
+printNonGemmReport(const NonGemmReport &r, std::ostream &os)
+{
+    os << "Non-GEMM report: " << r.model << "\n";
+    for (const CategoryVariants &v : r.categories) {
+        os << "  " << opCategoryName(v.category) << ": "
+           << v.variantCount() << " variant(s), " << v.instanceCount()
+           << " instance(s)\n";
+        for (const auto &[kind, count] : v.variants)
+            os << "    " << opKindName(kind) << " x" << count << "\n";
+    }
+}
+
+void
+printDomainTrace(const DomainTrace &t, std::ostream &os)
+{
+    os << "Non-GEMM trace by task domain:\n";
+    for (const auto &[domain, per_cat] : t.variantsByDomain) {
+        os << "  " << domain << " ("
+           << t.instancesByDomain.at(domain) << " non-GEMM ops):";
+        for (const auto &[cat, n] : per_cat)
+            os << " " << opCategoryName(cat) << "=" << n;
+        os << "\n";
+    }
+}
+
+}  // namespace ngb

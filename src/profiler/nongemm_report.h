@@ -1,0 +1,69 @@
+#ifndef NGB_PROFILER_NONGEMM_REPORT_H
+#define NGB_PROFILER_NONGEMM_REPORT_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/**
+ * The Non-GEMM Report of Section III-C: operator *variants* within a
+ * class (e.g. DETR employing both its custom FrozenBatchNorm2d and the
+ * library LayerNorm under the Normalization group) and the non-GEMM
+ * operator footprint across task domains.
+ */
+struct CategoryVariants {
+    OpCategory category;
+    /** Distinct operator kinds of this category in the graph, with
+     *  instance counts — the "variants of the same class". */
+    std::map<OpKind, int64_t> variants;
+
+    int64_t variantCount() const
+    {
+        return static_cast<int64_t>(variants.size());
+    }
+    int64_t instanceCount() const
+    {
+        int64_t n = 0;
+        for (const auto &[k, c] : variants)
+            n += c;
+        return n;
+    }
+};
+
+struct NonGemmReport {
+    std::string model;
+    std::vector<CategoryVariants> categories;  ///< non-GEMM only
+
+    const CategoryVariants *find(OpCategory c) const;
+};
+
+/** Analyze one model graph. */
+NonGemmReport buildNonGemmReport(const Graph &g);
+
+/**
+ * Aggregate non-GEMM operator usage across task domains: for each
+ * domain, which non-GEMM categories its models employ and with how
+ * many operator variants — the "non-GEMM operator trace on different
+ * domains" output.
+ */
+struct DomainTrace {
+    /** domain -> category -> set size of distinct operator kinds. */
+    std::map<std::string, std::map<OpCategory, int64_t>> variantsByDomain;
+    /** domain -> total non-GEMM op instances. */
+    std::map<std::string, int64_t> instancesByDomain;
+};
+
+DomainTrace
+buildDomainTrace(const std::vector<std::pair<std::string, Graph>> &graphs);
+
+void printNonGemmReport(const NonGemmReport &r, std::ostream &os);
+void printDomainTrace(const DomainTrace &t, std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_PROFILER_NONGEMM_REPORT_H

@@ -1,0 +1,172 @@
+#include "profiler/profile_report.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace ngb {
+
+OpCategory
+ProfileReport::dominantNonGemmCategory() const
+{
+    OpCategory best = OpCategory::Misc;
+    double best_us = -1;
+    for (const auto &[cat, us] : usByCategory) {
+        if (cat == OpCategory::Gemm)
+            continue;
+        if (us > best_us) {
+            best_us = us;
+            best = cat;
+        }
+    }
+    return best;
+}
+
+std::vector<OpProfile>
+ProfileReport::topOps(size_t n) const
+{
+    std::vector<OpProfile> sorted = ops;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const OpProfile &a, const OpProfile &b) {
+                  return a.us > b.us;
+              });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+ProfileReport
+aggregateProfile(const ExecutionPlan &plan,
+                 const std::vector<GroupTiming> &timings,
+                 const PlatformSpec &platform)
+{
+    ProfileReport r;
+    r.flow = plan.flowName;
+    r.platformId = platform.id;
+    r.gpuEnabled = plan.gpuEnabled;
+    if (plan.graph) {
+        r.model = plan.graph->name();
+        r.graphStats = plan.graph->stats();
+    }
+
+    for (size_t i = 0; i < plan.groups.size(); ++i) {
+        const KernelGroup &g = plan.groups[i];
+        const GroupTiming &t = timings[i];
+        double us = t.totalUs();
+
+        OpProfile op;
+        op.label = g.label;
+        op.category = g.category;
+        op.onGpu = g.onGpu;
+        op.fused = g.fused;
+        op.nodeCount = static_cast<int>(g.nodeIds.size());
+        op.kernelCount = g.kernelCount;
+        op.us = us;
+        op.flops = g.flops;
+        op.bytes = g.bytesIn + g.bytesOut + g.bytesParam;
+        r.ops.push_back(std::move(op));
+
+        r.totalUs += us;
+        r.usByCategory[g.category] += us;
+        r.opsByCategory[g.category] += 1;
+        if (g.category == OpCategory::Gemm)
+            r.gemmUs += us;
+        else
+            r.nonGemmUs += us;
+    }
+    r.energy = energyOf(plan, timings, platform);
+    return r;
+}
+
+void
+writeOpCsv(const ProfileReport &r, std::ostream &os)
+{
+    os << "label,category,on_gpu,fused,nodes,kernels,us,flops,bytes\n";
+    for (const OpProfile &op : r.ops) {
+        os << op.label << ',' << opCategoryName(op.category) << ','
+           << (op.onGpu ? 1 : 0) << ',' << (op.fused ? 1 : 0) << ','
+           << op.nodeCount << ',' << op.kernelCount << ',' << op.us << ','
+           << op.flops << ',' << op.bytes << '\n';
+    }
+}
+
+void
+writeCategoryCsv(const ProfileReport &r, std::ostream &os)
+{
+    os << "category,us,percent,ops\n";
+    for (const auto &[cat, us] : r.usByCategory) {
+        os << opCategoryName(cat) << ',' << us << ','
+           << r.categoryPct(cat) << ',' << r.opsByCategory.at(cat) << '\n';
+    }
+}
+
+void
+printReport(const ProfileReport &r, std::ostream &os)
+{
+    os << "model=" << r.model << " flow=" << r.flow << " platform="
+       << r.platformId << (r.gpuEnabled ? " (CPU+GPU)" : " (CPU only)")
+       << " batch=" << r.batch << "\n";
+    os << "  total latency: " << std::fixed << std::setprecision(2)
+       << r.totalMs() << " ms  |  GEMM " << std::setprecision(1)
+       << r.gemmPct() << "%  non-GEMM " << r.nonGemmPct() << "%\n";
+    for (const auto &[cat, us] : r.usByCategory) {
+        os << "    " << std::left << std::setw(14) << opCategoryName(cat)
+           << std::right << std::setw(10) << std::setprecision(2) << us
+           << " us  (" << std::setw(5) << std::setprecision(1)
+           << r.categoryPct(cat) << "%)  ops=" << r.opsByCategory.at(cat)
+           << "\n";
+    }
+    os << "  GPU energy: " << std::setprecision(3) << r.energy.gpuJoules
+       << " J, CPU energy: " << r.energy.cpuJoules << " J\n";
+}
+
+void
+writeJsonReport(const ProfileReport &r, std::ostream &os)
+{
+    auto esc = [](const std::string &in) {
+        std::string out;
+        for (char c : in) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    os << "{\n";
+    os << "  \"model\": \"" << esc(r.model) << "\",\n";
+    os << "  \"flow\": \"" << esc(r.flow) << "\",\n";
+    os << "  \"platform\": \"" << esc(r.platformId) << "\",\n";
+    os << "  \"gpu\": " << (r.gpuEnabled ? "true" : "false") << ",\n";
+    os << "  \"batch\": " << r.batch << ",\n";
+    os << "  \"seq_len\": " << r.seqLen << ",\n";
+    os << "  \"total_us\": " << r.totalUs << ",\n";
+    os << "  \"gemm_us\": " << r.gemmUs << ",\n";
+    os << "  \"non_gemm_us\": " << r.nonGemmUs << ",\n";
+    os << "  \"energy_gpu_j\": " << r.energy.gpuJoules << ",\n";
+    os << "  \"energy_cpu_j\": " << r.energy.cpuJoules << ",\n";
+    os << "  \"fusion\": {\"total_non_gemm\": "
+       << r.fusionStats.totalNonGemm << ", \"fused_non_gemm\": "
+       << r.fusionStats.fusedNonGemm << ", \"fused_with_gemm\": "
+       << r.fusionStats.fusedWithGemm << "},\n";
+    os << "  \"categories\": {";
+    bool first = true;
+    for (const auto &[cat, us] : r.usByCategory) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << opCategoryName(cat) << "\": " << us;
+    }
+    os << "},\n";
+    os << "  \"ops\": [\n";
+    for (size_t i = 0; i < r.ops.size(); ++i) {
+        const OpProfile &op = r.ops[i];
+        os << "    {\"label\": \"" << esc(op.label)
+           << "\", \"category\": \"" << opCategoryName(op.category)
+           << "\", \"us\": " << op.us << ", \"kernels\": "
+           << op.kernelCount << ", \"fused\": "
+           << (op.fused ? "true" : "false") << "}";
+        os << (i + 1 < r.ops.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+}  // namespace ngb

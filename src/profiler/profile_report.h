@@ -1,0 +1,103 @@
+#ifndef NGB_PROFILER_PROFILE_REPORT_H
+#define NGB_PROFILER_PROFILE_REPORT_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "deploy/fusion.h"
+#include "platform/cost_model.h"
+#include "platform/plan.h"
+
+namespace ngb {
+
+/** Priced record of one executed kernel group. */
+struct OpProfile {
+    std::string label;
+    OpCategory category = OpCategory::Misc;
+    bool onGpu = false;
+    bool fused = false;
+    int nodeCount = 1;
+    int kernelCount = 1;
+    double us = 0;
+    double flops = 0;
+    double bytes = 0;
+};
+
+/**
+ * The complete result of characterizing one (model, flow, platform,
+ * batch) point: the paper's Performance / Workload / Non-GEMM reports
+ * in one structure (Section III-C).
+ */
+struct ProfileReport {
+    std::string model;
+    std::string flow;
+    std::string platformId;
+    bool gpuEnabled = false;
+    int64_t batch = 1;
+    int64_t seqLen = 0;
+
+    double totalUs = 0;
+    double gemmUs = 0;
+    double nonGemmUs = 0;
+    std::map<OpCategory, double> usByCategory;
+    std::map<OpCategory, int64_t> opsByCategory;
+
+    EnergyBreakdown energy;
+    GraphStats graphStats;
+    FusionStats fusionStats;
+
+    std::vector<OpProfile> ops;
+
+    double totalMs() const { return totalUs * 1e-3; }
+    double gemmPct() const
+    {
+        return totalUs > 0 ? 100.0 * gemmUs / totalUs : 0;
+    }
+    double nonGemmPct() const
+    {
+        return totalUs > 0 ? 100.0 * nonGemmUs / totalUs : 0;
+    }
+    double categoryPct(OpCategory c) const
+    {
+        auto it = usByCategory.find(c);
+        return it != usByCategory.end() && totalUs > 0
+                   ? 100.0 * it->second / totalUs
+                   : 0;
+    }
+
+    /** The most time-consuming non-GEMM operator group (Table IV). */
+    OpCategory dominantNonGemmCategory() const;
+
+    /** The @p n slowest kernel groups, descending. */
+    std::vector<OpProfile> topOps(size_t n) const;
+};
+
+/**
+ * Aggregate a priced plan into a report. @p timings must come from
+ * CostModel::priceAll on the same plan.
+ */
+ProfileReport aggregateProfile(const ExecutionPlan &plan,
+                               const std::vector<GroupTiming> &timings,
+                               const PlatformSpec &platform);
+
+/** Write one row per kernel group as CSV (label,category,us,...). */
+void writeOpCsv(const ProfileReport &r, std::ostream &os);
+
+/** Write the category breakdown as CSV (category,us,percent). */
+void writeCategoryCsv(const ProfileReport &r, std::ostream &os);
+
+/** Render a human-readable breakdown table. */
+void printReport(const ProfileReport &r, std::ostream &os);
+
+/**
+ * Serialize the whole report as JSON (metadata, totals, category
+ * breakdown, fusion stats, energy, and per-op records) for downstream
+ * tooling — the machine-readable counterpart of the artifact's CSVs.
+ */
+void writeJsonReport(const ProfileReport &r, std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_PROFILER_PROFILE_REPORT_H

@@ -1,0 +1,217 @@
+#include "profiler/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+namespace ngb {
+
+namespace {
+
+const std::vector<OpCategory> &
+chartCategories()
+{
+    static const std::vector<OpCategory> kCats = {
+        OpCategory::Gemm,          OpCategory::Activation,
+        OpCategory::Normalization, OpCategory::Memory,
+        OpCategory::RoiSelection,  OpCategory::Interpolation,
+        OpCategory::ElementWise,   OpCategory::LogitCompute,
+        OpCategory::Embedding,     OpCategory::QDQ,
+        OpCategory::Misc,
+    };
+    return kCats;
+}
+
+}  // namespace
+
+std::string
+svgCategoryColor(OpCategory c)
+{
+    switch (c) {
+      case OpCategory::Gemm: return "#4878cf";
+      case OpCategory::Activation: return "#ee854a";
+      case OpCategory::Normalization: return "#6acc64";
+      case OpCategory::Memory: return "#d65f5f";
+      case OpCategory::ElementWise: return "#956cb4";
+      case OpCategory::LogitCompute: return "#8c613c";
+      case OpCategory::RoiSelection: return "#dc7ec0";
+      case OpCategory::Interpolation: return "#797979";
+      case OpCategory::Embedding: return "#d5bb67";
+      case OpCategory::QDQ: return "#82c6e2";
+      case OpCategory::Misc: return "#b8b8b8";
+    }
+    return "#000000";
+}
+
+void
+writeSvgChart(const std::vector<ProfileReport> &reports,
+              const SvgChartOptions &opts, std::ostream &os,
+              const std::vector<std::string> &labels)
+{
+    const int margin_left = 60;
+    const int margin_top = 40;
+    const int margin_bottom = 60;
+    const int legend_w = opts.showLegend ? 160 : 0;
+    const int n = static_cast<int>(reports.size());
+    const int width = margin_left +
+                      n * (opts.barWidth + opts.barGap) + legend_w + 20;
+    const int height = margin_top + opts.chartHeight + margin_bottom;
+
+    double max_ms = 1e-9;
+    for (const ProfileReport &r : reports)
+        max_ms = std::max(max_ms, r.totalMs());
+
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+       << "\" height=\"" << height << "\">\n";
+    os << "  <style>text{font-family:sans-serif;font-size:11px}"
+          ".t{font-size:14px;font-weight:bold}</style>\n";
+    os << "  <text class=\"t\" x=\"" << margin_left << "\" y=\"20\">"
+       << opts.title << "</text>\n";
+
+    // Y axis.
+    os << "  <line x1=\"" << margin_left - 6 << "\" y1=\"" << margin_top
+       << "\" x2=\"" << margin_left - 6 << "\" y2=\""
+       << margin_top + opts.chartHeight
+       << "\" stroke=\"#444\" stroke-width=\"1\"/>\n";
+    for (int tick = 0; tick <= 4; ++tick) {
+        double frac = tick / 4.0;
+        int y = margin_top +
+                static_cast<int>((1.0 - frac) * opts.chartHeight);
+        os << "  <text x=\"4\" y=\"" << y + 4 << "\">";
+        if (opts.normalize)
+            os << static_cast<int>(frac * 100) << "%";
+        else
+            os << std::fixed << std::setprecision(1) << frac * max_ms
+               << "ms";
+        os << "</text>\n";
+    }
+
+    // Bars.
+    for (int i = 0; i < n; ++i) {
+        const ProfileReport &r = reports[static_cast<size_t>(i)];
+        int x = margin_left + i * (opts.barWidth + opts.barGap);
+        double bar_total =
+            opts.normalize ? 100.0
+                           : 100.0 * r.totalMs() / max_ms;
+        double y_cursor = margin_top + opts.chartHeight;
+        for (OpCategory c : chartCategories()) {
+            double pct = r.categoryPct(c);
+            if (pct <= 0.0)
+                continue;
+            double h = pct / 100.0 * bar_total / 100.0 *
+                       opts.chartHeight;
+            y_cursor -= h;
+            os << "  <rect x=\"" << x << "\" y=\"" << y_cursor
+               << "\" width=\"" << opts.barWidth << "\" height=\"" << h
+               << "\" fill=\"" << svgCategoryColor(c) << "\">"
+               << "<title>" << opCategoryName(c) << " "
+               << std::fixed << std::setprecision(1) << pct
+               << "%</title></rect>\n";
+        }
+        std::string label =
+            i < static_cast<int>(labels.size())
+                ? labels[static_cast<size_t>(i)]
+                : r.model + " b" + std::to_string(r.batch);
+        os << "  <text x=\"" << x + opts.barWidth / 2 << "\" y=\""
+           << margin_top + opts.chartHeight + 14
+           << "\" text-anchor=\"middle\" transform=\"rotate(30 "
+           << x + opts.barWidth / 2 << " "
+           << margin_top + opts.chartHeight + 14 << ")\">" << label
+           << "</text>\n";
+    }
+
+    // Legend.
+    if (opts.showLegend) {
+        int lx = margin_left + n * (opts.barWidth + opts.barGap) + 16;
+        int ly = margin_top;
+        for (OpCategory c : chartCategories()) {
+            os << "  <rect x=\"" << lx << "\" y=\"" << ly
+               << "\" width=\"12\" height=\"12\" fill=\""
+               << svgCategoryColor(c) << "\"/>\n";
+            os << "  <text x=\"" << lx + 18 << "\" y=\"" << ly + 10
+               << "\">" << opCategoryName(c) << "</text>\n";
+            ly += 18;
+        }
+    }
+    os << "</svg>\n";
+}
+
+}  // namespace ngb
+
+namespace ngb {
+
+void
+writeRooflineSvg(const ExecutionPlan &plan,
+                 const std::vector<GroupTiming> &timings,
+                 const DeviceSpec &device, const std::string &title,
+                 std::ostream &os)
+{
+    const int w = 640, h = 420;
+    const int ml = 70, mr = 30, mt = 40, mb = 50;
+    const double x_min = 1e-2, x_max = 1e4;   // flops/byte
+    const double y_min = 1e0, y_max = 1e6;    // GFLOP/s
+
+    auto xpos = [&](double v) {
+        double f = (std::log10(v) - std::log10(x_min)) /
+                   (std::log10(x_max) - std::log10(x_min));
+        return ml + f * (w - ml - mr);
+    };
+    auto ypos = [&](double v) {
+        double f = (std::log10(v) - std::log10(y_min)) /
+                   (std::log10(y_max) - std::log10(y_min));
+        return h - mb - f * (h - mt - mb);
+    };
+    auto clampd = [](double v, double lo, double hi) {
+        return std::min(std::max(v, lo), hi);
+    };
+
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+       << "\" height=\"" << h << "\">\n";
+    os << "  <style>text{font-family:sans-serif;font-size:11px}"
+          ".t{font-size:14px;font-weight:bold}</style>\n";
+    os << "  <text class=\"t\" x=\"" << ml << "\" y=\"22\">" << title
+       << "</text>\n";
+    os << "  <rect x=\"" << ml << "\" y=\"" << mt << "\" width=\""
+       << w - ml - mr << "\" height=\"" << h - mt - mb
+       << "\" fill=\"none\" stroke=\"#999\"/>\n";
+    os << "  <text x=\"" << w / 2
+       << "\" y=\"" << h - 12
+       << "\" text-anchor=\"middle\">arithmetic intensity "
+          "(FLOP/byte, log)</text>\n";
+    os << "  <text x=\"14\" y=\"" << h / 2
+       << "\" transform=\"rotate(-90 14 " << h / 2
+       << ")\" text-anchor=\"middle\">GFLOP/s (log)</text>\n";
+
+    // Rooflines: bandwidth slope and compute ceiling.
+    double peak = device.gemmPeakGflops(false, false);
+    double knee = peak / device.memBwGBs;
+    os << "  <line x1=\"" << xpos(x_min) << "\" y1=\""
+       << ypos(clampd(x_min * device.memBwGBs, y_min, y_max))
+       << "\" x2=\"" << xpos(clampd(knee, x_min, x_max)) << "\" y2=\""
+       << ypos(clampd(peak, y_min, y_max))
+       << "\" stroke=\"#333\" stroke-width=\"1.5\"/>\n";
+    os << "  <line x1=\"" << xpos(clampd(knee, x_min, x_max))
+       << "\" y1=\"" << ypos(clampd(peak, y_min, y_max)) << "\" x2=\""
+       << xpos(x_max) << "\" y2=\"" << ypos(clampd(peak, y_min, y_max))
+       << "\" stroke=\"#333\" stroke-width=\"1.5\"/>\n";
+
+    // One dot per kernel group.
+    for (size_t i = 0; i < plan.groups.size(); ++i) {
+        const KernelGroup &g = plan.groups[i];
+        const GroupTiming &t = timings[i];
+        double bytes = g.bytesIn + g.bytesOut + g.bytesParam;
+        if (g.flops <= 0 || bytes <= 0 || t.deviceUs <= 0)
+            continue;
+        double intensity = clampd(g.flops / bytes, x_min, x_max);
+        double gflops =
+            clampd(g.flops / (t.deviceUs * 1e3), y_min, y_max);
+        os << "  <circle cx=\"" << xpos(intensity) << "\" cy=\""
+           << ypos(gflops) << "\" r=\"3.5\" fill=\""
+           << svgCategoryColor(g.category)
+           << "\" fill-opacity=\"0.75\"><title>" << g.label << " ("
+           << opCategoryName(g.category) << ")</title></circle>\n";
+    }
+    os << "</svg>\n";
+}
+
+}  // namespace ngb

@@ -1,0 +1,54 @@
+#ifndef NGB_PROFILER_SVG_CHART_H
+#define NGB_PROFILER_SVG_CHART_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "platform/cost_model.h"
+#include "profiler/profile_report.h"
+
+namespace ngb {
+
+/**
+ * Stacked-bar chart rendering of latency breakdowns, the SVG
+ * counterpart of the paper's Figure 6/8/9 plots (the original
+ * artifact emits PNG via matplotlib; this library emits
+ * self-contained SVG with no dependencies).
+ */
+struct SvgChartOptions {
+    std::string title;
+    int barWidth = 46;
+    int barGap = 14;
+    int chartHeight = 280;
+    bool showLegend = true;
+    /** Normalize each bar to 100% (share view) vs absolute ms. */
+    bool normalize = true;
+};
+
+/**
+ * Render one stacked bar per report. Bar labels come from
+ * "<model> b<batch>" unless @p labels provides overrides.
+ */
+void writeSvgChart(const std::vector<ProfileReport> &reports,
+                   const SvgChartOptions &opts, std::ostream &os,
+                   const std::vector<std::string> &labels = {});
+
+/** Category fill color used by the chart (stable across charts). */
+std::string svgCategoryColor(OpCategory c);
+
+/**
+ * Log-log roofline scatter of a priced plan: each kernel group is a
+ * dot at (arithmetic intensity, achieved GFLOP/s), colored by
+ * category, under the device's bandwidth slope and compute ceiling.
+ * Shows at a glance why non-GEMM operators live against the memory
+ * roof while GEMMs climb toward the compute ceiling.
+ */
+void writeRooflineSvg(const ExecutionPlan &plan,
+                      const std::vector<GroupTiming> &timings,
+                      const DeviceSpec &device, const std::string &title,
+                      std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_PROFILER_SVG_CHART_H

@@ -1,0 +1,27 @@
+#ifndef NGB_PROFILER_TRACE_EXPORT_H
+#define NGB_PROFILER_TRACE_EXPORT_H
+
+#include <ostream>
+
+#include "platform/cost_model.h"
+#include "platform/plan.h"
+
+namespace ngb {
+
+/**
+ * Export a priced execution plan as a Chrome trace (the JSON format
+ * chrome://tracing and Perfetto load), mirroring the timeline view the
+ * PyTorch Profiler produces for the paper's measurements.
+ *
+ * Two tracks are emitted: host-side dispatch (pid 0 / tid "host") and
+ * device kernels (tid "gpu" or "cpu"), laid out back to back in plan
+ * order. Each event carries the operator category, kernel count, and
+ * FLOP/byte counters as args.
+ */
+void writeChromeTrace(const ExecutionPlan &plan,
+                      const std::vector<GroupTiming> &timings,
+                      std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_PROFILER_TRACE_EXPORT_H

@@ -1,0 +1,88 @@
+#include "profiler/workload_report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+namespace ngb {
+
+const OpKindSummary *
+WorkloadReport::find(OpKind k) const
+{
+    for (const OpKindSummary &s : byKind)
+        if (s.kind == k)
+            return &s;
+    return nullptr;
+}
+
+WorkloadReport
+buildWorkloadReport(const Graph &g, size_t max_examples)
+{
+    WorkloadReport r;
+    r.model = g.name();
+    r.stats = g.stats();
+
+    std::map<OpKind, OpKindSummary> acc;
+    for (const Node &n : g.nodes()) {
+        if (n.inputs.empty())
+            continue;  // graph inputs / weights
+        OpKindSummary &s = acc[n.kind];
+        s.kind = n.kind;
+        s.category = n.category();
+        ++s.count;
+        s.launches += n.attrs.getI("kernels", 1);
+        s.flops += n.cost.flops;
+        s.activationBytes += n.cost.bytesIn + n.cost.bytesOut;
+        s.paramBytes += n.cost.bytesParam;
+        if (s.exampleShapes.size() < max_examples) {
+            const Shape &in = g.shapeOf(n.inputs[0]);
+            bool dup = false;
+            for (const Shape &e : s.exampleShapes)
+                dup |= e == in;
+            if (!dup)
+                s.exampleShapes.push_back(in);
+        }
+    }
+    for (auto &[kind, s] : acc)
+        r.byKind.push_back(std::move(s));
+    std::sort(r.byKind.begin(), r.byKind.end(),
+              [](const OpKindSummary &a, const OpKindSummary &b) {
+                  return a.launches > b.launches;
+              });
+    return r;
+}
+
+void
+writeWorkloadCsv(const WorkloadReport &r, std::ostream &os)
+{
+    os << "op,category,count,launches,flops,activation_bytes,"
+          "param_bytes,example_shape\n";
+    for (const OpKindSummary &s : r.byKind) {
+        os << opKindName(s.kind) << ',' << opCategoryName(s.category)
+           << ',' << s.count << ',' << s.launches << ',' << s.flops << ','
+           << s.activationBytes << ',' << s.paramBytes << ',' << '"'
+           << (s.exampleShapes.empty() ? "" : s.exampleShapes[0].str())
+           << '"' << '\n';
+    }
+}
+
+void
+printWorkloadReport(const WorkloadReport &r, std::ostream &os)
+{
+    os << "Workload report: " << r.model << " — " << r.stats.numOps
+       << " ops (" << r.stats.numGemmOps << " GEMM / "
+       << r.stats.numNonGemmOps << " non-GEMM), "
+       << std::fixed << std::setprecision(2)
+       << r.stats.totalFlops / 1e9 << " GFLOPs, "
+       << static_cast<double>(r.stats.totalParams) / 1e6 << " M params\n";
+    for (const OpKindSummary &s : r.byKind) {
+        os << "  " << std::left << std::setw(20) << opKindName(s.kind)
+           << std::setw(14) << opCategoryName(s.category) << std::right
+           << " x" << std::setw(4) << s.count << "  launches "
+           << std::setw(5) << s.launches << "  e.g. "
+           << (s.exampleShapes.empty() ? "-" : s.exampleShapes[0].str())
+           << "\n";
+    }
+}
+
+}  // namespace ngb

@@ -1,0 +1,50 @@
+#ifndef NGB_PROFILER_WORKLOAD_REPORT_H
+#define NGB_PROFILER_WORKLOAD_REPORT_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/**
+ * The Workload Report of Section III-C: operator types, instance
+ * counts, and the tensor shapes each operator sees during inference —
+ * the data behind the paper's Table I.
+ */
+struct OpKindSummary {
+    OpKind kind;
+    OpCategory category;
+    int64_t count = 0;            ///< instances in the graph
+    int64_t launches = 0;         ///< eager kernel launches (composites)
+    double flops = 0;
+    double activationBytes = 0;
+    double paramBytes = 0;
+    std::vector<Shape> exampleShapes;  ///< up to a few distinct inputs
+};
+
+struct WorkloadReport {
+    std::string model;
+    GraphStats stats;
+    std::vector<OpKindSummary> byKind;  ///< descending by launches
+
+    /** Summary for one kind, or nullptr if absent. */
+    const OpKindSummary *find(OpKind k) const;
+};
+
+/** Build the workload report for a graph. */
+WorkloadReport buildWorkloadReport(const Graph &g,
+                                   size_t max_examples = 3);
+
+/** Write as CSV: kind,category,count,launches,flops,bytes,example. */
+void writeWorkloadCsv(const WorkloadReport &r, std::ostream &os);
+
+/** Human-readable table. */
+void printWorkloadReport(const WorkloadReport &r, std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_PROFILER_WORKLOAD_REPORT_H

@@ -1,0 +1,181 @@
+#include "quant/quantize_pass.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/op_cost.h"
+
+namespace ngb {
+
+namespace {
+
+/** Append a node to @p dst with cost computed, returning its Value. */
+Value
+emit(Graph &dst, Node n)
+{
+    n.cost = computeOpCost(n, dst);
+    int id = dst.addNode(std::move(n));
+    return {id, 0};
+}
+
+}  // namespace
+
+Graph
+quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
+                QuantizeStats *stats)
+{
+    Graph dst;
+    dst.setName(src.name() + "-int8");
+    QuantizeStats st;
+    st.nodesBefore = static_cast<int64_t>(src.size());
+
+    // Old value -> new value.
+    std::map<std::pair<int, int>, Value> remap;
+    auto mapped = [&](const Value &v) { return remap.at({v.node, v.index}); };
+
+    for (const Node &n : src.nodes()) {
+        if (n.inputs.empty()) {
+            // Graph input: copy verbatim.
+            Node c = n;
+            c.id = -1;
+            int id = dst.addNode(std::move(c));
+            Value nv{id, 0};
+            dst.markInput(nv);
+            for (size_t i = 0; i < n.outShapes.size(); ++i)
+                remap[{n.id, static_cast<int>(i)}] =
+                    Value{id, static_cast<int>(i)};
+            continue;
+        }
+
+        bool eligible = n.kind == OpKind::Linear &&
+                        !n.paramShapes.empty() &&
+                        n.paramShapes[0][1] >= cfg.minInFeatures;
+
+        if (eligible && cfg.method == QuantMethod::WeightOnlyInt8) {
+            // Weight-only: the same Linear, with int8 weights that the
+            // kernel dequantizes on the fly. No graph changes at all.
+            ++st.linearsQuantized;
+            Node c = n;
+            c.id = -1;
+            for (Value &v : c.inputs)
+                v = mapped(v);
+            c.paramDtype = DType::I8;
+            c.cost = computeOpCost(c, dst);
+            int id = dst.addNode(std::move(c));
+            remap[{n.id, 0}] = Value{id, 0};
+            continue;
+        }
+
+        if (!eligible) {
+            if (n.kind == OpKind::Linear)
+                ++st.linearsKept;
+            Node c = n;
+            c.id = -1;
+            for (Value &v : c.inputs)
+                v = mapped(v);
+            c.cost = computeOpCost(c, dst);
+            int id = dst.addNode(std::move(c));
+            for (size_t i = 0; i < n.outShapes.size(); ++i)
+                remap[{n.id, static_cast<int>(i)}] =
+                    Value{id, static_cast<int>(i)};
+            continue;
+        }
+
+        ++st.linearsQuantized;
+        Value x = mapped(n.inputs[0]);
+        const Shape &xs = dst.shapeOf(x);
+        int64_t k = n.paramShapes[0][1];
+        int64_t out_features = n.paramShapes[0][0];
+        bool bias = n.paramShapes.size() > 1;
+
+        // absmax activation quantization (reduce + scale kernels).
+        Node q;
+        q.kind = OpKind::Quantize;
+        q.name = n.name + ".quant";
+        q.inputs = {x};
+        q.outShapes = {xs};
+        q.outDtypes = {DType::I8};
+        q.attrs.set("kernels", 3);  // absmax reduce, scale compute, cast
+        Value xq = emit(dst, std::move(q));
+        ++st.addedNonGemmOps;
+
+        // INT8 GEMM.
+        Node lin;
+        lin.kind = OpKind::Int8Linear;
+        lin.name = n.name + ".int8";
+        lin.inputs = {xq};
+        std::vector<int64_t> odims = xs.dims();
+        odims.back() = out_features;
+        lin.outShapes = {Shape(odims)};
+        lin.outDtypes = {DType::I32};
+        lin.paramShapes = {Shape{out_features, k}};
+        lin.paramDtype = DType::I8;
+        if (bias)
+            lin.paramShapes.push_back(Shape{out_features});
+        Value acc = emit(dst, std::move(lin));
+
+        // Dequantize the int32 accumulator back to fp16/fp32.
+        Node dq;
+        dq.kind = OpKind::Dequantize;
+        dq.name = n.name + ".dequant";
+        dq.inputs = {acc};
+        dq.outShapes = {Shape(odims)};
+        dq.outDtypes = {DType::F32};
+        // bitsandbytes rescales row-wise then column-wise: two passes.
+        dq.attrs.set("kernels", 2);
+        Value y = emit(dst, std::move(dq));
+        ++st.addedNonGemmOps;
+
+        if (cfg.outlierFraction > 0) {
+            int64_t k_out = std::max<int64_t>(
+                1, static_cast<int64_t>(
+                       static_cast<double>(k) * cfg.outlierFraction));
+            // Slice the outlier feature columns.
+            Node sl;
+            sl.kind = OpKind::Slice;
+            sl.name = n.name + ".outlier_cols";
+            sl.inputs = {x};
+            std::vector<int64_t> sdims = xs.dims();
+            sdims.back() = k_out;
+            sl.outShapes = {Shape(sdims)};
+            sl.outDtypes = {DType::F32};
+            sl.attrs.set("dim",
+                         static_cast<double>(xs.rank() - 1))
+                .set("start", 0.0);
+            Value xo = emit(dst, std::move(sl));
+            ++st.addedNonGemmOps;
+
+            // fp16 GEMM over the outlier columns.
+            Node fl;
+            fl.kind = OpKind::Linear;
+            fl.name = n.name + ".outlier_fp16";
+            fl.inputs = {xo};
+            fl.outShapes = {Shape(odims)};
+            fl.outDtypes = {DType::F32};
+            fl.paramShapes = {Shape{out_features, k_out}};
+            Value yo = emit(dst, std::move(fl));
+
+            // Merge the two partial results.
+            Node ad;
+            ad.kind = OpKind::Add;
+            ad.name = n.name + ".merge";
+            ad.inputs = {y, yo};
+            ad.outShapes = {Shape(odims)};
+            ad.outDtypes = {DType::F32};
+            y = emit(dst, std::move(ad));
+            ++st.addedNonGemmOps;
+        }
+
+        remap[{n.id, 0}] = y;
+    }
+
+    for (const Value &v : src.graphOutputs())
+        dst.markOutput(mapped(v));
+
+    st.nodesAfter = static_cast<int64_t>(dst.size());
+    if (stats)
+        *stats = st;
+    return dst;
+}
+
+}  // namespace ngb

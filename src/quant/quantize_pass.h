@@ -1,0 +1,69 @@
+#ifndef NGB_QUANT_QUANTIZE_PASS_H
+#define NGB_QUANT_QUANTIZE_PASS_H
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/** Which post-training quantization scheme to apply. */
+enum class QuantMethod {
+    /**
+     * LLM.int8() (Dettmers et al.): int8 activations AND weights with
+     * dynamic activation quantization — fast GEMMs, but Q/DQ operators
+     * appear around every quantized linear (Section IV-C's subject).
+     */
+    LlmInt8,
+    /**
+     * Weight-only int8 (the GPTQ/AWQ family the paper cites as
+     * [21]/[36]): weights stored narrow and dequantized inside the
+     * GEMM kernel — parameter traffic halves with NO new non-GEMM
+     * operators. The contrast shows Fig. 9's non-GEMM blowup is a
+     * property of activation quantization, not of quantization per se.
+     */
+    WeightOnlyInt8,
+};
+
+/**
+ * Configuration of the post-training quantization pass
+ * (Section IV-C characterizes the LlmInt8 method).
+ */
+struct QuantizeConfig {
+    QuantMethod method = QuantMethod::LlmInt8;
+
+    /** Only quantize Linear layers with at least this many in-features
+     *  (LLM.int8() targets the large projection matrices). */
+    int64_t minInFeatures = 512;
+
+    /**
+     * Fraction of input features treated as emergent outliers and
+     * kept in 16-bit via the mixed-precision decomposition. Adds the
+     * Slice + fp16 GEMM + Add side path the method prescribes.
+     */
+    double outlierFraction = 0.01;
+};
+
+/** What the pass did, for the workload report and Figure 9. */
+struct QuantizeStats {
+    int64_t linearsQuantized = 0;
+    int64_t linearsKept = 0;
+    int64_t addedNonGemmOps = 0;   ///< Q/DQ + decomposition ops inserted
+    int64_t nodesBefore = 0;
+    int64_t nodesAfter = 0;
+};
+
+/**
+ * Rewrite @p src so every eligible Linear executes as
+ *
+ *   absmax-quantize(x) -> Int8Linear -> dequantize
+ *   [+ slice -> fp16 Linear -> add   (outlier decomposition)]
+ *
+ * All other operators keep running in floating point, which is why
+ * quantization *adds* non-GEMM work: activations must be dequantized
+ * and requantized around every non-GEMM operator.
+ */
+Graph quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
+                      QuantizeStats *stats = nullptr);
+
+}  // namespace ngb
+
+#endif  // NGB_QUANT_QUANTIZE_PASS_H

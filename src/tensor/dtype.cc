@@ -1,0 +1,93 @@
+#include "tensor/dtype.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ngb {
+
+size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::F32: return 4;
+      case DType::F16: return 2;
+      case DType::I8: return 1;
+      case DType::I32: return 4;
+      case DType::B8: return 1;
+    }
+    return 0;
+}
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::F32: return "f32";
+      case DType::F16: return "f16";
+      case DType::I8: return "i8";
+      case DType::I32: return "i32";
+      case DType::B8: return "b8";
+    }
+    return "?";
+}
+
+float
+halfToFloat(uint16_t h)
+{
+    uint32_t sign = (h & 0x8000u) << 16;
+    uint32_t exp = (h >> 10) & 0x1f;
+    uint32_t mant = h & 0x3ffu;
+    uint32_t bits;
+    if (exp == 0) {
+        if (mant == 0) {
+            bits = sign;
+        } else {
+            // Subnormal: normalize.
+            int shift = 0;
+            while (!(mant & 0x400u)) {
+                mant <<= 1;
+                ++shift;
+            }
+            mant &= 0x3ffu;
+            bits = sign | ((112u - shift) << 23) | (mant << 13);
+        }
+    } else if (exp == 0x1f) {
+        bits = sign | 0x7f800000u | (mant << 13);
+    } else {
+        bits = sign | ((exp + 112u) << 23) | (mant << 13);
+    }
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+uint16_t
+floatToHalf(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    uint32_t sign = (bits >> 16) & 0x8000u;
+    int32_t exp = static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+    uint32_t mant = bits & 0x7fffffu;
+    if (exp >= 0x1f) {
+        // Overflow or inf/nan.
+        uint32_t nan_mant = ((bits >> 23) & 0xffu) == 0xffu && mant ? 0x200u : 0;
+        return static_cast<uint16_t>(sign | 0x7c00u | nan_mant);
+    }
+    if (exp <= 0) {
+        if (exp < -10)
+            return static_cast<uint16_t>(sign);
+        // Subnormal half.
+        mant |= 0x800000u;
+        uint32_t shift = static_cast<uint32_t>(14 - exp);
+        uint32_t half_mant = mant >> shift;
+        uint32_t round = (mant >> (shift - 1)) & 1u;
+        return static_cast<uint16_t>(sign | (half_mant + round));
+    }
+    uint32_t half_mant = mant >> 13;
+    uint32_t round = (mant >> 12) & 1u;
+    uint32_t out = sign | (static_cast<uint32_t>(exp) << 10) | half_mant;
+    return static_cast<uint16_t>(out + round);
+}
+
+}  // namespace ngb

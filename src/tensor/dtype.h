@@ -1,0 +1,39 @@
+#ifndef NGB_TENSOR_DTYPE_H
+#define NGB_TENSOR_DTYPE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ngb {
+
+/**
+ * Element data types supported by the tensor library.
+ *
+ * F16 is stored as IEEE 754 binary16 in memory and widened to float for
+ * arithmetic; it exists primarily so that the platform cost model can
+ * account for half-precision byte traffic and tensor-core GEMM rates.
+ */
+enum class DType : uint8_t {
+    F32,
+    F16,
+    I8,
+    I32,
+    B8,  ///< boolean stored as one byte
+};
+
+/** Size of one element of the given type, in bytes. */
+size_t dtypeSize(DType t);
+
+/** Human-readable name, e.g. "f32". */
+std::string dtypeName(DType t);
+
+/** Convert an IEEE binary16 bit pattern to float. */
+float halfToFloat(uint16_t h);
+
+/** Convert a float to the nearest IEEE binary16 bit pattern. */
+uint16_t floatToHalf(float f);
+
+}  // namespace ngb
+
+#endif  // NGB_TENSOR_DTYPE_H

@@ -1,0 +1,53 @@
+#ifndef NGB_TENSOR_SHAPE_H
+#define NGB_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ngb {
+
+/**
+ * A tensor shape: an ordered list of non-negative dimension extents.
+ *
+ * Shapes are value types used pervasively by shape inference and the
+ * cost model; they intentionally stay small and cheap to copy.
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+    /** Number of dimensions (rank). */
+    size_t rank() const { return dims_.size(); }
+
+    /** Extent of dimension @p i; negative indices count from the back. */
+    int64_t dim(int i) const;
+
+    int64_t operator[](size_t i) const { return dims_[i]; }
+    int64_t &operator[](size_t i) { return dims_[i]; }
+
+    /** Total number of elements (1 for a scalar / rank-0 shape). */
+    int64_t numel() const;
+
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+    bool operator==(const Shape &o) const { return dims_ == o.dims_; }
+    bool operator!=(const Shape &o) const { return dims_ != o.dims_; }
+
+    /** Render as "[2, 3, 4]". */
+    std::string str() const;
+
+    /** Row-major (C-contiguous) strides for this shape, in elements. */
+    std::vector<int64_t> contiguousStrides() const;
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_TENSOR_SHAPE_H

@@ -1,0 +1,141 @@
+#ifndef NGB_TENSOR_TENSOR_H
+#define NGB_TENSOR_TENSOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace ngb {
+
+/**
+ * Reference-counted flat byte buffer backing one or more tensor views.
+ */
+class Storage
+{
+  public:
+    explicit Storage(size_t bytes) : data_(bytes, 0) {}
+
+    uint8_t *raw() { return data_.data(); }
+    const uint8_t *raw() const { return data_.data(); }
+    size_t bytes() const { return data_.size(); }
+
+  private:
+    std::vector<uint8_t> data_;
+};
+
+/**
+ * A strided, view-aware N-dimensional tensor.
+ *
+ * Tensors share storage: layout ops such as permute(), view(), and
+ * slice() return new tensors aliasing the same buffer, mirroring the
+ * PyTorch semantics that make "memory operators" cheap or expensive
+ * depending on whether a copy (contiguous()) is required.
+ *
+ * Element arithmetic is always performed in float regardless of the
+ * nominal dtype; F16 and I8 tensors store their narrow representation
+ * and convert on access so quantization behaviour is observable.
+ */
+class Tensor
+{
+  public:
+    /** An empty (null) tensor. */
+    Tensor() = default;
+
+    /** Allocate a zero-filled contiguous tensor. */
+    Tensor(Shape shape, DType dtype = DType::F32);
+
+    /** Build a view over existing storage. */
+    Tensor(std::shared_ptr<Storage> storage, Shape shape,
+           std::vector<int64_t> strides, int64_t offset, DType dtype);
+
+    static Tensor zeros(const Shape &shape, DType dtype = DType::F32);
+    static Tensor full(const Shape &shape, float value,
+                       DType dtype = DType::F32);
+    /** Deterministic pseudo-random normal values (mean 0, std @p std). */
+    static Tensor randn(const Shape &shape, uint64_t seed, float std = 1.0f);
+    /** Values 0, step, 2*step, ... in row-major order. */
+    static Tensor arange(const Shape &shape, float step = 1.0f);
+
+    bool defined() const { return storage_ != nullptr; }
+    const Shape &shape() const { return shape_; }
+    const std::vector<int64_t> &strides() const { return strides_; }
+    DType dtype() const { return dtype_; }
+    int64_t numel() const { return shape_.numel(); }
+    /** Bytes occupied by this view's elements (numel * element size). */
+    int64_t bytes() const
+    {
+        return numel() * static_cast<int64_t>(dtypeSize(dtype_));
+    }
+
+    /** True when elements are laid out row-major with no gaps. */
+    bool isContiguous() const;
+
+    /** Read the element at @p idx (rank-matched indices) as float. */
+    float at(const std::vector<int64_t> &idx) const;
+    /** Write the element at @p idx from a float. */
+    void set(const std::vector<int64_t> &idx, float v);
+
+    /** Read the i-th element in logical row-major order as float. */
+    float flatAt(int64_t i) const;
+    void flatSet(int64_t i, float v);
+
+    /**
+     * Direct pointer to this view's first element, valid only for
+     * contiguous tensors of the matching type.
+     */
+    float *dataF32();
+    const float *dataF32() const;
+    int8_t *dataI8();
+    const int8_t *dataI8() const;
+    int32_t *dataI32();
+    const int32_t *dataI32() const;
+
+    // -- Layout (memory) operators; all O(1) views unless noted ----------
+
+    /** Reinterpret as @p shape; requires contiguity and equal numel. */
+    Tensor view(const Shape &shape) const;
+    /** view() when contiguous, otherwise copy-then-view. */
+    Tensor reshape(const Shape &shape) const;
+    /** Reorder dimensions; returns a non-contiguous view. */
+    Tensor permute(const std::vector<int> &order) const;
+    /** Swap two dimensions. */
+    Tensor transpose(int d0, int d1) const;
+    /** Materialize a contiguous copy iff needed. */
+    Tensor contiguous() const;
+    /** Narrow dimension @p dim to [start, start+len). */
+    Tensor slice(int dim, int64_t start, int64_t len) const;
+    /** Insert a size-1 dimension at @p dim. */
+    Tensor unsqueeze(int dim) const;
+    /** Remove a size-1 dimension at @p dim. */
+    Tensor squeeze(int dim) const;
+    /** Broadcast size-1 dimensions up to @p shape (view, stride 0). */
+    Tensor expand(const Shape &shape) const;
+
+    /** Deep copy with the same dtype. */
+    Tensor clone() const;
+    /** Convert (copy) to another dtype. */
+    Tensor to(DType dtype) const;
+
+    std::shared_ptr<Storage> storage() const { return storage_; }
+    int64_t offset() const { return offset_; }
+
+  private:
+    int64_t elementIndex(const std::vector<int64_t> &idx) const;
+    int64_t flatToElementIndex(int64_t i) const;
+    float loadElement(int64_t elem_index) const;
+    void storeElement(int64_t elem_index, float v);
+
+    std::shared_ptr<Storage> storage_;
+    Shape shape_;
+    std::vector<int64_t> strides_;
+    int64_t offset_ = 0;
+    DType dtype_ = DType::F32;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_TENSOR_TENSOR_H

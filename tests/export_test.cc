@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bench.h"
+#include "deploy/flow.h"
+#include "models/registry.h"
+#include "profiler/svg_chart.h"
+#include "profiler/trace_export.h"
+
+namespace ngb {
+namespace {
+
+ProfileReport
+smallReport(const std::string &model = "gpt2")
+{
+    BenchConfig c;
+    c.model = model;
+    c.testScale = 4;
+    return Bench::run(c);
+}
+
+TEST(SvgChartTest, EmitsWellFormedSvg)
+{
+    std::ostringstream os;
+    SvgChartOptions opts;
+    opts.title = "unit test chart";
+    writeSvgChart({smallReport()}, opts, os);
+    std::string s = os.str();
+    EXPECT_EQ(s.find("<svg"), 0u);
+    EXPECT_NE(s.find("</svg>"), std::string::npos);
+    EXPECT_NE(s.find("unit test chart"), std::string::npos);
+    // Opening/closing rects balance.
+    size_t rects = 0, pos = 0;
+    while ((pos = s.find("<rect", pos)) != std::string::npos) {
+        ++rects;
+        ++pos;
+    }
+    EXPECT_GT(rects, 3u);
+}
+
+TEST(SvgChartTest, LegendListsCategories)
+{
+    std::ostringstream os;
+    SvgChartOptions opts;
+    writeSvgChart({smallReport()}, opts, os);
+    std::string s = os.str();
+    EXPECT_NE(s.find(">GEMM<"), std::string::npos);
+    EXPECT_NE(s.find(">Memory<"), std::string::npos);
+    EXPECT_NE(s.find(">Activation<"), std::string::npos);
+}
+
+TEST(SvgChartTest, LegendCanBeDisabled)
+{
+    std::ostringstream with, without;
+    SvgChartOptions opts;
+    writeSvgChart({smallReport()}, opts, with);
+    opts.showLegend = false;
+    writeSvgChart({smallReport()}, opts, without);
+    EXPECT_GT(with.str().size(), without.str().size());
+}
+
+TEST(SvgChartTest, MultipleBarsAndCustomLabels)
+{
+    std::vector<ProfileReport> rs = {smallReport("gpt2"),
+                                     smallReport("bert")};
+    std::ostringstream os;
+    SvgChartOptions opts;
+    writeSvgChart(rs, opts, os, {"first", "second"});
+    std::string s = os.str();
+    EXPECT_NE(s.find(">first<"), std::string::npos);
+    EXPECT_NE(s.find(">second<"), std::string::npos);
+}
+
+TEST(SvgChartTest, ColorsAreStablePerCategory)
+{
+    EXPECT_EQ(svgCategoryColor(OpCategory::Gemm),
+              svgCategoryColor(OpCategory::Gemm));
+    EXPECT_NE(svgCategoryColor(OpCategory::Gemm),
+              svgCategoryColor(OpCategory::Memory));
+}
+
+TEST(SvgChartTest, AbsoluteModeScalesBars)
+{
+    std::ostringstream norm_os, abs_os;
+    SvgChartOptions opts;
+    writeSvgChart({smallReport()}, opts, norm_os);
+    opts.normalize = false;
+    writeSvgChart({smallReport()}, opts, abs_os);
+    // Absolute mode shows a ms y-axis, normalized shows percent.
+    EXPECT_NE(abs_os.str().find("ms</text>"), std::string::npos);
+    EXPECT_NE(norm_os.str().find("%</text>"), std::string::npos);
+}
+
+class TraceFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ModelConfig mc;
+        mc.testScale = 8;
+        mc.seqLen = 8;
+        graph_ = models::findModel("gpt2").build(mc);
+        plan_ = makePyTorchFlow()->plan(graph_, {true, false});
+        CostModel cm(platformA());
+        timings_ = cm.priceAll(plan_);
+    }
+
+    Graph graph_;
+    ExecutionPlan plan_;
+    std::vector<GroupTiming> timings_;
+};
+
+TEST_F(TraceFixture, EmitsOneEventPerTrack)
+{
+    std::ostringstream os;
+    writeChromeTrace(plan_, timings_, os);
+    std::string s = os.str();
+    EXPECT_EQ(s.find("{\"traceEvents\":["), 0u);
+    EXPECT_NE(s.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(s.find("\"tid\":\"host\""), std::string::npos);
+    EXPECT_NE(s.find("\"tid\":\"gpu\""), std::string::npos);
+}
+
+TEST_F(TraceFixture, BracesBalance)
+{
+    std::ostringstream os;
+    writeChromeTrace(plan_, timings_, os);
+    std::string s = os.str();
+    int depth = 0;
+    for (char c : s) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST_F(TraceFixture, TimesAreMonotonePerTrack)
+{
+    std::ostringstream os;
+    writeChromeTrace(plan_, timings_, os);
+    std::string s = os.str();
+    // Host timestamps appear in emission order; verify they never
+    // decrease by scanning "tid":"host"..."ts": pairs.
+    const std::string pat = "\"tid\":\"host\",\"ts\":";
+    double prev = -1;
+    size_t pos = 0;
+    while ((pos = s.find(pat, pos)) != std::string::npos) {
+        pos += pat.size();
+        double ts = std::stod(s.substr(pos));
+        EXPECT_GE(ts, prev);
+        prev = ts;
+    }
+    EXPECT_GE(prev, 0.0);
+}
+
+TEST_F(TraceFixture, CategoriesCarriedInEvents)
+{
+    std::ostringstream os;
+    writeChromeTrace(plan_, timings_, os);
+    EXPECT_NE(os.str().find("\"cat\":\"Activation\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"cat\":\"GEMM\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deploy/flow.h"
+#include "graph/builder.h"
+#include "platform/cost_model.h"
+
+namespace ngb {
+namespace {
+
+/** A small transformer-ish graph exercising every op class. */
+Graph
+testGraph()
+{
+    Graph g;
+    g.setName("test");
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 8, 32});
+    Value h = b.layerNorm(x);
+    h = b.linear(h, 32, true, "fc1");
+    h = b.gelu(h);
+    h = b.mulScalar(h, 0.5);
+    h = b.addScalar(h, 1.0);
+    Value v = b.view(h, Shape{8, 32});
+    Value t = b.transpose(v, 0, 1);
+    Value c = b.contiguous(t);
+    Value r = b.view(c, Shape{1, 32, 8});
+    Value y = b.softmax(r, -1);
+    b.output(y);
+    return g;
+}
+
+void
+expectCoversAllNodes(const Graph &g, const ExecutionPlan &p)
+{
+    std::set<int> seen;
+    for (const KernelGroup &kg : p.groups)
+        for (int id : kg.nodeIds)
+            EXPECT_TRUE(seen.insert(id).second);
+    for (const Node &n : g.nodes())
+        if (!n.inputs.empty())
+            EXPECT_TRUE(seen.count(n.id)) << n.name;
+}
+
+TEST(FlowFactoryTest, NamesResolve)
+{
+    EXPECT_EQ(makeFlow("pytorch")->name(), "pytorch");
+    EXPECT_EQ(makeFlow("pt")->name(), "pytorch");
+    EXPECT_EQ(makeFlow("inductor")->name(), "inductor");
+    EXPECT_EQ(makeFlow("ort")->name(), "ort");
+    EXPECT_EQ(makeFlow("trt")->name(), "tensorrt");
+    EXPECT_THROW(makeFlow("tvm"), std::runtime_error);
+}
+
+TEST(PyTorchFlowTest, OneGroupPerNode)
+{
+    Graph g = testGraph();
+    auto plan = makePyTorchFlow()->plan(g, {true, false});
+    expectCoversAllNodes(g, plan);
+    for (const KernelGroup &kg : plan.groups)
+        EXPECT_EQ(kg.nodeIds.size(), 1u);
+    EXPECT_EQ(plan.fusedNodeCount(), 0);
+}
+
+TEST(PyTorchFlowTest, GpuPlacementSkipsZeroCopy)
+{
+    Graph g = testGraph();
+    auto plan = makePyTorchFlow()->plan(g, {true, false});
+    for (const KernelGroup &kg : plan.groups) {
+        if (kg.zeroCopy)
+            EXPECT_FALSE(kg.onGpu);
+        else
+            EXPECT_TRUE(kg.onGpu);
+    }
+}
+
+TEST(PyTorchFlowTest, CpuOnlyPlacesNothingOnGpu)
+{
+    Graph g = testGraph();
+    auto plan = makePyTorchFlow()->plan(g, {false, false});
+    EXPECT_FALSE(plan.gpuEnabled);
+    for (const KernelGroup &kg : plan.groups)
+        EXPECT_FALSE(kg.onGpu);
+}
+
+TEST(PyTorchFlowTest, F16HalvesBytes)
+{
+    Graph g = testGraph();
+    auto p32 = makePyTorchFlow()->plan(g, {true, false});
+    auto p16 = makePyTorchFlow()->plan(g, {true, true});
+    double b32 = 0, b16 = 0;
+    for (size_t i = 0; i < p32.groups.size(); ++i) {
+        b32 += p32.groups[i].bytesIn + p32.groups[i].bytesParam;
+        b16 += p16.groups[i].bytesIn + p16.groups[i].bytesParam;
+    }
+    EXPECT_NEAR(b16, b32 / 2, 1.0);
+}
+
+TEST(InductorFlowTest, FusesPointwiseRegions)
+{
+    Graph g = testGraph();
+    auto plan = makeInductorFlow()->plan(g, {true, false});
+    expectCoversAllNodes(g, plan);
+    EXPECT_GT(plan.fusedNodeCount(), 0);
+}
+
+TEST(InductorFlowTest, FasterThanEagerOnCostModel)
+{
+    Graph g = testGraph();
+    CostModel cm(platformA());
+    double eager = cm.latencyUs(makePyTorchFlow()->plan(g, {true, false}));
+    double comp = cm.latencyUs(makeInductorFlow()->plan(g, {true, false}));
+    EXPECT_LT(comp, eager);
+}
+
+TEST(OrtFlowTest, MemoryOpsFallBackToCpuWithTransfers)
+{
+    Graph g = testGraph();
+    auto plan = makeOrtFlow()->plan(g, {true, false});
+    expectCoversAllNodes(g, plan);
+    bool saw_fallback = false;
+    for (const KernelGroup &kg : plan.groups) {
+        const Node &n = g.node(kg.nodeIds[0]);
+        if (n.category() == OpCategory::Memory) {
+            EXPECT_FALSE(kg.onGpu) << n.name;
+            EXPECT_GT(kg.transferBytes, 0.0) << n.name;
+            saw_fallback = true;
+        } else {
+            EXPECT_TRUE(kg.onGpu) << n.name;
+        }
+    }
+    EXPECT_TRUE(saw_fallback);
+}
+
+TEST(OrtFlowTest, NoFallbackWithoutGpu)
+{
+    Graph g = testGraph();
+    auto plan = makeOrtFlow()->plan(g, {false, false});
+    for (const KernelGroup &kg : plan.groups)
+        EXPECT_EQ(kg.transferBytes, 0.0);
+}
+
+TEST(OrtFlowTest, CheaperDispatchThanEager)
+{
+    Graph g = testGraph();
+    auto plan = makeOrtFlow()->plan(g, {true, false});
+    for (const KernelGroup &kg : plan.groups)
+        EXPECT_EQ(kg.dispatchUsOverride, 1.5);
+}
+
+TEST(TensorRtFlowTest, FusesAndSpeedsUp)
+{
+    // Conv+BN+ReLU backbone-ish graph.
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 8, 16, 16});
+    Value v = x;
+    for (int i = 0; i < 3; ++i) {
+        v = b.conv2d(v, 8, 3, 1, 1, 1, false,
+                     "conv" + std::to_string(i));
+        v = b.batchNorm2d(v, true);
+        v = b.relu(v);
+    }
+    b.output(v);
+
+    auto trt = makeTensorRtFlow()->plan(g, {true, false});
+    expectCoversAllNodes(g, trt);
+    EXPECT_EQ(trt.groups.size(), 3u);  // three fused conv blocks
+    for (const KernelGroup &kg : trt.groups)
+        EXPECT_EQ(kg.category, OpCategory::Gemm);
+
+    CostModel cm(platformA());
+    double eager = cm.latencyUs(makePyTorchFlow()->plan(g, {true, false}));
+    EXPECT_LT(cm.latencyUs(trt), eager);
+}
+
+TEST(TensorRtFlowTest, ShortChainsStayUnfused)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{64});
+    Value v = b.addScalar(x, 1.0);
+    v = b.tanh(v);  // 2-chain < TRT's 3-op pattern
+    b.output(v);
+    auto plan = makeTensorRtFlow()->plan(g, {true, false});
+    EXPECT_EQ(plan.fusedNodeCount(), 0);
+}
+
+TEST(FlowComparisonTest, OrtShiftsTimeIntoMemoryCategory)
+{
+    Graph g = testGraph();
+    CostModel cm(platformA());
+    auto time_in_memory = [&](const ExecutionPlan &p) {
+        double mem = 0, total = 0;
+        auto timings = cm.priceAll(p);
+        for (size_t i = 0; i < p.groups.size(); ++i) {
+            double t = timings[i].totalUs();
+            total += t;
+            if (p.groups[i].category == OpCategory::Memory)
+                mem += t;
+        }
+        return mem / total;
+    };
+    double pt = time_in_memory(makePyTorchFlow()->plan(g, {true, false}));
+    double ort = time_in_memory(makeOrtFlow()->plan(g, {true, false}));
+    EXPECT_GT(ort, pt);
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deploy/fusion.h"
+#include "graph/builder.h"
+
+namespace ngb {
+namespace {
+
+/** Every non-input node appears in exactly one group. */
+void
+expectPartition(const Graph &g, const std::vector<KernelGroup> &groups)
+{
+    std::set<int> seen;
+    for (const KernelGroup &kg : groups)
+        for (int id : kg.nodeIds) {
+            EXPECT_TRUE(seen.insert(id).second) << "node " << id
+                                                << " in two groups";
+        }
+    for (const Node &n : g.nodes()) {
+        if (n.inputs.empty())
+            continue;
+        EXPECT_TRUE(seen.count(n.id)) << "node " << n.id << " unscheduled";
+    }
+}
+
+Graph
+convBnReluGraph()
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 8, 8});
+    Value c = b.conv2d(x, 8, 3, 1, 1, 1, false, "conv");
+    Value n = b.batchNorm2d(c, true);
+    Value r = b.relu(n);
+    b.output(r);
+    return g;
+}
+
+TEST(FusionTest, NoFusionYieldsSingletons)
+{
+    Graph g = convBnReluGraph();
+    FusionConfig cfg;  // everything off
+    auto groups = fuseGraph(g, cfg);
+    expectPartition(g, groups);
+    for (const KernelGroup &kg : groups)
+        EXPECT_EQ(kg.nodeIds.size(), 1u);
+}
+
+TEST(FusionTest, ConvBnReluFolding)
+{
+    Graph g = convBnReluGraph();
+    FusionConfig cfg;
+    cfg.fuseConvBnRelu = true;
+    FusionStats st;
+    auto groups = fuseGraph(g, cfg, &st);
+    expectPartition(g, groups);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].nodeIds.size(), 3u);
+    EXPECT_TRUE(groups[0].fused);
+    EXPECT_EQ(groups[0].category, OpCategory::Gemm);
+    EXPECT_EQ(st.fusedNonGemm, 2);      // bn + relu
+    EXPECT_EQ(st.fusedWithGemm, 2);
+    EXPECT_EQ(st.totalNonGemm, 2);
+    EXPECT_DOUBLE_EQ(st.fusionRate(), 1.0);
+}
+
+TEST(FusionTest, ConvBnNotFoldedWhenBnHasSecondConsumer)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 8, 8});
+    Value c = b.conv2d(x, 8, 3, 1, 1, 1, false, "conv");
+    Value n = b.batchNorm2d(c, true);
+    Value r = b.relu(n);
+    Value other = b.sigmoid(n);  // second consumer of bn
+    b.output(r);
+    b.output(other);
+    FusionConfig cfg;
+    cfg.fuseConvBnRelu = true;
+    auto groups = fuseGraph(g, cfg);
+    expectPartition(g, groups);
+    // conv+bn fuse, but relu cannot (bn is multi-use).
+    for (const KernelGroup &kg : groups)
+        EXPECT_LE(kg.nodeIds.size(), 2u);
+}
+
+TEST(FusionTest, PointwiseChainFused)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{64});
+    Value v = b.mulScalar(x, 2.0);
+    v = b.addScalar(v, 1.0);
+    v = b.tanh(v);
+    v = b.mulScalar(v, 0.5);
+    b.output(v);
+
+    FusionConfig cfg;
+    cfg.fusePointwiseChains = true;
+    FusionStats st;
+    auto groups = fuseGraph(g, cfg, &st);
+    expectPartition(g, groups);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].nodeIds.size(), 4u);
+    EXPECT_EQ(st.fusedNonGemm, 4);
+    EXPECT_EQ(st.fusedWithGemm, 0);
+}
+
+TEST(FusionTest, MinChainLenGatesFusion)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{64});
+    Value v = b.addScalar(x, 1.0);
+    v = b.tanh(v);
+    b.output(v);
+
+    FusionConfig cfg;
+    cfg.fusePointwiseChains = true;
+    cfg.minChainLen = 3;
+    auto groups = fuseGraph(g, cfg);
+    expectPartition(g, groups);
+    EXPECT_EQ(groups.size(), 2u);  // 2-chain stays unfused
+    cfg.minChainLen = 2;
+    EXPECT_EQ(fuseGraph(g, cfg).size(), 1u);
+}
+
+TEST(FusionTest, ChainStopsAtMultiUse)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{64});
+    Value a = b.relu(x);
+    Value c = b.tanh(a);
+    Value d = b.add(a, c);  // a used twice: chain cannot swallow a
+    b.output(d);
+    FusionConfig cfg;
+    cfg.fusePointwiseChains = true;
+    auto groups = fuseGraph(g, cfg);
+    expectPartition(g, groups);
+    // relu stays alone (two consumers); tanh+add may fuse.
+    for (const KernelGroup &kg : groups)
+        if (kg.nodeIds.front() == a.node)
+            EXPECT_EQ(kg.nodeIds.size(), 1u);
+}
+
+TEST(FusionTest, FusedGroupCountsBoundaryBytesOnly)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1024});
+    Value v = b.relu(x);
+    v = b.tanh(v);
+    v = b.sigmoid(v);
+    b.output(v);
+
+    FusionConfig cfg;
+    cfg.fusePointwiseChains = true;
+    auto groups = fuseGraph(g, cfg);
+    ASSERT_EQ(groups.size(), 1u);
+    // One external input + one output: 2 * 4KB, not 6 * 4KB.
+    EXPECT_DOUBLE_EQ(groups[0].bytesIn, 4096.0);
+    EXPECT_DOUBLE_EQ(groups[0].bytesOut, 4096.0);
+
+    FusionConfig off;
+    double unfused_bytes = 0;
+    for (const KernelGroup &kg : fuseGraph(g, off))
+        unfused_bytes += kg.bytesIn + kg.bytesOut;
+    EXPECT_GT(unfused_bytes, groups[0].bytesIn + groups[0].bytesOut);
+}
+
+TEST(FusionTest, FusedFlopsAreSumOfMembers)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{128});
+    Value v = b.gelu(x);
+    v = b.tanh(v);
+    b.output(v);
+    double want = 0;
+    for (const Node &n : g.nodes())
+        want += n.cost.flops;
+    FusionConfig cfg;
+    cfg.fusePointwiseChains = true;
+    auto groups = fuseGraph(g, cfg);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_DOUBLE_EQ(groups[0].flops, want);
+}
+
+TEST(FusionTest, AttributionFollowsHeaviestNonGemmMember)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 8, 64});
+    Value v = b.addScalar(x, 1.0);
+    Value n = b.layerNorm(v);  // heavier than the add (8 flops/elem)
+    b.output(n);
+    FusionConfig cfg;
+    cfg.fusePointwiseChains = true;
+    auto groups = fuseGraph(g, cfg);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].category, OpCategory::Normalization);
+}
+
+TEST(FusionTest, SingletonGroupReadsKernelAttrs)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{8});
+    Value v = b.gelu(x);
+    g.node(v.node).attrs.set("kernels", 8);
+    KernelGroup kg = singletonGroup(g, g.node(v.node));
+    EXPECT_EQ(kg.kernelCount, 8);
+    EXPECT_EQ(kg.bigKernels, 8);
+    g.node(v.node).attrs.set("big_kernels", 2);
+    kg = singletonGroup(g, g.node(v.node));
+    EXPECT_EQ(kg.bigKernels, 2);
+}
+
+TEST(FusionTest, ZeroCopySingletonStaysZeroCopy)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{4, 4});
+    Value v = b.transpose(x, 0, 1);
+    b.output(v);
+    FusionConfig cfg;
+    cfg.fusePointwiseChains = true;
+    auto groups = fuseGraph(g, cfg);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_TRUE(groups[0].zeroCopy);
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace ngb {
+namespace {
+
+TEST(GraphBuilderTest, LinearShapeInference)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{2, 5, 16});
+    Value y = b.linear(x, 32);
+    EXPECT_EQ(g.shapeOf(y), (Shape{2, 5, 32}));
+    const Node &n = g.node(y.node);
+    EXPECT_EQ(n.kind, OpKind::Linear);
+    ASSERT_EQ(n.paramShapes.size(), 2u);  // weight + bias
+    EXPECT_EQ(n.paramShapes[0], (Shape{32, 16}));
+}
+
+TEST(GraphBuilderTest, Conv2dShapeInference)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 3, 32, 32});
+    Value y = b.conv2d(x, 8, 3, 2, 1);
+    EXPECT_EQ(g.shapeOf(y), (Shape{1, 8, 16, 16}));
+}
+
+TEST(GraphBuilderTest, BmmShapeAndValidation)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value a = b.input(Shape{4, 5, 6});
+    Value c = b.input(Shape{4, 6, 7});
+    Value y = b.bmm(a, c);
+    EXPECT_EQ(g.shapeOf(y), (Shape{4, 5, 7}));
+    Value bad = b.input(Shape{3, 6, 7});
+    EXPECT_THROW(b.bmm(a, bad), std::runtime_error);
+}
+
+TEST(GraphBuilderTest, BroadcastBinary)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value a = b.input(Shape{2, 1, 8});
+    Value c = b.input(Shape{1, 4, 8});
+    Value y = b.add(a, c);
+    EXPECT_EQ(g.shapeOf(y), (Shape{2, 4, 8}));
+}
+
+TEST(GraphBuilderTest, SplitMultiOutput)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{2, 4, 12});
+    auto parts = b.split(x, 4, -1);
+    ASSERT_EQ(parts.size(), 3u);
+    for (const Value &p : parts)
+        EXPECT_EQ(g.shapeOf(p), (Shape{2, 4, 4}));
+    EXPECT_EQ(parts[0].node, parts[1].node);
+    EXPECT_NE(parts[0].index, parts[1].index);
+}
+
+TEST(GraphBuilderTest, PermuteTransposeShapes)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{2, 3, 4});
+    EXPECT_EQ(g.shapeOf(b.permute(x, {2, 0, 1})), (Shape{4, 2, 3}));
+    EXPECT_EQ(g.shapeOf(b.transpose(x, -1, -2)), (Shape{2, 4, 3}));
+}
+
+TEST(GraphBuilderTest, ConcatSliceShapes)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value a = b.input(Shape{2, 3});
+    Value c = b.input(Shape{2, 5});
+    Value y = b.concat({a, c}, 1);
+    EXPECT_EQ(g.shapeOf(y), (Shape{2, 8}));
+    EXPECT_EQ(g.shapeOf(b.slice(y, 1, 2, 4)), (Shape{2, 4}));
+}
+
+TEST(GraphBuilderTest, ReshapeValidation)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{2, 6});
+    EXPECT_EQ(g.shapeOf(b.reshape(x, Shape{3, 4})), (Shape{3, 4}));
+    EXPECT_THROW(b.reshape(x, Shape{5}), std::runtime_error);
+}
+
+TEST(GraphBuilderTest, NmsStaticShape)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value boxes = b.input(Shape{100, 4});
+    Value scores = b.input(Shape{100});
+    Value keep = b.nms(boxes, scores, 0.5, 0.05, 20);
+    EXPECT_EQ(g.shapeOf(keep), (Shape{20}));
+    EXPECT_EQ(g.dtypeOf(keep), DType::I32);
+}
+
+TEST(GraphBuilderTest, EmbeddingAddsVocabParam)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value ids = b.tokenInput(Shape{1, 8});
+    Value e = b.embedding(ids, 1000, 64);
+    EXPECT_EQ(g.shapeOf(e), (Shape{1, 8, 64}));
+    EXPECT_EQ(g.node(e.node).paramShapes[0], (Shape{1000, 64}));
+}
+
+TEST(GraphBuilderTest, WeightNodeHasNoInputsButAParam)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value w = b.weight(Shape{1, 4, 16}, "pos");
+    const Node &n = g.node(w.node);
+    EXPECT_TRUE(n.inputs.empty());
+    EXPECT_EQ(n.paramShapes[0], (Shape{1, 4, 16}));
+    // Weights are not graph inputs.
+    EXPECT_TRUE(g.graphInputs().empty());
+}
+
+TEST(GraphTest, StatsCountCategories)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 16});
+    Value h = b.linear(x, 16);
+    h = b.gelu(h);
+    h = b.layerNorm(h);
+    h = b.add(h, x);
+    b.output(h);
+
+    GraphStats s = g.stats();
+    EXPECT_EQ(s.numGemmOps, 1);
+    EXPECT_EQ(s.opsByCategory.at(OpCategory::Activation), 1);
+    EXPECT_EQ(s.opsByCategory.at(OpCategory::Normalization), 1);
+    EXPECT_EQ(s.opsByCategory.at(OpCategory::ElementWise), 1);
+    EXPECT_GT(s.totalFlops, 0);
+    EXPECT_EQ(s.gemmFlops, 2.0 * 4 * 16 * 16);
+    // linear weight 16x16 + bias 16 + layernorm gamma/beta.
+    EXPECT_EQ(s.totalParams, 16 * 16 + 16 + 32);
+}
+
+TEST(GraphTest, UseCountsTrackConsumers)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{4});
+    Value a = b.relu(x);
+    Value c = b.add(a, a);  // uses a twice
+    b.output(c);
+    auto uses = g.useCounts();
+    EXPECT_EQ(uses[static_cast<size_t>(a.node)], 2);
+    EXPECT_EQ(uses[static_cast<size_t>(c.node)], 1);  // graph output
+}
+
+TEST(GraphTest, NodesAreTopologicallyOrdered)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{8});
+    Value v = x;
+    for (int i = 0; i < 5; ++i)
+        v = b.relu(v);
+    for (const Node &n : g.nodes())
+        for (const Value &in : n.inputs)
+            EXPECT_LT(in.node, n.id);
+}
+
+TEST(AttrsTest, ScalarAndIntListRoundTrip)
+{
+    Attrs a;
+    a.set("stride", 2).set("eps", 1e-5);
+    a.setInts("order", {2, 0, 1});
+    EXPECT_EQ(a.getI("stride"), 2);
+    EXPECT_DOUBLE_EQ(a.getF("eps"), 1e-5);
+    EXPECT_EQ(a.getInts("order").size(), 3u);
+    EXPECT_EQ(a.getI("missing", 7), 7);
+    EXPECT_TRUE(a.has("stride"));
+    EXPECT_FALSE(a.has("nope"));
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace {
+
+namespace kn = kernels;
+
+TEST(BinaryOpTest, AddSameShape)
+{
+    Tensor a = Tensor::arange(Shape{2, 3});
+    Tensor b = Tensor::full(Shape{2, 3}, 10.0f);
+    Tensor y = kn::add(a, b);
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_FLOAT_EQ(y.flatAt(i), static_cast<float>(i) + 10.0f);
+}
+
+TEST(BinaryOpTest, BroadcastRowVector)
+{
+    Tensor a = Tensor::arange(Shape{2, 3});
+    Tensor b = Tensor::arange(Shape{3});
+    Tensor y = kn::add(a, b);
+    EXPECT_EQ(y.shape(), (Shape{2, 3}));
+    EXPECT_FLOAT_EQ(y.at({1, 2}), 5.0f + 2.0f);
+}
+
+TEST(BinaryOpTest, BroadcastColumnAgainstRow)
+{
+    Tensor col = Tensor::arange(Shape{3, 1});
+    Tensor row = Tensor::arange(Shape{1, 4});
+    Tensor y = kn::mul(col, row);
+    EXPECT_EQ(y.shape(), (Shape{3, 4}));
+    EXPECT_FLOAT_EQ(y.at({2, 3}), 6.0f);
+}
+
+TEST(BinaryOpTest, IncompatibleShapesThrow)
+{
+    EXPECT_THROW(kn::add(Tensor::zeros(Shape{2, 3}),
+                         Tensor::zeros(Shape{2, 4})),
+                 std::runtime_error);
+}
+
+TEST(BinaryOpTest, SubMulDivSemantics)
+{
+    Tensor a = Tensor::full(Shape{4}, 6.0f);
+    Tensor b = Tensor::full(Shape{4}, 2.0f);
+    EXPECT_FLOAT_EQ(kn::sub(a, b).flatAt(0), 4.0f);
+    EXPECT_FLOAT_EQ(kn::mul(a, b).flatAt(0), 12.0f);
+    EXPECT_FLOAT_EQ(kn::div(a, b).flatAt(0), 3.0f);
+}
+
+TEST(UnaryOpTest, NegSqrtPow)
+{
+    Tensor x = Tensor::full(Shape{3}, 4.0f);
+    EXPECT_FLOAT_EQ(kn::neg(x).flatAt(0), -4.0f);
+    EXPECT_FLOAT_EQ(kn::sqrtOp(x).flatAt(0), 2.0f);
+    EXPECT_FLOAT_EQ(kn::powScalar(x, 3.0f).flatAt(0), 64.0f);
+    EXPECT_FLOAT_EQ(kn::addScalar(x, 1.0f).flatAt(0), 5.0f);
+    EXPECT_FLOAT_EQ(kn::mulScalar(x, 0.5f).flatAt(0), 2.0f);
+}
+
+TEST(UnaryOpTest, ExpLogInverse)
+{
+    Tensor x = Tensor::full(Shape{4}, 1.7f);
+    Tensor y = kn::logOp(kn::expOp(x));
+    EXPECT_NEAR(y.flatAt(0), 1.7f, 1e-5f);
+}
+
+TEST(WhereTest, SelectsByCondition)
+{
+    Tensor cond = Tensor::zeros(Shape{4});
+    cond.flatSet(1, 1.0f);
+    cond.flatSet(3, 1.0f);
+    Tensor a = Tensor::full(Shape{4}, 1.0f);
+    Tensor b = Tensor::full(Shape{4}, -1.0f);
+    Tensor y = kn::where(cond, a, b);
+    EXPECT_FLOAT_EQ(y.flatAt(0), -1.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(1), 1.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(2), -1.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(3), 1.0f);
+}
+
+TEST(WhereTest, BroadcastCondition)
+{
+    Tensor cond = Tensor::full(Shape{1}, 1.0f);
+    Tensor a = Tensor::arange(Shape{2, 2});
+    Tensor b = Tensor::zeros(Shape{2, 2});
+    Tensor y = kn::where(cond, a, b);
+    EXPECT_FLOAT_EQ(y.at({1, 1}), 3.0f);
+}
+
+TEST(ActivationTest, ReluClampsNegatives)
+{
+    Tensor x = Tensor::zeros(Shape{3});
+    x.flatSet(0, -2.0f);
+    x.flatSet(2, 5.0f);
+    Tensor y = kn::relu(x);
+    EXPECT_FLOAT_EQ(y.flatAt(0), 0.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(1), 0.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(2), 5.0f);
+}
+
+class ActivationSweep : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(ActivationSweep, GeluMatchesErfDefinition)
+{
+    float v = GetParam();
+    Tensor x = Tensor::full(Shape{1}, v);
+    float want = 0.5f * v * (1.0f + std::erf(v / std::sqrt(2.0f)));
+    EXPECT_NEAR(kn::gelu(x).flatAt(0), want, 1e-5f);
+}
+
+TEST_P(ActivationSweep, SiluMatchesDefinition)
+{
+    float v = GetParam();
+    Tensor x = Tensor::full(Shape{1}, v);
+    float want = v / (1.0f + std::exp(-v));
+    EXPECT_NEAR(kn::silu(x).flatAt(0), want, 1e-5f);
+}
+
+TEST_P(ActivationSweep, SigmoidInUnitInterval)
+{
+    Tensor x = Tensor::full(Shape{1}, GetParam());
+    float y = kn::sigmoid(x).flatAt(0);
+    EXPECT_GT(y, 0.0f);
+    EXPECT_LT(y, 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ActivationSweep,
+                         ::testing::Values(-5.0f, -1.0f, -0.1f, 0.0f, 0.1f,
+                                           1.0f, 3.0f, 10.0f));
+
+TEST(ActivationTest, GeluMonotoneForPositive)
+{
+    float prev = -1.0f;
+    for (float v = 0.0f; v < 4.0f; v += 0.25f) {
+        float y = kn::gelu(Tensor::full(Shape{1}, v)).flatAt(0);
+        EXPECT_GT(y, prev);
+        prev = y;
+    }
+}
+
+TEST(ActivationTest, TanhAndErfOddSymmetry)
+{
+    for (float v : {0.3f, 1.2f, 2.5f}) {
+        Tensor p = Tensor::full(Shape{1}, v);
+        Tensor m = Tensor::full(Shape{1}, -v);
+        EXPECT_NEAR(kn::tanhOp(p).flatAt(0), -kn::tanhOp(m).flatAt(0),
+                    1e-6f);
+        EXPECT_NEAR(kn::erfOp(p).flatAt(0), -kn::erfOp(m).flatAt(0),
+                    1e-6f);
+    }
+}
+
+TEST(BinaryOpTest, OperatesOnStridedViews)
+{
+    Tensor a = Tensor::arange(Shape{2, 3});
+    Tensor at = a.permute({1, 0});  // [3,2] strided
+    Tensor b = Tensor::full(Shape{3, 2}, 1.0f);
+    Tensor y = kn::add(at, b);
+    EXPECT_FLOAT_EQ(y.at({2, 1}), a.at({1, 2}) + 1.0f);
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace {
+
+namespace kn = kernels;
+
+/** Naive reference matmul for cross-checking. */
+Tensor
+refMatmul(const Tensor &a, const Tensor &b)
+{
+    int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+    Tensor out(Shape{m, n});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+            float acc = 0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += a.at({i, kk}) * b.at({kk, j});
+            out.set({i, j}, acc);
+        }
+    return out;
+}
+
+void
+expectClose(const Tensor &a, const Tensor &b, float tol = 1e-4f)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a.flatAt(i), b.flatAt(i), tol) << "at " << i;
+}
+
+TEST(MatmulTest, MatchesReference)
+{
+    Tensor a = Tensor::randn(Shape{5, 7}, 1);
+    Tensor b = Tensor::randn(Shape{7, 3}, 2);
+    expectClose(kn::matmul(a, b), refMatmul(a, b));
+}
+
+TEST(MatmulTest, Identity)
+{
+    Tensor a = Tensor::randn(Shape{4, 4}, 3);
+    Tensor eye = Tensor::zeros(Shape{4, 4});
+    for (int64_t i = 0; i < 4; ++i)
+        eye.set({i, i}, 1.0f);
+    expectClose(kn::matmul(a, eye), a);
+}
+
+TEST(MatmulTest, ShapeMismatchThrows)
+{
+    Tensor a = Tensor::zeros(Shape{2, 3});
+    Tensor b = Tensor::zeros(Shape{4, 2});
+    EXPECT_THROW(kn::matmul(a, b), std::runtime_error);
+}
+
+TEST(MatmulTest, WorksOnStridedInput)
+{
+    Tensor a = Tensor::randn(Shape{6, 4}, 4);
+    Tensor at = a.transpose(0, 1);  // non-contiguous [4,6]
+    Tensor b = Tensor::randn(Shape{6, 2}, 5);
+    expectClose(kn::matmul(at, b), refMatmul(at.contiguous(), b));
+}
+
+TEST(LinearTest, MatchesManualComputation)
+{
+    // y = x @ w^T + b with tiny hand-computable values.
+    Tensor x = Tensor::arange(Shape{1, 3});        // [0,1,2]
+    Tensor w = Tensor::full(Shape{2, 3}, 1.0f);    // ones
+    Tensor bias = Tensor::arange(Shape{2});        // [0,1]
+    Tensor y = kn::linear(x, w, bias);
+    EXPECT_EQ(y.shape(), (Shape{1, 2}));
+    EXPECT_FLOAT_EQ(y.at({0, 0}), 3.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 1}), 4.0f);
+}
+
+TEST(LinearTest, LeadingDimsFlattened)
+{
+    Tensor x = Tensor::randn(Shape{2, 5, 3}, 6);
+    Tensor w = Tensor::randn(Shape{4, 3}, 7);
+    Tensor y = kn::linear(x, w, Tensor());
+    EXPECT_EQ(y.shape(), (Shape{2, 5, 4}));
+    // Spot-check one row against matmul.
+    Tensor row = x.slice(0, 1, 1).slice(1, 2, 1).reshape(Shape{1, 3});
+    Tensor wt = w.transpose(0, 1).contiguous();
+    Tensor want = kn::matmul(row, wt);
+    for (int64_t j = 0; j < 4; ++j)
+        EXPECT_NEAR(y.at({1, 2, j}), want.at({0, j}), 1e-4f);
+}
+
+TEST(LinearTest, NoBiasMeansPureProduct)
+{
+    Tensor x = Tensor::full(Shape{1, 2}, 1.0f);
+    Tensor w = Tensor::full(Shape{1, 2}, 2.0f);
+    Tensor y = kn::linear(x, w, Tensor());
+    EXPECT_FLOAT_EQ(y.at({0, 0}), 4.0f);
+}
+
+TEST(BmmTest, MatchesPerBatchMatmul)
+{
+    Tensor a = Tensor::randn(Shape{3, 4, 5}, 8);
+    Tensor b = Tensor::randn(Shape{3, 5, 2}, 9);
+    Tensor y = kn::bmm(a, b);
+    EXPECT_EQ(y.shape(), (Shape{3, 4, 2}));
+    for (int64_t i = 0; i < 3; ++i) {
+        Tensor ai = a.slice(0, i, 1).reshape(Shape{4, 5});
+        Tensor bi = b.slice(0, i, 1).reshape(Shape{5, 2});
+        Tensor want = refMatmul(ai, bi);
+        for (int64_t r = 0; r < 4; ++r)
+            for (int64_t c = 0; c < 2; ++c)
+                EXPECT_NEAR(y.at({i, r, c}), want.at({r, c}), 1e-4f);
+    }
+}
+
+TEST(BmmTest, BatchMismatchThrows)
+{
+    EXPECT_THROW(kn::bmm(Tensor::zeros(Shape{2, 3, 4}),
+                         Tensor::zeros(Shape{3, 4, 5})),
+                 std::runtime_error);
+}
+
+/** Direct convolution reference (no im2col). */
+Tensor
+refConv2d(const Tensor &x, const Tensor &w, int stride, int padding)
+{
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], wd = x.shape()[3];
+    int64_t f = w.shape()[0], r = w.shape()[2], s = w.shape()[3];
+    int64_t oh = (h + 2 * padding - r) / stride + 1;
+    int64_t ow = (wd + 2 * padding - s) / stride + 1;
+    Tensor out(Shape{n, f, oh, ow});
+    for (int64_t img = 0; img < n; ++img)
+        for (int64_t ff = 0; ff < f; ++ff)
+            for (int64_t oy = 0; oy < oh; ++oy)
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    float acc = 0;
+                    for (int64_t cc = 0; cc < c; ++cc)
+                        for (int64_t rr = 0; rr < r; ++rr)
+                            for (int64_t ss = 0; ss < s; ++ss) {
+                                int64_t iy = oy * stride - padding + rr;
+                                int64_t ix = ox * stride - padding + ss;
+                                if (iy < 0 || iy >= h || ix < 0 ||
+                                    ix >= wd)
+                                    continue;
+                                acc += x.at({img, cc, iy, ix}) *
+                                       w.at({ff, cc, rr, ss});
+                            }
+                    out.set({img, ff, oy, ox}, acc);
+                }
+    return out;
+}
+
+struct ConvCase {
+    int64_t c, f, h;
+    int k, stride, padding;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvSweep, MatchesDirectConvolution)
+{
+    ConvCase p = GetParam();
+    Tensor x = Tensor::randn(Shape{1, p.c, p.h, p.h}, 10);
+    Tensor w = Tensor::randn(Shape{p.f, p.c, p.k, p.k}, 11);
+    Tensor got = kn::conv2d(x, w, Tensor(), p.stride, p.padding);
+    Tensor want = refConv2d(x, w, p.stride, p.padding);
+    expectClose(got, want, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 5, 3, 1, 0}, ConvCase{2, 3, 6, 3, 1, 1},
+                      ConvCase{3, 2, 8, 3, 2, 1}, ConvCase{2, 4, 7, 1, 1, 0},
+                      ConvCase{1, 2, 9, 5, 2, 2},
+                      ConvCase{4, 4, 4, 4, 4, 0}));
+
+TEST(Conv2dTest, BiasAddsPerChannel)
+{
+    Tensor x = Tensor::full(Shape{1, 1, 3, 3}, 0.0f);
+    Tensor w = Tensor::full(Shape{2, 1, 1, 1}, 1.0f);
+    Tensor bias = Tensor::arange(Shape{2});
+    Tensor y = kn::conv2d(x, w, bias, 1, 0);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 0.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 1, 1, 1}), 1.0f);
+}
+
+TEST(Conv2dTest, GroupedMatchesPerGroupConv)
+{
+    // groups=2 convolution equals two half-channel convolutions.
+    Tensor x = Tensor::randn(Shape{1, 4, 6, 6}, 12);
+    Tensor w = Tensor::randn(Shape{4, 2, 3, 3}, 13);
+    Tensor y = kn::conv2d(x, w, Tensor(), 1, 1, 2);
+
+    Tensor x0 = x.slice(1, 0, 2).contiguous();
+    Tensor w0 = w.slice(0, 0, 2).contiguous();
+    Tensor y0 = refConv2d(x0, w0, 1, 1);
+    for (int64_t ff = 0; ff < 2; ++ff)
+        for (int64_t i = 0; i < 6; ++i)
+            for (int64_t j = 0; j < 6; ++j)
+                EXPECT_NEAR(y.at({0, ff, i, j}), y0.at({0, ff, i, j}),
+                            1e-3f);
+}
+
+TEST(Conv2dTest, DepthwiseGroups)
+{
+    Tensor x = Tensor::randn(Shape{1, 3, 5, 5}, 14);
+    Tensor w = Tensor::randn(Shape{3, 1, 3, 3}, 15);
+    Tensor y = kn::conv2d(x, w, Tensor(), 1, 1, 3);
+    EXPECT_EQ(y.shape(), (Shape{1, 3, 5, 5}));
+    // Channel 0 depends only on input channel 0.
+    Tensor x0 = x.slice(1, 0, 1).contiguous();
+    Tensor w0 = w.slice(0, 0, 1).contiguous();
+    Tensor want = refConv2d(x0, w0, 1, 1);
+    for (int64_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(y.at({0, 0, i, i}), want.at({0, 0, i, i}), 1e-3f);
+}
+
+TEST(Int8LinearTest, MatchesFloatWithinQuantError)
+{
+    Tensor x = Tensor::randn(Shape{4, 16}, 16);
+    Tensor w = Tensor::randn(Shape{8, 16}, 17);
+    float xs = kn::absmaxScale(x);
+    float ws = kn::absmaxScale(w);
+    Tensor xq = kn::quantize(x, xs);
+    Tensor wq = kn::quantize(w, ws);
+    Tensor got = kn::int8Linear(xq, wq, Tensor(), xs, ws);
+    Tensor want = kn::linear(x, w, Tensor());
+    // int8 error scales with the value magnitude; loose bound.
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got.flatAt(i), want.flatAt(i),
+                    0.12f + 0.03f * std::abs(want.flatAt(i)));
+}
+
+TEST(Int8LinearTest, RequiresInt8Inputs)
+{
+    Tensor x = Tensor::zeros(Shape{1, 4});
+    Tensor w = Tensor::zeros(Shape{2, 4}, DType::I8);
+    EXPECT_THROW(kn::int8Linear(x, w, Tensor(), 1.0f, 1.0f),
+                 std::runtime_error);
+}
+
+TEST(QuantizeTest, RoundTripBoundedByScale)
+{
+    Tensor x = Tensor::randn(Shape{64}, 18);
+    float s = kn::absmaxScale(x);
+    Tensor deq = kn::dequantize(kn::quantize(x, s), s);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(deq.flatAt(i), x.flatAt(i), s * 0.51f);
+}
+
+TEST(QuantizeTest, AbsmaxScaleMapsMaxTo127)
+{
+    Tensor x = Tensor::zeros(Shape{3});
+    x.flatSet(1, -6.35f);
+    float s = kn::absmaxScale(x);
+    EXPECT_NEAR(s, 6.35f / 127.0f, 1e-6f);
+    Tensor q = kn::quantize(x, s);
+    EXPECT_EQ(q.flatAt(1), -127.0f);
+}
+
+TEST(QuantizeTest, AllZerosGetsUnitScale)
+{
+    EXPECT_EQ(kn::absmaxScale(Tensor::zeros(Shape{5})), 1.0f);
+}
+
+}  // namespace
+}  // namespace ngb

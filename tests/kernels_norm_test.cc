@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace {
+
+namespace kn = kernels;
+
+/** Mean / variance of one logical row of the last dimension. */
+std::pair<float, float>
+rowStats(const Tensor &t, int64_t row)
+{
+    int64_t d = t.shape().dim(-1);
+    float mean = 0;
+    for (int64_t j = 0; j < d; ++j)
+        mean += t.flatAt(row * d + j);
+    mean /= static_cast<float>(d);
+    float var = 0;
+    for (int64_t j = 0; j < d; ++j) {
+        float c = t.flatAt(row * d + j) - mean;
+        var += c * c;
+    }
+    return {mean, var / static_cast<float>(d)};
+}
+
+TEST(LayerNormTest, OutputRowsAreStandardized)
+{
+    Tensor x = Tensor::randn(Shape{4, 32}, 21, 3.0f);
+    Tensor gamma = Tensor::full(Shape{32}, 1.0f);
+    Tensor beta = Tensor::zeros(Shape{32});
+    Tensor y = kn::layerNorm(x, gamma, beta, 1e-5f);
+    for (int64_t r = 0; r < 4; ++r) {
+        auto [mean, var] = rowStats(y, r);
+        EXPECT_NEAR(mean, 0.0f, 1e-4f);
+        EXPECT_NEAR(var, 1.0f, 1e-2f);
+    }
+}
+
+TEST(LayerNormTest, AffineParametersApplied)
+{
+    Tensor x = Tensor::randn(Shape{2, 8}, 22);
+    Tensor gamma = Tensor::full(Shape{8}, 2.0f);
+    Tensor beta = Tensor::full(Shape{8}, 5.0f);
+    Tensor y = kn::layerNorm(x, gamma, beta, 1e-5f);
+    for (int64_t r = 0; r < 2; ++r) {
+        auto [mean, var] = rowStats(y, r);
+        EXPECT_NEAR(mean, 5.0f, 1e-3f);
+        EXPECT_NEAR(var, 4.0f, 5e-2f);
+    }
+}
+
+TEST(LayerNormTest, InvariantToInputShift)
+{
+    Tensor x = Tensor::randn(Shape{1, 16}, 23);
+    Tensor shifted = kn::addScalar(x, 100.0f);
+    Tensor g = Tensor::full(Shape{16}, 1.0f);
+    Tensor z = Tensor::zeros(Shape{16});
+    Tensor y0 = kn::layerNorm(x, g, z, 1e-5f);
+    Tensor y1 = kn::layerNorm(shifted, g, z, 1e-5f);
+    for (int64_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(y0.flatAt(i), y1.flatAt(i), 2e-3f);
+}
+
+TEST(RmsNormTest, UnitRmsOutput)
+{
+    Tensor x = Tensor::randn(Shape{3, 64}, 24, 2.0f);
+    Tensor gamma = Tensor::full(Shape{64}, 1.0f);
+    Tensor y = kn::rmsNorm(x, gamma, 1e-6f);
+    for (int64_t r = 0; r < 3; ++r) {
+        float ms = 0;
+        for (int64_t j = 0; j < 64; ++j) {
+            float v = y.flatAt(r * 64 + j);
+            ms += v * v;
+        }
+        EXPECT_NEAR(ms / 64.0f, 1.0f, 1e-3f);
+    }
+}
+
+TEST(RmsNormTest, NoMeanSubtraction)
+{
+    // Unlike LayerNorm, a constant input maps to a constant +-1 vector,
+    // not zero.
+    Tensor x = Tensor::full(Shape{1, 8}, 3.0f);
+    Tensor gamma = Tensor::full(Shape{8}, 1.0f);
+    Tensor y = kn::rmsNorm(x, gamma, 1e-6f);
+    EXPECT_NEAR(y.flatAt(0), 1.0f, 1e-4f);
+}
+
+TEST(BatchNormTest, FoldedScaleShift)
+{
+    Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, 25);
+    Tensor gamma = Tensor::full(Shape{3}, 2.0f);
+    Tensor beta = Tensor::full(Shape{3}, 1.0f);
+    Tensor mean = Tensor::full(Shape{3}, 0.5f);
+    Tensor var = Tensor::full(Shape{3}, 4.0f);
+    Tensor y = kn::batchNorm2d(x, gamma, beta, mean, var, 0.0f);
+    // y = (x - 0.5)/2 * 2 + 1 = x + 0.5
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(y.flatAt(i), x.flatAt(i) + 0.5f, 1e-4f);
+}
+
+TEST(BatchNormTest, IdentityWithUnitStats)
+{
+    Tensor x = Tensor::randn(Shape{1, 2, 3, 3}, 26);
+    Tensor ones = Tensor::full(Shape{2}, 1.0f);
+    Tensor zeros = Tensor::zeros(Shape{2});
+    Tensor y = kn::batchNorm2d(x, ones, zeros, zeros, ones, 0.0f);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(y.flatAt(i), x.flatAt(i), 1e-5f);
+}
+
+TEST(BatchNormTest, RequiresNchw)
+{
+    Tensor x = Tensor::zeros(Shape{2, 3});
+    Tensor p = Tensor::zeros(Shape{3});
+    EXPECT_THROW(kn::batchNorm2d(x, p, p, p, p, 1e-5f),
+                 std::runtime_error);
+}
+
+TEST(GroupNormTest, PerGroupStandardization)
+{
+    Tensor x = Tensor::randn(Shape{1, 4, 5, 5}, 27, 3.0f);
+    Tensor gamma = Tensor::full(Shape{4}, 1.0f);
+    Tensor beta = Tensor::zeros(Shape{4});
+    Tensor y = kn::groupNorm(x, gamma, beta, 2, 1e-5f);
+    // Each group of 2 channels is standardized.
+    for (int g = 0; g < 2; ++g) {
+        float mean = 0;
+        int64_t cnt = 0;
+        for (int64_t c = g * 2; c < g * 2 + 2; ++c)
+            for (int64_t i = 0; i < 5; ++i)
+                for (int64_t j = 0; j < 5; ++j) {
+                    mean += y.at({0, c, i, j});
+                    ++cnt;
+                }
+        EXPECT_NEAR(mean / static_cast<float>(cnt), 0.0f, 1e-4f);
+    }
+}
+
+TEST(GroupNormTest, IndivisibleGroupsThrow)
+{
+    Tensor x = Tensor::zeros(Shape{1, 3, 2, 2});
+    Tensor p = Tensor::zeros(Shape{3});
+    EXPECT_THROW(kn::groupNorm(x, p, p, 2, 1e-5f), std::runtime_error);
+}
+
+class NormShapeSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>>
+{
+};
+
+TEST_P(NormShapeSweep, LayerNormShapePreserved)
+{
+    auto [rows, d] = GetParam();
+    Tensor x = Tensor::randn(Shape{rows, d}, 28);
+    Tensor g = Tensor::full(Shape{d}, 1.0f);
+    Tensor bt = Tensor::zeros(Shape{d});
+    Tensor y = kn::layerNorm(x, g, bt, 1e-5f);
+    EXPECT_EQ(y.shape(), x.shape());
+    auto [mean, var] = rowStats(y, 0);
+    EXPECT_NEAR(mean, 0.0f, 1e-3f);
+    (void)var;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NormShapeSweep,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 4),
+                      std::make_pair<int64_t, int64_t>(7, 16),
+                      std::make_pair<int64_t, int64_t>(16, 97),
+                      std::make_pair<int64_t, int64_t>(2, 768)));
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace {
+
+namespace kn = kernels;
+
+// ----- Pooling parameter sweep -------------------------------------------
+
+class PoolSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(PoolSweep, MaxPoolNeverBelowAvgPool)
+{
+    auto [kernel, stride, padding] = GetParam();
+    Tensor x = Tensor::randn(Shape{1, 2, 12, 12}, 101);
+    // Shift positive so zero padding cannot exceed data values.
+    x = kn::addScalar(x, 10.0f);
+    Tensor mx = kn::maxPool2d(x, kernel, stride, padding);
+    Tensor av = kn::avgPool2d(x, kernel, stride, padding);
+    ASSERT_EQ(mx.shape(), av.shape());
+    for (int64_t i = 0; i < mx.numel(); ++i)
+        EXPECT_GE(mx.flatAt(i) + 1e-5f, av.flatAt(i));
+}
+
+TEST_P(PoolSweep, OutputShapeFormula)
+{
+    auto [kernel, stride, padding] = GetParam();
+    Tensor x = Tensor::zeros(Shape{1, 1, 12, 12});
+    Tensor y = kn::maxPool2d(x, kernel, stride, padding);
+    int64_t want = (12 + 2 * padding - kernel) / stride + 1;
+    EXPECT_EQ(y.shape()[2], want);
+    EXPECT_EQ(y.shape()[3], want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, PoolSweep,
+    ::testing::Values(std::make_tuple(2, 2, 0), std::make_tuple(3, 2, 1),
+                      std::make_tuple(3, 1, 1), std::make_tuple(1, 2, 0),
+                      std::make_tuple(4, 4, 0)));
+
+// ----- Broadcast rank sweep ------------------------------------------------
+
+class BroadcastSweep
+    : public ::testing::TestWithParam<std::pair<Shape, Shape>>
+{
+};
+
+TEST_P(BroadcastSweep, AddCommutes)
+{
+    auto [sa, sb] = GetParam();
+    Tensor a = Tensor::randn(sa, 102);
+    Tensor b = Tensor::randn(sb, 103);
+    Tensor ab = kn::add(a, b);
+    Tensor ba = kn::add(b, a);
+    ASSERT_EQ(ab.shape(), ba.shape());
+    for (int64_t i = 0; i < ab.numel(); ++i)
+        EXPECT_FLOAT_EQ(ab.flatAt(i), ba.flatAt(i));
+}
+
+TEST_P(BroadcastSweep, MulWithOnesIsIdentityOnBroadcast)
+{
+    auto [sa, sb] = GetParam();
+    Tensor a = Tensor::randn(sa, 104);
+    Tensor ones = Tensor::full(sb, 1.0f);
+    Tensor y = kn::mul(a, ones);
+    // Every output element equals some input element of a.
+    Tensor want = kn::add(a, Tensor::zeros(sb));
+    ASSERT_EQ(y.shape(), want.shape());
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_FLOAT_EQ(y.flatAt(i), want.flatAt(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastSweep,
+    ::testing::Values(
+        std::make_pair(Shape{4}, Shape{1}),
+        std::make_pair(Shape{3, 4}, Shape{4}),
+        std::make_pair(Shape{2, 1, 4}, Shape{1, 3, 1}),
+        std::make_pair(Shape{2, 3, 4}, Shape{2, 3, 4}),
+        std::make_pair(Shape{1, 5}, Shape{6, 1})));
+
+// ----- Grouped convolution sweep -------------------------------------------
+
+class GroupedConvSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GroupedConvSweep, OutputChannelsIndependentAcrossGroups)
+{
+    int groups = GetParam();
+    int64_t c = 8;
+    Tensor x = Tensor::randn(Shape{1, c, 6, 6}, 105);
+    Tensor w = Tensor::randn(Shape{c, c / groups, 3, 3}, 106);
+    Tensor base = kn::conv2d(x, w, Tensor(), 1, 1, groups);
+
+    // Perturbing the last group's input channels must not change the
+    // first group's output channels.
+    Tensor x2 = x.clone();
+    int64_t cg = c / groups;
+    for (int64_t ch = c - cg; ch < c; ++ch)
+        for (int64_t i = 0; i < 6; ++i)
+            for (int64_t j = 0; j < 6; ++j)
+                x2.set({0, ch, i, j}, -x2.at({0, ch, i, j}) + 1.0f);
+    Tensor pert = kn::conv2d(x2, w, Tensor(), 1, 1, groups);
+    int64_t fg = c / groups;  // filters per group
+    for (int64_t f = 0; f < fg && groups > 1; ++f)
+        for (int64_t i = 0; i < 6; ++i)
+            EXPECT_NEAR(base.at({0, f, i, i}), pert.at({0, f, i, i}),
+                        1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupedConvSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ----- Roll dimension sweep --------------------------------------------------
+
+class RollSweep : public ::testing::TestWithParam<std::pair<int, int64_t>>
+{
+};
+
+TEST_P(RollSweep, InverseRollRestores)
+{
+    auto [dim, shift] = GetParam();
+    Tensor x = Tensor::randn(Shape{3, 4, 5}, 107);
+    Tensor y = kn::roll(kn::roll(x, shift, dim), -shift, dim);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_FLOAT_EQ(y.flatAt(i), x.flatAt(i));
+}
+
+TEST_P(RollSweep, PreservesMultiset)
+{
+    auto [dim, shift] = GetParam();
+    Tensor x = Tensor::arange(Shape{3, 4, 5});
+    Tensor y = kn::roll(x, shift, dim);
+    double sx = 0, sy = 0;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        sx += x.flatAt(i);
+        sy += y.flatAt(i);
+    }
+    EXPECT_DOUBLE_EQ(sx, sy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RollSweep,
+    ::testing::Values(std::make_pair(0, 1L), std::make_pair(1, 2L),
+                      std::make_pair(2, 3L), std::make_pair(1, -1L),
+                      std::make_pair(0, 7L)));
+
+// ----- Pad sweep ---------------------------------------------------------------
+
+class PadSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, int64_t>>
+{
+};
+
+TEST_P(PadSweep, SumPreservedAndShapeGrows)
+{
+    auto [dim, before, after] = GetParam();
+    Tensor x = Tensor::randn(Shape{2, 3, 4}, 108);
+    Tensor y = kn::pad(x, dim, before, after);
+    EXPECT_EQ(y.shape()[static_cast<size_t>(dim)],
+              x.shape()[static_cast<size_t>(dim)] + before + after);
+    double sx = 0, sy = 0;
+    for (int64_t i = 0; i < x.numel(); ++i)
+        sx += x.flatAt(i);
+    for (int64_t i = 0; i < y.numel(); ++i)
+        sy += y.flatAt(i);
+    EXPECT_NEAR(sx, sy, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PadSweep,
+    ::testing::Values(std::make_tuple(0, 1L, 0L),
+                      std::make_tuple(1, 0L, 2L),
+                      std::make_tuple(2, 2L, 2L),
+                      std::make_tuple(1, 3L, 1L)));
+
+// ----- Interpolation scale sweep -----------------------------------------------
+
+class InterpSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InterpSweep, ValuesBoundedByInputRange)
+{
+    int out = GetParam();
+    Tensor x = Tensor::randn(Shape{1, 2, 5, 5}, 109);
+    float lo = 1e30f, hi = -1e30f;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        lo = std::min(lo, x.flatAt(i));
+        hi = std::max(hi, x.flatAt(i));
+    }
+    Tensor y = kn::interpolateBilinear(x, out, out);
+    for (int64_t i = 0; i < y.numel(); ++i) {
+        EXPECT_GE(y.flatAt(i), lo - 1e-5f);
+        EXPECT_LE(y.flatAt(i), hi + 1e-5f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InterpSweep,
+                         ::testing::Values(2, 3, 5, 10, 17));
+
+// ----- Softmax/NMS interplay (Figure 2 behaviours) ------------------------------
+
+TEST(DynamicBehaviourTest, NmsOutputSizeDependsOnData)
+{
+    // The defining non-GEMM property of Section II: output size is
+    // input-data dependent.
+    auto run = [](float spread) {
+        Tensor boxes(Shape{8, 4});
+        for (int64_t i = 0; i < 8; ++i) {
+            float base = static_cast<float>(i) * spread;
+            boxes.set({i, 0}, base);
+            boxes.set({i, 1}, base);
+            boxes.set({i, 2}, base + 10.0f);
+            boxes.set({i, 3}, base + 10.0f);
+        }
+        Tensor scores = Tensor::full(Shape{8}, 0.9f);
+        return kn::nms(boxes, scores, 0.3f, 0.0f).numel();
+    };
+    EXPECT_EQ(run(100.0f), 8);  // disjoint: all kept
+    EXPECT_EQ(run(0.0f), 1);    // identical: one survivor
+    EXPECT_GT(run(2.0f), 1);    // heavy overlap: in between
+    EXPECT_LT(run(2.0f), 8);
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace {
+
+namespace kn = kernels;
+
+TEST(SoftmaxTest, RowsSumToOne)
+{
+    Tensor x = Tensor::randn(Shape{5, 9}, 31, 2.0f);
+    Tensor y = kn::softmax(x, -1);
+    for (int64_t r = 0; r < 5; ++r) {
+        float sum = 0;
+        for (int64_t j = 0; j < 9; ++j) {
+            float v = y.at({r, j});
+            EXPECT_GE(v, 0.0f);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(SoftmaxTest, ShiftInvariance)
+{
+    Tensor x = Tensor::randn(Shape{1, 8}, 32);
+    Tensor y0 = kn::softmax(x, -1);
+    Tensor y1 = kn::softmax(kn::addScalar(x, 50.0f), -1);
+    for (int64_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(y0.flatAt(i), y1.flatAt(i), 1e-5f);
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits)
+{
+    Tensor x = Tensor::full(Shape{1, 4}, 1e4f);
+    Tensor y = kn::softmax(x, -1);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(y.flatAt(i), 0.25f, 1e-5f);
+}
+
+TEST(SoftmaxTest, NonLastDim)
+{
+    Tensor x = Tensor::randn(Shape{3, 4}, 33);
+    Tensor y = kn::softmax(x, 0);
+    for (int64_t c = 0; c < 4; ++c) {
+        float sum = 0;
+        for (int64_t r = 0; r < 3; ++r)
+            sum += y.at({r, c});
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(SoftmaxTest, OrdersPreserved)
+{
+    Tensor x = Tensor::arange(Shape{1, 6});
+    Tensor y = kn::softmax(x, -1);
+    for (int64_t i = 1; i < 6; ++i)
+        EXPECT_GT(y.flatAt(i), y.flatAt(i - 1));
+}
+
+TEST(LogSoftmaxTest, ExpMatchesSoftmax)
+{
+    Tensor x = Tensor::randn(Shape{2, 5}, 34);
+    Tensor ls = kn::logSoftmax(x, -1);
+    Tensor sm = kn::softmax(x, -1);
+    for (int64_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(std::exp(ls.flatAt(i)), sm.flatAt(i), 1e-5f);
+}
+
+TEST(TopKTest, ReturnsDescendingValuesAndIndices)
+{
+    Tensor x = Tensor::zeros(Shape{1, 6});
+    float vals[] = {0.1f, 0.9f, 0.4f, 0.7f, 0.2f, 0.6f};
+    for (int64_t i = 0; i < 6; ++i)
+        x.flatSet(i, vals[i]);
+    auto [v, idx] = kn::topk(x, 3);
+    EXPECT_FLOAT_EQ(v.at({0, 0}), 0.9f);
+    EXPECT_FLOAT_EQ(v.at({0, 1}), 0.7f);
+    EXPECT_FLOAT_EQ(v.at({0, 2}), 0.6f);
+    EXPECT_EQ(static_cast<int>(idx.at({0, 0})), 1);
+    EXPECT_EQ(static_cast<int>(idx.at({0, 1})), 3);
+    EXPECT_EQ(static_cast<int>(idx.at({0, 2})), 5);
+}
+
+TEST(TopKTest, PerRowIndependence)
+{
+    Tensor x = Tensor::arange(Shape{2, 4});
+    auto [v, idx] = kn::topk(x, 1);
+    EXPECT_FLOAT_EQ(v.at({0, 0}), 3.0f);
+    EXPECT_FLOAT_EQ(v.at({1, 0}), 7.0f);
+    EXPECT_EQ(static_cast<int>(idx.at({1, 0})), 3);
+}
+
+TEST(TopKTest, KTooLargeThrows)
+{
+    EXPECT_THROW(kn::topk(Tensor::zeros(Shape{1, 3}), 4),
+                 std::runtime_error);
+}
+
+TEST(GatherTest, SelectsAlongDim)
+{
+    Tensor x = Tensor::arange(Shape{3, 4});
+    Tensor idx = Tensor::zeros(Shape{2, 4}, DType::I32);
+    for (int64_t j = 0; j < 4; ++j) {
+        idx.set({0, j}, 2.0f);  // row 2
+        idx.set({1, j}, 0.0f);  // row 0
+    }
+    Tensor y = kn::gather(x, 0, idx);
+    EXPECT_EQ(y.shape(), (Shape{2, 4}));
+    EXPECT_FLOAT_EQ(y.at({0, 1}), x.at({2, 1}));
+    EXPECT_FLOAT_EQ(y.at({1, 3}), x.at({0, 3}));
+}
+
+TEST(CumSumTest, InclusivePrefixSums)
+{
+    Tensor x = Tensor::full(Shape{1, 5}, 1.0f);
+    Tensor y = kn::cumsum(x, -1);
+    for (int64_t i = 0; i < 5; ++i)
+        EXPECT_FLOAT_EQ(y.flatAt(i), static_cast<float>(i + 1));
+}
+
+TEST(CumSumTest, AlongFirstDim)
+{
+    Tensor x = Tensor::full(Shape{3, 2}, 2.0f);
+    Tensor y = kn::cumsum(x, 0);
+    EXPECT_FLOAT_EQ(y.at({2, 0}), 6.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 1}), 2.0f);
+}
+
+TEST(EmbeddingTest, GathersRows)
+{
+    Tensor table = Tensor::arange(Shape{10, 4});
+    Tensor ids = Tensor::zeros(Shape{2, 3}, DType::I32);
+    ids.set({0, 0}, 7.0f);
+    ids.set({1, 2}, 3.0f);
+    Tensor y = kn::embedding(ids, table);
+    EXPECT_EQ(y.shape(), (Shape{2, 3, 4}));
+    EXPECT_FLOAT_EQ(y.at({0, 0, 1}), table.at({7, 1}));
+    EXPECT_FLOAT_EQ(y.at({1, 2, 0}), table.at({3, 0}));
+    EXPECT_FLOAT_EQ(y.at({0, 1, 0}), table.at({0, 0}));
+}
+
+TEST(EmbeddingTest, OutOfRangeIdThrows)
+{
+    Tensor table = Tensor::zeros(Shape{4, 2});
+    Tensor ids = Tensor::full(Shape{1}, 9.0f, DType::I32);
+    EXPECT_THROW(kn::embedding(ids, table), std::runtime_error);
+}
+
+class SoftmaxDimSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SoftmaxDimSweep, SumsToOneAlongAnyDim)
+{
+    int dim = GetParam();
+    Tensor x = Tensor::randn(Shape{3, 4, 5}, 35);
+    Tensor y = kn::softmax(x, dim);
+    EXPECT_EQ(y.shape(), x.shape());
+    // Sum along the reduced dim at a fixed point of the others.
+    float sum = 0;
+    int64_t extent = x.shape()[static_cast<size_t>(dim)];
+    for (int64_t i = 0; i < extent; ++i) {
+        std::vector<int64_t> coord = {1, 1, 1};
+        coord[static_cast<size_t>(dim)] = i;
+        sum += y.at(coord);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SoftmaxDimSweep, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace {
+
+namespace kn = kernels;
+
+Tensor
+makeBoxes(const std::vector<std::array<float, 4>> &boxes)
+{
+    Tensor t(Shape{static_cast<int64_t>(boxes.size()), 4});
+    for (size_t i = 0; i < boxes.size(); ++i)
+        for (size_t j = 0; j < 4; ++j)
+            t.set({static_cast<int64_t>(i), static_cast<int64_t>(j)},
+                  boxes[i][j]);
+    return t;
+}
+
+Tensor
+makeScores(const std::vector<float> &s)
+{
+    Tensor t(Shape{static_cast<int64_t>(s.size())});
+    for (size_t i = 0; i < s.size(); ++i)
+        t.flatSet(static_cast<int64_t>(i), s[i]);
+    return t;
+}
+
+TEST(NmsTest, SuppressesOverlappingLowerScoredBox)
+{
+    // Two heavily overlapping boxes + one disjoint box.
+    Tensor boxes = makeBoxes({{0, 0, 10, 10}, {1, 1, 11, 11},
+                              {50, 50, 60, 60}});
+    Tensor scores = makeScores({0.9f, 0.8f, 0.7f});
+    Tensor keep = kn::nms(boxes, scores, 0.5f, 0.0f);
+    ASSERT_EQ(keep.numel(), 2);
+    EXPECT_EQ(keep.dataI32()[0], 0);
+    EXPECT_EQ(keep.dataI32()[1], 2);
+}
+
+TEST(NmsTest, KeepsAllWhenDisjoint)
+{
+    Tensor boxes = makeBoxes({{0, 0, 5, 5}, {10, 10, 15, 15},
+                              {20, 20, 25, 25}});
+    Tensor scores = makeScores({0.3f, 0.9f, 0.6f});
+    Tensor keep = kn::nms(boxes, scores, 0.5f, 0.0f);
+    ASSERT_EQ(keep.numel(), 3);
+    // Sorted by descending score: indices 1, 2, 0.
+    EXPECT_EQ(keep.dataI32()[0], 1);
+    EXPECT_EQ(keep.dataI32()[1], 2);
+    EXPECT_EQ(keep.dataI32()[2], 0);
+}
+
+TEST(NmsTest, ScoreThresholdFiltersFirst)
+{
+    Tensor boxes = makeBoxes({{0, 0, 5, 5}, {10, 10, 15, 15}});
+    Tensor scores = makeScores({0.1f, 0.9f});
+    Tensor keep = kn::nms(boxes, scores, 0.5f, 0.5f);
+    ASSERT_EQ(keep.numel(), 1);
+    EXPECT_EQ(keep.dataI32()[0], 1);
+}
+
+TEST(NmsTest, OutputIsInvariantProperty)
+{
+    // Property: no two kept boxes exceed the IoU threshold.
+    Tensor boxes = Tensor::randn(Shape{40, 4}, 41, 5.0f);
+    // Make valid boxes: y2>y1, x2>x1.
+    for (int64_t i = 0; i < 40; ++i) {
+        float y1 = std::abs(boxes.at({i, 0}));
+        float x1 = std::abs(boxes.at({i, 1}));
+        boxes.set({i, 0}, y1);
+        boxes.set({i, 1}, x1);
+        boxes.set({i, 2}, y1 + 1.0f + std::abs(boxes.at({i, 2})));
+        boxes.set({i, 3}, x1 + 1.0f + std::abs(boxes.at({i, 3})));
+    }
+    Tensor scores = Tensor::randn(Shape{40}, 42);
+    float th = 0.4f;
+    Tensor keep = kn::nms(boxes, scores, th, -100.0f);
+    auto iou = [&](int64_t a, int64_t b) {
+        float iy1 = std::max(boxes.at({a, 0}), boxes.at({b, 0}));
+        float ix1 = std::max(boxes.at({a, 1}), boxes.at({b, 1}));
+        float iy2 = std::min(boxes.at({a, 2}), boxes.at({b, 2}));
+        float ix2 = std::min(boxes.at({a, 3}), boxes.at({b, 3}));
+        float inter = std::max(0.0f, iy2 - iy1) * std::max(0.0f, ix2 - ix1);
+        float aa = (boxes.at({a, 2}) - boxes.at({a, 0})) *
+                   (boxes.at({a, 3}) - boxes.at({a, 1}));
+        float ab = (boxes.at({b, 2}) - boxes.at({b, 0})) *
+                   (boxes.at({b, 3}) - boxes.at({b, 1}));
+        return inter / (aa + ab - inter);
+    };
+    const int32_t *k = keep.dataI32();
+    for (int64_t i = 0; i < keep.numel(); ++i)
+        for (int64_t j = i + 1; j < keep.numel(); ++j)
+            EXPECT_LE(iou(k[i], k[j]), th + 1e-5f);
+}
+
+TEST(RoiAlignTest, ConstantFeatureMapSamplesConstant)
+{
+    Tensor feat = Tensor::full(Shape{1, 2, 8, 8}, 3.0f);
+    Tensor rois(Shape{1, 5});
+    rois.set({0, 0}, 0);
+    rois.set({0, 1}, 1);
+    rois.set({0, 2}, 1);
+    rois.set({0, 3}, 5);
+    rois.set({0, 4}, 5);
+    Tensor y = kn::roiAlign(feat, rois, 4, 4);
+    EXPECT_EQ(y.shape(), (Shape{1, 2, 4, 4}));
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y.flatAt(i), 3.0f, 1e-5f);
+}
+
+TEST(RoiAlignTest, BatchIndexSelectsImage)
+{
+    Tensor feat = Tensor::zeros(Shape{2, 1, 4, 4});
+    for (int64_t i = 0; i < 4; ++i)
+        for (int64_t j = 0; j < 4; ++j)
+            feat.set({1, 0, i, j}, 7.0f);
+    Tensor rois(Shape{1, 5});
+    rois.set({0, 0}, 1);  // second image
+    rois.set({0, 3}, 3);
+    rois.set({0, 4}, 3);
+    Tensor y = kn::roiAlign(feat, rois, 2, 2);
+    EXPECT_NEAR(y.flatAt(0), 7.0f, 1e-5f);
+}
+
+TEST(InterpolateTest, IdentityAtSameResolution)
+{
+    Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, 43);
+    Tensor y = kn::interpolateBilinear(x, 6, 6);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(y.flatAt(i), x.flatAt(i), 1e-4f);
+}
+
+TEST(InterpolateTest, UpscalePreservesConstant)
+{
+    Tensor x = Tensor::full(Shape{1, 1, 3, 3}, 2.5f);
+    Tensor y = kn::interpolateBilinear(x, 9, 9);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 9, 9}));
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y.flatAt(i), 2.5f, 1e-5f);
+}
+
+TEST(InterpolateTest, DownscaleAveragesSmoothly)
+{
+    Tensor x = Tensor::zeros(Shape{1, 1, 4, 4});
+    for (int64_t i = 0; i < 4; ++i)
+        for (int64_t j = 0; j < 4; ++j)
+            x.set({0, 0, i, j}, static_cast<float>(i));
+    Tensor y = kn::interpolateBilinear(x, 2, 2);
+    // Values stay within the input range and increase down rows.
+    EXPECT_LT(y.at({0, 0, 0, 0}), y.at({0, 0, 1, 0}));
+    EXPECT_GE(y.at({0, 0, 0, 0}), 0.0f);
+    EXPECT_LE(y.at({0, 0, 1, 1}), 3.0f);
+}
+
+TEST(PoolTest, MaxPoolPicksMaximum)
+{
+    Tensor x = Tensor::arange(Shape{1, 1, 4, 4});
+    Tensor y = kn::maxPool2d(x, 2, 2, 0);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 5.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 15.0f);
+}
+
+TEST(PoolTest, AvgPoolAverages)
+{
+    Tensor x = Tensor::full(Shape{1, 1, 4, 4}, 2.0f);
+    Tensor y = kn::avgPool2d(x, 2, 2, 0);
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y.flatAt(i), 2.0f, 1e-5f);
+}
+
+TEST(PoolTest, AdaptivePoolGlobalAverage)
+{
+    Tensor x = Tensor::arange(Shape{1, 1, 2, 2});  // 0..3, mean 1.5
+    Tensor y = kn::adaptiveAvgPool2d(x, 1, 1);
+    EXPECT_NEAR(y.flatAt(0), 1.5f, 1e-5f);
+}
+
+TEST(ConcatTest, AlongEachDim)
+{
+    Tensor a = Tensor::full(Shape{2, 2}, 1.0f);
+    Tensor b = Tensor::full(Shape{2, 2}, 2.0f);
+    Tensor y0 = kn::concat({a, b}, 0);
+    EXPECT_EQ(y0.shape(), (Shape{4, 2}));
+    EXPECT_FLOAT_EQ(y0.at({3, 0}), 2.0f);
+    Tensor y1 = kn::concat({a, b}, 1);
+    EXPECT_EQ(y1.shape(), (Shape{2, 4}));
+    EXPECT_FLOAT_EQ(y1.at({0, 3}), 2.0f);
+}
+
+TEST(ConcatTest, MismatchThrows)
+{
+    EXPECT_THROW(kn::concat({Tensor::zeros(Shape{2, 2}),
+                             Tensor::zeros(Shape{3, 3})},
+                            0),
+                 std::runtime_error);
+}
+
+TEST(SplitTest, RoundTripsWithConcat)
+{
+    Tensor x = Tensor::arange(Shape{6, 2});
+    auto parts = kn::split(x, 2, 0);
+    ASSERT_EQ(parts.size(), 3u);
+    std::vector<Tensor> mats;
+    for (auto &p : parts)
+        mats.push_back(p.contiguous());
+    Tensor back = kn::concat(mats, 0);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_FLOAT_EQ(back.flatAt(i), x.flatAt(i));
+}
+
+TEST(SplitTest, UnevenLastChunk)
+{
+    Tensor x = Tensor::arange(Shape{5});
+    auto parts = kn::split(x, 2, 0);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[2].numel(), 1);
+    EXPECT_FLOAT_EQ(parts[2].flatAt(0), 4.0f);
+}
+
+TEST(RollTest, CircularShift)
+{
+    Tensor x = Tensor::arange(Shape{5});
+    Tensor y = kn::roll(x, 2, 0);
+    EXPECT_FLOAT_EQ(y.flatAt(0), 3.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(1), 4.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(2), 0.0f);
+}
+
+TEST(RollTest, NegativeAndModularShift)
+{
+    Tensor x = Tensor::arange(Shape{4});
+    Tensor y = kn::roll(x, -1, 0);
+    EXPECT_FLOAT_EQ(y.flatAt(0), 1.0f);
+    EXPECT_FLOAT_EQ(y.flatAt(3), 0.0f);
+    Tensor z = kn::roll(x, 4, 0);  // full cycle = identity
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(z.flatAt(i), x.flatAt(i));
+}
+
+TEST(RollTest, RollAlongMiddleDim)
+{
+    Tensor x = Tensor::arange(Shape{2, 3, 2});
+    Tensor y = kn::roll(x, 1, 1);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 0}), x.at({0, 2, 0}));
+    EXPECT_FLOAT_EQ(y.at({0, 1, 1}), x.at({0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "graph/executor.h"
+#include "models/common.h"
+#include "models/models.h"
+#include "models/resnet.h"
+#include "models/swin_backbone.h"
+
+namespace ngb {
+namespace {
+
+using namespace models;
+
+TEST(CommonBlocksTest, MhsaPreservesTokenShape)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{2, 6, 32});
+    Value y = multiHeadSelfAttention(b, x, 4, false, false, "attn");
+    EXPECT_EQ(g.shapeOf(y), (Shape{2, 6, 32}));
+}
+
+TEST(CommonBlocksTest, FusedQkvUsesSplit)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 16});
+    multiHeadSelfAttention(b, x, 2, /*fused_qkv=*/true, false, "attn");
+    int split = 0, linear = 0;
+    for (const Node &n : g.nodes()) {
+        split += n.kind == OpKind::Split;
+        linear += n.kind == OpKind::Linear;
+    }
+    EXPECT_EQ(split, 1);
+    EXPECT_EQ(linear, 2);  // c_attn + out_proj
+}
+
+TEST(CommonBlocksTest, SeparateQkvUsesFourLinears)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 16});
+    multiHeadSelfAttention(b, x, 2, /*fused_qkv=*/false, false, "attn");
+    int linear = 0;
+    for (const Node &n : g.nodes())
+        linear += n.kind == OpKind::Linear;
+    EXPECT_EQ(linear, 4);  // q, k, v, out
+}
+
+TEST(CommonBlocksTest, HeadSplitIsZeroCopy)
+{
+    // The strided-batched-GEMM modeling: splitHeadsOp adds only
+    // metadata ops, no Contiguous copy.
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 16});
+    size_t before = g.size();
+    splitHeadsOp(b, x, 2);
+    for (size_t i = before; i < g.size(); ++i)
+        EXPECT_TRUE(g.node(static_cast<int>(i)).cost.zeroCopy)
+            << g.node(static_cast<int>(i)).name;
+}
+
+TEST(CommonBlocksTest, HeadMergeCopiesOnce)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{2, 4, 8});  // [B*H, T, hd]
+    size_t before = g.size();
+    mergeHeadsOp(b, x, 1, 2);
+    int copies = 0;
+    for (size_t i = before; i < g.size(); ++i)
+        copies += g.node(static_cast<int>(i)).kind == OpKind::Contiguous;
+    EXPECT_EQ(copies, 1);
+}
+
+TEST(CommonBlocksTest, MaskedAttentionAddsSelectKernel)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 16});
+    multiHeadSelfAttention(b, x, 2, false, /*mask_tokens=*/true, "attn");
+    int where = 0;
+    for (const Node &n : g.nodes())
+        where += n.kind == OpKind::Where;
+    EXPECT_EQ(where, 1);
+}
+
+TEST(CommonBlocksTest, EncoderLayersExecute)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 16});
+    Value pre = encoderLayerPreNorm(b, x, 2, 32, "pre");
+    Value post = encoderLayerPostNorm(b, pre, 2, 32, "post");
+    b.output(post);
+    Executor ex(g);
+    auto out = ex.run({Tensor::randn(Shape{1, 4, 16}, 55)});
+    EXPECT_EQ(out[0].shape(), (Shape{1, 4, 16}));
+}
+
+TEST(SwinBackboneTest, StageGeometry)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value img = b.input(Shape{1, 3, 64, 64});
+    SwinSpec spec{8, {1, 1, 1, 1}, {2, 2, 2, 2}, 2};
+    SwinFeatures f = buildSwinBackbone(b, img, spec, "swin");
+    ASSERT_EQ(f.stages.size(), 4u);
+    // Strides 4, 8, 16, 32; channels double per stage.
+    EXPECT_EQ(f.stages[0].h, 16);
+    EXPECT_EQ(f.stages[0].c, 8);
+    EXPECT_EQ(f.stages[1].h, 8);
+    EXPECT_EQ(f.stages[1].c, 16);
+    EXPECT_EQ(f.stages[3].h, 2);
+    EXPECT_EQ(f.stages[3].c, 64);
+    for (const SwinStage &s : f.stages)
+        EXPECT_EQ(g.shapeOf(s.tokens), (Shape{1, s.h * s.w, s.c}));
+}
+
+TEST(SwinBackboneTest, ShiftedBlocksRoll)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value img = b.input(Shape{1, 3, 32, 32});
+    SwinSpec spec{8, {2}, {2}, 2};  // one stage, one shifted block
+    buildSwinBackbone(b, img, spec, "swin");
+    int rolls = 0;
+    for (const Node &n : g.nodes())
+        rolls += n.kind == OpKind::Roll;
+    EXPECT_EQ(rolls, 4);  // 2 shifts before + 2 after in the odd block
+}
+
+TEST(SwinBackboneTest, VariantSpecs)
+{
+    EXPECT_EQ(swinVariant("t").depths[2], 6);
+    EXPECT_EQ(swinVariant("s").depths[2], 18);
+    EXPECT_EQ(swinVariant("b").embedDim, 128);
+    EXPECT_THROW(swinVariant("xxl"), std::runtime_error);
+}
+
+TEST(ResNetBackboneTest, FeatureStrides)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value img = b.input(Shape{1, 3, 64, 64});
+    ResNetFeatures f = resnet50Backbone(b, img, FrozenBnStyle::NativeBn,
+                                        4, "rn");
+    EXPECT_EQ(g.shapeOf(f.c2)[2], 16);  // stride 4
+    EXPECT_EQ(g.shapeOf(f.c3)[2], 8);   // stride 8
+    EXPECT_EQ(g.shapeOf(f.c4)[2], 4);   // stride 16
+    EXPECT_EQ(g.shapeOf(f.c5)[2], 2);   // stride 32
+    EXPECT_EQ(g.shapeOf(f.c5)[1], 512); // 2048 / width 4
+}
+
+TEST(ResNetBackboneTest, BnStyleChangesAttribution)
+{
+    auto categoryShare = [](FrozenBnStyle style, OpCategory cat) {
+        Graph g;
+        GraphBuilder b(g);
+        Value img = b.input(Shape{1, 3, 64, 64});
+        resnet50Backbone(b, img, style, 4, "rn");
+        int64_t count = 0;
+        for (const Node &n : g.nodes())
+            count += n.category() == cat;
+        return count;
+    };
+    // NormModule: frozen BNs are Normalization nodes.
+    EXPECT_GT(categoryShare(FrozenBnStyle::NormModule,
+                            OpCategory::Normalization),
+              40);
+    // Elementwise: the same math shows up as Mul/Add element-wise ops.
+    EXPECT_EQ(categoryShare(FrozenBnStyle::Elementwise,
+                            OpCategory::Normalization),
+              0);
+    EXPECT_GT(categoryShare(FrozenBnStyle::Elementwise,
+                            OpCategory::ElementWise),
+              100);
+}
+
+TEST(ResNetClassifierTest, BuildsAndExecutesTiny)
+{
+    ModelConfig cfg;
+    cfg.testScale = 8;
+    Graph g = buildResNet50(cfg);
+    EXPECT_EQ(g.shapeOf(g.graphOutputs()[0]), (Shape{1, 1000}));
+    Executor ex(g);
+    auto out = ex.run({Tensor::randn(Shape{1, 3, 64, 64}, 66)});
+    EXPECT_EQ(out[0].numel(), 1000);
+}
+
+TEST(ResNetClassifierTest, PaperScaleGemmShareIsHigh)
+{
+    // Fig. 3 (a): the classic CNN is built from conv + BN + ReLU, so
+    // GEMM flops dominate overwhelmingly.
+    ModelConfig cfg;
+    Graph g = buildResNet50(cfg);
+    GraphStats s = g.stats();
+    EXPECT_GT(s.gemmFlops / s.totalFlops, 0.95);
+    EXPECT_NEAR(static_cast<double>(s.totalParams) / 1e6, 25.6, 3.0);
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/executor.h"
+#include "models/registry.h"
+
+namespace ngb {
+namespace {
+
+using models::ModelInfo;
+using models::modelRegistry;
+
+int64_t
+countKind(const Graph &g, OpKind k)
+{
+    int64_t n = 0;
+    for (const Node &node : g.nodes())
+        n += node.kind == k;
+    return n;
+}
+
+TEST(RegistryTest, SeventeenPaperModelsPlusExtensions)
+{
+    EXPECT_EQ(models::paperModelNames().size(), 17u);
+    // 17 paper models + the Llama3 quantization subject + extensions.
+    EXPECT_GE(modelRegistry().size(), 19u);
+    EXPECT_NO_THROW(models::findModel("swin_b"));
+    EXPECT_NO_THROW(models::findModel("resnet50"));
+    EXPECT_THROW(models::findModel("resnet18"), std::runtime_error);
+}
+
+TEST(RegistryTest, TaskDomainsMatchTableII)
+{
+    std::map<std::string, int> tasks;
+    for (const std::string &name : models::paperModelNames())
+        ++tasks[models::findModel(name).task];
+    EXPECT_EQ(tasks["IC"], 6);
+    EXPECT_EQ(tasks["OD"], 3);
+    EXPECT_EQ(tasks["IS"], 2);
+    EXPECT_EQ(tasks["NLP"], 6);
+}
+
+class BuildAllModels : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BuildAllModels, PaperScaleGraphIsWellFormed)
+{
+    const ModelInfo &info = models::findModel(GetParam());
+    ModelConfig cfg;
+    cfg.batch = 1;
+    cfg.seqLen = info.defaultSeqLen > 0 ? info.defaultSeqLen : 8;
+    Graph g = info.build(cfg);
+
+    GraphStats s = g.stats();
+    EXPECT_GT(s.numGemmOps, 0);
+    EXPECT_GT(s.numNonGemmOps, s.numGemmOps);  // non-GEMM ops dominate counts
+    EXPECT_GT(s.totalFlops, 0);
+    EXPECT_FALSE(g.graphOutputs().empty());
+
+    // Topological well-formedness.
+    for (const Node &n : g.nodes())
+        for (const Value &v : n.inputs)
+            EXPECT_LT(v.node, n.id);
+}
+
+TEST_P(BuildAllModels, BatchScalesActivationsNotParams)
+{
+    const ModelInfo &info = models::findModel(GetParam());
+    ModelConfig c1, c8;
+    c1.batch = 1;
+    c8.batch = 8;
+    c1.seqLen = c8.seqLen = info.defaultSeqLen > 0 ? info.defaultSeqLen : 8;
+    Graph g1 = info.build(c1);
+    Graph g8 = info.build(c8);
+    EXPECT_EQ(g1.stats().totalParams, g8.stats().totalParams);
+    // Detection heads work on a fixed proposal budget and MoE experts
+    // on a fixed token share, so growth is sublinear there; every
+    // model must still grow substantially with batch.
+    EXPECT_GT(g8.stats().totalFlops, 1.5 * g1.stats().totalFlops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BuildAllModels,
+    ::testing::Values("vit_b", "vit_l", "vit_h", "swin_t", "swin_s",
+                      "swin_b", "faster_rcnn", "mask_rcnn", "detr",
+                      "maskformer", "segformer", "gpt2", "gpt2_l",
+                      "gpt2_xl", "llama2", "bert", "mixtral", "llama3"));
+
+TEST(ModelParamsTest, ParameterCountsMatchPublishedSizes)
+{
+    // name -> (expected millions, tolerance fraction)
+    struct Want {
+        const char *name;
+        double millions;
+        double tol;
+    };
+    // GPT-2 sizes include the untied lm_head projection.
+    const Want wants[] = {
+        {"vit_b", 86, 0.10},      {"vit_h", 632, 0.10},
+        {"swin_t", 28, 0.10},     {"swin_b", 88, 0.10},
+        {"detr", 41, 0.10},       {"segformer", 3.7, 0.15},
+        {"bert", 110, 0.10},      {"llama2", 6740, 0.05},
+        {"llama3", 8030, 0.05},
+    };
+    for (const Want &w : wants) {
+        const ModelInfo &info = models::findModel(w.name);
+        ModelConfig cfg;
+        cfg.seqLen = info.defaultSeqLen > 0 ? info.defaultSeqLen : 8;
+        double m = static_cast<double>(info.build(cfg).stats().totalParams) /
+                   1e6;
+        EXPECT_NEAR(m, w.millions, w.millions * w.tol) << w.name;
+    }
+}
+
+TEST(ModelOpsTest, TableIOperatorsPresent)
+{
+    ModelConfig cfg;
+    cfg.seqLen = 10;
+
+    Graph detr = models::findModel("detr").build(cfg);
+    EXPECT_GT(countKind(detr, OpKind::FrozenBatchNorm2d), 0);
+    EXPECT_GT(countKind(detr, OpKind::ReLU), 0);
+    EXPECT_GT(countKind(detr, OpKind::LayerNorm), 0);
+    EXPECT_GT(countKind(detr, OpKind::Softmax), 0);
+
+    Graph mrcnn = models::findModel("mask_rcnn").build(cfg);
+    EXPECT_GT(countKind(mrcnn, OpKind::NMS), 0);
+    EXPECT_GT(countKind(mrcnn, OpKind::RoIAlign), 0);
+
+    Graph seg = models::findModel("segformer").build(cfg);
+    EXPECT_GT(countKind(seg, OpKind::Interpolate), 0);
+    EXPECT_GT(countKind(seg, OpKind::BatchNorm2d), 0);
+    EXPECT_GT(countKind(seg, OpKind::LayerNorm), 0);
+
+    cfg.seqLen = 10;
+    Graph llama = models::findModel("llama2").build(cfg);
+    EXPECT_GT(countKind(llama, OpKind::RMSNorm), 0);
+    EXPECT_GT(countKind(llama, OpKind::SiLU), 0);
+    EXPECT_GT(countKind(llama, OpKind::Neg), 0);       // rotate_half
+    EXPECT_GT(countKind(llama, OpKind::Contiguous), 0);
+
+    cfg.seqLen = 8;
+    Graph gpt2 = models::findModel("gpt2_xl").build(cfg);
+    EXPECT_GT(countKind(gpt2, OpKind::GELU), 0);
+    EXPECT_GT(countKind(gpt2, OpKind::Split), 0);
+    EXPECT_GT(countKind(gpt2, OpKind::View), 0);
+    EXPECT_GT(countKind(gpt2, OpKind::Permute), 0);
+
+    Graph swin = models::findModel("swin_b").build(cfg);
+    EXPECT_GT(countKind(swin, OpKind::Roll), 0);
+
+    Graph mixtral = models::findModel("mixtral").build(cfg);
+    EXPECT_GT(countKind(mixtral, OpKind::TopK), 0);
+    EXPECT_GT(countKind(mixtral, OpKind::Gather), 0);
+}
+
+TEST(ModelOpsTest, Gpt2GeluIsCompositeKernel)
+{
+    ModelConfig cfg;
+    cfg.seqLen = 8;
+    Graph g = models::findModel("gpt2").build(cfg);
+    bool found = false;
+    for (const Node &n : g.nodes())
+        if (n.kind == OpKind::GELU) {
+            EXPECT_EQ(n.attrs.getI("kernels", 1), 8);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(ModelOpsTest, DetrEncoderTokensMatchPaperShape)
+{
+    // Table I captures DETR's encoder LayerNorm at [2, 850, 256].
+    ModelConfig cfg;
+    cfg.batch = 2;
+    Graph g = models::findModel("detr").build(cfg);
+    bool found = false;
+    for (const Node &n : g.nodes())
+        if (n.kind == OpKind::LayerNorm &&
+            n.outShapes[0] == Shape{2, 850, 256})
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+class ExecuteTinyModels : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ExecuteTinyModels, TestScaleGraphRunsEndToEnd)
+{
+    const ModelInfo &info = models::findModel(GetParam());
+    ModelConfig cfg;
+    cfg.batch = 1;
+    cfg.seqLen = 8;
+    cfg.testScale = 8;
+    Graph g = info.build(cfg);
+
+    std::vector<Tensor> inputs;
+    for (const Value &v : g.graphInputs()) {
+        if (g.dtypeOf(v) == DType::I32) {
+            // Token ids: small values, valid for any test vocab.
+            Tensor ids(g.shapeOf(v), DType::I32);
+            for (int64_t i = 0; i < ids.numel(); ++i)
+                ids.flatSet(i, static_cast<float>(i % 7));
+            inputs.push_back(ids);
+        } else {
+            inputs.push_back(Tensor::randn(g.shapeOf(v), 1234, 0.5f));
+        }
+    }
+
+    Executor ex(g);
+    std::vector<Tensor> out;
+    ASSERT_NO_THROW(out = ex.run(inputs)) << info.name;
+    ASSERT_FALSE(out.empty());
+    for (const Tensor &t : out)
+        for (int64_t i = 0; i < std::min<int64_t>(t.numel(), 64); ++i)
+            ASSERT_TRUE(std::isfinite(t.flatAt(i))) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ExecuteTinyModels,
+    ::testing::Values("vit_b", "swin_t", "faster_rcnn", "mask_rcnn",
+                      "detr", "maskformer", "segformer", "gpt2", "bert",
+                      "llama2", "llama3", "mixtral"));
+
+}  // namespace
+}  // namespace ngb

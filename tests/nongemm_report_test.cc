@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "deploy/flow.h"
+#include "graph/executor.h"
+#include "models/registry.h"
+#include "profiler/nongemm_report.h"
+#include "profiler/svg_chart.h"
+
+namespace ngb {
+namespace {
+
+TEST(NonGemmReportTest, DetrHasTwoNormalizationVariants)
+{
+    // The paper's example output: DETR employs both a custom frozen
+    // batch norm and the library LayerNorm.
+    ModelConfig cfg;
+    Graph g = models::findModel("detr").build(cfg);
+    NonGemmReport r = buildNonGemmReport(g);
+    const CategoryVariants *norm = r.find(OpCategory::Normalization);
+    ASSERT_NE(norm, nullptr);
+    EXPECT_GE(norm->variantCount(), 2);
+    EXPECT_TRUE(norm->variants.count(OpKind::FrozenBatchNorm2d));
+    EXPECT_TRUE(norm->variants.count(OpKind::LayerNorm));
+}
+
+TEST(NonGemmReportTest, ExcludesGemmOps)
+{
+    ModelConfig cfg;
+    cfg.testScale = 8;
+    Graph g = models::findModel("bert").build(cfg);
+    NonGemmReport r = buildNonGemmReport(g);
+    EXPECT_EQ(r.find(OpCategory::Gemm), nullptr);
+}
+
+TEST(NonGemmReportTest, InstanceCountsMatchGraph)
+{
+    ModelConfig cfg;
+    cfg.seqLen = 8;
+    Graph g = models::findModel("gpt2").build(cfg);
+    NonGemmReport r = buildNonGemmReport(g);
+    int64_t total = 0;
+    for (const CategoryVariants &v : r.categories)
+        total += v.instanceCount();
+    EXPECT_EQ(total, g.stats().numNonGemmOps);
+}
+
+TEST(NonGemmReportTest, DomainTraceSeparatesTasks)
+{
+    ModelConfig cfg;
+    cfg.testScale = 8;
+    cfg.seqLen = 8;
+    std::vector<std::pair<std::string, Graph>> gs;
+    gs.emplace_back("OD", models::findModel("mask_rcnn").build(cfg));
+    gs.emplace_back("NLP", models::findModel("gpt2").build(cfg));
+    DomainTrace t = buildDomainTrace(gs);
+    // RoI selection ops only exist in the detection domain.
+    EXPECT_TRUE(t.variantsByDomain.at("OD").count(
+        OpCategory::RoiSelection));
+    EXPECT_FALSE(t.variantsByDomain.at("NLP").count(
+        OpCategory::RoiSelection));
+    EXPECT_GT(t.instancesByDomain.at("OD"), 0);
+}
+
+TEST(NonGemmReportTest, PrintersProduceOutput)
+{
+    ModelConfig cfg;
+    cfg.testScale = 8;
+    Graph g = models::findModel("segformer").build(cfg);
+    std::ostringstream os;
+    printNonGemmReport(buildNonGemmReport(g), os);
+    EXPECT_NE(os.str().find("Interpolation"), std::string::npos);
+
+    std::vector<std::pair<std::string, Graph>> gs;
+    gs.emplace_back("IS", std::move(g));
+    std::ostringstream os2;
+    printDomainTrace(buildDomainTrace(gs), os2);
+    EXPECT_NE(os2.str().find("IS"), std::string::npos);
+}
+
+TEST(RooflineSvgTest, EmitsDotsAndRoofs)
+{
+    ModelConfig cfg;
+    cfg.testScale = 4;
+    Graph g = models::findModel("vit_b").build(cfg);
+    auto plan = makePyTorchFlow()->plan(g, {true, false});
+    CostModel cm(platformA());
+    auto timings = cm.priceAll(plan);
+    std::ostringstream os;
+    writeRooflineSvg(plan, timings, platformA().gpu, "test roofline", os);
+    std::string s = os.str();
+    EXPECT_EQ(s.find("<svg"), 0u);
+    EXPECT_NE(s.find("test roofline"), std::string::npos);
+    size_t dots = 0, pos = 0;
+    while ((pos = s.find("<circle", pos)) != std::string::npos) {
+        ++dots;
+        ++pos;
+    }
+    EXPECT_GT(dots, 20u);
+    // Two roof segments.
+    size_t lines = 0;
+    pos = 0;
+    while ((pos = s.find("<line", pos)) != std::string::npos) {
+        ++lines;
+        ++pos;
+    }
+    EXPECT_GE(lines, 2u);
+}
+
+class CnnExtensionSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CnnExtensionSweep, BuildsAndExecutes)
+{
+    const auto &info = models::findModel(GetParam());
+    EXPECT_EQ(info.task, "IC");
+    ModelConfig cfg;
+    cfg.testScale = 8;
+    Graph g = info.build(cfg);
+    Executor ex(g);
+    auto out = ex.run({Tensor::randn(g.shapeOf(g.graphInputs()[0]), 9)});
+    EXPECT_EQ(out[0].shape(), (Shape{1, 1000}));
+}
+
+TEST_P(CnnExtensionSweep, ParamCountsReasonable)
+{
+    const auto &info = models::findModel(GetParam());
+    ModelConfig cfg;
+    double m =
+        static_cast<double>(info.build(cfg).stats().totalParams) / 1e6;
+    if (std::string(GetParam()) == "mobilenet_v2")
+        EXPECT_NEAR(m, 3.5, 1.0);
+    else if (std::string(GetParam()) == "vgg16")
+        EXPECT_NEAR(m, 138, 25);  // fc6 input differs from 7x7 pooling
+    else
+        EXPECT_NEAR(m, 25.6, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CnnExtensionSweep,
+                         ::testing::Values("resnet50", "mobilenet_v2",
+                                           "vgg16"));
+
+TEST(CnnExtensionTest, VggHasNoNormalization)
+{
+    ModelConfig cfg;
+    Graph g = models::findModel("vgg16").build(cfg);
+    NonGemmReport r = buildNonGemmReport(g);
+    EXPECT_EQ(r.find(OpCategory::Normalization), nullptr);
+}
+
+TEST(CnnExtensionTest, MobileNetDepthwiseConvsPresent)
+{
+    ModelConfig cfg;
+    Graph g = models::findModel("mobilenet_v2").build(cfg);
+    int64_t depthwise = 0;
+    for (const Node &n : g.nodes())
+        if (n.kind == OpKind::Conv2d && n.attrs.getI("groups", 1) > 1)
+            ++depthwise;
+    EXPECT_EQ(depthwise, 17);  // one per inverted residual block
+}
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/op_cost.h"
+
+namespace ngb {
+namespace {
+
+TEST(OpCostTest, LinearFlopsAre2MKN)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{4, 8, 16});
+    Value y = b.linear(x, 32);
+    const OpCost &c = g.node(y.node).cost;
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * (4 * 8) * 16 * 32);
+    // bias + weight bytes.
+    EXPECT_DOUBLE_EQ(c.bytesParam, (32.0 * 16 + 32) * 4);
+    EXPECT_DOUBLE_EQ(c.bytesIn, 4.0 * 8 * 16 * 4);
+    EXPECT_DOUBLE_EQ(c.bytesOut, 4.0 * 8 * 32 * 4);
+}
+
+TEST(OpCostTest, Conv2dFlopsFollowOutputPatches)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 3, 8, 8});
+    Value y = b.conv2d(x, 16, 3, 1, 1);
+    const OpCost &c = g.node(y.node).cost;
+    // out numel = 16*8*8 = 1024; per-output MACs = 3*3*3 = 27.
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 1024 * 27);
+}
+
+TEST(OpCostTest, BmmFlops)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value a = b.input(Shape{2, 3, 4});
+    Value c = b.input(Shape{2, 4, 5});
+    Value y = b.bmm(a, c);
+    EXPECT_DOUBLE_EQ(g.node(y.node).cost.flops, 2.0 * 2 * 3 * 4 * 5);
+}
+
+TEST(OpCostTest, ZeroCopyLayoutOpsHaveNoTraffic)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{8, 8});
+    for (Value v : {b.view(x, Shape{64}), b.permute(x, {1, 0}),
+                    b.transpose(x, 0, 1), b.slice(x, 0, 0, 4),
+                    b.unsqueeze(x, 0)}) {
+        const OpCost &c = g.node(v.node).cost;
+        EXPECT_TRUE(c.zeroCopy) << g.node(v.node).name;
+        EXPECT_EQ(c.flops, 0.0);
+        EXPECT_EQ(c.bytesIn, 0.0);
+        EXPECT_EQ(c.bytesOut, 0.0);
+    }
+}
+
+TEST(OpCostTest, CopyingLayoutOpsMoveBytes)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{8, 8});
+    Value c = b.contiguous(x);
+    const OpCost &cc = g.node(c.node).cost;
+    EXPECT_FALSE(cc.zeroCopy);
+    EXPECT_EQ(cc.flops, 0.0);
+    EXPECT_EQ(cc.bytesIn, 64.0 * 4);
+    EXPECT_EQ(cc.bytesOut, 64.0 * 4);
+
+    Value r = b.roll(x, 2, 0);
+    EXPECT_FALSE(g.node(r.node).cost.zeroCopy);
+    EXPECT_GT(g.node(r.node).cost.bytesOut, 0.0);
+}
+
+TEST(OpCostTest, GeluCostsMoreThanRelu)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{128});
+    Value r = b.relu(x);
+    Value ge = b.gelu(x);
+    EXPECT_GT(g.node(ge.node).cost.flops, g.node(r.node).cost.flops);
+}
+
+TEST(OpCostTest, NormalizationFlopsScaleWithElements)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value small = b.input(Shape{1, 4, 16});
+    Value big = b.input(Shape{1, 64, 16});
+    Value ns = b.layerNorm(small);
+    Value nb = b.layerNorm(big);
+    EXPECT_DOUBLE_EQ(g.node(nb.node).cost.flops,
+                     16.0 * g.node(ns.node).cost.flops);
+}
+
+TEST(OpCostTest, NmsCostQuadraticInCandidates)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value b1 = b.input(Shape{100, 4});
+    Value s1 = b.input(Shape{100});
+    Value b2 = b.input(Shape{1000, 4});
+    Value s2 = b.input(Shape{1000});
+    Value n1 = b.nms(b1, s1, 0.5, 0.0, 100);
+    Value n2 = b.nms(b2, s2, 0.5, 0.0, 1000);
+    // 10x boxes with keep scaling along => ~100x IoU work.
+    EXPECT_GT(g.node(n2.node).cost.flops,
+              50.0 * g.node(n1.node).cost.flops);
+}
+
+TEST(OpCostTest, EmbeddingIsPureDataMovement)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value ids = b.tokenInput(Shape{1, 16});
+    Value e = b.embedding(ids, 100, 32);
+    const OpCost &c = g.node(e.node).cost;
+    EXPECT_EQ(c.flops, 0.0);
+    EXPECT_GT(c.bytesOut, 0.0);
+    EXPECT_GT(c.bytesParam, 0.0);
+}
+
+TEST(OpCostTest, QuantizeDequantizeBytesReflectDtypes)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{64});
+    Value q = b.quantize(x);
+    // f32 in (256B), i8 out (64B).
+    EXPECT_DOUBLE_EQ(g.node(q.node).cost.bytesIn, 256.0);
+    EXPECT_DOUBLE_EQ(g.node(q.node).cost.bytesOut, 64.0);
+    Value d = b.dequantize(q);
+    EXPECT_DOUBLE_EQ(g.node(d.node).cost.bytesIn, 64.0);
+    EXPECT_DOUBLE_EQ(g.node(d.node).cost.bytesOut, 256.0);
+}
+
+TEST(OpCostTest, Int8LinearSameFlopsAsFloat)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 64});
+    Value f = b.linear(x, 64, false);
+    Value q8 = b.int8Linear(x, 64, false);
+    EXPECT_DOUBLE_EQ(g.node(f.node).cost.flops,
+                     g.node(q8.node).cost.flops);
+    // int8 weights are 4x smaller.
+    EXPECT_DOUBLE_EQ(g.node(f.node).cost.bytesParam,
+                     4.0 * g.node(q8.node).cost.bytesParam);
+}
+
+class ElemwiseCostSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(ElemwiseCostSweep, BytesLinearInSize)
+{
+    int64_t n = GetParam();
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{n});
+    Value y = b.add(x, x);
+    EXPECT_DOUBLE_EQ(g.node(y.node).cost.bytesOut,
+                     static_cast<double>(n) * 4);
+    EXPECT_DOUBLE_EQ(g.node(y.node).cost.flops, static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ElemwiseCostSweep,
+                         ::testing::Values(1, 16, 1024, 1 << 20));
+
+}  // namespace
+}  // namespace ngb

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bench.h"
+#include "profiler/profile_report.h"
+
+namespace ngb {
+namespace {
+
+ProfileReport
+sampleReport()
+{
+    BenchConfig c;
+    c.model = "gpt2";
+    c.testScale = 4;
+    return Bench::run(c);
+}
+
+TEST(ReportTest, TopOpsSortedDescending)
+{
+    ProfileReport r = sampleReport();
+    auto top = r.topOps(5);
+    ASSERT_LE(top.size(), 5u);
+    for (size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].us, top[i].us);
+}
+
+TEST(ReportTest, TopOpsHandlesOversizedRequest)
+{
+    ProfileReport r = sampleReport();
+    auto top = r.topOps(1 << 20);
+    EXPECT_EQ(top.size(), r.ops.size());
+}
+
+TEST(ReportTest, DominantExcludesGemm)
+{
+    ProfileReport r = sampleReport();
+    EXPECT_NE(r.dominantNonGemmCategory(), OpCategory::Gemm);
+}
+
+TEST(ReportTest, OpCsvHasHeaderAndRows)
+{
+    ProfileReport r = sampleReport();
+    std::ostringstream os;
+    writeOpCsv(r, os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("label,category,on_gpu"), std::string::npos);
+    size_t rows = std::count(s.begin(), s.end(), '\n');
+    EXPECT_EQ(rows, r.ops.size() + 1);
+}
+
+TEST(ReportTest, CategoryCsvPercentsSumToHundred)
+{
+    ProfileReport r = sampleReport();
+    std::ostringstream os;
+    writeCategoryCsv(r, os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);  // header
+    double total = 0;
+    while (std::getline(is, line)) {
+        size_t c1 = line.find(',');
+        size_t c2 = line.find(',', c1 + 1);
+        size_t c3 = line.find(',', c2 + 1);
+        total += std::stod(line.substr(c2 + 1, c3 - c2 - 1));
+    }
+    EXPECT_NEAR(total, 100.0, 0.1);
+}
+
+TEST(ReportTest, PrintReportMentionsModelAndCategories)
+{
+    ProfileReport r = sampleReport();
+    std::ostringstream os;
+    printReport(r, os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("gpt2"), std::string::npos);
+    EXPECT_NE(s.find("GEMM"), std::string::npos);
+    EXPECT_NE(s.find("Activation"), std::string::npos);
+    EXPECT_NE(s.find("energy"), std::string::npos);
+}
+
+TEST(ReportTest, OpsCarryKernelCounts)
+{
+    ProfileReport r = sampleReport();
+    bool composite = false;
+    for (const OpProfile &op : r.ops)
+        composite |= op.kernelCount > 1;
+    EXPECT_TRUE(composite);  // gpt2's GELU launches 8 kernels
+}
+
+TEST(ReportTest, CategoryPctZeroForAbsentCategory)
+{
+    ProfileReport r = sampleReport();
+    // gpt2 has no RoI selection ops.
+    EXPECT_EQ(r.categoryPct(OpCategory::RoiSelection), 0.0);
+}
+
+}  // namespace
+}  // namespace ngb

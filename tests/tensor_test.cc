@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace ngb {
+namespace {
+
+TEST(ShapeTest, NumelAndRank)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(s.dim(-1), 4);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(Shape{}.numel(), 1);
+}
+
+TEST(ShapeTest, NegativeIndexOutOfRangeThrows)
+{
+    Shape s{2, 3};
+    EXPECT_THROW(s.dim(2), std::out_of_range);
+    EXPECT_THROW(s.dim(-3), std::out_of_range);
+}
+
+TEST(ShapeTest, ContiguousStrides)
+{
+    Shape s{2, 3, 4};
+    auto st = s.contiguousStrides();
+    ASSERT_EQ(st.size(), 3u);
+    EXPECT_EQ(st[0], 12);
+    EXPECT_EQ(st[1], 4);
+    EXPECT_EQ(st[2], 1);
+}
+
+TEST(ShapeTest, Equality)
+{
+    EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+    EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+    EXPECT_EQ((Shape{1, 2}).str(), "[1, 2]");
+}
+
+TEST(DTypeTest, Sizes)
+{
+    EXPECT_EQ(dtypeSize(DType::F32), 4u);
+    EXPECT_EQ(dtypeSize(DType::F16), 2u);
+    EXPECT_EQ(dtypeSize(DType::I8), 1u);
+    EXPECT_EQ(dtypeSize(DType::I32), 4u);
+    EXPECT_EQ(dtypeSize(DType::B8), 1u);
+}
+
+TEST(DTypeTest, HalfRoundTripExactValues)
+{
+    // Values exactly representable in binary16 survive a round trip.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f,
+                    65504.0f}) {
+        EXPECT_EQ(halfToFloat(floatToHalf(v)), v) << v;
+    }
+}
+
+class HalfPrecisionSweep : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(HalfPrecisionSweep, RelativeErrorBounded)
+{
+    float v = GetParam();
+    float r = halfToFloat(floatToHalf(v));
+    // binary16 has 11 significand bits: rel error <= 2^-11.
+    EXPECT_NEAR(r, v, std::abs(v) * 4.9e-4f + 1e-7f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HalfPrecisionSweep,
+                         ::testing::Values(0.1f, -0.3f, 3.14159f, 123.456f,
+                                           -9876.5f, 1e-3f, -2.71828f,
+                                           42.42f));
+
+TEST(DTypeTest, HalfOverflowGoesToInf)
+{
+    uint16_t h = floatToHalf(1e6f);
+    EXPECT_TRUE(std::isinf(halfToFloat(h)));
+}
+
+TEST(TensorTest, ZerosAndFull)
+{
+    Tensor z = Tensor::zeros(Shape{2, 3});
+    for (int64_t i = 0; i < z.numel(); ++i)
+        EXPECT_EQ(z.flatAt(i), 0.0f);
+    Tensor f = Tensor::full(Shape{4}, 2.5f);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(f.flatAt(i), 2.5f);
+}
+
+TEST(TensorTest, RandnDeterministic)
+{
+    Tensor a = Tensor::randn(Shape{16}, 42);
+    Tensor b = Tensor::randn(Shape{16}, 42);
+    Tensor c = Tensor::randn(Shape{16}, 43);
+    bool same = true, diff = false;
+    for (int64_t i = 0; i < 16; ++i) {
+        same &= a.flatAt(i) == b.flatAt(i);
+        diff |= a.flatAt(i) != c.flatAt(i);
+    }
+    EXPECT_TRUE(same);
+    EXPECT_TRUE(diff);
+}
+
+TEST(TensorTest, IndexedAccess)
+{
+    Tensor t = Tensor::arange(Shape{2, 3});
+    EXPECT_EQ(t.at({0, 0}), 0.0f);
+    EXPECT_EQ(t.at({0, 2}), 2.0f);
+    EXPECT_EQ(t.at({1, 0}), 3.0f);
+    t.set({1, 2}, 99.0f);
+    EXPECT_EQ(t.at({1, 2}), 99.0f);
+}
+
+TEST(TensorTest, ViewSharesStorage)
+{
+    Tensor t = Tensor::arange(Shape{2, 6});
+    Tensor v = t.view(Shape{3, 4});
+    v.set({0, 0}, 42.0f);
+    EXPECT_EQ(t.at({0, 0}), 42.0f);
+    EXPECT_EQ(v.shape(), (Shape{3, 4}));
+}
+
+TEST(TensorTest, ViewRequiresMatchingNumel)
+{
+    Tensor t = Tensor::zeros(Shape{2, 3});
+    EXPECT_THROW(t.view(Shape{7}), std::runtime_error);
+}
+
+TEST(TensorTest, PermuteIsZeroCopyAndCorrect)
+{
+    Tensor t = Tensor::arange(Shape{2, 3});
+    Tensor p = t.permute({1, 0});
+    EXPECT_EQ(p.shape(), (Shape{3, 2}));
+    EXPECT_FALSE(p.isContiguous());
+    EXPECT_EQ(p.at({2, 1}), t.at({1, 2}));
+    // Same storage.
+    EXPECT_EQ(p.storage().get(), t.storage().get());
+}
+
+TEST(TensorTest, TransposeNegativeDims)
+{
+    Tensor t = Tensor::arange(Shape{2, 3, 4});
+    Tensor tr = t.transpose(-1, -2);
+    EXPECT_EQ(tr.shape(), (Shape{2, 4, 3}));
+    EXPECT_EQ(tr.at({1, 3, 2}), t.at({1, 2, 3}));
+}
+
+TEST(TensorTest, ContiguousMaterializesPermutation)
+{
+    Tensor t = Tensor::arange(Shape{2, 3});
+    Tensor c = t.permute({1, 0}).contiguous();
+    EXPECT_TRUE(c.isContiguous());
+    EXPECT_NE(c.storage().get(), t.storage().get());
+    EXPECT_EQ(c.at({2, 1}), 5.0f);
+}
+
+TEST(TensorTest, SliceViewsSubrange)
+{
+    Tensor t = Tensor::arange(Shape{4, 3});
+    Tensor s = t.slice(0, 1, 2);
+    EXPECT_EQ(s.shape(), (Shape{2, 3}));
+    EXPECT_EQ(s.at({0, 0}), 3.0f);
+    EXPECT_EQ(s.at({1, 2}), 8.0f);
+    EXPECT_THROW(t.slice(0, 3, 2), std::runtime_error);
+}
+
+TEST(TensorTest, SqueezeUnsqueeze)
+{
+    Tensor t = Tensor::arange(Shape{2, 1, 3});
+    Tensor s = t.squeeze(1);
+    EXPECT_EQ(s.shape(), (Shape{2, 3}));
+    Tensor u = s.unsqueeze(0);
+    EXPECT_EQ(u.shape(), (Shape{1, 2, 3}));
+    EXPECT_THROW(t.squeeze(0), std::runtime_error);
+}
+
+TEST(TensorTest, ExpandBroadcastsStrideZero)
+{
+    Tensor t = Tensor::arange(Shape{1, 3});
+    Tensor e = t.expand(Shape{4, 3});
+    EXPECT_EQ(e.shape(), (Shape{4, 3}));
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(e.at({i, 2}), 2.0f);
+    EXPECT_THROW(t.expand(Shape{4, 5}), std::runtime_error);
+}
+
+TEST(TensorTest, CloneIsDeep)
+{
+    Tensor t = Tensor::arange(Shape{4});
+    Tensor c = t.clone();
+    c.flatSet(0, -1.0f);
+    EXPECT_EQ(t.flatAt(0), 0.0f);
+}
+
+TEST(TensorTest, DtypeConversionF16)
+{
+    Tensor t = Tensor::arange(Shape{8});
+    Tensor h = t.to(DType::F16);
+    EXPECT_EQ(h.bytes(), 16);
+    for (int64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(h.flatAt(i), static_cast<float>(i));  // small ints exact
+}
+
+TEST(TensorTest, DtypeConversionI8SaturatesAndRounds)
+{
+    Tensor t = Tensor::zeros(Shape{3});
+    t.flatSet(0, 300.0f);
+    t.flatSet(1, -300.0f);
+    t.flatSet(2, 1.6f);
+    Tensor q = t.to(DType::I8);
+    EXPECT_EQ(q.flatAt(0), 127.0f);
+    EXPECT_EQ(q.flatAt(1), -128.0f);
+    EXPECT_EQ(q.flatAt(2), 2.0f);
+}
+
+TEST(TensorTest, FlatAccessOnNonContiguousView)
+{
+    // flatAt walks logical row-major order on strided views.
+    Tensor t = Tensor::arange(Shape{2, 3});
+    Tensor p = t.permute({1, 0});  // [[0,3],[1,4],[2,5]]
+    EXPECT_EQ(p.flatAt(0), 0.0f);
+    EXPECT_EQ(p.flatAt(1), 3.0f);
+    EXPECT_EQ(p.flatAt(2), 1.0f);
+    EXPECT_EQ(p.flatAt(5), 5.0f);
+}
+
+TEST(TensorTest, ReshapeOfNonContiguousCopies)
+{
+    Tensor t = Tensor::arange(Shape{2, 3});
+    Tensor r = t.permute({1, 0}).reshape(Shape{6});
+    EXPECT_EQ(r.flatAt(1), 3.0f);
+    EXPECT_TRUE(r.isContiguous());
+}
+
+TEST(TensorTest, BytesAccountsForDtype)
+{
+    EXPECT_EQ(Tensor::zeros(Shape{10}, DType::F32).bytes(), 40);
+    EXPECT_EQ(Tensor::zeros(Shape{10}, DType::F16).bytes(), 20);
+    EXPECT_EQ(Tensor::zeros(Shape{10}, DType::I8).bytes(), 10);
+}
+
+}  // namespace
+}  // namespace ngb

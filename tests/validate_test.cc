@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bench.h"
+#include "graph/builder.h"
+#include "graph/dot_export.h"
+#include "graph/validate.h"
+#include "models/registry.h"
+#include "platform/cost_model.h"
+#include "deploy/flow.h"
+
+namespace ngb {
+namespace {
+
+TEST(ValidateTest, CleanGraphPasses)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{4});
+    b.output(b.relu(x));
+    ValidationResult r = validateGraph(g);
+    EXPECT_TRUE(r.ok()) << formatIssues(r);
+    EXPECT_EQ(r.errorCount(), 0u);
+}
+
+TEST(ValidateTest, EveryRegistryModelValidates)
+{
+    for (const auto &info : models::modelRegistry()) {
+        ModelConfig cfg;
+        cfg.seqLen = info.defaultSeqLen > 0 ? info.defaultSeqLen : 8;
+        Graph g = info.build(cfg);
+        ValidationResult r = validateGraph(g);
+        EXPECT_TRUE(r.ok()) << info.name << ":\n" << formatIssues(r);
+    }
+}
+
+TEST(ValidateTest, DetectsForwardReference)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{4});
+    Value y = b.relu(x);
+    // Corrupt: make relu depend on a later node id.
+    g.node(y.node).inputs[0].node = y.node + 5;
+    ValidationResult r = validateGraph(g);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ValidateTest, DetectsBadOutputIndex)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{8});
+    auto parts = b.split(x, 4, 0);
+    Value y = b.relu(parts[0]);
+    g.node(y.node).inputs[0].index = 9;
+    ValidationResult r = validateGraph(g);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(formatIssues(r).find("out of range"), std::string::npos);
+}
+
+TEST(ValidateTest, WarnsOnDeadCode)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{4});
+    Value used = b.relu(x);
+    b.tanh(x);  // dead
+    b.output(used);
+    ValidationResult r = validateGraph(g);
+    EXPECT_TRUE(r.ok());  // warning only
+    EXPECT_GE(r.warningCount(), 1u);
+    EXPECT_NE(formatIssues(r).find("never consumed"), std::string::npos);
+}
+
+TEST(ValidateTest, WarnsOnMissingOutputs)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{4});
+    b.relu(x);
+    ValidationResult r = validateGraph(g);
+    EXPECT_GE(r.warningCount(), 1u);
+}
+
+TEST(DotExportTest, EmitsNodesEdgesAndColors)
+{
+    Graph g;
+    g.setName("dot-test");
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 8});
+    Value h = b.layerNorm(x);
+    h = b.linear(h, 8, true, "fc");
+    h = b.gelu(h);
+    b.output(h);
+
+    std::ostringstream os;
+    writeDot(g, DotOptions(), os);
+    std::string s = os.str();
+    EXPECT_EQ(s.find("digraph"), 0u);
+    EXPECT_NE(s.find("layer_norm"), std::string::npos);
+    EXPECT_NE(s.find("linear"), std::string::npos);
+    EXPECT_NE(s.find("->"), std::string::npos);
+    EXPECT_NE(s.find("[1, 4, 8]"), std::string::npos);  // edge shape
+    EXPECT_NE(s.find("fillcolor"), std::string::npos);
+}
+
+TEST(DotExportTest, HideZeroCopyCollapsesChains)
+{
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{2, 8});
+    Value v = b.view(x, Shape{8, 2});
+    v = b.transpose(v, 0, 1);
+    Value y = b.relu(v);
+    b.output(y);
+
+    DotOptions opts;
+    opts.hideZeroCopy = true;
+    std::ostringstream os;
+    writeDot(g, opts, os);
+    std::string s = os.str();
+    EXPECT_EQ(s.find("\"view\""), std::string::npos);
+    EXPECT_NE(s.find("relu"), std::string::npos);
+    // relu's edge resolves through the hidden chain to the input.
+    EXPECT_NE(s.find("n0 -> n3"), std::string::npos);
+}
+
+TEST(JsonReportTest, WellFormedAndComplete)
+{
+    BenchConfig c;
+    c.model = "gpt2";
+    c.testScale = 4;
+    ProfileReport r = Bench::run(c);
+    std::ostringstream os;
+    writeJsonReport(r, os);
+    std::string s = os.str();
+    int depth = 0;
+    for (char ch : s) {
+        if (ch == '{' || ch == '[')
+            ++depth;
+        if (ch == '}' || ch == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_NE(s.find("\"model\": \"gpt2\""), std::string::npos);
+    EXPECT_NE(s.find("\"categories\""), std::string::npos);
+    EXPECT_NE(s.find("\"ops\""), std::string::npos);
+    EXPECT_NE(s.find("\"fusion\""), std::string::npos);
+}
+
+TEST(AsyncDispatchTest, OverlapNeverSlower)
+{
+    for (const char *m : {"gpt2", "swin_t", "detr"}) {
+        const auto &info = models::findModel(m);
+        ModelConfig mc;
+        mc.seqLen = info.defaultSeqLen > 0 ? info.defaultSeqLen : 8;
+        Graph g = info.build(mc);
+        auto plan = makePyTorchFlow()->plan(g, {true, false});
+
+        CostModelParams serial;
+        CostModelParams overlap;
+        overlap.asyncDispatch = true;
+        double ts = CostModel(platformA(), serial).latencyUs(plan);
+        double to = CostModel(platformA(), overlap).latencyUs(plan);
+        EXPECT_LE(to, ts) << m;
+        EXPECT_GT(to, 0.3 * ts) << m;  // bounded benefit
+    }
+}
+
+TEST(AsyncDispatchTest, SyncPointsLimitOverlap)
+{
+    // A plan with a sync-forcing group in the middle overlaps less
+    // than the same plan without it.
+    ExecutionPlan with_sync, without;
+    for (int i = 0; i < 10; ++i) {
+        KernelGroup g;
+        g.category = OpCategory::ElementWise;
+        g.onGpu = true;
+        g.flops = 1e8;
+        g.bytesIn = g.bytesOut = 1e7;
+        if (i == 5)
+            g.hostSyncs = with_sync.groups.empty() ? 0 : 1;
+        without.groups.push_back(g);
+        if (i == 5)
+            g.hostSyncs = 1;
+        with_sync.groups.push_back(g);
+    }
+    CostModelParams p;
+    p.asyncDispatch = true;
+    CostModel cm(platformA(), p);
+    EXPECT_GE(cm.latencyUs(with_sync), cm.latencyUs(without));
+}
+
+}  // namespace
+}  // namespace ngb
