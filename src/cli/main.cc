@@ -9,7 +9,7 @@
  *   ngb --model swin_b --flow tensorrt --platform A --batch 8
  *   ngb --model llama3 --quantize --seq 2048 --svg out.svg --trace t.json
  */
-#include <cstring>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,14 +19,174 @@
 #include "graph/validate.h"
 #include "deploy/flow.h"
 #include "models/registry.h"
+#include "profiler/nongemm_report.h"
+#include "profiler/runtime_report.h"
 #include "profiler/svg_chart.h"
 #include "profiler/workload_report.h"
 #include "profiler/trace_export.h"
 #include "quant/quantize_pass.h"
+#include "runtime/batch_driver.h"
+#include "runtime/parallel_executor.h"
+#include "runtime/request_util.h"
 
 using namespace ngb;
 
 namespace {
+
+/** Options of the concrete-execution (--runtime) mode. */
+struct RuntimeCli {
+    bool enabled = false;
+    bool parallel = false;   ///< serial reference vs parallel runtime
+    int threads = 0;         ///< 0 = hardware concurrency
+    int64_t scale = 8;       ///< testScale: full paper-scale models are
+                             ///< not host-executable in reasonable time
+    bool verify = false;     ///< cross-check parallel against serial
+};
+
+/** Deterministic per-request inputs (request r perturbs the seed). */
+std::vector<Tensor>
+requestInputs(const Graph &g, size_t r)
+{
+    return makeRequestInputs(g, 1234 + 7919 * static_cast<uint64_t>(r));
+}
+
+/**
+ * Execute one model concretely through the runtime: N independent
+ * requests, serial reference or parallel wavefront/batch backend.
+ * Returns false if --verify found a mismatch. When the parallel
+ * backend ran, @p outProfile / @p outPlan receive its measurements.
+ */
+bool
+runRuntimeModel(const std::string &name, const BenchConfig &cfg,
+                const RuntimeCli &rt, ThreadPool &pool,
+                RuntimeProfile *outProfile, MemoryPlan *outPlan)
+{
+    const auto &info = models::findModel(name);
+    ModelConfig mc;
+    mc.batch = 1;
+    mc.seqLen = cfg.seqLen > 0 ? cfg.seqLen : 8;
+    mc.testScale = rt.scale;
+    mc.decodeStep = cfg.decodeStep;
+    Graph g = info.build(mc);
+    if (cfg.quantize) {
+        QuantizeConfig qc;
+        qc.method = cfg.quantMethod;
+        qc.outlierFraction = cfg.outlierFraction;
+        g = quantizeLlmInt8(g, qc);
+    }
+
+    size_t requests = static_cast<size_t>(cfg.batch);
+    std::vector<std::vector<Tensor>> reqs;
+    for (size_t r = 0; r < requests; ++r)
+        reqs.push_back(requestInputs(g, r));
+
+    std::cout << "== " << name << "  (" << g.size() << " nodes, scale 1/"
+              << rt.scale << ", " << requests << " request"
+              << (requests == 1 ? "" : "s") << ")\n";
+
+    std::vector<std::vector<Tensor>> outs(requests);
+    if (rt.parallel && requests > 1) {
+        // Inter-request parallelism: one planned graph, N requests.
+        BatchDriver driver(g, pool);
+        outs = driver.run(reqs);
+        printMemoryPlan(driver.memoryPlan(), std::cout);
+        printRuntimeReport(driver.profile(), std::cout);
+        printNonGemmReport(buildNonGemmReport(g),
+                           driver.profile().usByCategory, std::cout);
+        if (outProfile)
+            *outProfile = driver.profile();
+        if (outPlan)
+            *outPlan = driver.memoryPlan();
+    } else if (rt.parallel) {
+        // Single request: wavefront (intra-graph) parallelism.
+        ParallelExecutor ex(g, pool);
+        outs[0] = ex.run(reqs[0]);
+        printMemoryPlan(ex.memoryPlan(), std::cout);
+        printRuntimeReport(ex.profile(), std::cout);
+        printNonGemmReport(buildNonGemmReport(g),
+                           ex.profile().usByCategory, std::cout);
+        if (outProfile)
+            *outProfile = ex.profile();
+        if (outPlan)
+            *outPlan = ex.memoryPlan();
+    } else {
+        Executor ex(g);
+        for (size_t r = 0; r < requests; ++r)
+            outs[r] = ex.run(reqs[r]);
+        MemoryPlan plan = planMemory(g, Schedule::wavefront(g));
+        printMemoryPlan(plan, std::cout);
+    }
+
+    if (rt.verify) {
+        Executor ref(g);
+        for (size_t r = 0; r < requests; ++r) {
+            if (!bitIdentical(outs[r], ref.run(reqs[r]))) {
+                std::cout << "  VERIFY FAILED: request " << r
+                          << " differs from serial Executor\n";
+                return false;
+            }
+        }
+        std::cout << "  verify: all " << requests
+                  << " request outputs bit-identical to serial\n";
+    }
+    return true;
+}
+
+int
+runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
+            const std::string &json)
+{
+    ThreadPool pool(rt.parallel ? rt.threads : 1);
+    std::vector<std::string> names;
+    if (cfg.model == "all") {
+        for (const auto &m : models::modelRegistry())
+            names.push_back(m.name);
+    } else {
+        names.push_back(cfg.model);
+    }
+
+    bool ok = true;
+    RuntimeProfile profile;
+    MemoryPlan memplan;
+    bool measured = false;
+    for (const std::string &name : names) {
+        bool want = rt.parallel && cfg.model != "all";
+        ok = runRuntimeModel(name, cfg, rt, pool,
+                             want ? &profile : nullptr,
+                             want ? &memplan : nullptr) &&
+             ok;
+        measured = measured || want;
+    }
+
+    // For a single model also emit the modeled report for the SAME
+    // graph the runtime executed (same scale and sequence length),
+    // with the measured-runtime summary attached.
+    if (cfg.model != "all") {
+        BenchConfig scaled = cfg;
+        scaled.testScale = rt.scale;
+        scaled.batch = 1;
+        scaled.seqLen = cfg.seqLen > 0 ? cfg.seqLen : 8;
+        ProfileReport r = Bench::run(scaled);
+        if (measured) {
+            r.runtime.threads = profile.threads;
+            r.runtime.requests = profile.requests;
+            r.runtime.wallUs = profile.wallUs;
+            r.runtime.sumUs = profile.sumUs;
+            r.runtime.planUs = profile.planUs;
+            r.runtime.levels = profile.schedule.numLevels;
+            r.runtime.maxWidth = profile.schedule.maxWidth;
+            r.runtime.arenaBytes = memplan.arenaBytes;
+            r.runtime.totalTensorBytes = memplan.totalBytes;
+        }
+        printReport(r, std::cout);
+        if (!json.empty()) {
+            std::ofstream f(json);
+            writeJsonReport(r, f);
+            std::cout << "wrote " << json << "\n";
+        }
+    }
+    return ok ? 0 : 1;
+}
 
 void
 usage()
@@ -36,7 +196,8 @@ usage()
         "\n"
         "usage: ngb [options]\n"
         "  --list               list registry models and exit\n"
-        "  --model NAME         model to profile (default vit_b)\n"
+        "  --model NAME         model to profile (default vit_b; 'all'\n"
+        "                       iterates the registry in --runtime mode)\n"
         "  --flow FLOW          pytorch|inductor|ort|tensorrt\n"
         "  --platform A|B       data center (A) or workstation (B)\n"
         "  --batch N            batch size (default 1)\n"
@@ -50,7 +211,17 @@ usage()
         "  --svg FILE           write a stacked-bar SVG\n"
         "  --trace FILE         write a Chrome trace JSON\n"
         "  --dot FILE           write the operator graph as Graphviz\n"
-        "  --workload           print the Section III-C workload report\n";
+        "  --workload           print the Section III-C workload report\n"
+        "\n"
+        "concrete execution (src/runtime):\n"
+        "  --runtime MODE       serial | parallel: actually execute the\n"
+        "                       graph; --batch N becomes N independent\n"
+        "                       requests through one planned graph\n"
+        "  --threads N          worker threads (default: hardware)\n"
+        "  --scale N            shrink models by N for host execution\n"
+        "                       (default 8; 1 = paper scale, slow)\n"
+        "  --verify             cross-check outputs bit-identically\n"
+        "                       against the serial Executor\n";
 }
 
 }  // namespace
@@ -59,6 +230,7 @@ int
 main(int argc, char **argv)
 {
     BenchConfig cfg;
+    RuntimeCli rt;
     std::string ops_csv, cat_csv, svg, trace, json, dot;
     bool workload = false;
 
@@ -98,6 +270,20 @@ main(int argc, char **argv)
             cfg.quantize = true;
         } else if (a == "--decode") {
             cfg.decodeStep = true;
+        } else if (a == "--runtime") {
+            std::string mode = next();
+            if (mode != "serial" && mode != "parallel") {
+                std::cerr << "--runtime expects serial|parallel\n";
+                return 2;
+            }
+            rt.enabled = true;
+            rt.parallel = mode == "parallel";
+        } else if (a == "--threads") {
+            rt.threads = static_cast<int>(std::stol(next()));
+        } else if (a == "--scale") {
+            rt.scale = std::stol(next());
+        } else if (a == "--verify") {
+            rt.verify = true;
         } else if (a == "--json") {
             json = next();
         } else if (a == "--dot") {
@@ -119,7 +305,32 @@ main(int argc, char **argv)
         }
     }
 
+    if (rt.enabled && cfg.batch < 1) {
+        std::cerr << "--batch must be >= 1 in --runtime mode\n";
+        return 2;
+    }
+    if (rt.enabled && rt.scale < 1) {
+        std::cerr << "--scale must be >= 1\n";
+        return 2;
+    }
+    if (rt.threads < 0) {
+        std::cerr << "--threads must be >= 0 (0 = hardware)\n";
+        return 2;
+    }
+    if (rt.enabled) {
+        if (!ops_csv.empty() || !cat_csv.empty() || !svg.empty() ||
+            !trace.empty() || !dot.empty() || workload)
+            std::cerr << "note: --ops-csv/--cat-csv/--svg/--trace/--dot/"
+                         "--workload are ignored in --runtime mode\n";
+        if (!json.empty() && cfg.model == "all")
+            std::cerr << "note: --json is only written for a single "
+                         "model in --runtime mode\n";
+    }
+
     try {
+        if (rt.enabled)
+            return runtimeMain(cfg, rt, json);
+
         ProfileReport r = Bench::run(cfg);
         printReport(r, std::cout);
 

@@ -58,6 +58,7 @@ Bench::run(const BenchConfig &cfg)
     std::vector<GroupTiming> timings = cm.priceAll(plan);
 
     ProfileReport r = aggregateProfile(plan, timings, platform);
+    r.criticalPathUs = cm.criticalPathUs(plan, timings);
     if (cfg.costParams.asyncDispatch) {
         // Wall-clock under host/device overlap; the per-category
         // attribution stays serial (as the paper's profiler reports).

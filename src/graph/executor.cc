@@ -2,40 +2,7 @@
 
 #include <stdexcept>
 
-#include "ops/kernels.h"
-
 namespace ngb {
-
-namespace kn = kernels;
-
-const Tensor &
-ParamStore::get(const Node &n, size_t index)
-{
-    auto key = std::make_pair(n.id, index);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
-
-    const Shape &shape = n.paramShapes[index];
-    Tensor t;
-    bool is_norm = opCategoryOf(n.kind) == OpCategory::Normalization;
-    if (is_norm) {
-        // gamma=1, beta=0, running_mean=0, running_var=1.
-        float v = (index == 0 || index == 3) ? 1.0f : 0.0f;
-        t = Tensor::full(shape, v);
-    } else if (n.paramShapes.size() > 1 && index == n.paramShapes.size() - 1
-               && shape.rank() == 1) {
-        // Bias vectors start at zero.
-        t = Tensor::zeros(shape);
-    } else {
-        uint64_t s = seed_ + static_cast<uint64_t>(n.id) * 1315423911ull +
-                     index * 2654435761ull;
-        t = Tensor::randn(shape, s, 0.05f);
-        if (n.paramDtype != DType::F32)
-            t = t.to(n.paramDtype);
-    }
-    return cache_.emplace(key, std::move(t)).first->second;
-}
 
 std::vector<Tensor>
 Executor::run(const std::vector<Tensor> &inputs)
@@ -54,7 +21,17 @@ Executor::run(const std::vector<Tensor> &inputs)
         results_[{gin[i].node, gin[i].index}] = inputs[i];
     }
 
-    for (const Node &n : g_.nodes()) {
+    auto lookup = [&](const Value &v) -> const Tensor & {
+        auto it = results_.find({v.node, v.index});
+        if (it == results_.end())
+            throw std::runtime_error(
+                "Executor: missing input value from node " +
+                std::to_string(v.node));
+        return it->second;
+    };
+
+    for (int id : sched_.order()) {
+        const Node &n = g_.node(id);
         if (results_.count({n.id, 0}))
             continue;  // graph input
         if (n.inputs.empty()) {
@@ -66,8 +43,9 @@ Executor::run(const std::vector<Tensor> &inputs)
             results_[{n.id, 0}] = params_.get(n, 0);
             continue;
         }
-        Tensor out = execNode(n);
-        results_[{n.id, 0}] = std::move(out);
+        std::vector<Tensor> outs = evalNode(n, lookup, params_);
+        for (size_t i = 0; i < outs.size(); ++i)
+            results_[{n.id, static_cast<int>(i)}] = std::move(outs[i]);
     }
 
     std::vector<Tensor> outs;
@@ -83,232 +61,6 @@ Executor::valueOf(Value v) const
     if (it == results_.end())
         throw std::runtime_error("Executor: value not computed");
     return it->second;
-}
-
-Tensor
-Executor::execNode(const Node &n)
-{
-    auto in = [&](size_t i) -> const Tensor & {
-        const Value &v = n.inputs[i];
-        auto it = results_.find({v.node, v.index});
-        if (it == results_.end())
-            throw std::runtime_error("Executor: missing input for node " +
-                                     std::to_string(n.id) + " (" + n.name +
-                                     ")");
-        return it->second;
-    };
-    auto param = [&](size_t i) -> const Tensor & {
-        return params_.get(n, i);
-    };
-    auto optBias = [&]() -> Tensor {
-        return n.paramShapes.size() > 1 ? param(n.paramShapes.size() - 1)
-                                        : Tensor();
-    };
-
-    switch (n.kind) {
-      case OpKind::Linear:
-        return kn::linear(in(0), param(0), optBias());
-      case OpKind::Int8Linear: {
-        // Dynamic activation quantization, absmax weight scale.
-        float xs = kn::absmaxScale(in(0));
-        Tensor wq = param(0);
-        float ws = 1.0f;
-        if (wq.dtype() != DType::I8) {
-            ws = kn::absmaxScale(wq);
-            wq = kn::quantize(wq, ws);
-        } else {
-            ws = 0.05f / 127.0f * 3.0f;  // matches ParamStore I8 rounding
-        }
-        Tensor xq = kn::quantize(in(0), xs);
-        return kn::int8Linear(xq, wq, optBias(), xs, ws);
-      }
-      case OpKind::Conv2d:
-        return kn::conv2d(in(0), param(0), optBias(),
-                          static_cast<int>(n.attrs.getI("stride")),
-                          static_cast<int>(n.attrs.getI("padding")),
-                          static_cast<int>(n.attrs.getI("groups", 1)));
-      case OpKind::BMM:
-        return kn::bmm(in(0), in(1));
-      case OpKind::MatMul:
-        return kn::matmul(in(0), in(1));
-
-      case OpKind::ReLU:
-        return kn::relu(in(0));
-      case OpKind::GELU:
-        return kn::gelu(in(0));
-      case OpKind::SiLU:
-        return kn::silu(in(0));
-      case OpKind::Sigmoid:
-        return kn::sigmoid(in(0));
-      case OpKind::Tanh:
-        return kn::tanhOp(in(0));
-      case OpKind::Erf:
-        return kn::erfOp(in(0));
-      case OpKind::Exp:
-        return kn::expOp(in(0));
-      case OpKind::Log:
-        return kn::logOp(in(0));
-
-      case OpKind::LayerNorm:
-        return kn::layerNorm(in(0), param(0), param(1),
-                             static_cast<float>(n.attrs.getF("eps", 1e-5)));
-      case OpKind::BatchNorm2d:
-      case OpKind::FrozenBatchNorm2d:
-        return kn::batchNorm2d(in(0), param(0), param(1), param(2),
-                               param(3),
-                               static_cast<float>(n.attrs.getF("eps",
-                                                               1e-5)));
-      case OpKind::RMSNorm:
-        return kn::rmsNorm(in(0), param(0),
-                           static_cast<float>(n.attrs.getF("eps", 1e-6)));
-      case OpKind::GroupNorm:
-        return kn::groupNorm(in(0), param(0), param(1),
-                             static_cast<int>(n.attrs.getI("groups", 1)),
-                             static_cast<float>(n.attrs.getF("eps", 1e-5)));
-
-      case OpKind::Add:
-        if (n.inputs.size() == 1)
-            return kn::addScalar(in(0),
-                                 static_cast<float>(n.attrs.getF("scalar")));
-        return kn::add(in(0), in(1));
-      case OpKind::Sub:
-        return kn::sub(in(0), in(1));
-      case OpKind::Mul:
-        if (n.inputs.size() == 1)
-            return kn::mulScalar(in(0),
-                                 static_cast<float>(n.attrs.getF("scalar")));
-        return kn::mul(in(0), in(1));
-      case OpKind::Div:
-        return kn::div(in(0), in(1));
-      case OpKind::Neg:
-        return kn::neg(in(0));
-      case OpKind::Sqrt:
-        return kn::sqrtOp(in(0));
-      case OpKind::Pow:
-        return kn::powScalar(
-            in(0), static_cast<float>(n.attrs.getF("exponent", 2.0)));
-      case OpKind::Where:
-        return kn::where(in(0), in(1), in(2));
-
-      case OpKind::Softmax:
-        return kn::softmax(in(0), static_cast<int>(n.attrs.getI("dim")));
-      case OpKind::LogSoftmax:
-        return kn::logSoftmax(in(0), static_cast<int>(n.attrs.getI("dim")));
-
-      case OpKind::Reshape:
-        return in(0).reshape(n.outShapes[0]);
-      case OpKind::View:
-        return in(0).contiguous().view(n.outShapes[0]);
-      case OpKind::Permute: {
-        const auto &ord = n.attrs.getInts("order");
-        std::vector<int> o(ord.begin(), ord.end());
-        return in(0).permute(o);
-      }
-      case OpKind::Transpose:
-        return in(0).transpose(static_cast<int>(n.attrs.getI("d0")),
-                               static_cast<int>(n.attrs.getI("d1")));
-      case OpKind::Contiguous:
-        return in(0).contiguous();
-      case OpKind::Slice:
-        return in(0).slice(static_cast<int>(n.attrs.getI("dim")),
-                           n.attrs.getI("start"),
-                           n.outShapes[0][static_cast<size_t>(
-                               n.attrs.getI("dim"))]);
-      case OpKind::Expand:
-        return in(0).expand(n.outShapes[0]);
-      case OpKind::Squeeze:
-        return in(0).squeeze(static_cast<int>(n.attrs.getI("dim")));
-      case OpKind::Unsqueeze:
-        return in(0).unsqueeze(static_cast<int>(n.attrs.getI("dim")));
-      case OpKind::Roll:
-        return kn::roll(in(0), n.attrs.getI("shift"),
-                        static_cast<int>(n.attrs.getI("dim")));
-      case OpKind::Pad:
-        return kn::pad(in(0), static_cast<int>(n.attrs.getI("dim")),
-                       n.attrs.getI("before"), n.attrs.getI("after"));
-      case OpKind::Concat: {
-        std::vector<Tensor> xs;
-        for (size_t i = 0; i < n.inputs.size(); ++i)
-            xs.push_back(in(i));
-        return kn::concat(xs, static_cast<int>(n.attrs.getI("dim")));
-      }
-
-      case OpKind::NMS: {
-        Tensor kept = kn::nms(
-            in(0), in(1),
-            static_cast<float>(n.attrs.getF("iou_threshold", 0.5)),
-            static_cast<float>(n.attrs.getF("score_threshold", 0.0)));
-        // Pad / trim to the static expected_keep size.
-        int64_t want = n.outShapes[0][0];
-        Tensor out(Shape{want}, DType::I32);
-        int32_t *po = out.dataI32();
-        const int32_t *pk = kept.dataI32();
-        for (int64_t i = 0; i < want; ++i)
-            po[i] = i < kept.numel() ? pk[i] : 0;
-        return out;
-      }
-      case OpKind::RoIAlign:
-        return kn::roiAlign(in(0), in(1),
-                            static_cast<int>(n.attrs.getI("out_h")),
-                            static_cast<int>(n.attrs.getI("out_w")));
-      case OpKind::Interpolate:
-        return kn::interpolateBilinear(
-            in(0), static_cast<int>(n.attrs.getI("out_h")),
-            static_cast<int>(n.attrs.getI("out_w")));
-
-      case OpKind::MaxPool2d:
-        return kn::maxPool2d(in(0),
-                             static_cast<int>(n.attrs.getI("kernel")),
-                             static_cast<int>(n.attrs.getI("stride")),
-                             static_cast<int>(n.attrs.getI("padding")));
-      case OpKind::AvgPool2d:
-        return kn::avgPool2d(in(0),
-                             static_cast<int>(n.attrs.getI("kernel")),
-                             static_cast<int>(n.attrs.getI("stride")),
-                             static_cast<int>(n.attrs.getI("padding")));
-      case OpKind::AdaptiveAvgPool2d:
-        return kn::adaptiveAvgPool2d(
-            in(0), static_cast<int>(n.attrs.getI("out_h")),
-            static_cast<int>(n.attrs.getI("out_w")));
-
-      case OpKind::Embedding:
-        return kn::embedding(in(0), param(0));
-      case OpKind::Gather:
-        return kn::gather(in(0), static_cast<int>(n.attrs.getI("dim")),
-                          in(1));
-      case OpKind::CumSum:
-        return kn::cumsum(in(0), static_cast<int>(n.attrs.getI("dim")));
-
-      case OpKind::Quantize:
-        return kn::quantize(in(0), kn::absmaxScale(in(0)));
-      case OpKind::Dequantize: {
-        // Symmetric round-trip: reuse the producing scale when known.
-        return kn::dequantize(in(0), 1.0f);
-      }
-
-      case OpKind::Split:
-      case OpKind::TopK:
-      case OpKind::Fused:
-        break;  // handled below / unsupported
-    }
-
-    if (n.kind == OpKind::Split) {
-        // Multi-output handled by caller via results_; store extras here.
-        auto parts = kn::split(in(0), n.attrs.getI("size", 1),
-                               static_cast<int>(n.attrs.getI("dim")));
-        for (size_t i = 1; i < parts.size(); ++i)
-            results_[{n.id, static_cast<int>(i)}] =
-                parts[i].contiguous();
-        return parts[0].contiguous();
-    }
-    if (n.kind == OpKind::TopK) {
-        auto [vals, idx] = kn::topk(in(0),
-                                    static_cast<int>(n.attrs.getI("k")));
-        results_[{n.id, 1}] = idx;
-        return vals;
-    }
-    throw std::runtime_error("Executor: unsupported op " +
-                             opKindName(n.kind));
 }
 
 }  // namespace ngb

@@ -5,44 +5,38 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/node_eval.h"
+#include "graph/schedule.h"
 #include "tensor/tensor.h"
 
 namespace ngb {
 
 /**
- * Deterministic synthetic parameters for a graph's operators.
- *
- * Weight values never affect the paper's metric (latency share), but
- * concrete execution needs sane parameters: normalization scales are
- * ones, shifts/means are zeros, variances are ones, and projection
- * weights are seeded Gaussians so results are reproducible.
- */
-class ParamStore
-{
-  public:
-    explicit ParamStore(uint64_t seed = 0x5eed) : seed_(seed) {}
-
-    /** Materialize (and cache) parameter @p index of node @p n. */
-    const Tensor &get(const Node &n, size_t index);
-
-  private:
-    uint64_t seed_;
-    std::map<std::pair<int, size_t>, Tensor> cache_;
-};
-
-/**
  * Concrete reference execution of a graph on the host CPU.
  *
- * Executes nodes in topological order using the kernels in src/ops.
- * This is the functional half of the framework: tests use it to verify
+ * Executes nodes in the order of a pluggable Schedule (serial
+ * topological order by default) using the kernels in src/ops. This is
+ * the functional half of the framework: tests use it to verify
  * operator and graph semantics (e.g. that quantization rewrites
  * preserve accuracy bounds), while timing comes from the platform
- * cost model instead of wall-clock.
+ * cost model instead of wall-clock. The parallel runtime in
+ * src/runtime dispatches the same node evaluation from the same
+ * schedules onto a thread pool, with this class as its bit-identical
+ * reference backend.
  */
 class Executor
 {
   public:
-    explicit Executor(const Graph &g) : g_(g), params_(0x5eed) {}
+    explicit Executor(const Graph &g)
+        : g_(g), sched_(Schedule::serial(g)), params_(0x5eed)
+    {
+    }
+
+    /** Execute in the order of a caller-provided schedule. */
+    Executor(const Graph &g, Schedule sched)
+        : g_(g), sched_(std::move(sched)), params_(0x5eed)
+    {
+    }
 
     /**
      * Run the graph on @p inputs (one tensor per graph input, in
@@ -54,11 +48,11 @@ class Executor
     const Tensor &valueOf(Value v) const;
 
     ParamStore &params() { return params_; }
+    const Schedule &schedule() const { return sched_; }
 
   private:
-    Tensor execNode(const Node &n);
-
     const Graph &g_;
+    Schedule sched_;
     ParamStore params_;
     std::map<std::pair<int, int>, Tensor> results_;
 };

@@ -1,0 +1,280 @@
+#include "graph/node_eval.h"
+
+#include <stdexcept>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+
+namespace kn = kernels;
+
+const Tensor &
+ParamStore::get(const Node &n, size_t index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto key = std::make_pair(n.id, index);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    const Shape &shape = n.paramShapes[index];
+    Tensor t;
+    bool is_norm = opCategoryOf(n.kind) == OpCategory::Normalization;
+    if (is_norm) {
+        // gamma=1, beta=0, running_mean=0, running_var=1.
+        float v = (index == 0 || index == 3) ? 1.0f : 0.0f;
+        t = Tensor::full(shape, v);
+    } else if (n.paramShapes.size() > 1 && index == n.paramShapes.size() - 1
+               && shape.rank() == 1) {
+        // Bias vectors start at zero.
+        t = Tensor::zeros(shape);
+    } else {
+        uint64_t s = seed_ + static_cast<uint64_t>(n.id) * 1315423911ull +
+                     index * 2654435761ull;
+        t = Tensor::randn(shape, s, 0.05f);
+        if (n.paramDtype != DType::F32)
+            t = t.to(n.paramDtype);
+    }
+    return cache_.emplace(key, std::move(t)).first->second;
+}
+
+void
+ParamStore::materialize(const Graph &g)
+{
+    for (const Node &n : g.nodes())
+        for (size_t i = 0; i < n.paramShapes.size(); ++i)
+            get(n, i);
+}
+
+std::vector<Tensor>
+evalNode(const Node &n,
+         const std::function<const Tensor &(const Value &)> &input,
+         ParamStore &params)
+{
+    auto in = [&](size_t i) -> const Tensor & { return input(n.inputs[i]); };
+    auto param = [&](size_t i) -> const Tensor & {
+        return params.get(n, i);
+    };
+    auto optBias = [&]() -> Tensor {
+        return n.paramShapes.size() > 1 ? param(n.paramShapes.size() - 1)
+                                        : Tensor();
+    };
+    auto one = [](Tensor t) {
+        std::vector<Tensor> out;
+        out.push_back(std::move(t));
+        return out;
+    };
+
+    switch (n.kind) {
+      case OpKind::Linear:
+        return one(kn::linear(in(0), param(0), optBias()));
+      case OpKind::Int8Linear: {
+        // Dynamic activation quantization, absmax weight scale.
+        float xs = kn::absmaxScale(in(0));
+        Tensor wq = param(0);
+        float ws = 1.0f;
+        if (wq.dtype() != DType::I8) {
+            ws = kn::absmaxScale(wq);
+            wq = kn::quantize(wq, ws);
+        } else {
+            ws = 0.05f / 127.0f * 3.0f;  // matches ParamStore I8 rounding
+        }
+        Tensor xq = kn::quantize(in(0), xs);
+        return one(kn::int8Linear(xq, wq, optBias(), xs, ws));
+      }
+      case OpKind::Conv2d:
+        return one(kn::conv2d(in(0), param(0), optBias(),
+                              static_cast<int>(n.attrs.getI("stride")),
+                              static_cast<int>(n.attrs.getI("padding")),
+                              static_cast<int>(n.attrs.getI("groups", 1))));
+      case OpKind::BMM:
+        return one(kn::bmm(in(0), in(1)));
+      case OpKind::MatMul:
+        return one(kn::matmul(in(0), in(1)));
+
+      case OpKind::ReLU:
+        return one(kn::relu(in(0)));
+      case OpKind::GELU:
+        return one(kn::gelu(in(0)));
+      case OpKind::SiLU:
+        return one(kn::silu(in(0)));
+      case OpKind::Sigmoid:
+        return one(kn::sigmoid(in(0)));
+      case OpKind::Tanh:
+        return one(kn::tanhOp(in(0)));
+      case OpKind::Erf:
+        return one(kn::erfOp(in(0)));
+      case OpKind::Exp:
+        return one(kn::expOp(in(0)));
+      case OpKind::Log:
+        return one(kn::logOp(in(0)));
+
+      case OpKind::LayerNorm:
+        return one(kn::layerNorm(
+            in(0), param(0), param(1),
+            static_cast<float>(n.attrs.getF("eps", 1e-5))));
+      case OpKind::BatchNorm2d:
+      case OpKind::FrozenBatchNorm2d:
+        return one(kn::batchNorm2d(
+            in(0), param(0), param(1), param(2), param(3),
+            static_cast<float>(n.attrs.getF("eps", 1e-5))));
+      case OpKind::RMSNorm:
+        return one(kn::rmsNorm(
+            in(0), param(0),
+            static_cast<float>(n.attrs.getF("eps", 1e-6))));
+      case OpKind::GroupNorm:
+        return one(kn::groupNorm(
+            in(0), param(0), param(1),
+            static_cast<int>(n.attrs.getI("groups", 1)),
+            static_cast<float>(n.attrs.getF("eps", 1e-5))));
+
+      case OpKind::Add:
+        if (n.inputs.size() == 1)
+            return one(kn::addScalar(
+                in(0), static_cast<float>(n.attrs.getF("scalar"))));
+        return one(kn::add(in(0), in(1)));
+      case OpKind::Sub:
+        return one(kn::sub(in(0), in(1)));
+      case OpKind::Mul:
+        if (n.inputs.size() == 1)
+            return one(kn::mulScalar(
+                in(0), static_cast<float>(n.attrs.getF("scalar"))));
+        return one(kn::mul(in(0), in(1)));
+      case OpKind::Div:
+        return one(kn::div(in(0), in(1)));
+      case OpKind::Neg:
+        return one(kn::neg(in(0)));
+      case OpKind::Sqrt:
+        return one(kn::sqrtOp(in(0)));
+      case OpKind::Pow:
+        return one(kn::powScalar(
+            in(0), static_cast<float>(n.attrs.getF("exponent", 2.0))));
+      case OpKind::Where:
+        return one(kn::where(in(0), in(1), in(2)));
+
+      case OpKind::Softmax:
+        return one(kn::softmax(in(0),
+                               static_cast<int>(n.attrs.getI("dim"))));
+      case OpKind::LogSoftmax:
+        return one(kn::logSoftmax(in(0),
+                                  static_cast<int>(n.attrs.getI("dim"))));
+
+      case OpKind::Reshape:
+        return one(in(0).reshape(n.outShapes[0]));
+      case OpKind::View:
+        return one(in(0).contiguous().view(n.outShapes[0]));
+      case OpKind::Permute: {
+        const auto &ord = n.attrs.getInts("order");
+        std::vector<int> o(ord.begin(), ord.end());
+        return one(in(0).permute(o));
+      }
+      case OpKind::Transpose:
+        return one(in(0).transpose(static_cast<int>(n.attrs.getI("d0")),
+                                   static_cast<int>(n.attrs.getI("d1"))));
+      case OpKind::Contiguous:
+        return one(in(0).contiguous());
+      case OpKind::Slice:
+        return one(in(0).slice(static_cast<int>(n.attrs.getI("dim")),
+                               n.attrs.getI("start"),
+                               n.outShapes[0][static_cast<size_t>(
+                                   n.attrs.getI("dim"))]));
+      case OpKind::Expand:
+        return one(in(0).expand(n.outShapes[0]));
+      case OpKind::Squeeze:
+        return one(in(0).squeeze(static_cast<int>(n.attrs.getI("dim"))));
+      case OpKind::Unsqueeze:
+        return one(in(0).unsqueeze(static_cast<int>(n.attrs.getI("dim"))));
+      case OpKind::Roll:
+        return one(kn::roll(in(0), n.attrs.getI("shift"),
+                            static_cast<int>(n.attrs.getI("dim"))));
+      case OpKind::Pad:
+        return one(kn::pad(in(0), static_cast<int>(n.attrs.getI("dim")),
+                           n.attrs.getI("before"), n.attrs.getI("after")));
+      case OpKind::Concat: {
+        std::vector<Tensor> xs;
+        for (size_t i = 0; i < n.inputs.size(); ++i)
+            xs.push_back(in(i));
+        return one(kn::concat(xs, static_cast<int>(n.attrs.getI("dim"))));
+      }
+
+      case OpKind::NMS: {
+        Tensor kept = kn::nms(
+            in(0), in(1),
+            static_cast<float>(n.attrs.getF("iou_threshold", 0.5)),
+            static_cast<float>(n.attrs.getF("score_threshold", 0.0)));
+        // Pad / trim to the static expected_keep size.
+        int64_t want = n.outShapes[0][0];
+        Tensor out(Shape{want}, DType::I32);
+        int32_t *po = out.dataI32();
+        const int32_t *pk = kept.dataI32();
+        for (int64_t i = 0; i < want; ++i)
+            po[i] = i < kept.numel() ? pk[i] : 0;
+        return one(std::move(out));
+      }
+      case OpKind::RoIAlign:
+        return one(kn::roiAlign(in(0), in(1),
+                                static_cast<int>(n.attrs.getI("out_h")),
+                                static_cast<int>(n.attrs.getI("out_w"))));
+      case OpKind::Interpolate:
+        return one(kn::interpolateBilinear(
+            in(0), static_cast<int>(n.attrs.getI("out_h")),
+            static_cast<int>(n.attrs.getI("out_w"))));
+
+      case OpKind::MaxPool2d:
+        return one(kn::maxPool2d(
+            in(0), static_cast<int>(n.attrs.getI("kernel")),
+            static_cast<int>(n.attrs.getI("stride")),
+            static_cast<int>(n.attrs.getI("padding"))));
+      case OpKind::AvgPool2d:
+        return one(kn::avgPool2d(
+            in(0), static_cast<int>(n.attrs.getI("kernel")),
+            static_cast<int>(n.attrs.getI("stride")),
+            static_cast<int>(n.attrs.getI("padding"))));
+      case OpKind::AdaptiveAvgPool2d:
+        return one(kn::adaptiveAvgPool2d(
+            in(0), static_cast<int>(n.attrs.getI("out_h")),
+            static_cast<int>(n.attrs.getI("out_w"))));
+
+      case OpKind::Embedding:
+        return one(kn::embedding(in(0), param(0)));
+      case OpKind::Gather:
+        return one(kn::gather(in(0),
+                              static_cast<int>(n.attrs.getI("dim")),
+                              in(1)));
+      case OpKind::CumSum:
+        return one(kn::cumsum(in(0),
+                              static_cast<int>(n.attrs.getI("dim"))));
+
+      case OpKind::Quantize:
+        return one(kn::quantize(in(0), kn::absmaxScale(in(0))));
+      case OpKind::Dequantize:
+        // Symmetric round-trip: reuse the producing scale when known.
+        return one(kn::dequantize(in(0), 1.0f));
+
+      case OpKind::Split:
+      case OpKind::TopK:
+      case OpKind::Fused:
+        break;  // handled below / unsupported
+    }
+
+    if (n.kind == OpKind::Split) {
+        auto parts = kn::split(in(0), n.attrs.getI("size", 1),
+                               static_cast<int>(n.attrs.getI("dim")));
+        std::vector<Tensor> out;
+        for (Tensor &p : parts)
+            out.push_back(p.contiguous());
+        return out;
+    }
+    if (n.kind == OpKind::TopK) {
+        auto [vals, idx] = kn::topk(in(0),
+                                    static_cast<int>(n.attrs.getI("k")));
+        std::vector<Tensor> out;
+        out.push_back(std::move(vals));
+        out.push_back(std::move(idx));
+        return out;
+    }
+    throw std::runtime_error("evalNode: unsupported op " +
+                             opKindName(n.kind));
+}
+
+}  // namespace ngb

@@ -1,0 +1,63 @@
+#include "graph/schedule.h"
+
+#include <algorithm>
+
+namespace ngb {
+
+Schedule
+Schedule::serial(const Graph &g)
+{
+    Schedule s;
+    s.kind_ = Kind::Serial;
+    s.levelOf_.resize(g.size(), 0);
+    s.levels_.reserve(g.size());
+    for (const Node &n : g.nodes()) {
+        s.levelOf_[static_cast<size_t>(n.id)] =
+            static_cast<int>(s.levels_.size());
+        s.levels_.push_back({n.id});
+        s.order_.push_back(n.id);
+    }
+    return s;
+}
+
+Schedule
+Schedule::wavefront(const Graph &g)
+{
+    Schedule s;
+    s.kind_ = Kind::Wavefront;
+    s.levelOf_.resize(g.size(), 0);
+    // Nodes are stored topologically (inputs have smaller ids), so a
+    // single forward pass computes ASAP levels.
+    int max_level = -1;
+    for (const Node &n : g.nodes()) {
+        int lvl = 0;
+        for (const Value &v : n.inputs)
+            lvl = std::max(lvl, s.levelOf_[static_cast<size_t>(v.node)] + 1);
+        s.levelOf_[static_cast<size_t>(n.id)] = lvl;
+        max_level = std::max(max_level, lvl);
+    }
+    s.levels_.resize(static_cast<size_t>(max_level + 1));
+    for (const Node &n : g.nodes())
+        s.levels_[static_cast<size_t>(
+            s.levelOf_[static_cast<size_t>(n.id)])].push_back(n.id);
+    for (const auto &lvl : s.levels_)
+        for (int id : lvl)
+            s.order_.push_back(id);
+    return s;
+}
+
+ScheduleStats
+Schedule::stats() const
+{
+    ScheduleStats st;
+    st.numLevels = levels_.size();
+    for (const auto &lvl : levels_)
+        st.maxWidth = std::max(st.maxWidth, lvl.size());
+    st.avgWidth = levels_.empty()
+                      ? 0
+                      : static_cast<double>(order_.size()) /
+                            static_cast<double>(levels_.size());
+    return st;
+}
+
+}  // namespace ngb

@@ -1,0 +1,68 @@
+#ifndef NGB_GRAPH_SCHEDULE_H
+#define NGB_GRAPH_SCHEDULE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ngb {
+
+/** Shape of a schedule, for reports and the batch driver. */
+struct ScheduleStats {
+    size_t numLevels = 0;
+    size_t maxWidth = 0;     ///< widest dependency level
+    double avgWidth = 0;     ///< nodes / levels
+};
+
+/**
+ * An execution order for a graph, partitioned into dependency levels.
+ *
+ * A level (wavefront) is a set of nodes whose inputs were all produced
+ * by earlier levels, so every node within one level can run
+ * concurrently. Two canonical schedules exist:
+ *
+ *  - serial():    one node per level in construction (topological)
+ *                 order — the reference backend, equivalent to the
+ *                 original single-threaded Executor loop.
+ *  - wavefront(): ASAP levels (level = 1 + max over producer levels),
+ *                 the schedule the parallel runtime dispatches from.
+ *
+ * The schedule is a pure function of graph structure; both the serial
+ * Executor and the parallel runtime consume it, so swapping backends
+ * can never change which nodes run, only when.
+ */
+class Schedule
+{
+  public:
+    enum class Kind { Serial, Wavefront };
+
+    /** One node per level, in topological order. */
+    static Schedule serial(const Graph &g);
+
+    /** ASAP dependency levels. */
+    static Schedule wavefront(const Graph &g);
+
+    Kind kind() const { return kind_; }
+    const std::vector<std::vector<int>> &levels() const { return levels_; }
+
+    /** All node ids, flattened in level order. */
+    const std::vector<int> &order() const { return order_; }
+
+    /** Level index of node @p id. */
+    int levelOf(int id) const { return levelOf_[static_cast<size_t>(id)]; }
+
+    size_t numLevels() const { return levels_.size(); }
+
+    ScheduleStats stats() const;
+
+  private:
+    Kind kind_ = Kind::Serial;
+    std::vector<std::vector<int>> levels_;
+    std::vector<int> order_;
+    std::vector<int> levelOf_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_GRAPH_SCHEDULE_H

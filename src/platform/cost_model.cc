@@ -108,6 +108,66 @@ CostModel::latencyUs(const ExecutionPlan &plan) const
     return std::max(host_t, dev_t);
 }
 
+double
+CostModel::criticalPathUs(const ExecutionPlan &plan) const
+{
+    return criticalPathUs(plan, priceAll(plan));
+}
+
+double
+CostModel::criticalPathUs(const ExecutionPlan &plan,
+                          const std::vector<GroupTiming> &timings) const
+{
+    if (!plan.graph) {
+        double total = 0;
+        for (const GroupTiming &t : timings)
+            total += t.totalUs();
+        return total;
+    }
+    const Graph &g = *plan.graph;
+
+    // Map every graph node to the kernel group that computes it.
+    std::vector<int> group_of(g.size(), -1);
+    for (size_t gi = 0; gi < plan.groups.size(); ++gi)
+        for (int id : plan.groups[gi].nodeIds)
+            group_of[static_cast<size_t>(id)] = static_cast<int>(gi);
+
+    // Group emission order is NOT topological: fusion places a chain
+    // group at its head node's position, so a producer group can be
+    // emitted after its consumer. Nodes ARE topological (inputs have
+    // smaller ids), so sweep nodes, folding each one's cross-group
+    // inputs into its group's start time; repeat until the finish
+    // times stop moving (the node order is near-topological over
+    // groups, so this converges in one or two passes).
+    std::vector<double> finish(plan.groups.size(), 0);
+    std::vector<double> start(plan.groups.size(), 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Node &n : g.nodes()) {
+            int gi = group_of[static_cast<size_t>(n.id)];
+            if (gi < 0)
+                continue;
+            auto ugi = static_cast<size_t>(gi);
+            for (const Value &v : n.inputs) {
+                int pg = group_of[static_cast<size_t>(v.node)];
+                if (pg >= 0 && pg != gi)
+                    start[ugi] = std::max(
+                        start[ugi], finish[static_cast<size_t>(pg)]);
+            }
+            double f = start[ugi] + timings[ugi].totalUs();
+            if (f > finish[ugi]) {
+                finish[ugi] = f;
+                changed = true;
+            }
+        }
+    }
+    double path = 0;
+    for (double f : finish)
+        path = std::max(path, f);
+    return path;
+}
+
 EnergyBreakdown
 energyOf(const ExecutionPlan &plan, const std::vector<GroupTiming> &timings,
          const PlatformSpec &platform)

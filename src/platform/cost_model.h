@@ -102,6 +102,19 @@ class CostModel
      *  device timelines overlap between synchronization points. */
     double latencyUs(const ExecutionPlan &plan) const;
 
+    /**
+     * Latency of the plan's dependency-critical path, us: the longest
+     * chain of kernel groups linked by producer/consumer edges, each
+     * weighted with its priced time. This is the floor an infinitely
+     * wide parallel runtime could reach (the wavefront scheduler's
+     * Amdahl bound); the serial sum latencyUs() is its ceiling.
+     */
+    double criticalPathUs(const ExecutionPlan &plan) const;
+
+    /** As above, reusing timings already computed by priceAll(). */
+    double criticalPathUs(const ExecutionPlan &plan,
+                          const std::vector<GroupTiming> &timings) const;
+
     const PlatformSpec &platform() const { return platform_; }
     const CostModelParams &params() const { return params_; }
     CostModelParams &params() { return params_; }

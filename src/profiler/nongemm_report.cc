@@ -1,5 +1,6 @@
 #include "profiler/nongemm_report.h"
 
+#include <cstdio>
 #include <set>
 
 namespace ngb {
@@ -54,11 +55,33 @@ buildDomainTrace(const std::vector<std::pair<std::string, Graph>> &graphs)
 void
 printNonGemmReport(const NonGemmReport &r, std::ostream &os)
 {
+    printNonGemmReport(r, {}, os);
+}
+
+void
+printNonGemmReport(const NonGemmReport &r,
+                   const std::map<OpCategory, double> &measuredUs,
+                   std::ostream &os)
+{
+    double non_gemm_us = 0;
+    for (const auto &[cat, us] : measuredUs)
+        if (cat != OpCategory::Gemm)
+            non_gemm_us += us;
+
     os << "Non-GEMM report: " << r.model << "\n";
     for (const CategoryVariants &v : r.categories) {
         os << "  " << opCategoryName(v.category) << ": "
            << v.variantCount() << " variant(s), " << v.instanceCount()
-           << " instance(s)\n";
+           << " instance(s)";
+        auto it = measuredUs.find(v.category);
+        if (it != measuredUs.end() && non_gemm_us > 0) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          ", measured %.1f us (%.1f%% of non-GEMM)",
+                          it->second, 100.0 * it->second / non_gemm_us);
+            os << buf;
+        }
+        os << "\n";
         for (const auto &[kind, count] : v.variants)
             os << "    " << opKindName(kind) << " x" << count << "\n";
     }

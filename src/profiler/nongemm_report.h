@@ -62,6 +62,17 @@ DomainTrace
 buildDomainTrace(const std::vector<std::pair<std::string, Graph>> &graphs);
 
 void printNonGemmReport(const NonGemmReport &r, std::ostream &os);
+
+/**
+ * Variant of printNonGemmReport annotated with *measured* kernel time
+ * per category (e.g. RuntimeProfile::usByCategory from the parallel
+ * runtime), closing the loop between the static operator inventory
+ * and where wall-clock actually went.
+ */
+void printNonGemmReport(const NonGemmReport &r,
+                        const std::map<OpCategory, double> &measuredUs,
+                        std::ostream &os);
+
 void printDomainTrace(const DomainTrace &t, std::ostream &os);
 
 }  // namespace ngb

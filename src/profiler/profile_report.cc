@@ -117,6 +117,27 @@ printReport(const ProfileReport &r, std::ostream &os)
     }
     os << "  GPU energy: " << std::setprecision(3) << r.energy.gpuJoules
        << " J, CPU energy: " << r.energy.cpuJoules << " J\n";
+    if (r.criticalPathUs > 0) {
+        os << "  critical path: " << std::setprecision(2)
+           << r.criticalPathUs * 1e-3 << " ms";
+        // With asyncDispatch, totalUs is already an overlapped wall
+        // clock and the serial-attribution bound is meaningless.
+        if (r.totalUs >= r.criticalPathUs)
+            os << "  (parallel speedup bound " << std::setprecision(2)
+               << r.totalUs / r.criticalPathUs << "x)";
+        os << "\n";
+    }
+    if (r.runtime.threads > 0) {
+        const auto &rt = r.runtime;
+        os << "  runtime (measured): threads=" << rt.threads
+           << " requests=" << rt.requests << "  wall "
+           << std::setprecision(2) << rt.wallUs * 1e-3 << " ms, kernels "
+           << rt.sumUs * 1e-3 << " ms, concurrency "
+           << (rt.wallUs > 0 ? rt.sumUs / rt.wallUs : 1.0) << "x\n";
+        os << "    levels=" << rt.levels << " max_width=" << rt.maxWidth
+           << "  arena " << rt.arenaBytes / 1024 << " KiB vs no-reuse "
+           << rt.totalTensorBytes / 1024 << " KiB\n";
+    }
 }
 
 void
@@ -141,6 +162,19 @@ writeJsonReport(const ProfileReport &r, std::ostream &os)
     os << "  \"total_us\": " << r.totalUs << ",\n";
     os << "  \"gemm_us\": " << r.gemmUs << ",\n";
     os << "  \"non_gemm_us\": " << r.nonGemmUs << ",\n";
+    os << "  \"critical_path_us\": " << r.criticalPathUs << ",\n";
+    if (r.runtime.threads > 0) {
+        os << "  \"runtime\": {\"threads\": " << r.runtime.threads
+           << ", \"requests\": " << r.runtime.requests
+           << ", \"wall_us\": " << r.runtime.wallUs
+           << ", \"kernel_us\": " << r.runtime.sumUs
+           << ", \"plan_us\": " << r.runtime.planUs
+           << ", \"levels\": " << r.runtime.levels
+           << ", \"max_width\": " << r.runtime.maxWidth
+           << ", \"arena_bytes\": " << r.runtime.arenaBytes
+           << ", \"total_tensor_bytes\": " << r.runtime.totalTensorBytes
+           << "},\n";
+    }
     os << "  \"energy_gpu_j\": " << r.energy.gpuJoules << ",\n";
     os << "  \"energy_cpu_j\": " << r.energy.cpuJoules << ",\n";
     os << "  \"fusion\": {\"total_non_gemm\": "

@@ -44,6 +44,31 @@ struct ProfileReport {
     std::map<OpCategory, double> usByCategory;
     std::map<OpCategory, int64_t> opsByCategory;
 
+    /**
+     * Cost-model latency of the dependency-critical path through the
+     * plan (CostModel::criticalPathUs) — the floor a wavefront
+     * scheduler of unbounded width could reach. 0 until priced.
+     */
+    double criticalPathUs = 0;
+
+    /**
+     * Summary of a *measured* execution through src/runtime, filled
+     * by callers that actually ran the graph (threads == 0 means the
+     * point was only modeled, not executed).
+     */
+    struct MeasuredRuntime {
+        int threads = 0;
+        int requests = 0;
+        double wallUs = 0;           ///< fork-join wall clock
+        double sumUs = 0;            ///< total kernel time
+        double planUs = 0;           ///< schedule+arena+params, amortized
+        size_t levels = 0;           ///< wavefront level count
+        size_t maxWidth = 0;         ///< widest level
+        int64_t arenaBytes = 0;      ///< planned peak activation arena
+        int64_t totalTensorBytes = 0;  ///< no-reuse activation footprint
+    };
+    MeasuredRuntime runtime;
+
     EnergyBreakdown energy;
     GraphStats graphStats;
     FusionStats fusionStats;

@@ -1,0 +1,79 @@
+#include "profiler/runtime_report.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace ngb {
+
+void
+printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
+{
+    os << "runtime: threads=" << p.threads << " requests=" << p.requests
+       << "  levels=" << p.schedule.numLevels
+       << " max_width=" << p.schedule.maxWidth << " avg_width="
+       << std::fixed << std::setprecision(1) << p.schedule.avgWidth
+       << "\n";
+    os << "  wall " << std::setprecision(2) << p.wallUs * 1e-3
+       << " ms  |  kernel time " << p.sumUs * 1e-3 << " ms  |  concurrency "
+       << p.concurrency() << "x  |  utilization " << std::setprecision(1)
+       << 100.0 * p.utilization() << "%  |  plan " << std::setprecision(2)
+       << p.planUs * 1e-3 << " ms (amortized)\n";
+
+    if (!p.threadBusyUs.empty()) {
+        double busiest = *std::max_element(p.threadBusyUs.begin(),
+                                           p.threadBusyUs.end());
+        os << "  per-thread busy (steals=" << p.steals << "):\n";
+        for (size_t t = 0; t < p.threadBusyUs.size(); ++t) {
+            int bar = busiest > 0 ? static_cast<int>(
+                                        32.0 * p.threadBusyUs[t] / busiest)
+                                  : 0;
+            os << "    t" << t << " " << std::setw(9)
+               << std::setprecision(1) << p.threadBusyUs[t] << " us  |"
+               << std::string(static_cast<size_t>(bar), '#') << "\n";
+        }
+    }
+
+    if (!p.levels.empty()) {
+        // The handful of levels that dominate wall time.
+        std::vector<LevelTiming> by_wall = p.levels;
+        std::sort(by_wall.begin(), by_wall.end(),
+                  [](const LevelTiming &a, const LevelTiming &b) {
+                      return a.wallUs > b.wallUs;
+                  });
+        size_t show = std::min<size_t>(by_wall.size(), 5);
+        os << "  hottest levels:\n";
+        for (size_t i = 0; i < show; ++i)
+            os << "    level " << std::setw(4) << by_wall[i].level
+               << "  nodes=" << std::setw(4) << by_wall[i].nodes
+               << "  wall " << std::setprecision(1) << by_wall[i].wallUs
+               << " us\n";
+    }
+
+    os << "  measured split: GEMM " << std::setprecision(1)
+       << (p.sumUs > 0 ? 100.0 * p.gemmUs() / p.sumUs : 0)
+       << "%  non-GEMM " << p.nonGemmPct() << "%\n";
+    for (const auto &[cat, us] : p.usByCategory)
+        os << "    " << std::left << std::setw(14) << opCategoryName(cat)
+           << std::right << std::setw(10) << std::setprecision(1) << us
+           << " us  (" << std::setw(5)
+           << (p.sumUs > 0 ? 100.0 * us / p.sumUs : 0) << "%)\n";
+}
+
+void
+printMemoryPlan(const MemoryPlan &plan, std::ostream &os)
+{
+    os << "memory plan: " << plan.placements.size() << " tensors, arena "
+       << plan.arenaBytes / 1024 << " KiB, no-reuse "
+       << plan.totalBytes / 1024 << " KiB, reuse " << std::fixed
+       << std::setprecision(2) << plan.reuseFactor() << "x\n";
+}
+
+void
+writeLevelCsv(const RuntimeProfile &p, std::ostream &os)
+{
+    os << "level,nodes,wall_us\n";
+    for (const LevelTiming &lt : p.levels)
+        os << lt.level << ',' << lt.nodes << ',' << lt.wallUs << '\n';
+}
+
+}  // namespace ngb

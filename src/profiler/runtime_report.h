@@ -1,0 +1,28 @@
+#ifndef NGB_PROFILER_RUNTIME_REPORT_H
+#define NGB_PROFILER_RUNTIME_REPORT_H
+
+#include <ostream>
+
+#include "runtime/memory_planner.h"
+#include "runtime/runtime_profile.h"
+
+namespace ngb {
+
+/**
+ * Human-readable report over a *measured* parallel-runtime execution:
+ * wall clock vs summed kernel time, per-thread busy bars, the widest
+ * wavefront levels, and the measured GEMM / non-GEMM split — the
+ * wall-clock counterpart of the cost-model printReport, closing the
+ * loop on the paper's claim with timings from the actual host kernels.
+ */
+void printRuntimeReport(const RuntimeProfile &p, std::ostream &os);
+
+/** One-line arena summary: planned peak vs the no-reuse footprint. */
+void printMemoryPlan(const MemoryPlan &plan, std::ostream &os);
+
+/** CSV row per wavefront level: level,nodes,wall_us. */
+void writeLevelCsv(const RuntimeProfile &p, std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_PROFILER_RUNTIME_REPORT_H

@@ -1,0 +1,153 @@
+#include "runtime/batch_driver.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace ngb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool)
+    : g_(g), pool_(pool), params_(0x5eed)
+{
+    auto t0 = Clock::now();
+    sched_ = Schedule::wavefront(g_);
+    memplan_ = planMemory(g_, sched_);
+
+    // Step-granular release for the serial per-request walk: a node's
+    // results drop right after the last schedule step that reads them.
+    const std::vector<int> &order = sched_.order();
+    std::vector<int> step_of(g_.size(), 0);
+    for (size_t s = 0; s < order.size(); ++s)
+        step_of[static_cast<size_t>(order[s])] = static_cast<int>(s);
+
+    std::vector<int> last_step(g_.size(), -1);
+    for (const Node &n : g_.nodes())
+        for (const Value &v : n.inputs)
+            last_step[static_cast<size_t>(v.node)] =
+                std::max(last_step[static_cast<size_t>(v.node)],
+                         step_of[static_cast<size_t>(n.id)]);
+    int end = static_cast<int>(order.size()) - 1;
+    for (const Value &v : g_.graphOutputs())
+        last_step[static_cast<size_t>(v.node)] = end + 1;  // never drop
+    for (const Value &v : g_.graphInputs())
+        last_step[static_cast<size_t>(v.node)] = end + 1;  // caller-owned
+
+    releaseAfterStep_.resize(order.size());
+    for (size_t id = 0; id < last_step.size(); ++id)
+        if (last_step[id] >= 0 && last_step[id] <= end)
+            releaseAfterStep_[static_cast<size_t>(last_step[id])]
+                .push_back(static_cast<int>(id));
+
+    params_.materialize(g_);
+    profile_.planUs = elapsedUsSince(t0);
+}
+
+std::vector<Tensor>
+BatchDriver::runOne(const std::vector<Tensor> &inputs,
+                    std::vector<double> &node_us)
+{
+    const auto &gin = g_.graphInputs();
+    if (inputs.size() != gin.size())
+        throw std::runtime_error("BatchDriver: expected " +
+                                 std::to_string(gin.size()) +
+                                 " inputs per request");
+
+    std::vector<std::vector<Tensor>> results(g_.size());
+    for (size_t i = 0; i < gin.size(); ++i) {
+        const Value &v = gin[i];
+        if (inputs[i].shape() != g_.shapeOf(v))
+            throw std::runtime_error(
+                "BatchDriver: input " + std::to_string(i) + " shape " +
+                inputs[i].shape().str() + " != declared " +
+                g_.shapeOf(v).str());
+        auto &slot = results[static_cast<size_t>(v.node)];
+        if (slot.size() <= static_cast<size_t>(v.index))
+            slot.resize(static_cast<size_t>(v.index) + 1);
+        slot[static_cast<size_t>(v.index)] = inputs[i];
+    }
+
+    auto lookup = [&](const Value &v) -> const Tensor & {
+        const auto &slot = results[static_cast<size_t>(v.node)];
+        if (static_cast<size_t>(v.index) >= slot.size() ||
+            !slot[static_cast<size_t>(v.index)].defined())
+            throw std::runtime_error(
+                "BatchDriver: missing input value from node " +
+                std::to_string(v.node));
+        return slot[static_cast<size_t>(v.index)];
+    };
+
+    // ParamStore::get is safe concurrently and, after materialize(),
+    // lock-held time is one map lookup.
+    ParamStore &params = params_;
+
+    const std::vector<int> &order = sched_.order();
+    for (size_t step = 0; step < order.size(); ++step) {
+        const Node &n = g_.node(order[step]);
+        auto id = static_cast<size_t>(n.id);
+        if (results[id].empty() || !results[id][0].defined()) {
+            auto k0 = Clock::now();
+            if (n.inputs.empty()) {
+                if (n.paramShapes.empty())
+                    throw std::runtime_error(
+                        "BatchDriver: input node without a bound tensor: " +
+                        n.name);
+                results[id] = {params.get(n, 0)};
+            } else {
+                results[id] = evalNode(n, lookup, params);
+            }
+            node_us[id] += elapsedUsSince(k0);
+        }
+        for (int rid : releaseAfterStep_[step])
+            results[static_cast<size_t>(rid)].clear();
+    }
+
+    std::vector<Tensor> outs;
+    for (const Value &v : g_.graphOutputs())
+        outs.push_back(lookup(v));
+    return outs;
+}
+
+std::vector<std::vector<Tensor>>
+BatchDriver::run(const std::vector<std::vector<Tensor>> &requests)
+{
+    std::vector<std::vector<Tensor>> outputs(requests.size());
+    std::vector<std::vector<double>> node_us(
+        requests.size(), std::vector<double>(g_.size(), 0));
+
+    for ([[maybe_unused]] const auto &ws : pool_.drainStats())
+        ;  // reset pre-run counters
+
+    auto wall0 = Clock::now();
+    pool_.parallelFor(requests.size(), [&](size_t r, int) {
+        outputs[r] = runOne(requests[r], node_us[r]);
+    });
+    profile_.wallUs = elapsedUsSince(wall0);
+
+    profile_.threads = pool_.threads();
+    profile_.requests = static_cast<int>(requests.size());
+    profile_.schedule = sched_.stats();
+    profile_.levels.clear();
+    profile_.sumUs = 0;
+    profile_.usByCategory.clear();
+    for (const Node &n : g_.nodes()) {
+        double us = 0;
+        for (const auto &per_request : node_us)
+            us += per_request[static_cast<size_t>(n.id)];
+        profile_.sumUs += us;
+        profile_.usByCategory[n.category()] += us;
+    }
+    profile_.threadBusyUs.clear();
+    profile_.steals = 0;
+    for (const ThreadPool::WorkerStats &ws : pool_.drainStats()) {
+        profile_.threadBusyUs.push_back(ws.busyUs);
+        profile_.steals += ws.steals;
+    }
+    return outputs;
+}
+
+}  // namespace ngb

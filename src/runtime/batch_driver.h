@@ -1,0 +1,69 @@
+#ifndef NGB_RUNTIME_BATCH_DRIVER_H
+#define NGB_RUNTIME_BATCH_DRIVER_H
+
+#include <vector>
+
+#include "graph/executor.h"
+#include "graph/node_eval.h"
+#include "graph/schedule.h"
+#include "runtime/memory_planner.h"
+#include "runtime/runtime_profile.h"
+#include "runtime/thread_pool.h"
+
+namespace ngb {
+
+/**
+ * Serving-style driver: run N independent requests through ONE
+ * planned graph.
+ *
+ * Planning work — wavefront schedule, arena/lifetime memory plan,
+ * deterministic parameter materialization — happens once per driver
+ * and is amortized over every request, the way a serving stack builds
+ * an engine once and then streams traffic through it. Requests are
+ * then dispatched across the work-stealing pool; each request
+ * executes in schedule order with eager lifetime-based tensor release
+ * and all requests share the read-only ParamStore.
+ *
+ * Parameters are identical per request (same ParamStore seed the
+ * serial Executor uses), so request i's outputs are bit-identical to
+ * `Executor(g).run(requests[i])` for every i, independent of thread
+ * count, batch size, or scheduling order.
+ */
+class BatchDriver
+{
+  public:
+    BatchDriver(const Graph &g, ThreadPool &pool);
+
+    /**
+     * Execute every request (one vector of graph-input tensors each)
+     * and return per-request graph outputs, in request order.
+     */
+    std::vector<std::vector<Tensor>>
+    run(const std::vector<std::vector<Tensor>> &requests);
+
+    /** Measured timings of the last run(). */
+    const RuntimeProfile &profile() const { return profile_; }
+
+    const Schedule &schedule() const { return sched_; }
+    const MemoryPlan &memoryPlan() const { return memplan_; }
+    ParamStore &params() { return params_; }
+
+  private:
+    std::vector<Tensor> runOne(const std::vector<Tensor> &inputs,
+                               std::vector<double> &node_us);
+
+    const Graph &g_;
+    ThreadPool &pool_;
+    Schedule sched_;
+    MemoryPlan memplan_;
+    ParamStore params_;
+
+    /** Node ids droppable after each position in schedule order. */
+    std::vector<std::vector<int>> releaseAfterStep_;
+
+    RuntimeProfile profile_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_RUNTIME_BATCH_DRIVER_H

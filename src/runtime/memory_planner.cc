@@ -1,0 +1,182 @@
+#include "runtime/memory_planner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ngb {
+
+namespace {
+
+constexpr int64_t kAlign = 64;
+
+int64_t
+alignUp(int64_t n)
+{
+    return (n + kAlign - 1) / kAlign * kAlign;
+}
+
+/** Best-fit free-list arena with offset-sorted coalescing blocks. */
+class Arena
+{
+  public:
+    int64_t allocate(int64_t bytes)
+    {
+        // Best fit: smallest free block that still holds the request.
+        auto best = free_.end();
+        for (auto it = free_.begin(); it != free_.end(); ++it)
+            if (it->second >= bytes &&
+                (best == free_.end() || it->second < best->second))
+                best = it;
+        if (best != free_.end()) {
+            int64_t offset = best->first;
+            int64_t size = best->second;
+            free_.erase(best);
+            if (size > bytes)
+                free_[offset + bytes] = size - bytes;
+            return offset;
+        }
+        int64_t offset = top_;
+        top_ += bytes;
+        return offset;
+    }
+
+    void release(int64_t offset, int64_t bytes)
+    {
+        auto [it, inserted] = free_.emplace(offset, bytes);
+        (void)inserted;
+        // Coalesce with the successor, then the predecessor.
+        auto next = std::next(it);
+        if (next != free_.end() && it->first + it->second == next->first) {
+            it->second += next->second;
+            free_.erase(next);
+        }
+        if (it != free_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second == it->first) {
+                prev->second += it->second;
+                free_.erase(it);
+            }
+        }
+    }
+
+    int64_t peak() const { return top_; }
+
+  private:
+    std::map<int64_t, int64_t> free_;  // offset -> size
+    int64_t top_ = 0;
+};
+
+}  // namespace
+
+const TensorPlacement *
+MemoryPlan::find(Value v) const
+{
+    for (const TensorPlacement &p : placements)
+        if (p.value == v)
+            return &p;
+    return nullptr;
+}
+
+MemoryPlan
+planMemory(const Graph &g, const Schedule &s)
+{
+    MemoryPlan plan;
+    int last_level = static_cast<int>(s.numLevels()) - 1;
+
+    // Which (node, index) values are graph inputs (caller-owned)?
+    auto isGraphInput = [&](int node) {
+        for (const Value &v : g.graphInputs())
+            if (v.node == node)
+                return true;
+        return false;
+    };
+
+    // Index placements by node id for the consumer scan below; outputs
+    // of one node are contiguous in plan.placements.
+    std::vector<int> first_placement(g.size(), -1);
+
+    for (const Node &n : g.nodes()) {
+        if (isGraphInput(n.id))
+            continue;
+        if (n.inputs.empty())
+            continue;  // learned constant, lives in the ParamStore
+        first_placement[static_cast<size_t>(n.id)] =
+            static_cast<int>(plan.placements.size());
+        for (size_t i = 0; i < n.outShapes.size(); ++i) {
+            TensorPlacement p;
+            p.value = {n.id, static_cast<int>(i)};
+            p.bytes = alignUp(n.outShapes[i].numel() *
+                              static_cast<int64_t>(dtypeSize(n.outDtypes[i])));
+            p.firstLevel = s.levelOf(n.id);
+            p.lastLevel = p.firstLevel;  // extended by consumers below
+            plan.placements.push_back(p);
+        }
+    }
+
+    auto placementOf = [&](Value v) -> TensorPlacement * {
+        int base = first_placement[static_cast<size_t>(v.node)];
+        if (base < 0)
+            return nullptr;
+        return &plan.placements[static_cast<size_t>(base + v.index)];
+    };
+
+    for (const Node &n : g.nodes())
+        for (const Value &v : n.inputs)
+            if (TensorPlacement *p = placementOf(v))
+                p->lastLevel = std::max(p->lastLevel, s.levelOf(n.id));
+    for (const Value &v : g.graphOutputs())
+        if (TensorPlacement *p = placementOf(v))
+            p->lastLevel = last_level;
+
+    // Sweep levels in order: free expired tensors, then place the
+    // level's new tensors biggest-first (greedy best-fit by size).
+    std::map<int, std::vector<TensorPlacement *>> by_first, by_last;
+    for (TensorPlacement &p : plan.placements) {
+        by_first[p.firstLevel].push_back(&p);
+        by_last[p.lastLevel].push_back(&p);
+        plan.totalBytes += p.bytes;
+    }
+
+    Arena arena;
+    for (int lvl = 0; lvl <= last_level; ++lvl) {
+        if (lvl > 0) {
+            auto it = by_last.find(lvl - 1);
+            if (it != by_last.end())
+                for (TensorPlacement *p : it->second)
+                    arena.release(p->offset, p->bytes);
+        }
+        auto it = by_first.find(lvl);
+        if (it == by_first.end())
+            continue;
+        std::vector<TensorPlacement *> batch = it->second;
+        std::stable_sort(batch.begin(), batch.end(),
+                         [](const TensorPlacement *a,
+                            const TensorPlacement *b) {
+                             return a->bytes > b->bytes;
+                         });
+        for (TensorPlacement *p : batch)
+            p->offset = arena.allocate(p->bytes);
+    }
+    plan.arenaBytes = arena.peak();
+    return plan;
+}
+
+bool
+verifyNoAliasing(const MemoryPlan &plan)
+{
+    for (size_t i = 0; i < plan.placements.size(); ++i) {
+        const TensorPlacement &a = plan.placements[i];
+        for (size_t j = i + 1; j < plan.placements.size(); ++j) {
+            const TensorPlacement &b = plan.placements[j];
+            bool lifetimes_overlap = a.firstLevel <= b.lastLevel &&
+                                     b.firstLevel <= a.lastLevel;
+            bool ranges_overlap = a.offset < b.offset + b.bytes &&
+                                  b.offset < a.offset + a.bytes;
+            if (lifetimes_overlap && ranges_overlap)
+                return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace ngb

@@ -1,0 +1,71 @@
+#ifndef NGB_RUNTIME_MEMORY_PLANNER_H
+#define NGB_RUNTIME_MEMORY_PLANNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+
+namespace ngb {
+
+/** Arena assignment of one produced tensor. */
+struct TensorPlacement {
+    Value value;           ///< producing (node, output index)
+    int64_t bytes = 0;     ///< aligned size reserved in the arena
+    int firstLevel = 0;    ///< schedule level that produces it
+    int lastLevel = 0;     ///< last schedule level that reads it
+    int64_t offset = 0;    ///< byte offset inside the arena
+};
+
+/**
+ * Result of lifetime-based arena planning for one (graph, schedule)
+ * pair. arenaBytes is the planned peak; totalBytes is what a
+ * no-reuse allocator (one live buffer per produced tensor) would
+ * need. reuseFactor() > 1 means lifetime reuse is paying off.
+ */
+struct MemoryPlan {
+    std::vector<TensorPlacement> placements;
+    int64_t arenaBytes = 0;
+    int64_t totalBytes = 0;
+
+    double reuseFactor() const
+    {
+        return arenaBytes > 0
+                   ? static_cast<double>(totalBytes) /
+                         static_cast<double>(arenaBytes)
+                   : 1.0;
+    }
+
+    /** Placement for @p v, or nullptr if not planned (inputs/params). */
+    const TensorPlacement *find(Value v) const;
+};
+
+/**
+ * Plan arena offsets for every tensor a graph execution produces.
+ *
+ * Lifetimes are computed in schedule-level space: a tensor is live
+ * from its producer's level through the last level that consumes it
+ * (graph outputs stay live to the end; because all nodes of a level
+ * may run concurrently, a tensor consumed at level L is held through
+ * the whole of L). Offsets are assigned greedily, biggest tensor
+ * first within each level, into the best-fit free block — the classic
+ * serving-runtime arena strategy of TVM/TFLite-style planners, keeping
+ * peak memory near the live-set maximum instead of the sum of all
+ * intermediates.
+ *
+ * Graph inputs are caller-owned and learned parameters live in the
+ * ParamStore for the process lifetime, so neither is planned.
+ */
+MemoryPlan planMemory(const Graph &g, const Schedule &s);
+
+/**
+ * Check the invariant tests rely on: no two placements whose
+ * [firstLevel, lastLevel] lifetimes overlap may overlap in their
+ * [offset, offset+bytes) arena ranges. Returns true when safe.
+ */
+bool verifyNoAliasing(const MemoryPlan &plan);
+
+}  // namespace ngb
+
+#endif  // NGB_RUNTIME_MEMORY_PLANNER_H

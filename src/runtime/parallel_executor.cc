@@ -1,0 +1,144 @@
+#include "runtime/parallel_executor.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace ngb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(const Graph &g, ThreadPool &pool)
+    : ParallelExecutor(g, Schedule::wavefront(g), pool)
+{
+}
+
+ParallelExecutor::ParallelExecutor(const Graph &g, Schedule sched,
+                                   ThreadPool &pool)
+    : g_(g), sched_(std::move(sched)), pool_(pool), params_(0x5eed)
+{
+    auto t0 = Clock::now();
+    memplan_ = planMemory(g_, sched_);
+
+    // Per-node last-use level -> nodes releasable after each level.
+    // The final level is never released: graph outputs live there.
+    std::vector<int> last_level(g_.size(), -1);
+    for (const TensorPlacement &p : memplan_.placements) {
+        auto id = static_cast<size_t>(p.value.node);
+        last_level[id] = std::max(last_level[id], p.lastLevel);
+    }
+    releaseAfterLevel_.resize(sched_.numLevels());
+    int final_level = static_cast<int>(sched_.numLevels()) - 1;
+    for (size_t id = 0; id < last_level.size(); ++id)
+        if (last_level[id] >= 0 && last_level[id] < final_level)
+            releaseAfterLevel_[static_cast<size_t>(last_level[id])]
+                .push_back(static_cast<int>(id));
+    profile_.planUs = elapsedUsSince(t0);
+}
+
+std::vector<Tensor>
+ParallelExecutor::run(const std::vector<Tensor> &inputs)
+{
+    const auto &gin = g_.graphInputs();
+    if (inputs.size() != gin.size())
+        throw std::runtime_error("ParallelExecutor: expected " +
+                                 std::to_string(gin.size()) + " inputs");
+
+    if (!warmedUp_) {
+        // One serial pass so the hot loop's ParamStore lookups are
+        // contention-free cache hits.
+        auto t0 = Clock::now();
+        params_.materialize(g_);
+        profile_.planUs += elapsedUsSince(t0);
+        warmedUp_ = true;
+    }
+
+    std::vector<std::vector<Tensor>> results(g_.size());
+    for (size_t i = 0; i < gin.size(); ++i) {
+        const Value &v = gin[i];
+        if (inputs[i].shape() != g_.shapeOf(v))
+            throw std::runtime_error(
+                "ParallelExecutor: input " + std::to_string(i) + " shape " +
+                inputs[i].shape().str() + " != declared " +
+                g_.shapeOf(v).str());
+        auto &slot = results[static_cast<size_t>(v.node)];
+        if (slot.size() <= static_cast<size_t>(v.index))
+            slot.resize(static_cast<size_t>(v.index) + 1);
+        slot[static_cast<size_t>(v.index)] = inputs[i];
+    }
+
+    auto lookup = [&](const Value &v) -> const Tensor & {
+        const auto &slot = results[static_cast<size_t>(v.node)];
+        if (static_cast<size_t>(v.index) >= slot.size() ||
+            !slot[static_cast<size_t>(v.index)].defined())
+            throw std::runtime_error(
+                "ParallelExecutor: missing input value from node " +
+                std::to_string(v.node));
+        return slot[static_cast<size_t>(v.index)];
+    };
+
+    std::vector<double> node_us(g_.size(), 0);
+    double reset_baseline = 0;
+    for (const ThreadPool::WorkerStats &ws : pool_.drainStats())
+        reset_baseline += ws.busyUs;  // discard pre-run counters
+    (void)reset_baseline;
+
+    profile_.levels.clear();
+    auto wall0 = Clock::now();
+    for (size_t lvl = 0; lvl < sched_.numLevels(); ++lvl) {
+        const std::vector<int> &nodes = sched_.levels()[lvl];
+        auto t0 = Clock::now();
+        pool_.parallelFor(nodes.size(), [&](size_t i, int) {
+            const Node &n = g_.node(nodes[i]);
+            auto id = static_cast<size_t>(n.id);
+            if (!results[id].empty() && results[id][0].defined())
+                return;  // graph input, already bound
+            auto k0 = Clock::now();
+            if (n.inputs.empty()) {
+                if (n.paramShapes.empty())
+                    throw std::runtime_error(
+                        "ParallelExecutor: input node without a bound "
+                        "tensor: " + n.name);
+                results[id] = {params_.get(n, 0)};
+            } else {
+                results[id] = evalNode(n, lookup, params_);
+            }
+            node_us[id] = elapsedUsSince(k0);
+        });
+        LevelTiming lt;
+        lt.level = static_cast<int>(lvl);
+        lt.nodes = nodes.size();
+        lt.wallUs = elapsedUsSince(t0);
+        profile_.levels.push_back(lt);
+
+        for (int id : releaseAfterLevel_[lvl])
+            results[static_cast<size_t>(id)].clear();
+    }
+    profile_.wallUs = elapsedUsSince(wall0);
+
+    profile_.threads = pool_.threads();
+    profile_.schedule = sched_.stats();
+    profile_.sumUs = 0;
+    profile_.usByCategory.clear();
+    for (const Node &n : g_.nodes()) {
+        double us = node_us[static_cast<size_t>(n.id)];
+        profile_.sumUs += us;
+        profile_.usByCategory[n.category()] += us;
+    }
+    profile_.threadBusyUs.clear();
+    profile_.steals = 0;
+    for (const ThreadPool::WorkerStats &ws : pool_.drainStats()) {
+        profile_.threadBusyUs.push_back(ws.busyUs);
+        profile_.steals += ws.steals;
+    }
+
+    std::vector<Tensor> outs;
+    for (const Value &v : g_.graphOutputs())
+        outs.push_back(lookup(v));
+    return outs;
+}
+
+}  // namespace ngb

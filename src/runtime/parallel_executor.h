@@ -1,0 +1,65 @@
+#ifndef NGB_RUNTIME_PARALLEL_EXECUTOR_H
+#define NGB_RUNTIME_PARALLEL_EXECUTOR_H
+
+#include <vector>
+
+#include "graph/executor.h"
+#include "graph/node_eval.h"
+#include "graph/schedule.h"
+#include "runtime/memory_planner.h"
+#include "runtime/runtime_profile.h"
+#include "runtime/thread_pool.h"
+
+namespace ngb {
+
+/**
+ * Wavefront-parallel graph execution on a work-stealing thread pool.
+ *
+ * Dispatches each dependency level of a Schedule as one fork-join
+ * region: all nodes of a level are independent by construction, so
+ * they run concurrently and write disjoint result slots (no locking
+ * on the hot path). Kernels themselves are the same single-threaded
+ * reference kernels the serial Executor calls with the same
+ * deterministic ParamStore, so outputs are bit-identical to
+ * Executor::run regardless of thread count or interleaving.
+ *
+ * Between levels the executor releases tensors whose last consumer
+ * level has passed (the lifetimes the MemoryPlanner computes), so
+ * resident activation memory tracks the live set instead of the whole
+ * graph.
+ */
+class ParallelExecutor
+{
+  public:
+    /** Uses an internally built wavefront schedule for @p g. */
+    ParallelExecutor(const Graph &g, ThreadPool &pool);
+
+    ParallelExecutor(const Graph &g, Schedule sched, ThreadPool &pool);
+
+    /** Run the graph; same contract as Executor::run. */
+    std::vector<Tensor> run(const std::vector<Tensor> &inputs);
+
+    /** Measured timings of the last run(). */
+    const RuntimeProfile &profile() const { return profile_; }
+
+    const Schedule &schedule() const { return sched_; }
+    const MemoryPlan &memoryPlan() const { return memplan_; }
+    ParamStore &params() { return params_; }
+
+  private:
+    const Graph &g_;
+    Schedule sched_;
+    ThreadPool &pool_;
+    MemoryPlan memplan_;
+    ParamStore params_;
+    bool warmedUp_ = false;
+
+    /** Node ids whose results can be dropped after each level. */
+    std::vector<std::vector<int>> releaseAfterLevel_;
+
+    RuntimeProfile profile_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_RUNTIME_PARALLEL_EXECUTOR_H

@@ -1,0 +1,49 @@
+#include "runtime/request_util.h"
+
+#include <cstring>
+
+namespace ngb {
+
+std::vector<Tensor>
+makeRequestInputs(const Graph &g, uint64_t seed)
+{
+    std::vector<Tensor> inputs;
+    for (const Value &v : g.graphInputs()) {
+        if (g.dtypeOf(v) == DType::I32) {
+            Tensor ids(g.shapeOf(v), DType::I32);
+            for (int64_t i = 0; i < ids.numel(); ++i)
+                ids.flatSet(i, static_cast<float>(
+                                   (i + static_cast<int64_t>(seed)) % 7));
+            inputs.push_back(ids);
+        } else {
+            inputs.push_back(Tensor::randn(g.shapeOf(v), seed, 0.5f));
+        }
+    }
+    return inputs;
+}
+
+std::string
+bitDifference(const std::vector<Tensor> &a, const std::vector<Tensor> &b)
+{
+    if (a.size() != b.size())
+        return "output count differs: " + std::to_string(a.size()) +
+               " vs " + std::to_string(b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].shape() != b[i].shape())
+            return "output " + std::to_string(i) + " shape differs: " +
+                   a[i].shape().str() + " vs " + b[i].shape().str();
+        for (int64_t j = 0; j < a[i].numel(); ++j) {
+            float x = a[i].flatAt(j), y = b[i].flatAt(j);
+            uint32_t bx, by;
+            std::memcpy(&bx, &x, 4);
+            std::memcpy(&by, &y, 4);
+            if (bx != by)
+                return "output " + std::to_string(i) + " element " +
+                       std::to_string(j) + " differs: " +
+                       std::to_string(x) + " vs " + std::to_string(y);
+        }
+    }
+    return "";
+}
+
+}  // namespace ngb

@@ -1,0 +1,37 @@
+#ifndef NGB_RUNTIME_REQUEST_UTIL_H
+#define NGB_RUNTIME_REQUEST_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace ngb {
+
+/**
+ * Deterministic inputs for one request against @p g: seeded Gaussian
+ * activations for float inputs, small cycling token ids for I32
+ * inputs. Shared by the CLI's --verify, the batch-scaling bench, and
+ * the runtime tests so all three exercise identical traffic.
+ */
+std::vector<Tensor> makeRequestInputs(const Graph &g, uint64_t seed);
+
+/**
+ * Compare two output sets bit-for-bit (float payloads compared by bit
+ * pattern, so NaN payloads and signed zeros must match too). Returns
+ * an empty string when identical, else a description of the first
+ * mismatch.
+ */
+std::string bitDifference(const std::vector<Tensor> &a,
+                          const std::vector<Tensor> &b);
+
+inline bool
+bitIdentical(const std::vector<Tensor> &a, const std::vector<Tensor> &b)
+{
+    return bitDifference(a, b).empty();
+}
+
+}  // namespace ngb
+
+#endif  // NGB_RUNTIME_REQUEST_UTIL_H

@@ -1,0 +1,84 @@
+#ifndef NGB_RUNTIME_RUNTIME_PROFILE_H
+#define NGB_RUNTIME_RUNTIME_PROFILE_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/schedule.h"
+#include "ops/op_types.h"
+
+namespace ngb {
+
+/** Microseconds elapsed since @p t0 (shared by the runtime timers). */
+inline double
+elapsedUsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Wall-clock of one dispatched wavefront level. */
+struct LevelTiming {
+    int level = 0;
+    size_t nodes = 0;
+    double wallUs = 0;
+};
+
+/**
+ * Measured (wall-clock) profile of one parallel-runtime execution —
+ * the host-side counterpart of the cost-model ProfileReport. Unlike
+ * the modeled numbers, these come from std::chrono around the actual
+ * reference kernels, so they feed the profiler's runtime report and a
+ * measured GEMM / non-GEMM split.
+ */
+struct RuntimeProfile {
+    int threads = 1;
+    int requests = 1;
+
+    double planUs = 0;     ///< schedule + memory plan + param warm-up
+    double wallUs = 0;     ///< fork-join wall time of execution
+    double sumUs = 0;      ///< total kernel time across all workers
+
+    ScheduleStats schedule;
+    std::vector<LevelTiming> levels;     ///< per-level wall (wavefront)
+    std::vector<double> threadBusyUs;    ///< per-worker busy time
+    int64_t steals = 0;                  ///< work-stealing migrations
+
+    /** Measured kernel time by operator category. */
+    std::map<OpCategory, double> usByCategory;
+
+    double gemmUs() const
+    {
+        auto it = usByCategory.find(OpCategory::Gemm);
+        return it != usByCategory.end() ? it->second : 0;
+    }
+    double nonGemmUs() const { return sumUs - gemmUs(); }
+    double nonGemmPct() const
+    {
+        return sumUs > 0 ? 100.0 * nonGemmUs() / sumUs : 0;
+    }
+
+    /**
+     * Average number of workers concurrently inside kernels
+     * (worker-seconds of kernel time per wall-second). On dedicated
+     * cores this equals the speedup over a serial replay; under core
+     * oversubscription it reports achieved occupancy instead — kernel
+     * time inflates with time-slicing, wall does not shrink.
+     */
+    double concurrency() const { return wallUs > 0 ? sumUs / wallUs : 1.0; }
+
+    /** Fraction of the worker-seconds actually spent in kernels. */
+    double utilization() const
+    {
+        return wallUs > 0 && threads > 0
+                   ? sumUs / (wallUs * static_cast<double>(threads))
+                   : 1.0;
+    }
+};
+
+}  // namespace ngb
+
+#endif  // NGB_RUNTIME_RUNTIME_PROFILE_H

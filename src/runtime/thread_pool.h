@@ -1,0 +1,90 @@
+#ifndef NGB_RUNTIME_THREAD_POOL_H
+#define NGB_RUNTIME_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ngb {
+
+/**
+ * A work-stealing thread pool for data-parallel node dispatch.
+ *
+ * The pool owns threads()-1 background workers; the thread that calls
+ * parallelFor() participates as worker 0, so a pool of size 1 degrades
+ * to plain serial execution with no synchronization overhead beyond a
+ * function call. Tasks are dealt round-robin into per-worker deques;
+ * each worker drains its own deque from the front and steals from the
+ * back of its neighbours' when empty — the classic Cilk/TBB shape that
+ * keeps hot tasks local and migrates work only under imbalance.
+ *
+ * parallelFor() is a blocking fork-join region; nested parallelism is
+ * not supported (the runtime never needs it: levels are dispatched one
+ * at a time). Exceptions thrown by tasks are captured and the first
+ * one is rethrown on the calling thread after the region completes, so
+ * a throwing kernel cannot deadlock the pool.
+ */
+class ThreadPool
+{
+  public:
+    struct WorkerStats {
+        double busyUs = 0;    ///< time spent inside tasks
+        int64_t tasks = 0;    ///< tasks executed
+        int64_t steals = 0;   ///< tasks obtained from another worker
+    };
+
+    /** @p threads total workers; 0 picks hardware_concurrency. */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threads() const { return static_cast<int>(queues_.size()); }
+
+    /**
+     * Execute @p fn(index, workerId) for every index in [0, n).
+     * Blocks until all tasks finish. workerId in [0, threads()).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t, int)> &fn);
+
+    /** Per-worker counters accumulated since the last drain. */
+    std::vector<WorkerStats> drainStats();
+
+  private:
+    struct Queue {
+        std::mutex mutex;
+        std::deque<size_t> tasks;
+        WorkerStats stats;
+    };
+
+    void workerLoop(int id);
+    void workUntilDrained(int id);
+    bool popTask(int id, size_t &task, bool &stolen);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    const std::function<void(size_t, int)> *fn_ = nullptr;
+    std::atomic<size_t> remaining_{0};
+    std::atomic<uint64_t> epoch_{0};
+    bool stop_ = false;
+
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_RUNTIME_THREAD_POOL_H
