@@ -21,6 +21,7 @@
 #include "models/registry.h"
 #include "profiler/nongemm_report.h"
 #include "profiler/runtime_report.h"
+#include "profiler/serve_report.h"
 #include "profiler/svg_chart.h"
 #include "profiler/workload_report.h"
 #include "profiler/trace_export.h"
@@ -28,6 +29,7 @@
 #include "runtime/batch_driver.h"
 #include "runtime/parallel_executor.h"
 #include "runtime/request_util.h"
+#include "serve/serve_driver.h"
 
 using namespace ngb;
 
@@ -41,6 +43,20 @@ struct RuntimeCli {
     int64_t scale = 8;       ///< testScale: full paper-scale models are
                              ///< not host-executable in reasonable time
     bool verify = false;     ///< cross-check parallel against serial
+};
+
+/** Options of the serving (--serve) mode. */
+struct ServeCliOpts {
+    bool enabled = false;
+    std::string mix;          ///< "vit_b:4,gpt2:1"; empty = --model
+    double rps = 100;
+    double durationS = 2;
+    int clients = 0;          ///< > 0: closed loop instead of Poisson
+    int maxBatch = 8;
+    int64_t batchTimeoutUs = 2000;
+    size_t queueDepth = 256;
+    std::string admission = "block";
+    uint64_t seed = 42;
 };
 
 /** Deterministic per-request inputs (request r perturbs the seed). */
@@ -188,6 +204,78 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
     return ok ? 0 : 1;
 }
 
+int
+serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
+          const ServeCliOpts &sv, const std::string &json)
+{
+    serve::ServeConfig sc;
+    sc.mix = sv.mix.empty()
+                 ? std::vector<serve::MixEntry>{{cfg.model, 1}}
+                 : serve::parseMix(sv.mix);
+    sc.rps = sv.rps;
+    sc.durationS = sv.durationS;
+    sc.clients = sv.clients;
+    sc.policy.maxBatch = sv.maxBatch;
+    sc.policy.timeoutUs = sv.batchTimeoutUs;
+    sc.queueDepth = sv.queueDepth;
+    if (sv.admission == "reject")
+        sc.admission = AdmissionPolicy::Reject;
+    else if (sv.admission == "block")
+        sc.admission = AdmissionPolicy::Block;
+    else
+        throw std::runtime_error("--admission expects block|reject");
+    sc.engine.scale = rt.scale;
+    sc.engine.seqLen = cfg.seqLen > 0 ? cfg.seqLen : 8;
+    sc.seed = sv.seed;
+    sc.verify = rt.verify;
+
+    int threads = resolveThreads(rt.threads);
+    std::cout << "== serving  mix=";
+    for (size_t i = 0; i < sc.mix.size(); ++i)
+        std::cout << (i ? "," : "") << sc.mix[i].model << ":"
+                  << sc.mix[i].weight;
+    if (sc.clients > 0)
+        std::cout << "  closed-loop clients=" << sc.clients;
+    else
+        std::cout << "  open-loop rps=" << sc.rps;
+    std::cout << "  duration=" << sc.durationS << "s  max_batch="
+              << sc.policy.maxBatch << "  batch_timeout="
+              << sc.policy.timeoutUs << "us  queue_depth="
+              << sc.queueDepth << " (" << sv.admission << ")  threads="
+              << threads << "  scale=1/" << rt.scale << "  seed="
+              << sc.seed << "\n";
+
+    ThreadPool pool(threads);
+    serve::ServeResult result = serve::runServe(sc, pool);
+    printServeReport(result.stats, std::cout);
+
+    bool ok = true;
+    if (result.verified) {
+        if (result.verifyMismatches == 0) {
+            std::cout << "  verify: all " << result.verifiedRequests
+                      << " served requests bit-identical to the serial "
+                         "Executor\n";
+        } else {
+            std::cout << "  VERIFY FAILED: " << result.verifyMismatches
+                      << " of " << result.verifiedRequests
+                      << " served requests differ from serial\n";
+            ok = false;
+        }
+    }
+    if (result.stats.completed != result.stats.admitted) {
+        std::cout << "  WARNING: " << result.stats.admitted
+                  << " admitted but only " << result.stats.completed
+                  << " completed\n";
+        ok = false;
+    }
+    if (!json.empty()) {
+        std::ofstream f(json);
+        writeServeJson(result.stats, f);
+        std::cout << "wrote " << json << "\n";
+    }
+    return ok ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -221,7 +309,29 @@ usage()
         "  --scale N            shrink models by N for host execution\n"
         "                       (default 8; 1 = paper scale, slow)\n"
         "  --verify             cross-check outputs bit-identically\n"
-        "                       against the serial Executor\n";
+        "                       against the serial Executor\n"
+        "\n"
+        "serving (src/serve): closed-box server under synthetic load\n"
+        "  --serve              serve a traffic mix through the engine\n"
+        "                       cache + dynamic batcher and report\n"
+        "                       p50/p95/p99 queue/execute latency\n"
+        "  --mix SPEC           weighted tenant mix, e.g. vit_b:4,gpt2:1\n"
+        "                       (default: --model alone)\n"
+        "  --rps X              open-loop Poisson arrival rate (default\n"
+        "                       100)\n"
+        "  --clients N          closed-loop: N clients, each waiting for\n"
+        "                       its previous request (disables --rps)\n"
+        "  --duration-s X       load-generation horizon (default 2)\n"
+        "  --max-batch N        close a batch at N requests (default 8)\n"
+        "  --batch-timeout-us N close a partial batch once its oldest\n"
+        "                       request waited N us (default 2000)\n"
+        "  --queue-depth N      admission-control bound (default 256)\n"
+        "  --admission POL      block | reject when the queue is full\n"
+        "  --seed N             load-gen seed (default 42): open-loop\n"
+        "                       trace and all request outputs are\n"
+        "                       deterministic under a fixed seed\n"
+        "\n"
+        "--threads/--scale/--seq/--verify/--json apply to --serve too.\n";
 }
 
 }  // namespace
@@ -231,17 +341,68 @@ main(int argc, char **argv)
 {
     BenchConfig cfg;
     RuntimeCli rt;
+    ServeCliOpts sv;
     std::string ops_csv, cat_csv, svg, trace, json, dot;
     bool workload = false;
+    bool flowFlagsUsed = false;   // --flow/--platform/--cpu-only seen
+    bool serveFlagsUsed = false;  // any serving-only flag seen
 
+    std::string a;  // current flag, for the catch below
+    try {
     for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
+        a = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
                 std::cerr << "missing value for " << a << "\n";
                 std::exit(2);
             }
             return argv[++i];
+        };
+        // Strict numeric parses: the whole token must be consumed
+        // ("4x" or "1e5" as an integer are usage errors, not 4 / 1),
+        // and int-typed flags are range-checked instead of silently
+        // wrapping through static_cast.
+        auto strict = [&](const std::string &s, size_t used) {
+            if (used != s.size()) {
+                std::cerr << "invalid value for " << a << ": \"" << s
+                          << "\"\n";
+                std::exit(2);
+            }
+        };
+        auto nextLong = [&]() -> long {
+            std::string s = next();
+            size_t used = 0;
+            long v = std::stol(s, &used);
+            strict(s, used);
+            return v;
+        };
+        auto nextDouble = [&]() -> double {
+            std::string s = next();
+            size_t used = 0;
+            double v = std::stod(s, &used);
+            strict(s, used);
+            return v;
+        };
+        auto nextU64 = [&]() -> uint64_t {
+            std::string s = next();
+            if (!s.empty() && s[0] == '-') {
+                // stoull would silently wrap "-1" to 2^64-1.
+                std::cerr << a << " must be >= 0\n";
+                std::exit(2);
+            }
+            size_t used = 0;
+            unsigned long long v = std::stoull(s, &used);
+            strict(s, used);
+            return v;
+        };
+        auto nextInt = [&](long lo, long hi) -> int {
+            long v = nextLong();
+            if (v < lo || v > hi) {
+                std::cerr << a << " must be in [" << lo << ", " << hi
+                          << "]\n";
+                std::exit(2);
+            }
+            return static_cast<int>(v);
         };
         if (a == "--help" || a == "-h") {
             usage();
@@ -258,14 +419,17 @@ main(int argc, char **argv)
             cfg.model = next();
         } else if (a == "--flow") {
             cfg.flow = next();
+            flowFlagsUsed = true;
         } else if (a == "--platform") {
             cfg.platform = next();
+            flowFlagsUsed = true;
         } else if (a == "--batch") {
-            cfg.batch = std::stol(next());
+            cfg.batch = nextLong();
         } else if (a == "--seq") {
-            cfg.seqLen = std::stol(next());
+            cfg.seqLen = nextLong();
         } else if (a == "--cpu-only") {
             cfg.gpu = false;
+            flowFlagsUsed = true;
         } else if (a == "--quantize") {
             cfg.quantize = true;
         } else if (a == "--decode") {
@@ -278,10 +442,48 @@ main(int argc, char **argv)
             }
             rt.enabled = true;
             rt.parallel = mode == "parallel";
+        } else if (a == "--serve") {
+            sv.enabled = true;
+        } else if (a == "--mix") {
+            sv.mix = next();
+            serveFlagsUsed = true;
+        } else if (a == "--rps") {
+            sv.rps = nextDouble();
+            serveFlagsUsed = true;
+        } else if (a == "--clients") {
+            // Closed loop spawns one OS thread per client; bound it to
+            // what that model can actually support.
+            sv.clients = nextInt(0, 1024);
+            serveFlagsUsed = true;
+        } else if (a == "--duration-s") {
+            sv.durationS = nextDouble();
+            serveFlagsUsed = true;
+        } else if (a == "--max-batch") {
+            sv.maxBatch = nextInt(1, 1 << 20);
+            serveFlagsUsed = true;
+        } else if (a == "--batch-timeout-us") {
+            sv.batchTimeoutUs = nextLong();
+            serveFlagsUsed = true;
+        } else if (a == "--queue-depth") {
+            // Signed parse: stoul would wrap "-1" to a huge depth and
+            // silently disable admission control.
+            long depth = nextLong();
+            if (depth < 1) {
+                std::cerr << "--queue-depth must be >= 1\n";
+                return 2;
+            }
+            sv.queueDepth = static_cast<size_t>(depth);
+            serveFlagsUsed = true;
+        } else if (a == "--admission") {
+            sv.admission = next();
+            serveFlagsUsed = true;
+        } else if (a == "--seed") {
+            sv.seed = nextU64();
+            serveFlagsUsed = true;
         } else if (a == "--threads") {
-            rt.threads = static_cast<int>(std::stol(next()));
+            rt.threads = nextInt(0, 1 << 14);
         } else if (a == "--scale") {
-            rt.scale = std::stol(next());
+            rt.scale = nextLong();
         } else if (a == "--verify") {
             rt.verify = true;
         } else if (a == "--json") {
@@ -304,30 +506,74 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    } catch (const std::exception &) {
+        // std::sto* on a malformed number must be a usage error, not
+        // an uncaught-exception abort.
+        std::cerr << "invalid value for " << a << "\n";
+        return 2;
+    }
 
+    if (sv.enabled && rt.enabled) {
+        std::cerr << "--serve and --runtime are mutually exclusive\n";
+        return 2;
+    }
+    if (serveFlagsUsed && !sv.enabled) {
+        // A forgotten --serve must not silently run the analytical
+        // bench with every serving flag dropped.
+        std::cerr << "serving flags (--mix/--rps/--clients/--duration-s/"
+                     "--max-batch/--batch-timeout-us/--queue-depth/"
+                     "--admission/--seed) require --serve\n";
+        return 2;
+    }
+    if (sv.enabled && (cfg.quantize || cfg.decodeStep || cfg.batch != 1 ||
+                       flowFlagsUsed)) {
+        // Reject rather than silently serve a different graph than the
+        // user asked for (--verify compares against the same engine
+        // graph, so it cannot catch this).
+        std::cerr << "--quantize/--decode/--batch/--flow/--platform/"
+                     "--cpu-only are not supported in --serve mode "
+                     "(engines serve the raw registry graph; traffic "
+                     "comes from --mix/--rps)\n";
+        return 2;
+    }
+    if (sv.enabled &&
+        (sv.maxBatch < 1 || sv.batchTimeoutUs < 0 ||
+         (sv.clients <= 0 && sv.rps <= 0) || sv.durationS <= 0 ||
+         sv.clients < 0)) {
+        std::cerr << "--serve: bad load/batch parameters (need max-batch"
+                     " >= 1, batch-timeout-us >= 0, rps > 0,"
+                     " duration-s > 0, clients >= 0)\n";
+        return 2;
+    }
     if (rt.enabled && cfg.batch < 1) {
         std::cerr << "--batch must be >= 1 in --runtime mode\n";
         return 2;
     }
-    if (rt.enabled && rt.scale < 1) {
+    if ((rt.enabled || sv.enabled) && rt.scale < 1) {
         std::cerr << "--scale must be >= 1\n";
         return 2;
     }
-    if (rt.threads < 0) {
-        std::cerr << "--threads must be >= 0 (0 = hardware)\n";
-        return 2;
-    }
-    if (rt.enabled) {
+    if (rt.enabled || sv.enabled) {
         if (!ops_csv.empty() || !cat_csv.empty() || !svg.empty() ||
             !trace.empty() || !dot.empty() || workload)
             std::cerr << "note: --ops-csv/--cat-csv/--svg/--trace/--dot/"
-                         "--workload are ignored in --runtime mode\n";
-        if (!json.empty() && cfg.model == "all")
+                         "--workload are ignored in --runtime/--serve "
+                         "modes\n";
+        if (rt.enabled && !json.empty() && cfg.model == "all")
             std::cerr << "note: --json is only written for a single "
                          "model in --runtime mode\n";
+        if (sv.enabled && cfg.model == "all") {
+            // "all" is a --runtime sweep; as a serve tenant it would
+            // only fail later with an obscure unknown-model error.
+            std::cerr << "--model all is not a serve tenant; list the "
+                         "mix explicitly with --mix\n";
+            return 2;
+        }
     }
 
     try {
+        if (sv.enabled)
+            return serveMain(cfg, rt, sv, json);
         if (rt.enabled)
             return runtimeMain(cfg, rt, json);
 

@@ -1,0 +1,34 @@
+#ifndef NGB_PROFILER_SERVE_REPORT_H
+#define NGB_PROFILER_SERVE_REPORT_H
+
+#include <ostream>
+#include <vector>
+
+#include "serve/serve_stats.h"
+
+namespace ngb {
+
+/**
+ * Linear-interpolated quantile of @p values (q in [0, 1]). Returns 0
+ * for an empty set. Exposed for the serving bench and tests.
+ */
+double percentile(std::vector<double> values, double q);
+
+/**
+ * Human-readable serving report: admission counters, throughput,
+ * engine-cache hit rate, batch-size histogram, queue depth over time,
+ * and the p50/p95/p99 tail-latency table split into queue vs execute
+ * time — the serving-layer counterpart of printRuntimeReport.
+ */
+void printServeReport(const ServeStats &s, std::ostream &os);
+
+/**
+ * Machine-readable serving stats: totals, cache, latency percentiles,
+ * batch histogram, and the per-request records (id, model, seed,
+ * queue_us, exec_us, batch) so CI can diff runs numerically.
+ */
+void writeServeJson(const ServeStats &s, std::ostream &os);
+
+}  // namespace ngb
+
+#endif  // NGB_PROFILER_SERVE_REPORT_H

@@ -11,40 +11,56 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool)
-    : g_(g), pool_(pool), params_(0x5eed)
+std::shared_ptr<EnginePlan>
+buildEnginePlan(const Graph &g)
 {
+    auto plan = std::make_shared<EnginePlan>();
     auto t0 = Clock::now();
-    sched_ = Schedule::wavefront(g_);
-    memplan_ = planMemory(g_, sched_);
+    plan->sched = Schedule::wavefront(g);
+    plan->memplan = planMemory(g, plan->sched);
 
     // Step-granular release for the serial per-request walk: a node's
     // results drop right after the last schedule step that reads them.
-    const std::vector<int> &order = sched_.order();
-    std::vector<int> step_of(g_.size(), 0);
+    const std::vector<int> &order = plan->sched.order();
+    std::vector<int> step_of(g.size(), 0);
     for (size_t s = 0; s < order.size(); ++s)
         step_of[static_cast<size_t>(order[s])] = static_cast<int>(s);
 
-    std::vector<int> last_step(g_.size(), -1);
-    for (const Node &n : g_.nodes())
+    std::vector<int> last_step(g.size(), -1);
+    for (const Node &n : g.nodes())
         for (const Value &v : n.inputs)
             last_step[static_cast<size_t>(v.node)] =
                 std::max(last_step[static_cast<size_t>(v.node)],
                          step_of[static_cast<size_t>(n.id)]);
     int end = static_cast<int>(order.size()) - 1;
-    for (const Value &v : g_.graphOutputs())
+    for (const Value &v : g.graphOutputs())
         last_step[static_cast<size_t>(v.node)] = end + 1;  // never drop
-    for (const Value &v : g_.graphInputs())
+    for (const Value &v : g.graphInputs())
         last_step[static_cast<size_t>(v.node)] = end + 1;  // caller-owned
 
-    releaseAfterStep_.resize(order.size());
+    plan->releaseAfterStep.resize(order.size());
     for (size_t id = 0; id < last_step.size(); ++id)
         if (last_step[id] >= 0 && last_step[id] <= end)
-            releaseAfterStep_[static_cast<size_t>(last_step[id])]
+            plan->releaseAfterStep[static_cast<size_t>(last_step[id])]
                 .push_back(static_cast<int>(id));
 
-    params_.materialize(g_);
-    profile_.planUs = elapsedUsSince(t0);
+    plan->params.materialize(g);
+    plan->planUs = elapsedUsSince(t0);
+    return plan;
+}
+
+BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool)
+    : BatchDriver(g, pool, buildEnginePlan(g))
+{
+}
+
+BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
+                         std::shared_ptr<EnginePlan> plan)
+    : g_(g), pool_(pool), plan_(std::move(plan))
+{
+    if (!plan_)
+        throw std::runtime_error("BatchDriver: null EnginePlan");
+    profile_.planUs = plan_->planUs;
 }
 
 std::vector<Tensor>
@@ -83,9 +99,9 @@ BatchDriver::runOne(const std::vector<Tensor> &inputs,
 
     // ParamStore::get is safe concurrently and, after materialize(),
     // lock-held time is one map lookup.
-    ParamStore &params = params_;
+    ParamStore &params = plan_->params;
 
-    const std::vector<int> &order = sched_.order();
+    const std::vector<int> &order = plan_->sched.order();
     for (size_t step = 0; step < order.size(); ++step) {
         const Node &n = g_.node(order[step]);
         auto id = static_cast<size_t>(n.id);
@@ -102,7 +118,7 @@ BatchDriver::runOne(const std::vector<Tensor> &inputs,
             }
             node_us[id] += elapsedUsSince(k0);
         }
-        for (int rid : releaseAfterStep_[step])
+        for (int rid : plan_->releaseAfterStep[step])
             results[static_cast<size_t>(rid)].clear();
     }
 
@@ -130,7 +146,7 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests)
 
     profile_.threads = pool_.threads();
     profile_.requests = static_cast<int>(requests.size());
-    profile_.schedule = sched_.stats();
+    profile_.schedule = plan_->sched.stats();
     profile_.levels.clear();
     profile_.sumUs = 0;
     profile_.usByCategory.clear();

@@ -1,6 +1,7 @@
 #ifndef NGB_RUNTIME_BATCH_DRIVER_H
 #define NGB_RUNTIME_BATCH_DRIVER_H
 
+#include <memory>
 #include <vector>
 
 #include "graph/executor.h"
@@ -13,16 +14,45 @@
 namespace ngb {
 
 /**
+ * The planning artifacts of one graph, built once and reused for the
+ * lifetime of an engine: wavefront schedule, arena/lifetime memory
+ * plan, step-granular release lists, and the fully materialized
+ * (read-only thereafter) ParamStore.
+ *
+ * Splitting this out of BatchDriver lets the serving layer's Engine
+ * own the expensive state and re-run traffic through a long-lived
+ * driver without ever replanning; ParamStore holds a mutex, so the
+ * struct is non-movable and is passed by shared_ptr.
+ */
+struct EnginePlan {
+    Schedule sched;
+    MemoryPlan memplan;
+    ParamStore params{0x5eed};
+
+    /** Node ids droppable after each position in schedule order. */
+    std::vector<std::vector<int>> releaseAfterStep;
+
+    double planUs = 0;  ///< wall time spent planning + materializing
+};
+
+/** Build (and time) the full plan for @p g. */
+std::shared_ptr<EnginePlan> buildEnginePlan(const Graph &g);
+
+/**
  * Serving-style driver: run N independent requests through ONE
  * planned graph.
  *
  * Planning work — wavefront schedule, arena/lifetime memory plan,
- * deterministic parameter materialization — happens once per driver
+ * deterministic parameter materialization — happens once per plan
  * and is amortized over every request, the way a serving stack builds
  * an engine once and then streams traffic through it. Requests are
  * then dispatched across the work-stealing pool; each request
  * executes in schedule order with eager lifetime-based tensor release
  * and all requests share the read-only ParamStore.
+ *
+ * run() is cheap to call repeatedly on a long-lived driver (no
+ * per-call planning); it is not itself thread-safe — the serving
+ * layer serializes batches through one dispatch thread.
  *
  * Parameters are identical per request (same ParamStore seed the
  * serial Executor uses), so request i's outputs are bit-identical to
@@ -32,7 +62,12 @@ namespace ngb {
 class BatchDriver
 {
   public:
+    /** Plan internally (schedule + arena + params) for @p g. */
     BatchDriver(const Graph &g, ThreadPool &pool);
+
+    /** Adopt an already-built @p plan for @p g (must match). */
+    BatchDriver(const Graph &g, ThreadPool &pool,
+                std::shared_ptr<EnginePlan> plan);
 
     /**
      * Execute every request (one vector of graph-input tensors each)
@@ -44,9 +79,10 @@ class BatchDriver
     /** Measured timings of the last run(). */
     const RuntimeProfile &profile() const { return profile_; }
 
-    const Schedule &schedule() const { return sched_; }
-    const MemoryPlan &memoryPlan() const { return memplan_; }
-    ParamStore &params() { return params_; }
+    const EnginePlan &plan() const { return *plan_; }
+    const Schedule &schedule() const { return plan_->sched; }
+    const MemoryPlan &memoryPlan() const { return plan_->memplan; }
+    ParamStore &params() { return plan_->params; }
 
   private:
     std::vector<Tensor> runOne(const std::vector<Tensor> &inputs,
@@ -54,12 +90,7 @@ class BatchDriver
 
     const Graph &g_;
     ThreadPool &pool_;
-    Schedule sched_;
-    MemoryPlan memplan_;
-    ParamStore params_;
-
-    /** Node ids droppable after each position in schedule order. */
-    std::vector<std::vector<int>> releaseAfterStep_;
+    std::shared_ptr<EnginePlan> plan_;
 
     RuntimeProfile profile_;
 };

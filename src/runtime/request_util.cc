@@ -11,9 +11,11 @@ makeRequestInputs(const Graph &g, uint64_t seed)
     for (const Value &v : g.graphInputs()) {
         if (g.dtypeOf(v) == DType::I32) {
             Tensor ids(g.shapeOf(v), DType::I32);
+            // Unsigned modulo: ids stay in [0, 7) for any 64-bit seed
+            // (a signed cast would go negative for seeds above 2^63).
             for (int64_t i = 0; i < ids.numel(); ++i)
                 ids.flatSet(i, static_cast<float>(
-                                   (i + static_cast<int64_t>(seed)) % 7));
+                                   (static_cast<uint64_t>(i) + seed) % 7));
             inputs.push_back(ids);
         } else {
             inputs.push_back(Tensor::randn(g.shapeOf(v), seed, 0.5f));

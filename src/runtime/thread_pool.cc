@@ -4,12 +4,18 @@
 
 namespace ngb {
 
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 ThreadPool::ThreadPool(int threads)
 {
-    if (threads <= 0) {
-        unsigned hw = std::thread::hardware_concurrency();
-        threads = hw > 0 ? static_cast<int>(hw) : 1;
-    }
+    threads = resolveThreads(threads);
     queues_.reserve(static_cast<size_t>(threads));
     for (int i = 0; i < threads; ++i)
         queues_.push_back(std::make_unique<Queue>());

@@ -14,6 +14,16 @@
 namespace ngb {
 
 /**
+ * Resolve a requested worker count to an actual one: positive values
+ * pass through, zero / negative mean "use the hardware", and a host
+ * that reports hardware_concurrency() == 0 (permitted by the standard)
+ * still gets one worker. Every pool-sizing path — ThreadPool itself,
+ * the CLI, the serving layer's engine keys — goes through this so a
+ * pool can never end up empty.
+ */
+int resolveThreads(int requested);
+
+/**
  * A work-stealing thread pool for data-parallel node dispatch.
  *
  * The pool owns threads()-1 background workers; the thread that calls

@@ -1,0 +1,134 @@
+#include "serve/dynamic_batcher.h"
+
+#include "runtime/request_util.h"
+#include "runtime/runtime_profile.h"
+
+namespace ngb {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(RequestQueue &queue, EngineCache &cache,
+                               Policy policy, Sink sink)
+    : queue_(queue), cache_(cache), policy_(policy), sink_(std::move(sink))
+{
+}
+
+DynamicBatcher::~DynamicBatcher()
+{
+    if (thread_.joinable()) {
+        queue_.close();
+        thread_.join();
+    }
+}
+
+void
+DynamicBatcher::start()
+{
+    t0_ = Clock::now();
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+DynamicBatcher::dispatch(std::vector<ServeRequest> &batch, bool byTimeout)
+{
+    auto dispatchTp = Clock::now();
+    stats_.depthSamples.push_back(
+        {std::chrono::duration<double, std::micro>(dispatchTp - t0_)
+             .count(),
+         queue_.depth()});
+
+    Engine &engine = cache_.get(batch[0].model);
+    std::vector<std::vector<Tensor>> inputs;
+    inputs.reserve(batch.size());
+    for (const ServeRequest &r : batch)
+        inputs.push_back(makeRequestInputs(engine.graph(), r.seed));
+    std::vector<std::vector<Tensor>> outputs = engine.run(inputs);
+    double execUs = elapsedUsSince(dispatchTp);
+
+    BatchRecord br;
+    br.model = batch[0].model;
+    br.size = static_cast<int>(batch.size());
+    br.wallUs = execUs;
+    br.closedByTimeout = byTimeout;
+    stats_.batches.push_back(br);
+    ++stats_.batchSizeHist[br.size];
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        ServeRequest &r = batch[i];
+        RequestRecord rec;
+        rec.id = r.id;
+        rec.model = r.model;
+        rec.seed = r.seed;
+        rec.queueUs = std::chrono::duration<double, std::micro>(
+                          dispatchTp - r.arrival)
+                          .count();
+        rec.execUs = execUs;
+        rec.batchSize = br.size;
+        stats_.requests.push_back(rec);
+        ++stats_.completed;
+        ++stats_.completedByModel[r.model];
+        if (sink_)
+            sink_(rec, outputs[i]);
+        if (r.onComplete) {
+            auto complete = std::move(r.onComplete);
+            r.onComplete = nullptr;  // never double-notified on error
+            complete(std::move(outputs[i]));
+        }
+    }
+}
+
+void
+DynamicBatcher::loop()
+{
+    while (true) {
+        bool byTimeout = false;
+        std::vector<ServeRequest> batch =
+            queue_.popBatch(policy_.maxBatch, policy_.timeoutUs, &byTimeout);
+        if (batch.empty())
+            break;  // closed and drained
+        try {
+            dispatch(batch, byTimeout);
+        } catch (...) {
+            if (!error_)
+                error_ = std::current_exception();
+            // Fail fast: refuse new work and unblock anyone waiting on
+            // requests this loop will never serve — the in-flight
+            // batch first, then whatever is still queued.
+            queue_.close();
+            for (ServeRequest &r : batch)
+                if (r.onComplete)
+                    r.onComplete({});
+            while (true) {
+                std::vector<ServeRequest> rest =
+                    queue_.popBatch(policy_.maxBatch, 0);
+                if (rest.empty())
+                    break;
+                for (ServeRequest &r : rest)
+                    if (r.onComplete)
+                        r.onComplete({});
+            }
+            break;
+        }
+    }
+}
+
+void
+DynamicBatcher::join()
+{
+    if (thread_.joinable())
+        thread_.join();
+    auto cache = cache_.stats();
+    stats_.cacheHits = cache.hits;
+    stats_.cacheMisses = cache.misses;
+    stats_.engineBuildUs = cache.buildUs;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+}  // namespace serve
+}  // namespace ngb

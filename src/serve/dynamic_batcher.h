@@ -1,0 +1,93 @@
+#ifndef NGB_SERVE_DYNAMIC_BATCHER_H
+#define NGB_SERVE_DYNAMIC_BATCHER_H
+
+#include <exception>
+#include <functional>
+#include <thread>
+
+#include "serve/engine.h"
+#include "serve/request_queue.h"
+#include "serve/serve_stats.h"
+
+namespace ngb {
+namespace serve {
+
+/**
+ * The serving scheduler: one dispatch thread that drains the
+ * RequestQueue into per-model batches and runs them through cached
+ * engines on the shared ThreadPool.
+ *
+ * A batch closes when max_batch same-model requests are queued or
+ * when the oldest has waited batch_timeout_us — the classic dynamic
+ * batching deadline policy (Triton/vLLM shape): the timeout bounds
+ * the batching delay a lightly-loaded tenant pays, max_batch bounds
+ * the head-of-line blocking a heavily-loaded one causes. Batches are
+ * dispatched strictly sequentially from this thread, so exactly one
+ * fork-join region is in flight on the pool at a time (the pool does
+ * not support concurrent parallelFor calls); intra-batch parallelism
+ * comes from the pool's workers.
+ *
+ * Timestamps: a request's queue time is arrival -> batch close, its
+ * execute time batch close -> batch completion (engine-cache build on
+ * a miss counts as execute — it is cold-start service time).
+ */
+class DynamicBatcher
+{
+  public:
+    struct Policy {
+        int maxBatch = 8;
+        int64_t timeoutUs = 2000;
+    };
+
+    /**
+     * Called on the dispatch thread for every completed request,
+     * before the request's own onComplete. Outputs are borrowed;
+     * Tensor copies are shallow, so retaining them is cheap.
+     */
+    using Sink = std::function<void(const RequestRecord &,
+                                    const std::vector<Tensor> &)>;
+
+    DynamicBatcher(RequestQueue &queue, EngineCache &cache,
+                   Policy policy, Sink sink = nullptr);
+    ~DynamicBatcher();
+
+    DynamicBatcher(const DynamicBatcher &) = delete;
+    DynamicBatcher &operator=(const DynamicBatcher &) = delete;
+
+    /** Spawn the dispatch thread. */
+    void start();
+
+    /**
+     * Wait until the queue is closed and drained and the dispatch
+     * thread has exited. Rethrows the first dispatch-loop exception
+     * (after failing pending requests with empty outputs).
+     */
+    void join();
+
+    /**
+     * Batcher-side statistics (requests, batches, histogram, depth
+     * samples, completion counters). Valid after join().
+     */
+    const ServeStats &stats() const { return stats_; }
+
+  private:
+    void loop();
+
+    /** Run one closed batch; on throw the caller fails its requests. */
+    void dispatch(std::vector<ServeRequest> &batch, bool byTimeout);
+
+    RequestQueue &queue_;
+    EngineCache &cache_;
+    Policy policy_;
+    Sink sink_;
+
+    ServeStats stats_;  ///< written only by the dispatch thread
+    std::chrono::steady_clock::time_point t0_;
+    std::thread thread_;
+    std::exception_ptr error_;
+};
+
+}  // namespace serve
+}  // namespace ngb
+
+#endif  // NGB_SERVE_DYNAMIC_BATCHER_H

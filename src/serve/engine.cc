@@ -1,0 +1,59 @@
+#include "serve/engine.h"
+
+#include <chrono>
+
+#include "models/registry.h"
+#include "runtime/runtime_profile.h"
+
+namespace ngb {
+namespace serve {
+
+Engine::Engine(const std::string &model, const EngineConfig &cfg,
+               ThreadPool &pool)
+    : model_(model)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    const auto &info = models::findModel(model);
+    ModelConfig mc;
+    mc.batch = 1;
+    mc.seqLen = cfg.seqLen;
+    mc.testScale = cfg.scale;
+    graph_ = std::make_unique<Graph>(info.build(mc));
+    plan_ = buildEnginePlan(*graph_);
+    driver_ = std::make_unique<BatchDriver>(*graph_, pool, plan_);
+    buildUs_ = elapsedUsSince(t0);
+}
+
+EngineCache::EngineCache(ThreadPool &pool, EngineConfig cfg)
+    : pool_(pool), cfg_(cfg)
+{
+}
+
+Engine &
+EngineCache::get(const std::string &model)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    EngineKey key{model, cfg_.scale, pool_.threads()};
+    auto it = engines_.find(key);
+    if (it != engines_.end()) {
+        ++stats_.hits;
+        return *it->second;
+    }
+    ++stats_.misses;
+    auto engine = std::make_unique<Engine>(model, cfg_, pool_);
+    stats_.buildUs += engine->buildUs();
+    auto [pos, inserted] = engines_.emplace(key, std::move(engine));
+    (void)inserted;
+    stats_.engines = engines_.size();
+    return *pos->second;
+}
+
+EngineCache::Stats
+EngineCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace serve
+}  // namespace ngb

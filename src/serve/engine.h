@@ -1,0 +1,120 @@
+#ifndef NGB_SERVE_ENGINE_H
+#define NGB_SERVE_ENGINE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "runtime/batch_driver.h"
+#include "runtime/thread_pool.h"
+
+namespace ngb {
+namespace serve {
+
+/** Graph-shape knobs shared by every engine a cache builds. */
+struct EngineConfig {
+    int64_t scale = 8;   ///< ModelConfig::testScale
+    int64_t seqLen = 8;  ///< NLP sequence length
+};
+
+/**
+ * Identity of one planned engine. Thread count is part of the key
+ * because the plan is amortized against a specific pool size — a
+ * server that resizes its pool gets distinct engines, the same way
+ * TensorRT engines are keyed by build-time configuration.
+ */
+struct EngineKey {
+    std::string model;
+    int64_t scale = 8;
+    int threads = 1;
+
+    bool operator<(const EngineKey &o) const
+    {
+        return std::tie(model, scale, threads) <
+               std::tie(o.model, o.scale, o.threads);
+    }
+};
+
+/**
+ * A fully-planned, long-lived inference engine for one model: the
+ * built Graph, its EnginePlan (wavefront schedule + arena memory plan
+ * + materialized ParamStore), and a BatchDriver bound to the shared
+ * pool. Construction pays the full planning cost once; run() then
+ * streams any number of batches through the plan with no per-call
+ * planning, which is exactly what the EngineCache amortizes across a
+ * serving session.
+ */
+class Engine
+{
+  public:
+    Engine(const std::string &model, const EngineConfig &cfg,
+           ThreadPool &pool);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    const std::string &model() const { return model_; }
+    const Graph &graph() const { return *graph_; }
+    BatchDriver &driver() { return *driver_; }
+
+    /** Wall time spent building graph + plan (the cache-miss cost). */
+    double buildUs() const { return buildUs_; }
+
+    std::vector<std::vector<Tensor>>
+    run(const std::vector<std::vector<Tensor>> &requests)
+    {
+        return driver_->run(requests);
+    }
+
+  private:
+    std::string model_;
+    std::unique_ptr<Graph> graph_;
+    std::shared_ptr<EnginePlan> plan_;
+    std::unique_ptr<BatchDriver> driver_;
+    double buildUs_ = 0;
+};
+
+/**
+ * Multi-tenant cache of planned engines, keyed (model, scale,
+ * threads). get() builds on miss and counts hits/misses, so a serving
+ * run can report how much planning it amortized. Thread-safe; the
+ * returned Engine reference stays valid for the cache's lifetime
+ * (engines are never evicted — the registry is small and plans are
+ * the whole point of caching). A miss builds the engine while holding
+ * the cache lock: with the single dispatch thread that is the design
+ * point today, the cold-build stall is the serving stall either way;
+ * a multi-dispatcher server would want a per-key once-latch here.
+ */
+class EngineCache
+{
+  public:
+    struct Stats {
+        int64_t hits = 0;
+        int64_t misses = 0;
+        double buildUs = 0;  ///< total planning time across misses
+        size_t engines = 0;
+    };
+
+    explicit EngineCache(ThreadPool &pool, EngineConfig cfg = {});
+
+    /** Engine for @p model, building (and timing) it on a miss. */
+    Engine &get(const std::string &model);
+
+    Stats stats() const;
+
+  private:
+    ThreadPool &pool_;
+    EngineConfig cfg_;
+    mutable std::mutex mutex_;
+    std::map<EngineKey, std::unique_ptr<Engine>> engines_;
+    Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace ngb
+
+#endif  // NGB_SERVE_ENGINE_H

@@ -1,0 +1,131 @@
+#include "serve/load_gen.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ngb {
+namespace serve {
+
+uint64_t
+nextRand(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+nextU01(uint64_t &state)
+{
+    // 53 mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(nextRand(state) >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+requestSeed(uint64_t seed, uint64_t stream, uint64_t n)
+{
+    uint64_t state = seed ^ (stream * 0xd6e8feb86659fd93ull);
+    state ^= n * 0xa3b195354a39b70dull;
+    return nextRand(state);
+}
+
+std::vector<MixEntry>
+parseMix(const std::string &spec)
+{
+    std::vector<MixEntry> mix;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        MixEntry e;
+        size_t colon = item.find(':');
+        if (colon == std::string::npos) {
+            e.model = item;
+        } else {
+            e.model = item.substr(0, colon);
+            std::string w = item.substr(colon + 1);
+            size_t used = 0;
+            try {
+                e.weight = std::stod(w, &used);
+            } catch (const std::exception &) {
+                throw std::runtime_error("bad mix weight in \"" + item +
+                                         "\"");
+            }
+            if (used != w.size())  // "4x" must not parse as 4
+                throw std::runtime_error("bad mix weight in \"" + item +
+                                         "\"");
+        }
+        if (e.model.empty())
+            throw std::runtime_error("empty model name in mix \"" + spec +
+                                     "\"");
+        if (!(e.weight > 0))
+            throw std::runtime_error("mix weight must be > 0 in \"" +
+                                     item + "\"");
+        mix.push_back(std::move(e));
+    }
+    if (mix.empty())
+        throw std::runtime_error("empty traffic mix \"" + spec + "\"");
+    return mix;
+}
+
+const std::string &
+pickModel(const std::vector<MixEntry> &mix, double u01)
+{
+    double total = 0;
+    for (const MixEntry &e : mix)
+        total += e.weight;
+    double target = u01 * total;
+    double cum = 0;
+    for (const MixEntry &e : mix) {
+        cum += e.weight;
+        if (target < cum)
+            return e.model;
+    }
+    return mix.back().model;
+}
+
+std::vector<TraceEvent>
+poissonTrace(const std::vector<MixEntry> &mix, double rps,
+             double durationS, uint64_t seed)
+{
+    if (!(rps > 0) || !std::isfinite(rps))
+        throw std::runtime_error("poissonTrace: rps must be finite > 0");
+    if (!(durationS > 0) || !std::isfinite(durationS))
+        throw std::runtime_error(
+            "poissonTrace: duration must be finite > 0");
+    // The trace is materialized up front (that is what makes it a
+    // replayable, deterministic artifact), so bound its size instead
+    // of letting an absurd rps x duration exhaust memory.
+    constexpr size_t kMaxEvents = 10'000'000;
+    std::vector<TraceEvent> trace;
+    uint64_t state = seed;
+    double t_us = 0;
+    const double horizon_us = durationS * 1e6;
+    for (uint64_t n = 0;; ++n) {
+        // Inverse-CDF exponential inter-arrival at rate rps.
+        double u = nextU01(state);
+        t_us += -std::log(1.0 - u) * 1e6 / rps;
+        if (t_us >= horizon_us)
+            break;
+        if (trace.size() >= kMaxEvents)
+            throw std::runtime_error(
+                "poissonTrace: more than 10M arrivals; lower rps or "
+                "duration");
+        TraceEvent ev;
+        ev.atUs = t_us;
+        ev.model = pickModel(mix, nextU01(state));
+        ev.seed = requestSeed(seed, 0, n);
+        trace.push_back(std::move(ev));
+    }
+    return trace;
+}
+
+}  // namespace serve
+}  // namespace ngb

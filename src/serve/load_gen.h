@@ -1,0 +1,64 @@
+#ifndef NGB_SERVE_LOAD_GEN_H
+#define NGB_SERVE_LOAD_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ngb {
+namespace serve {
+
+/** One tenant of a traffic mix: a registry model and its weight. */
+struct MixEntry {
+    std::string model;
+    double weight = 1;
+};
+
+/**
+ * Parse a traffic-mix spec like "vit_b:4,gpt2:1" (weight defaults to
+ * 1 when ":w" is omitted, so "vit_b,gpt2" is a uniform mix). Throws
+ * std::runtime_error on malformed specs or non-positive weights;
+ * model names are validated against the registry by the caller.
+ */
+std::vector<MixEntry> parseMix(const std::string &spec);
+
+/** Weighted sample from @p mix given a uniform @p u01 in [0, 1). */
+const std::string &pickModel(const std::vector<MixEntry> &mix, double u01);
+
+/** One planned arrival of an open-loop trace. */
+struct TraceEvent {
+    double atUs = 0;  ///< offset from trace start
+    std::string model;
+    uint64_t seed = 0;  ///< request-input seed (deterministic payload)
+};
+
+/**
+ * Deterministic open-loop Poisson arrival trace: exponential
+ * inter-arrival times at @p rps over @p durationS, each event's model
+ * drawn from the weighted @p mix and its input seed derived from the
+ * event index. The generator is hand-rolled (splitmix64), so a fixed
+ * @p seed reproduces the identical trace on every run and platform —
+ * the property the --seed determinism guarantee rests on.
+ */
+std::vector<TraceEvent> poissonTrace(const std::vector<MixEntry> &mix,
+                                     double rps, double durationS,
+                                     uint64_t seed);
+
+/**
+ * The request-seed stream shared by both load generators: request
+ * @p n of logical stream @p stream (trace index, or client id) under
+ * base seed @p seed. Collision-resistant mixing keeps every request's
+ * synthetic inputs distinct yet reproducible.
+ */
+uint64_t requestSeed(uint64_t seed, uint64_t stream, uint64_t n);
+
+/** splitmix64 step: advances @p state and returns a mixed value. */
+uint64_t nextRand(uint64_t &state);
+
+/** Uniform double in [0, 1) from the splitmix64 stream. */
+double nextU01(uint64_t &state);
+
+}  // namespace serve
+}  // namespace ngb
+
+#endif  // NGB_SERVE_LOAD_GEN_H

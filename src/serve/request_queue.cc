@@ -1,0 +1,141 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+namespace ngb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+RequestQueue::RequestQueue(size_t maxDepth, AdmissionPolicy policy)
+    : maxDepth_(std::max<size_t>(maxDepth, 1)), policy_(policy)
+{
+}
+
+bool
+RequestQueue::push(ServeRequest r)
+{
+    // Arrival is stamped on entry, before any admission blocking, so
+    // a request's reported queue time covers the full submit ->
+    // dispatch interval (backpressure wait included).
+    r.arrival = Clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_)
+        return false;
+    if (queue_.size() >= maxDepth_) {
+        if (policy_ == AdmissionPolicy::Reject)
+            return false;
+        spaceCv_.wait(lock, [&] {
+            return closed_ || queue_.size() < maxDepth_;
+        });
+        if (closed_)
+            return false;
+    }
+    queue_.push_back(std::move(r));
+    dataCv_.notify_one();
+    return true;
+}
+
+std::vector<ServeRequest>
+RequestQueue::extractLocked(const std::string &model, int maxBatch)
+{
+    std::vector<ServeRequest> out;
+    out.reserve(std::min(static_cast<size_t>(maxBatch), queue_.size()));
+    for (auto it = queue_.begin();
+         it != queue_.end() && out.size() < static_cast<size_t>(maxBatch);) {
+        if (it->model == model) {
+            out.push_back(std::move(*it));
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+std::vector<ServeRequest>
+RequestQueue::popBatch(int maxBatch, int64_t timeoutUs,
+                       bool *closedByTimeout)
+{
+    maxBatch = std::max(maxBatch, 1);
+    // Clamp the deadline to one hour: `arrival + microseconds(t)` is
+    // converted to the clock's (nanosecond) period, so a huge t meant
+    // as "never" would overflow int64 and wrap to an already-expired
+    // deadline, closing every batch instantly.
+    timeoutUs = std::min<int64_t>(std::max<int64_t>(timeoutUs, 0),
+                                  3'600'000'000);
+    if (closedByTimeout)
+        *closedByTimeout = false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        if (queue_.empty()) {
+            if (closed_)
+                return {};
+            dataCv_.wait(lock,
+                         [&] { return closed_ || !queue_.empty(); });
+            continue;
+        }
+
+        // Only this (batcher) thread pops, so the oldest request — and
+        // with it the batch's model and deadline — is stable across
+        // the waits below.
+        const std::string model = queue_.front().model;
+        size_t available = 0;
+        for (const ServeRequest &r : queue_)
+            if (r.model == model && ++available >=
+                                        static_cast<size_t>(maxBatch))
+                break;
+
+        // Close immediately when full, closed, or at capacity: with the
+        // queue at maxDepth every producer is blocked (or shedding), so
+        // no same-model request can arrive and waiting out the deadline
+        // would only idle the engine.
+        if (available >= static_cast<size_t>(maxBatch) || closed_ ||
+            queue_.size() >= maxDepth_) {
+            auto batch = extractLocked(model, maxBatch);
+            spaceCv_.notify_all();
+            return batch;
+        }
+
+        auto deadline =
+            queue_.front().arrival + std::chrono::microseconds(timeoutUs);
+        if (Clock::now() >= deadline) {
+            if (closedByTimeout)
+                *closedByTimeout = true;
+            auto batch = extractLocked(model, maxBatch);
+            spaceCv_.notify_all();
+            return batch;
+        }
+        dataCv_.wait_until(lock, deadline);
+    }
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    spaceCv_.notify_all();
+    dataCv_.notify_all();
+}
+
+size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+}  // namespace ngb

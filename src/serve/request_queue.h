@@ -1,0 +1,106 @@
+#ifndef NGB_SERVE_REQUEST_QUEUE_H
+#define NGB_SERVE_REQUEST_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ngb {
+
+/**
+ * One inference request as it travels through the serving layer.
+ *
+ * The payload is a (model, seed) pair rather than materialized
+ * tensors: inputs are derived deterministically from the seed at
+ * dispatch time (makeRequestInputs), which keeps the queue cheap and
+ * makes every request independently re-runnable for verification.
+ */
+struct ServeRequest {
+    uint64_t id = 0;
+    std::string model;
+    uint64_t seed = 0;
+    std::chrono::steady_clock::time_point arrival;
+
+    /**
+     * Invoked on the batcher thread when the request completes, with
+     * the request's graph outputs moved in. May be empty. Closed-loop
+     * clients use it to issue their next request; the serve driver
+     * uses it to retain outputs for --verify.
+     */
+    std::function<void(std::vector<Tensor> &&)> onComplete;
+};
+
+/** What admission control does when the queue is at maxDepth. */
+enum class AdmissionPolicy {
+    Block,   ///< push() waits for space (backpressure onto the client)
+    Reject,  ///< push() fails immediately (load shedding)
+};
+
+/**
+ * Thread-safe bounded FIFO between load generators and the
+ * DynamicBatcher.
+ *
+ * Producers push() from any number of threads; the single batcher
+ * thread calls popBatch(), which implements the batching policy:
+ * take the model of the oldest queued request (FIFO across models —
+ * no tenant starvation) and close a batch of that model when either
+ * maxBatch requests are available or the oldest has waited
+ * timeoutUs. Requests of other models keep their queue positions.
+ *
+ * close() ends admission: subsequent or blocked push() calls return
+ * false, popBatch() drains what is left without waiting out the
+ * deadline, then returns empty batches forever.
+ */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(size_t maxDepth = 256,
+                          AdmissionPolicy policy = AdmissionPolicy::Block);
+
+    /**
+     * Admit @p r (stamps arrival). Returns false when rejected by
+     * admission control or the queue is closed.
+     */
+    bool push(ServeRequest r);
+
+    /**
+     * Block until a batch can be closed under the (maxBatch,
+     * timeoutUs) policy, then return it (nonempty, single model,
+     * arrival order). Empty result means closed-and-drained.
+     * @p closedByTimeout reports which condition closed the batch.
+     * timeoutUs is clamped to [0, 1 h] (overflow-safe "never").
+     */
+    std::vector<ServeRequest> popBatch(int maxBatch, int64_t timeoutUs,
+                                       bool *closedByTimeout = nullptr);
+
+    void close();
+
+    size_t depth() const;
+    size_t maxDepth() const { return maxDepth_; }
+    AdmissionPolicy policy() const { return policy_; }
+    bool closed() const;
+
+  private:
+    /** Remove and return up to maxBatch queued requests of @p model. */
+    std::vector<ServeRequest> extractLocked(const std::string &model,
+                                            int maxBatch);
+
+    mutable std::mutex mutex_;
+    std::condition_variable spaceCv_;  ///< producers wait (Block policy)
+    std::condition_variable dataCv_;   ///< batcher waits for arrivals
+    std::deque<ServeRequest> queue_;
+    size_t maxDepth_;
+    AdmissionPolicy policy_;
+    bool closed_ = false;
+};
+
+}  // namespace ngb
+
+#endif  // NGB_SERVE_REQUEST_QUEUE_H

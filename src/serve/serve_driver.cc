@@ -1,0 +1,181 @@
+#include "serve/serve_driver.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "graph/executor.h"
+#include "models/registry.h"
+#include "runtime/request_util.h"
+#include "runtime/runtime_profile.h"
+
+namespace ngb {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Completion latch a closed-loop client waits on; shared with the
+ *  batcher's callback so it survives either side exiting first. */
+struct Latch {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+};
+
+void
+replayOpenLoop(std::vector<TraceEvent> &trace, RequestQueue &queue,
+               Clock::time_point t0, ServeStats &counters)
+{
+    for (size_t n = 0; n < trace.size(); ++n) {
+        if (queue.closed())
+            return;  // batcher failed: stop replaying, report now
+        TraceEvent &ev = trace[n];
+        std::this_thread::sleep_until(
+            t0 + std::chrono::microseconds(
+                     static_cast<int64_t>(ev.atUs)));
+        ServeRequest r;
+        r.id = n;
+        r.model = std::move(ev.model);
+        r.seed = ev.seed;
+        ++counters.offered;
+        if (queue.push(std::move(r)))
+            ++counters.admitted;
+        else
+            ++counters.rejected;
+    }
+}
+
+void
+runClosedLoop(const ServeConfig &cfg, RequestQueue &queue,
+              Clock::time_point t0, ServeStats &counters)
+{
+    std::atomic<int64_t> offered{0}, admitted{0}, rejected{0};
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(cfg.clients));
+    auto horizon = t0 + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(cfg.durationS));
+    for (int c = 0; c < cfg.clients; ++c) {
+        clients.emplace_back([&, c] {
+            uint64_t pick_state =
+                cfg.seed ^ (0x9e3779b97f4a7c15ull *
+                            static_cast<uint64_t>(c + 1));
+            for (uint64_t n = 0; Clock::now() < horizon; ++n) {
+                ServeRequest r;
+                r.id = (static_cast<uint64_t>(c + 1) << 32) | n;
+                r.model = pickModel(cfg.mix, nextU01(pick_state));
+                r.seed = requestSeed(cfg.seed,
+                                     static_cast<uint64_t>(c + 1), n);
+                auto latch = std::make_shared<Latch>();
+                r.onComplete = [latch](std::vector<Tensor> &&) {
+                    {
+                        std::lock_guard<std::mutex> lock(latch->m);
+                        latch->done = true;
+                    }
+                    latch->cv.notify_one();
+                };
+                ++offered;
+                if (!queue.push(std::move(r))) {
+                    ++rejected;
+                    if (queue.closed())
+                        return;
+                    // Back off before retrying so shed clients do not
+                    // busy-spin on the queue mutex (and inflate the
+                    // offered/rejected counters) while the batcher
+                    // works the backlog down.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                    continue;
+                }
+                ++admitted;
+                std::unique_lock<std::mutex> lock(latch->m);
+                latch->cv.wait(lock, [&] { return latch->done; });
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    counters.offered = offered;
+    counters.admitted = admitted;
+    counters.rejected = rejected;
+}
+
+void
+verifyAgainstSerial(ServeResult &result, EngineCache &cache)
+{
+    // One serial reference Executor per model; the engine's own graph
+    // is reused so reference and served runs share shapes and params
+    // by construction. Post-join cache.get() calls do not perturb the
+    // reported hit/miss stats (already snapshotted).
+    std::map<std::string, std::unique_ptr<Executor>> refs;
+    for (const CompletedOutput &co : result.outputs) {
+        Engine &engine = cache.get(co.model);
+        std::unique_ptr<Executor> &ref = refs[co.model];
+        if (!ref)
+            ref = std::make_unique<Executor>(engine.graph());
+        std::vector<Tensor> want =
+            ref->run(makeRequestInputs(engine.graph(), co.seed));
+        ++result.verifiedRequests;
+        if (!bitIdentical(want, co.outputs))
+            ++result.verifyMismatches;
+    }
+    result.verified = true;
+}
+
+}  // namespace
+
+ServeResult
+runServe(const ServeConfig &cfg, ThreadPool &pool)
+{
+    // Fail on unknown tenants before any thread starts.
+    for (const MixEntry &e : cfg.mix)
+        models::findModel(e.model);
+
+    EngineCache cache(pool, cfg.engine);
+    RequestQueue queue(cfg.queueDepth, cfg.admission);
+
+    ServeResult result;
+    const bool collect = cfg.verify || cfg.collectOutputs;
+    DynamicBatcher::Sink sink;
+    if (collect)
+        sink = [&result](const RequestRecord &rec,
+                         const std::vector<Tensor> &outs) {
+            // Dispatch-thread only; Tensor copies are shallow views.
+            result.outputs.push_back(
+                {rec.id, rec.model, rec.seed, outs});
+        };
+
+    DynamicBatcher batcher(queue, cache, cfg.policy, std::move(sink));
+    ServeStats counters;  // load-generator-side admission counts
+
+    // Materialize the open-loop trace BEFORE t0: generation time must
+    // not eat into the arrival schedule, or already-due events would
+    // replay as a burst the Poisson process never contained.
+    std::vector<TraceEvent> trace;
+    if (cfg.clients <= 0)
+        trace = poissonTrace(cfg.mix, cfg.rps, cfg.durationS, cfg.seed);
+
+    auto t0 = Clock::now();
+    batcher.start();
+    if (cfg.clients > 0)
+        runClosedLoop(cfg, queue, t0, counters);
+    else
+        replayOpenLoop(trace, queue, t0, counters);
+    queue.close();
+    batcher.join();  // rethrows dispatch-loop errors
+
+    result.stats = batcher.stats();
+    result.stats.durationUs = elapsedUsSince(t0);
+    result.stats.offered = counters.offered;
+    result.stats.admitted = counters.admitted;
+    result.stats.rejected = counters.rejected;
+
+    if (cfg.verify)
+        verifyAgainstSerial(result, cache);
+    return result;
+}
+
+}  // namespace serve
+}  // namespace ngb

@@ -1,0 +1,69 @@
+#ifndef NGB_SERVE_SERVE_DRIVER_H
+#define NGB_SERVE_SERVE_DRIVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/dynamic_batcher.h"
+#include "serve/load_gen.h"
+
+namespace ngb {
+namespace serve {
+
+/** Everything one serving run needs: traffic, policy, and shapes. */
+struct ServeConfig {
+    std::vector<MixEntry> mix{{"vit_b", 1}};
+
+    double rps = 100;      ///< open-loop Poisson arrival rate
+    double durationS = 2;  ///< load-generation horizon
+    int clients = 0;       ///< > 0: closed-loop N clients (rps unused)
+
+    DynamicBatcher::Policy policy;
+    size_t queueDepth = 256;
+    AdmissionPolicy admission = AdmissionPolicy::Block;
+
+    EngineConfig engine;  ///< scale / seqLen for every tenant
+
+    uint64_t seed = 42;  ///< load-gen + request-payload seed
+    bool verify = false;
+    bool collectOutputs = false;  ///< retain outputs (implied by verify)
+};
+
+/** Retained outputs of one served request (verify / determinism). */
+struct CompletedOutput {
+    uint64_t id = 0;
+    std::string model;
+    uint64_t seed = 0;
+    std::vector<Tensor> outputs;
+};
+
+struct ServeResult {
+    ServeStats stats;
+    std::vector<CompletedOutput> outputs;  ///< when collected, in
+                                           ///< completion order
+    bool verified = false;
+    int64_t verifiedRequests = 0;
+    int64_t verifyMismatches = 0;
+};
+
+/**
+ * Run one complete serving session on @p pool: build the engine
+ * cache, start the DynamicBatcher, generate traffic (open-loop
+ * Poisson trace replay, or closed-loop clients when cfg.clients > 0),
+ * drain, and — when cfg.verify — re-run every served request on the
+ * serial Executor and count bit-exact mismatches.
+ *
+ * Deterministic under a fixed cfg.seed: in open-loop mode the request
+ * trace (ids, models, payload seeds) and every request's outputs are
+ * identical across runs; only the timing-derived statistics vary. In
+ * closed-loop mode the trace *length* depends on wall-clock service
+ * speed — each client's request sequence and all payloads/outputs are
+ * still seed-deterministic, but how far a client gets within the
+ * horizon is not.
+ */
+ServeResult runServe(const ServeConfig &cfg, ThreadPool &pool);
+
+}  // namespace serve
+}  // namespace ngb
+
+#endif  // NGB_SERVE_SERVE_DRIVER_H

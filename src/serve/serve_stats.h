@@ -1,0 +1,94 @@
+#ifndef NGB_SERVE_SERVE_STATS_H
+#define NGB_SERVE_SERVE_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ngb {
+
+/**
+ * Per-request latency record, in the units a user of the server
+ * experiences: queueUs is arrival -> batch close (admission +
+ * batching delay), execUs is batch close -> completion (the wall time
+ * of the batch the request rode in, including any engine build on a
+ * cache miss). totalUs() is end-to-end.
+ */
+struct RequestRecord {
+    uint64_t id = 0;
+    std::string model;
+    uint64_t seed = 0;
+    double queueUs = 0;
+    double execUs = 0;
+    int batchSize = 1;  ///< size of the batch this request rode in
+
+    double totalUs() const { return queueUs + execUs; }
+};
+
+/** One dispatched batch. */
+struct BatchRecord {
+    std::string model;
+    int size = 0;
+    double wallUs = 0;
+    bool closedByTimeout = false;  ///< deadline fired before max_batch
+};
+
+/** Queue depth observed at one batch-dispatch instant. */
+struct QueueDepthSample {
+    double tUs = 0;  ///< since serving start
+    size_t depth = 0;
+};
+
+/**
+ * Everything the serving layer measures over one run: admission
+ * counters, per-request latency records, per-batch records, queue
+ * depth over time, and engine-cache behavior. The profiler's serve
+ * report (src/profiler/serve_report.h) turns this into the
+ * human-readable and JSON outputs.
+ */
+struct ServeStats {
+    double durationUs = 0;  ///< first submission -> queue drained
+
+    int64_t offered = 0;    ///< requests the load generator produced
+    int64_t admitted = 0;   ///< accepted into the queue
+    int64_t rejected = 0;   ///< bounced by admission control
+    int64_t completed = 0;  ///< served to completion
+
+    std::vector<RequestRecord> requests;  ///< completed, dispatch order
+    std::vector<BatchRecord> batches;
+    std::vector<QueueDepthSample> depthSamples;
+    std::map<int, int64_t> batchSizeHist;
+    std::map<std::string, int64_t> completedByModel;
+
+    int64_t cacheHits = 0;
+    int64_t cacheMisses = 0;
+    double engineBuildUs = 0;  ///< total planning time on cache misses
+
+    double throughputRps() const
+    {
+        return durationUs > 0
+                   ? 1e6 * static_cast<double>(completed) / durationUs
+                   : 0;
+    }
+
+    double cacheHitRate() const
+    {
+        int64_t total = cacheHits + cacheMisses;
+        return total > 0
+                   ? static_cast<double>(cacheHits) /
+                         static_cast<double>(total)
+                   : 0;
+    }
+
+    double meanBatchSize() const
+    {
+        return batches.empty() ? 0
+                               : static_cast<double>(completed) /
+                                     static_cast<double>(batches.size());
+    }
+};
+
+}  // namespace ngb
+
+#endif  // NGB_SERVE_SERVE_STATS_H

@@ -132,6 +132,23 @@ TEST(ThreadPoolTest, TaskExceptionPropagatesWithoutDeadlock)
     EXPECT_EQ(n.load(), 32);
 }
 
+TEST(ThreadPoolTest, ZeroAndNegativeRequestsResolveToAtLeastOneWorker)
+{
+    // Regression: --threads 0 (and hosts where hardware_concurrency()
+    // returns 0) must yield a working pool, never an empty one.
+    EXPECT_GE(resolveThreads(0), 1);
+    EXPECT_GE(resolveThreads(-4), 1);
+    EXPECT_EQ(resolveThreads(3), 3);
+
+    for (int requested : {0, -2}) {
+        ThreadPool pool(requested);
+        EXPECT_GE(pool.threads(), 1);
+        std::atomic<int> n{0};
+        pool.parallelFor(16, [&](size_t, int) { ++n; });
+        EXPECT_EQ(n.load(), 16);
+    }
+}
+
 TEST(ThreadPoolTest, StatsAccountForAllTasks)
 {
     ThreadPool pool(3);
@@ -196,6 +213,78 @@ TEST(MemoryPlannerTest, SequentialChainReusesBuffers)
     MemoryPlan plan = planMemory(g, Schedule::wavefront(g));
     EXPECT_TRUE(verifyNoAliasing(plan));
     EXPECT_GE(plan.reuseFactor(), 4.0);
+}
+
+TEST(MemoryPlannerTest, EmptyGraphPlansNothing)
+{
+    Graph g;
+    MemoryPlan plan = planMemory(g, Schedule::wavefront(g));
+    EXPECT_TRUE(plan.placements.empty());
+    EXPECT_EQ(plan.arenaBytes, 0);
+    EXPECT_EQ(plan.totalBytes, 0);
+    EXPECT_TRUE(verifyNoAliasing(plan));
+}
+
+TEST(MemoryPlannerTest, SingleNodeGraphsPlanOnlyComputedTensors)
+{
+    // Input-only graph: the sole tensor is caller-owned, nothing to plan.
+    Graph g;
+    GraphBuilder b(g);
+    b.output(b.input(Shape{4}));
+    MemoryPlan plan = planMemory(g, Schedule::wavefront(g));
+    EXPECT_TRUE(plan.placements.empty());
+    EXPECT_EQ(plan.arenaBytes, 0);
+    EXPECT_TRUE(verifyNoAliasing(plan));
+
+    // One compute node: exactly its output is planned, and the arena
+    // is exactly that (aligned) tensor.
+    Graph g2;
+    GraphBuilder b2(g2);
+    b2.output(b2.relu(b2.input(Shape{8, 8})));
+    MemoryPlan plan2 = planMemory(g2, Schedule::wavefront(g2));
+    ASSERT_EQ(plan2.placements.size(), 1u);
+    EXPECT_EQ(plan2.arenaBytes, plan2.totalBytes);
+    EXPECT_EQ(plan2.arenaBytes, plan2.placements[0].bytes);
+    EXPECT_TRUE(verifyNoAliasing(plan2));
+}
+
+TEST(MemoryPlannerTest, AllTensorsLiveToEndForbidReuse)
+{
+    // Every computed tensor is a graph output, so all lifetimes extend
+    // to the last level: peak must equal the no-reuse footprint.
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{32, 32});
+    for (int i = 0; i < 6; ++i)
+        b.output(b.relu(x));
+    MemoryPlan plan = planMemory(g, Schedule::wavefront(g));
+    ASSERT_EQ(plan.placements.size(), 6u);
+    EXPECT_TRUE(verifyNoAliasing(plan));
+    EXPECT_EQ(plan.arenaBytes, plan.totalBytes);
+}
+
+TEST(MemoryPlannerTest, FragmentationProneLifetimesStillPackSafely)
+{
+    // Alternating wide/narrow activations plus a pinned early output —
+    // the hole-punching pattern that fragments naive first-fit
+    // allocators. The planner must stay alias-free and no worse than
+    // the no-reuse footprint while still reusing the wide slots.
+    Graph g;
+    GraphBuilder b(g);
+    Value x = b.input(Shape{1, 4, 16});
+    Value pinned = b.linear(x, 256, false, "pin");
+    b.output(pinned);  // lives to the end, mid-arena
+    Value h = x;
+    for (int i = 0; i < 6; ++i) {
+        h = b.linear(h, 256, false, "wide" + std::to_string(i));
+        h = b.linear(h, 8, false, "narrow" + std::to_string(i));
+    }
+    b.output(b.add(b.linear(h, 256, false, "up"), pinned));
+    MemoryPlan plan = planMemory(g, Schedule::wavefront(g));
+    EXPECT_TRUE(verifyNoAliasing(plan));
+    EXPECT_LE(plan.arenaBytes, plan.totalBytes);
+    // The six wide intermediates die quickly; reuse must pay off.
+    EXPECT_GE(plan.reuseFactor(), 2.0);
 }
 
 TEST(MemoryPlannerTest, GraphOutputsStayLiveToTheEnd)

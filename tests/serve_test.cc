@@ -1,0 +1,474 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "graph/executor.h"
+#include "models/registry.h"
+#include "profiler/serve_report.h"
+#include "runtime/request_util.h"
+#include "serve/dynamic_batcher.h"
+#include "serve/engine.h"
+#include "serve/load_gen.h"
+#include "serve/request_queue.h"
+#include "serve/serve_driver.h"
+
+namespace ngb {
+namespace {
+
+using namespace serve;
+using Clock = std::chrono::steady_clock;
+
+// ---- traffic mix + load generation ----------------------------------------
+
+TEST(LoadGenTest, ParseMixWeightsAndDefaults)
+{
+    auto mix = parseMix("vit_b:4,gpt2:1");
+    ASSERT_EQ(mix.size(), 2u);
+    EXPECT_EQ(mix[0].model, "vit_b");
+    EXPECT_DOUBLE_EQ(mix[0].weight, 4);
+    EXPECT_EQ(mix[1].model, "gpt2");
+    EXPECT_DOUBLE_EQ(mix[1].weight, 1);
+
+    auto uniform = parseMix("vit_b,swin_t");
+    ASSERT_EQ(uniform.size(), 2u);
+    EXPECT_DOUBLE_EQ(uniform[0].weight, 1);
+    EXPECT_DOUBLE_EQ(uniform[1].weight, 1);
+
+    EXPECT_THROW(parseMix(""), std::runtime_error);
+    EXPECT_THROW(parseMix("vit_b:abc"), std::runtime_error);
+    EXPECT_THROW(parseMix("vit_b:-1"), std::runtime_error);
+    EXPECT_THROW(parseMix(":3"), std::runtime_error);
+    EXPECT_THROW(parseMix("vit_b:4x"), std::runtime_error);  // junk tail
+}
+
+TEST(LoadGenTest, PickModelRespectsWeights)
+{
+    auto mix = parseMix("a:3,b:1");
+    EXPECT_EQ(pickModel(mix, 0.0), "a");
+    EXPECT_EQ(pickModel(mix, 0.74), "a");
+    EXPECT_EQ(pickModel(mix, 0.76), "b");
+    EXPECT_EQ(pickModel(mix, 0.999), "b");
+}
+
+TEST(LoadGenTest, PoissonTraceIsDeterministicUnderSeed)
+{
+    auto mix = parseMix("vit_b:4,gpt2:1");
+    auto a = poissonTrace(mix, 500, 1.0, 7);
+    auto b = poissonTrace(mix, 500, 1.0, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].atUs, b[i].atUs);
+        EXPECT_EQ(a[i].model, b[i].model);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+    }
+
+    auto c = poissonTrace(mix, 500, 1.0, 8);
+    bool differs = c.size() != a.size();
+    for (size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].seed != c[i].seed || a[i].atUs != c[i].atUs;
+    EXPECT_TRUE(differs);
+}
+
+TEST(LoadGenTest, PoissonTraceMatchesRateAndHorizon)
+{
+    auto mix = parseMix("vit_b");
+    auto trace = poissonTrace(mix, 1000, 1.0, 123);
+    // 1000 expected arrivals, sigma ~32: [800, 1200] is > 6 sigma.
+    EXPECT_GT(trace.size(), 800u);
+    EXPECT_LT(trace.size(), 1200u);
+    std::set<uint64_t> seeds;
+    double prev = -1;
+    for (const TraceEvent &ev : trace) {
+        EXPECT_GE(ev.atUs, 0);
+        EXPECT_LT(ev.atUs, 1e6);
+        EXPECT_GE(ev.atUs, prev);  // arrivals are time-ordered
+        prev = ev.atUs;
+        seeds.insert(ev.seed);
+    }
+    EXPECT_EQ(seeds.size(), trace.size());  // payload seeds distinct
+}
+
+// ---- RequestQueue ----------------------------------------------------------
+
+ServeRequest
+makeReq(const std::string &model, uint64_t id = 0)
+{
+    ServeRequest r;
+    r.id = id;
+    r.model = model;
+    r.seed = id;
+    return r;
+}
+
+TEST(RequestQueueTest, RejectPolicyShedsAtDepth)
+{
+    RequestQueue q(2, AdmissionPolicy::Reject);
+    EXPECT_TRUE(q.push(makeReq("m", 0)));
+    EXPECT_TRUE(q.push(makeReq("m", 1)));
+    EXPECT_FALSE(q.push(makeReq("m", 2)));
+    EXPECT_EQ(q.depth(), 2u);
+    auto batch = q.popBatch(8, 0);
+    EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(RequestQueueTest, BlockPolicyWaitsForSpace)
+{
+    RequestQueue q(1, AdmissionPolicy::Block);
+    EXPECT_TRUE(q.push(makeReq("m", 0)));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(makeReq("m", 1)));  // blocks until pop
+        pushed = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    auto batch = q.popBatch(1, 0);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].id, 0u);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(RequestQueueTest, CloseUnblocksAndDrains)
+{
+    RequestQueue q(8, AdmissionPolicy::Block);
+    EXPECT_TRUE(q.push(makeReq("m", 0)));
+    EXPECT_TRUE(q.push(makeReq("m", 1)));
+    q.close();
+    EXPECT_FALSE(q.push(makeReq("m", 2)));  // no admission after close
+    auto batch = q.popBatch(8, 1000000);    // drains without deadline wait
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_TRUE(q.popBatch(8, 1000000).empty());
+}
+
+TEST(RequestQueueTest, BatchClosesAtMaxBatchImmediately)
+{
+    RequestQueue q(64, AdmissionPolicy::Block);
+    for (uint64_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(q.push(makeReq("m", i)));
+    bool byTimeout = true;
+    auto t0 = Clock::now();
+    auto batch = q.popBatch(4, 60'000'000, &byTimeout);  // 60 s deadline
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          t0)
+                    .count();
+    EXPECT_EQ(batch.size(), 4u);
+    EXPECT_FALSE(byTimeout);
+    EXPECT_LT(ms, 1000);  // size-closed, not deadline-closed
+    for (uint64_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(batch[i].id, i);  // FIFO within the model
+}
+
+TEST(RequestQueueTest, BatchClosesOnDeadlineWithPartialBatch)
+{
+    RequestQueue q(64, AdmissionPolicy::Block);
+    // t0 before the pushes: the deadline is anchored at the first
+    // request's arrival stamp, so measuring from after the pushes
+    // could flake under a preempted (sanitized CI) scheduler.
+    auto t0 = Clock::now();
+    ASSERT_TRUE(q.push(makeReq("m", 0)));
+    ASSERT_TRUE(q.push(makeReq("m", 1)));
+    bool byTimeout = false;
+    auto batch = q.popBatch(8, 30'000, &byTimeout);
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          t0)
+                    .count();
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_TRUE(byTimeout);
+    EXPECT_GE(ms, 20);  // waited (most of) the 30 ms deadline out
+}
+
+TEST(RequestQueueTest, FullQueueClosesBatchWithoutWaitingOutDeadline)
+{
+    // At maxDepth no same-model request can arrive (producers are
+    // blocked or shedding), so popBatch must not idle the engine by
+    // waiting out a long deadline.
+    RequestQueue q(2, AdmissionPolicy::Reject);
+    ASSERT_TRUE(q.push(makeReq("m", 0)));
+    ASSERT_TRUE(q.push(makeReq("m", 1)));
+    auto t0 = Clock::now();
+    auto batch = q.popBatch(8, 3'000'000);  // 3 s deadline
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          t0)
+                    .count();
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_LT(ms, 1000);  // closed by capacity, not the deadline
+}
+
+TEST(RequestQueueTest, BatchesAreSingleModelFifoAcrossTenants)
+{
+    RequestQueue q(64, AdmissionPolicy::Block);
+    ASSERT_TRUE(q.push(makeReq("a", 0)));
+    ASSERT_TRUE(q.push(makeReq("a", 1)));
+    ASSERT_TRUE(q.push(makeReq("b", 2)));
+    ASSERT_TRUE(q.push(makeReq("a", 3)));
+    auto first = q.popBatch(8, 0);
+    ASSERT_EQ(first.size(), 3u);  // all a's, b keeps its place
+    for (const ServeRequest &r : first)
+        EXPECT_EQ(r.model, "a");
+    auto second = q.popBatch(8, 0);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].model, "b");
+}
+
+// ---- EngineCache -----------------------------------------------------------
+
+TEST(EngineCacheTest, CountsHitsAndMissesPerKey)
+{
+    ThreadPool pool(2);
+    EngineConfig cfg;
+    cfg.scale = 16;
+    EngineCache cache(pool, cfg);
+    Engine &a = cache.get("vit_b");
+    Engine &b = cache.get("vit_b");
+    Engine &c = cache.get("gpt2");
+    EXPECT_EQ(&a, &b);  // same planned engine, not a rebuild
+    EXPECT_NE(&a, &c);
+    Engine &d = cache.get("gpt2");
+    EXPECT_EQ(&c, &d);
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2);
+    EXPECT_EQ(stats.misses, 2);
+    EXPECT_EQ(stats.engines, 2u);
+    EXPECT_GT(stats.buildUs, 0);
+}
+
+TEST(EngineCacheTest, UnknownModelThrows)
+{
+    ThreadPool pool(1);
+    EngineCache cache(pool);
+    EXPECT_THROW(cache.get("nosuchmodel"), std::exception);
+}
+
+TEST(EngineTest, LongLivedEngineRerunsBitIdenticalToSerial)
+{
+    ThreadPool pool(2);
+    EngineConfig cfg;
+    cfg.scale = 16;
+    Engine engine("swin_t", cfg, pool);
+
+    std::vector<Tensor> inputs = makeRequestInputs(engine.graph(), 99);
+    Executor ref(engine.graph());
+    std::vector<Tensor> want = ref.run(inputs);
+
+    // Two runs through the same plan: no replanning, identical bits.
+    auto first = engine.run({inputs});
+    auto second = engine.run({inputs, inputs});
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_EQ(second.size(), 2u);
+    EXPECT_TRUE(bitIdentical(want, first[0]));
+    EXPECT_TRUE(bitIdentical(want, second[0]));
+    EXPECT_TRUE(bitIdentical(want, second[1]));
+}
+
+// ---- DynamicBatcher --------------------------------------------------------
+
+TEST(DynamicBatcherTest, ServesQueuedRequestsAndRecordsStats)
+{
+    ThreadPool pool(2);
+    EngineConfig ecfg;
+    ecfg.scale = 16;
+    EngineCache cache(pool, ecfg);
+    RequestQueue queue(64, AdmissionPolicy::Block);
+    DynamicBatcher::Policy policy;
+    policy.maxBatch = 4;
+    policy.timeoutUs = 1000;
+
+    std::atomic<int> completions{0};
+    DynamicBatcher batcher(queue, cache, policy,
+                           [&](const RequestRecord &,
+                               const std::vector<Tensor> &outs) {
+                               EXPECT_FALSE(outs.empty());
+                               ++completions;
+                           });
+    batcher.start();
+    for (uint64_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(queue.push(makeReq("vit_b", i)));
+    queue.close();
+    batcher.join();
+
+    const ServeStats &s = batcher.stats();
+    EXPECT_EQ(s.completed, 6);
+    EXPECT_EQ(completions.load(), 6);
+    EXPECT_EQ(s.requests.size(), 6u);
+    EXPECT_FALSE(s.batches.empty());
+    int64_t hist_total = 0;
+    for (const auto &[size, count] : s.batchSizeHist)
+        hist_total += size * count;
+    EXPECT_EQ(hist_total, 6);
+    for (const RequestRecord &r : s.requests) {
+        EXPECT_GE(r.queueUs, 0);
+        EXPECT_GT(r.execUs, 0);
+        EXPECT_GE(r.batchSize, 1);
+        EXPECT_LE(r.batchSize, 4);
+    }
+    EXPECT_EQ(s.cacheMisses, 1);
+    EXPECT_EQ(s.cacheHits, static_cast<int64_t>(s.batches.size()) - 1);
+}
+
+TEST(DynamicBatcherTest, DispatchErrorFailsFastAndPropagates)
+{
+    ThreadPool pool(1);
+    EngineCache cache(pool);
+    RequestQueue queue(8, AdmissionPolicy::Block);
+    DynamicBatcher batcher(queue, cache, {});
+    batcher.start();
+
+    // A waiter on a doomed request must still be notified (with empty
+    // outputs), or closed-loop clients would hang on engine failure.
+    std::atomic<bool> notified{false};
+    std::atomic<bool> empty_outputs{false};
+    ServeRequest bad = makeReq("nosuchmodel", 0);
+    bad.onComplete = [&](std::vector<Tensor> &&outs) {
+        empty_outputs = outs.empty();
+        notified = true;
+    };
+    ASSERT_TRUE(queue.push(std::move(bad)));
+    EXPECT_THROW(batcher.join(), std::exception);
+    EXPECT_TRUE(queue.closed());  // refuses further admission
+    EXPECT_TRUE(notified.load());
+    EXPECT_TRUE(empty_outputs.load());
+}
+
+// ---- end-to-end serving ----------------------------------------------------
+
+ServeConfig
+smallServeConfig()
+{
+    ServeConfig cfg;
+    cfg.mix = parseMix("vit_b:3,gpt2:1");
+    cfg.rps = 150;
+    cfg.durationS = 0.2;
+    cfg.policy.maxBatch = 4;
+    cfg.policy.timeoutUs = 1000;
+    cfg.queueDepth = 4096;
+    cfg.engine.scale = 16;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(ServeDriverTest, MixedModelLoadIsBitIdenticalToSerial)
+{
+    ThreadPool pool(2);
+    ServeConfig cfg = smallServeConfig();
+    cfg.verify = true;
+    ServeResult res = runServe(cfg, pool);
+
+    EXPECT_GT(res.stats.completed, 0);
+    EXPECT_EQ(res.stats.completed, res.stats.admitted);
+    EXPECT_EQ(res.stats.offered,
+              res.stats.admitted + res.stats.rejected);
+    EXPECT_TRUE(res.verified);
+    EXPECT_EQ(res.verifiedRequests, res.stats.completed);
+    EXPECT_EQ(res.verifyMismatches, 0);
+
+    // Both tenants actually served.
+    EXPECT_EQ(res.stats.completedByModel.count("vit_b"), 1u);
+    EXPECT_EQ(res.stats.completedByModel.count("gpt2"), 1u);
+    // Engine cache amortized planning: one miss per tenant.
+    EXPECT_EQ(res.stats.cacheMisses, 2);
+    EXPECT_GT(res.stats.cacheHits, 0);
+}
+
+TEST(ServeDriverTest, DeterministicTraceAndOutputsUnderFixedSeed)
+{
+    ThreadPool pool(2);
+    ServeConfig cfg = smallServeConfig();
+    cfg.collectOutputs = true;
+
+    ServeResult a = runServe(cfg, pool);
+    ServeResult b = runServe(cfg, pool);
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    ASSERT_GT(a.outputs.size(), 0u);
+
+    auto by_id = [](const CompletedOutput &x, const CompletedOutput &y) {
+        return x.id < y.id;
+    };
+    std::sort(a.outputs.begin(), a.outputs.end(), by_id);
+    std::sort(b.outputs.begin(), b.outputs.end(), by_id);
+    for (size_t i = 0; i < a.outputs.size(); ++i) {
+        EXPECT_EQ(a.outputs[i].id, b.outputs[i].id);
+        EXPECT_EQ(a.outputs[i].model, b.outputs[i].model);
+        EXPECT_EQ(a.outputs[i].seed, b.outputs[i].seed);
+        EXPECT_TRUE(
+            bitIdentical(a.outputs[i].outputs, b.outputs[i].outputs))
+            << "request " << a.outputs[i].id;
+    }
+}
+
+TEST(ServeDriverTest, ClosedLoopClientsServeToCompletion)
+{
+    ThreadPool pool(2);
+    ServeConfig cfg = smallServeConfig();
+    cfg.clients = 3;
+    cfg.durationS = 0.2;
+    cfg.verify = true;
+    ServeResult res = runServe(cfg, pool);
+    EXPECT_GT(res.stats.completed, 0);
+    EXPECT_EQ(res.stats.completed, res.stats.admitted);
+    EXPECT_EQ(res.verifyMismatches, 0);
+}
+
+TEST(ServeDriverTest, RejectAdmissionShedsLoadUnderPressure)
+{
+    ThreadPool pool(1);
+    ServeConfig cfg;
+    cfg.mix = parseMix("vit_b");
+    cfg.rps = 2000;  // far beyond single-core capacity
+    cfg.durationS = 0.15;
+    cfg.policy.maxBatch = 2;
+    cfg.policy.timeoutUs = 500;
+    cfg.queueDepth = 4;
+    cfg.admission = AdmissionPolicy::Reject;
+    cfg.engine.scale = 16;
+    ServeResult res = runServe(cfg, pool);
+    EXPECT_GT(res.stats.rejected, 0);
+    EXPECT_GT(res.stats.completed, 0);
+    EXPECT_EQ(res.stats.offered,
+              res.stats.admitted + res.stats.rejected);
+    EXPECT_EQ(res.stats.completed, res.stats.admitted);
+}
+
+// ---- serve report ----------------------------------------------------------
+
+TEST(ServeReportTest, PercentileInterpolatesAndHandlesEdges)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0);
+    EXPECT_DOUBLE_EQ(percentile({7}, 0.99), 7);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.5), 3);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0), 1);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 1), 5);
+    EXPECT_DOUBLE_EQ(percentile({1, 2}, 0.5), 1.5);
+}
+
+TEST(ServeReportTest, PrintAndJsonIncludeHeadlineNumbers)
+{
+    ThreadPool pool(2);
+    ServeConfig cfg = smallServeConfig();
+    ServeResult res = runServe(cfg, pool);
+
+    std::ostringstream txt;
+    printServeReport(res.stats, txt);
+    EXPECT_NE(txt.str().find("serving report:"), std::string::npos);
+    EXPECT_NE(txt.str().find("engine cache:"), std::string::npos);
+    EXPECT_NE(txt.str().find("latency (ms):"), std::string::npos);
+    EXPECT_NE(txt.str().find("size histogram:"), std::string::npos);
+
+    std::ostringstream js;
+    writeServeJson(res.stats, js);
+    EXPECT_NE(js.str().find("\"throughput_rps\""), std::string::npos);
+    EXPECT_NE(js.str().find("\"latency_us\""), std::string::npos);
+    EXPECT_NE(js.str().find("\"requests\""), std::string::npos);
+    EXPECT_EQ(js.str().find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ngb
