@@ -19,6 +19,7 @@
 #include "graph/validate.h"
 #include "deploy/flow.h"
 #include "models/registry.h"
+#include "ops/backend.h"
 #include "profiler/nongemm_report.h"
 #include "profiler/runtime_report.h"
 #include "profiler/serve_report.h"
@@ -43,6 +44,8 @@ struct RuntimeCli {
     int64_t scale = 8;       ///< testScale: full paper-scale models are
                              ///< not host-executable in reasonable time
     bool verify = false;     ///< cross-check parallel against serial
+    std::string backend;     ///< kernel backend; "" = process default,
+                             ///< "both" = reference + optimized sweep
 };
 
 /** Options of the serving (--serve) mode. */
@@ -74,8 +77,9 @@ requestInputs(const Graph &g, size_t r)
  */
 bool
 runRuntimeModel(const std::string &name, const BenchConfig &cfg,
-                const RuntimeCli &rt, ThreadPool &pool,
-                RuntimeProfile *outProfile, MemoryPlan *outPlan)
+                const RuntimeCli &rt, const Backend &backend,
+                ThreadPool &pool, RuntimeProfile *outProfile,
+                MemoryPlan *outPlan)
 {
     const auto &info = models::findModel(name);
     ModelConfig mc;
@@ -98,12 +102,13 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
 
     std::cout << "== " << name << "  (" << g.size() << " nodes, scale 1/"
               << rt.scale << ", " << requests << " request"
-              << (requests == 1 ? "" : "s") << ")\n";
+              << (requests == 1 ? "" : "s") << ", backend "
+              << backend.name() << ")\n";
 
     std::vector<std::vector<Tensor>> outs(requests);
     if (rt.parallel && requests > 1) {
         // Inter-request parallelism: one planned graph, N requests.
-        BatchDriver driver(g, pool);
+        BatchDriver driver(g, pool, backend);
         outs = driver.run(reqs);
         printMemoryPlan(driver.memoryPlan(), std::cout);
         printRuntimeReport(driver.profile(), std::cout);
@@ -115,7 +120,7 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
             *outPlan = driver.memoryPlan();
     } else if (rt.parallel) {
         // Single request: wavefront (intra-graph) parallelism.
-        ParallelExecutor ex(g, pool);
+        ParallelExecutor ex(g, pool, backend);
         outs[0] = ex.run(reqs[0]);
         printMemoryPlan(ex.memoryPlan(), std::cout);
         printRuntimeReport(ex.profile(), std::cout);
@@ -126,7 +131,7 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
         if (outPlan)
             *outPlan = ex.memoryPlan();
     } else {
-        Executor ex(g);
+        Executor ex(g, backend);
         for (size_t r = 0; r < requests; ++r)
             outs[r] = ex.run(reqs[r]);
         MemoryPlan plan = planMemory(g, Schedule::wavefront(g));
@@ -134,7 +139,9 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
     }
 
     if (rt.verify) {
-        Executor ref(g);
+        // Bit-identity against a serial walk of the SAME backend:
+        // parallelism / batching must never change a single bit.
+        Executor ref(g, backend);
         for (size_t r = 0; r < requests; ++r) {
             if (!bitIdentical(outs[r], ref.run(reqs[r]))) {
                 std::cout << "  VERIFY FAILED: request " << r
@@ -143,7 +150,27 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
             }
         }
         std::cout << "  verify: all " << requests
-                  << " request outputs bit-identical to serial\n";
+                  << " request outputs bit-identical to serial "
+                  << backend.name() << "\n";
+        // A non-reference backend must additionally reproduce the
+        // reference numerics within float tolerance (optimized
+        // kernels may reassociate accumulation, so not bit-for-bit).
+        if (backend.name() != referenceBackend().name()) {
+            Executor refref(g, referenceBackend());
+            for (size_t r = 0; r < requests; ++r) {
+                std::string diff =
+                    closeDifference(outs[r], refref.run(reqs[r]));
+                if (!diff.empty()) {
+                    std::cout << "  VERIFY FAILED: request " << r
+                              << " vs reference backend: " << diff
+                              << "\n";
+                    return false;
+                }
+            }
+            std::cout << "  verify: all " << requests
+                      << " request outputs within tolerance of the "
+                         "reference backend\n";
+        }
     }
     return true;
 }
@@ -161,17 +188,40 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
         names.push_back(cfg.model);
     }
 
+    // --backend both: measure the same graphs under reference AND
+    // optimized kernels and print the side-by-side GEMM / non-GEMM
+    // attribution — the paper's split re-measured as kernels improve.
+    std::vector<const Backend *> backends;
+    if (rt.backend == "both")
+        backends = {&referenceBackend(), &optimizedBackend()};
+    else if (rt.backend.empty())
+        backends = {&defaultBackend()};
+    else
+        backends = {&findBackend(rt.backend)};
+
     bool ok = true;
     RuntimeProfile profile;
     MemoryPlan memplan;
     bool measured = false;
     for (const std::string &name : names) {
-        bool want = rt.parallel && cfg.model != "all";
-        ok = runRuntimeModel(name, cfg, rt, pool,
-                             want ? &profile : nullptr,
-                             want ? &memplan : nullptr) &&
-             ok;
-        measured = measured || want;
+        std::vector<RuntimeProfile> perBackend;
+        for (const Backend *backend : backends) {
+            bool want = rt.parallel;
+            RuntimeProfile p;
+            ok = runRuntimeModel(name, cfg, rt, *backend, pool,
+                                 want ? &p : nullptr,
+                                 want ? &memplan : nullptr) &&
+                 ok;
+            if (want && cfg.model != "all") {
+                profile = p;
+                measured = true;
+            }
+            if (want)
+                perBackend.push_back(std::move(p));
+        }
+        if (perBackend.size() > 1)
+            printBackendComparison(perBackend.front(), perBackend.back(),
+                                   std::cout);
     }
 
     // For a single model also emit the modeled report for the SAME
@@ -184,6 +234,7 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
         scaled.seqLen = cfg.seqLen > 0 ? cfg.seqLen : 8;
         ProfileReport r = Bench::run(scaled);
         if (measured) {
+            r.runtime.backend = profile.backend;
             r.runtime.threads = profile.threads;
             r.runtime.requests = profile.requests;
             r.runtime.wallUs = profile.wallUs;
@@ -226,6 +277,7 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
         throw std::runtime_error("--admission expects block|reject");
     sc.engine.scale = rt.scale;
     sc.engine.seqLen = cfg.seqLen > 0 ? cfg.seqLen : 8;
+    sc.engine.backend = rt.backend;  // "" = process default
     sc.seed = sv.seed;
     sc.verify = rt.verify;
 
@@ -242,8 +294,10 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
               << sc.policy.maxBatch << "  batch_timeout="
               << sc.policy.timeoutUs << "us  queue_depth="
               << sc.queueDepth << " (" << sv.admission << ")  threads="
-              << threads << "  scale=1/" << rt.scale << "  seed="
-              << sc.seed << "\n";
+              << threads << "  scale=1/" << rt.scale << "  backend="
+              << (sc.engine.backend.empty() ? defaultBackend().name()
+                                            : sc.engine.backend)
+              << "  seed=" << sc.seed << "\n";
 
     ThreadPool pool(threads);
     serve::ServeResult result = serve::runServe(sc, pool);
@@ -308,8 +362,16 @@ usage()
         "  --threads N          worker threads (default: hardware)\n"
         "  --scale N            shrink models by N for host execution\n"
         "                       (default 8; 1 = paper scale, slow)\n"
+        "  --backend NAME       kernel backend: reference | optimized,\n"
+        "                       or 'both' to measure the same graph\n"
+        "                       under both and print the side-by-side\n"
+        "                       GEMM/non-GEMM attribution (default:\n"
+        "                       $NGB_BACKEND or reference)\n"
         "  --verify             cross-check outputs bit-identically\n"
-        "                       against the serial Executor\n"
+        "                       against a serial walk of the same\n"
+        "                       backend; non-reference backends are\n"
+        "                       additionally checked against the\n"
+        "                       reference backend within tolerance\n"
         "\n"
         "serving (src/serve): closed-box server under synthetic load\n"
         "  --serve              serve a traffic mix through the engine\n"
@@ -331,7 +393,8 @@ usage()
         "                       trace and all request outputs are\n"
         "                       deterministic under a fixed seed\n"
         "\n"
-        "--threads/--scale/--seq/--verify/--json apply to --serve too.\n";
+        "--threads/--scale/--seq/--verify/--backend/--json apply to\n"
+        "--serve too.\n";
 }
 
 }  // namespace
@@ -480,6 +543,8 @@ main(int argc, char **argv)
         } else if (a == "--seed") {
             sv.seed = nextU64();
             serveFlagsUsed = true;
+        } else if (a == "--backend") {
+            rt.backend = next();
         } else if (a == "--threads") {
             rt.threads = nextInt(0, 1 << 14);
         } else if (a == "--scale") {
@@ -552,6 +617,35 @@ main(int argc, char **argv)
     if ((rt.enabled || sv.enabled) && rt.scale < 1) {
         std::cerr << "--scale must be >= 1\n";
         return 2;
+    }
+    if (!rt.backend.empty()) {
+        if (!rt.enabled && !sv.enabled) {
+            std::cerr << "--backend requires --runtime or --serve "
+                         "(the analytical bench does not execute "
+                         "kernels)\n";
+            return 2;
+        }
+        if (rt.backend == "both" && sv.enabled) {
+            std::cerr << "--backend both is a --runtime comparison "
+                         "sweep; pick one backend for --serve\n";
+            return 2;
+        }
+        if (rt.backend == "both" && rt.enabled && !rt.parallel) {
+            // The side-by-side attribution needs measured per-node
+            // timings, which only the parallel runtime collects.
+            std::cerr << "--backend both requires --runtime parallel "
+                         "(the serial walk does not measure per-op "
+                         "time)\n";
+            return 2;
+        }
+        if (rt.backend != "both") {
+            try {
+                findBackend(rt.backend);
+            } catch (const std::exception &e) {
+                std::cerr << e.what() << "\n";
+                return 2;
+            }
+        }
     }
     if (rt.enabled || sv.enabled) {
         if (!ops_csv.empty() || !cat_csv.empty() || !svg.empty() ||

@@ -43,7 +43,7 @@ Executor::run(const std::vector<Tensor> &inputs)
             results_[{n.id, 0}] = params_.get(n, 0);
             continue;
         }
-        std::vector<Tensor> outs = evalNode(n, lookup, params_);
+        std::vector<Tensor> outs = evalNode(n, lookup, params_, backend_);
         for (size_t i = 0; i < outs.size(); ++i)
             results_[{n.id, static_cast<int>(i)}] = std::move(outs[i]);
     }

@@ -15,26 +15,31 @@ namespace ngb {
  * Concrete reference execution of a graph on the host CPU.
  *
  * Executes nodes in the order of a pluggable Schedule (serial
- * topological order by default) using the kernels in src/ops. This is
- * the functional half of the framework: tests use it to verify
- * operator and graph semantics (e.g. that quantization rewrites
- * preserve accuracy bounds), while timing comes from the platform
- * cost model instead of wall-clock. The parallel runtime in
+ * topological order by default) through a pluggable kernel Backend
+ * (the process default — $NGB_BACKEND or reference — unless one is
+ * passed). This is the functional half of the framework: tests use it
+ * to verify operator and graph semantics (e.g. that quantization
+ * rewrites preserve accuracy bounds), while timing comes from the
+ * platform cost model instead of wall-clock. The parallel runtime in
  * src/runtime dispatches the same node evaluation from the same
- * schedules onto a thread pool, with this class as its bit-identical
- * reference backend.
+ * schedules onto a thread pool; under the same Backend the two are
+ * bit-identical.
  */
 class Executor
 {
   public:
-    explicit Executor(const Graph &g)
-        : g_(g), sched_(Schedule::serial(g)), params_(0x5eed)
+    explicit Executor(const Graph &g,
+                      const Backend &backend = defaultBackend())
+        : g_(g), sched_(Schedule::serial(g)), params_(0x5eed),
+          backend_(backend)
     {
     }
 
     /** Execute in the order of a caller-provided schedule. */
-    Executor(const Graph &g, Schedule sched)
-        : g_(g), sched_(std::move(sched)), params_(0x5eed)
+    Executor(const Graph &g, Schedule sched,
+             const Backend &backend = defaultBackend())
+        : g_(g), sched_(std::move(sched)), params_(0x5eed),
+          backend_(backend)
     {
     }
 
@@ -49,11 +54,13 @@ class Executor
 
     ParamStore &params() { return params_; }
     const Schedule &schedule() const { return sched_; }
+    const Backend &backend() const { return backend_; }
 
   private:
     const Graph &g_;
     Schedule sched_;
     ParamStore params_;
+    const Backend &backend_;
     std::map<std::pair<int, int>, Tensor> results_;
 };
 

@@ -2,57 +2,34 @@
 #define NGB_GRAPH_NODE_EVAL_H
 
 #include <functional>
-#include <map>
-#include <mutex>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/param_store.h"
+#include "ops/backend.h"
 #include "tensor/tensor.h"
 
 namespace ngb {
 
 /**
- * Deterministic synthetic parameters for a graph's operators.
- *
- * Weight values never affect the paper's metric (latency share), but
- * concrete execution needs sane parameters: normalization scales are
- * ones, shifts/means are zeros, variances are ones, and projection
- * weights are seeded Gaussians so results are reproducible.
- *
- * get() is guarded by a mutex so concurrent node evaluation is safe;
- * the parallel runtime additionally calls materialize() up front so
- * hot-path lookups are contention-free cache hits.
- */
-class ParamStore
-{
-  public:
-    explicit ParamStore(uint64_t seed = 0x5eed) : seed_(seed) {}
-
-    /** Materialize (and cache) parameter @p index of node @p n. */
-    const Tensor &get(const Node &n, size_t index);
-
-    /** Pre-fill the cache with every parameter of every node in @p g. */
-    void materialize(const Graph &g);
-
-  private:
-    uint64_t seed_;
-    std::mutex mutex_;
-    std::map<std::pair<int, size_t>, Tensor> cache_;
-};
-
-/**
- * Evaluate one operator node with the reference kernels in src/ops.
+ * Evaluate one operator node through @p backend's kernel registry
+ * (falling back along the backend's fallback chain for ops it does
+ * not override).
  *
  * @p input resolves an incoming Value to its already-computed tensor.
  * Returns every output of the node (most ops produce one; Split and
  * TopK produce several). Pure with respect to graph state: all reads
- * go through @p input / @p params, so the serial Executor and the
- * parallel runtime share one dispatch path and stay bit-identical.
+ * go through @p input / @p params, so the serial Executor, the
+ * parallel runtime, and the serving engines share one dispatch path
+ * per backend and stay bit-identical to each other.
  */
-std::vector<Tensor>
+inline std::vector<Tensor>
 evalNode(const Node &n,
          const std::function<const Tensor &(const Value &)> &input,
-         ParamStore &params);
+         ParamStore &params, const Backend &backend)
+{
+    return backend.eval(KernelContext{n, input, params});
+}
 
 }  // namespace ngb
 

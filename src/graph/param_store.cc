@@ -1,0 +1,64 @@
+#include "graph/param_store.h"
+
+namespace ngb {
+
+const Tensor &
+ParamStore::get(const Node &n, size_t index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto key = std::make_pair(n.id, index);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    const Shape &shape = n.paramShapes[index];
+    Tensor t;
+    bool is_norm = opCategoryOf(n.kind) == OpCategory::Normalization;
+    if (is_norm) {
+        // gamma=1, beta=0, running_mean=0, running_var=1.
+        float v = (index == 0 || index == 3) ? 1.0f : 0.0f;
+        t = Tensor::full(shape, v);
+    } else if (n.paramShapes.size() > 1 && index == n.paramShapes.size() - 1
+               && shape.rank() == 1) {
+        // Bias vectors start at zero.
+        t = Tensor::zeros(shape);
+    } else {
+        uint64_t s = seed_ + static_cast<uint64_t>(n.id) * 1315423911ull +
+                     index * 2654435761ull;
+        t = Tensor::randn(shape, s, 0.05f);
+        if (n.paramDtype != DType::F32)
+            t = t.to(n.paramDtype);
+    }
+    return cache_.emplace(key, std::move(t)).first->second;
+}
+
+const Tensor &
+ParamStore::derived(const Node &n, size_t slot,
+                    const std::function<Tensor()> &build)
+{
+    auto key = std::make_pair(n.id, slot);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = derived_.find(key);
+        if (it != derived_.end())
+            return it->second;
+    }
+    // Build OUTSIDE the lock: @p build typically reads base parameters
+    // through get(), which takes the same mutex (and holding it here
+    // would serialize every concurrent param lookup behind the pack).
+    // Losers of the build race discard their copy; builds are
+    // deterministic, so first-emplace-wins is value-identical.
+    Tensor built = build();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return derived_.emplace(key, std::move(built)).first->second;
+}
+
+void
+ParamStore::materialize(const Graph &g)
+{
+    for (const Node &n : g.nodes())
+        for (size_t i = 0; i < n.paramShapes.size(); ++i)
+            get(n, i);
+}
+
+}  // namespace ngb

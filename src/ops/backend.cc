@@ -1,0 +1,69 @@
+#include "ops/backend.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ngb {
+
+const KernelFn &
+Backend::kernelFor(OpKind k) const
+{
+    for (const Backend *b = this; b; b = b->fallback_)
+        if (const KernelFn *fn = b->reg_.find(k))
+            return *fn;
+    std::string chain = name_;
+    for (const Backend *b = fallback_; b; b = b->fallback_)
+        chain += " -> " + b->name_;
+    throw std::runtime_error("no kernel registered for op '" +
+                             opKindName(k) + "' in backend '" + chain +
+                             "'");
+}
+
+const Backend &
+defaultBackend()
+{
+    static const Backend &backend = []() -> const Backend & {
+        const char *env = std::getenv("NGB_BACKEND");
+        return env && *env ? findBackend(env) : referenceBackend();
+    }();
+    return backend;
+}
+
+namespace {
+
+/** The single source of truth for the built-in backends. */
+struct BuiltinBackend {
+    const char *name;
+    const Backend &(*get)();
+};
+
+constexpr BuiltinBackend kBuiltins[] = {
+    {"reference", referenceBackend},
+    {"optimized", optimizedBackend},
+};
+
+}  // namespace
+
+const Backend &
+findBackend(const std::string &name)
+{
+    for (const BuiltinBackend &b : kBuiltins)
+        if (name == b.name)
+            return b.get();
+    std::string known;
+    for (const std::string &n : backendNames())
+        known += (known.empty() ? "" : ", ") + n;
+    throw std::runtime_error("unknown backend '" + name +
+                             "' (known backends: " + known + ")");
+}
+
+std::vector<std::string>
+backendNames()
+{
+    std::vector<std::string> names;
+    for (const BuiltinBackend &b : kBuiltins)
+        names.push_back(b.name);
+    return names;
+}
+
+}  // namespace ngb

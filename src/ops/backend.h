@@ -1,0 +1,212 @@
+#ifndef NGB_OPS_BACKEND_H
+#define NGB_OPS_BACKEND_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+#include "graph/param_store.h"
+#include "ops/op_types.h"
+#include "tensor/tensor.h"
+
+/**
+ * @file
+ * The pluggable kernel-backend API.
+ *
+ * A Backend is a named KernelRegistry (OpKind -> KernelFn) with an
+ * optional fallback chain. Executors dispatch every node through the
+ * active backend instead of a hard-wired switch, so kernel sets can be
+ * swapped, compared, and selectively optimized: the "reference"
+ * backend carries the straightforward kernels in src/ops, the
+ * "optimized" backend overrides the hottest operators and falls back
+ * to reference for everything else.
+ *
+ * Registration happens either at first-use time inside
+ * referenceBackend()/optimizedBackend() (the built-ins) or by
+ * explicitly installing kernels into a caller-owned Backend
+ * (registerKernel) — e.g. a test stubbing one operator while
+ * inheriting the rest through the fallback chain.
+ */
+
+namespace ngb {
+
+/**
+ * Everything one kernel invocation may read: the node (attributes,
+ * input/output shapes), a resolver from graph Values to computed
+ * tensors, and the deterministic ParamStore. Kernels are pure with
+ * respect to graph state — all reads go through in()/param() — so the
+ * serial Executor, the parallel runtime, and the serving engines share
+ * one dispatch path per backend and stay bit-identical to each other.
+ */
+struct KernelContext {
+    const Node &node;
+    const std::function<const Tensor &(const Value &)> &input;
+    ParamStore &params;
+
+    /** Resolved tensor of input @p i. */
+    const Tensor &in(size_t i) const { return input(node.inputs[i]); }
+
+    size_t numInputs() const { return node.inputs.size(); }
+
+    /** Materialized parameter @p i of the node. */
+    const Tensor &param(size_t i) const { return params.get(node, i); }
+
+    /**
+     * The trailing rank-1 parameter when the node carries more than
+     * one (the bias convention of Linear/Conv2d), else undefined.
+     */
+    Tensor optBias() const
+    {
+        return node.paramShapes.size() > 1
+                   ? params.get(node, node.paramShapes.size() - 1)
+                   : Tensor();
+    }
+
+    int attrInt(const std::string &key, int64_t def = 0) const
+    {
+        return static_cast<int>(node.attrs.getI(key, def));
+    }
+
+    float attrFloat(const std::string &key, double def = 0.0) const
+    {
+        return static_cast<float>(node.attrs.getF(key, def));
+    }
+};
+
+/**
+ * One kernel: consumes a KernelContext, produces every output of the
+ * node (most ops one tensor; Split and TopK several). std::function so
+ * ad-hoc backends can register capturing lambdas; the built-in
+ * backends register capture-free ones.
+ */
+using KernelFn = std::function<std::vector<Tensor>(const KernelContext &)>;
+
+/** Wrap the common single-tensor result as a kernel output vector. */
+inline std::vector<Tensor>
+singleOutput(Tensor t)
+{
+    std::vector<Tensor> out;
+    out.push_back(std::move(t));
+    return out;
+}
+
+/**
+ * Optional one-time per-graph warm-up a backend runs before traffic:
+ * pre-build whatever ParamStore::derived state its kernels memoize
+ * (e.g. packed weight transposes), so per-request timings measure the
+ * kernels alone and not first-touch preprocessing.
+ */
+using PrepareFn = std::function<void(const Graph &, ParamStore &)>;
+
+/** A plain OpKind -> KernelFn table. */
+class KernelRegistry
+{
+  public:
+    /** Install (or replace) the kernel for @p k. */
+    void add(OpKind k, KernelFn fn) { fns_[k] = std::move(fn); }
+
+    /** The kernel for @p k, or nullptr when not registered. */
+    const KernelFn *find(OpKind k) const
+    {
+        auto it = fns_.find(k);
+        return it != fns_.end() ? &it->second : nullptr;
+    }
+
+    bool contains(OpKind k) const { return fns_.count(k) != 0; }
+    size_t size() const { return fns_.size(); }
+
+  private:
+    std::map<OpKind, KernelFn> fns_;
+};
+
+/**
+ * A named kernel set with fallback. Lookup walks this backend's own
+ * registry, then the fallback chain; a miss everywhere is a clear
+ * error naming the op and the backend, never UB. Backends are
+ * immutable once shared across threads: register everything before
+ * handing the Backend to an executor.
+ */
+class Backend
+{
+  public:
+    explicit Backend(std::string name, const Backend *fallback = nullptr)
+        : name_(std::move(name)), fallback_(fallback)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    const Backend *fallback() const { return fallback_; }
+
+    /** Explicitly install a kernel for @p k in this backend. */
+    void registerKernel(OpKind k, KernelFn fn)
+    {
+        reg_.add(k, std::move(fn));
+    }
+
+    /** True when THIS backend registers @p k (fallback not consulted). */
+    bool handles(OpKind k) const { return reg_.contains(k); }
+
+    /** Number of ops this backend itself registers. */
+    size_t numKernels() const { return reg_.size(); }
+
+    /**
+     * Resolve the kernel for @p k through the fallback chain; throws
+     * a descriptive error when no backend in the chain handles it.
+     */
+    const KernelFn &kernelFor(OpKind k) const;
+
+    /** Dispatch one node evaluation through this backend. */
+    std::vector<Tensor> eval(const KernelContext &ctx) const
+    {
+        return kernelFor(ctx.node.kind)(ctx);
+    }
+
+    /** Install the per-graph warm-up hook. */
+    void setPrepare(PrepareFn fn) { prepare_ = std::move(fn); }
+
+    /**
+     * Run every prepare hook along the fallback chain for @p g.
+     * Idempotent (hooks memoize through ParamStore::derived); the
+     * executors call this during their untimed warm-up/planning phase.
+     */
+    void prepare(const Graph &g, ParamStore &params) const
+    {
+        for (const Backend *b = this; b; b = b->fallback_)
+            if (b->prepare_)
+                b->prepare_(g, params);
+    }
+
+  private:
+    std::string name_;
+    const Backend *fallback_ = nullptr;
+    KernelRegistry reg_;
+    PrepareFn prepare_;
+};
+
+/** The reference backend: every operator, straightforward kernels. */
+const Backend &referenceBackend();
+
+/**
+ * The optimized CPU backend: register-tiled GEMM family, fused bias
+ * epilogues, single-pass normalization, and fast-path elementwise /
+ * softmax kernels; falls back to reference for everything else.
+ */
+const Backend &optimizedBackend();
+
+/**
+ * The process-wide default: $NGB_BACKEND when set (so a CI leg can run
+ * the whole suite under another backend), else reference.
+ */
+const Backend &defaultBackend();
+
+/** Look up a built-in backend by name; throws listing known names. */
+const Backend &findBackend(const std::string &name);
+
+/** Names of the built-in backends, lookup order. */
+std::vector<std::string> backendNames();
+
+}  // namespace ngb
+
+#endif  // NGB_OPS_BACKEND_H

@@ -9,10 +9,14 @@
 /**
  * @file
  * Reference CPU kernels for every operator in the NonGEMM Bench
- * inventory. Kernels are straightforward, well-tested implementations:
- * correctness (and FLOP/byte accounting elsewhere) matters, raw host
- * speed does not, because platform latency comes from the analytical
- * cost model.
+ * inventory. Kernels are straightforward, well-tested implementations
+ * optimized for clarity: they define the numerical ground truth every
+ * other backend is differential-tested against, and they are the
+ * fallback the dispatch registry resolves to for ops a backend does
+ * not override. Host speed DOES matter now that the runtime and
+ * serving layers execute these concretely — but fast variants belong
+ * in the "optimized" backend (ops/optimized_kernels.h), not here;
+ * bench/micro_kernels tracks the per-op gap between the two.
  */
 
 namespace ngb {

@@ -64,6 +64,42 @@ opKindName(OpKind k)
     return "?";
 }
 
+const std::vector<OpKind> &
+allOpKinds()
+{
+    static const std::vector<OpKind> kKinds = {
+        OpKind::Linear,       OpKind::Conv2d,
+        OpKind::BMM,          OpKind::MatMul,
+        OpKind::Int8Linear,   OpKind::ReLU,
+        OpKind::GELU,         OpKind::SiLU,
+        OpKind::LayerNorm,    OpKind::BatchNorm2d,
+        OpKind::FrozenBatchNorm2d,
+        OpKind::RMSNorm,      OpKind::GroupNorm,
+        OpKind::Reshape,      OpKind::View,
+        OpKind::Permute,      OpKind::Transpose,
+        OpKind::Contiguous,   OpKind::Split,
+        OpKind::Expand,       OpKind::Squeeze,
+        OpKind::Unsqueeze,    OpKind::Concat,
+        OpKind::Slice,        OpKind::Roll,
+        OpKind::Pad,          OpKind::Add,
+        OpKind::Sub,          OpKind::Mul,
+        OpKind::Div,          OpKind::Neg,
+        OpKind::Pow,          OpKind::Sqrt,
+        OpKind::Erf,          OpKind::Exp,
+        OpKind::Log,          OpKind::Tanh,
+        OpKind::Where,        OpKind::Softmax,
+        OpKind::LogSoftmax,   OpKind::NMS,
+        OpKind::RoIAlign,     OpKind::Interpolate,
+        OpKind::Embedding,    OpKind::MaxPool2d,
+        OpKind::AvgPool2d,    OpKind::AdaptiveAvgPool2d,
+        OpKind::TopK,         OpKind::Gather,
+        OpKind::CumSum,       OpKind::Sigmoid,
+        OpKind::Quantize,     OpKind::Dequantize,
+        OpKind::Fused,
+    };
+    return kKinds;
+}
+
 std::string
 opCategoryName(OpCategory c)
 {

@@ -2,6 +2,7 @@
 #define NGB_OPS_OP_TYPES_H
 
 #include <string>
+#include <vector>
 
 namespace ngb {
 
@@ -114,6 +115,13 @@ enum class OpCategory {
 
 /** Stable lower_snake name for an operator kind, e.g. "layer_norm". */
 std::string opKindName(OpKind k);
+
+/**
+ * Every OpKind, in declaration order (Fused last). Lets registry
+ * completeness checks and sweeps iterate the inventory without
+ * hand-maintaining a parallel list at each call site.
+ */
+const std::vector<OpKind> &allOpKinds();
 
 /** Display name for a category, e.g. "Normalization". */
 std::string opCategoryName(OpCategory c);

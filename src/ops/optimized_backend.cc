@@ -1,0 +1,123 @@
+#include <utility>
+
+#include "ops/backend.h"
+#include "ops/optimized_kernels.h"
+
+/**
+ * @file
+ * Registration of the "optimized" backend: overrides for the hottest
+ * operators in the NonGEMM Bench inventory (the GEMM family, the
+ * norm / activation / elementwise / softmax ops that dominate the
+ * non-GEMM share), with everything else inherited from the reference
+ * backend through the fallback chain. This is the seam the paper's
+ * central claim needs: re-measure the GEMM/non-GEMM split as kernels
+ * get optimized, without touching the executors.
+ */
+
+namespace ngb {
+
+namespace {
+
+namespace ko = kernels::opt;
+
+Backend
+makeOptimizedBackend()
+{
+    Backend b("optimized", &referenceBackend());
+
+    // GEMM family: 4x16 register-tiled core, fused bias epilogue.
+    b.registerKernel(OpKind::MatMul, [](const KernelContext &c) {
+        return singleOutput(ko::matmul(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Linear, [](const KernelContext &c) {
+        // Weights are immutable: pack the [N,K]->[K,N] transpose once
+        // per node and amortize it across every request of an engine.
+        const Tensor &wt = c.params.derived(c.node, 0, [&c] {
+            return ko::packWeightTranspose(c.param(0));
+        });
+        return singleOutput(ko::linearPacked(c.in(0), wt, c.optBias()));
+    });
+    b.registerKernel(OpKind::BMM, [](const KernelContext &c) {
+        return singleOutput(ko::bmm(c.in(0), c.in(1)));
+    });
+
+    // Normalization: single-pass moments / hoisted channel affine.
+    b.registerKernel(OpKind::LayerNorm, [](const KernelContext &c) {
+        return singleOutput(ko::layerNorm(c.in(0), c.param(0), c.param(1),
+                                 c.attrFloat("eps", 1e-5)));
+    });
+    KernelFn batchNorm = [](const KernelContext &c) {
+        return singleOutput(ko::batchNorm2d(c.in(0), c.param(0), c.param(1),
+                                   c.param(2), c.param(3),
+                                   c.attrFloat("eps", 1e-5)));
+    };
+    b.registerKernel(OpKind::BatchNorm2d, batchNorm);
+    b.registerKernel(OpKind::FrozenBatchNorm2d, std::move(batchNorm));
+
+    // Logit computation: last-dim fast path.
+    b.registerKernel(OpKind::Softmax, [](const KernelContext &c) {
+        return singleOutput(ko::softmax(c.in(0), c.attrInt("dim")));
+    });
+
+    // Activations: contiguous raw-pointer sweeps.
+    b.registerKernel(OpKind::ReLU, [](const KernelContext &c) {
+        return singleOutput(ko::relu(c.in(0)));
+    });
+    b.registerKernel(OpKind::GELU, [](const KernelContext &c) {
+        return singleOutput(ko::gelu(c.in(0)));
+    });
+    b.registerKernel(OpKind::SiLU, [](const KernelContext &c) {
+        return singleOutput(ko::silu(c.in(0)));
+    });
+    b.registerKernel(OpKind::Sigmoid, [](const KernelContext &c) {
+        return singleOutput(ko::sigmoid(c.in(0)));
+    });
+    b.registerKernel(OpKind::Tanh, [](const KernelContext &c) {
+        return singleOutput(ko::tanhOp(c.in(0)));
+    });
+    b.registerKernel(OpKind::Exp, [](const KernelContext &c) {
+        return singleOutput(ko::expOp(c.in(0)));
+    });
+
+    // Elementwise arithmetic: same-shape contiguous fast path.
+    b.registerKernel(OpKind::Add, [](const KernelContext &c) {
+        if (c.numInputs() == 1)
+            return singleOutput(ko::addScalar(c.in(0), c.attrFloat("scalar")));
+        return singleOutput(ko::add(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Sub, [](const KernelContext &c) {
+        return singleOutput(ko::sub(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Mul, [](const KernelContext &c) {
+        if (c.numInputs() == 1)
+            return singleOutput(ko::mulScalar(c.in(0), c.attrFloat("scalar")));
+        return singleOutput(ko::mul(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Div, [](const KernelContext &c) {
+        return singleOutput(ko::div(c.in(0), c.in(1)));
+    });
+
+    // Pre-build the packed Linear weights during executor warm-up so
+    // the first request's measured kernel time is linearPacked alone,
+    // not the one-time transpose.
+    b.setPrepare([](const Graph &g, ParamStore &params) {
+        for (const Node &n : g.nodes())
+            if (n.kind == OpKind::Linear && !n.paramShapes.empty())
+                params.derived(n, 0, [&] {
+                    return ko::packWeightTranspose(params.get(n, 0));
+                });
+    });
+
+    return b;
+}
+
+}  // namespace
+
+const Backend &
+optimizedBackend()
+{
+    static const Backend backend = makeOptimizedBackend();
+    return backend;
+}
+
+}  // namespace ngb

@@ -1,0 +1,473 @@
+#include "ops/optimized_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ops/kernels.h"
+
+namespace ngb {
+namespace kernels {
+namespace opt {
+
+namespace {
+
+/** True when @p t can be walked through a raw F32 pointer. */
+bool
+fastF32(const Tensor &t)
+{
+    return t.defined() && t.dtype() == DType::F32 && t.isContiguous();
+}
+
+/**
+ * @p t as a contiguous F32 tensor WITHOUT copying when it already is
+ * one (the reference kernels' contiguous().to(F32) preamble copies
+ * unconditionally, which costs as much as the GEMM core itself for
+ * mid-sized operands). Read-only use: the result may alias @p t.
+ */
+Tensor
+asF32(const Tensor &t)
+{
+    return fastF32(t) ? t : t.contiguous().to(DType::F32);
+}
+
+// ----- register-tiled GEMM core ------------------------------------------
+
+constexpr int64_t kMR = 4;   ///< output rows per register tile
+constexpr int64_t kNR = 16;  ///< output cols per register tile
+
+/**
+ * C[M,N] = A[M,K] @ B[K,N] (+ bias[N]), all row-major contiguous.
+ *
+ * The 4x16 accumulator tile lives in registers across the whole k
+ * loop: each B row is loaded once per FOUR output rows (the reference
+ * ikj loop reloads it per row) and C is written exactly once. The
+ * per-element accumulation order is k-ascending with no
+ * reassociation; unlike the reference it does NOT skip zero A
+ * elements, so on finite data results match the reference exactly,
+ * but a zero-times-nonfinite product (0 * inf = NaN) that the
+ * reference's skip branch would elide propagates here — hence the
+ * backend's tolerance contract instead of a bit-identity one. Bias is
+ * fused into the write-out after the accumulator is complete — the
+ * same "sum, then + bias" order the reference uses, one memory pass
+ * less.
+ */
+void
+matmulCore(const float *A, const float *B, const float *bias, float *C,
+           int64_t M, int64_t K, int64_t N)
+{
+    int64_t i = 0;
+    for (; i + kMR <= M; i += kMR) {
+        int64_t j = 0;
+        for (; j + kNR <= N; j += kNR) {
+            float acc[kMR][kNR] = {};
+            for (int64_t k = 0; k < K; ++k) {
+                const float *brow = B + k * N + j;
+                float av[kMR];
+                for (int64_t r = 0; r < kMR; ++r)
+                    av[r] = A[(i + r) * K + k];
+                for (int64_t jj = 0; jj < kNR; ++jj) {
+                    float bv = brow[jj];
+                    for (int64_t r = 0; r < kMR; ++r)
+                        acc[r][jj] += av[r] * bv;
+                }
+            }
+            for (int64_t r = 0; r < kMR; ++r) {
+                float *crow = C + (i + r) * N + j;
+                if (bias)
+                    for (int64_t jj = 0; jj < kNR; ++jj)
+                        crow[jj] = acc[r][jj] + bias[j + jj];
+                else
+                    for (int64_t jj = 0; jj < kNR; ++jj)
+                        crow[jj] = acc[r][jj];
+            }
+        }
+        for (; j < N; ++j) {  // N tail: kMR scalar dot products
+            for (int64_t r = 0; r < kMR; ++r) {
+                float acc = 0.0f;
+                for (int64_t k = 0; k < K; ++k)
+                    acc += A[(i + r) * K + k] * B[k * N + j];
+                C[(i + r) * N + j] = bias ? acc + bias[j] : acc;
+            }
+        }
+    }
+    for (; i < M; ++i) {  // M tail: one row at a time, ikj
+        float *crow = C + i * N;
+        for (int64_t j = 0; j < N; ++j)
+            crow[j] = 0.0f;
+        for (int64_t k = 0; k < K; ++k) {
+            float av = A[i * K + k];
+            const float *brow = B + k * N;
+            for (int64_t j = 0; j < N; ++j)
+                crow[j] += av * brow[j];
+        }
+        if (bias)
+            for (int64_t j = 0; j < N; ++j)
+                crow[j] += bias[j];
+    }
+}
+
+/**
+ * Pack w[N,K] row-major into wt[K,N] row-major (the B-operand layout
+ * matmulCore wants) with a 32x32 blocked raw-pointer transpose. The
+ * generic Tensor::contiguous() path decomposes a strided flat index
+ * per element, which costs more than the GEMM core itself for
+ * mid-sized weights.
+ */
+void
+packTranspose(const float *w, float *wt, int64_t n, int64_t k)
+{
+    constexpr int64_t kBlk = 32;
+    for (int64_t j0 = 0; j0 < n; j0 += kBlk) {
+        int64_t jmax = std::min(j0 + kBlk, n);
+        for (int64_t k0 = 0; k0 < k; k0 += kBlk) {
+            int64_t kmax = std::min(k0 + kBlk, k);
+            for (int64_t j = j0; j < jmax; ++j)
+                for (int64_t kk = k0; kk < kmax; ++kk)
+                    wt[kk * n + j] = w[j * k + kk];
+        }
+    }
+}
+
+}  // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    if (a.shape().rank() != 2 || b.shape().rank() != 2)
+        throw std::runtime_error("matmul: rank-2 inputs required");
+    int64_t m = a.shape()[0], k = a.shape()[1];
+    int64_t k2 = b.shape()[0], n = b.shape()[1];
+    if (k != k2)
+        throw std::runtime_error("matmul: inner dim mismatch");
+    Tensor ac = asF32(a);
+    Tensor bc = asF32(b);
+    Tensor out(Shape{m, n}, DType::F32);
+    matmulCore(ac.dataF32(), bc.dataF32(), nullptr, out.dataF32(), m, k,
+               n);
+    return out;
+}
+
+Tensor
+packWeightTranspose(const Tensor &w)
+{
+    if (w.shape().rank() != 2)
+        throw std::runtime_error("packWeightTranspose: [N,K] required");
+    int64_t n = w.shape()[0], k = w.shape()[1];
+    Tensor wc = asF32(w);
+    Tensor wt(Shape{k, n}, DType::F32);
+    packTranspose(wc.dataF32(), wt.dataF32(), n, k);
+    return wt;
+}
+
+Tensor
+linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b)
+{
+    if (wt.shape().rank() != 2)
+        throw std::runtime_error("linearPacked: packed weight must be "
+                                 "[K,N]");
+    int64_t k = wt.shape()[0], n = wt.shape()[1];
+    if (x.shape().dim(-1) != k)
+        throw std::runtime_error("linearPacked: input last dim != K");
+    Tensor rows = asF32(x).view(Shape{x.numel() / k, k});
+    int64_t m = rows.shape()[0];
+    Tensor wc = asF32(wt);
+    Tensor bc = b.defined() ? asF32(b) : Tensor();
+
+    std::vector<int64_t> dims = x.shape().dims();
+    dims.back() = n;
+    Tensor out(Shape(dims), DType::F32);
+    matmulCore(rows.dataF32(), wc.dataF32(),
+               bc.defined() ? bc.dataF32() : nullptr, out.dataF32(), m, k,
+               n);
+    return out;
+}
+
+Tensor
+linear(const Tensor &x, const Tensor &w, const Tensor &b)
+{
+    return linearPacked(x, packWeightTranspose(w), b);
+}
+
+Tensor
+bmm(const Tensor &a, const Tensor &b)
+{
+    if (a.shape().rank() != 3 || b.shape().rank() != 3)
+        throw std::runtime_error("bmm: rank-3 inputs required");
+    int64_t bs = a.shape()[0];
+    if (b.shape()[0] != bs)
+        throw std::runtime_error("bmm: batch mismatch");
+    int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[2];
+    if (b.shape()[1] != k)
+        throw std::runtime_error("bmm: inner dim mismatch");
+    Tensor ac = asF32(a);
+    Tensor bc = asF32(b);
+    Tensor out(Shape{bs, m, n}, DType::F32);
+    const float *pa = ac.dataF32();
+    const float *pb = bc.dataF32();
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < bs; ++i)
+        matmulCore(pa + i * m * k, pb + i * k * n, nullptr,
+                   po + i * m * n, m, k, n);
+    return out;
+}
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          float eps)
+{
+    int64_t d = x.shape().dim(-1);
+    Tensor xc = asF32(x);
+    int64_t rows = xc.numel() / d;
+    Tensor out(x.shape(), DType::F32);
+    const float *px = xc.dataF32();
+    float *po = out.dataF32();
+    Tensor gc = gamma.defined() ? asF32(gamma) : Tensor();
+    Tensor bc = beta.defined() ? asF32(beta) : Tensor();
+    const float *pg = gc.defined() ? gc.dataF32() : nullptr;
+    const float *pb = bc.defined() ? bc.dataF32() : nullptr;
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *row = px + i * d;
+        float *orow = po + i * d;
+        // Single-pass Welford moments: one sweep computes mean and M2
+        // (the reference makes separate mean and variance sweeps).
+        // Welford centers each update, so unlike the naive
+        // E[x^2]-mean^2 shortcut it does not cancel catastrophically
+        // on rows with a large common offset.
+        float mean = 0.0f, m2 = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+            float v = row[j];
+            float delta = v - mean;
+            mean += delta / static_cast<float>(j + 1);
+            m2 += delta * (v - mean);
+        }
+        float var = m2 / static_cast<float>(d);
+        float inv = 1.0f / std::sqrt(var + eps);
+        for (int64_t j = 0; j < d; ++j) {
+            float v = (row[j] - mean) * inv;
+            if (pg)
+                v *= pg[j];
+            if (pb)
+                v += pb[j];
+            orow[j] = v;
+        }
+    }
+    return out;
+}
+
+Tensor
+batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+            const Tensor &mean, const Tensor &var, float eps)
+{
+    if (x.shape().rank() != 4)
+        throw std::runtime_error("batchNorm2d: NCHW input required");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t hw = x.shape()[2] * x.shape()[3];
+    Tensor xc = asF32(x);
+    Tensor out(x.shape(), DType::F32);
+    const float *px = xc.dataF32();
+    float *po = out.dataF32();
+    Tensor mc = asF32(mean);
+    Tensor vc = asF32(var);
+    Tensor gc = gamma.defined() ? asF32(gamma) : Tensor();
+    Tensor bc = beta.defined() ? asF32(beta) : Tensor();
+    const float *pm = mc.dataF32();
+    const float *pv = vc.dataF32();
+    const float *pg = gc.defined() ? gc.dataF32() : nullptr;
+    const float *pb = bc.defined() ? bc.dataF32() : nullptr;
+
+    // Per-channel affine hoisted out of the image loop (the reference
+    // recomputes scale/shift for every image). Same float expressions,
+    // so results are bit-identical.
+    std::vector<float> scale(static_cast<size_t>(c));
+    std::vector<float> shift(static_cast<size_t>(c));
+    for (int64_t cc = 0; cc < c; ++cc) {
+        float inv = 1.0f / std::sqrt(pv[cc] + eps);
+        float s = pg ? pg[cc] * inv : inv;
+        scale[static_cast<size_t>(cc)] = s;
+        shift[static_cast<size_t>(cc)] = (pb ? pb[cc] : 0.0f) - pm[cc] * s;
+    }
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            float s = scale[static_cast<size_t>(cc)];
+            float t = shift[static_cast<size_t>(cc)];
+            const float *row = px + (img * c + cc) * hw;
+            float *orow = po + (img * c + cc) * hw;
+            for (int64_t j = 0; j < hw; ++j)
+                orow[j] = row[j] * s + t;
+        }
+    }
+    return out;
+}
+
+Tensor
+softmax(const Tensor &x, int dim)
+{
+    int r = static_cast<int>(x.shape().rank());
+    int nd = dim < 0 ? dim + r : dim;
+    if (nd != r - 1 || !fastF32(x))
+        return kernels::softmax(x, dim);  // permuting case: reference
+
+    int64_t d = x.shape().dim(-1);
+    int64_t rows = x.numel() / d;
+    Tensor out(x.shape(), DType::F32);
+    const float *px = x.dataF32();
+    float *po = out.dataF32();
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *row = px + i * d;
+        float *orow = po + i * d;
+        float mx = row[0];
+        for (int64_t j = 1; j < d; ++j)
+            mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            sum += orow[j];
+        }
+        float inv = 1.0f / sum;
+        for (int64_t j = 0; j < d; ++j)
+            orow[j] *= inv;
+    }
+    return out;
+}
+
+// ----- elementwise fast paths --------------------------------------------
+
+namespace {
+
+/**
+ * Contiguous-F32 unary fast path: raw pointer sweep with the SAME
+ * per-element expression as the reference (bit-identical), without the
+ * reference's per-element std::function call and strided flat-index
+ * decomposition. @p Ref is taken as a fallback for other dtypes /
+ * layouts.
+ */
+template <typename F, typename Ref>
+Tensor
+unaryFast(const Tensor &x, F f, Ref ref)
+{
+    if (!fastF32(x))
+        return ref(x);
+    Tensor out(x.shape(), DType::F32);
+    const float *px = x.dataF32();
+    float *po = out.dataF32();
+    int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = f(px[i]);
+    return out;
+}
+
+/** Same-shape contiguous-F32 binary fast path; else reference. */
+template <typename F, typename Ref>
+Tensor
+binaryFast(const Tensor &a, const Tensor &b, F f, Ref ref)
+{
+    if (!fastF32(a) || !fastF32(b) || !(a.shape() == b.shape()))
+        return ref(a, b);
+    Tensor out(a.shape(), DType::F32);
+    const float *pa = a.dataF32();
+    const float *pb = b.dataF32();
+    float *po = out.dataF32();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = f(pa[i], pb[i]);
+    return out;
+}
+
+}  // namespace
+
+Tensor
+relu(const Tensor &x)
+{
+    return unaryFast(
+        x, [](float v) { return v > 0.0f ? v : 0.0f; }, kernels::relu);
+}
+
+Tensor
+gelu(const Tensor &x)
+{
+    return unaryFast(
+        x,
+        [](float v) {
+            return 0.5f * v * (1.0f + std::erf(v * 0.70710678f));
+        },
+        kernels::gelu);
+}
+
+Tensor
+silu(const Tensor &x)
+{
+    return unaryFast(
+        x, [](float v) { return v / (1.0f + std::exp(-v)); },
+        kernels::silu);
+}
+
+Tensor
+sigmoid(const Tensor &x)
+{
+    return unaryFast(
+        x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+        kernels::sigmoid);
+}
+
+Tensor
+tanhOp(const Tensor &x)
+{
+    return unaryFast(
+        x, [](float v) { return std::tanh(v); }, kernels::tanhOp);
+}
+
+Tensor
+expOp(const Tensor &x)
+{
+    return unaryFast(
+        x, [](float v) { return std::exp(v); }, kernels::expOp);
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    return binaryFast(
+        a, b, [](float x, float y) { return x + y; }, kernels::add);
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    return binaryFast(
+        a, b, [](float x, float y) { return x - y; }, kernels::sub);
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    return binaryFast(
+        a, b, [](float x, float y) { return x * y; }, kernels::mul);
+}
+
+Tensor
+div(const Tensor &a, const Tensor &b)
+{
+    return binaryFast(
+        a, b, [](float x, float y) { return x / y; }, kernels::div);
+}
+
+Tensor
+addScalar(const Tensor &x, float s)
+{
+    return unaryFast(
+        x, [s](float v) { return v + s; },
+        [s](const Tensor &t) { return kernels::addScalar(t, s); });
+}
+
+Tensor
+mulScalar(const Tensor &x, float s)
+{
+    return unaryFast(
+        x, [s](float v) { return v * s; },
+        [s](const Tensor &t) { return kernels::mulScalar(t, s); });
+}
+
+}  // namespace opt
+}  // namespace kernels
+}  // namespace ngb

@@ -1,0 +1,93 @@
+#ifndef NGB_OPS_OPTIMIZED_KERNELS_H
+#define NGB_OPS_OPTIMIZED_KERNELS_H
+
+#include "tensor/tensor.h"
+
+/**
+ * @file
+ * The optimized CPU kernel set behind the "optimized" backend: the
+ * hottest operators of the inventory, rewritten for host speed.
+ *
+ *  - matmul / linear / bmm: 4x16 register-tiled GEMM core. Keeps the
+ *    whole accumulator tile in registers across the k loop, so each
+ *    B row is loaded once per 4 output rows instead of once per row;
+ *    linear fuses the bias epilogue into the accumulator write-out.
+ *    Per-element accumulation stays k-ascending (no reassociation),
+ *    so results match the reference kernels to float tolerance
+ *    (typically bit-exact; the reference's skip-zero branch can
+ *    differ in the last ulp around signed zeros / non-finite values).
+ *  - layerNorm: single-pass Welford moments (one sweep computes mean
+ *    and M2 instead of separate mean and variance passes; centered
+ *    updates, so no E[x^2]-mean^2 cancellation) with the affine
+ *    epilogue fused into the normalize sweep. Mean/variance round
+ *    differently from the two-pass reference: compare with tolerance.
+ *  - softmax: direct rows loop for the (ubiquitous) last-dim case,
+ *    skipping the permute/contiguous round trip. Bit-identical.
+ *  - batchNorm2d: per-channel scale/shift hoisted out of the image
+ *    loop. Bit-identical.
+ *  - elementwise (relu/gelu/silu/sigmoid/tanh/exp, add/sub/mul/div,
+ *    +scalar variants): contiguous-F32 fast path over raw pointers —
+ *    the reference path pays a std::function call and a strided
+ *    flat-index decomposition per element. Bit-identical (same float
+ *    expression, same order).
+ *
+ * Every kernel checks its fast-path preconditions (contiguity, dtype,
+ * shapes) and falls back to the reference kernel in src/ops/kernels.h
+ * when they do not hold, so behaviour is defined for every input the
+ * reference accepts.
+ */
+
+namespace ngb {
+namespace kernels {
+namespace opt {
+
+// ----- GEMM family (register-tiled core) ---------------------------------
+
+Tensor matmul(const Tensor &a, const Tensor &b);
+Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b);
+Tensor bmm(const Tensor &a, const Tensor &b);
+
+/**
+ * Pack a [N,K] linear weight into the [K,N] row-major layout the GEMM
+ * core streams (blocked raw-pointer transpose). Weights are immutable,
+ * so the optimized backend memoizes this per node via
+ * ParamStore::derived and amortizes the pack across every request of
+ * an engine; linearPacked then consumes the packed operand directly.
+ */
+Tensor packWeightTranspose(const Tensor &w);
+
+/** linear() over an already-packed [K,N] weight from packWeightTranspose. */
+Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b);
+
+// ----- Normalization ------------------------------------------------------
+
+Tensor layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 float eps);
+Tensor batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                   const Tensor &mean, const Tensor &var, float eps);
+
+// ----- Logit computation --------------------------------------------------
+
+Tensor softmax(const Tensor &x, int dim);
+
+// ----- Elementwise --------------------------------------------------------
+
+Tensor relu(const Tensor &x);
+Tensor gelu(const Tensor &x);
+Tensor silu(const Tensor &x);
+Tensor sigmoid(const Tensor &x);
+Tensor tanhOp(const Tensor &x);
+Tensor expOp(const Tensor &x);
+
+Tensor add(const Tensor &a, const Tensor &b);
+Tensor sub(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b);
+Tensor div(const Tensor &a, const Tensor &b);
+Tensor addScalar(const Tensor &x, float s);
+Tensor mulScalar(const Tensor &x, float s);
+
+}  // namespace opt
+}  // namespace kernels
+}  // namespace ngb
+
+#endif  // NGB_OPS_OPTIMIZED_KERNELS_H

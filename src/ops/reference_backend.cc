@@ -1,0 +1,303 @@
+#include <stdexcept>
+#include <utility>
+
+#include "ops/backend.h"
+#include "ops/kernels.h"
+
+/**
+ * @file
+ * Registration of the reference backend: one kernel per operator in
+ * the inventory, each a thin adapter from KernelContext to the
+ * straightforward kernels in src/ops. This is the complete backend
+ * every other backend falls back to; the registry-completeness test
+ * asserts it covers every concrete OpKind.
+ */
+
+namespace ngb {
+
+namespace {
+
+namespace kn = kernels;
+
+void
+registerGemmOps(Backend &b)
+{
+    b.registerKernel(OpKind::Linear, [](const KernelContext &c) {
+        return singleOutput(kn::linear(c.in(0), c.param(0), c.optBias()));
+    });
+    b.registerKernel(OpKind::Int8Linear, [](const KernelContext &c) {
+        // Dynamic activation quantization, absmax weight scale.
+        float xs = kn::absmaxScale(c.in(0));
+        Tensor wq = c.param(0);
+        float ws = 1.0f;
+        if (wq.dtype() != DType::I8) {
+            ws = kn::absmaxScale(wq);
+            wq = kn::quantize(wq, ws);
+        } else {
+            ws = 0.05f / 127.0f * 3.0f;  // matches ParamStore I8 rounding
+        }
+        Tensor xq = kn::quantize(c.in(0), xs);
+        return singleOutput(kn::int8Linear(xq, wq, c.optBias(), xs, ws));
+    });
+    b.registerKernel(OpKind::Conv2d, [](const KernelContext &c) {
+        return singleOutput(kn::conv2d(c.in(0), c.param(0), c.optBias(),
+                              c.attrInt("stride"), c.attrInt("padding"),
+                              c.attrInt("groups", 1)));
+    });
+    b.registerKernel(OpKind::BMM, [](const KernelContext &c) {
+        return singleOutput(kn::bmm(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::MatMul, [](const KernelContext &c) {
+        return singleOutput(kn::matmul(c.in(0), c.in(1)));
+    });
+}
+
+void
+registerActivationOps(Backend &b)
+{
+    b.registerKernel(OpKind::ReLU, [](const KernelContext &c) {
+        return singleOutput(kn::relu(c.in(0)));
+    });
+    b.registerKernel(OpKind::GELU, [](const KernelContext &c) {
+        return singleOutput(kn::gelu(c.in(0)));
+    });
+    b.registerKernel(OpKind::SiLU, [](const KernelContext &c) {
+        return singleOutput(kn::silu(c.in(0)));
+    });
+    b.registerKernel(OpKind::Sigmoid, [](const KernelContext &c) {
+        return singleOutput(kn::sigmoid(c.in(0)));
+    });
+    b.registerKernel(OpKind::Tanh, [](const KernelContext &c) {
+        return singleOutput(kn::tanhOp(c.in(0)));
+    });
+    b.registerKernel(OpKind::Erf, [](const KernelContext &c) {
+        return singleOutput(kn::erfOp(c.in(0)));
+    });
+    b.registerKernel(OpKind::Exp, [](const KernelContext &c) {
+        return singleOutput(kn::expOp(c.in(0)));
+    });
+    b.registerKernel(OpKind::Log, [](const KernelContext &c) {
+        return singleOutput(kn::logOp(c.in(0)));
+    });
+}
+
+void
+registerNormOps(Backend &b)
+{
+    b.registerKernel(OpKind::LayerNorm, [](const KernelContext &c) {
+        return singleOutput(kn::layerNorm(c.in(0), c.param(0), c.param(1),
+                                 c.attrFloat("eps", 1e-5)));
+    });
+    KernelFn batchNorm = [](const KernelContext &c) {
+        return singleOutput(kn::batchNorm2d(c.in(0), c.param(0), c.param(1),
+                                   c.param(2), c.param(3),
+                                   c.attrFloat("eps", 1e-5)));
+    };
+    b.registerKernel(OpKind::BatchNorm2d, batchNorm);
+    b.registerKernel(OpKind::FrozenBatchNorm2d, batchNorm);
+    b.registerKernel(OpKind::RMSNorm, [](const KernelContext &c) {
+        return singleOutput(kn::rmsNorm(c.in(0), c.param(0),
+                               c.attrFloat("eps", 1e-6)));
+    });
+    b.registerKernel(OpKind::GroupNorm, [](const KernelContext &c) {
+        return singleOutput(kn::groupNorm(c.in(0), c.param(0), c.param(1),
+                                 c.attrInt("groups", 1),
+                                 c.attrFloat("eps", 1e-5)));
+    });
+}
+
+void
+registerElementwiseOps(Backend &b)
+{
+    b.registerKernel(OpKind::Add, [](const KernelContext &c) {
+        if (c.numInputs() == 1)
+            return singleOutput(kn::addScalar(c.in(0), c.attrFloat("scalar")));
+        return singleOutput(kn::add(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Sub, [](const KernelContext &c) {
+        return singleOutput(kn::sub(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Mul, [](const KernelContext &c) {
+        if (c.numInputs() == 1)
+            return singleOutput(kn::mulScalar(c.in(0), c.attrFloat("scalar")));
+        return singleOutput(kn::mul(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Div, [](const KernelContext &c) {
+        return singleOutput(kn::div(c.in(0), c.in(1)));
+    });
+    b.registerKernel(OpKind::Neg, [](const KernelContext &c) {
+        return singleOutput(kn::neg(c.in(0)));
+    });
+    b.registerKernel(OpKind::Sqrt, [](const KernelContext &c) {
+        return singleOutput(kn::sqrtOp(c.in(0)));
+    });
+    b.registerKernel(OpKind::Pow, [](const KernelContext &c) {
+        return singleOutput(kn::powScalar(c.in(0), c.attrFloat("exponent", 2.0)));
+    });
+    b.registerKernel(OpKind::Where, [](const KernelContext &c) {
+        return singleOutput(kn::where(c.in(0), c.in(1), c.in(2)));
+    });
+    b.registerKernel(OpKind::Softmax, [](const KernelContext &c) {
+        return singleOutput(kn::softmax(c.in(0), c.attrInt("dim")));
+    });
+    b.registerKernel(OpKind::LogSoftmax, [](const KernelContext &c) {
+        return singleOutput(kn::logSoftmax(c.in(0), c.attrInt("dim")));
+    });
+}
+
+void
+registerLayoutOps(Backend &b)
+{
+    b.registerKernel(OpKind::Reshape, [](const KernelContext &c) {
+        return singleOutput(c.in(0).reshape(c.node.outShapes[0]));
+    });
+    b.registerKernel(OpKind::View, [](const KernelContext &c) {
+        return singleOutput(c.in(0).contiguous().view(c.node.outShapes[0]));
+    });
+    b.registerKernel(OpKind::Permute, [](const KernelContext &c) {
+        const auto &ord = c.node.attrs.getInts("order");
+        std::vector<int> o(ord.begin(), ord.end());
+        return singleOutput(c.in(0).permute(o));
+    });
+    b.registerKernel(OpKind::Transpose, [](const KernelContext &c) {
+        return singleOutput(c.in(0).transpose(c.attrInt("d0"), c.attrInt("d1")));
+    });
+    b.registerKernel(OpKind::Contiguous, [](const KernelContext &c) {
+        return singleOutput(c.in(0).contiguous());
+    });
+    b.registerKernel(OpKind::Slice, [](const KernelContext &c) {
+        int dim = c.attrInt("dim");
+        return singleOutput(c.in(0).slice(
+            dim, c.node.attrs.getI("start"),
+            c.node.outShapes[0][static_cast<size_t>(dim)]));
+    });
+    b.registerKernel(OpKind::Expand, [](const KernelContext &c) {
+        return singleOutput(c.in(0).expand(c.node.outShapes[0]));
+    });
+    b.registerKernel(OpKind::Squeeze, [](const KernelContext &c) {
+        return singleOutput(c.in(0).squeeze(c.attrInt("dim")));
+    });
+    b.registerKernel(OpKind::Unsqueeze, [](const KernelContext &c) {
+        return singleOutput(c.in(0).unsqueeze(c.attrInt("dim")));
+    });
+    b.registerKernel(OpKind::Roll, [](const KernelContext &c) {
+        return singleOutput(kn::roll(c.in(0), c.node.attrs.getI("shift"),
+                            c.attrInt("dim")));
+    });
+    b.registerKernel(OpKind::Pad, [](const KernelContext &c) {
+        return singleOutput(kn::pad(c.in(0), c.attrInt("dim"),
+                           c.node.attrs.getI("before"),
+                           c.node.attrs.getI("after")));
+    });
+    b.registerKernel(OpKind::Concat, [](const KernelContext &c) {
+        std::vector<Tensor> xs;
+        for (size_t i = 0; i < c.numInputs(); ++i)
+            xs.push_back(c.in(i));
+        return singleOutput(kn::concat(xs, c.attrInt("dim")));
+    });
+    b.registerKernel(OpKind::Split, [](const KernelContext &c) {
+        auto parts = kn::split(c.in(0), c.node.attrs.getI("size", 1),
+                               c.attrInt("dim"));
+        std::vector<Tensor> out;
+        for (Tensor &p : parts)
+            out.push_back(p.contiguous());
+        return out;
+    });
+}
+
+void
+registerVisionOps(Backend &b)
+{
+    b.registerKernel(OpKind::NMS, [](const KernelContext &c) {
+        Tensor kept = kn::nms(c.in(0), c.in(1),
+                              c.attrFloat("iou_threshold", 0.5),
+                              c.attrFloat("score_threshold", 0.0));
+        // Pad / trim to the static expected_keep size.
+        int64_t want = c.node.outShapes[0][0];
+        Tensor out(Shape{want}, DType::I32);
+        int32_t *po = out.dataI32();
+        const int32_t *pk = kept.dataI32();
+        for (int64_t i = 0; i < want; ++i)
+            po[i] = i < kept.numel() ? pk[i] : 0;
+        return singleOutput(std::move(out));
+    });
+    b.registerKernel(OpKind::RoIAlign, [](const KernelContext &c) {
+        return singleOutput(kn::roiAlign(c.in(0), c.in(1), c.attrInt("out_h"),
+                                c.attrInt("out_w")));
+    });
+    b.registerKernel(OpKind::Interpolate, [](const KernelContext &c) {
+        return singleOutput(kn::interpolateBilinear(c.in(0), c.attrInt("out_h"),
+                                           c.attrInt("out_w")));
+    });
+    b.registerKernel(OpKind::MaxPool2d, [](const KernelContext &c) {
+        return singleOutput(kn::maxPool2d(c.in(0), c.attrInt("kernel"),
+                                 c.attrInt("stride"),
+                                 c.attrInt("padding")));
+    });
+    b.registerKernel(OpKind::AvgPool2d, [](const KernelContext &c) {
+        return singleOutput(kn::avgPool2d(c.in(0), c.attrInt("kernel"),
+                                 c.attrInt("stride"),
+                                 c.attrInt("padding")));
+    });
+    b.registerKernel(OpKind::AdaptiveAvgPool2d, [](const KernelContext &c) {
+        return singleOutput(kn::adaptiveAvgPool2d(c.in(0), c.attrInt("out_h"),
+                                         c.attrInt("out_w")));
+    });
+}
+
+void
+registerMiscOps(Backend &b)
+{
+    b.registerKernel(OpKind::Embedding, [](const KernelContext &c) {
+        return singleOutput(kn::embedding(c.in(0), c.param(0)));
+    });
+    b.registerKernel(OpKind::Gather, [](const KernelContext &c) {
+        return singleOutput(kn::gather(c.in(0), c.attrInt("dim"), c.in(1)));
+    });
+    b.registerKernel(OpKind::CumSum, [](const KernelContext &c) {
+        return singleOutput(kn::cumsum(c.in(0), c.attrInt("dim")));
+    });
+    b.registerKernel(OpKind::TopK, [](const KernelContext &c) {
+        auto [vals, idx] = kn::topk(c.in(0), c.attrInt("k"));
+        std::vector<Tensor> out;
+        out.push_back(std::move(vals));
+        out.push_back(std::move(idx));
+        return out;
+    });
+    b.registerKernel(OpKind::Quantize, [](const KernelContext &c) {
+        return singleOutput(kn::quantize(c.in(0), kn::absmaxScale(c.in(0))));
+    });
+    b.registerKernel(OpKind::Dequantize, [](const KernelContext &c) {
+        // Symmetric round-trip: reuse the producing scale when known.
+        return singleOutput(kn::dequantize(c.in(0), 1.0f));
+    });
+    // OpKind::Fused is deliberately NOT registered: fused kernels only
+    // exist inside deployment-flow plans (cost model), never in a
+    // concretely executed graph. Dispatching one hits the registry's
+    // descriptive unknown-op error rather than UB.
+}
+
+Backend
+makeReferenceBackend()
+{
+    Backend b("reference");
+    registerGemmOps(b);
+    registerActivationOps(b);
+    registerNormOps(b);
+    registerElementwiseOps(b);
+    registerLayoutOps(b);
+    registerVisionOps(b);
+    registerMiscOps(b);
+    return b;
+}
+
+}  // namespace
+
+const Backend &
+referenceBackend()
+{
+    static const Backend backend = makeReferenceBackend();
+    return backend;
+}
+
+}  // namespace ngb

@@ -129,7 +129,8 @@ printReport(const ProfileReport &r, std::ostream &os)
     }
     if (r.runtime.threads > 0) {
         const auto &rt = r.runtime;
-        os << "  runtime (measured): threads=" << rt.threads
+        os << "  runtime (measured): backend=" << rt.backend
+           << " threads=" << rt.threads
            << " requests=" << rt.requests << "  wall "
            << std::setprecision(2) << rt.wallUs * 1e-3 << " ms, kernels "
            << rt.sumUs * 1e-3 << " ms, concurrency "
@@ -164,7 +165,9 @@ writeJsonReport(const ProfileReport &r, std::ostream &os)
     os << "  \"non_gemm_us\": " << r.nonGemmUs << ",\n";
     os << "  \"critical_path_us\": " << r.criticalPathUs << ",\n";
     if (r.runtime.threads > 0) {
-        os << "  \"runtime\": {\"threads\": " << r.runtime.threads
+        os << "  \"runtime\": {\"backend\": \""
+           << esc(r.runtime.backend) << "\", \"threads\": "
+           << r.runtime.threads
            << ", \"requests\": " << r.runtime.requests
            << ", \"wall_us\": " << r.runtime.wallUs
            << ", \"kernel_us\": " << r.runtime.sumUs

@@ -59,6 +59,7 @@ struct ProfileReport {
     struct MeasuredRuntime {
         int threads = 0;
         int requests = 0;
+        std::string backend = "reference";  ///< kernel backend measured
         double wallUs = 0;           ///< fork-join wall clock
         double sumUs = 0;            ///< total kernel time
         double planUs = 0;           ///< schedule+arena+params, amortized

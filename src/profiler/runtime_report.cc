@@ -8,7 +8,8 @@ namespace ngb {
 void
 printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
 {
-    os << "runtime: threads=" << p.threads << " requests=" << p.requests
+    os << "runtime: backend=" << p.backend << " threads=" << p.threads
+       << " requests=" << p.requests
        << "  levels=" << p.schedule.numLevels
        << " max_width=" << p.schedule.maxWidth << " avg_width="
        << std::fixed << std::setprecision(1) << p.schedule.avgWidth
@@ -49,7 +50,8 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
                << " us\n";
     }
 
-    os << "  measured split: GEMM " << std::setprecision(1)
+    os << "  measured split [" << p.backend << "]: GEMM "
+       << std::setprecision(1)
        << (p.sumUs > 0 ? 100.0 * p.gemmUs() / p.sumUs : 0)
        << "%  non-GEMM " << p.nonGemmPct() << "%\n";
     for (const auto &[cat, us] : p.usByCategory)
@@ -57,6 +59,46 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
            << std::right << std::setw(10) << std::setprecision(1) << us
            << " us  (" << std::setw(5)
            << (p.sumUs > 0 ? 100.0 * us / p.sumUs : 0) << "%)\n";
+}
+
+void
+printBackendComparison(const RuntimeProfile &a, const RuntimeProfile &b,
+                       std::ostream &os)
+{
+    auto usOf = [](const RuntimeProfile &p, OpCategory c) {
+        auto it = p.usByCategory.find(c);
+        return it != p.usByCategory.end() ? it->second : 0.0;
+    };
+    // Union of categories, map-ordered.
+    std::map<OpCategory, double> cats = a.usByCategory;
+    for (const auto &[cat, us] : b.usByCategory)
+        cats.emplace(cat, us);
+
+    os << "backend comparison: " << a.backend << " vs " << b.backend
+       << "\n";
+    os << "  " << std::left << std::setw(14) << "category" << std::right
+       << std::setw(14) << a.backend << std::setw(14) << b.backend
+       << std::setw(10) << "speedup" << "\n";
+    for (const auto &[cat, unused] : cats) {
+        (void)unused;
+        double ua = usOf(a, cat), ub = usOf(b, cat);
+        os << "  " << std::left << std::setw(14) << opCategoryName(cat)
+           << std::right << std::fixed << std::setprecision(1)
+           << std::setw(11) << ua << " us" << std::setw(11) << ub
+           << " us" << std::setw(9) << std::setprecision(2)
+           << (ub > 0 ? ua / ub : 0.0) << "x\n";
+    }
+    os << "  " << std::left << std::setw(14) << "total" << std::right
+       << std::fixed << std::setprecision(1) << std::setw(11) << a.sumUs
+       << " us" << std::setw(11) << b.sumUs << " us" << std::setw(9)
+       << std::setprecision(2) << (b.sumUs > 0 ? a.sumUs / b.sumUs : 0.0)
+       << "x\n";
+    os << "  GEMM/non-GEMM split: " << a.backend << " "
+       << std::setprecision(1)
+       << (a.sumUs > 0 ? 100.0 * a.gemmUs() / a.sumUs : 0.0) << "%/"
+       << a.nonGemmPct() << "%  ->  " << b.backend << " "
+       << (b.sumUs > 0 ? 100.0 * b.gemmUs() / b.sumUs : 0.0) << "%/"
+       << b.nonGemmPct() << "%\n";
 }
 
 void

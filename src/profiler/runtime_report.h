@@ -17,6 +17,17 @@ namespace ngb {
  */
 void printRuntimeReport(const RuntimeProfile &p, std::ostream &os);
 
+/**
+ * Side-by-side per-category attribution of two measured runs of the
+ * SAME graph under two kernel backends (e.g. reference vs optimized):
+ * per-category kernel time, each backend's GEMM / non-GEMM share, and
+ * the per-category speedup — the paper's Figure 6 experiment repeated
+ * across backends, showing how the split shifts as kernels get
+ * optimized.
+ */
+void printBackendComparison(const RuntimeProfile &a,
+                            const RuntimeProfile &b, std::ostream &os);
+
 /** One-line arena summary: planned peak vs the no-reuse footprint. */
 void printMemoryPlan(const MemoryPlan &plan, std::ostream &os);
 

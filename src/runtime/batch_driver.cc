@@ -49,18 +49,27 @@ buildEnginePlan(const Graph &g)
     return plan;
 }
 
-BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool)
-    : BatchDriver(g, pool, buildEnginePlan(g))
+BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
+                         const Backend &backend)
+    : BatchDriver(g, pool, buildEnginePlan(g), backend)
 {
 }
 
 BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
-                         std::shared_ptr<EnginePlan> plan)
-    : g_(g), pool_(pool), plan_(std::move(plan))
+                         std::shared_ptr<EnginePlan> plan,
+                         const Backend &backend)
+    : g_(g), pool_(pool), plan_(std::move(plan)), backend_(backend)
 {
     if (!plan_)
         throw std::runtime_error("BatchDriver: null EnginePlan");
-    profile_.planUs = plan_->planUs;
+    // Backend warm-up (e.g. packed Linear weights) happens here, with
+    // planning, so request timings never include first-touch
+    // preprocessing. Idempotent on a shared plan: derived state is
+    // memoized in the plan's ParamStore.
+    auto t0 = Clock::now();
+    backend_.prepare(g_, plan_->params);
+    profile_.planUs = plan_->planUs + elapsedUsSince(t0);
+    profile_.backend = backend_.name();
 }
 
 std::vector<Tensor>
@@ -114,7 +123,7 @@ BatchDriver::runOne(const std::vector<Tensor> &inputs,
                         n.name);
                 results[id] = {params.get(n, 0)};
             } else {
-                results[id] = evalNode(n, lookup, params);
+                results[id] = evalNode(n, lookup, params, backend_);
             }
             node_us[id] += elapsedUsSince(k0);
         }

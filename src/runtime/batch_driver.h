@@ -63,11 +63,13 @@ class BatchDriver
 {
   public:
     /** Plan internally (schedule + arena + params) for @p g. */
-    BatchDriver(const Graph &g, ThreadPool &pool);
+    BatchDriver(const Graph &g, ThreadPool &pool,
+                const Backend &backend = defaultBackend());
 
     /** Adopt an already-built @p plan for @p g (must match). */
     BatchDriver(const Graph &g, ThreadPool &pool,
-                std::shared_ptr<EnginePlan> plan);
+                std::shared_ptr<EnginePlan> plan,
+                const Backend &backend = defaultBackend());
 
     /**
      * Execute every request (one vector of graph-input tensors each)
@@ -83,6 +85,7 @@ class BatchDriver
     const Schedule &schedule() const { return plan_->sched; }
     const MemoryPlan &memoryPlan() const { return plan_->memplan; }
     ParamStore &params() { return plan_->params; }
+    const Backend &backend() const { return backend_; }
 
   private:
     std::vector<Tensor> runOne(const std::vector<Tensor> &inputs,
@@ -91,6 +94,7 @@ class BatchDriver
     const Graph &g_;
     ThreadPool &pool_;
     std::shared_ptr<EnginePlan> plan_;
+    const Backend &backend_;
 
     RuntimeProfile profile_;
 };

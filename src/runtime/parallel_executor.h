@@ -18,10 +18,10 @@ namespace ngb {
  * Dispatches each dependency level of a Schedule as one fork-join
  * region: all nodes of a level are independent by construction, so
  * they run concurrently and write disjoint result slots (no locking
- * on the hot path). Kernels themselves are the same single-threaded
- * reference kernels the serial Executor calls with the same
- * deterministic ParamStore, so outputs are bit-identical to
- * Executor::run regardless of thread count or interleaving.
+ * on the hot path). Kernels come from the same pluggable Backend the
+ * serial Executor dispatches through, with the same deterministic
+ * ParamStore, so outputs are bit-identical to an Executor running the
+ * same backend, regardless of thread count or interleaving.
  *
  * Between levels the executor releases tensors whose last consumer
  * level has passed (the lifetimes the MemoryPlanner computes), so
@@ -32,9 +32,11 @@ class ParallelExecutor
 {
   public:
     /** Uses an internally built wavefront schedule for @p g. */
-    ParallelExecutor(const Graph &g, ThreadPool &pool);
+    ParallelExecutor(const Graph &g, ThreadPool &pool,
+                     const Backend &backend = defaultBackend());
 
-    ParallelExecutor(const Graph &g, Schedule sched, ThreadPool &pool);
+    ParallelExecutor(const Graph &g, Schedule sched, ThreadPool &pool,
+                     const Backend &backend = defaultBackend());
 
     /** Run the graph; same contract as Executor::run. */
     std::vector<Tensor> run(const std::vector<Tensor> &inputs);
@@ -45,11 +47,13 @@ class ParallelExecutor
     const Schedule &schedule() const { return sched_; }
     const MemoryPlan &memoryPlan() const { return memplan_; }
     ParamStore &params() { return params_; }
+    const Backend &backend() const { return backend_; }
 
   private:
     const Graph &g_;
     Schedule sched_;
     ThreadPool &pool_;
+    const Backend &backend_;
     MemoryPlan memplan_;
     ParamStore params_;
     bool warmedUp_ = false;

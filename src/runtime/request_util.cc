@@ -1,6 +1,8 @@
 #include "runtime/request_util.h"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace ngb {
 
@@ -46,6 +48,58 @@ bitDifference(const std::vector<Tensor> &a, const std::vector<Tensor> &b)
         }
     }
     return "";
+}
+
+std::string
+closeDifference(const std::vector<Tensor> &a, const std::vector<Tensor> &b,
+                float rtol, float atol)
+{
+    if (a.size() != b.size())
+        return "output count differs: " + std::to_string(a.size()) +
+               " vs " + std::to_string(b.size());
+    // Scan everything and report the WORST offender (largest error
+    // relative to its tolerance), not the first: the first element
+    // over the line is usually marginal rounding, while the worst one
+    // points at the actual defect.
+    double worst = 1.0;
+    size_t worst_i = 0;
+    int64_t worst_j = 0;
+    float worst_x = 0, worst_y = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].shape() != b[i].shape())
+            return "output " + std::to_string(i) + " shape differs: " +
+                   a[i].shape().str() + " vs " + b[i].shape().str();
+        for (int64_t j = 0; j < a[i].numel(); ++j) {
+            float x = a[i].flatAt(j), y = b[i].flatAt(j);
+            double over;
+            if (std::isnan(x) != std::isnan(y))
+                over = std::numeric_limits<double>::infinity();
+            else if (std::isnan(x))
+                continue;
+            else if (std::isinf(x) || std::isinf(y))
+                // inf/inf would be NaN and slip past the comparison:
+                // infinities only match the exact same infinity.
+                over = x == y ? 0.0
+                              : std::numeric_limits<double>::infinity();
+            else
+                over = std::abs(static_cast<double>(x) - y) /
+                       (atol + rtol * std::abs(static_cast<double>(y)));
+            if (over > worst) {
+                worst = over;
+                worst_i = i;
+                worst_j = j;
+                worst_x = x;
+                worst_y = y;
+            }
+        }
+    }
+    if (worst <= 1.0)
+        return "";
+    return "output " + std::to_string(worst_i) + " element " +
+           std::to_string(worst_j) + " differs beyond rtol=" +
+           std::to_string(rtol) + " (worst, " + std::to_string(worst) +
+           "x tolerance): " + std::to_string(worst_x) + " vs " +
+           std::to_string(worst_y);
 }
 
 }  // namespace ngb

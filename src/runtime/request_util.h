@@ -32,6 +32,25 @@ bitIdentical(const std::vector<Tensor> &a, const std::vector<Tensor> &b)
     return bitDifference(a, b).empty();
 }
 
+/**
+ * Compare two output sets within float tolerance: every element must
+ * satisfy |a - b| <= atol + rtol * |b| (numpy allclose semantics, b is
+ * the reference). The cross-backend check: optimized kernels may
+ * legally reassociate float accumulation, so their outputs match the
+ * reference backend to tolerance rather than bit-for-bit. Returns an
+ * empty string when close, else a description of the worst mismatch.
+ */
+std::string closeDifference(const std::vector<Tensor> &a,
+                            const std::vector<Tensor> &b,
+                            float rtol = 1e-3f, float atol = 1e-5f);
+
+inline bool
+allClose(const std::vector<Tensor> &a, const std::vector<Tensor> &b,
+         float rtol = 1e-3f, float atol = 1e-5f)
+{
+    return closeDifference(a, b, rtol, atol).empty();
+}
+
 }  // namespace ngb
 
 #endif  // NGB_RUNTIME_REQUEST_UTIL_H

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "graph/schedule.h"
@@ -37,6 +38,9 @@ struct LevelTiming {
 struct RuntimeProfile {
     int threads = 1;
     int requests = 1;
+
+    /** Kernel backend the measurement was taken under. */
+    std::string backend = "reference";
 
     double planUs = 0;     ///< schedule + memory plan + param warm-up
     double wallUs = 0;     ///< fork-join wall time of execution

@@ -8,8 +8,20 @@
 namespace ngb {
 namespace serve {
 
+namespace {
+
+/** Resolve an engine's backend: explicit pin > cache config > default. */
+const Backend &
+resolveBackend(const EngineConfig &cfg, const std::string &pin)
+{
+    const std::string &name = !pin.empty() ? pin : cfg.backend;
+    return name.empty() ? defaultBackend() : findBackend(name);
+}
+
+}  // namespace
+
 Engine::Engine(const std::string &model, const EngineConfig &cfg,
-               ThreadPool &pool)
+               ThreadPool &pool, const std::string &backendName)
     : model_(model)
 {
     auto t0 = std::chrono::steady_clock::now();
@@ -20,7 +32,9 @@ Engine::Engine(const std::string &model, const EngineConfig &cfg,
     mc.testScale = cfg.scale;
     graph_ = std::make_unique<Graph>(info.build(mc));
     plan_ = buildEnginePlan(*graph_);
-    driver_ = std::make_unique<BatchDriver>(*graph_, pool, plan_);
+    backend_ = &resolveBackend(cfg, backendName);
+    driver_ =
+        std::make_unique<BatchDriver>(*graph_, pool, plan_, *backend_);
     buildUs_ = elapsedUsSince(t0);
 }
 
@@ -30,17 +44,18 @@ EngineCache::EngineCache(ThreadPool &pool, EngineConfig cfg)
 }
 
 Engine &
-EngineCache::get(const std::string &model)
+EngineCache::get(const std::string &model, const std::string &backend)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    EngineKey key{model, cfg_.scale, pool_.threads()};
+    EngineKey key{model, cfg_.scale, pool_.threads(),
+                  resolveBackend(cfg_, backend).name()};
     auto it = engines_.find(key);
     if (it != engines_.end()) {
         ++stats_.hits;
         return *it->second;
     }
     ++stats_.misses;
-    auto engine = std::make_unique<Engine>(model, cfg_, pool_);
+    auto engine = std::make_unique<Engine>(model, cfg_, pool_, backend);
     stats_.buildUs += engine->buildUs();
     auto [pos, inserted] = engines_.emplace(key, std::move(engine));
     (void)inserted;

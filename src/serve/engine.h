@@ -9,6 +9,7 @@
 #include <tuple>
 #include <vector>
 
+#include "ops/backend.h"
 #include "runtime/batch_driver.h"
 #include "runtime/thread_pool.h"
 
@@ -19,23 +20,34 @@ namespace serve {
 struct EngineConfig {
     int64_t scale = 8;   ///< ModelConfig::testScale
     int64_t seqLen = 8;  ///< NLP sequence length
+
+    /**
+     * Default kernel backend for engines this cache builds; "" means
+     * the process default ($NGB_BACKEND or reference). Individual
+     * tenants can pin a different backend per EngineCache::get call.
+     */
+    std::string backend;
 };
 
 /**
  * Identity of one planned engine. Thread count is part of the key
  * because the plan is amortized against a specific pool size — a
  * server that resizes its pool gets distinct engines, the same way
- * TensorRT engines are keyed by build-time configuration.
+ * TensorRT engines are keyed by build-time configuration. The kernel
+ * backend is part of the key too, so tenants pinning different
+ * backends get distinct engines and per-backend measurements never
+ * mix.
  */
 struct EngineKey {
     std::string model;
     int64_t scale = 8;
     int threads = 1;
+    std::string backend = "reference";
 
     bool operator<(const EngineKey &o) const
     {
-        return std::tie(model, scale, threads) <
-               std::tie(o.model, o.scale, o.threads);
+        return std::tie(model, scale, threads, backend) <
+               std::tie(o.model, o.scale, o.threads, o.backend);
     }
 };
 
@@ -51,8 +63,13 @@ struct EngineKey {
 class Engine
 {
   public:
+    /**
+     * Build the engine for @p model under kernel backend
+     * @p backendName ("" = cfg.backend, itself defaulting to the
+     * process default backend).
+     */
     Engine(const std::string &model, const EngineConfig &cfg,
-           ThreadPool &pool);
+           ThreadPool &pool, const std::string &backendName = "");
 
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
@@ -60,6 +77,7 @@ class Engine
     const std::string &model() const { return model_; }
     const Graph &graph() const { return *graph_; }
     BatchDriver &driver() { return *driver_; }
+    const Backend &backend() const { return *backend_; }
 
     /** Wall time spent building graph + plan (the cache-miss cost). */
     double buildUs() const { return buildUs_; }
@@ -74,6 +92,7 @@ class Engine
     std::string model_;
     std::unique_ptr<Graph> graph_;
     std::shared_ptr<EnginePlan> plan_;
+    const Backend *backend_ = nullptr;
     std::unique_ptr<BatchDriver> driver_;
     double buildUs_ = 0;
 };
@@ -101,8 +120,14 @@ class EngineCache
 
     explicit EngineCache(ThreadPool &pool, EngineConfig cfg = {});
 
-    /** Engine for @p model, building (and timing) it on a miss. */
-    Engine &get(const std::string &model);
+    /**
+     * Engine for @p model, building (and timing) it on a miss. A
+     * tenant can pin a kernel backend with @p backend (""/default:
+     * the cache config's backend); engines are keyed on the resolved
+     * backend name, so the same model under two backends yields two
+     * engines.
+     */
+    Engine &get(const std::string &model, const std::string &backend = "");
 
     Stats stats() const;
 

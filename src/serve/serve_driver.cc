@@ -105,16 +105,20 @@ runClosedLoop(const ServeConfig &cfg, RequestQueue &queue,
 void
 verifyAgainstSerial(ServeResult &result, EngineCache &cache)
 {
-    // One serial reference Executor per model; the engine's own graph
-    // is reused so reference and served runs share shapes and params
-    // by construction. Post-join cache.get() calls do not perturb the
+    // One serial Executor per model, dispatching through the SAME
+    // kernel backend the engine served with (bit-identity is a
+    // same-backend property; cross-backend accuracy is the
+    // differential test suite's job). The engine's own graph is
+    // reused so reference and served runs share shapes and params by
+    // construction. Post-join cache.get() calls do not perturb the
     // reported hit/miss stats (already snapshotted).
     std::map<std::string, std::unique_ptr<Executor>> refs;
     for (const CompletedOutput &co : result.outputs) {
         Engine &engine = cache.get(co.model);
         std::unique_ptr<Executor> &ref = refs[co.model];
         if (!ref)
-            ref = std::make_unique<Executor>(engine.graph());
+            ref = std::make_unique<Executor>(engine.graph(),
+                                             engine.backend());
         std::vector<Tensor> want =
             ref->run(makeRequestInputs(engine.graph(), co.seed));
         ++result.verifiedRequests;
