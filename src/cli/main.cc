@@ -18,6 +18,7 @@
 #include "graph/dot_export.h"
 #include "graph/validate.h"
 #include "deploy/flow.h"
+#include "deploy/fusion.h"
 #include "models/registry.h"
 #include "ops/backend.h"
 #include "profiler/nongemm_report.h"
@@ -46,6 +47,9 @@ struct RuntimeCli {
     bool verify = false;     ///< cross-check parallel against serial
     std::string backend;     ///< kernel backend; "" = process default,
                              ///< "both" = reference + optimized sweep
+    bool fuse = false;       ///< applyFusion before executing; in
+                             ///< parallel mode the unfused graph is
+                             ///< measured too and printed side by side
 };
 
 /** Options of the serving (--serve) mode. */
@@ -77,7 +81,7 @@ requestInputs(const Graph &g, size_t r)
  */
 bool
 runRuntimeModel(const std::string &name, const BenchConfig &cfg,
-                const RuntimeCli &rt, const Backend &backend,
+                const RuntimeCli &rt, const Backend &backend, bool fuse,
                 ThreadPool &pool, RuntimeProfile *outProfile,
                 MemoryPlan *outPlan)
 {
@@ -87,13 +91,19 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
     mc.seqLen = cfg.seqLen > 0 ? cfg.seqLen : 8;
     mc.testScale = rt.scale;
     mc.decodeStep = cfg.decodeStep;
-    Graph g = info.build(mc);
+    Graph unfused = info.build(mc);
     if (cfg.quantize) {
         QuantizeConfig qc;
         qc.method = cfg.quantMethod;
         qc.outlierFraction = cfg.outlierFraction;
-        g = quantizeLlmInt8(g, qc);
+        unfused = quantizeLlmInt8(unfused, qc);
     }
+    // When fusing, keep the unfused graph: --verify compares the two
+    // (the ternary only moves it in the unfused case).
+    FusionStats fstats;
+    Graph g = fuse ? applyFusion(unfused, executableFusionConfig(),
+                                 &fstats)
+                   : std::move(unfused);
 
     size_t requests = static_cast<size_t>(cfg.batch);
     std::vector<std::vector<Tensor>> reqs;
@@ -103,7 +113,13 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
     std::cout << "== " << name << "  (" << g.size() << " nodes, scale 1/"
               << rt.scale << ", " << requests << " request"
               << (requests == 1 ? "" : "s") << ", backend "
-              << backend.name() << ")\n";
+              << backend.name() << (fuse ? ", fused" : "") << ")\n";
+    if (fuse)
+        std::cout << "  fusion: " << fstats.groupsEmitted
+                  << " kernel groups, " << fstats.fusedNonGemm << "/"
+                  << fstats.totalNonGemm << " non-GEMM ops fused (rate "
+                  << fstats.fusionRate() << "), " << fstats.fusedWithGemm
+                  << " folded into GEMM kernels\n";
 
     std::vector<std::vector<Tensor>> outs(requests);
     if (rt.parallel && requests > 1) {
@@ -152,6 +168,42 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
         std::cout << "  verify: all " << requests
                   << " request outputs bit-identical to serial "
                   << backend.name() << "\n";
+        // Fused execution must reproduce the unfused graph under the
+        // SAME backend: bit-identical where chains are interpreted /
+        // single-passed, within tolerance ONLY where a non-reference
+        // backend pre-merges a Conv-headed group's affines (the
+        // documented reassociation) — anything else failing
+        // bit-identity is a fused-kernel regression.
+        if (fuse) {
+            bool conv_fused = false;
+            for (const Node &n : g.nodes())
+                conv_fused = conv_fused ||
+                             (n.kind == OpKind::Fused &&
+                              !n.fusedBody.empty() &&
+                              n.fusedBody[0].kind == OpKind::Conv2d);
+            bool tolerance_ok =
+                conv_fused &&
+                backend.name() != referenceBackend().name();
+            Executor unf(unfused, backend);
+            bool all_bits = true;
+            for (size_t r = 0; r < requests; ++r) {
+                std::vector<Tensor> want = unf.run(reqs[r]);
+                std::string diff =
+                    tolerance_ok ? closeDifference(outs[r], want)
+                                 : bitDifference(outs[r], want);
+                all_bits = all_bits && bitIdentical(outs[r], want);
+                if (!diff.empty()) {
+                    std::cout << "  VERIFY FAILED: request " << r
+                              << " fused vs unfused: " << diff << "\n";
+                    return false;
+                }
+            }
+            std::cout << "  verify: all " << requests
+                      << " fused outputs "
+                      << (all_bits ? "bit-identical to"
+                                   : "within tolerance of")
+                      << " the unfused graph\n";
+        }
         // A non-reference backend must additionally reproduce the
         // reference numerics within float tolerance (optimized
         // kernels may reassociate accumulation, so not bit-for-bit).
@@ -208,10 +260,29 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
         for (const Backend *backend : backends) {
             bool want = rt.parallel;
             RuntimeProfile p;
-            ok = runRuntimeModel(name, cfg, rt, *backend, pool,
+            // --fuse in parallel mode measures the unfused graph
+            // first, so the fused-vs-unfused attribution (GEMM share,
+            // per-category split) prints side by side like
+            // --backend both. Measurement only: the fused run right
+            // after re-executes the unfused graph for its own verify,
+            // so repeating the full battery here would triple the
+            // serial re-executions per model.
+            RuntimeProfile unfusedProfile;
+            if (rt.fuse && want) {
+                RuntimeCli measure = rt;
+                measure.verify = false;
+                ok = runRuntimeModel(name, cfg, measure, *backend,
+                                     false, pool, &unfusedProfile,
+                                     nullptr) &&
+                     ok;
+            }
+            ok = runRuntimeModel(name, cfg, rt, *backend, rt.fuse, pool,
                                  want ? &p : nullptr,
                                  want ? &memplan : nullptr) &&
                  ok;
+            if (rt.fuse && want)
+                printRuntimeComparison(unfusedProfile, p,
+                                       "unfused", "fused", std::cout);
             if (want && cfg.model != "all") {
                 profile = p;
                 measured = true;
@@ -235,6 +306,7 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
         ProfileReport r = Bench::run(scaled);
         if (measured) {
             r.runtime.backend = profile.backend;
+            r.runtime.fused = profile.fused;
             r.runtime.threads = profile.threads;
             r.runtime.requests = profile.requests;
             r.runtime.wallUs = profile.wallUs;
@@ -278,6 +350,8 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
     sc.engine.scale = rt.scale;
     sc.engine.seqLen = cfg.seqLen > 0 ? cfg.seqLen : 8;
     sc.engine.backend = rt.backend;  // "" = process default
+    if (rt.fuse)
+        sc.engine.fuse = true;  // default: $NGB_FUSE
     sc.seed = sv.seed;
     sc.verify = rt.verify;
 
@@ -297,7 +371,8 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
               << threads << "  scale=1/" << rt.scale << "  backend="
               << (sc.engine.backend.empty() ? defaultBackend().name()
                                             : sc.engine.backend)
-              << "  seed=" << sc.seed << "\n";
+              << (sc.engine.fuse ? " (fused)" : "") << "  seed="
+              << sc.seed << "\n";
 
     ThreadPool pool(threads);
     serve::ServeResult result = serve::runServe(sc, pool);
@@ -367,11 +442,23 @@ usage()
         "                       under both and print the side-by-side\n"
         "                       GEMM/non-GEMM attribution (default:\n"
         "                       $NGB_BACKEND or reference)\n"
+        "  --fuse               applyFusion before executing: CONV+BN\n"
+        "                       (+act) folding, point-wise chains, and\n"
+        "                       GEMM epilogues run as single fused\n"
+        "                       kernels. In parallel mode the unfused\n"
+        "                       graph is measured too and the\n"
+        "                       fused-vs-unfused per-category split is\n"
+        "                       printed side by side. Implies\n"
+        "                       --runtime parallel when neither\n"
+        "                       --runtime nor --serve is given.\n"
+        "                       $NGB_FUSE=1 sets it process-wide.\n"
         "  --verify             cross-check outputs bit-identically\n"
         "                       against a serial walk of the same\n"
         "                       backend; non-reference backends are\n"
         "                       additionally checked against the\n"
-        "                       reference backend within tolerance\n"
+        "                       reference backend within tolerance;\n"
+        "                       with --fuse, fused outputs are also\n"
+        "                       checked against the unfused graph\n"
         "\n"
         "serving (src/serve): closed-box server under synthetic load\n"
         "  --serve              serve a traffic mix through the engine\n"
@@ -393,8 +480,8 @@ usage()
         "                       trace and all request outputs are\n"
         "                       deterministic under a fixed seed\n"
         "\n"
-        "--threads/--scale/--seq/--verify/--backend/--json apply to\n"
-        "--serve too.\n";
+        "--threads/--scale/--seq/--verify/--backend/--fuse/--json\n"
+        "apply to --serve too (fused engines are cached separately).\n";
 }
 
 }  // namespace
@@ -545,6 +632,8 @@ main(int argc, char **argv)
             serveFlagsUsed = true;
         } else if (a == "--backend") {
             rt.backend = next();
+        } else if (a == "--fuse") {
+            rt.fuse = true;
         } else if (a == "--threads") {
             rt.threads = nextInt(0, 1 << 14);
         } else if (a == "--scale") {
@@ -581,6 +670,19 @@ main(int argc, char **argv)
     if (sv.enabled && rt.enabled) {
         std::cerr << "--serve and --runtime are mutually exclusive\n";
         return 2;
+    }
+    // $NGB_FUSE flips the default only for modes that actually
+    // execute kernels; a bare analytical-bench invocation must keep
+    // producing the modeled report regardless of the environment.
+    if (fuseEnabledByEnv() && (rt.enabled || sv.enabled))
+        rt.fuse = true;
+    if (rt.fuse && !rt.enabled && !sv.enabled) {
+        // Fusion is an execution-level rewrite; bare --fuse means
+        // "execute it": default to the parallel runtime so --verify
+        // also covers serial-vs-parallel bit-identity on the fused
+        // graph.
+        rt.enabled = true;
+        rt.parallel = true;
     }
     if (serveFlagsUsed && !sv.enabled) {
         // A forgotten --serve must not silently run the analytical

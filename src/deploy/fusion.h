@@ -33,9 +33,19 @@ struct FusionConfig {
     /**
      * Minimum number of ops in a point-wise chain before it is worth
      * compiling a fused kernel. TensorRT's documented pattern needs
-     * three consecutive point-wise operators (Section IV-B).
+     * three consecutive point-wise operators (Section IV-B). Values
+     * below 1 are treated as 1 (a chain has at least its head).
      */
     int minChainLen = 2;
+
+    /**
+     * Let a point-wise chain start at a GEMM operator (Linear, MatMul,
+     * BMM, Conv2d without a BN to fold), so activation / element-wise
+     * epilogues fold into the GEMM kernel — the fusedWithGemm class of
+     * Table V. Off by default so the modeled deployment flows keep the
+     * paper's pattern set; the executable --fuse path enables it.
+     */
+    bool fuseGemmEpilogues = false;
 };
 
 /**
@@ -73,6 +83,34 @@ std::vector<KernelGroup> fuseGraph(const Graph &g, const FusionConfig &cfg,
 
 /** Build a singleton kernel group for one node (no fusion). */
 KernelGroup singletonGroup(const Graph &g, const Node &n);
+
+/**
+ * Apply a fusion config as a graph rewrite instead of a score: every
+ * multi-node group fuseGraph() finds becomes ONE executable
+ * OpKind::Fused node whose fusedBody carries the member operators
+ * (original attrs/params, "seed_id" preserving parameter identity),
+ * and every other node is copied through. The result is a valid,
+ * topologically ordered graph the executors run end to end: the
+ * reference backend interprets each chain member-by-member
+ * (bit-identical to the unfused graph), the optimized backend
+ * pre-merges Conv+BN affines and fuses bias/activation epilogues into
+ * its GEMM tile write-out (tolerance, documented reassociation).
+ *
+ * @p stats receives the same FusionStats the scoring pass reports.
+ */
+Graph applyFusion(const Graph &g, const FusionConfig &cfg,
+                  FusionStats *stats = nullptr);
+
+/**
+ * The FusionConfig behind the execution-level --fuse flag (and the
+ * NGB_FUSE=1 CI leg): CONV+BN+RELU folding, point-wise chains, and
+ * GEMM epilogues, at the default chain-length threshold.
+ */
+FusionConfig executableFusionConfig();
+
+/** True when $NGB_FUSE is set non-empty and not "0" — the process
+ *  default for "apply fusion before executing" (serve engines, CLI). */
+bool fuseEnabledByEnv();
 
 }  // namespace ngb
 

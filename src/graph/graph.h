@@ -65,6 +65,16 @@ class Graph
     /** Number of uses of each node's outputs, indexed by node id. */
     std::vector<int> useCounts() const;
 
+    /** True when any node is an executable Fused group (applyFusion
+     *  ran on this graph). Runtime profiles record it. */
+    bool hasFusedNodes() const
+    {
+        for (const Node &n : nodes_)
+            if (n.kind == OpKind::Fused)
+                return true;
+        return false;
+    }
+
   private:
     std::string name_;
     std::vector<Node> nodes_;

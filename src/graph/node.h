@@ -67,6 +67,18 @@ struct Node {
     std::vector<OpKind> fusedKinds;
     OpCategory attributedCategory = OpCategory::Misc;
 
+    /**
+     * For executable Fused nodes (applyFusion): the folded member
+     * operators, in chain order, each a full Node copy carrying its
+     * original kind/attrs/paramShapes so a backend's fused kernel can
+     * interpret (or pre-merge) the chain. Members keep their original
+     * graph id in the "seed_id" attr (deterministic parameters) and
+     * get a synthetic unique id for ParamStore cache keying; their
+     * "__ext_ports" attr maps each input port to the fused node's
+     * external inputs (-1 = fed by the previous member's output).
+     */
+    std::vector<Node> fusedBody;
+
     /** Attribution group for latency accounting. */
     OpCategory category() const
     {
@@ -81,6 +93,8 @@ struct Node {
         int64_t n = 0;
         for (const Shape &s : paramShapes)
             n += s.numel();
+        for (const Node &m : fusedBody)
+            n += m.paramCount();
         return n;
     }
 };

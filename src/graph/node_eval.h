@@ -28,7 +28,7 @@ evalNode(const Node &n,
          const std::function<const Tensor &(const Value &)> &input,
          ParamStore &params, const Backend &backend)
 {
-    return backend.eval(KernelContext{n, input, params});
+    return backend.eval(KernelContext{n, input, params, &backend});
 }
 
 }  // namespace ngb

@@ -23,7 +23,11 @@ ParamStore::get(const Node &n, size_t index)
         // Bias vectors start at zero.
         t = Tensor::zeros(shape);
     } else {
-        uint64_t s = seed_ + static_cast<uint64_t>(n.id) * 1315423911ull +
+        // Fusion rewrites renumber nodes; a member node inside a Fused
+        // group keeps its pre-rewrite id in "seed_id" so its Gaussian
+        // weights stay bit-identical to the unfused graph's.
+        int64_t sid = n.attrs.getI("seed_id", n.id);
+        uint64_t s = seed_ + static_cast<uint64_t>(sid) * 1315423911ull +
                      index * 2654435761ull;
         t = Tensor::randn(shape, s, 0.05f);
         if (n.paramDtype != DType::F32)
@@ -56,9 +60,16 @@ ParamStore::derived(const Node &n, size_t slot,
 void
 ParamStore::materialize(const Graph &g)
 {
-    for (const Node &n : g.nodes())
+    for (const Node &n : g.nodes()) {
         for (size_t i = 0; i < n.paramShapes.size(); ++i)
             get(n, i);
+        // Fused groups hold their members' parameters; generating
+        // them here keeps first-request kernel timings clean (and the
+        // hot path free of the store mutex), same as top-level nodes.
+        for (const Node &m : n.fusedBody)
+            for (size_t i = 0; i < m.paramShapes.size(); ++i)
+                get(m, i);
+    }
 }
 
 }  // namespace ngb

@@ -47,6 +47,58 @@ validateGraph(const Graph &g)
         }
         if (n.name.empty())
             warn(n.id, "operator has no name");
+
+        // Executable Fused nodes (applyFusion): the folded chain must
+        // be self-consistent or the fused kernels cannot interpret it.
+        if (n.kind == OpKind::Fused) {
+            if (n.fusedBody.empty()) {
+                error(n.id, "Fused node has an empty fusedBody");
+                continue;
+            }
+            if (n.fusedKinds.size() != n.fusedBody.size())
+                error(n.id, "Fused node fusedKinds/fusedBody size "
+                            "mismatch");
+            for (size_t j = 0; j < n.fusedBody.size(); ++j) {
+                const Node &m = n.fusedBody[j];
+                if (j < n.fusedKinds.size() && n.fusedKinds[j] != m.kind)
+                    error(n.id, "fused member " + std::to_string(j) +
+                                    " kind disagrees with fusedKinds");
+                if (m.outShapes.size() != 1)
+                    error(n.id, "fused member '" + m.name +
+                                    "' is not single-output");
+                const auto &ext = m.attrs.getInts("__ext_ports");
+                if (ext.size() != m.inputs.size()) {
+                    error(n.id, "fused member '" + m.name +
+                                    "' lacks a valid __ext_ports map");
+                    continue;
+                }
+                int chain_ports = 0;
+                for (int64_t e : ext) {
+                    if (e < 0)
+                        ++chain_ports;
+                    else if (e >= static_cast<int64_t>(n.inputs.size()))
+                        error(n.id,
+                              "fused member '" + m.name +
+                                  "' external port out of range");
+                }
+                if (j == 0 && chain_ports != 0)
+                    error(n.id, "fused head member '" + m.name +
+                                    "' consumes a predecessor output");
+                if (j > 0 && chain_ports != 1)
+                    error(n.id,
+                          "fused member '" + m.name +
+                              "' must consume its predecessor exactly "
+                              "once");
+            }
+            const Node &tail = n.fusedBody.back();
+            if (tail.outShapes.size() == 1 &&
+                !(n.outShapes.size() == 1 &&
+                  n.outShapes[0] == tail.outShapes[0]))
+                error(n.id, "Fused node output shape disagrees with "
+                            "its tail member");
+        } else if (!n.fusedBody.empty()) {
+            warn(n.id, "non-Fused operator carries a fusedBody");
+        }
     }
 
     for (const Value &v : g.graphOutputs()) {

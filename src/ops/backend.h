@@ -32,6 +32,8 @@
 
 namespace ngb {
 
+class Backend;
+
 /**
  * Everything one kernel invocation may read: the node (attributes,
  * input/output shapes), a resolver from graph Values to computed
@@ -44,6 +46,15 @@ struct KernelContext {
     const Node &node;
     const std::function<const Tensor &(const Value &)> &input;
     ParamStore &params;
+
+    /**
+     * The backend the executor is dispatching through (the head of the
+     * fallback chain, not the backend whose registry resolved this
+     * kernel). Fused-chain kernels dispatch their member operators
+     * through it so per-op overrides apply inside fused groups too.
+     * Null in ad-hoc contexts; treat as "use your own backend".
+     */
+    const Backend *backend = nullptr;
 
     /** Resolved tensor of input @p i. */
     const Tensor &in(size_t i) const { return input(node.inputs[i]); }

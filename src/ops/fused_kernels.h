@@ -1,0 +1,58 @@
+#ifndef NGB_OPS_FUSED_KERNELS_H
+#define NGB_OPS_FUSED_KERNELS_H
+
+#include <vector>
+
+#include "ops/backend.h"
+
+/**
+ * @file
+ * Execution of OpKind::Fused nodes produced by applyFusion.
+ *
+ * Two strategies exist:
+ *
+ *  - evalFusedChain: interpret the folded chain member-by-member,
+ *    dispatching every member through a backend's registry. Exactly
+ *    the kernels the unfused graph would run, in the same order, so
+ *    outputs are bit-identical to unfused execution under the same
+ *    backend. This is the reference backend's Fused kernel and the
+ *    universal fallback.
+ *
+ *  - evalFusedOptimized: the optimized backend's Fused kernel.
+ *    CONV+BN(+act) triples run as ONE tiled-GEMM convolution with the
+ *    BN affine pre-merged into the weights (ParamStore::derived,
+ *    amortized per engine) and the activation applied in the tile
+ *    write-out — numerics match the unfused chain to float tolerance
+ *    (the affine merge reassociates the per-element scale). Linear +
+ *    point-wise epilogues fuse into the GEMM write-out and all-unary
+ *    point-wise chains run as a single-pass loop — both bit-identical
+ *    to the unfused optimized kernels (same scalar expressions, same
+ *    per-element order; see ops/scalar_ops.h). Everything else falls
+ *    back to chain interpretation under the active backend.
+ */
+
+namespace ngb {
+
+/**
+ * Interpret the fused chain of @p c's node, dispatching members
+ * through @p memberBackend. Throws a descriptive error naming the
+ * fused group and the member when the chain is malformed or a member
+ * operator cannot be folded (no kernel for it in the backend chain).
+ */
+std::vector<Tensor> evalFusedChain(const KernelContext &c,
+                                   const Backend &memberBackend);
+
+/** The optimized backend's Fused kernel (see file comment). */
+std::vector<Tensor> evalFusedOptimized(const KernelContext &c);
+
+/**
+ * Pre-build the derived state evalFusedOptimized memoizes — packed
+ * Linear member weights and merged Conv+BN affines — so engine warm-up
+ * pays the one-time cost instead of the first request. Called from the
+ * optimized backend's prepare hook.
+ */
+void prepareFusedGroups(const Graph &g, ParamStore &params);
+
+}  // namespace ngb
+
+#endif  // NGB_OPS_FUSED_KERNELS_H

@@ -1,6 +1,7 @@
 #include <utility>
 
 #include "ops/backend.h"
+#include "ops/fused_kernels.h"
 #include "ops/optimized_kernels.h"
 
 /**
@@ -97,15 +98,22 @@ makeOptimizedBackend()
         return singleOutput(ko::div(c.in(0), c.in(1)));
     });
 
-    // Pre-build the packed Linear weights during executor warm-up so
-    // the first request's measured kernel time is linearPacked alone,
-    // not the one-time transpose.
+    // Executable fusion: merged Conv+BN affines, GEMM-epilogue
+    // write-outs, single-pass point-wise chains; chain interpretation
+    // through the active backend for everything else.
+    b.registerKernel(OpKind::Fused, evalFusedOptimized);
+
+    // Pre-build the packed Linear weights (top-level and fused
+    // members) and the merged Conv+BN affines during executor warm-up
+    // so the first request's measured kernel time is the kernels
+    // alone, not the one-time preprocessing.
     b.setPrepare([](const Graph &g, ParamStore &params) {
         for (const Node &n : g.nodes())
             if (n.kind == OpKind::Linear && !n.paramShapes.empty())
                 params.derived(n, 0, [&] {
                     return ko::packWeightTranspose(params.get(n, 0));
                 });
+        prepareFusedGroups(g, params);
     });
 
     return b;

@@ -12,32 +12,15 @@ namespace opt {
 
 namespace {
 
-/** True when @p t can be walked through a raw F32 pointer. */
-bool
-fastF32(const Tensor &t)
-{
-    return t.defined() && t.dtype() == DType::F32 && t.isContiguous();
-}
-
-/**
- * @p t as a contiguous F32 tensor WITHOUT copying when it already is
- * one (the reference kernels' contiguous().to(F32) preamble copies
- * unconditionally, which costs as much as the GEMM core itself for
- * mid-sized operands). Read-only use: the result may alias @p t.
- */
-Tensor
-asF32(const Tensor &t)
-{
-    return fastF32(t) ? t : t.contiguous().to(DType::F32);
-}
-
 // ----- register-tiled GEMM core ------------------------------------------
 
 constexpr int64_t kMR = 4;   ///< output rows per register tile
 constexpr int64_t kNR = 16;  ///< output cols per register tile
 
 /**
- * C[M,N] = A[M,K] @ B[K,N] (+ bias[N]), all row-major contiguous.
+ * C[M,N] = A[M,K] @ B[K,N] (+ colBias[N]) (+ rowBias[M]), all
+ * row-major contiguous, with an optional point-wise epilogue applied
+ * per element inside the write-out.
  *
  * The 4x16 accumulator tile lives in registers across the whole k
  * loop: each B row is loaded once per FOUR output rows (the reference
@@ -47,15 +30,27 @@ constexpr int64_t kNR = 16;  ///< output cols per register tile
  * elements, so on finite data results match the reference exactly,
  * but a zero-times-nonfinite product (0 * inf = NaN) that the
  * reference's skip branch would elide propagates here — hence the
- * backend's tolerance contract instead of a bit-identity one. Bias is
- * fused into the write-out after the accumulator is complete — the
- * same "sum, then + bias" order the reference uses, one memory pass
- * less.
+ * backend's tolerance contract instead of a bit-identity one. Bias
+ * and the epilogue stages are fused into the write-out after the
+ * accumulator is complete — the same "sum, then + bias, then
+ * activation" order the unfused per-op sweeps use, minus their extra
+ * memory passes. colBias is the Linear convention (one bias per
+ * output feature), rowBias the im2col conv convention (one bias per
+ * filter row).
  */
 void
-matmulCore(const float *A, const float *B, const float *bias, float *C,
-           int64_t M, int64_t K, int64_t N)
+matmulCoreEpi(const float *A, const float *B, float *C, int64_t M,
+              int64_t K, int64_t N, const float *colBias,
+              const float *rowBias, const scalar::UnaryStage *stages,
+              size_t nStages)
 {
+    auto finish = [&](int64_t row, int64_t col, float v) {
+        if (colBias)
+            v += colBias[col];
+        if (rowBias)
+            v += rowBias[row];
+        return scalar::applyStages(stages, nStages, v);
+    };
     int64_t i = 0;
     for (; i + kMR <= M; i += kMR) {
         int64_t j = 0;
@@ -74,12 +69,8 @@ matmulCore(const float *A, const float *B, const float *bias, float *C,
             }
             for (int64_t r = 0; r < kMR; ++r) {
                 float *crow = C + (i + r) * N + j;
-                if (bias)
-                    for (int64_t jj = 0; jj < kNR; ++jj)
-                        crow[jj] = acc[r][jj] + bias[j + jj];
-                else
-                    for (int64_t jj = 0; jj < kNR; ++jj)
-                        crow[jj] = acc[r][jj];
+                for (int64_t jj = 0; jj < kNR; ++jj)
+                    crow[jj] = finish(i + r, j + jj, acc[r][jj]);
             }
         }
         for (; j < N; ++j) {  // N tail: kMR scalar dot products
@@ -87,7 +78,7 @@ matmulCore(const float *A, const float *B, const float *bias, float *C,
                 float acc = 0.0f;
                 for (int64_t k = 0; k < K; ++k)
                     acc += A[(i + r) * K + k] * B[k * N + j];
-                C[(i + r) * N + j] = bias ? acc + bias[j] : acc;
+                C[(i + r) * N + j] = finish(i + r, j, acc);
             }
         }
     }
@@ -101,10 +92,18 @@ matmulCore(const float *A, const float *B, const float *bias, float *C,
             for (int64_t j = 0; j < N; ++j)
                 crow[j] += av * brow[j];
         }
-        if (bias)
+        if (colBias || rowBias || nStages)
             for (int64_t j = 0; j < N; ++j)
-                crow[j] += bias[j];
+                crow[j] = finish(i, j, crow[j]);
     }
+}
+
+/** The pre-epilogue entry: C = A @ B (+ bias[N]). */
+void
+matmulCore(const float *A, const float *B, const float *bias, float *C,
+           int64_t M, int64_t K, int64_t N)
+{
+    matmulCoreEpi(A, B, C, M, K, N, bias, nullptr, nullptr, 0);
 }
 
 /**
@@ -161,7 +160,8 @@ packWeightTranspose(const Tensor &w)
 }
 
 Tensor
-linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b)
+linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
+                const scalar::UnaryStage *stages, size_t nStages)
 {
     if (wt.shape().rank() != 2)
         throw std::runtime_error("linearPacked: packed weight must be "
@@ -177,9 +177,81 @@ linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b)
     std::vector<int64_t> dims = x.shape().dims();
     dims.back() = n;
     Tensor out(Shape(dims), DType::F32);
-    matmulCore(rows.dataF32(), wc.dataF32(),
-               bc.defined() ? bc.dataF32() : nullptr, out.dataF32(), m, k,
-               n);
+    matmulCoreEpi(rows.dataF32(), wc.dataF32(), out.dataF32(), m, k, n,
+                  bc.defined() ? bc.dataF32() : nullptr, nullptr, stages,
+                  nStages);
+    return out;
+}
+
+Tensor
+linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b)
+{
+    return linearPackedEpi(x, wt, b, nullptr, 0);
+}
+
+Tensor
+conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+          int padding, int groups, const scalar::UnaryStage *stages,
+          size_t nStages)
+{
+    if (x.shape().rank() != 4 || w.shape().rank() != 4)
+        throw std::runtime_error("conv2dEpi: NCHW input and FCRS weight");
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], wd = x.shape()[3];
+    int64_t f = w.shape()[0], cg = w.shape()[1];
+    int64_t r = w.shape()[2], s = w.shape()[3];
+    if (c != cg * groups)
+        throw std::runtime_error("conv2dEpi: channel/group mismatch");
+    if (groups <= 0 || f % groups != 0)
+        throw std::runtime_error(
+            "conv2dEpi: filters not divisible by groups");
+    int64_t oh = (h + 2 * padding - r) / stride + 1;
+    int64_t ow = (wd + 2 * padding - s) / stride + 1;
+    int64_t fg = f / groups;
+
+    Tensor xc = asF32(x);
+    Tensor wc = asF32(w);
+    Tensor bc = b.defined() ? asF32(b) : Tensor();
+    const float *px = xc.dataF32();
+    const float *pw = wc.dataF32();
+    const float *pb = bc.defined() ? bc.dataF32() : nullptr;
+    Tensor out(Shape{n, f, oh, ow}, DType::F32);
+    float *po = out.dataF32();
+
+    // im2col per (image, group), then one tiled GEMM per group with
+    // the filter bias and the point-wise stages applied in the tile
+    // write-out: W[fg, patch] @ col[patch, oh*ow] -> out rows.
+    int64_t patch = cg * r * s;
+    std::vector<float> col(static_cast<size_t>(patch * oh * ow));
+    for (int64_t img = 0; img < n; ++img) {
+        for (int g = 0; g < groups; ++g) {
+            for (int64_t cc = 0; cc < cg; ++cc) {
+                int64_t cin = g * cg + cc;
+                const float *chan = px + (img * c + cin) * h * wd;
+                for (int64_t rr = 0; rr < r; ++rr) {
+                    for (int64_t ss = 0; ss < s; ++ss) {
+                        int64_t row = (cc * r + rr) * s + ss;
+                        float *crow = col.data() + row * oh * ow;
+                        for (int64_t oy = 0; oy < oh; ++oy) {
+                            int64_t iy = oy * stride - padding + rr;
+                            for (int64_t ox = 0; ox < ow; ++ox) {
+                                int64_t ix = ox * stride - padding + ss;
+                                float v = 0.0f;
+                                if (iy >= 0 && iy < h && ix >= 0 &&
+                                    ix < wd)
+                                    v = chan[iy * wd + ix];
+                                crow[oy * ow + ox] = v;
+                            }
+                        }
+                    }
+                }
+            }
+            matmulCoreEpi(pw + g * fg * patch, col.data(),
+                          po + (img * f + g * fg) * oh * ow, fg, patch,
+                          oh * ow, nullptr,
+                          pb ? pb + g * fg : nullptr, stages, nStages);
+        }
+    }
     return out;
 }
 
@@ -379,49 +451,37 @@ binaryFast(const Tensor &a, const Tensor &b, F f, Ref ref)
 Tensor
 relu(const Tensor &x)
 {
-    return unaryFast(
-        x, [](float v) { return v > 0.0f ? v : 0.0f; }, kernels::relu);
+    return unaryFast(x, scalar::relu, kernels::relu);
 }
 
 Tensor
 gelu(const Tensor &x)
 {
-    return unaryFast(
-        x,
-        [](float v) {
-            return 0.5f * v * (1.0f + std::erf(v * 0.70710678f));
-        },
-        kernels::gelu);
+    return unaryFast(x, scalar::gelu, kernels::gelu);
 }
 
 Tensor
 silu(const Tensor &x)
 {
-    return unaryFast(
-        x, [](float v) { return v / (1.0f + std::exp(-v)); },
-        kernels::silu);
+    return unaryFast(x, scalar::silu, kernels::silu);
 }
 
 Tensor
 sigmoid(const Tensor &x)
 {
-    return unaryFast(
-        x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
-        kernels::sigmoid);
+    return unaryFast(x, scalar::sigmoid, kernels::sigmoid);
 }
 
 Tensor
 tanhOp(const Tensor &x)
 {
-    return unaryFast(
-        x, [](float v) { return std::tanh(v); }, kernels::tanhOp);
+    return unaryFast(x, scalar::tanhOp, kernels::tanhOp);
 }
 
 Tensor
 expOp(const Tensor &x)
 {
-    return unaryFast(
-        x, [](float v) { return std::exp(v); }, kernels::expOp);
+    return unaryFast(x, scalar::expOp, kernels::expOp);
 }
 
 Tensor

@@ -1,6 +1,7 @@
 #ifndef NGB_OPS_OPTIMIZED_KERNELS_H
 #define NGB_OPS_OPTIMIZED_KERNELS_H
 
+#include "ops/scalar_ops.h"
 #include "tensor/tensor.h"
 
 /**
@@ -41,6 +42,29 @@ namespace ngb {
 namespace kernels {
 namespace opt {
 
+// ----- fast-path predicates ----------------------------------------------
+
+/** True when @p t can be walked through a raw F32 pointer. */
+inline bool
+fastF32(const Tensor &t)
+{
+    return t.defined() && t.dtype() == DType::F32 && t.isContiguous();
+}
+
+/**
+ * @p t as a contiguous F32 tensor WITHOUT copying when it already is
+ * one (the reference kernels' contiguous().to(F32) preamble copies
+ * unconditionally, which costs as much as the GEMM core itself for
+ * mid-sized operands). Read-only use: the result may alias @p t.
+ * Shared by the optimized kernels and the fused-chain kernels, which
+ * must treat operands identically to stay bit-compatible.
+ */
+inline Tensor
+asF32(const Tensor &t)
+{
+    return fastF32(t) ? t : t.contiguous().to(DType::F32);
+}
+
 // ----- GEMM family (register-tiled core) ---------------------------------
 
 Tensor matmul(const Tensor &a, const Tensor &b);
@@ -58,6 +82,31 @@ Tensor packWeightTranspose(const Tensor &w);
 
 /** linear() over an already-packed [K,N] weight from packWeightTranspose. */
 Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b);
+
+/**
+ * linearPacked() with a fused point-wise epilogue: @p stages are
+ * applied per element inside the 4x16 GEMM tile write-out, right after
+ * the bias add — the "GEMM + activation" fusion of the executable
+ * fusion pass. Bit-identical to linearPacked() followed by the
+ * corresponding optimized element-wise sweeps (same expressions, same
+ * per-element order).
+ */
+Tensor linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
+                       const scalar::UnaryStage *stages, size_t nStages);
+
+/**
+ * 2-D convolution (NCHW, im2col) through the register-tiled GEMM core
+ * with the bias and the point-wise @p stages fused into the tile
+ * write-out. This is the kernel behind the executable fusion pass's
+ * CONV+BN(+act) groups: the caller pre-merges the BN affine into
+ * @p w / @p b (ParamStore::derived), so the whole triple runs as one
+ * GEMM with an activation epilogue. Matches the reference conv2d to
+ * float tolerance (the tile core does not reassociate, but it also
+ * does not skip zero products).
+ */
+Tensor conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b,
+                 int stride, int padding, int groups,
+                 const scalar::UnaryStage *stages, size_t nStages);
 
 // ----- Normalization ------------------------------------------------------
 

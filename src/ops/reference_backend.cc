@@ -2,6 +2,7 @@
 #include <utility>
 
 #include "ops/backend.h"
+#include "ops/fused_kernels.h"
 #include "ops/kernels.h"
 
 /**
@@ -271,10 +272,15 @@ registerMiscOps(Backend &b)
         // Symmetric round-trip: reuse the producing scale when known.
         return singleOutput(kn::dequantize(c.in(0), 1.0f));
     });
-    // OpKind::Fused is deliberately NOT registered: fused kernels only
-    // exist inside deployment-flow plans (cost model), never in a
-    // concretely executed graph. Dispatching one hits the registry's
-    // descriptive unknown-op error rather than UB.
+    // Executable fusion (applyFusion): interpret the folded chain
+    // member-by-member through the ACTIVE backend (the one the
+    // executor dispatches through), so per-op overrides apply inside
+    // fused groups and outputs stay bit-identical to the unfused
+    // graph under the same backend.
+    b.registerKernel(OpKind::Fused, [](const KernelContext &c) {
+        return evalFusedChain(
+            c, c.backend ? *c.backend : referenceBackend());
+    });
 }
 
 Backend

@@ -130,7 +130,7 @@ printReport(const ProfileReport &r, std::ostream &os)
     if (r.runtime.threads > 0) {
         const auto &rt = r.runtime;
         os << "  runtime (measured): backend=" << rt.backend
-           << " threads=" << rt.threads
+           << (rt.fused ? " (fused)" : "") << " threads=" << rt.threads
            << " requests=" << rt.requests << "  wall "
            << std::setprecision(2) << rt.wallUs * 1e-3 << " ms, kernels "
            << rt.sumUs * 1e-3 << " ms, concurrency "
@@ -166,7 +166,8 @@ writeJsonReport(const ProfileReport &r, std::ostream &os)
     os << "  \"critical_path_us\": " << r.criticalPathUs << ",\n";
     if (r.runtime.threads > 0) {
         os << "  \"runtime\": {\"backend\": \""
-           << esc(r.runtime.backend) << "\", \"threads\": "
+           << esc(r.runtime.backend) << "\", \"fused\": "
+           << (r.runtime.fused ? "true" : "false") << ", \"threads\": "
            << r.runtime.threads
            << ", \"requests\": " << r.runtime.requests
            << ", \"wall_us\": " << r.runtime.wallUs

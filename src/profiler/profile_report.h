@@ -60,6 +60,7 @@ struct ProfileReport {
         int threads = 0;
         int requests = 0;
         std::string backend = "reference";  ///< kernel backend measured
+        bool fused = false;  ///< graph was rewritten by applyFusion
         double wallUs = 0;           ///< fork-join wall clock
         double sumUs = 0;            ///< total kernel time
         double planUs = 0;           ///< schedule+arena+params, amortized

@@ -8,7 +8,8 @@ namespace ngb {
 void
 printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
 {
-    os << "runtime: backend=" << p.backend << " threads=" << p.threads
+    os << "runtime: backend=" << p.backend
+       << (p.fused ? " (fused)" : "") << " threads=" << p.threads
        << " requests=" << p.requests
        << "  levels=" << p.schedule.numLevels
        << " max_width=" << p.schedule.maxWidth << " avg_width="
@@ -62,8 +63,9 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
 }
 
 void
-printBackendComparison(const RuntimeProfile &a, const RuntimeProfile &b,
-                       std::ostream &os)
+printRuntimeComparison(const RuntimeProfile &a, const RuntimeProfile &b,
+                       const std::string &labelA,
+                       const std::string &labelB, std::ostream &os)
 {
     auto usOf = [](const RuntimeProfile &p, OpCategory c) {
         auto it = p.usByCategory.find(c);
@@ -74,10 +76,9 @@ printBackendComparison(const RuntimeProfile &a, const RuntimeProfile &b,
     for (const auto &[cat, us] : b.usByCategory)
         cats.emplace(cat, us);
 
-    os << "backend comparison: " << a.backend << " vs " << b.backend
-       << "\n";
+    os << "measured comparison: " << labelA << " vs " << labelB << "\n";
     os << "  " << std::left << std::setw(14) << "category" << std::right
-       << std::setw(14) << a.backend << std::setw(14) << b.backend
+       << std::setw(14) << labelA << std::setw(14) << labelB
        << std::setw(10) << "speedup" << "\n";
     for (const auto &[cat, unused] : cats) {
         (void)unused;
@@ -93,12 +94,19 @@ printBackendComparison(const RuntimeProfile &a, const RuntimeProfile &b,
        << " us" << std::setw(11) << b.sumUs << " us" << std::setw(9)
        << std::setprecision(2) << (b.sumUs > 0 ? a.sumUs / b.sumUs : 0.0)
        << "x\n";
-    os << "  GEMM/non-GEMM split: " << a.backend << " "
+    os << "  GEMM/non-GEMM split: " << labelA << " "
        << std::setprecision(1)
        << (a.sumUs > 0 ? 100.0 * a.gemmUs() / a.sumUs : 0.0) << "%/"
-       << a.nonGemmPct() << "%  ->  " << b.backend << " "
+       << a.nonGemmPct() << "%  ->  " << labelB << " "
        << (b.sumUs > 0 ? 100.0 * b.gemmUs() / b.sumUs : 0.0) << "%/"
        << b.nonGemmPct() << "%\n";
+}
+
+void
+printBackendComparison(const RuntimeProfile &a, const RuntimeProfile &b,
+                       std::ostream &os)
+{
+    printRuntimeComparison(a, b, a.backend, b.backend, os);
 }
 
 void

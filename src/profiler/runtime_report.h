@@ -28,6 +28,17 @@ void printRuntimeReport(const RuntimeProfile &p, std::ostream &os);
 void printBackendComparison(const RuntimeProfile &a,
                             const RuntimeProfile &b, std::ostream &os);
 
+/**
+ * The same side-by-side attribution with caller-chosen column labels.
+ * The --fuse runtime mode uses it to print unfused vs fused
+ * measurements of one model under one backend (the Section IV-B
+ * experiment measured instead of modeled).
+ */
+void printRuntimeComparison(const RuntimeProfile &a,
+                            const RuntimeProfile &b,
+                            const std::string &labelA,
+                            const std::string &labelB, std::ostream &os);
+
 /** One-line arena summary: planned peak vs the no-reuse footprint. */
 void printMemoryPlan(const MemoryPlan &plan, std::ostream &os);
 

@@ -70,6 +70,7 @@ BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
     backend_.prepare(g_, plan_->params);
     profile_.planUs = plan_->planUs + elapsedUsSince(t0);
     profile_.backend = backend_.name();
+    profile_.fused = g_.hasFusedNodes();
 }
 
 std::vector<Tensor>

@@ -25,6 +25,7 @@ ParallelExecutor::ParallelExecutor(const Graph &g, Schedule sched,
 {
     auto t0 = Clock::now();
     profile_.backend = backend_.name();
+    profile_.fused = g_.hasFusedNodes();
     memplan_ = planMemory(g_, sched_);
 
     // Per-node last-use level -> nodes releasable after each level.

@@ -42,6 +42,10 @@ struct RuntimeProfile {
     /** Kernel backend the measurement was taken under. */
     std::string backend = "reference";
 
+    /** True when the executed graph contained applyFusion's Fused
+     *  groups (set automatically by the runtime drivers). */
+    bool fused = false;
+
     double planUs = 0;     ///< schedule + memory plan + param warm-up
     double wallUs = 0;     ///< fork-join wall time of execution
     double sumUs = 0;      ///< total kernel time across all workers

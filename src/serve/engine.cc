@@ -31,6 +31,8 @@ Engine::Engine(const std::string &model, const EngineConfig &cfg,
     mc.seqLen = cfg.seqLen;
     mc.testScale = cfg.scale;
     graph_ = std::make_unique<Graph>(info.build(mc));
+    if (cfg.fuse)
+        *graph_ = applyFusion(*graph_, executableFusionConfig());
     plan_ = buildEnginePlan(*graph_);
     backend_ = &resolveBackend(cfg, backendName);
     driver_ =
@@ -48,7 +50,7 @@ EngineCache::get(const std::string &model, const std::string &backend)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     EngineKey key{model, cfg_.scale, pool_.threads(),
-                  resolveBackend(cfg_, backend).name()};
+                  resolveBackend(cfg_, backend).name(), cfg_.fuse};
     auto it = engines_.find(key);
     if (it != engines_.end()) {
         ++stats_.hits;

@@ -9,6 +9,7 @@
 #include <tuple>
 #include <vector>
 
+#include "deploy/fusion.h"
 #include "ops/backend.h"
 #include "runtime/batch_driver.h"
 #include "runtime/thread_pool.h"
@@ -27,6 +28,14 @@ struct EngineConfig {
      * tenants can pin a different backend per EngineCache::get call.
      */
     std::string backend;
+
+    /**
+     * Run applyFusion (executableFusionConfig) on every engine's
+     * graph before planning — the TensorRT-style "compile the engine
+     * with fusion" deployment step. Defaults to $NGB_FUSE, so a CI
+     * leg can serve the whole suite fused.
+     */
+    bool fuse = fuseEnabledByEnv();
 };
 
 /**
@@ -43,11 +52,12 @@ struct EngineKey {
     int64_t scale = 8;
     int threads = 1;
     std::string backend = "reference";
+    bool fuse = false;  ///< engine graph was compiled with fusion
 
     bool operator<(const EngineKey &o) const
     {
-        return std::tie(model, scale, threads, backend) <
-               std::tie(o.model, o.scale, o.threads, o.backend);
+        return std::tie(model, scale, threads, backend, fuse) <
+               std::tie(o.model, o.scale, o.threads, o.backend, o.fuse);
     }
 };
 

@@ -49,33 +49,39 @@ tensorsClose(const Tensor &a, const Tensor &b, float rtol = 1e-3f,
 
 // ---- registry completeness guard -----------------------------------------
 
-TEST(BackendRegistryTest, ReferenceCoversEveryConcreteOp)
+TEST(BackendRegistryTest, ReferenceCoversEveryOpIncludingFused)
 {
+    // Fused is REQUIRED since the executable-fusion rewrite: graphs
+    // out of applyFusion dispatch Fused nodes like any other operator
+    // (the reference backend interprets the folded chain; a chain
+    // containing an op the interpreter cannot fold throws its own
+    // descriptive error, covered in fusion_exec_test).
     const Backend &ref = referenceBackend();
-    for (OpKind k : allOpKinds()) {
-        if (k == OpKind::Fused) {
-            // Fused kernels exist only inside deployment-flow plans
-            // (cost model); a concretely executed graph never carries
-            // one, so the reference backend deliberately leaves it out.
-            EXPECT_FALSE(ref.handles(k));
-            continue;
-        }
+    for (OpKind k : allOpKinds())
         EXPECT_TRUE(ref.handles(k))
             << "reference backend is missing a kernel for '"
             << opKindName(k) << "'";
-    }
-    EXPECT_EQ(ref.numKernels(), allOpKinds().size() - 1);
+    EXPECT_EQ(ref.numKernels(), allOpKinds().size());
+}
+
+TEST(BackendRegistryTest, OptimizedRegistersFusedKernel)
+{
+    EXPECT_TRUE(optimizedBackend().handles(OpKind::Fused));
 }
 
 TEST(BackendRegistryTest, UnknownOpLookupThrowsDescriptiveError)
 {
+    Backend bare("bare", nullptr);
+    bare.registerKernel(OpKind::ReLU, [](const KernelContext &c) {
+        return singleOutput(kn::relu(c.in(0)));
+    });
     try {
-        referenceBackend().kernelFor(OpKind::Fused);
+        bare.kernelFor(OpKind::Fused);
         FAIL() << "expected unknown-op lookup to throw";
     } catch (const std::runtime_error &e) {
         std::string msg = e.what();
         EXPECT_NE(msg.find("fused"), std::string::npos) << msg;
-        EXPECT_NE(msg.find("reference"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("bare"), std::string::npos) << msg;
     }
 }
 
