@@ -28,6 +28,7 @@
 #include "profiler/workload_report.h"
 #include "profiler/trace_export.h"
 #include "quant/quantize_pass.h"
+#include "runtime/arena.h"
 #include "runtime/batch_driver.h"
 #include "runtime/parallel_executor.h"
 #include "runtime/request_util.h"
@@ -50,6 +51,13 @@ struct RuntimeCli {
     bool fuse = false;       ///< applyFusion before executing; in
                              ///< parallel mode the unfused graph is
                              ///< measured too and printed side by side
+    std::string arena;       ///< "on"/"off"; "" = $NGB_ARENA default
+
+    /** Resolved arena mode: explicit flag beats the environment. */
+    bool arenaOn() const
+    {
+        return arena.empty() ? arenaEnabledByEnv() : arena == "on";
+    }
 };
 
 /** Options of the serving (--serve) mode. */
@@ -122,9 +130,11 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
                   << " folded into GEMM kernels\n";
 
     std::vector<std::vector<Tensor>> outs(requests);
+    std::shared_ptr<EnginePlan> shared_plan;  // reused by verify's A/B
     if (rt.parallel && requests > 1) {
         // Inter-request parallelism: one planned graph, N requests.
-        BatchDriver driver(g, pool, backend);
+        shared_plan = buildEnginePlan(g);
+        BatchDriver driver(g, pool, shared_plan, backend, rt.arenaOn());
         outs = driver.run(reqs);
         printMemoryPlan(driver.memoryPlan(), std::cout);
         printRuntimeReport(driver.profile(), std::cout);
@@ -136,7 +146,7 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
             *outPlan = driver.memoryPlan();
     } else if (rt.parallel) {
         // Single request: wavefront (intra-graph) parallelism.
-        ParallelExecutor ex(g, pool, backend);
+        ParallelExecutor ex(g, pool, backend, rt.arenaOn());
         outs[0] = ex.run(reqs[0]);
         printMemoryPlan(ex.memoryPlan(), std::cout);
         printRuntimeReport(ex.profile(), std::cout);
@@ -156,7 +166,9 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
 
     if (rt.verify) {
         // Bit-identity against a serial walk of the SAME backend:
-        // parallelism / batching must never change a single bit.
+        // parallelism / batching must never change a single bit. The
+        // serial Executor allocates from the heap, so with --arena on
+        // this doubles as the heap-vs-arena bit-identity assertion.
         Executor ref(g, backend);
         for (size_t r = 0; r < requests; ++r) {
             if (!bitIdentical(outs[r], ref.run(reqs[r]))) {
@@ -167,7 +179,30 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
         }
         std::cout << "  verify: all " << requests
                   << " request outputs bit-identical to serial "
-                  << backend.name() << "\n";
+                  << backend.name()
+                  << (rt.parallel && rt.arenaOn() ? " (arena vs heap)"
+                                                  : "")
+                  << "\n";
+        // And the other arena A/B direction: an arena-mode parallel
+        // run must match a heap-mode parallel run bit for bit (the
+        // plan is mode-independent, so the batch path's is reused).
+        if (rt.parallel && rt.arenaOn()) {
+            if (!shared_plan)
+                shared_plan = buildEnginePlan(g);
+            BatchDriver heap_driver(g, pool, shared_plan, backend,
+                                    /*arena=*/false);
+            std::vector<std::vector<Tensor>> heap_outs =
+                heap_driver.run(reqs);
+            for (size_t r = 0; r < requests; ++r) {
+                if (!bitIdentical(outs[r], heap_outs[r])) {
+                    std::cout << "  VERIFY FAILED: request " << r
+                              << " arena vs heap parallel run\n";
+                    return false;
+                }
+            }
+            std::cout << "  verify: arena outputs bit-identical to a "
+                         "heap-mode parallel run\n";
+        }
         // Fused execution must reproduce the unfused graph under the
         // SAME backend: bit-identical where chains are interpreted /
         // single-passed, within tolerance ONLY where a non-reference
@@ -316,6 +351,10 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
             r.runtime.maxWidth = profile.schedule.maxWidth;
             r.runtime.arenaBytes = memplan.arenaBytes;
             r.runtime.totalTensorBytes = memplan.totalBytes;
+            r.runtime.arena = profile.memory.arena;
+            r.runtime.measuredPeakBytes = profile.memory.boundPeakBytes;
+            r.runtime.heapAllocs = profile.memory.heapAllocs;
+            r.runtime.scratchPeakBytes = profile.memory.scratchPeakBytes;
         }
         printReport(r, std::cout);
         if (!json.empty()) {
@@ -352,6 +391,7 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
     sc.engine.backend = rt.backend;  // "" = process default
     if (rt.fuse)
         sc.engine.fuse = true;  // default: $NGB_FUSE
+    sc.engine.arena = rt.arenaOn();
     sc.seed = sv.seed;
     sc.verify = rt.verify;
 
@@ -371,8 +411,9 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
               << threads << "  scale=1/" << rt.scale << "  backend="
               << (sc.engine.backend.empty() ? defaultBackend().name()
                                             : sc.engine.backend)
-              << (sc.engine.fuse ? " (fused)" : "") << "  seed="
-              << sc.seed << "\n";
+              << (sc.engine.fuse ? " (fused)" : "")
+              << (sc.engine.arena ? "  memory=arena" : "  memory=heap")
+              << "  seed=" << sc.seed << "\n";
 
     ThreadPool pool(threads);
     serve::ServeResult result = serve::runServe(sc, pool);
@@ -442,6 +483,15 @@ usage()
         "                       under both and print the side-by-side\n"
         "                       GEMM/non-GEMM attribution (default:\n"
         "                       $NGB_BACKEND or reference)\n"
+        "  --arena MODE         on | off: execute through planned,\n"
+        "                       pooled per-request memory arenas (the\n"
+        "                       MemoryPlan made executable): zero\n"
+        "                       steady-state tensor mallocs/memsets.\n"
+        "                       Applies to --runtime parallel and\n"
+        "                       --serve; bit-identical to heap. With\n"
+        "                       --verify, heap-vs-arena identity is\n"
+        "                       asserted. $NGB_ARENA=1 sets the\n"
+        "                       process default\n"
         "  --fuse               applyFusion before executing: CONV+BN\n"
         "                       (+act) folding, point-wise chains, and\n"
         "                       GEMM epilogues run as single fused\n"
@@ -634,6 +684,12 @@ main(int argc, char **argv)
             rt.backend = next();
         } else if (a == "--fuse") {
             rt.fuse = true;
+        } else if (a == "--arena") {
+            rt.arena = next();
+            if (rt.arena != "on" && rt.arena != "off") {
+                std::cerr << "--arena expects on|off\n";
+                return 2;
+            }
         } else if (a == "--threads") {
             rt.threads = nextInt(0, 1 << 14);
         } else if (a == "--scale") {
@@ -718,6 +774,17 @@ main(int argc, char **argv)
     }
     if ((rt.enabled || sv.enabled) && rt.scale < 1) {
         std::cerr << "--scale must be >= 1\n";
+        return 2;
+    }
+    if (!rt.arena.empty() && !rt.enabled && !sv.enabled) {
+        std::cerr << "--arena requires --runtime or --serve (the "
+                     "analytical bench does not allocate tensors)\n";
+        return 2;
+    }
+    if (rt.arenaOn() && rt.enabled && !rt.parallel && !rt.arena.empty()) {
+        std::cerr << "--arena on requires --runtime parallel or --serve "
+                     "(the serial reference walk stays heap-backed as "
+                     "the verification baseline)\n";
         return 2;
     }
     if (!rt.backend.empty()) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/scratch.h"
+
 namespace ngb {
 
 std::vector<Tensor>
@@ -43,6 +45,8 @@ Executor::run(const std::vector<Tensor> &inputs)
             results_[{n.id, 0}] = params_.get(n, 0);
             continue;
         }
+        // Kernel-internal temporaries die with the node evaluation.
+        ScratchScope scratch;
         std::vector<Tensor> outs = evalNode(n, lookup, params_, backend_);
         for (size_t i = 0; i < outs.size(); ++i)
             results_[{n.id, static_cast<int>(i)}] = std::move(outs[i]);

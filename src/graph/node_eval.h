@@ -22,13 +22,17 @@ namespace ngb {
  * go through @p input / @p params, so the serial Executor, the
  * parallel runtime, and the serving engines share one dispatch path
  * per backend and stay bit-identical to each other.
+ *
+ * @p alloc, when non-null, provides the node's output buffers (the
+ * runtime's planned-arena execution); null keeps the heap default.
  */
 inline std::vector<Tensor>
 evalNode(const Node &n,
          const std::function<const Tensor &(const Value &)> &input,
-         ParamStore &params, const Backend &backend)
+         ParamStore &params, const Backend &backend,
+         Allocator *alloc = nullptr)
 {
-    return backend.eval(KernelContext{n, input, params, &backend});
+    return backend.eval(KernelContext{n, input, params, &backend, alloc});
 }
 
 }  // namespace ngb

@@ -1,0 +1,27 @@
+#include "ops/allocator.h"
+
+#include "tensor/scratch.h"
+
+namespace ngb {
+
+HeapAllocator &
+HeapAllocator::instance()
+{
+    static HeapAllocator a;
+    return a;
+}
+
+Tensor
+ScratchAllocator::allocate(const Node &n, size_t i)
+{
+    return scratchEmpty(n.outShapes[i], n.outDtypes[i]);
+}
+
+ScratchAllocator &
+ScratchAllocator::instance()
+{
+    static ScratchAllocator a;
+    return a;
+}
+
+}  // namespace ngb

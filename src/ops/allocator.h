@@ -1,0 +1,70 @@
+#ifndef NGB_OPS_ALLOCATOR_H
+#define NGB_OPS_ALLOCATOR_H
+
+#include "graph/node.h"
+#include "tensor/tensor.h"
+
+/**
+ * @file
+ * The output-buffer allocation seam between executors and kernels.
+ *
+ * Kernels obtain destination buffers through KernelContext::out(),
+ * which delegates to the executor-installed Allocator — destination
+ * passing without changing kernel math. The default (no allocator /
+ * HeapAllocator) hands out fresh uninitialized heap tensors; the
+ * runtime's ArenaAllocator (runtime/arena.h) instead binds each
+ * planned node output to its MemoryPlan offset inside a pooled arena
+ * block, which is what makes the steady-state serving loop malloc- and
+ * memset-free.
+ */
+
+namespace ngb {
+
+/** Provider of output buffers for node evaluations. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * An uninitialized contiguous buffer for output @p i of @p n
+     * (shape n.outShapes[i], dtype n.outDtypes[i]). The kernel must
+     * fully write it.
+     */
+    virtual Tensor allocate(const Node &n, size_t i) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** The default policy: every output is a fresh heap tensor. */
+class HeapAllocator final : public Allocator
+{
+  public:
+    Tensor allocate(const Node &n, size_t i) override
+    {
+        return Tensor::empty(n.outShapes[i], n.outDtypes[i]);
+    }
+
+    const char *name() const override { return "heap"; }
+
+    static HeapAllocator &instance();
+};
+
+/**
+ * Outputs from the thread's scratch arena — for evaluations whose
+ * results die within an enclosing ScratchScope, e.g. the intermediate
+ * members of an interpreted fused chain.
+ */
+class ScratchAllocator final : public Allocator
+{
+  public:
+    Tensor allocate(const Node &n, size_t i) override;
+
+    const char *name() const override { return "scratch"; }
+
+    static ScratchAllocator &instance();
+};
+
+}  // namespace ngb
+
+#endif  // NGB_OPS_ALLOCATOR_H

@@ -8,6 +8,7 @@
 
 #include "graph/node.h"
 #include "graph/param_store.h"
+#include "ops/allocator.h"
 #include "ops/op_types.h"
 #include "tensor/tensor.h"
 
@@ -55,6 +56,29 @@ struct KernelContext {
      * Null in ad-hoc contexts; treat as "use your own backend".
      */
     const Backend *backend = nullptr;
+
+    /**
+     * Output-buffer provider installed by the executor. Null means
+     * heap allocation (out() still works); the runtime installs an
+     * ArenaAllocator here when executing with planned arenas, so a
+     * non-null alloc doubles as the "arena execution" signal for the
+     * few kernels whose copy-vs-view policy depends on it (Split,
+     * fused layout tails).
+     */
+    Allocator *alloc = nullptr;
+
+    /**
+     * Destination buffer for output @p i of this node: the planned
+     * arena slot when an arena allocator is installed and the value is
+     * planned, else a fresh uninitialized heap tensor. Kernels must
+     * fully write whatever they claim (poison-fill catches violations).
+     */
+    Tensor out(size_t i = 0) const
+    {
+        return alloc ? alloc->allocate(node, i)
+                     : Tensor::empty(node.outShapes[i],
+                                     node.outDtypes[i]);
+    }
 
     /** Resolved tensor of input @p i. */
     const Tensor &in(size_t i) const { return input(node.inputs[i]); }

@@ -40,12 +40,12 @@ broadcastTo(const Tensor &t, const Shape &target)
 
 Tensor
 binaryOp(const Tensor &a, const Tensor &b,
-         const std::function<float(float, float)> &f)
+         const std::function<float(float, float)> &f, Tensor dst)
 {
     Shape out_shape = broadcastShape(a.shape(), b.shape());
     Tensor av = broadcastTo(a, out_shape);
     Tensor bv = broadcastTo(b, out_shape);
-    Tensor out(out_shape, DType::F32);
+    Tensor out = claimOut(std::move(dst), out_shape, DType::F32);
     float *po = out.dataF32();
     for (int64_t i = 0; i < out.numel(); ++i)
         po[i] = f(av.flatAt(i), bv.flatAt(i));
@@ -53,9 +53,9 @@ binaryOp(const Tensor &a, const Tensor &b,
 }
 
 Tensor
-unaryOp(const Tensor &x, const std::function<float(float)> &f)
+unaryOp(const Tensor &x, const std::function<float(float)> &f, Tensor dst)
 {
-    Tensor out(x.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     float *po = out.dataF32();
     for (int64_t i = 0; i < x.numel(); ++i)
         po[i] = f(x.flatAt(i));
@@ -65,68 +65,74 @@ unaryOp(const Tensor &x, const std::function<float(float)> &f)
 }  // namespace
 
 Tensor
-add(const Tensor &a, const Tensor &b)
+add(const Tensor &a, const Tensor &b, Tensor dst)
 {
-    return binaryOp(a, b, [](float x, float y) { return x + y; });
+    return binaryOp(
+        a, b, [](float x, float y) { return x + y; }, std::move(dst));
 }
 
 Tensor
-sub(const Tensor &a, const Tensor &b)
+sub(const Tensor &a, const Tensor &b, Tensor dst)
 {
-    return binaryOp(a, b, [](float x, float y) { return x - y; });
+    return binaryOp(
+        a, b, [](float x, float y) { return x - y; }, std::move(dst));
 }
 
 Tensor
-mul(const Tensor &a, const Tensor &b)
+mul(const Tensor &a, const Tensor &b, Tensor dst)
 {
-    return binaryOp(a, b, [](float x, float y) { return x * y; });
+    return binaryOp(
+        a, b, [](float x, float y) { return x * y; }, std::move(dst));
 }
 
 Tensor
-div(const Tensor &a, const Tensor &b)
+div(const Tensor &a, const Tensor &b, Tensor dst)
 {
-    return binaryOp(a, b, [](float x, float y) { return x / y; });
+    return binaryOp(
+        a, b, [](float x, float y) { return x / y; }, std::move(dst));
 }
 
 Tensor
-neg(const Tensor &x)
+neg(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return -v; });
+    return unaryOp(x, [](float v) { return -v; }, std::move(dst));
 }
 
 Tensor
-sqrtOp(const Tensor &x)
+sqrtOp(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return std::sqrt(v); });
+    return unaryOp(
+        x, [](float v) { return std::sqrt(v); }, std::move(dst));
 }
 
 Tensor
-powScalar(const Tensor &x, float e)
+powScalar(const Tensor &x, float e, Tensor dst)
 {
-    return unaryOp(x, [e](float v) { return std::pow(v, e); });
+    return unaryOp(
+        x, [e](float v) { return std::pow(v, e); }, std::move(dst));
 }
 
 Tensor
-addScalar(const Tensor &x, float s)
+addScalar(const Tensor &x, float s, Tensor dst)
 {
-    return unaryOp(x, [s](float v) { return v + s; });
+    return unaryOp(x, [s](float v) { return v + s; }, std::move(dst));
 }
 
 Tensor
-mulScalar(const Tensor &x, float s)
+mulScalar(const Tensor &x, float s, Tensor dst)
 {
-    return unaryOp(x, [s](float v) { return v * s; });
+    return unaryOp(x, [s](float v) { return v * s; }, std::move(dst));
 }
 
 Tensor
-where(const Tensor &cond, const Tensor &a, const Tensor &b)
+where(const Tensor &cond, const Tensor &a, const Tensor &b, Tensor dst)
 {
     Shape out_shape = broadcastShape(
         broadcastShape(cond.shape(), a.shape()), b.shape());
     Tensor cv = broadcastTo(cond, out_shape);
     Tensor av = broadcastTo(a, out_shape);
     Tensor bv = broadcastTo(b, out_shape);
-    Tensor out(out_shape, DType::F32);
+    Tensor out = claimOut(std::move(dst), out_shape, DType::F32);
     float *po = out.dataF32();
     for (int64_t i = 0; i < out.numel(); ++i)
         po[i] = cv.flatAt(i) != 0.0f ? av.flatAt(i) : bv.flatAt(i);
@@ -134,54 +140,65 @@ where(const Tensor &cond, const Tensor &a, const Tensor &b)
 }
 
 Tensor
-relu(const Tensor &x)
+relu(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+    return unaryOp(
+        x, [](float v) { return v > 0.0f ? v : 0.0f; }, std::move(dst));
 }
 
 Tensor
-gelu(const Tensor &x)
+gelu(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) {
-        return 0.5f * v * (1.0f + std::erf(v * 0.70710678f));
-    });
+    return unaryOp(
+        x,
+        [](float v) {
+            return 0.5f * v * (1.0f + std::erf(v * 0.70710678f));
+        },
+        std::move(dst));
 }
 
 Tensor
-sigmoid(const Tensor &x)
+sigmoid(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+    return unaryOp(
+        x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+        std::move(dst));
 }
 
 Tensor
-silu(const Tensor &x)
+silu(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x,
-                   [](float v) { return v / (1.0f + std::exp(-v)); });
+    return unaryOp(
+        x, [](float v) { return v / (1.0f + std::exp(-v)); },
+        std::move(dst));
 }
 
 Tensor
-tanhOp(const Tensor &x)
+tanhOp(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return std::tanh(v); });
+    return unaryOp(
+        x, [](float v) { return std::tanh(v); }, std::move(dst));
 }
 
 Tensor
-expOp(const Tensor &x)
+expOp(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return std::exp(v); });
+    return unaryOp(
+        x, [](float v) { return std::exp(v); }, std::move(dst));
 }
 
 Tensor
-logOp(const Tensor &x)
+logOp(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return std::log(v); });
+    return unaryOp(
+        x, [](float v) { return std::log(v); }, std::move(dst));
 }
 
 Tensor
-erfOp(const Tensor &x)
+erfOp(const Tensor &x, Tensor dst)
 {
-    return unaryOp(x, [](float v) { return std::erf(v); });
+    return unaryOp(
+        x, [](float v) { return std::erf(v); }, std::move(dst));
 }
 
 }  // namespace kernels

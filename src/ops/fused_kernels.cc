@@ -7,8 +7,10 @@
 #include <string>
 #include <utility>
 
+#include "ops/kernels.h"
 #include "ops/optimized_kernels.h"
 #include "ops/scalar_ops.h"
+#include "tensor/scratch.h"
 
 namespace ngb {
 
@@ -175,29 +177,60 @@ applyStageBlock(const sc::UnaryStage s, const float *__restrict__ in,
  * member-by-member sweeps.
  */
 Tensor
-singlePassChain(const Tensor &x, const std::vector<sc::UnaryStage> &st)
+singlePassChain(const Tensor &x, const std::vector<sc::UnaryStage> &st,
+                Tensor dst)
 {
     constexpr int64_t kBlk = 4096;  // 16 KiB blocks: L1-hot
-    Tensor out(x.shape(), DType::F32);
+    Tensor out =
+        kernels::claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = x.dataF32();
     float *po = out.dataF32();
     int64_t n = x.numel();
-    std::vector<float> scratch_a(kBlk), scratch_b(kBlk);
+    Tensor ping = scratchEmpty(Shape{kBlk}, DType::F32);
+    Tensor pong = scratchEmpty(Shape{kBlk}, DType::F32);
+    float *scratch_a = ping.dataF32();
+    float *scratch_b = pong.dataF32();
     for (int64_t i0 = 0; i0 < n; i0 += kBlk) {
         int64_t len = std::min(kBlk, n - i0);
         const float *src = px + i0;
         for (size_t j = 0; j < st.size(); ++j) {
-            float *dst = j + 1 == st.size()
-                             ? po + i0
-                             : (src == scratch_a.data()
-                                    ? scratch_b.data()
-                                    : scratch_a.data());
-            applyStageBlock(st[j], src, dst, len);
-            src = dst;
+            float *stage_out = j + 1 == st.size()
+                                   ? po + i0
+                                   : (src == scratch_a ? scratch_b
+                                                       : scratch_a);
+            applyStageBlock(st[j], src, stage_out, len);
+            src = stage_out;
         }
     }
     return out;
 }
+
+/**
+ * Hands the chain's tail member the ENCLOSING fused node's output
+ * buffer: members carry synthetic ids the memory plan does not know,
+ * so the tail resolves its destination through the outer context
+ * (planned arena slot or heap) instead of its own node identity.
+ */
+class TailAllocator final : public Allocator
+{
+  public:
+    explicit TailAllocator(const KernelContext &outer) : outer_(outer) {}
+
+    Tensor allocate(const Node &, size_t i) override
+    {
+        claimed_ = outer_.out(i);
+        return claimed_;
+    }
+
+    const char *name() const override { return "fused-tail"; }
+
+    /** The buffer handed to the tail member, if it asked for one. */
+    const Tensor &claimed() const { return claimed_; }
+
+  private:
+    const KernelContext &outer_;
+    Tensor claimed_;
+};
 
 /** The BN-like kinds whose running-stats affine folds into a conv. */
 bool
@@ -290,6 +323,12 @@ evalFusedChain(const KernelContext &c, const Backend &memberBackend)
             ": no folded members (fusedBody is empty; was this node "
             "produced by applyFusion?)");
 
+    // External inputs the chain result could alias (layout-op tails):
+    // under arena execution such a view would escape into a buffer the
+    // planner thinks is dead, so it must be copied out below.
+    std::vector<const Storage *> ext_storages;
+
+    TailAllocator tail(c);
     Tensor chain;
     for (size_t j = 0; j < f.fusedBody.size(); ++j) {
         const Node &m = f.fusedBody[j];
@@ -314,6 +353,7 @@ evalFusedChain(const KernelContext &c, const Backend &memberBackend)
                 ports[p] = chain;
             } else {
                 ports[p] = externalInput(c, m, p);
+                ext_storages.push_back(ports[p].storage().get());
             }
         }
         std::function<const Tensor &(const Value &)> input =
@@ -325,10 +365,17 @@ evalFusedChain(const KernelContext &c, const Backend &memberBackend)
                                      m.name +
                                      "' resolved an unknown input");
         };
+        // Intermediates die inside this (scoped) kernel call, so they
+        // come from scratch; the tail writes straight into the fused
+        // node's own output buffer.
+        Allocator *member_alloc =
+            j + 1 == f.fusedBody.size()
+                ? static_cast<Allocator *>(&tail)
+                : &ScratchAllocator::instance();
         std::vector<Tensor> outs;
         try {
-            outs = memberBackend.eval(
-                KernelContext{m, input, c.params, &memberBackend});
+            outs = memberBackend.eval(KernelContext{
+                m, input, c.params, &memberBackend, member_alloc});
         } catch (const std::exception &e) {
             throw std::runtime_error(
                 chainName(f) + ": cannot fold member '" + m.name +
@@ -340,6 +387,34 @@ evalFusedChain(const KernelContext &c, const Backend &memberBackend)
                 std::to_string(outs.size()) +
                 " outputs; fused chains are single-value");
         chain = std::move(outs[0]);
+    }
+
+    // A layout-op tail may have produced a VIEW instead of writing the
+    // tail buffer: of a scratch intermediate (whose bytes die with
+    // this call) or, under arena execution, of an external input
+    // (whose arena slot the planner may reuse while this result is
+    // still live). Both must be materialized into the node's own
+    // output buffer before escaping. A chain that already sits in the
+    // buffer the TailAllocator handed out is in place — under arena
+    // execution EVERY planned tensor shares one block Storage, so
+    // storage identity with an external input alone proves nothing
+    // and copying would be a same-slot self-copy.
+    bool in_place = tail.claimed().defined() &&
+                    chain.storage().get() ==
+                        tail.claimed().storage().get() &&
+                    chain.offset() == tail.claimed().offset();
+    if (!in_place) {
+        bool escapes_scratch = isScratch(chain);
+        bool aliases_external = false;
+        if (c.alloc && !escapes_scratch)
+            for (const Storage *s : ext_storages)
+                aliases_external =
+                    aliases_external || chain.storage().get() == s;
+        if (escapes_scratch || aliases_external) {
+            Tensor out = c.out(0);
+            out.copyFrom(chain);
+            chain = std::move(out);
+        }
     }
     return singleOutput(std::move(chain));
 }
@@ -381,7 +456,7 @@ evalFusedOptimized(const KernelContext &c)
                 x, w, b, static_cast<int>(conv.attrs.getI("stride")),
                 static_cast<int>(conv.attrs.getI("padding")),
                 static_cast<int>(conv.attrs.getI("groups", 1)),
-                stages.data(), stages.size()));
+                stages.data(), stages.size(), c.out(0)));
         }
     }
 
@@ -397,7 +472,7 @@ evalFusedOptimized(const KernelContext &c)
             if (lm.paramShapes.size() > 1)
                 b = c.params.get(lm, lm.paramShapes.size() - 1);
             return singleOutput(ko::linearPackedEpi(
-                x, wt, b, stages.data(), stages.size()));
+                x, wt, b, stages.data(), stages.size(), c.out(0)));
         }
     }
 
@@ -410,7 +485,8 @@ evalFusedOptimized(const KernelContext &c)
         if (collectStages(body, 0, &stages)) {
             const Tensor &x = externalInput(c, body[0], 0);
             if (fastF32(x))
-                return singleOutput(singlePassChain(x, stages));
+                return singleOutput(
+                    singlePassChain(x, stages, c.out(0)));
         }
     }
 

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <stdexcept>
 
 #include "ops/kernels.h"
@@ -5,29 +6,8 @@
 namespace ngb {
 namespace kernels {
 
-namespace {
-
-/** Flatten all but the last dimension into rows. */
 Tensor
-asRows(const Tensor &x)
-{
-    int64_t k = x.shape().dim(-1);
-    return x.contiguous().view(Shape{x.numel() / k, k});
-}
-
-/** Restore row-flattened output back to x's leading dims with new last. */
-Tensor
-fromRows(const Tensor &rows, const Tensor &x, int64_t n)
-{
-    std::vector<int64_t> dims = x.shape().dims();
-    dims.back() = n;
-    return rows.view(Shape(dims));
-}
-
-}  // namespace
-
-Tensor
-matmul(const Tensor &a, const Tensor &b)
+matmul(const Tensor &a, const Tensor &b, Tensor dst)
 {
     if (a.shape().rank() != 2 || b.shape().rank() != 2)
         throw std::runtime_error("matmul: rank-2 inputs required");
@@ -35,12 +15,13 @@ matmul(const Tensor &a, const Tensor &b)
     int64_t k2 = b.shape()[0], n = b.shape()[1];
     if (k != k2)
         throw std::runtime_error("matmul: inner dim mismatch");
-    Tensor ac = a.contiguous().to(DType::F32);
-    Tensor bc = b.contiguous().to(DType::F32);
-    Tensor out(Shape{m, n}, DType::F32);
+    Tensor ac = toContiguousF32(a);
+    Tensor bc = toContiguousF32(b);
+    Tensor out = claimOut(std::move(dst), Shape{m, n}, DType::F32);
     const float *pa = ac.dataF32();
     const float *pb = bc.dataF32();
     float *po = out.dataF32();
+    std::fill(po, po + m * n, 0.0f);  // ikj accumulates into the output
     for (int64_t i = 0; i < m; ++i) {
         for (int64_t kk = 0; kk < k; ++kk) {
             float av = pa[i * k + kk];
@@ -56,30 +37,34 @@ matmul(const Tensor &a, const Tensor &b)
 }
 
 Tensor
-linear(const Tensor &x, const Tensor &w, const Tensor &b)
+linear(const Tensor &x, const Tensor &w, const Tensor &b, Tensor dst)
 {
     if (w.shape().rank() != 2)
         throw std::runtime_error("linear: weight must be [N,K]");
     int64_t n = w.shape()[0], k = w.shape()[1];
     if (x.shape().dim(-1) != k)
         throw std::runtime_error("linear: input last dim != K");
-    Tensor rows = asRows(x);
-    Tensor wt = w.transpose(0, 1).contiguous();
-    Tensor out = matmul(rows, wt);
+    Tensor rows = toContiguousF32(x).view(Shape{x.numel() / k, k});
+    Tensor wt = toContiguousF32(w.transpose(0, 1));
+    std::vector<int64_t> dims = x.shape().dims();
+    dims.back() = n;
+    Tensor out = claimOut(std::move(dst), Shape(dims), DType::F32);
+    Tensor flat = out.view(Shape{rows.shape()[0], n});
+    matmul(rows, wt, flat);
     if (b.defined()) {
-        float *po = out.dataF32();
-        Tensor bc = b.contiguous().to(DType::F32);
+        float *po = flat.dataF32();
+        Tensor bc = toContiguousF32(b);
         const float *pb = bc.dataF32();
-        int64_t m = out.shape()[0];
+        int64_t m = flat.shape()[0];
         for (int64_t i = 0; i < m; ++i)
             for (int64_t j = 0; j < n; ++j)
                 po[i * n + j] += pb[j];
     }
-    return fromRows(out, x, n);
+    return out;
 }
 
 Tensor
-bmm(const Tensor &a, const Tensor &b)
+bmm(const Tensor &a, const Tensor &b, Tensor dst)
 {
     if (a.shape().rank() != 3 || b.shape().rank() != 3)
         throw std::runtime_error("bmm: rank-3 inputs required");
@@ -89,21 +74,19 @@ bmm(const Tensor &a, const Tensor &b)
     int64_t m = a.shape()[1], k = a.shape()[2], n = b.shape()[2];
     if (b.shape()[1] != k)
         throw std::runtime_error("bmm: inner dim mismatch");
-    Tensor out(Shape{bs, m, n}, DType::F32);
-    for (int64_t i = 0; i < bs; ++i) {
-        Tensor oi = matmul(a.slice(0, i, 1).reshape(Shape{m, k}),
-                           b.slice(0, i, 1).reshape(Shape{k, n}));
-        const float *p = oi.dataF32();
-        float *po = out.dataF32() + i * m * n;
-        for (int64_t j = 0; j < m * n; ++j)
-            po[j] = p[j];
-    }
+    Tensor ac = toContiguousF32(a);
+    Tensor bc = toContiguousF32(b);
+    Tensor out = claimOut(std::move(dst), Shape{bs, m, n}, DType::F32);
+    for (int64_t i = 0; i < bs; ++i)
+        matmul(ac.slice(0, i, 1).view(Shape{m, k}),
+               bc.slice(0, i, 1).view(Shape{k, n}),
+               out.slice(0, i, 1).view(Shape{m, n}));
     return out;
 }
 
 Tensor
 conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
-       int padding, int groups)
+       int padding, int groups, Tensor dst)
 {
     if (x.shape().rank() != 4 || w.shape().rank() != 4)
         throw std::runtime_error("conv2d: NCHW input and FCRS weight");
@@ -119,16 +102,17 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
     int64_t ow = (wd + 2 * padding - s) / stride + 1;
     int64_t fg = f / groups;
 
-    Tensor xc = x.contiguous().to(DType::F32);
-    Tensor wc = w.contiguous().to(DType::F32);
+    Tensor xc = toContiguousF32(x);
+    Tensor wc = toContiguousF32(w);
     const float *px = xc.dataF32();
     const float *pw = wc.dataF32();
-    Tensor out(Shape{n, f, oh, ow}, DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape{n, f, oh, ow}, DType::F32);
     float *po = out.dataF32();
 
     // im2col per (image, group), then GEMM over the patch matrix.
     int64_t patch = cg * r * s;
-    std::vector<float> col(static_cast<size_t>(patch * oh * ow));
+    Tensor colT = scratchEmpty(Shape{patch, oh * ow}, DType::F32);
+    float *col = colT.dataF32();
     for (int64_t img = 0; img < n; ++img) {
         for (int g = 0; g < groups; ++g) {
             // Build the column matrix: [patch, oh*ow].
@@ -138,7 +122,7 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
                 for (int64_t rr = 0; rr < r; ++rr) {
                     for (int64_t ss = 0; ss < s; ++ss) {
                         int64_t row = (cc * r + rr) * s + ss;
-                        float *crow = col.data() + row * oh * ow;
+                        float *crow = col + row * oh * ow;
                         for (int64_t oy = 0; oy < oh; ++oy) {
                             int64_t iy = oy * stride - padding + rr;
                             for (int64_t ox = 0; ox < ow; ++ox) {
@@ -163,7 +147,7 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
                     float wv = wrow[p];
                     if (wv == 0.0f)
                         continue;
-                    const float *crow = col.data() + p * oh * ow;
+                    const float *crow = col + p * oh * ow;
                     for (int64_t j = 0; j < oh * ow; ++j)
                         orow[j] += wv * crow[j];
                 }
@@ -171,7 +155,7 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
         }
     }
     if (b.defined()) {
-        Tensor bc = b.contiguous().to(DType::F32);
+        Tensor bc = toContiguousF32(b);
         const float *pb = bc.dataF32();
         for (int64_t img = 0; img < n; ++img)
             for (int64_t ff = 0; ff < f; ++ff) {
@@ -185,22 +169,22 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
 
 Tensor
 int8Linear(const Tensor &x_q, const Tensor &w_q, const Tensor &b,
-           float x_scale, float w_scale)
+           float x_scale, float w_scale, Tensor dst)
 {
     if (x_q.dtype() != DType::I8 || w_q.dtype() != DType::I8)
         throw std::runtime_error("int8Linear: int8 inputs required");
     int64_t n = w_q.shape()[0], k = w_q.shape()[1];
     if (x_q.shape().dim(-1) != k)
         throw std::runtime_error("int8Linear: input last dim != K");
-    Tensor xc = x_q.contiguous();
+    Tensor xc = toContiguous(x_q);
     int64_t m = xc.numel() / k;
     const int8_t *px = xc.dataI8();
-    Tensor wc = w_q.contiguous();
+    Tensor wc = toContiguous(w_q);
     const int8_t *pw = wc.dataI8();
 
     std::vector<int64_t> dims = x_q.shape().dims();
     dims.back() = n;
-    Tensor out(Shape(dims), DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape(dims), DType::F32);
     Tensor flat = out.view(Shape{m, n});
     float *po = flat.dataF32();
     float scale = x_scale * w_scale;
@@ -216,7 +200,7 @@ int8Linear(const Tensor &x_q, const Tensor &w_q, const Tensor &b,
         }
     }
     if (b.defined()) {
-        Tensor bc = b.contiguous().to(DType::F32);
+        Tensor bc = toContiguousF32(b);
         const float *pb = bc.dataF32();
         for (int64_t i = 0; i < m; ++i)
             for (int64_t j = 0; j < n; ++j)

@@ -8,17 +8,16 @@ namespace kernels {
 
 Tensor
 layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-          float eps)
+          float eps, Tensor dst)
 {
     int64_t d = x.shape().dim(-1);
-    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor xc = toContiguousF32(x);
     int64_t rows = xc.numel() / d;
-    Tensor out(x.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = xc.dataF32();
     float *po = out.dataF32();
-    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
-                                : Tensor();
-    Tensor bc = beta.defined() ? beta.contiguous().to(DType::F32) : Tensor();
+    Tensor gc = toContiguousF32(gamma);
+    Tensor bc = toContiguousF32(beta);
     const float *pg = gc.defined() ? gc.dataF32() : nullptr;
     const float *pb = bc.defined() ? bc.dataF32() : nullptr;
     for (int64_t i = 0; i < rows; ++i) {
@@ -49,21 +48,20 @@ layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
 
 Tensor
 batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-            const Tensor &mean, const Tensor &var, float eps)
+            const Tensor &mean, const Tensor &var, float eps, Tensor dst)
 {
     if (x.shape().rank() != 4)
         throw std::runtime_error("batchNorm2d: NCHW input required");
     int64_t n = x.shape()[0], c = x.shape()[1];
     int64_t hw = x.shape()[2] * x.shape()[3];
-    Tensor xc = x.contiguous().to(DType::F32);
-    Tensor out(x.shape(), DType::F32);
+    Tensor xc = toContiguousF32(x);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = xc.dataF32();
     float *po = out.dataF32();
-    Tensor mc = mean.contiguous().to(DType::F32);
-    Tensor vc = var.contiguous().to(DType::F32);
-    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
-                                : Tensor();
-    Tensor bc = beta.defined() ? beta.contiguous().to(DType::F32) : Tensor();
+    Tensor mc = toContiguousF32(mean);
+    Tensor vc = toContiguousF32(var);
+    Tensor gc = toContiguousF32(gamma);
+    Tensor bc = toContiguousF32(beta);
     const float *pm = mc.dataF32();
     const float *pv = vc.dataF32();
     const float *pg = gc.defined() ? gc.dataF32() : nullptr;
@@ -83,16 +81,15 @@ batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
 }
 
 Tensor
-rmsNorm(const Tensor &x, const Tensor &gamma, float eps)
+rmsNorm(const Tensor &x, const Tensor &gamma, float eps, Tensor dst)
 {
     int64_t d = x.shape().dim(-1);
-    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor xc = toContiguousF32(x);
     int64_t rows = xc.numel() / d;
-    Tensor out(x.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = xc.dataF32();
     float *po = out.dataF32();
-    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
-                                : Tensor();
+    Tensor gc = toContiguousF32(gamma);
     const float *pg = gc.defined() ? gc.dataF32() : nullptr;
     for (int64_t i = 0; i < rows; ++i) {
         const float *row = px + i * d;
@@ -114,7 +111,7 @@ rmsNorm(const Tensor &x, const Tensor &gamma, float eps)
 
 Tensor
 groupNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-          int groups, float eps)
+          int groups, float eps, Tensor dst)
 {
     if (x.shape().rank() != 4)
         throw std::runtime_error("groupNorm: NCHW input required");
@@ -123,13 +120,12 @@ groupNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     if (c % groups != 0)
         throw std::runtime_error("groupNorm: channels not divisible");
     int64_t cg = c / groups;
-    Tensor xc = x.contiguous().to(DType::F32);
-    Tensor out(x.shape(), DType::F32);
+    Tensor xc = toContiguousF32(x);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = xc.dataF32();
     float *po = out.dataF32();
-    Tensor gc = gamma.defined() ? gamma.contiguous().to(DType::F32)
-                                : Tensor();
-    Tensor bc = beta.defined() ? beta.contiguous().to(DType::F32) : Tensor();
+    Tensor gc = toContiguousF32(gamma);
+    Tensor bc = toContiguousF32(beta);
     const float *pg = gc.defined() ? gc.dataF32() : nullptr;
     const float *pb = bc.defined() ? bc.dataF32() : nullptr;
     for (int64_t img = 0; img < n; ++img) {

@@ -28,7 +28,7 @@ makeOptimizedBackend()
 
     // GEMM family: 4x16 register-tiled core, fused bias epilogue.
     b.registerKernel(OpKind::MatMul, [](const KernelContext &c) {
-        return singleOutput(ko::matmul(c.in(0), c.in(1)));
+        return singleOutput(ko::matmul(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Linear, [](const KernelContext &c) {
         // Weights are immutable: pack the [N,K]->[K,N] transpose once
@@ -36,66 +36,70 @@ makeOptimizedBackend()
         const Tensor &wt = c.params.derived(c.node, 0, [&c] {
             return ko::packWeightTranspose(c.param(0));
         });
-        return singleOutput(ko::linearPacked(c.in(0), wt, c.optBias()));
+        return singleOutput(
+            ko::linearPacked(c.in(0), wt, c.optBias(), c.out(0)));
     });
     b.registerKernel(OpKind::BMM, [](const KernelContext &c) {
-        return singleOutput(ko::bmm(c.in(0), c.in(1)));
+        return singleOutput(ko::bmm(c.in(0), c.in(1), c.out(0)));
     });
 
     // Normalization: single-pass moments / hoisted channel affine.
     b.registerKernel(OpKind::LayerNorm, [](const KernelContext &c) {
         return singleOutput(ko::layerNorm(c.in(0), c.param(0), c.param(1),
-                                 c.attrFloat("eps", 1e-5)));
+                                 c.attrFloat("eps", 1e-5), c.out(0)));
     });
     KernelFn batchNorm = [](const KernelContext &c) {
         return singleOutput(ko::batchNorm2d(c.in(0), c.param(0), c.param(1),
                                    c.param(2), c.param(3),
-                                   c.attrFloat("eps", 1e-5)));
+                                   c.attrFloat("eps", 1e-5), c.out(0)));
     };
     b.registerKernel(OpKind::BatchNorm2d, batchNorm);
     b.registerKernel(OpKind::FrozenBatchNorm2d, std::move(batchNorm));
 
     // Logit computation: last-dim fast path.
     b.registerKernel(OpKind::Softmax, [](const KernelContext &c) {
-        return singleOutput(ko::softmax(c.in(0), c.attrInt("dim")));
+        return singleOutput(
+            ko::softmax(c.in(0), c.attrInt("dim"), c.out(0)));
     });
 
     // Activations: contiguous raw-pointer sweeps.
     b.registerKernel(OpKind::ReLU, [](const KernelContext &c) {
-        return singleOutput(ko::relu(c.in(0)));
+        return singleOutput(ko::relu(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::GELU, [](const KernelContext &c) {
-        return singleOutput(ko::gelu(c.in(0)));
+        return singleOutput(ko::gelu(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::SiLU, [](const KernelContext &c) {
-        return singleOutput(ko::silu(c.in(0)));
+        return singleOutput(ko::silu(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Sigmoid, [](const KernelContext &c) {
-        return singleOutput(ko::sigmoid(c.in(0)));
+        return singleOutput(ko::sigmoid(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Tanh, [](const KernelContext &c) {
-        return singleOutput(ko::tanhOp(c.in(0)));
+        return singleOutput(ko::tanhOp(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Exp, [](const KernelContext &c) {
-        return singleOutput(ko::expOp(c.in(0)));
+        return singleOutput(ko::expOp(c.in(0), c.out(0)));
     });
 
     // Elementwise arithmetic: same-shape contiguous fast path.
     b.registerKernel(OpKind::Add, [](const KernelContext &c) {
         if (c.numInputs() == 1)
-            return singleOutput(ko::addScalar(c.in(0), c.attrFloat("scalar")));
-        return singleOutput(ko::add(c.in(0), c.in(1)));
+            return singleOutput(
+                ko::addScalar(c.in(0), c.attrFloat("scalar"), c.out(0)));
+        return singleOutput(ko::add(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Sub, [](const KernelContext &c) {
-        return singleOutput(ko::sub(c.in(0), c.in(1)));
+        return singleOutput(ko::sub(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Mul, [](const KernelContext &c) {
         if (c.numInputs() == 1)
-            return singleOutput(ko::mulScalar(c.in(0), c.attrFloat("scalar")));
-        return singleOutput(ko::mul(c.in(0), c.in(1)));
+            return singleOutput(
+                ko::mulScalar(c.in(0), c.attrFloat("scalar"), c.out(0)));
+        return singleOutput(ko::mul(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Div, [](const KernelContext &c) {
-        return singleOutput(ko::div(c.in(0), c.in(1)));
+        return singleOutput(ko::div(c.in(0), c.in(1), c.out(0)));
     });
 
     // Executable fusion: merged Conv+BN affines, GEMM-epilogue

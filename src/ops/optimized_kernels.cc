@@ -131,7 +131,7 @@ packTranspose(const float *w, float *wt, int64_t n, int64_t k)
 }  // namespace
 
 Tensor
-matmul(const Tensor &a, const Tensor &b)
+matmul(const Tensor &a, const Tensor &b, Tensor dst)
 {
     if (a.shape().rank() != 2 || b.shape().rank() != 2)
         throw std::runtime_error("matmul: rank-2 inputs required");
@@ -141,7 +141,7 @@ matmul(const Tensor &a, const Tensor &b)
         throw std::runtime_error("matmul: inner dim mismatch");
     Tensor ac = asF32(a);
     Tensor bc = asF32(b);
-    Tensor out(Shape{m, n}, DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape{m, n}, DType::F32);
     matmulCore(ac.dataF32(), bc.dataF32(), nullptr, out.dataF32(), m, k,
                n);
     return out;
@@ -161,7 +161,8 @@ packWeightTranspose(const Tensor &w)
 
 Tensor
 linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
-                const scalar::UnaryStage *stages, size_t nStages)
+                const scalar::UnaryStage *stages, size_t nStages,
+                Tensor dst)
 {
     if (wt.shape().rank() != 2)
         throw std::runtime_error("linearPacked: packed weight must be "
@@ -176,7 +177,7 @@ linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
 
     std::vector<int64_t> dims = x.shape().dims();
     dims.back() = n;
-    Tensor out(Shape(dims), DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape(dims), DType::F32);
     matmulCoreEpi(rows.dataF32(), wc.dataF32(), out.dataF32(), m, k, n,
                   bc.defined() ? bc.dataF32() : nullptr, nullptr, stages,
                   nStages);
@@ -184,15 +185,16 @@ linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
 }
 
 Tensor
-linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b)
+linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
+             Tensor dst)
 {
-    return linearPackedEpi(x, wt, b, nullptr, 0);
+    return linearPackedEpi(x, wt, b, nullptr, 0, std::move(dst));
 }
 
 Tensor
 conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
           int padding, int groups, const scalar::UnaryStage *stages,
-          size_t nStages)
+          size_t nStages, Tensor dst)
 {
     if (x.shape().rank() != 4 || w.shape().rank() != 4)
         throw std::runtime_error("conv2dEpi: NCHW input and FCRS weight");
@@ -215,14 +217,15 @@ conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
     const float *px = xc.dataF32();
     const float *pw = wc.dataF32();
     const float *pb = bc.defined() ? bc.dataF32() : nullptr;
-    Tensor out(Shape{n, f, oh, ow}, DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape{n, f, oh, ow}, DType::F32);
     float *po = out.dataF32();
 
     // im2col per (image, group), then one tiled GEMM per group with
     // the filter bias and the point-wise stages applied in the tile
     // write-out: W[fg, patch] @ col[patch, oh*ow] -> out rows.
     int64_t patch = cg * r * s;
-    std::vector<float> col(static_cast<size_t>(patch * oh * ow));
+    Tensor colT = scratchEmpty(Shape{patch, oh * ow}, DType::F32);
+    float *col = colT.dataF32();
     for (int64_t img = 0; img < n; ++img) {
         for (int g = 0; g < groups; ++g) {
             for (int64_t cc = 0; cc < cg; ++cc) {
@@ -231,7 +234,7 @@ conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
                 for (int64_t rr = 0; rr < r; ++rr) {
                     for (int64_t ss = 0; ss < s; ++ss) {
                         int64_t row = (cc * r + rr) * s + ss;
-                        float *crow = col.data() + row * oh * ow;
+                        float *crow = col + row * oh * ow;
                         for (int64_t oy = 0; oy < oh; ++oy) {
                             int64_t iy = oy * stride - padding + rr;
                             for (int64_t ox = 0; ox < ow; ++ox) {
@@ -246,7 +249,7 @@ conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
                     }
                 }
             }
-            matmulCoreEpi(pw + g * fg * patch, col.data(),
+            matmulCoreEpi(pw + g * fg * patch, col,
                           po + (img * f + g * fg) * oh * ow, fg, patch,
                           oh * ow, nullptr,
                           pb ? pb + g * fg : nullptr, stages, nStages);
@@ -256,13 +259,13 @@ conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
 }
 
 Tensor
-linear(const Tensor &x, const Tensor &w, const Tensor &b)
+linear(const Tensor &x, const Tensor &w, const Tensor &b, Tensor dst)
 {
-    return linearPacked(x, packWeightTranspose(w), b);
+    return linearPacked(x, packWeightTranspose(w), b, std::move(dst));
 }
 
 Tensor
-bmm(const Tensor &a, const Tensor &b)
+bmm(const Tensor &a, const Tensor &b, Tensor dst)
 {
     if (a.shape().rank() != 3 || b.shape().rank() != 3)
         throw std::runtime_error("bmm: rank-3 inputs required");
@@ -274,7 +277,7 @@ bmm(const Tensor &a, const Tensor &b)
         throw std::runtime_error("bmm: inner dim mismatch");
     Tensor ac = asF32(a);
     Tensor bc = asF32(b);
-    Tensor out(Shape{bs, m, n}, DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape{bs, m, n}, DType::F32);
     const float *pa = ac.dataF32();
     const float *pb = bc.dataF32();
     float *po = out.dataF32();
@@ -286,12 +289,12 @@ bmm(const Tensor &a, const Tensor &b)
 
 Tensor
 layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-          float eps)
+          float eps, Tensor dst)
 {
     int64_t d = x.shape().dim(-1);
     Tensor xc = asF32(x);
     int64_t rows = xc.numel() / d;
-    Tensor out(x.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = xc.dataF32();
     float *po = out.dataF32();
     Tensor gc = gamma.defined() ? asF32(gamma) : Tensor();
@@ -329,14 +332,14 @@ layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
 
 Tensor
 batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-            const Tensor &mean, const Tensor &var, float eps)
+            const Tensor &mean, const Tensor &var, float eps, Tensor dst)
 {
     if (x.shape().rank() != 4)
         throw std::runtime_error("batchNorm2d: NCHW input required");
     int64_t n = x.shape()[0], c = x.shape()[1];
     int64_t hw = x.shape()[2] * x.shape()[3];
     Tensor xc = asF32(x);
-    Tensor out(x.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = xc.dataF32();
     float *po = out.dataF32();
     Tensor mc = asF32(mean);
@@ -351,18 +354,19 @@ batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     // Per-channel affine hoisted out of the image loop (the reference
     // recomputes scale/shift for every image). Same float expressions,
     // so results are bit-identical.
-    std::vector<float> scale(static_cast<size_t>(c));
-    std::vector<float> shift(static_cast<size_t>(c));
+    Tensor affines = scratchEmpty(Shape{2, c}, DType::F32);
+    float *scale = affines.dataF32();
+    float *shift = scale + c;
     for (int64_t cc = 0; cc < c; ++cc) {
         float inv = 1.0f / std::sqrt(pv[cc] + eps);
         float s = pg ? pg[cc] * inv : inv;
-        scale[static_cast<size_t>(cc)] = s;
-        shift[static_cast<size_t>(cc)] = (pb ? pb[cc] : 0.0f) - pm[cc] * s;
+        scale[cc] = s;
+        shift[cc] = (pb ? pb[cc] : 0.0f) - pm[cc] * s;
     }
     for (int64_t img = 0; img < n; ++img) {
         for (int64_t cc = 0; cc < c; ++cc) {
-            float s = scale[static_cast<size_t>(cc)];
-            float t = shift[static_cast<size_t>(cc)];
+            float s = scale[cc];
+            float t = shift[cc];
             const float *row = px + (img * c + cc) * hw;
             float *orow = po + (img * c + cc) * hw;
             for (int64_t j = 0; j < hw; ++j)
@@ -373,16 +377,18 @@ batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
 }
 
 Tensor
-softmax(const Tensor &x, int dim)
+softmax(const Tensor &x, int dim, Tensor dst)
 {
     int r = static_cast<int>(x.shape().rank());
     int nd = dim < 0 ? dim + r : dim;
     if (nd != r - 1 || !fastF32(x))
-        return kernels::softmax(x, dim);  // permuting case: reference
+        return kernels::softmax(x, dim,
+                                std::move(dst));  // permuting case:
+                                                  // reference
 
     int64_t d = x.shape().dim(-1);
     int64_t rows = x.numel() / d;
-    Tensor out(x.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = x.dataF32();
     float *po = out.dataF32();
     for (int64_t i = 0; i < rows; ++i) {
@@ -416,11 +422,11 @@ namespace {
  */
 template <typename F, typename Ref>
 Tensor
-unaryFast(const Tensor &x, F f, Ref ref)
+unaryFast(const Tensor &x, F f, Ref ref, Tensor dst)
 {
     if (!fastF32(x))
-        return ref(x);
-    Tensor out(x.shape(), DType::F32);
+        return ref(x, std::move(dst));
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
     const float *px = x.dataF32();
     float *po = out.dataF32();
     int64_t n = x.numel();
@@ -432,11 +438,11 @@ unaryFast(const Tensor &x, F f, Ref ref)
 /** Same-shape contiguous-F32 binary fast path; else reference. */
 template <typename F, typename Ref>
 Tensor
-binaryFast(const Tensor &a, const Tensor &b, F f, Ref ref)
+binaryFast(const Tensor &a, const Tensor &b, F f, Ref ref, Tensor dst)
 {
     if (!fastF32(a) || !fastF32(b) || !(a.shape() == b.shape()))
-        return ref(a, b);
-    Tensor out(a.shape(), DType::F32);
+        return ref(a, b, std::move(dst));
+    Tensor out = claimOut(std::move(dst), a.shape(), DType::F32);
     const float *pa = a.dataF32();
     const float *pb = b.dataF32();
     float *po = out.dataF32();
@@ -449,83 +455,93 @@ binaryFast(const Tensor &a, const Tensor &b, F f, Ref ref)
 }  // namespace
 
 Tensor
-relu(const Tensor &x)
+relu(const Tensor &x, Tensor dst)
 {
-    return unaryFast(x, scalar::relu, kernels::relu);
+    return unaryFast(x, scalar::relu, kernels::relu, std::move(dst));
 }
 
 Tensor
-gelu(const Tensor &x)
+gelu(const Tensor &x, Tensor dst)
 {
-    return unaryFast(x, scalar::gelu, kernels::gelu);
+    return unaryFast(x, scalar::gelu, kernels::gelu, std::move(dst));
 }
 
 Tensor
-silu(const Tensor &x)
+silu(const Tensor &x, Tensor dst)
 {
-    return unaryFast(x, scalar::silu, kernels::silu);
+    return unaryFast(x, scalar::silu, kernels::silu, std::move(dst));
 }
 
 Tensor
-sigmoid(const Tensor &x)
+sigmoid(const Tensor &x, Tensor dst)
 {
-    return unaryFast(x, scalar::sigmoid, kernels::sigmoid);
+    return unaryFast(x, scalar::sigmoid, kernels::sigmoid, std::move(dst));
 }
 
 Tensor
-tanhOp(const Tensor &x)
+tanhOp(const Tensor &x, Tensor dst)
 {
-    return unaryFast(x, scalar::tanhOp, kernels::tanhOp);
+    return unaryFast(x, scalar::tanhOp, kernels::tanhOp, std::move(dst));
 }
 
 Tensor
-expOp(const Tensor &x)
+expOp(const Tensor &x, Tensor dst)
 {
-    return unaryFast(x, scalar::expOp, kernels::expOp);
+    return unaryFast(x, scalar::expOp, kernels::expOp, std::move(dst));
 }
 
 Tensor
-add(const Tensor &a, const Tensor &b)
-{
-    return binaryFast(
-        a, b, [](float x, float y) { return x + y; }, kernels::add);
-}
-
-Tensor
-sub(const Tensor &a, const Tensor &b)
+add(const Tensor &a, const Tensor &b, Tensor dst)
 {
     return binaryFast(
-        a, b, [](float x, float y) { return x - y; }, kernels::sub);
+        a, b, [](float x, float y) { return x + y; }, kernels::add,
+        std::move(dst));
 }
 
 Tensor
-mul(const Tensor &a, const Tensor &b)
+sub(const Tensor &a, const Tensor &b, Tensor dst)
 {
     return binaryFast(
-        a, b, [](float x, float y) { return x * y; }, kernels::mul);
+        a, b, [](float x, float y) { return x - y; }, kernels::sub,
+        std::move(dst));
 }
 
 Tensor
-div(const Tensor &a, const Tensor &b)
+mul(const Tensor &a, const Tensor &b, Tensor dst)
 {
     return binaryFast(
-        a, b, [](float x, float y) { return x / y; }, kernels::div);
+        a, b, [](float x, float y) { return x * y; }, kernels::mul,
+        std::move(dst));
 }
 
 Tensor
-addScalar(const Tensor &x, float s)
+div(const Tensor &a, const Tensor &b, Tensor dst)
+{
+    return binaryFast(
+        a, b, [](float x, float y) { return x / y; }, kernels::div,
+        std::move(dst));
+}
+
+Tensor
+addScalar(const Tensor &x, float s, Tensor dst)
 {
     return unaryFast(
         x, [s](float v) { return v + s; },
-        [s](const Tensor &t) { return kernels::addScalar(t, s); });
+        [s](const Tensor &t, Tensor d) {
+            return kernels::addScalar(t, s, std::move(d));
+        },
+        std::move(dst));
 }
 
 Tensor
-mulScalar(const Tensor &x, float s)
+mulScalar(const Tensor &x, float s, Tensor dst)
 {
     return unaryFast(
         x, [s](float v) { return v * s; },
-        [s](const Tensor &t) { return kernels::mulScalar(t, s); });
+        [s](const Tensor &t, Tensor d) {
+            return kernels::mulScalar(t, s, std::move(d));
+        },
+        std::move(dst));
 }
 
 }  // namespace opt

@@ -2,6 +2,7 @@
 #define NGB_OPS_OPTIMIZED_KERNELS_H
 
 #include "ops/scalar_ops.h"
+#include "tensor/scratch.h"
 #include "tensor/tensor.h"
 
 /**
@@ -53,23 +54,25 @@ fastF32(const Tensor &t)
 
 /**
  * @p t as a contiguous F32 tensor WITHOUT copying when it already is
- * one (the reference kernels' contiguous().to(F32) preamble copies
- * unconditionally, which costs as much as the GEMM core itself for
- * mid-sized operands). Read-only use: the result may alias @p t.
- * Shared by the optimized kernels and the fused-chain kernels, which
- * must treat operands identically to stay bit-compatible.
+ * one. When a copy is needed it comes from the thread's ScratchScope
+ * (kernel-internal lifetime), so steady-state execution performs no
+ * heap allocation for operand materialization. Read-only use: the
+ * result may alias @p t. Shared by the optimized kernels and the
+ * fused-chain kernels, which must treat operands identically to stay
+ * bit-compatible.
  */
 inline Tensor
 asF32(const Tensor &t)
 {
-    return fastF32(t) ? t : t.contiguous().to(DType::F32);
+    return toContiguousF32(t);
 }
 
 // ----- GEMM family (register-tiled core) ---------------------------------
 
-Tensor matmul(const Tensor &a, const Tensor &b);
-Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b);
-Tensor bmm(const Tensor &a, const Tensor &b);
+Tensor matmul(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b,
+              Tensor dst = {});
+Tensor bmm(const Tensor &a, const Tensor &b, Tensor dst = {});
 
 /**
  * Pack a [N,K] linear weight into the [K,N] row-major layout the GEMM
@@ -81,7 +84,8 @@ Tensor bmm(const Tensor &a, const Tensor &b);
 Tensor packWeightTranspose(const Tensor &w);
 
 /** linear() over an already-packed [K,N] weight from packWeightTranspose. */
-Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b);
+Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
+                    Tensor dst = {});
 
 /**
  * linearPacked() with a fused point-wise epilogue: @p stages are
@@ -92,7 +96,8 @@ Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b);
  * per-element order).
  */
 Tensor linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
-                       const scalar::UnaryStage *stages, size_t nStages);
+                       const scalar::UnaryStage *stages, size_t nStages,
+                       Tensor dst = {});
 
 /**
  * 2-D convolution (NCHW, im2col) through the register-tiled GEMM core
@@ -106,34 +111,36 @@ Tensor linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
  */
 Tensor conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b,
                  int stride, int padding, int groups,
-                 const scalar::UnaryStage *stages, size_t nStages);
+                 const scalar::UnaryStage *stages, size_t nStages,
+                 Tensor dst = {});
 
 // ----- Normalization ------------------------------------------------------
 
 Tensor layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-                 float eps);
+                 float eps, Tensor dst = {});
 Tensor batchNorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
-                   const Tensor &mean, const Tensor &var, float eps);
+                   const Tensor &mean, const Tensor &var, float eps,
+                   Tensor dst = {});
 
 // ----- Logit computation --------------------------------------------------
 
-Tensor softmax(const Tensor &x, int dim);
+Tensor softmax(const Tensor &x, int dim, Tensor dst = {});
 
 // ----- Elementwise --------------------------------------------------------
 
-Tensor relu(const Tensor &x);
-Tensor gelu(const Tensor &x);
-Tensor silu(const Tensor &x);
-Tensor sigmoid(const Tensor &x);
-Tensor tanhOp(const Tensor &x);
-Tensor expOp(const Tensor &x);
+Tensor relu(const Tensor &x, Tensor dst = {});
+Tensor gelu(const Tensor &x, Tensor dst = {});
+Tensor silu(const Tensor &x, Tensor dst = {});
+Tensor sigmoid(const Tensor &x, Tensor dst = {});
+Tensor tanhOp(const Tensor &x, Tensor dst = {});
+Tensor expOp(const Tensor &x, Tensor dst = {});
 
-Tensor add(const Tensor &a, const Tensor &b);
-Tensor sub(const Tensor &a, const Tensor &b);
-Tensor mul(const Tensor &a, const Tensor &b);
-Tensor div(const Tensor &a, const Tensor &b);
-Tensor addScalar(const Tensor &x, float s);
-Tensor mulScalar(const Tensor &x, float s);
+Tensor add(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor sub(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor mul(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor div(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor addScalar(const Tensor &x, float s, Tensor dst = {});
+Tensor mulScalar(const Tensor &x, float s, Tensor dst = {});
 
 }  // namespace opt
 }  // namespace kernels

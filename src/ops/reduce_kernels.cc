@@ -41,19 +41,10 @@ normDim(const Tensor &x, int dim)
     return dim;
 }
 
-}  // namespace
-
-Tensor
-softmax(const Tensor &x, int dim)
+/** Row-wise softmax of contiguous [rows, d] data. */
+void
+softmaxRows(const float *px, float *po, int64_t rows, int64_t d)
 {
-    dim = normDim(x, dim);
-    std::vector<int> perm = permToLast(x.shape().rank(), dim);
-    Tensor xl = x.permute(perm).contiguous().to(DType::F32);
-    int64_t d = xl.shape().dim(-1);
-    int64_t rows = xl.numel() / d;
-    Tensor out(xl.shape(), DType::F32);
-    const float *px = xl.dataF32();
-    float *po = out.dataF32();
     for (int64_t i = 0; i < rows; ++i) {
         const float *row = px + i * d;
         float *orow = po + i * d;
@@ -69,14 +60,37 @@ softmax(const Tensor &x, int dim)
         for (int64_t j = 0; j < d; ++j)
             orow[j] *= inv;
     }
-    return out.permute(inversePerm(perm)).contiguous();
+}
+
+}  // namespace
+
+Tensor
+softmax(const Tensor &x, int dim, Tensor dst)
+{
+    dim = normDim(x, dim);
+    int64_t rank = static_cast<int64_t>(x.shape().rank());
+    if (dim == rank - 1) {
+        // The ubiquitous case: no permutation round trip needed.
+        Tensor xl = toContiguousF32(x);
+        int64_t d = xl.shape().dim(-1);
+        Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
+        softmaxRows(xl.dataF32(), out.dataF32(), xl.numel() / d, d);
+        return out;
+    }
+    std::vector<int> perm = permToLast(x.shape().rank(), dim);
+    Tensor xl = toContiguousF32(x.permute(perm));
+    int64_t d = xl.shape().dim(-1);
+    Tensor tmp = scratchEmpty(xl.shape(), DType::F32);
+    softmaxRows(xl.dataF32(), tmp.dataF32(), xl.numel() / d, d);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
+    return out.copyFrom(tmp.permute(inversePerm(perm)));
 }
 
 Tensor
-logSoftmax(const Tensor &x, int dim)
+logSoftmax(const Tensor &x, int dim, Tensor dst)
 {
-    Tensor sm = softmax(x, dim);
-    Tensor out(sm.shape(), DType::F32);
+    Tensor sm = softmax(x, dim, scratchEmpty(x.shape(), DType::F32));
+    Tensor out = claimOut(std::move(dst), sm.shape(), DType::F32);
     float *po = out.dataF32();
     const float *ps = sm.dataF32();
     for (int64_t i = 0; i < sm.numel(); ++i)
@@ -85,17 +99,18 @@ logSoftmax(const Tensor &x, int dim)
 }
 
 std::pair<Tensor, Tensor>
-topk(const Tensor &x, int k)
+topk(const Tensor &x, int k, Tensor values_dst, Tensor indices_dst)
 {
     int64_t d = x.shape().dim(-1);
     if (k > d)
         throw std::runtime_error("topk: k > last dim");
-    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor xc = toContiguousF32(x);
     int64_t rows = xc.numel() / d;
     std::vector<int64_t> dims = x.shape().dims();
     dims.back() = k;
-    Tensor values(Shape(dims), DType::F32);
-    Tensor indices(Shape(dims), DType::I32);
+    Tensor values = claimOut(std::move(values_dst), Shape(dims), DType::F32);
+    Tensor indices =
+        claimOut(std::move(indices_dst), Shape(dims), DType::I32);
     const float *px = xc.dataF32();
     float *pv = values.dataF32();
     int32_t *pi = indices.dataI32();
@@ -116,10 +131,10 @@ topk(const Tensor &x, int k)
 }
 
 Tensor
-gather(const Tensor &x, int dim, const Tensor &index)
+gather(const Tensor &x, int dim, const Tensor &index, Tensor dst)
 {
     dim = normDim(x, dim);
-    Tensor out(index.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), index.shape(), DType::F32);
     int64_t n = index.numel();
     size_t rank = x.shape().rank();
     for (int64_t i = 0; i < n; ++i) {
@@ -140,16 +155,20 @@ gather(const Tensor &x, int dim, const Tensor &index)
 }
 
 Tensor
-cumsum(const Tensor &x, int dim)
+cumsum(const Tensor &x, int dim, Tensor dst)
 {
     dim = normDim(x, dim);
+    int64_t rank = static_cast<int64_t>(x.shape().rank());
+    bool last = dim == rank - 1;
     std::vector<int> perm = permToLast(x.shape().rank(), dim);
-    Tensor xl = x.permute(perm).contiguous().to(DType::F32);
+    Tensor xl = last ? toContiguousF32(x)
+                     : toContiguousF32(x.permute(perm));
     int64_t d = xl.shape().dim(-1);
     int64_t rows = xl.numel() / d;
-    Tensor out(xl.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::F32);
+    Tensor work = last ? out : scratchEmpty(xl.shape(), DType::F32);
     const float *px = xl.dataF32();
-    float *po = out.dataF32();
+    float *po = work.dataF32();
     for (int64_t i = 0; i < rows; ++i) {
         float acc = 0.0f;
         for (int64_t j = 0; j < d; ++j) {
@@ -157,20 +176,22 @@ cumsum(const Tensor &x, int dim)
             po[i * d + j] = acc;
         }
     }
-    return out.permute(inversePerm(perm)).contiguous();
+    if (last)
+        return out;
+    return out.copyFrom(work.permute(inversePerm(perm)));
 }
 
 Tensor
-embedding(const Tensor &ids, const Tensor &table)
+embedding(const Tensor &ids, const Tensor &table, Tensor dst)
 {
     if (table.shape().rank() != 2)
         throw std::runtime_error("embedding: table must be [V,D]");
     int64_t v = table.shape()[0], d = table.shape()[1];
-    Tensor tc = table.contiguous().to(DType::F32);
+    Tensor tc = toContiguousF32(table);
     const float *pt = tc.dataF32();
     std::vector<int64_t> dims = ids.shape().dims();
     dims.push_back(d);
-    Tensor out(Shape(dims), DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape(dims), DType::F32);
     float *po = out.dataF32();
     for (int64_t i = 0; i < ids.numel(); ++i) {
         int64_t id = static_cast<int64_t>(ids.flatAt(i));

@@ -4,6 +4,7 @@
 #include "ops/backend.h"
 #include "ops/fused_kernels.h"
 #include "ops/kernels.h"
+#include "tensor/scratch.h"
 
 /**
  * @file
@@ -12,6 +13,13 @@
  * straightforward kernels in src/ops. This is the complete backend
  * every other backend falls back to; the registry-completeness test
  * asserts it covers every concrete OpKind.
+ *
+ * Output buffers come from the context (c.out(i)): the executor's
+ * planned arena slot under arena execution, a fresh uninitialized
+ * heap tensor otherwise. Layout operators keep returning zero-copy
+ * views where the op allows it — the memory planner's alias analysis
+ * keeps the underlying buffers live — and materialize into their own
+ * output buffer only where they would have copied anyway.
  */
 
 namespace ngb {
@@ -24,32 +32,37 @@ void
 registerGemmOps(Backend &b)
 {
     b.registerKernel(OpKind::Linear, [](const KernelContext &c) {
-        return singleOutput(kn::linear(c.in(0), c.param(0), c.optBias()));
+        return singleOutput(
+            kn::linear(c.in(0), c.param(0), c.optBias(), c.out(0)));
     });
     b.registerKernel(OpKind::Int8Linear, [](const KernelContext &c) {
-        // Dynamic activation quantization, absmax weight scale.
+        // Dynamic activation quantization, absmax weight scale. The
+        // quantized operands are kernel-internal: scratch.
         float xs = kn::absmaxScale(c.in(0));
         Tensor wq = c.param(0);
         float ws = 1.0f;
         if (wq.dtype() != DType::I8) {
             ws = kn::absmaxScale(wq);
-            wq = kn::quantize(wq, ws);
+            wq = kn::quantize(wq, ws,
+                              scratchEmpty(wq.shape(), DType::I8));
         } else {
             ws = 0.05f / 127.0f * 3.0f;  // matches ParamStore I8 rounding
         }
-        Tensor xq = kn::quantize(c.in(0), xs);
-        return singleOutput(kn::int8Linear(xq, wq, c.optBias(), xs, ws));
+        Tensor xq = kn::quantize(
+            c.in(0), xs, scratchEmpty(c.in(0).shape(), DType::I8));
+        return singleOutput(
+            kn::int8Linear(xq, wq, c.optBias(), xs, ws, c.out(0)));
     });
     b.registerKernel(OpKind::Conv2d, [](const KernelContext &c) {
         return singleOutput(kn::conv2d(c.in(0), c.param(0), c.optBias(),
                               c.attrInt("stride"), c.attrInt("padding"),
-                              c.attrInt("groups", 1)));
+                              c.attrInt("groups", 1), c.out(0)));
     });
     b.registerKernel(OpKind::BMM, [](const KernelContext &c) {
-        return singleOutput(kn::bmm(c.in(0), c.in(1)));
+        return singleOutput(kn::bmm(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::MatMul, [](const KernelContext &c) {
-        return singleOutput(kn::matmul(c.in(0), c.in(1)));
+        return singleOutput(kn::matmul(c.in(0), c.in(1), c.out(0)));
     });
 }
 
@@ -57,28 +70,28 @@ void
 registerActivationOps(Backend &b)
 {
     b.registerKernel(OpKind::ReLU, [](const KernelContext &c) {
-        return singleOutput(kn::relu(c.in(0)));
+        return singleOutput(kn::relu(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::GELU, [](const KernelContext &c) {
-        return singleOutput(kn::gelu(c.in(0)));
+        return singleOutput(kn::gelu(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::SiLU, [](const KernelContext &c) {
-        return singleOutput(kn::silu(c.in(0)));
+        return singleOutput(kn::silu(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Sigmoid, [](const KernelContext &c) {
-        return singleOutput(kn::sigmoid(c.in(0)));
+        return singleOutput(kn::sigmoid(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Tanh, [](const KernelContext &c) {
-        return singleOutput(kn::tanhOp(c.in(0)));
+        return singleOutput(kn::tanhOp(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Erf, [](const KernelContext &c) {
-        return singleOutput(kn::erfOp(c.in(0)));
+        return singleOutput(kn::erfOp(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Exp, [](const KernelContext &c) {
-        return singleOutput(kn::expOp(c.in(0)));
+        return singleOutput(kn::expOp(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Log, [](const KernelContext &c) {
-        return singleOutput(kn::logOp(c.in(0)));
+        return singleOutput(kn::logOp(c.in(0), c.out(0)));
     });
 }
 
@@ -87,23 +100,23 @@ registerNormOps(Backend &b)
 {
     b.registerKernel(OpKind::LayerNorm, [](const KernelContext &c) {
         return singleOutput(kn::layerNorm(c.in(0), c.param(0), c.param(1),
-                                 c.attrFloat("eps", 1e-5)));
+                                 c.attrFloat("eps", 1e-5), c.out(0)));
     });
     KernelFn batchNorm = [](const KernelContext &c) {
         return singleOutput(kn::batchNorm2d(c.in(0), c.param(0), c.param(1),
                                    c.param(2), c.param(3),
-                                   c.attrFloat("eps", 1e-5)));
+                                   c.attrFloat("eps", 1e-5), c.out(0)));
     };
     b.registerKernel(OpKind::BatchNorm2d, batchNorm);
     b.registerKernel(OpKind::FrozenBatchNorm2d, batchNorm);
     b.registerKernel(OpKind::RMSNorm, [](const KernelContext &c) {
         return singleOutput(kn::rmsNorm(c.in(0), c.param(0),
-                               c.attrFloat("eps", 1e-6)));
+                               c.attrFloat("eps", 1e-6), c.out(0)));
     });
     b.registerKernel(OpKind::GroupNorm, [](const KernelContext &c) {
         return singleOutput(kn::groupNorm(c.in(0), c.param(0), c.param(1),
                                  c.attrInt("groups", 1),
-                                 c.attrFloat("eps", 1e-5)));
+                                 c.attrFloat("eps", 1e-5), c.out(0)));
     });
 }
 
@@ -112,48 +125,69 @@ registerElementwiseOps(Backend &b)
 {
     b.registerKernel(OpKind::Add, [](const KernelContext &c) {
         if (c.numInputs() == 1)
-            return singleOutput(kn::addScalar(c.in(0), c.attrFloat("scalar")));
-        return singleOutput(kn::add(c.in(0), c.in(1)));
+            return singleOutput(
+                kn::addScalar(c.in(0), c.attrFloat("scalar"), c.out(0)));
+        return singleOutput(kn::add(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Sub, [](const KernelContext &c) {
-        return singleOutput(kn::sub(c.in(0), c.in(1)));
+        return singleOutput(kn::sub(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Mul, [](const KernelContext &c) {
         if (c.numInputs() == 1)
-            return singleOutput(kn::mulScalar(c.in(0), c.attrFloat("scalar")));
-        return singleOutput(kn::mul(c.in(0), c.in(1)));
+            return singleOutput(
+                kn::mulScalar(c.in(0), c.attrFloat("scalar"), c.out(0)));
+        return singleOutput(kn::mul(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Div, [](const KernelContext &c) {
-        return singleOutput(kn::div(c.in(0), c.in(1)));
+        return singleOutput(kn::div(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Neg, [](const KernelContext &c) {
-        return singleOutput(kn::neg(c.in(0)));
+        return singleOutput(kn::neg(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Sqrt, [](const KernelContext &c) {
-        return singleOutput(kn::sqrtOp(c.in(0)));
+        return singleOutput(kn::sqrtOp(c.in(0), c.out(0)));
     });
     b.registerKernel(OpKind::Pow, [](const KernelContext &c) {
-        return singleOutput(kn::powScalar(c.in(0), c.attrFloat("exponent", 2.0)));
+        return singleOutput(kn::powScalar(
+            c.in(0), c.attrFloat("exponent", 2.0), c.out(0)));
     });
     b.registerKernel(OpKind::Where, [](const KernelContext &c) {
-        return singleOutput(kn::where(c.in(0), c.in(1), c.in(2)));
+        return singleOutput(
+            kn::where(c.in(0), c.in(1), c.in(2), c.out(0)));
     });
     b.registerKernel(OpKind::Softmax, [](const KernelContext &c) {
-        return singleOutput(kn::softmax(c.in(0), c.attrInt("dim")));
+        return singleOutput(
+            kn::softmax(c.in(0), c.attrInt("dim"), c.out(0)));
     });
     b.registerKernel(OpKind::LogSoftmax, [](const KernelContext &c) {
-        return singleOutput(kn::logSoftmax(c.in(0), c.attrInt("dim")));
+        return singleOutput(
+            kn::logSoftmax(c.in(0), c.attrInt("dim"), c.out(0)));
     });
 }
 
 void
 registerLayoutOps(Backend &b)
 {
-    b.registerKernel(OpKind::Reshape, [](const KernelContext &c) {
-        return singleOutput(c.in(0).reshape(c.node.outShapes[0]));
-    });
-    b.registerKernel(OpKind::View, [](const KernelContext &c) {
-        return singleOutput(c.in(0).contiguous().view(c.node.outShapes[0]));
+    // Reshape/View/Contiguous are zero-copy when the input is already
+    // contiguous; otherwise the materialization lands in the node's
+    // own output buffer instead of a fresh heap tensor.
+    KernelFn reshapeLike = [](const KernelContext &c) {
+        const Tensor &x = c.in(0);
+        if (x.isContiguous())
+            return singleOutput(x.view(c.node.outShapes[0]));
+        Tensor out = c.out(0);
+        out.copyFrom(x);
+        return singleOutput(std::move(out));
+    };
+    b.registerKernel(OpKind::Reshape, reshapeLike);
+    b.registerKernel(OpKind::View, reshapeLike);
+    b.registerKernel(OpKind::Contiguous, [](const KernelContext &c) {
+        const Tensor &x = c.in(0);
+        if (x.isContiguous())
+            return singleOutput(x);
+        Tensor out = c.out(0);
+        out.copyFrom(x);
+        return singleOutput(std::move(out));
     });
     b.registerKernel(OpKind::Permute, [](const KernelContext &c) {
         const auto &ord = c.node.attrs.getInts("order");
@@ -162,9 +196,6 @@ registerLayoutOps(Backend &b)
     });
     b.registerKernel(OpKind::Transpose, [](const KernelContext &c) {
         return singleOutput(c.in(0).transpose(c.attrInt("d0"), c.attrInt("d1")));
-    });
-    b.registerKernel(OpKind::Contiguous, [](const KernelContext &c) {
-        return singleOutput(c.in(0).contiguous());
     });
     b.registerKernel(OpKind::Slice, [](const KernelContext &c) {
         int dim = c.attrInt("dim");
@@ -183,25 +214,35 @@ registerLayoutOps(Backend &b)
     });
     b.registerKernel(OpKind::Roll, [](const KernelContext &c) {
         return singleOutput(kn::roll(c.in(0), c.node.attrs.getI("shift"),
-                            c.attrInt("dim")));
+                            c.attrInt("dim"), c.out(0)));
     });
     b.registerKernel(OpKind::Pad, [](const KernelContext &c) {
         return singleOutput(kn::pad(c.in(0), c.attrInt("dim"),
                            c.node.attrs.getI("before"),
-                           c.node.attrs.getI("after")));
+                           c.node.attrs.getI("after"), c.out(0)));
     });
     b.registerKernel(OpKind::Concat, [](const KernelContext &c) {
         std::vector<Tensor> xs;
         for (size_t i = 0; i < c.numInputs(); ++i)
             xs.push_back(c.in(i));
-        return singleOutput(kn::concat(xs, c.attrInt("dim")));
+        return singleOutput(kn::concat(xs, c.attrInt("dim"), c.out(0)));
     });
     b.registerKernel(OpKind::Split, [](const KernelContext &c) {
         auto parts = kn::split(c.in(0), c.node.attrs.getI("size", 1),
                                c.attrInt("dim"));
         std::vector<Tensor> out;
-        for (Tensor &p : parts)
-            out.push_back(p.contiguous());
+        for (size_t i = 0; i < parts.size(); ++i) {
+            if (c.alloc) {
+                // Arena execution: each part owns its planned slot (a
+                // contiguous part would otherwise alias the input
+                // buffer past its planned lifetime).
+                Tensor slot = c.out(i);
+                slot.copyFrom(parts[i]);
+                out.push_back(std::move(slot));
+            } else {
+                out.push_back(parts[i].contiguous());
+            }
+        }
         return out;
     });
 }
@@ -215,7 +256,7 @@ registerVisionOps(Backend &b)
                               c.attrFloat("score_threshold", 0.0));
         // Pad / trim to the static expected_keep size.
         int64_t want = c.node.outShapes[0][0];
-        Tensor out(Shape{want}, DType::I32);
+        Tensor out = c.out(0);
         int32_t *po = out.dataI32();
         const int32_t *pk = kept.dataI32();
         for (int64_t i = 0; i < want; ++i)
@@ -224,25 +265,25 @@ registerVisionOps(Backend &b)
     });
     b.registerKernel(OpKind::RoIAlign, [](const KernelContext &c) {
         return singleOutput(kn::roiAlign(c.in(0), c.in(1), c.attrInt("out_h"),
-                                c.attrInt("out_w")));
+                                c.attrInt("out_w"), c.out(0)));
     });
     b.registerKernel(OpKind::Interpolate, [](const KernelContext &c) {
         return singleOutput(kn::interpolateBilinear(c.in(0), c.attrInt("out_h"),
-                                           c.attrInt("out_w")));
+                                           c.attrInt("out_w"), c.out(0)));
     });
     b.registerKernel(OpKind::MaxPool2d, [](const KernelContext &c) {
         return singleOutput(kn::maxPool2d(c.in(0), c.attrInt("kernel"),
                                  c.attrInt("stride"),
-                                 c.attrInt("padding")));
+                                 c.attrInt("padding"), c.out(0)));
     });
     b.registerKernel(OpKind::AvgPool2d, [](const KernelContext &c) {
         return singleOutput(kn::avgPool2d(c.in(0), c.attrInt("kernel"),
                                  c.attrInt("stride"),
-                                 c.attrInt("padding")));
+                                 c.attrInt("padding"), c.out(0)));
     });
     b.registerKernel(OpKind::AdaptiveAvgPool2d, [](const KernelContext &c) {
         return singleOutput(kn::adaptiveAvgPool2d(c.in(0), c.attrInt("out_h"),
-                                         c.attrInt("out_w")));
+                                         c.attrInt("out_w"), c.out(0)));
     });
 }
 
@@ -250,27 +291,31 @@ void
 registerMiscOps(Backend &b)
 {
     b.registerKernel(OpKind::Embedding, [](const KernelContext &c) {
-        return singleOutput(kn::embedding(c.in(0), c.param(0)));
+        return singleOutput(kn::embedding(c.in(0), c.param(0), c.out(0)));
     });
     b.registerKernel(OpKind::Gather, [](const KernelContext &c) {
-        return singleOutput(kn::gather(c.in(0), c.attrInt("dim"), c.in(1)));
+        return singleOutput(
+            kn::gather(c.in(0), c.attrInt("dim"), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::CumSum, [](const KernelContext &c) {
-        return singleOutput(kn::cumsum(c.in(0), c.attrInt("dim")));
+        return singleOutput(
+            kn::cumsum(c.in(0), c.attrInt("dim"), c.out(0)));
     });
     b.registerKernel(OpKind::TopK, [](const KernelContext &c) {
-        auto [vals, idx] = kn::topk(c.in(0), c.attrInt("k"));
+        auto [vals, idx] =
+            kn::topk(c.in(0), c.attrInt("k"), c.out(0), c.out(1));
         std::vector<Tensor> out;
         out.push_back(std::move(vals));
         out.push_back(std::move(idx));
         return out;
     });
     b.registerKernel(OpKind::Quantize, [](const KernelContext &c) {
-        return singleOutput(kn::quantize(c.in(0), kn::absmaxScale(c.in(0))));
+        return singleOutput(
+            kn::quantize(c.in(0), kn::absmaxScale(c.in(0)), c.out(0)));
     });
     b.registerKernel(OpKind::Dequantize, [](const KernelContext &c) {
         // Symmetric round-trip: reuse the producing scale when known.
-        return singleOutput(kn::dequantize(c.in(0), 1.0f));
+        return singleOutput(kn::dequantize(c.in(0), 1.0f, c.out(0)));
     });
     // Executable fusion (applyFusion): interpret the folded chain
     // member-by-member through the ACTIVE backend (the one the

@@ -61,8 +61,8 @@ nms(const Tensor &boxes, const Tensor &scores, float iou_threshold,
     int64_t n = boxes.shape()[0];
     if (scores.numel() != n)
         throw std::runtime_error("nms: scores/boxes size mismatch");
-    Tensor bc = boxes.contiguous().to(DType::F32);
-    Tensor sc = scores.contiguous().to(DType::F32);
+    Tensor bc = toContiguousF32(boxes);
+    Tensor sc = toContiguousF32(scores);
     const float *pb = bc.dataF32();
     const float *ps = sc.dataF32();
 
@@ -89,7 +89,9 @@ nms(const Tensor &boxes, const Tensor &scores, float iou_threshold,
                 removed[j] = true;
         }
     }
-    Tensor out(Shape{static_cast<int64_t>(keep.size())}, DType::I32);
+    // Dynamic result size: scratch inside a scope, heap standalone.
+    Tensor out = scratchEmpty(Shape{static_cast<int64_t>(keep.size())},
+                              DType::I32);
     int32_t *po = out.dataI32();
     for (size_t i = 0; i < keep.size(); ++i)
         po[i] = static_cast<int32_t>(keep[i]);
@@ -97,7 +99,8 @@ nms(const Tensor &boxes, const Tensor &scores, float iou_threshold,
 }
 
 Tensor
-roiAlign(const Tensor &feat, const Tensor &rois, int out_h, int out_w)
+roiAlign(const Tensor &feat, const Tensor &rois, int out_h, int out_w,
+         Tensor dst)
 {
     if (feat.shape().rank() != 4)
         throw std::runtime_error("roiAlign: NCHW feature map required");
@@ -106,11 +109,12 @@ roiAlign(const Tensor &feat, const Tensor &rois, int out_h, int out_w)
     int64_t n = feat.shape()[0], c = feat.shape()[1];
     int64_t h = feat.shape()[2], w = feat.shape()[3];
     int64_t r = rois.shape()[0];
-    Tensor fc = feat.contiguous().to(DType::F32);
-    Tensor rc = rois.contiguous().to(DType::F32);
+    Tensor fc = toContiguousF32(feat);
+    Tensor rc = toContiguousF32(rois);
     const float *pf = fc.dataF32();
     const float *pr = rc.dataF32();
-    Tensor out(Shape{r, c, out_h, out_w}, DType::F32);
+    Tensor out =
+        claimOut(std::move(dst), Shape{r, c, out_h, out_w}, DType::F32);
     float *po = out.dataF32();
     for (int64_t ri = 0; ri < r; ++ri) {
         const float *roi = pr + ri * 5;
@@ -139,15 +143,16 @@ roiAlign(const Tensor &feat, const Tensor &rois, int out_h, int out_w)
 }
 
 Tensor
-interpolateBilinear(const Tensor &x, int out_h, int out_w)
+interpolateBilinear(const Tensor &x, int out_h, int out_w, Tensor dst)
 {
     if (x.shape().rank() != 4)
         throw std::runtime_error("interpolate: NCHW input required");
     int64_t n = x.shape()[0], c = x.shape()[1];
     int64_t h = x.shape()[2], w = x.shape()[3];
-    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor xc = toContiguousF32(x);
     const float *px = xc.dataF32();
-    Tensor out(Shape{n, c, out_h, out_w}, DType::F32);
+    Tensor out =
+        claimOut(std::move(dst), Shape{n, c, out_h, out_w}, DType::F32);
     float *po = out.dataF32();
     float sy = static_cast<float>(h) / static_cast<float>(out_h);
     float sx = static_cast<float>(w) / static_cast<float>(out_w);
@@ -170,7 +175,8 @@ interpolateBilinear(const Tensor &x, int out_h, int out_w)
 namespace {
 
 Tensor
-pool2d(const Tensor &x, int kernel, int stride, int padding, bool is_max)
+pool2d(const Tensor &x, int kernel, int stride, int padding, bool is_max,
+       Tensor dst)
 {
     if (x.shape().rank() != 4)
         throw std::runtime_error("pool2d: NCHW input required");
@@ -178,9 +184,9 @@ pool2d(const Tensor &x, int kernel, int stride, int padding, bool is_max)
     int64_t h = x.shape()[2], w = x.shape()[3];
     int64_t oh = (h + 2 * padding - kernel) / stride + 1;
     int64_t ow = (w + 2 * padding - kernel) / stride + 1;
-    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor xc = toContiguousF32(x);
     const float *px = xc.dataF32();
-    Tensor out(Shape{n, c, oh, ow}, DType::F32);
+    Tensor out = claimOut(std::move(dst), Shape{n, c, oh, ow}, DType::F32);
     float *po = out.dataF32();
     for (int64_t img = 0; img < n; ++img) {
         for (int64_t cc = 0; cc < c; ++cc) {
@@ -219,27 +225,28 @@ pool2d(const Tensor &x, int kernel, int stride, int padding, bool is_max)
 }  // namespace
 
 Tensor
-maxPool2d(const Tensor &x, int kernel, int stride, int padding)
+maxPool2d(const Tensor &x, int kernel, int stride, int padding, Tensor dst)
 {
-    return pool2d(x, kernel, stride, padding, true);
+    return pool2d(x, kernel, stride, padding, true, std::move(dst));
 }
 
 Tensor
-avgPool2d(const Tensor &x, int kernel, int stride, int padding)
+avgPool2d(const Tensor &x, int kernel, int stride, int padding, Tensor dst)
 {
-    return pool2d(x, kernel, stride, padding, false);
+    return pool2d(x, kernel, stride, padding, false, std::move(dst));
 }
 
 Tensor
-adaptiveAvgPool2d(const Tensor &x, int out_h, int out_w)
+adaptiveAvgPool2d(const Tensor &x, int out_h, int out_w, Tensor dst)
 {
     if (x.shape().rank() != 4)
         throw std::runtime_error("adaptiveAvgPool2d: NCHW input required");
     int64_t n = x.shape()[0], c = x.shape()[1];
     int64_t h = x.shape()[2], w = x.shape()[3];
-    Tensor xc = x.contiguous().to(DType::F32);
+    Tensor xc = toContiguousF32(x);
     const float *px = xc.dataF32();
-    Tensor out(Shape{n, c, out_h, out_w}, DType::F32);
+    Tensor out =
+        claimOut(std::move(dst), Shape{n, c, out_h, out_w}, DType::F32);
     float *po = out.dataF32();
     for (int64_t img = 0; img < n; ++img) {
         for (int64_t cc = 0; cc < c; ++cc) {
@@ -266,7 +273,7 @@ adaptiveAvgPool2d(const Tensor &x, int out_h, int out_w)
 }
 
 Tensor
-concat(const std::vector<Tensor> &xs, int dim)
+concat(const std::vector<Tensor> &xs, int dim, Tensor dst)
 {
     if (xs.empty())
         throw std::runtime_error("concat: empty input list");
@@ -283,12 +290,11 @@ concat(const std::vector<Tensor> &xs, int dim)
         total += t.shape()[du];
     }
     dims[du] = total;
-    Tensor out(Shape(dims), xs[0].dtype());
+    Tensor out = claimOut(std::move(dst), Shape(dims), xs[0].dtype());
     int64_t off = 0;
     for (const Tensor &t : xs) {
-        Tensor dst = out.slice(dim, off, t.shape()[du]);
-        for (int64_t i = 0; i < t.numel(); ++i)
-            dst.flatSet(i, t.flatAt(i));
+        Tensor slot = out.slice(dim, off, t.shape()[du]);
+        slot.copyFrom(t);
         off += t.shape()[du];
     }
     return out;
@@ -308,7 +314,7 @@ split(const Tensor &x, int64_t size, int dim)
 }
 
 Tensor
-roll(const Tensor &x, int64_t shift, int dim)
+roll(const Tensor &x, int64_t shift, int dim, Tensor dst)
 {
     int r = static_cast<int>(x.shape().rank());
     if (dim < 0)
@@ -317,14 +323,14 @@ roll(const Tensor &x, int64_t shift, int dim)
     int64_t extent = x.shape()[du];
     shift = ((shift % extent) + extent) % extent;
     if (shift == 0)
-        return x.clone();
+        return claimOut(std::move(dst), x.shape(), x.dtype()).copyFrom(x);
     Tensor hi = x.slice(dim, extent - shift, shift);
     Tensor lo = x.slice(dim, 0, extent - shift);
-    return concat({hi, lo}, dim);
+    return concat({hi, lo}, dim, std::move(dst));
 }
 
 Tensor
-pad(const Tensor &x, int dim, int64_t before, int64_t after)
+pad(const Tensor &x, int dim, int64_t before, int64_t after, Tensor dst)
 {
     int r = static_cast<int>(x.shape().rank());
     if (dim < 0)
@@ -332,26 +338,26 @@ pad(const Tensor &x, int dim, int64_t before, int64_t after)
     size_t du = static_cast<size_t>(dim);
     std::vector<int64_t> dims = x.shape().dims();
     dims[du] += before + after;
-    Tensor out(Shape(dims), x.dtype());
-    Tensor dst = out.slice(dim, before, x.shape()[du]);
-    for (int64_t i = 0; i < x.numel(); ++i)
-        dst.flatSet(i, x.flatAt(i));
+    Tensor out = claimOut(std::move(dst), Shape(dims), x.dtype());
+    out.fillZero();  // output may be uninitialized; pad regions are 0
+    Tensor slot = out.slice(dim, before, x.shape()[du]);
+    slot.copyFrom(x);
     return out;
 }
 
 Tensor
-quantize(const Tensor &x, float scale)
+quantize(const Tensor &x, float scale, Tensor dst)
 {
-    Tensor out(x.shape(), DType::I8);
+    Tensor out = claimOut(std::move(dst), x.shape(), DType::I8);
     for (int64_t i = 0; i < x.numel(); ++i)
         out.flatSet(i, x.flatAt(i) / scale);
     return out;
 }
 
 Tensor
-dequantize(const Tensor &x_q, float scale)
+dequantize(const Tensor &x_q, float scale, Tensor dst)
 {
-    Tensor out(x_q.shape(), DType::F32);
+    Tensor out = claimOut(std::move(dst), x_q.shape(), DType::F32);
     float *po = out.dataF32();
     for (int64_t i = 0; i < x_q.numel(); ++i)
         po[i] = x_q.flatAt(i) * scale;

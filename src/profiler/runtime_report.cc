@@ -51,6 +51,20 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
                << " us\n";
     }
 
+    const MemoryStats &m = p.memory;
+    os << "  memory: " << (m.arena ? "arena" : "heap")
+       << " execution  |  planned arena " << m.plannedArenaBytes / 1024
+       << " KiB, no-reuse " << m.plannedTotalBytes / 1024
+       << " KiB  |  measured peak " << m.boundPeakBytes / 1024
+       << " KiB (" << std::setprecision(1) << 100.0 * m.utilization()
+       << "% of plan)\n";
+    os << "    heap allocs " << m.heapAllocs << " ("
+       << m.heapAllocBytes / 1024 << " KiB), "
+       << std::setprecision(2) << m.allocsPerRequest(p.requests)
+       << "/request  |  outputs " << m.arenaTensors << " arena / "
+       << m.heapTensors << " heap  |  blocks " << m.arenaBlocks
+       << "  |  scratch hw " << m.scratchPeakBytes / 1024 << " KiB\n";
+
     os << "  measured split [" << p.backend << "]: GEMM "
        << std::setprecision(1)
        << (p.sumUs > 0 ? 100.0 * p.gemmUs() / p.sumUs : 0)

@@ -72,6 +72,16 @@ printServeReport(const ServeStats &s, std::ostream &os)
        << " misses (hit rate " << std::setprecision(1)
        << 100.0 * s.cacheHitRate() << "%)\n";
 
+    os << "  memory: " << (s.arena ? "arena" : "heap") << " execution, "
+       << s.tensorAllocs << " tensor allocs ("
+       << s.tensorAllocBytes / 1024 << " KiB) over the session, "
+       << std::setprecision(2) << s.allocsPerRequest()
+       << " allocs/request";
+    if (s.arena)
+        os << "; " << s.arenaBlocks << " pooled arena blocks ("
+           << s.arenaBlockBytes / 1024 << " KiB)";
+    os << "\n";
+
     int64_t timeout_closed = 0;
     for (const BatchRecord &b : s.batches)
         timeout_closed += b.closedByTimeout;
@@ -181,6 +191,12 @@ writeServeJson(const ServeStats &s, std::ostream &os)
     os << "  \"cache\": {\"hits\": " << s.cacheHits << ", \"misses\": "
        << s.cacheMisses << ", \"hit_rate\": " << s.cacheHitRate()
        << ", \"build_us\": " << s.engineBuildUs << "},\n";
+    os << "  \"memory\": {\"arena\": " << (s.arena ? "true" : "false")
+       << ", \"tensor_allocs\": " << s.tensorAllocs
+       << ", \"tensor_alloc_bytes\": " << s.tensorAllocBytes
+       << ", \"allocs_per_request\": " << s.allocsPerRequest()
+       << ", \"arena_blocks\": " << s.arenaBlocks
+       << ", \"arena_block_bytes\": " << s.arenaBlockBytes << "},\n";
     os << "  \"batches\": " << s.batches.size() << ",\n";
     os << "  \"mean_batch_size\": " << s.meanBatchSize() << ",\n";
     os << "  \"batch_size_hist\": {";

@@ -107,7 +107,12 @@ quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
         std::vector<int64_t> odims = xs.dims();
         odims.back() = out_features;
         lin.outShapes = {Shape(odims)};
-        lin.outDtypes = {DType::I32};
+        // The executable kernel fuses the x_scale*w_scale rescale into
+        // the accumulator write-out, so the node's concrete output is
+        // F32 (same element size as the modeled i32 accumulator, so
+        // cost-model byte counts are unchanged). Declared dtypes are
+        // enforced now that output buffers are allocator-provided.
+        lin.outDtypes = {DType::F32};
         lin.paramShapes = {Shape{out_features, k}};
         lin.paramDtype = DType::I8;
         if (bias)

@@ -1,7 +1,11 @@
 #include "runtime/batch_driver.h"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
+
+#include "tensor/scratch.h"
 
 namespace ngb {
 
@@ -45,23 +49,26 @@ buildEnginePlan(const Graph &g)
                 .push_back(static_cast<int>(id));
 
     plan->params.materialize(g);
+    plan->arenas.configure(plan->memplan.arenaBytes);
     plan->planUs = elapsedUsSince(t0);
     return plan;
 }
 
 BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
-                         const Backend &backend)
-    : BatchDriver(g, pool, buildEnginePlan(g), backend)
+                         const Backend &backend, bool arena)
+    : BatchDriver(g, pool, buildEnginePlan(g), backend, arena)
 {
 }
 
 BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
                          std::shared_ptr<EnginePlan> plan,
-                         const Backend &backend)
-    : g_(g), pool_(pool), plan_(std::move(plan)), backend_(backend)
+                         const Backend &backend, bool arena)
+    : g_(g), pool_(pool), plan_(std::move(plan)), backend_(backend),
+      arena_(arena)
 {
     if (!plan_)
         throw std::runtime_error("BatchDriver: null EnginePlan");
+    arena_ = arena_ && plan_->memplan.arenaBytes > 0;
     // Backend warm-up (e.g. packed Linear weights) happens here, with
     // planning, so request timings never include first-touch
     // preprocessing. Idempotent on a shared plan: derived state is
@@ -75,7 +82,7 @@ BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
 
 std::vector<Tensor>
 BatchDriver::runOne(const std::vector<Tensor> &inputs,
-                    std::vector<double> &node_us)
+                    std::vector<double> &node_us, RequestMemory &mem)
 {
     const auto &gin = g_.graphInputs();
     if (inputs.size() != gin.size())
@@ -111,6 +118,14 @@ BatchDriver::runOne(const std::vector<Tensor> &inputs,
     // lock-held time is one map lookup.
     ParamStore &params = plan_->params;
 
+    // One pooled arena block per in-flight request: planned node
+    // outputs land at their planned offsets, zero mallocs steady
+    // state. The block recycles once the caller drops the outputs.
+    std::unique_ptr<ArenaAllocator> arena_alloc;
+    if (arena_)
+        arena_alloc = std::make_unique<ArenaAllocator>(
+            plan_->memplan, plan_->arenas.acquire());
+
     const std::vector<int> &order = plan_->sched.order();
     for (size_t step = 0; step < order.size(); ++step) {
         const Node &n = g_.node(order[step]);
@@ -124,12 +139,20 @@ BatchDriver::runOne(const std::vector<Tensor> &inputs,
                         n.name);
                 results[id] = {params.get(n, 0)};
             } else {
-                results[id] = evalNode(n, lookup, params, backend_);
+                ScratchScope scratch;  // node-lifetime temporaries
+                results[id] = evalNode(n, lookup, params, backend_,
+                                       arena_alloc.get());
             }
             node_us[id] += elapsedUsSince(k0);
         }
         for (int rid : plan_->releaseAfterStep[step])
             results[static_cast<size_t>(rid)].clear();
+    }
+
+    if (arena_alloc) {
+        mem.boundPeakBytes = arena_alloc->boundPeakBytes();
+        mem.arenaTensors = arena_alloc->planned();
+        mem.heapTensors = arena_alloc->fallbacks();
     }
 
     std::vector<Tensor> outs;
@@ -144,13 +167,16 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests)
     std::vector<std::vector<Tensor>> outputs(requests.size());
     std::vector<std::vector<double>> node_us(
         requests.size(), std::vector<double>(g_.size(), 0));
+    std::vector<RequestMemory> req_mem(requests.size());
 
     for ([[maybe_unused]] const auto &ws : pool_.drainStats())
         ;  // reset pre-run counters
+    uint64_t allocs0 = Storage::heapAllocCount();
+    uint64_t alloc_bytes0 = Storage::heapAllocBytes();
 
     auto wall0 = Clock::now();
     pool_.parallelFor(requests.size(), [&](size_t r, int) {
-        outputs[r] = runOne(requests[r], node_us[r]);
+        outputs[r] = runOne(requests[r], node_us[r], req_mem[r]);
     });
     profile_.wallUs = elapsedUsSince(wall0);
 
@@ -173,6 +199,26 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests)
         profile_.threadBusyUs.push_back(ws.busyUs);
         profile_.steals += ws.steals;
     }
+
+    profile_.memory = MemoryStats{};
+    profile_.memory.arena = arena_;
+    profile_.memory.plannedArenaBytes = plan_->memplan.arenaBytes;
+    profile_.memory.plannedTotalBytes = plan_->memplan.totalBytes;
+    profile_.memory.heapAllocs =
+        static_cast<int64_t>(Storage::heapAllocCount() - allocs0);
+    profile_.memory.heapAllocBytes =
+        static_cast<int64_t>(Storage::heapAllocBytes() - alloc_bytes0);
+    profile_.memory.scratchPeakBytes =
+        ScratchArena::globalHighWaterBytes();
+    for (const RequestMemory &m : req_mem) {
+        profile_.memory.boundPeakBytes = std::max(
+            profile_.memory.boundPeakBytes, m.boundPeakBytes);
+        profile_.memory.arenaTensors += m.arenaTensors;
+        profile_.memory.heapTensors += m.heapTensors;
+    }
+    if (arena_)
+        profile_.memory.arenaBlocks =
+            static_cast<int64_t>(plan_->arenas.blocks());
     return outputs;
 }
 

@@ -7,6 +7,7 @@
 #include "graph/executor.h"
 #include "graph/node_eval.h"
 #include "graph/schedule.h"
+#include "runtime/arena.h"
 #include "runtime/memory_planner.h"
 #include "runtime/runtime_profile.h"
 #include "runtime/thread_pool.h"
@@ -31,6 +32,13 @@ struct EnginePlan {
 
     /** Node ids droppable after each position in schedule order. */
     std::vector<std::vector<int>> releaseAfterStep;
+
+    /**
+     * Arena blocks for arena-enabled drivers of this plan, one per
+     * in-flight request slot, recycled across requests (and across
+     * every driver/engine sharing the plan) as callers drop outputs.
+     */
+    ArenaPool arenas;
 
     double planUs = 0;  ///< wall time spent planning + materializing
 };
@@ -64,16 +72,27 @@ class BatchDriver
   public:
     /** Plan internally (schedule + arena + params) for @p g. */
     BatchDriver(const Graph &g, ThreadPool &pool,
-                const Backend &backend = defaultBackend());
+                const Backend &backend = defaultBackend(),
+                bool arena = arenaEnabledByEnv());
 
     /** Adopt an already-built @p plan for @p g (must match). */
     BatchDriver(const Graph &g, ThreadPool &pool,
                 std::shared_ptr<EnginePlan> plan,
-                const Backend &backend = defaultBackend());
+                const Backend &backend = defaultBackend(),
+                bool arena = arenaEnabledByEnv());
 
     /**
      * Execute every request (one vector of graph-input tensors each)
      * and return per-request graph outputs, in request order.
+     *
+     * Arena mode: each request's outputs are VIEWS into that
+     * request's pooled arena block, so retaining them pins the whole
+     * block (plan.arenaBytes — the request's full intermediate
+     * footprint, not just the output bytes) until they are dropped.
+     * Callers that keep outputs long-term should clone() them out,
+     * the way the serve driver's collection sink does; callers that
+     * consume and drop them (the steady-state serving loop) recycle
+     * blocks automatically and allocate nothing.
      */
     std::vector<std::vector<Tensor>>
     run(const std::vector<std::vector<Tensor>> &requests);
@@ -86,15 +105,24 @@ class BatchDriver
     const MemoryPlan &memoryPlan() const { return plan_->memplan; }
     ParamStore &params() { return plan_->params; }
     const Backend &backend() const { return backend_; }
+    bool arenaEnabled() const { return arena_; }
 
   private:
+    struct RequestMemory {
+        int64_t boundPeakBytes = 0;
+        int64_t arenaTensors = 0;
+        int64_t heapTensors = 0;
+    };
+
     std::vector<Tensor> runOne(const std::vector<Tensor> &inputs,
-                               std::vector<double> &node_us);
+                               std::vector<double> &node_us,
+                               RequestMemory &mem);
 
     const Graph &g_;
     ThreadPool &pool_;
     std::shared_ptr<EnginePlan> plan_;
     const Backend &backend_;
+    bool arena_ = false;
 
     RuntimeProfile profile_;
 };

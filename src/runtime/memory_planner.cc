@@ -71,10 +71,43 @@ class Arena
 const TensorPlacement *
 MemoryPlan::find(Value v) const
 {
+    if (!index_.empty() || placements.empty()) {
+        auto it = index_.find(key(v));
+        return it != index_.end() ? &placements[it->second] : nullptr;
+    }
+    // Hand-built plan without an index (tests): linear fallback.
     for (const TensorPlacement &p : placements)
         if (p.value == v)
             return &p;
     return nullptr;
+}
+
+void
+MemoryPlan::buildIndex()
+{
+    index_.clear();
+    index_.reserve(placements.size());
+    for (size_t i = 0; i < placements.size(); ++i)
+        index_[key(placements[i].value)] = i;
+}
+
+bool
+mayAliasInput(OpKind k)
+{
+    switch (k) {
+      case OpKind::Reshape:
+      case OpKind::View:
+      case OpKind::Permute:
+      case OpKind::Transpose:
+      case OpKind::Contiguous:
+      case OpKind::Expand:
+      case OpKind::Squeeze:
+      case OpKind::Unsqueeze:
+      case OpKind::Slice:
+        return true;
+      default:
+        return false;
+    }
 }
 
 MemoryPlan
@@ -128,6 +161,23 @@ planMemory(const Graph &g, const Schedule &s)
         if (TensorPlacement *p = placementOf(v))
             p->lastLevel = last_level;
 
+    // Alias extension: a view-producing op's output shares its input's
+    // bytes, so the input buffer must stay live as long as the view
+    // (and transitively, views of views). Walking node ids in reverse
+    // (ids are topological: builders only reference existing nodes)
+    // propagates a whole chain's last reader to every buffer along it
+    // in one pass.
+    const std::vector<Node> &nodes = g.nodes();
+    for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+        const Node &n = *it;
+        if (!mayAliasInput(n.kind) || n.inputs.empty())
+            continue;
+        TensorPlacement *self = placementOf({n.id, 0});
+        TensorPlacement *src = placementOf(n.inputs[0]);
+        if (self && src)
+            src->lastLevel = std::max(src->lastLevel, self->lastLevel);
+    }
+
     // Sweep levels in order: free expired tensors, then place the
     // level's new tensors biggest-first (greedy best-fit by size).
     std::map<int, std::vector<TensorPlacement *>> by_first, by_last;
@@ -158,6 +208,7 @@ planMemory(const Graph &g, const Schedule &s)
             p->offset = arena.allocate(p->bytes);
     }
     plan.arenaBytes = arena.peak();
+    plan.buildIndex();
     return plan;
 }
 

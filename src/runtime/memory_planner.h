@@ -2,6 +2,7 @@
 #define NGB_RUNTIME_MEMORY_PLANNER_H
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -37,8 +38,25 @@ struct MemoryPlan {
                    : 1.0;
     }
 
-    /** Placement for @p v, or nullptr if not planned (inputs/params). */
+    /**
+     * Placement for @p v, or nullptr if not planned (inputs/params).
+     * O(1): the arena executors resolve every node output of every
+     * request through this, so planMemory indexes the placements;
+     * call buildIndex() after mutating placements by hand.
+     */
     const TensorPlacement *find(Value v) const;
+
+    /** (Re)build the Value -> placement index over `placements`. */
+    void buildIndex();
+
+  private:
+    static int64_t key(Value v)
+    {
+        return (static_cast<int64_t>(v.node) << 32) |
+               static_cast<int64_t>(static_cast<uint32_t>(v.index));
+    }
+
+    std::unordered_map<int64_t, size_t> index_;
 };
 
 /**
@@ -56,8 +74,21 @@ struct MemoryPlan {
  *
  * Graph inputs are caller-owned and learned parameters live in the
  * ParamStore for the process lifetime, so neither is planned.
+ *
+ * Alias awareness: layout operators that may return zero-copy VIEWS
+ * of their input (Reshape/View/Permute/Transpose/Contiguous/Expand/
+ * Squeeze/Unsqueeze/Slice — see mayAliasInput) do not copy bytes, so
+ * a consumer of the view actually reads the producer's buffer. Every
+ * placement along such an alias chain therefore has its lifetime
+ * extended to the chain's last reader, keeping the underlying arena
+ * slot unreused while any view of it is live. The alias ops keep
+ * their own placements (used when they must materialize, e.g. a
+ * Reshape of non-contiguous data).
  */
 MemoryPlan planMemory(const Graph &g, const Schedule &s);
+
+/** True for ops whose output may be a zero-copy view of input 0. */
+bool mayAliasInput(OpKind k);
 
 /**
  * Check the invariant tests rely on: no two placements whose

@@ -1,7 +1,10 @@
 #include "runtime/parallel_executor.h"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
+
+#include "tensor/scratch.h"
 
 namespace ngb {
 
@@ -12,21 +15,24 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(const Graph &g, ThreadPool &pool,
-                                   const Backend &backend)
-    : ParallelExecutor(g, Schedule::wavefront(g), pool, backend)
+                                   const Backend &backend, bool arena)
+    : ParallelExecutor(g, Schedule::wavefront(g), pool, backend, arena)
 {
 }
 
 ParallelExecutor::ParallelExecutor(const Graph &g, Schedule sched,
                                    ThreadPool &pool,
-                                   const Backend &backend)
+                                   const Backend &backend, bool arena)
     : g_(g), sched_(std::move(sched)), pool_(pool), backend_(backend),
-      params_(0x5eed)
+      params_(0x5eed), arena_(arena)
 {
     auto t0 = Clock::now();
     profile_.backend = backend_.name();
     profile_.fused = g_.hasFusedNodes();
     memplan_ = planMemory(g_, sched_);
+    arena_ = arena_ && memplan_.arenaBytes > 0;
+    if (arena_)
+        arenaPool_.configure(memplan_.arenaBytes);
 
     // Per-node last-use level -> nodes releasable after each level.
     // The final level is never released: graph outputs live there.
@@ -93,6 +99,15 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
         reset_baseline += ws.busyUs;  // discard pre-run counters
     (void)reset_baseline;
 
+    // Arena execution: bind every planned output of this run to its
+    // offset inside one pooled block (per-request slot).
+    std::unique_ptr<ArenaAllocator> arena_alloc;
+    if (arena_)
+        arena_alloc = std::make_unique<ArenaAllocator>(
+            memplan_, arenaPool_.acquire());
+    uint64_t allocs0 = Storage::heapAllocCount();
+    uint64_t alloc_bytes0 = Storage::heapAllocBytes();
+
     profile_.levels.clear();
     auto wall0 = Clock::now();
     for (size_t lvl = 0; lvl < sched_.numLevels(); ++lvl) {
@@ -111,7 +126,9 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
                         "tensor: " + n.name);
                 results[id] = {params_.get(n, 0)};
             } else {
-                results[id] = evalNode(n, lookup, params_, backend_);
+                ScratchScope scratch;  // node-lifetime temporaries
+                results[id] = evalNode(n, lookup, params_, backend_,
+                                       arena_alloc.get());
             }
             node_us[id] = elapsedUsSince(k0);
         });
@@ -140,6 +157,24 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
     for (const ThreadPool::WorkerStats &ws : pool_.drainStats()) {
         profile_.threadBusyUs.push_back(ws.busyUs);
         profile_.steals += ws.steals;
+    }
+
+    profile_.memory = MemoryStats{};
+    profile_.memory.arena = arena_;
+    profile_.memory.plannedArenaBytes = memplan_.arenaBytes;
+    profile_.memory.plannedTotalBytes = memplan_.totalBytes;
+    profile_.memory.heapAllocs =
+        static_cast<int64_t>(Storage::heapAllocCount() - allocs0);
+    profile_.memory.heapAllocBytes =
+        static_cast<int64_t>(Storage::heapAllocBytes() - alloc_bytes0);
+    profile_.memory.scratchPeakBytes =
+        ScratchArena::globalHighWaterBytes();
+    if (arena_alloc) {
+        profile_.memory.boundPeakBytes = arena_alloc->boundPeakBytes();
+        profile_.memory.arenaTensors = arena_alloc->planned();
+        profile_.memory.heapTensors = arena_alloc->fallbacks();
+        profile_.memory.arenaBlocks =
+            static_cast<int64_t>(arenaPool_.blocks());
     }
 
     std::vector<Tensor> outs;

@@ -6,6 +6,7 @@
 #include "graph/executor.h"
 #include "graph/node_eval.h"
 #include "graph/schedule.h"
+#include "runtime/arena.h"
 #include "runtime/memory_planner.h"
 #include "runtime/runtime_profile.h"
 #include "runtime/thread_pool.h"
@@ -27,16 +28,25 @@ namespace ngb {
  * level has passed (the lifetimes the MemoryPlanner computes), so
  * resident activation memory tracks the live set instead of the whole
  * graph.
+ *
+ * With @p arena enabled (default: $NGB_ARENA), the memory plan is
+ * EXECUTED rather than advisory: every planned node output is bound
+ * to its offset inside a pooled arena block, so a warmed-up run
+ * performs zero tensor mallocs and zero memsets. Outputs are returned
+ * as views into the block; the pool recycles a block automatically
+ * once the caller drops them. Results are bit-identical either way.
  */
 class ParallelExecutor
 {
   public:
     /** Uses an internally built wavefront schedule for @p g. */
     ParallelExecutor(const Graph &g, ThreadPool &pool,
-                     const Backend &backend = defaultBackend());
+                     const Backend &backend = defaultBackend(),
+                     bool arena = arenaEnabledByEnv());
 
     ParallelExecutor(const Graph &g, Schedule sched, ThreadPool &pool,
-                     const Backend &backend = defaultBackend());
+                     const Backend &backend = defaultBackend(),
+                     bool arena = arenaEnabledByEnv());
 
     /** Run the graph; same contract as Executor::run. */
     std::vector<Tensor> run(const std::vector<Tensor> &inputs);
@@ -48,6 +58,7 @@ class ParallelExecutor
     const MemoryPlan &memoryPlan() const { return memplan_; }
     ParamStore &params() { return params_; }
     const Backend &backend() const { return backend_; }
+    bool arenaEnabled() const { return arena_; }
 
   private:
     const Graph &g_;
@@ -56,6 +67,8 @@ class ParallelExecutor
     const Backend &backend_;
     MemoryPlan memplan_;
     ParamStore params_;
+    bool arena_ = false;
+    ArenaPool arenaPool_;
     bool warmedUp_ = false;
 
     /** Node ids whose results can be dropped after each level. */

@@ -29,6 +29,49 @@ struct LevelTiming {
 };
 
 /**
+ * Measured memory behaviour of one runtime execution: what the plan
+ * promised vs what the allocator actually did. heapAllocs counts
+ * Storage heap allocations during the measured run (process-global
+ * counters, so concurrent unrelated executors add noise — the
+ * allocation-regression tests run one driver at a time).
+ */
+struct MemoryStats {
+    bool arena = false;             ///< outputs bound to planned arenas
+    int64_t plannedArenaBytes = 0;  ///< MemoryPlan::arenaBytes
+    int64_t plannedTotalBytes = 0;  ///< no-reuse footprint
+    int64_t boundPeakBytes = 0;     ///< measured max bound arena extent
+    int64_t arenaTensors = 0;       ///< outputs served at planned offsets
+    int64_t heapTensors = 0;        ///< outputs that fell back to heap
+    int64_t heapAllocs = 0;         ///< Storage heap allocs during run
+    int64_t heapAllocBytes = 0;     ///< bytes of those allocations
+    int64_t arenaBlocks = 0;        ///< pool blocks backing the run
+
+    /**
+     * Kernel-temporary high water across all threads SINCE PROCESS
+     * START (scratch arenas are monotone per thread, so this is a
+     * process-lifetime gauge, not a per-run delta — an earlier run of
+     * a bigger model raises it for every later profile).
+     */
+    int64_t scratchPeakBytes = 0;
+
+    /** Planned-vs-measured arena utilization (1.0 = fully exercised). */
+    double utilization() const
+    {
+        return plannedArenaBytes > 0
+                   ? static_cast<double>(boundPeakBytes) /
+                         static_cast<double>(plannedArenaBytes)
+                   : 0.0;
+    }
+
+    double allocsPerRequest(int requests) const
+    {
+        return requests > 0 ? static_cast<double>(heapAllocs) /
+                                  static_cast<double>(requests)
+                            : static_cast<double>(heapAllocs);
+    }
+};
+
+/**
  * Measured (wall-clock) profile of one parallel-runtime execution —
  * the host-side counterpart of the cost-model ProfileReport. Unlike
  * the modeled numbers, these come from std::chrono around the actual
@@ -54,6 +97,9 @@ struct RuntimeProfile {
     std::vector<LevelTiming> levels;     ///< per-level wall (wavefront)
     std::vector<double> threadBusyUs;    ///< per-worker busy time
     int64_t steals = 0;                  ///< work-stealing migrations
+
+    /** Planned-vs-measured memory behaviour of the run. */
+    MemoryStats memory;
 
     /** Measured kernel time by operator category. */
     std::map<OpCategory, double> usByCategory;

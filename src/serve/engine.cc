@@ -35,8 +35,8 @@ Engine::Engine(const std::string &model, const EngineConfig &cfg,
         *graph_ = applyFusion(*graph_, executableFusionConfig());
     plan_ = buildEnginePlan(*graph_);
     backend_ = &resolveBackend(cfg, backendName);
-    driver_ =
-        std::make_unique<BatchDriver>(*graph_, pool, plan_, *backend_);
+    driver_ = std::make_unique<BatchDriver>(*graph_, pool, plan_,
+                                            *backend_, cfg.arena);
     buildUs_ = elapsedUsSince(t0);
 }
 
@@ -50,7 +50,8 @@ EngineCache::get(const std::string &model, const std::string &backend)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     EngineKey key{model, cfg_.scale, pool_.threads(),
-                  resolveBackend(cfg_, backend).name(), cfg_.fuse};
+                  resolveBackend(cfg_, backend).name(), cfg_.fuse,
+                  cfg_.arena};
     auto it = engines_.find(key);
     if (it != engines_.end()) {
         ++stats_.hits;
@@ -69,7 +70,15 @@ EngineCache::Stats
 EngineCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    Stats s = stats_;
+    for (const auto &[key, engine] : engines_) {
+        (void)key;
+        s.arenaBlocks += engine->arenaBlocks();
+        s.arenaBlockBytes +=
+            static_cast<int64_t>(engine->arenaBlocks()) *
+            engine->arenaBlockBytes();
+    }
+    return s;
 }
 
 }  // namespace serve

@@ -36,6 +36,14 @@ struct EngineConfig {
      * leg can serve the whole suite fused.
      */
     bool fuse = fuseEnabledByEnv();
+
+    /**
+     * Execute through pooled per-request arenas (the engine plan's
+     * MemoryPlan made executable): the steady-state serving loop then
+     * performs zero tensor mallocs. Defaults to $NGB_ARENA; outputs
+     * are bit-identical either way.
+     */
+    bool arena = arenaEnabledByEnv();
 };
 
 /**
@@ -52,12 +60,14 @@ struct EngineKey {
     int64_t scale = 8;
     int threads = 1;
     std::string backend = "reference";
-    bool fuse = false;  ///< engine graph was compiled with fusion
+    bool fuse = false;   ///< engine graph was compiled with fusion
+    bool arena = false;  ///< engine executes through pooled arenas
 
     bool operator<(const EngineKey &o) const
     {
-        return std::tie(model, scale, threads, backend, fuse) <
-               std::tie(o.model, o.scale, o.threads, o.backend, o.fuse);
+        return std::tie(model, scale, threads, backend, fuse, arena) <
+               std::tie(o.model, o.scale, o.threads, o.backend, o.fuse,
+                        o.arena);
     }
 };
 
@@ -91,6 +101,18 @@ class Engine
 
     /** Wall time spent building graph + plan (the cache-miss cost). */
     double buildUs() const { return buildUs_; }
+
+    /** True when this engine executes through pooled arenas. */
+    bool arenaEnabled() const { return driver_->arenaEnabled(); }
+
+    /** Arena blocks this engine's plan has materialized (0 = heap). */
+    size_t arenaBlocks() const { return plan_->arenas.blocks(); }
+
+    /** Bytes per arena block (the planned peak). */
+    int64_t arenaBlockBytes() const
+    {
+        return plan_->arenas.blockBytes();
+    }
 
     std::vector<std::vector<Tensor>>
     run(const std::vector<std::vector<Tensor>> &requests)
@@ -126,6 +148,9 @@ class EngineCache
         int64_t misses = 0;
         double buildUs = 0;  ///< total planning time across misses
         size_t engines = 0;
+
+        size_t arenaBlocks = 0;      ///< pooled blocks across engines
+        int64_t arenaBlockBytes = 0; ///< total bytes of those blocks
     };
 
     explicit EngineCache(ThreadPool &pool, EngineConfig cfg = {});

@@ -142,13 +142,21 @@ runServe(const ServeConfig &cfg, ThreadPool &pool)
 
     ServeResult result;
     const bool collect = cfg.verify || cfg.collectOutputs;
+    const bool arena = cfg.engine.arena;
     DynamicBatcher::Sink sink;
     if (collect)
-        sink = [&result](const RequestRecord &rec,
-                         const std::vector<Tensor> &outs) {
-            // Dispatch-thread only; Tensor copies are shallow views.
+        sink = [&result, arena](const RequestRecord &rec,
+                                const std::vector<Tensor> &outs) {
+            // Dispatch-thread only. Heap engines: shallow views are
+            // free to retain. Arena engines: retained views would pin
+            // their request's arena block for the whole session, so
+            // deep-copy and let the pool recycle the block.
+            std::vector<Tensor> kept;
+            kept.reserve(outs.size());
+            for (const Tensor &t : outs)
+                kept.push_back(arena ? t.clone() : t);
             result.outputs.push_back(
-                {rec.id, rec.model, rec.seed, outs});
+                {rec.id, rec.model, rec.seed, std::move(kept)});
         };
 
     DynamicBatcher batcher(queue, cache, cfg.policy, std::move(sink));
@@ -161,6 +169,8 @@ runServe(const ServeConfig &cfg, ThreadPool &pool)
     if (cfg.clients <= 0)
         trace = poissonTrace(cfg.mix, cfg.rps, cfg.durationS, cfg.seed);
 
+    uint64_t allocs0 = Storage::heapAllocCount();
+    uint64_t alloc_bytes0 = Storage::heapAllocBytes();
     auto t0 = Clock::now();
     batcher.start();
     if (cfg.clients > 0)
@@ -175,6 +185,16 @@ runServe(const ServeConfig &cfg, ThreadPool &pool)
     result.stats.offered = counters.offered;
     result.stats.admitted = counters.admitted;
     result.stats.rejected = counters.rejected;
+
+    result.stats.arena = arena;
+    result.stats.tensorAllocs =
+        static_cast<int64_t>(Storage::heapAllocCount() - allocs0);
+    result.stats.tensorAllocBytes =
+        static_cast<int64_t>(Storage::heapAllocBytes() - alloc_bytes0);
+    auto cache_stats = cache.stats();
+    result.stats.arenaBlocks =
+        static_cast<int64_t>(cache_stats.arenaBlocks);
+    result.stats.arenaBlockBytes = cache_stats.arenaBlockBytes;
 
     if (cfg.verify)
         verifyAgainstSerial(result, cache);

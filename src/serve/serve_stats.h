@@ -65,6 +65,27 @@ struct ServeStats {
     int64_t cacheMisses = 0;
     double engineBuildUs = 0;  ///< total planning time on cache misses
 
+    // -- Memory behaviour of the serving session ----------------------
+
+    bool arena = false;          ///< engines executed through arenas
+    int64_t tensorAllocs = 0;    ///< Storage heap allocs during serving
+    int64_t tensorAllocBytes = 0;
+    int64_t arenaBlocks = 0;     ///< pooled blocks across all engines
+    int64_t arenaBlockBytes = 0; ///< total bytes of those blocks
+
+    /**
+     * Heap tensor allocations per completed request over the whole
+     * session (includes warm-up: engine builds and pool growth — a
+     * steady-state loop adds zero, so this tends to 0 as sessions
+     * lengthen with arenas on).
+     */
+    double allocsPerRequest() const
+    {
+        return completed > 0 ? static_cast<double>(tensorAllocs) /
+                                   static_cast<double>(completed)
+                             : static_cast<double>(tensorAllocs);
+    }
+
     double throughputRps() const
     {
         return durationUs > 0

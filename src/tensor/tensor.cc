@@ -1,11 +1,105 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 #include <stdexcept>
 
 namespace ngb {
+
+namespace {
+
+// Process-wide owning-storage accounting. Atomics, not a lock: the
+// counters sit on every kernel-output allocation.
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_live_bytes{0};
+
+// -1 = read $NGB_POISON on first use; 0/1 = explicit.
+std::atomic<int> g_poison{-1};
+
+void
+bumpLive(int64_t delta)
+{
+    int64_t live = g_live_bytes.fetch_add(delta) + delta;
+    if (delta > 0)
+        atomicStoreMax(g_peak_live_bytes, live);
+}
+
+}  // namespace
+
+Storage::Storage(size_t bytes, bool zero)
+    : owned_(zero ? new uint8_t[bytes]() : new uint8_t[bytes]),
+      data_(owned_.get()),
+      bytes_(bytes)
+{
+    if (!zero && poisonEnabled())
+        std::memset(data_, kPoisonByte, bytes_);
+    g_alloc_count.fetch_add(1);
+    g_alloc_bytes.fetch_add(bytes_);
+    bumpLive(static_cast<int64_t>(bytes_));
+}
+
+Storage::Storage(void *data, size_t bytes)
+    : data_(static_cast<uint8_t *>(data)), bytes_(bytes)
+{
+}
+
+Storage::~Storage()
+{
+    if (owned_)
+        bumpLive(-static_cast<int64_t>(bytes_));
+}
+
+uint64_t
+Storage::heapAllocCount()
+{
+    return g_alloc_count.load();
+}
+
+uint64_t
+Storage::heapAllocBytes()
+{
+    return g_alloc_bytes.load();
+}
+
+int64_t
+Storage::liveBytes()
+{
+    return g_live_bytes.load();
+}
+
+int64_t
+Storage::peakLiveBytes()
+{
+    return g_peak_live_bytes.load();
+}
+
+void
+Storage::resetPeakLiveBytes()
+{
+    g_peak_live_bytes.store(g_live_bytes.load());
+}
+
+bool
+Storage::poisonEnabled()
+{
+    int state = g_poison.load();
+    if (state < 0) {
+        const char *env = std::getenv("NGB_POISON");
+        state = env && *env && std::string(env) != "0" ? 1 : 0;
+        g_poison.store(state);
+    }
+    return state == 1;
+}
+
+void
+Storage::setPoison(bool on)
+{
+    g_poison.store(on ? 1 : 0);
+}
 
 Tensor::Tensor(Shape shape, DType dtype)
     : storage_(std::make_shared<Storage>(
@@ -28,6 +122,33 @@ Tensor::Tensor(std::shared_ptr<Storage> storage, Shape shape,
 }
 
 Tensor
+Tensor::empty(const Shape &shape, DType dtype)
+{
+    Tensor t;
+    t.storage_ = std::make_shared<Storage>(
+        static_cast<size_t>(shape.numel()) * dtypeSize(dtype),
+        /*zero=*/false);
+    t.shape_ = shape;
+    t.strides_ = shape.contiguousStrides();
+    t.offset_ = 0;
+    t.dtype_ = dtype;
+    return t;
+}
+
+Tensor
+Tensor::fromExternal(void *data, const Shape &shape, DType dtype)
+{
+    Tensor t;
+    t.storage_ = std::make_shared<Storage>(
+        data, static_cast<size_t>(shape.numel()) * dtypeSize(dtype));
+    t.shape_ = shape;
+    t.strides_ = shape.contiguousStrides();
+    t.offset_ = 0;
+    t.dtype_ = dtype;
+    return t;
+}
+
+Tensor
 Tensor::zeros(const Shape &shape, DType dtype)
 {
     return Tensor(shape, dtype);
@@ -36,7 +157,7 @@ Tensor::zeros(const Shape &shape, DType dtype)
 Tensor
 Tensor::full(const Shape &shape, float value, DType dtype)
 {
-    Tensor t(shape, dtype);
+    Tensor t = empty(shape, dtype);
     for (int64_t i = 0; i < t.numel(); ++i)
         t.flatSet(i, value);
     return t;
@@ -45,7 +166,7 @@ Tensor::full(const Shape &shape, float value, DType dtype)
 Tensor
 Tensor::randn(const Shape &shape, uint64_t seed, float std)
 {
-    Tensor t(shape, DType::F32);
+    Tensor t = empty(shape, DType::F32);
     std::mt19937_64 rng(seed);
     std::normal_distribution<float> dist(0.0f, std);
     float *p = t.dataF32();
@@ -57,7 +178,7 @@ Tensor::randn(const Shape &shape, uint64_t seed, float std)
 Tensor
 Tensor::arange(const Shape &shape, float step)
 {
-    Tensor t(shape, DType::F32);
+    Tensor t = empty(shape, DType::F32);
     float *p = t.dataF32();
     for (int64_t i = 0; i < t.numel(); ++i)
         p[i] = static_cast<float>(i) * step;
@@ -278,10 +399,7 @@ Tensor::contiguous() const
 {
     if (isContiguous())
         return *this;
-    Tensor out(shape_, dtype_);
-    for (int64_t i = 0; i < numel(); ++i)
-        out.flatSet(i, flatAt(i));
-    return out;
+    return Tensor::empty(shape_, dtype_).copyFrom(*this);
 }
 
 Tensor
@@ -347,19 +465,47 @@ Tensor::expand(const Shape &shape) const
 Tensor
 Tensor::clone() const
 {
-    Tensor out(shape_, dtype_);
-    for (int64_t i = 0; i < numel(); ++i)
-        out.flatSet(i, flatAt(i));
-    return out;
+    return Tensor::empty(shape_, dtype_).copyFrom(*this);
 }
 
 Tensor
 Tensor::to(DType dtype) const
 {
-    Tensor out(shape_, dtype);
+    return Tensor::empty(shape_, dtype).copyFrom(*this);
+}
+
+Tensor &
+Tensor::copyFrom(const Tensor &src)
+{
+    if (numel() != src.numel())
+        throw std::runtime_error("copyFrom: numel mismatch " +
+                                 shape_.str() + " <- " +
+                                 src.shape().str());
+    if (dtype_ == src.dtype_ && isContiguous() && src.isContiguous()) {
+        uint8_t *dst_p = storage_->raw() + offset_ * dtypeSize(dtype_);
+        const uint8_t *src_p =
+            src.storage_->raw() + src.offset_ * dtypeSize(dtype_);
+        if (dst_p != src_p)  // memmove: source may share the buffer
+            std::memmove(dst_p, src_p, static_cast<size_t>(bytes()));
+        return *this;
+    }
     for (int64_t i = 0; i < numel(); ++i)
-        out.flatSet(i, flatAt(i));
-    return out;
+        flatSet(i, src.flatAt(i));
+    return *this;
+}
+
+Tensor &
+Tensor::fillZero()
+{
+    // All-zero bytes decode to 0 for every supported dtype.
+    if (isContiguous()) {
+        std::memset(storage_->raw() + offset_ * dtypeSize(dtype_), 0,
+                    static_cast<size_t>(bytes()));
+        return *this;
+    }
+    for (int64_t i = 0; i < numel(); ++i)
+        flatSet(i, 0.0f);
+    return *this;
 }
 
 }  // namespace ngb

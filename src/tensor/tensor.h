@@ -1,6 +1,7 @@
 #ifndef NGB_TENSOR_TENSOR_H
 #define NGB_TENSOR_TENSOR_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -11,20 +12,77 @@
 
 namespace ngb {
 
+/** Lock-free max-update for the allocation gauges. */
+inline void
+atomicStoreMax(std::atomic<int64_t> &gauge, int64_t value)
+{
+    int64_t cur = gauge.load();
+    while (value > cur && !gauge.compare_exchange_weak(cur, value)) {
+    }
+}
+
 /**
  * Reference-counted flat byte buffer backing one or more tensor views.
+ *
+ * Owning storages come from the heap and are globally counted (see
+ * heapAllocCount/liveBytes below) so the runtime can prove "zero
+ * per-request tensor mallocs" instead of asserting it. A storage can
+ * also wrap external memory it does not own — the seam the arena
+ * runtime and Tensor::fromExternal build on.
+ *
+ * Uninitialized allocation (zero = false) skips the page-touching
+ * memset that kernels immediately overwrite. With poison enabled
+ * ($NGB_POISON=1 or setPoison(true)), uninitialized buffers are filled
+ * with 0xA5 instead, so a kernel that reads its output before writing
+ * it produces loud garbage under the debug/sanitizer test legs rather
+ * than silently relying on zero fill.
  */
 class Storage
 {
   public:
-    explicit Storage(size_t bytes) : data_(bytes, 0) {}
+    /** Byte written into uninitialized buffers when poison is on. */
+    static constexpr uint8_t kPoisonByte = 0xA5;
 
-    uint8_t *raw() { return data_.data(); }
-    const uint8_t *raw() const { return data_.data(); }
-    size_t bytes() const { return data_.size(); }
+    /** Allocate a zero-filled owning buffer. */
+    explicit Storage(size_t bytes) : Storage(bytes, /*zero=*/true) {}
+
+    /** Allocate an owning buffer, uninitialized when @p zero is false. */
+    Storage(size_t bytes, bool zero);
+
+    /** Wrap @p bytes of caller-owned memory (not counted, not freed). */
+    Storage(void *data, size_t bytes);
+
+    ~Storage();
+
+    Storage(const Storage &) = delete;
+    Storage &operator=(const Storage &) = delete;
+
+    uint8_t *raw() { return data_; }
+    const uint8_t *raw() const { return data_; }
+    size_t bytes() const { return bytes_; }
+    bool ownsMemory() const { return owned_ != nullptr; }
+
+    // -- Global allocation accounting (owning storages only) -----------
+
+    /** Heap buffers allocated since process start. */
+    static uint64_t heapAllocCount();
+    /** Bytes of heap buffers allocated since process start. */
+    static uint64_t heapAllocBytes();
+    /** Bytes of owning storages currently alive. */
+    static int64_t liveBytes();
+    /** High-water mark of liveBytes() since the last reset. */
+    static int64_t peakLiveBytes();
+    /** Restart peak tracking from the current live set. */
+    static void resetPeakLiveBytes();
+
+    /** Poison-fill state (initialized once from $NGB_POISON). */
+    static bool poisonEnabled();
+    static void setPoison(bool on);
 
   private:
-    std::vector<uint8_t> data_;
+    std::unique_ptr<uint8_t[]> owned_;  ///< null for external memory
+    uint8_t *data_ = nullptr;
+    size_t bytes_ = 0;
 };
 
 /**
@@ -51,6 +109,24 @@ class Tensor
     /** Build a view over existing storage. */
     Tensor(std::shared_ptr<Storage> storage, Shape shape,
            std::vector<int64_t> strides, int64_t offset, DType dtype);
+
+    /**
+     * Allocate a contiguous tensor WITHOUT initializing its elements
+     * (poison-filled under $NGB_POISON). The allocation primitive for
+     * kernel outputs and value-filling factories — anything that fully
+     * writes its buffer and should not pay the hidden memset of the
+     * zero-filling constructor.
+     */
+    static Tensor empty(const Shape &shape, DType dtype = DType::F32);
+
+    /**
+     * A contiguous tensor view over caller-owned memory. The caller
+     * guarantees @p data outlives every view of it and holds at least
+     * shape.numel() * dtypeSize(dtype) bytes; nothing is copied,
+     * counted, or freed.
+     */
+    static Tensor fromExternal(void *data, const Shape &shape,
+                               DType dtype = DType::F32);
 
     static Tensor zeros(const Shape &shape, DType dtype = DType::F32);
     static Tensor full(const Shape &shape, float value,
@@ -119,6 +195,18 @@ class Tensor
     Tensor clone() const;
     /** Convert (copy) to another dtype. */
     Tensor to(DType dtype) const;
+
+    /**
+     * Overwrite this tensor's elements with @p src's, in logical
+     * row-major order (shapes may differ as long as numel matches —
+     * the reshape/flatten semantics). Converts through float when the
+     * dtypes differ; takes the memcpy fast path when both sides are
+     * contiguous with the same dtype. Returns *this.
+     */
+    Tensor &copyFrom(const Tensor &src);
+
+    /** Set every element to zero (bytewise for contiguous tensors). */
+    Tensor &fillZero();
 
     std::shared_ptr<Storage> storage() const { return storage_; }
     int64_t offset() const { return offset_; }
