@@ -20,6 +20,8 @@
 #include "deploy/flow.h"
 #include "deploy/fusion.h"
 #include "models/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/backend.h"
 #include "profiler/nongemm_report.h"
 #include "profiler/runtime_report.h"
@@ -73,6 +75,47 @@ struct ServeCliOpts {
     std::string admission = "block";
     uint64_t seed = 42;
 };
+
+/** Observability outputs of the executing modes (--runtime/--serve). */
+struct ObsCliOpts {
+    std::string trace;    ///< measured Chrome/Perfetto trace JSON
+    std::string metrics;  ///< metrics registry snapshot, JSON
+    std::string prom;     ///< metrics registry snapshot, Prometheus text
+
+    bool any() const
+    {
+        return !trace.empty() || !metrics.empty() || !prom.empty();
+    }
+};
+
+/**
+ * Export whatever the observability subsystem recorded: the measured
+ * span trace and/or metrics snapshots. Called after an executing mode
+ * finishes (all workers quiescent, so ring reads are race-free).
+ */
+void
+writeObsArtifacts(const ObsCliOpts &obsOut)
+{
+    if (!obsOut.trace.empty()) {
+        std::ofstream f(obsOut.trace);
+        obs::Tracer::instance().writeChromeTrace(f);
+        std::cout << "wrote " << obsOut.trace << " ("
+                  << obs::Tracer::instance().totalRecorded() << " spans";
+        if (uint64_t d = obs::Tracer::instance().totalDropped())
+            std::cout << ", " << d << " dropped";
+        std::cout << ")\n";
+    }
+    if (!obsOut.metrics.empty()) {
+        std::ofstream f(obsOut.metrics);
+        obs::MetricsRegistry::instance().writeJson(f);
+        std::cout << "wrote " << obsOut.metrics << "\n";
+    }
+    if (!obsOut.prom.empty()) {
+        std::ofstream f(obsOut.prom);
+        obs::MetricsRegistry::instance().writePrometheus(f);
+        std::cout << "wrote " << obsOut.prom << "\n";
+    }
+}
 
 /** Deterministic per-request inputs (request r perturbs the seed). */
 std::vector<Tensor>
@@ -264,7 +307,7 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
 
 int
 runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
-            const std::string &json)
+            const ObsCliOpts &obsOut, const std::string &json)
 {
     ThreadPool pool(rt.parallel ? rt.threads : 1);
     std::vector<std::string> names;
@@ -363,12 +406,14 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
             std::cout << "wrote " << json << "\n";
         }
     }
+    writeObsArtifacts(obsOut);
     return ok ? 0 : 1;
 }
 
 int
 serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
-          const ServeCliOpts &sv, const std::string &json)
+          const ServeCliOpts &sv, const ObsCliOpts &obsOut,
+          const std::string &json)
 {
     serve::ServeConfig sc;
     sc.mix = sv.mix.empty()
@@ -394,6 +439,10 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
     sc.engine.arena = rt.arenaOn();
     sc.seed = sv.seed;
     sc.verify = rt.verify;
+    // The sampler thread rewrites these live every cadence tick; the
+    // final post-drain snapshot lands in the same files.
+    sc.metricsJsonPath = obsOut.metrics;
+    sc.metricsPromPath = obsOut.prom;
 
     int threads = resolveThreads(rt.threads);
     std::cout << "== serving  mix=";
@@ -443,6 +492,10 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
         writeServeJson(result.stats, f);
         std::cout << "wrote " << json << "\n";
     }
+    // runServe already rewrote the metrics snapshots live (sampler
+    // cadence) and once post-drain; this re-render is byte-identical
+    // and exists to print the "wrote" lines and the span count.
+    writeObsArtifacts(obsOut);
     return ok ? 0 : 1;
 }
 
@@ -467,7 +520,14 @@ usage()
         "  --cat-csv FILE       write category CSV\n"
         "  --json FILE          write the full report as JSON\n"
         "  --svg FILE           write a stacked-bar SVG\n"
-        "  --trace FILE         write a Chrome trace JSON\n"
+        "  --trace FILE         write a Chrome/Perfetto trace JSON. In\n"
+        "                       the analytical bench this is the MODELED\n"
+        "                       cost-model timeline; with --runtime or\n"
+        "                       --serve it enables span tracing and\n"
+        "                       exports the MEASURED trace (queue, batch,\n"
+        "                       request, level, and per-kernel spans,\n"
+        "                       per-request trace ids). $NGB_TRACE=1\n"
+        "                       enables recording without exporting\n"
         "  --dot FILE           write the operator graph as Graphviz\n"
         "  --workload           print the Section III-C workload report\n"
         "\n"
@@ -530,6 +590,15 @@ usage()
         "                       trace and all request outputs are\n"
         "                       deterministic under a fixed seed\n"
         "\n"
+        "observability (src/obs), --runtime/--serve modes only:\n"
+        "  --metrics FILE       meter the run (counters, gauges,\n"
+        "                       log-bucketed latency histograms) and\n"
+        "                       write the registry snapshot as JSON; in\n"
+        "                       --serve mode the file is rewritten live\n"
+        "                       every sampler tick. $NGB_METRICS=1\n"
+        "                       enables metering without exporting\n"
+        "  --prom FILE          same snapshot in Prometheus text format\n"
+        "\n"
         "--threads/--scale/--seq/--verify/--backend/--fuse/--json\n"
         "apply to --serve too (fused engines are cached separately).\n";
 }
@@ -542,6 +611,7 @@ main(int argc, char **argv)
     BenchConfig cfg;
     RuntimeCli rt;
     ServeCliOpts sv;
+    ObsCliOpts obsOut;
     std::string ops_csv, cat_csv, svg, trace, json, dot;
     bool workload = false;
     bool flowFlagsUsed = false;   // --flow/--platform/--cpu-only seen
@@ -710,6 +780,10 @@ main(int argc, char **argv)
             svg = next();
         } else if (a == "--trace") {
             trace = next();
+        } else if (a == "--metrics") {
+            obsOut.metrics = next();
+        } else if (a == "--prom") {
+            obsOut.prom = next();
         } else {
             std::cerr << "unknown option: " << a << "\n";
             usage();
@@ -816,10 +890,26 @@ main(int argc, char **argv)
             }
         }
     }
+    if (obsOut.any() && !rt.enabled && !sv.enabled) {
+        std::cerr << "--metrics/--prom require --runtime or --serve "
+                     "(the analytical bench executes no kernels to "
+                     "meter)\n";
+        return 2;
+    }
     if (rt.enabled || sv.enabled) {
+        // In the executing modes --trace is the MEASURED trace: enable
+        // span recording and export what actually ran. (The analytical
+        // modes keep writing the modeled cost-model trace below.)
+        if (!trace.empty()) {
+            obsOut.trace = trace;
+            trace.clear();
+            obs::setTraceEnabled(true);
+        }
+        if (!obsOut.metrics.empty() || !obsOut.prom.empty())
+            obs::setMetricsEnabled(true);
         if (!ops_csv.empty() || !cat_csv.empty() || !svg.empty() ||
-            !trace.empty() || !dot.empty() || workload)
-            std::cerr << "note: --ops-csv/--cat-csv/--svg/--trace/--dot/"
+            !dot.empty() || workload)
+            std::cerr << "note: --ops-csv/--cat-csv/--svg/--dot/"
                          "--workload are ignored in --runtime/--serve "
                          "modes\n";
         if (rt.enabled && !json.empty() && cfg.model == "all")
@@ -836,9 +926,9 @@ main(int argc, char **argv)
 
     try {
         if (sv.enabled)
-            return serveMain(cfg, rt, sv, json);
+            return serveMain(cfg, rt, sv, obsOut, json);
         if (rt.enabled)
-            return runtimeMain(cfg, rt, json);
+            return runtimeMain(cfg, rt, obsOut, json);
 
         ProfileReport r = Bench::run(cfg);
         printReport(r, std::cout);

@@ -1,0 +1,83 @@
+#include "obs/chrome_trace.h"
+
+namespace ngb {
+namespace obs {
+
+void
+ChromeTraceWriter::open(const std::string &name, const std::string &cat,
+                        const char *ph, int pid, const TraceTid &tid)
+{
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+    os_ << "  {\"name\":" << jsonQuote(name) << ",\"cat\":"
+        << jsonQuote(cat) << ",\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":";
+    if (tid.quoted)
+        os_ << jsonQuote(tid.text);
+    else
+        os_ << tid.text;
+}
+
+void
+ChromeTraceWriter::completeEvent(const std::string &name,
+                                 const std::string &cat, int pid,
+                                 const TraceTid &tid, double tsUs,
+                                 double durUs, const JsonDict &args)
+{
+    open(name, cat, "X", pid, tid);
+    os_ << ",\"ts\":" << jsonNumber(tsUs) << ",\"dur\":"
+        << jsonNumber(durUs);
+    if (!args.empty())
+        os_ << ",\"args\":" << args.str();
+    os_ << "}";
+}
+
+void
+ChromeTraceWriter::asyncBegin(const std::string &name,
+                              const std::string &cat, int pid,
+                              const TraceTid &tid, uint64_t id,
+                              double tsUs, const JsonDict &args)
+{
+    open(name, cat, "b", pid, tid);
+    os_ << ",\"id\":" << id << ",\"ts\":" << jsonNumber(tsUs);
+    if (!args.empty())
+        os_ << ",\"args\":" << args.str();
+    os_ << "}";
+}
+
+void
+ChromeTraceWriter::asyncEnd(const std::string &name,
+                            const std::string &cat, int pid,
+                            const TraceTid &tid, uint64_t id, double tsUs)
+{
+    open(name, cat, "e", pid, tid);
+    os_ << ",\"id\":" << id << ",\"ts\":" << jsonNumber(tsUs) << "}";
+}
+
+void
+ChromeTraceWriter::threadName(int pid, const TraceTid &tid,
+                              const std::string &name)
+{
+    open("thread_name", "__metadata", "M", pid, tid);
+    os_ << ",\"args\":" << JsonDict().add("name", name).str() << "}";
+}
+
+void
+ChromeTraceWriter::processName(int pid, const std::string &name)
+{
+    open("process_name", "__metadata", "M", pid, 0);
+    os_ << ",\"args\":" << JsonDict().add("name", name).str() << "}";
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace obs
+}  // namespace ngb

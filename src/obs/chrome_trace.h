@@ -1,0 +1,90 @@
+#ifndef NGB_OBS_CHROME_TRACE_H
+#define NGB_OBS_CHROME_TRACE_H
+
+#include <ostream>
+#include <string>
+
+#include "obs/json_util.h"
+
+namespace ngb {
+namespace obs {
+
+/**
+ * A track identifier in the Chrome trace JSON format. Chrome/Perfetto
+ * accept both numeric tids (real thread tracks, nameable through
+ * thread_name metadata) and string tids (the legacy catapult
+ * extension the modeled exporter uses for its "host"/"gpu" lanes);
+ * the two render differently, so the writer keeps the distinction.
+ */
+struct TraceTid {
+    std::string text;
+    bool quoted = true;
+
+    TraceTid(int id) : text(std::to_string(id)), quoted(false) {}
+    TraceTid(const char *name) : text(name) {}
+    TraceTid(const std::string &name) : text(name) {}
+};
+
+/**
+ * Streaming writer of the Chrome trace-event JSON format (the format
+ * chrome://tracing and ui.perfetto.dev load). One emitter shared by
+ * the MODELED plan exporter (profiler/trace_export) and the MEASURED
+ * span exporter (obs/trace), so escaping, separators, and key order
+ * are correct in both by construction.
+ *
+ * Events are emitted as they are reported; the document is closed by
+ * finish() (or the destructor). Not thread-safe — exporters serialize.
+ */
+class ChromeTraceWriter
+{
+  public:
+    explicit ChromeTraceWriter(std::ostream &os) : os_(os)
+    {
+        os_ << "{\"traceEvents\":[\n";
+    }
+
+    ~ChromeTraceWriter() { finish(); }
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** One complete ("ph":"X") duration span on a thread track. */
+    void completeEvent(const std::string &name, const std::string &cat,
+                      int pid, const TraceTid &tid, double tsUs,
+                      double durUs, const JsonDict &args = {});
+
+    /**
+     * One async begin/end pair ("ph":"b"/"e") tied by @p id — the
+     * track for request-scoped spans that overlap each other on the
+     * same thread (queue residency).
+     */
+    void asyncBegin(const std::string &name, const std::string &cat,
+                    int pid, const TraceTid &tid, uint64_t id,
+                    double tsUs, const JsonDict &args = {});
+    void asyncEnd(const std::string &name, const std::string &cat,
+                  int pid, const TraceTid &tid, uint64_t id,
+                  double tsUs);
+
+    /** thread_name metadata so tracks render with readable names. */
+    void threadName(int pid, const TraceTid &tid,
+                    const std::string &name);
+    /** process_name metadata. */
+    void processName(int pid, const std::string &name);
+
+    /** Close the trace document (idempotent). */
+    void finish();
+
+  private:
+    /** Common prefix: separator + name/cat/ph/pid/tid. */
+    void open(const std::string &name, const std::string &cat,
+              const char *ph, int pid, const TraceTid &tid);
+
+    std::ostream &os_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+}  // namespace obs
+}  // namespace ngb
+
+#endif  // NGB_OBS_CHROME_TRACE_H

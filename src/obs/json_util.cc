@@ -1,0 +1,76 @@
+#include "obs/json_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ngb {
+namespace obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonNumber(double v, int precision)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    std::string out(buf);
+    // Trim trailing zeros (and a bare trailing dot) so integral values
+    // render as integers and diffs stay stable across precisions.
+    if (out.find('.') != std::string::npos) {
+        size_t last = out.find_last_not_of('0');
+        if (out[last] == '.')
+            --last;
+        out.resize(last + 1);
+    }
+    return out;
+}
+
+}  // namespace obs
+}  // namespace ngb

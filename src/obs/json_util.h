@@ -1,0 +1,103 @@
+#ifndef NGB_OBS_JSON_UTIL_H
+#define NGB_OBS_JSON_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+/**
+ * @file
+ * The one JSON string/value emitter shared by every hand-rolled JSON
+ * writer in the tree (profile_report, serve_report, trace_export, the
+ * measured-trace and metrics exporters). Before this existed each
+ * writer carried its own "escape quotes and backslashes" lambda, none
+ * of which escaped control characters — an op label with an embedded
+ * newline (or a model name with a quote) produced unparseable JSON.
+ */
+
+namespace ngb {
+namespace obs {
+
+/**
+ * Escape @p s for inclusion inside a JSON string literal: quote,
+ * backslash, and every control character below 0x20 (\n, \t, \r, \b,
+ * \f get their short forms, the rest \u00XX). Returns the escaped
+ * body WITHOUT surrounding quotes.
+ */
+std::string jsonEscape(const std::string &s);
+
+/** @p s escaped and wrapped in double quotes. */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Format a double as a JSON number: fixed-point with up to @p
+ * precision fractional digits, trailing zeros trimmed; non-finite
+ * values (illegal in JSON) degrade to 0.
+ */
+std::string jsonNumber(double v, int precision = 3);
+
+/**
+ * Incremental "{...}" builder for small inline objects (Chrome trace
+ * event args, metrics rows). Values are emitted as given: add() a
+ * string quotes and escapes it, addRaw() splices pre-rendered JSON.
+ */
+class JsonDict
+{
+  public:
+    JsonDict &add(const std::string &key, const std::string &value)
+    {
+        return addRaw(key, jsonQuote(value));
+    }
+
+    JsonDict &add(const std::string &key, const char *value)
+    {
+        return addRaw(key, jsonQuote(value ? value : ""));
+    }
+
+    JsonDict &add(const std::string &key, bool value)
+    {
+        return addRaw(key, value ? "true" : "false");
+    }
+
+    JsonDict &add(const std::string &key, int64_t value)
+    {
+        return addRaw(key, std::to_string(value));
+    }
+
+    JsonDict &add(const std::string &key, int value)
+    {
+        return add(key, static_cast<int64_t>(value));
+    }
+
+    JsonDict &add(const std::string &key, uint64_t value)
+    {
+        return addRaw(key, std::to_string(value));
+    }
+
+    JsonDict &add(const std::string &key, double value, int precision = 3)
+    {
+        return addRaw(key, jsonNumber(value, precision));
+    }
+
+    JsonDict &addRaw(const std::string &key, const std::string &rendered)
+    {
+        if (!body_.empty())
+            body_ += ',';
+        body_ += jsonQuote(key);
+        body_ += ':';
+        body_ += rendered;
+        return *this;
+    }
+
+    bool empty() const { return body_.empty(); }
+
+    /** The finished object, braces included. */
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    std::string body_;
+};
+
+}  // namespace obs
+}  // namespace ngb
+
+#endif  // NGB_OBS_JSON_UTIL_H

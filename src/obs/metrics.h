@@ -1,0 +1,205 @@
+#ifndef NGB_OBS_METRICS_H
+#define NGB_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Lock-light metrics registry: named counters, gauges, and
+ * log-bucketed latency histograms whose hot paths are single relaxed
+ * atomic ops, registered once by name and snapshottable MID-RUN (from
+ * the serve-loop sampler thread or an external caller) as JSON or
+ * Prometheus text. Unlike the serve report's sorted-vector
+ * percentiles — exact, but only available after the session drains —
+ * histogram quantiles here are readable while producers are still
+ * hammering the buckets, at a bounded relative error set by the
+ * bucket width.
+ *
+ * Registration (registry lookup by name) takes a mutex and is meant
+ * for setup paths; call sites keep the returned reference, which
+ * stays valid for the process lifetime (instruments are never
+ * removed).
+ */
+
+namespace ngb {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_metricsEnabled;
+}
+
+/** True when metric recording is on ($NGB_METRICS=1 or setter). */
+inline bool
+metricsEnabled()
+{
+#ifdef NGB_NO_OBS
+    return false;
+#else
+    return detail::g_metricsEnabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/** Flip metric recording for the process. */
+void setMetricsEnabled(bool on);
+
+/** Monotonically increasing count (requests admitted, batches, ...). */
+class Counter
+{
+  public:
+    void inc(int64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Point-in-time level (queue depth, live batch size, ...). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+    void add(int64_t n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/**
+ * Log-bucketed histogram: kSub sub-buckets per power-of-two octave
+ * (kSub = 16 bounds the relative quantile error at 2^(1/16)-1 ≈
+ * 4.4% of a bucket, ~2.2% at the midpoint), covering [2^-8, 2^40)
+ * with explicit under/overflow buckets. observe() is two relaxed
+ * fetch_adds plus CAS loops for the sum/min/max scalars; quantiles
+ * interpolate within the landing bucket from a consistent-enough
+ * mid-run snapshot of the bucket array.
+ *
+ * Values are unit-free; serving code records microseconds.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kSub = 16;
+    static constexpr int kMinExp = -8;
+    static constexpr int kMaxExp = 40;
+    static constexpr int kOctaves = kMaxExp - kMinExp;
+    /** [0] = underflow (v < 2^kMinExp), [last] = overflow. */
+    static constexpr int kBuckets = kOctaves * kSub + 2;
+
+    void observe(double v);
+
+    int64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /** Immutable copy for coherent quantile reads. */
+    struct Snapshot {
+        std::array<uint64_t, kBuckets> counts{};
+        int64_t count = 0;
+        double sum = 0;
+        double min = 0;
+        double max = 0;
+
+        double mean() const { return count > 0 ? sum / count : 0; }
+
+        /** Interpolated value at quantile @p q in [0, 1]. */
+        double percentile(double q) const;
+    };
+
+    Snapshot snapshot() const;
+
+    /** Shorthand: snapshot().percentile(q). */
+    double percentile(double q) const
+    {
+        return snapshot().percentile(q);
+    }
+
+    void reset();
+
+    /** Inclusive lower / exclusive upper value bound of bucket @p i. */
+    static double bucketLo(int i);
+    static double bucketHi(int i);
+
+  private:
+    static int bucketOf(double v);
+
+    std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+    std::atomic<int64_t> count_{0};
+    std::atomic<double> sum_{0};
+    std::atomic<double> min_{0};
+    std::atomic<double> max_{0};
+};
+
+/**
+ * The process-wide instrument registry. counter()/gauge()/histogram()
+ * get-or-create by name; gaugeFn() registers a callback sampled at
+ * snapshot time (how externally-owned levels — tensor heap stats,
+ * scratch high water — are exported without touching their hot
+ * paths). writeJson()/writePrometheus() render a mid-run snapshot.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Callback gauge, read (under the registry mutex) per snapshot. */
+    void gaugeFn(const std::string &name, std::function<int64_t()> fn);
+
+    /**
+     * {"counters":{...},"gauges":{...},"histograms":{name:{count,
+     * sum, mean, min, max, p50, p90, p95, p99}}} — keys sorted, so
+     * output is diff-stable.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Prometheus text exposition: names sanitized to [a-z0-9_] and
+     * prefixed "ngb_", histograms rendered as summaries with
+     * quantile labels.
+     */
+    void writePrometheus(std::ostream &os) const;
+
+    /** Zero every instrument (bench/test isolation between runs). */
+    void reset();
+
+  private:
+    MetricsRegistry();
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::function<int64_t()>> providers_;
+};
+
+}  // namespace obs
+}  // namespace ngb
+
+#endif  // NGB_OBS_METRICS_H

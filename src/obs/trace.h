@@ -1,0 +1,298 @@
+#ifndef NGB_OBS_TRACE_H
+#define NGB_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * The measured-span tracer: per-request trace ids propagated from
+ * queue admission down to per-node kernel evaluation, recorded into
+ * per-thread single-producer ring buffers and exported as a
+ * Chrome/Perfetto trace of what ACTUALLY ran (threads as tracks) —
+ * the runtime counterpart of the profiler's modeled-plan export.
+ *
+ * Zero-cost-when-off discipline: every producer call site guards on
+ * traceEnabled(), which inlines to one relaxed atomic load and a
+ * predictable branch (and to a compile-time `false` when the tree is
+ * built with -DNGB_NO_OBS, letting the optimizer strip the hooks
+ * entirely). Recording itself is lock-free: each thread owns its ring
+ * buffer, writes are a struct copy plus one release store, and the
+ * ring overwrites its oldest events when full (drops are counted,
+ * never blocked on).
+ *
+ * Readers (export/collect) are quiescent-only: they must not race
+ * live producers. The serving/runtime drivers satisfy this by
+ * exporting after join()/run() returns, which synchronizes with every
+ * worker through the pool's fork-join barrier.
+ */
+
+namespace ngb {
+namespace obs {
+
+#ifdef NGB_NO_OBS
+constexpr bool kObsCompiled = false;
+#else
+constexpr bool kObsCompiled = true;
+#endif
+
+namespace detail {
+extern std::atomic<bool> g_traceEnabled;
+}
+
+/** True when span recording is on ($NGB_TRACE=1 or setTraceEnabled). */
+inline bool
+traceEnabled()
+{
+    return kObsCompiled &&
+           detail::g_traceEnabled.load(std::memory_order_relaxed);
+}
+
+/** Flip span recording for the process. */
+void setTraceEnabled(bool on);
+
+/** What one span measured (determines its export rendering). */
+enum class SpanKind : uint8_t {
+    Queue,    ///< admission -> batch close (async track, per request)
+    Batch,    ///< one dispatched batch (engine.run wall)
+    Request,  ///< one request's schedule walk inside a batch
+    Level,    ///< one wavefront level's fork-join region
+    Node,     ///< one kernel evaluation (Backend::eval)
+    Plan,     ///< engine/plan construction (cache-miss cost)
+    Mark,     ///< generic labelled region
+};
+
+const char *spanKindName(SpanKind k);
+
+/**
+ * One recorded span. Fixed-size and string-free on the hot path: the
+ * label is a bounded char array (truncating copy), the backend name
+ * points at a Backend's own storage (built-in backends live for the
+ * process; ad-hoc backends must outlive export). Kind-specific args
+ * ride in a0..a2 — see the recording sites for each kind's layout.
+ */
+struct SpanEvent {
+    double startUs = 0;  ///< since the tracer epoch
+    double durUs = 0;
+    uint64_t traceId = 0;  ///< per-request id; 0 = session-scoped
+    SpanKind kind = SpanKind::Mark;
+    int16_t op = -1;   ///< OpKind when kind == Node
+    int16_t cat = -1;  ///< OpCategory when kind == Node
+    int32_t node = -1;
+    bool fused = false;
+    bool flag = false;  ///< kind-specific (batch: closed by timeout)
+    const char *backend = nullptr;
+    int64_t a0 = 0;
+    int64_t a1 = 0;
+    int64_t a2 = 0;
+    char label[24] = {};
+
+    void setLabel(const std::string &s)
+    {
+        size_t n = s.size() < sizeof(label) - 1 ? s.size()
+                                                : sizeof(label) - 1;
+        std::memcpy(label, s.data(), n);
+        label[n] = '\0';
+    }
+};
+
+/**
+ * The current thread's trace id (what recorded spans are tagged
+ * with). Propagated, not inferred: executors set it per request via
+ * TraceIdScope before walking the schedule.
+ */
+uint64_t currentTraceId();
+
+/** RAII save/set/restore of the thread's trace id. */
+class TraceIdScope
+{
+  public:
+    explicit TraceIdScope(uint64_t id);
+    ~TraceIdScope();
+
+    TraceIdScope(const TraceIdScope &) = delete;
+    TraceIdScope &operator=(const TraceIdScope &) = delete;
+
+  private:
+    uint64_t saved_;
+};
+
+/** One thread's ring buffer: single producer, quiescent readers. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(size_t capacity, int tid)
+        : ring_(capacity), tid_(tid),
+          name_("thread-" + std::to_string(tid))
+    {
+    }
+
+    void record(const SpanEvent &ev)
+    {
+        uint64_t h = head_.load(std::memory_order_relaxed);
+        ring_[h % ring_.size()] = ev;
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    int tid() const { return tid_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Events recorded since the last clear (including dropped). */
+    uint64_t recorded() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /** Events overwritten because the ring wrapped. */
+    uint64_t dropped() const
+    {
+        uint64_t h = recorded();
+        return h > ring_.size() ? h - ring_.size() : 0;
+    }
+
+    /** Oldest-first copy of the retained events (quiescent only). */
+    std::vector<SpanEvent> snapshot() const;
+
+    void clear() { head_.store(0, std::memory_order_release); }
+
+  private:
+    std::vector<SpanEvent> ring_;
+    std::atomic<uint64_t> head_{0};
+    int tid_;
+    std::string name_;
+};
+
+/**
+ * Process-wide tracer: owns every thread's ring buffer (buffers are
+ * registered on a thread's first record and retired never, so a
+ * thread that exits keeps its events exportable), the session epoch
+ * all timestamps are relative to, and the Chrome-trace exporter.
+ */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    /** Monotonic microseconds since the tracer epoch. */
+    double nowUs() const
+    {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+    /** @p tp (same clock) relative to the epoch, in microseconds. */
+    double sinceEpochUs(std::chrono::steady_clock::time_point tp) const
+    {
+        return std::chrono::duration<double, std::micro>(tp - epoch_)
+            .count();
+    }
+
+    /** Record @p ev into the calling thread's ring buffer. */
+    void record(const SpanEvent &ev) { threadBuffer().record(ev); }
+
+    /**
+     * Name the calling thread's track ("batcher", "worker-3", ...).
+     * Cheap when the thread never records: the name is held as a
+     * thread-local hint and only bound (with the ring allocation) on
+     * the thread's first record.
+     */
+    void setThreadName(const std::string &name);
+
+    /**
+     * Ring capacity (events per thread) for buffers registered after
+     * the call; existing buffers keep theirs. Default 1 << 15.
+     */
+    void setCapacity(size_t events);
+
+    /** Drop every recorded event and restart the epoch (quiescent). */
+    void clear();
+
+    struct ThreadEvents {
+        int tid = 0;
+        std::string name;
+        uint64_t dropped = 0;
+        std::vector<SpanEvent> events;  ///< oldest first
+    };
+
+    /** Copy of every thread's retained events (quiescent only). */
+    std::vector<ThreadEvents> collect() const;
+
+    /** Total spans recorded across threads (including dropped). */
+    uint64_t totalRecorded() const;
+    /** Total spans lost to ring wrap-around across threads. */
+    uint64_t totalDropped() const;
+
+    /**
+     * Export everything recorded as a Chrome/Perfetto trace: one
+     * track per recording thread (complete events, named via
+     * thread_name metadata), queue spans as per-request async pairs,
+     * every span's args carrying its trace id and kind-specific
+     * metadata (op kind, backend, fused flag, tensor numel, arena
+     * offset, batch size / queue depth). Quiescent only.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    Tracer();
+
+    TraceBuffer &threadBuffer();
+
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;  ///< buffer registration / collection
+    std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+    size_t capacity_ = size_t{1} << 15;
+};
+
+// -- Convenience producers (all no-ops when tracing is off) ------------
+
+/**
+ * RAII span: captures the start time at construction and records at
+ * destruction. Fill the event fields through ev() before it closes.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(SpanKind kind)
+        : armed_(traceEnabled())
+    {
+        if (!armed_)
+            return;
+        ev_.kind = kind;
+        ev_.traceId = currentTraceId();
+        ev_.startUs = Tracer::instance().nowUs();
+    }
+
+    ~ScopedSpan()
+    {
+        if (!armed_)
+            return;
+        Tracer &t = Tracer::instance();
+        ev_.durUs = t.nowUs() - ev_.startUs;
+        t.record(ev_);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Mutable event, valid only while armed(). */
+    SpanEvent &ev() { return ev_; }
+    bool armed() const { return armed_; }
+
+  private:
+    bool armed_;
+    SpanEvent ev_;
+};
+
+}  // namespace obs
+}  // namespace ngb
+
+#endif  // NGB_OBS_TRACE_H

@@ -33,6 +33,18 @@ class Allocator
      */
     virtual Tensor allocate(const Node &n, size_t i) = 0;
 
+    /**
+     * Byte offset output @p i of @p n would land at inside this
+     * allocator's backing block, or -1 when the output is not planned
+     * (heap/scratch policies, unplanned values). Observability only —
+     * lets the tracer tag node spans with their arena placement
+     * without re-deriving the plan.
+     */
+    virtual int64_t plannedOffset(const Node &, size_t) const
+    {
+        return -1;
+    }
+
     virtual const char *name() const = 0;
 };
 

@@ -19,6 +19,24 @@ Backend::kernelFor(OpKind k) const
                              "'");
 }
 
+std::vector<Tensor>
+Backend::evalTraced(const KernelContext &ctx) const
+{
+    obs::ScopedSpan span(obs::SpanKind::Node);
+    obs::SpanEvent &ev = span.ev();
+    ev.op = static_cast<int16_t>(ctx.node.kind);
+    ev.cat = static_cast<int16_t>(ctx.node.category());
+    ev.node = ctx.node.id;
+    ev.fused = ctx.node.kind == OpKind::Fused;
+    ev.backend = name_.c_str();
+    if (ev.fused)
+        ev.setLabel(ctx.node.name);
+    if (!ctx.node.outShapes.empty())
+        ev.a0 = ctx.node.outShapes[0].numel();
+    ev.a1 = ctx.alloc ? ctx.alloc->plannedOffset(ctx.node, 0) : -1;
+    return kernelFor(ctx.node.kind)(ctx);
+}
+
 const Backend &
 defaultBackend()
 {

@@ -8,6 +8,7 @@
 
 #include "graph/node.h"
 #include "graph/param_store.h"
+#include "obs/trace.h"
 #include "ops/allocator.h"
 #include "ops/op_types.h"
 #include "tensor/tensor.h"
@@ -192,9 +193,21 @@ class Backend
      */
     const KernelFn &kernelFor(OpKind k) const;
 
-    /** Dispatch one node evaluation through this backend. */
+    /**
+     * Dispatch one node evaluation through this backend. This is the
+     * single dispatch seam every executor funnels through, so it is
+     * also where the measured tracer hooks in: when tracing is off the
+     * guard inlines to one relaxed load and dispatch proceeds
+     * untouched; when on, the out-of-line traced path records a Node
+     * span (op kind, backend, fused flag, output numel, arena offset)
+     * around the kernel. Fused kernels re-dispatch their members
+     * through ctx.backend, so member spans nest inside the group span
+     * with no extra plumbing.
+     */
     std::vector<Tensor> eval(const KernelContext &ctx) const
     {
+        if (obs::traceEnabled())
+            return evalTraced(ctx);
         return kernelFor(ctx.node.kind)(ctx);
     }
 
@@ -214,6 +227,9 @@ class Backend
     }
 
   private:
+    /** Slow path of eval(): record a span around the kernel call. */
+    std::vector<Tensor> evalTraced(const KernelContext &ctx) const;
+
     std::string name_;
     const Backend *fallback_ = nullptr;
     KernelRegistry reg_;

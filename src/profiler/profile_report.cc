@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "obs/json_util.h"
+
 namespace ngb {
 
 OpCategory
@@ -148,15 +150,9 @@ printReport(const ProfileReport &r, std::ostream &os)
 void
 writeJsonReport(const ProfileReport &r, std::ostream &os)
 {
-    auto esc = [](const std::string &in) {
-        std::string out;
-        for (char c : in) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            out += c;
-        }
-        return out;
-    };
+    // The shared escaper handles control characters too, which the
+    // old inline lambda silently passed through.
+    auto esc = [](const std::string &in) { return obs::jsonEscape(in); };
     os << "{\n";
     os << "  \"model\": \"" << esc(r.model) << "\",\n";
     os << "  \"flow\": \"" << esc(r.flow) << "\",\n";

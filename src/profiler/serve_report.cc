@@ -5,6 +5,9 @@
 #include <iomanip>
 #include <string>
 
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+
 namespace ngb {
 
 namespace {
@@ -114,7 +117,13 @@ printServeReport(const ServeStats &s, std::ostream &os)
         }
         os << "  queue depth: mean " << std::setprecision(1)
            << sum_depth / static_cast<double>(s.depthSamples.size())
-           << ", max " << max_depth << "\n";
+           << ", max " << max_depth << " ("
+           << s.depthSamples.size() << " samples";
+        if (s.samplerCadenceUs > 0)
+            os << ", sampler cadence "
+               << static_cast<double>(s.samplerCadenceUs) * 1e-3
+               << " ms";
+        os << ")\n";
         const size_t buckets =
             std::min<size_t>(12, s.depthSamples.size());
         double span = s.depthSamples.back().tUs;
@@ -211,22 +220,57 @@ writeServeJson(const ServeStats &s, std::ostream &os)
     os << "  \"latency_us\": {\"total\": " << pct(l.total)
        << ", \"queue\": " << pct(l.queue) << ", \"execute\": "
        << pct(l.exec) << "},\n";
+
+    // The metrics registry's log-bucketed estimates next to the exact
+    // sorted-vector percentiles above: the mid-run-readable numbers a
+    // scraper saw, reported with the post-run truth so the bounded
+    // bucket error is visible in one document. Only meaningful when
+    // metrics recorded this session.
+    if (obs::metricsEnabled()) {
+        auto &reg = obs::MetricsRegistry::instance();
+        auto hist = [&](const char *name) {
+            obs::Histogram::Snapshot h =
+                reg.histogram(name).snapshot();
+            obs::JsonDict d;
+            d.add("count", h.count);
+            d.add("p50", h.percentile(0.50));
+            d.add("p95", h.percentile(0.95));
+            d.add("p99", h.percentile(0.99));
+            return d.str();
+        };
+        os << "  \"latency_us_hist\": {\"total\": "
+           << hist("serve.latency_us") << ", \"queue\": "
+           << hist("serve.queue_us") << ", \"execute\": "
+           << hist("serve.exec_us") << "},\n";
+    }
+
+    os << "  \"sampler_cadence_us\": " << s.samplerCadenceUs << ",\n";
+    os << "  \"depth_samples\": [";
+    first = true;
+    for (const QueueDepthSample &d : s.depthSamples) {
+        os << (first ? "" : ", ") << "{\"t_us\": "
+           << obs::jsonNumber(d.tUs) << ", \"depth\": " << d.depth
+           << "}";
+        first = false;
+    }
+    os << "],\n";
+
     os << "  \"completed_by_model\": {";
     first = true;
     for (const auto &[model, count] : s.completedByModel) {
         if (!first)
             os << ", ";
         first = false;
-        os << "\"" << model << "\": " << count;
+        os << obs::jsonQuote(model) << ": " << count;
     }
     os << "},\n";
     os << "  \"requests\": [\n";
     for (size_t i = 0; i < s.requests.size(); ++i) {
         const RequestRecord &r = s.requests[i];
-        os << "    {\"id\": " << r.id << ", \"model\": \"" << r.model
-           << "\", \"seed\": " << r.seed << ", \"queue_us\": "
-           << r.queueUs << ", \"exec_us\": " << r.execUs
-           << ", \"batch\": " << r.batchSize << "}"
+        os << "    {\"id\": " << r.id << ", \"model\": "
+           << obs::jsonQuote(r.model) << ", \"seed\": " << r.seed
+           << ", \"queue_us\": " << r.queueUs << ", \"exec_us\": "
+           << r.execUs << ", \"batch\": " << r.batchSize << "}"
            << (i + 1 < s.requests.size() ? ",\n" : "\n");
     }
     os << "  ]\n}\n";

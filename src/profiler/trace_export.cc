@@ -1,54 +1,32 @@
 #include "profiler/trace_export.h"
 
-#include <iomanip>
-#include <string>
+#include <algorithm>
+
+#include "obs/chrome_trace.h"
 
 namespace ngb {
-
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-}  // namespace
 
 void
 writeChromeTrace(const ExecutionPlan &plan,
                  const std::vector<GroupTiming> &timings, std::ostream &os)
 {
-    os << "{\"traceEvents\":[\n";
+    obs::ChromeTraceWriter w(os);
     double host_t = 0;
     double dev_t = 0;
-    bool first = true;
     for (size_t i = 0; i < plan.groups.size(); ++i) {
         const KernelGroup &g = plan.groups[i];
         const GroupTiming &t = timings[i];
 
-        auto emit = [&](const std::string &tid, double start, double dur) {
+        auto emit = [&](const char *tid, double start, double dur) {
             if (dur <= 0)
                 return;
-            if (!first)
-                os << ",\n";
-            first = false;
-            os << "  {\"name\":\"" << jsonEscape(g.label)
-               << "\",\"cat\":\"" << opCategoryName(g.category)
-               << "\",\"ph\":\"X\",\"pid\":0,\"tid\":\"" << tid
-               << "\",\"ts\":" << std::fixed << std::setprecision(3)
-               << start << ",\"dur\":" << dur << ",\"args\":{"
-               << "\"kernels\":" << g.kernelCount << ",\"fused\":"
-               << (g.fused ? "true" : "false") << ",\"flops\":"
-               << std::setprecision(0) << g.flops << ",\"bytes\":"
-               << g.bytesIn + g.bytesOut + g.bytesParam << "}}";
+            obs::JsonDict args;
+            args.add("kernels", g.kernelCount);
+            args.add("fused", g.fused);
+            args.add("flops", g.flops, 0);
+            args.add("bytes", g.bytesIn + g.bytesOut + g.bytesParam);
+            w.completeEvent(g.label, opCategoryName(g.category), 0, tid,
+                            start, dur, args);
         };
 
         // Host dispatch precedes the device kernel; the device track
@@ -60,7 +38,7 @@ writeChromeTrace(const ExecutionPlan &plan,
              t.deviceUs + t.transferUs);
         dev_t = dev_start + t.deviceUs + t.transferUs;
     }
-    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    w.finish();
 }
 
 }  // namespace ngb

@@ -76,4 +76,12 @@ ArenaAllocator::allocate(const Node &n, size_t i)
                   p->offset / static_cast<int64_t>(dtypeSize(dt)), dt);
 }
 
+int64_t
+ArenaAllocator::plannedOffset(const Node &n, size_t i) const
+{
+    const TensorPlacement *p =
+        block_ ? plan_.find({n.id, static_cast<int>(i)}) : nullptr;
+    return p ? p->offset : -1;
+}
+
 }  // namespace ngb

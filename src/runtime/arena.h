@@ -78,6 +78,8 @@ class ArenaAllocator final : public Allocator
 
     Tensor allocate(const Node &n, size_t i) override;
 
+    int64_t plannedOffset(const Node &n, size_t i) const override;
+
     const char *name() const override { return "arena"; }
 
     /** Outputs served at their planned arena offsets. */

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "tensor/scratch.h"
 
 namespace ngb {
@@ -18,6 +19,10 @@ using Clock = std::chrono::steady_clock;
 std::shared_ptr<EnginePlan>
 buildEnginePlan(const Graph &g)
 {
+    obs::ScopedSpan span(obs::SpanKind::Plan);
+    span.ev().setLabel(g.name());
+    span.ev().a0 = static_cast<int64_t>(g.size());
+
     auto plan = std::make_shared<EnginePlan>();
     auto t0 = Clock::now();
     plan->sched = Schedule::wavefront(g);
@@ -51,6 +56,7 @@ buildEnginePlan(const Graph &g)
     plan->params.materialize(g);
     plan->arenas.configure(plan->memplan.arenaBytes);
     plan->planUs = elapsedUsSince(t0);
+    span.ev().a1 = plan->memplan.arenaBytes;
     return plan;
 }
 
@@ -162,7 +168,8 @@ BatchDriver::runOne(const std::vector<Tensor> &inputs,
 }
 
 std::vector<std::vector<Tensor>>
-BatchDriver::run(const std::vector<std::vector<Tensor>> &requests)
+BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
+                 const std::vector<uint64_t> *traceIds)
 {
     std::vector<std::vector<Tensor>> outputs(requests.size());
     std::vector<std::vector<double>> node_us(
@@ -176,6 +183,15 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests)
 
     auto wall0 = Clock::now();
     pool_.parallelFor(requests.size(), [&](size_t r, int) {
+        // The serving layer's per-request id rides into every span
+        // this request records on whichever worker picked it up.
+        // Standalone (--runtime) batches get synthetic 1-based ids so
+        // their spans still group per request in the trace viewer.
+        obs::TraceIdScope tid(traceIds && r < traceIds->size()
+                                  ? (*traceIds)[r]
+                                  : static_cast<uint64_t>(r) + 1);
+        obs::ScopedSpan span(obs::SpanKind::Request);
+        span.ev().a0 = static_cast<int64_t>(r);
         outputs[r] = runOne(requests[r], node_us[r], req_mem[r]);
     });
     profile_.wallUs = elapsedUsSince(wall0);

@@ -93,9 +93,16 @@ class BatchDriver
      * the way the serve driver's collection sink does; callers that
      * consume and drop them (the steady-state serving loop) recycle
      * blocks automatically and allocate nothing.
+     *
+     * @p traceIds (optional, parallel to @p requests) tags each
+     * request's measured spans — the whole schedule walk down to
+     * per-node kernel evaluation — with the serving layer's
+     * per-request trace id, so an exported trace reassembles batches
+     * back into requests. Untagged requests record with id 0.
      */
     std::vector<std::vector<Tensor>>
-    run(const std::vector<std::vector<Tensor>> &requests);
+    run(const std::vector<std::vector<Tensor>> &requests,
+        const std::vector<uint64_t> *traceIds = nullptr);
 
     /** Measured timings of the last run(). */
     const RuntimeProfile &profile() const { return profile_; }

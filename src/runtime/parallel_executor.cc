@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "tensor/scratch.h"
 
 namespace ngb {
@@ -108,12 +109,20 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
     uint64_t allocs0 = Storage::heapAllocCount();
     uint64_t alloc_bytes0 = Storage::heapAllocBytes();
 
+    // The pool's workers don't inherit this thread's trace id —
+    // re-establish it inside each task so node spans stay tagged.
+    uint64_t trace_id = obs::currentTraceId();
+
     profile_.levels.clear();
     auto wall0 = Clock::now();
     for (size_t lvl = 0; lvl < sched_.numLevels(); ++lvl) {
         const std::vector<int> &nodes = sched_.levels()[lvl];
+        obs::ScopedSpan level_span(obs::SpanKind::Level);
+        level_span.ev().a0 = static_cast<int64_t>(lvl);
+        level_span.ev().a1 = static_cast<int64_t>(nodes.size());
         auto t0 = Clock::now();
         pool_.parallelFor(nodes.size(), [&](size_t i, int) {
+            obs::TraceIdScope tid(trace_id);
             const Node &n = g_.node(nodes[i]);
             auto id = static_cast<size_t>(n.id);
             if (!results[id].empty() && results[id][0].defined())

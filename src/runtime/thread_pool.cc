@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include "obs/trace.h"
 #include "runtime/runtime_profile.h"
 
 namespace ngb {
@@ -39,6 +40,8 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop(int id)
 {
+    obs::Tracer::instance().setThreadName("worker-" +
+                                          std::to_string(id));
     uint64_t seen = 0;
     while (true) {
         {

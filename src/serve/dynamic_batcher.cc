@@ -1,5 +1,7 @@
 #include "serve/dynamic_batcher.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/request_util.h"
 #include "runtime/runtime_profile.h"
 
@@ -9,6 +11,36 @@ namespace serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * The batcher's serving instruments, resolved once. Observation sites
+ * below guard on metricsEnabled() before touching them, so a
+ * metrics-off session pays one branch per request.
+ */
+struct BatcherMetrics {
+    obs::Counter &requests;
+    obs::Counter &batches;
+    obs::Counter &batchesByTimeout;
+    obs::Histogram &queueUs;
+    obs::Histogram &execUs;
+    obs::Histogram &latencyUs;
+    obs::Histogram &batchSize;
+
+    static BatcherMetrics &instance()
+    {
+        auto &reg = obs::MetricsRegistry::instance();
+        static BatcherMetrics m{
+            reg.counter("serve.requests_completed"),
+            reg.counter("serve.batches"),
+            reg.counter("serve.batches_by_timeout"),
+            reg.histogram("serve.queue_us"),
+            reg.histogram("serve.exec_us"),
+            reg.histogram("serve.latency_us"),
+            reg.histogram("serve.batch_size"),
+        };
+        return m;
+    }
+};
 
 }  // namespace
 
@@ -27,9 +59,9 @@ DynamicBatcher::~DynamicBatcher()
 }
 
 void
-DynamicBatcher::start()
+DynamicBatcher::start(Clock::time_point epoch)
 {
-    t0_ = Clock::now();
+    t0_ = epoch;
     thread_ = std::thread([this] { loop(); });
 }
 
@@ -42,12 +74,43 @@ DynamicBatcher::dispatch(std::vector<ServeRequest> &batch, bool byTimeout)
              .count(),
          queue_.depth()});
 
+    // Each request's queue residency (admission -> batch close) as an
+    // async span: concurrent residencies overlap on this thread's
+    // track, which complete events would render as bogus nesting.
+    if (obs::traceEnabled()) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        double closeUs = tracer.sinceEpochUs(dispatchTp);
+        for (const ServeRequest &r : batch) {
+            obs::SpanEvent ev;
+            ev.kind = obs::SpanKind::Queue;
+            // +1: open-loop request ids start at 0, and trace id 0
+            // means "session-scoped span", not "request zero".
+            ev.traceId = r.id + 1;
+            ev.startUs = tracer.sinceEpochUs(r.arrival);
+            ev.durUs = closeUs - ev.startUs;
+            ev.setLabel(r.model);
+            ev.a0 = static_cast<int64_t>(queue_.depth());
+            tracer.record(ev);
+        }
+    }
+
     Engine &engine = cache_.get(batch[0].model);
     std::vector<std::vector<Tensor>> inputs;
+    std::vector<uint64_t> traceIds;
     inputs.reserve(batch.size());
-    for (const ServeRequest &r : batch)
+    traceIds.reserve(batch.size());
+    for (const ServeRequest &r : batch) {
         inputs.push_back(makeRequestInputs(engine.graph(), r.seed));
-    std::vector<std::vector<Tensor>> outputs = engine.run(inputs);
+        traceIds.push_back(r.id + 1);  // same +1 as the queue span
+    }
+    std::vector<std::vector<Tensor>> outputs;
+    {
+        obs::ScopedSpan span(obs::SpanKind::Batch);
+        span.ev().setLabel(batch[0].model);
+        span.ev().a0 = static_cast<int64_t>(batch.size());
+        span.ev().flag = byTimeout;
+        outputs = engine.run(inputs, &traceIds);
+    }
     double execUs = elapsedUsSince(dispatchTp);
 
     BatchRecord br;
@@ -57,6 +120,15 @@ DynamicBatcher::dispatch(std::vector<ServeRequest> &batch, bool byTimeout)
     br.closedByTimeout = byTimeout;
     stats_.batches.push_back(br);
     ++stats_.batchSizeHist[br.size];
+
+    if (obs::metricsEnabled()) {
+        BatcherMetrics &m = BatcherMetrics::instance();
+        m.batches.inc();
+        if (byTimeout)
+            m.batchesByTimeout.inc();
+        m.execUs.observe(execUs);
+        m.batchSize.observe(static_cast<double>(br.size));
+    }
 
     for (size_t i = 0; i < batch.size(); ++i) {
         ServeRequest &r = batch[i];
@@ -72,6 +144,12 @@ DynamicBatcher::dispatch(std::vector<ServeRequest> &batch, bool byTimeout)
         stats_.requests.push_back(rec);
         ++stats_.completed;
         ++stats_.completedByModel[r.model];
+        if (obs::metricsEnabled()) {
+            BatcherMetrics &m = BatcherMetrics::instance();
+            m.requests.inc();
+            m.queueUs.observe(rec.queueUs);
+            m.latencyUs.observe(rec.queueUs + rec.execUs);
+        }
         if (sink_)
             sink_(rec, outputs[i]);
         if (r.onComplete) {
@@ -85,6 +163,7 @@ DynamicBatcher::dispatch(std::vector<ServeRequest> &batch, bool byTimeout)
 void
 DynamicBatcher::loop()
 {
+    obs::Tracer::instance().setThreadName("batcher");
     while (true) {
         bool byTimeout = false;
         std::vector<ServeRequest> batch =

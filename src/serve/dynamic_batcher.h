@@ -54,8 +54,14 @@ class DynamicBatcher
     DynamicBatcher(const DynamicBatcher &) = delete;
     DynamicBatcher &operator=(const DynamicBatcher &) = delete;
 
-    /** Spawn the dispatch thread. */
-    void start();
+    /**
+     * Spawn the dispatch thread. @p epoch re-bases depth-sample
+     * timestamps onto the caller's session start, so batcher-side
+     * samples and the serve loop's sampler-thread samples share one
+     * monotonic time axis.
+     */
+    void start(std::chrono::steady_clock::time_point epoch);
+    void start() { start(std::chrono::steady_clock::now()); }
 
     /**
      * Wait until the queue is closed and drained and the dispatch

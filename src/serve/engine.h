@@ -114,10 +114,12 @@ class Engine
         return plan_->arenas.blockBytes();
     }
 
+    /** @p traceIds: per-request span tags, see BatchDriver::run. */
     std::vector<std::vector<Tensor>>
-    run(const std::vector<std::vector<Tensor>> &requests)
+    run(const std::vector<std::vector<Tensor>> &requests,
+        const std::vector<uint64_t> *traceIds = nullptr)
     {
-        return driver_->run(requests);
+        return driver_->run(requests, traceIds);
     }
 
   private:

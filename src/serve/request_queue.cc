@@ -2,11 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ngb {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/** Admission-side instruments (producer threads; relaxed atomics). */
+struct QueueMetrics {
+    obs::Counter &admitted;
+    obs::Counter &rejected;
+    obs::Gauge &depth;
+
+    static QueueMetrics &instance()
+    {
+        auto &reg = obs::MetricsRegistry::instance();
+        static QueueMetrics m{
+            reg.counter("serve.requests_admitted"),
+            reg.counter("serve.requests_rejected"),
+            reg.gauge("serve.queue_depth"),
+        };
+        return m;
+    }
+};
 
 }  // namespace
 
@@ -22,19 +42,34 @@ RequestQueue::push(ServeRequest r)
     // a request's reported queue time covers the full submit ->
     // dispatch interval (backpressure wait included).
     r.arrival = Clock::now();
+    bool metrics = obs::metricsEnabled();
     std::unique_lock<std::mutex> lock(mutex_);
-    if (closed_)
+    if (closed_) {
+        if (metrics)
+            QueueMetrics::instance().rejected.inc();
         return false;
+    }
     if (queue_.size() >= maxDepth_) {
-        if (policy_ == AdmissionPolicy::Reject)
+        if (policy_ == AdmissionPolicy::Reject) {
+            if (metrics)
+                QueueMetrics::instance().rejected.inc();
             return false;
+        }
         spaceCv_.wait(lock, [&] {
             return closed_ || queue_.size() < maxDepth_;
         });
-        if (closed_)
+        if (closed_) {
+            if (metrics)
+                QueueMetrics::instance().rejected.inc();
             return false;
+        }
     }
     queue_.push_back(std::move(r));
+    if (metrics) {
+        QueueMetrics &m = QueueMetrics::instance();
+        m.admitted.inc();
+        m.depth.set(static_cast<int64_t>(queue_.size()));
+    }
     dataCv_.notify_one();
     return true;
 }
@@ -96,6 +131,9 @@ RequestQueue::popBatch(int maxBatch, int64_t timeoutUs,
         if (available >= static_cast<size_t>(maxBatch) || closed_ ||
             queue_.size() >= maxDepth_) {
             auto batch = extractLocked(model, maxBatch);
+            if (obs::metricsEnabled())
+                QueueMetrics::instance().depth.set(
+                    static_cast<int64_t>(queue_.size()));
             spaceCv_.notify_all();
             return batch;
         }
@@ -106,6 +144,9 @@ RequestQueue::popBatch(int maxBatch, int64_t timeoutUs,
             if (closedByTimeout)
                 *closedByTimeout = true;
             auto batch = extractLocked(model, maxBatch);
+            if (obs::metricsEnabled())
+                QueueMetrics::instance().depth.set(
+                    static_cast<int64_t>(queue_.size()));
             spaceCv_.notify_all();
             return batch;
         }

@@ -1,12 +1,16 @@
 #include "serve/serve_driver.h"
 
+#include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <thread>
 
 #include "graph/executor.h"
 #include "models/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/request_util.h"
 #include "runtime/runtime_profile.h"
 
@@ -102,6 +106,91 @@ runClosedLoop(const ServeConfig &cfg, RequestQueue &queue,
     counters.rejected = rejected;
 }
 
+/** Rewrite the JSON / Prometheus metrics snapshot files (if set). */
+void
+writeMetricsSnapshots(const ServeConfig &cfg)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    if (!cfg.metricsJsonPath.empty()) {
+        std::ofstream f(cfg.metricsJsonPath);
+        if (f)
+            reg.writeJson(f);
+    }
+    if (!cfg.metricsPromPath.empty()) {
+        std::ofstream f(cfg.metricsPromPath);
+        if (f)
+            reg.writePrometheus(f);
+    }
+}
+
+/**
+ * The serve loop's observer thread: every cadence tick it samples
+ * queue depth onto the session time axis and republishes the metrics
+ * snapshot files — the "scrape while serving" path, running beside
+ * the batcher rather than inside it so observation never blocks
+ * dispatch.
+ */
+class SamplerThread
+{
+  public:
+    SamplerThread(const ServeConfig &cfg, RequestQueue &queue,
+                  Clock::time_point t0)
+        : cfg_(cfg), queue_(queue), t0_(t0)
+    {
+        if (cfg_.samplerCadenceUs > 0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~SamplerThread() { stopAndJoin(); }
+
+    void stopAndJoin()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_one();
+        thread_.join();
+    }
+
+    /** Samples taken so far; call after stopAndJoin(). */
+    const std::vector<QueueDepthSample> &samples() const
+    {
+        return samples_;
+    }
+
+  private:
+    void loop()
+    {
+        obs::Tracer::instance().setThreadName("sampler");
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            if (cv_.wait_for(
+                    lock,
+                    std::chrono::microseconds(cfg_.samplerCadenceUs),
+                    [&] { return stop_; }))
+                break;
+            samples_.push_back(
+                {std::chrono::duration<double, std::micro>(
+                     Clock::now() - t0_)
+                     .count(),
+                 queue_.depth()});
+            writeMetricsSnapshots(cfg_);
+        }
+    }
+
+    const ServeConfig &cfg_;
+    RequestQueue &queue_;
+    Clock::time_point t0_;
+    std::vector<QueueDepthSample> samples_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
 void
 verifyAgainstSerial(ServeResult &result, EngineCache &cache)
 {
@@ -172,16 +261,41 @@ runServe(const ServeConfig &cfg, ThreadPool &pool)
     uint64_t allocs0 = Storage::heapAllocCount();
     uint64_t alloc_bytes0 = Storage::heapAllocBytes();
     auto t0 = Clock::now();
-    batcher.start();
+    batcher.start(t0);
+    SamplerThread sampler(cfg, queue, t0);
     if (cfg.clients > 0)
         runClosedLoop(cfg, queue, t0, counters);
     else
         replayOpenLoop(trace, queue, t0, counters);
     queue.close();
     batcher.join();  // rethrows dispatch-loop errors
+    sampler.stopAndJoin();
 
     result.stats = batcher.stats();
     result.stats.durationUs = elapsedUsSince(t0);
+    result.stats.samplerCadenceUs =
+        cfg.samplerCadenceUs > 0 ? cfg.samplerCadenceUs : 0;
+
+    // One time axis for depth-over-time: event-driven dispatch samples
+    // and fixed-cadence sampler samples, merged in timestamp order.
+    result.stats.depthSamples.insert(result.stats.depthSamples.end(),
+                                     sampler.samples().begin(),
+                                     sampler.samples().end());
+    std::sort(result.stats.depthSamples.begin(),
+              result.stats.depthSamples.end(),
+              [](const QueueDepthSample &a, const QueueDepthSample &b) {
+                  return a.tUs < b.tUs;
+              });
+
+    if (obs::traceEnabled()) {
+        obs::SpanEvent ev;
+        ev.kind = obs::SpanKind::Mark;
+        ev.setLabel("serve_session");
+        ev.startUs = obs::Tracer::instance().sinceEpochUs(t0);
+        ev.durUs = result.stats.durationUs;
+        obs::Tracer::instance().record(ev);
+    }
+    writeMetricsSnapshots(cfg);  // final totals after drain
     result.stats.offered = counters.offered;
     result.stats.admitted = counters.admitted;
     result.stats.rejected = counters.rejected;

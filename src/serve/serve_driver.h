@@ -27,6 +27,18 @@ struct ServeConfig {
     uint64_t seed = 42;  ///< load-gen + request-payload seed
     bool verify = false;
     bool collectOutputs = false;  ///< retain outputs (implied by verify)
+
+    /**
+     * Cadence of the serve loop's sampler thread, which snapshots
+     * queue depth onto the session time axis (ServeStats::depthSamples)
+     * and — when the paths below are set — rewrites live metrics
+     * snapshots every tick. 0 disables the sampler.
+     */
+    int64_t samplerCadenceUs = 10000;
+
+    /** Rewritten each sampler tick + once post-drain. "" = off. */
+    std::string metricsJsonPath;
+    std::string metricsPromPath;
 };
 
 /** Retained outputs of one served request (verify / determinism). */

@@ -57,7 +57,17 @@ struct ServeStats {
 
     std::vector<RequestRecord> requests;  ///< completed, dispatch order
     std::vector<BatchRecord> batches;
+
+    /**
+     * Queue depth over time, timestamps monotonic since session start
+     * (the same t0 durationUs measures from): event-driven samples
+     * taken at every batch dispatch, merged with fixed-cadence samples
+     * from the serve loop's sampler thread when one runs.
+     */
     std::vector<QueueDepthSample> depthSamples;
+
+    /** Sampler thread cadence (0 = no sampler ran). */
+    int64_t samplerCadenceUs = 0;
     std::map<int, int64_t> batchSizeHist;
     std::map<std::string, int64_t> completedByModel;
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate a measured ngb Chrome/Perfetto trace.
+
+Checks, in order:
+
+ 1. the file parses as JSON and has the Chrome trace-event envelope
+    ({"traceEvents": [...]});
+ 2. every event carries the mandatory keys for its phase;
+ 3. complete ("X") events nest properly per (pid, tid) track: spans on
+    one thread's track must form a forest — a span that overlaps its
+    predecessor's interval without being contained by it would render
+    as garbage in the trace viewer and indicates broken span scoping
+    (queue residencies, which legitimately overlap, are exported as
+    async "b"/"e" pairs and checked for id-pairing instead);
+ 4. async begin/end events pair up per (cat, id).
+
+Exit status 0 on a valid trace; 1 with a diagnostic otherwise.
+
+Usage: check_trace.py FILE [--min-events N] [--require-request-spans]
+"""
+import argparse
+import collections
+import json
+import sys
+
+# Timestamps are exported with 3 fractional digits (microseconds), so
+# two adjacent spans can disagree by one rounding step without being
+# mis-nested.
+EPS_US = 0.002
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_nesting(tid, spans):
+    """spans: list of (ts, end) sorted by (ts, -end)."""
+    stack = []
+    for ts, end in spans:
+        while stack and stack[-1] <= ts + EPS_US:
+            stack.pop()
+        if stack and end > stack[-1] + EPS_US:
+            fail(
+                f"track {tid}: span [{ts}, {end}] overlaps its "
+                f"enclosing span ending at {stack[-1]} without nesting"
+            )
+        stack.append(end)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1)
+    ap.add_argument(
+        "--require-request-spans",
+        action="store_true",
+        help="demand per-request trace ids (a serve-mode trace)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing traceEvents envelope")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events (need >= {args.min_events})")
+
+    by_track = collections.defaultdict(list)
+    async_open = collections.Counter()
+    trace_ids = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} ({ph}) missing {key!r}")
+        if ph == "X":
+            if "ts" not in ev or "dur" not in ev:
+                fail(f"event {i} (X) missing ts/dur")
+            if ev["dur"] < 0:
+                fail(f"event {i} has negative dur {ev['dur']}")
+            by_track[(ev["pid"], ev["tid"])].append(
+                (ev["ts"], ev["ts"] + ev["dur"])
+            )
+            tid = ev.get("args", {}).get("trace_id")
+            if tid is not None:
+                trace_ids.add(tid)
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                fail(f"event {i} ({ph}) missing id")
+            key = (ev.get("cat"), ev["id"])
+            async_open[key] += 1 if ph == "b" else -1
+            if async_open[key] < 0:
+                fail(f"async end before begin for {key}")
+        elif ph == "M":
+            continue
+        else:
+            fail(f"event {i}: unexpected phase {ph!r}")
+
+    for key, open_count in async_open.items():
+        if open_count != 0:
+            fail(f"unbalanced async span {key}: {open_count} unclosed")
+
+    for (pid, tid), spans in by_track.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        check_nesting(f"{pid}/{tid}", spans)
+
+    if args.require_request_spans and not trace_ids:
+        fail("no per-request trace ids found in span args")
+
+    n_tracks = len(by_track)
+    print(
+        f"check_trace: OK: {len(events)} events, {n_tracks} X-span "
+        f"tracks, {len(trace_ids)} request trace ids"
+    )
+
+
+if __name__ == "__main__":
+    main()
