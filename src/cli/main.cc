@@ -21,6 +21,7 @@
 #include "deploy/fusion.h"
 #include "models/registry.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "ops/backend.h"
 #include "profiler/nongemm_report.h"
@@ -81,10 +82,12 @@ struct ObsCliOpts {
     std::string trace;    ///< measured Chrome/Perfetto trace JSON
     std::string metrics;  ///< metrics registry snapshot, JSON
     std::string prom;     ///< metrics registry snapshot, Prometheus text
+    bool perf = false;    ///< sample hw counters around kernel scopes
 
     bool any() const
     {
-        return !trace.empty() || !metrics.empty() || !prom.empty();
+        return !trace.empty() || !metrics.empty() || !prom.empty() ||
+               perf;
     }
 };
 
@@ -398,6 +401,9 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
             r.runtime.measuredPeakBytes = profile.memory.boundPeakBytes;
             r.runtime.heapAllocs = profile.memory.heapAllocs;
             r.runtime.scratchPeakBytes = profile.memory.scratchPeakBytes;
+            r.runtime.perf = profile.perf;
+            r.runtime.modelFlops = profile.modelFlops;
+            r.runtime.modelBytes = profile.modelBytes;
         }
         printReport(r, std::cout);
         if (!json.empty()) {
@@ -598,6 +604,14 @@ usage()
         "                       every sampler tick. $NGB_METRICS=1\n"
         "                       enables metering without exporting\n"
         "  --prom FILE          same snapshot in Prometheus text format\n"
+        "  --perf               sample hardware counters (cycles,\n"
+        "                       instructions, LLC/branch misses) around\n"
+        "                       every kernel scope via perf_event_open\n"
+        "                       and report per-category IPC/MPKI plus a\n"
+        "                       measured roofline; degrades to a clock\n"
+        "                       fallback when the syscall is denied\n"
+        "                       (see kernel.perf_event_paranoid).\n"
+        "                       $NGB_PERF=1 enables it too\n"
         "\n"
         "--threads/--scale/--seq/--verify/--backend/--fuse/--json\n"
         "apply to --serve too (fused engines are cached separately).\n";
@@ -784,6 +798,8 @@ main(int argc, char **argv)
             obsOut.metrics = next();
         } else if (a == "--prom") {
             obsOut.prom = next();
+        } else if (a == "--perf") {
+            obsOut.perf = true;
         } else {
             std::cerr << "unknown option: " << a << "\n";
             usage();
@@ -891,9 +907,9 @@ main(int argc, char **argv)
         }
     }
     if (obsOut.any() && !rt.enabled && !sv.enabled) {
-        std::cerr << "--metrics/--prom require --runtime or --serve "
-                     "(the analytical bench executes no kernels to "
-                     "meter)\n";
+        std::cerr << "--metrics/--prom/--perf require --runtime or "
+                     "--serve (the analytical bench executes no "
+                     "kernels to meter)\n";
         return 2;
     }
     if (rt.enabled || sv.enabled) {
@@ -907,6 +923,8 @@ main(int argc, char **argv)
         }
         if (!obsOut.metrics.empty() || !obsOut.prom.empty())
             obs::setMetricsEnabled(true);
+        if (obsOut.perf)
+            obs::setPerfEnabled(true);
         if (!ops_csv.empty() || !cat_csv.empty() || !svg.empty() ||
             !dot.empty() || workload)
             std::cerr << "note: --ops-csv/--cat-csv/--svg/--dot/"

@@ -71,12 +71,22 @@ ChromeTraceWriter::processName(int pid, const std::string &name)
 }
 
 void
+ChromeTraceWriter::topLevelRaw(const std::string &key,
+                               const std::string &rendered)
+{
+    topLevel_ += ',';
+    topLevel_ += jsonQuote(key);
+    topLevel_ += ':';
+    topLevel_ += rendered;
+}
+
+void
 ChromeTraceWriter::finish()
 {
     if (finished_)
         return;
     finished_ = true;
-    os_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    os_ << "\n],\"displayTimeUnit\":\"ms\"" << topLevel_ << "}\n";
 }
 
 }  // namespace obs

@@ -71,6 +71,14 @@ class ChromeTraceWriter
     /** process_name metadata. */
     void processName(int pid, const std::string &name);
 
+    /**
+     * Attach a top-level key (rendered JSON) emitted beside
+     * traceEvents when the document closes — the Chrome-format slot
+     * for exporter metadata (drop counts, counter availability) that
+     * belongs to the trace as a whole rather than to any event.
+     */
+    void topLevelRaw(const std::string &key, const std::string &rendered);
+
     /** Close the trace document (idempotent). */
     void finish();
 
@@ -82,6 +90,7 @@ class ChromeTraceWriter
     std::ostream &os_;
     bool first_ = true;
     bool finished_ = false;
+    std::string topLevel_;
 };
 
 }  // namespace obs

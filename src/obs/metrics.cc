@@ -5,6 +5,8 @@
 #include <cstdlib>
 
 #include "obs/json_util.h"
+#include "obs/perf.h"
+#include "obs/trace.h"
 #include "tensor/scratch.h"
 #include "tensor/tensor.h"
 
@@ -210,6 +212,33 @@ MetricsRegistry::MetricsRegistry()
     };
     providers_["scratch.high_water_bytes"] = [] {
         return ScratchArena::globalHighWaterBytes();
+    };
+    // Spans lost to ring wrap-around: nonzero means the exported
+    // trace under-reports and scrapers should widen the ring.
+    providers_["trace.dropped_spans"] = [] {
+        return static_cast<int64_t>(Tracer::instance().totalDropped());
+    };
+    // Cumulative hardware-counter totals from kernel CounterScopes
+    // (all zero when --perf is off or counters are unavailable).
+    providers_["perf.cycles"] = [] {
+        return static_cast<int64_t>(
+            PerfAggregator::instance().totals().total.cycles);
+    };
+    providers_["perf.instructions"] = [] {
+        return static_cast<int64_t>(
+            PerfAggregator::instance().totals().total.instructions);
+    };
+    providers_["perf.llc_misses"] = [] {
+        return static_cast<int64_t>(
+            PerfAggregator::instance().totals().total.cacheMisses);
+    };
+    providers_["perf.branch_misses"] = [] {
+        return static_cast<int64_t>(
+            PerfAggregator::instance().totals().total.branchMisses);
+    };
+    providers_["perf.kernel_scopes"] = [] {
+        return static_cast<int64_t>(
+            PerfAggregator::instance().totals().total.scopes);
     };
 }
 

@@ -1,0 +1,194 @@
+#ifndef NGB_OBS_PERF_H
+#define NGB_OBS_PERF_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+#include "ops/op_types.h"
+#include "platform/perf_events.h"
+
+/**
+ * @file
+ * Hardware-counter profiling layered on the span tracer: a
+ * CounterScope snapshots the calling thread's perf-event group at
+ * construction and destruction, attaches the delta to the enclosing
+ * span record (Node/Level/Request spans grow an optional counter
+ * payload), and accumulates per-op-category totals into the process
+ * PerfAggregator — the measured substrate for per-category IPC,
+ * misses-per-kilo-instruction, and the roofline summary.
+ *
+ * Same zero-cost-when-off discipline as tracing: perfEnabled() is one
+ * relaxed atomic load (compile-time false under -DNGB_NO_OBS), and the
+ * counters themselves degrade gracefully — a host without
+ * perf_event_open access still runs every scope, reporting counters
+ * as unavailable rather than failing or fabricating numbers.
+ */
+
+namespace ngb {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_perfEnabled;
+}
+
+/** True when counter sampling is on ($NGB_PERF=1 or setPerfEnabled). */
+inline bool
+perfEnabled()
+{
+    return kObsCompiled &&
+           detail::g_perfEnabled.load(std::memory_order_relaxed);
+}
+
+/** Flip counter sampling for the process. */
+void setPerfEnabled(bool on);
+
+/** Dense category index space for the aggregation tables. */
+constexpr size_t kPerfCategories =
+    static_cast<size_t>(OpCategory::Misc) + 1;
+
+/**
+ * Saturating counter difference @p b - @p a (a read before b on the
+ * same thread's group). measured only when both ends carried real PMU
+ * counts; the time fields always subtract (clock fallback keeps real
+ * elapsed time, so scope durations survive degradation).
+ */
+perf::CounterValues counterDelta(const perf::CounterValues &a,
+                                 const perf::CounterValues &b);
+
+/**
+ * Aggregated hardware-counter profile of one run (or one serving
+ * session): totals and a per-op-category table of the counter deltas
+ * recorded by top-level Node CounterScopes. When `measured` is false
+ * every counter is zero and `status` says why (the numbers that ARE
+ * reported are never fabricated).
+ */
+struct PerfCounterStats {
+    bool enabled = false;   ///< counter sampling was on for the run
+    bool measured = false;  ///< real PMU counts (vs clock fallback)
+    size_t hwCounters = 0;  ///< counters per group (4 = full)
+    std::string status;     ///< degradation detail, "" when full
+
+    struct Bucket {
+        uint64_t cycles = 0;
+        uint64_t instructions = 0;
+        uint64_t cacheMisses = 0;  ///< LLC misses
+        uint64_t branchMisses = 0;
+        uint64_t scopes = 0;  ///< aggregated (top-level) kernel scopes
+
+        double ipc() const
+        {
+            return cycles > 0 ? static_cast<double>(instructions) /
+                                    static_cast<double>(cycles)
+                              : 0.0;
+        }
+
+        /** LLC misses per thousand instructions. */
+        double missesPerKiloInstr() const
+        {
+            return instructions > 0
+                       ? 1000.0 * static_cast<double>(cacheMisses) /
+                             static_cast<double>(instructions)
+                       : 0.0;
+        }
+
+        /** DRAM traffic proxy: LLC misses x 64-byte lines. */
+        double bytesMovedEstimate() const
+        {
+            return static_cast<double>(cacheMisses) * 64.0;
+        }
+    };
+
+    Bucket total;
+    std::array<Bucket, kPerfCategories> byCategory{};
+
+    const Bucket &category(OpCategory c) const
+    {
+        return byCategory[static_cast<size_t>(c)];
+    }
+
+    /** Field-wise @p t1 - @p t0 of two cumulative snapshots. */
+    static PerfCounterStats since(const PerfCounterStats &t0,
+                                  const PerfCounterStats &t1);
+};
+
+/**
+ * Process-wide accumulation of CounterScope deltas: per-thread tables
+ * of relaxed atomics (each thread is the sole writer of its table),
+ * registered on a thread's first scope and retired never. totals()
+ * sums across threads and is safe to call while producers run (the
+ * counters are monotone, so two totals() calls bracket a run and
+ * their difference is the run's aggregate); per-run consumers diff
+ * snapshots via PerfCounterStats::since after their fork-join.
+ */
+class PerfAggregator
+{
+  public:
+    static PerfAggregator &instance();
+
+    /** Cumulative process totals (enabled/measured/status filled in). */
+    PerfCounterStats totals() const;
+
+    /** Zero every thread's table (bench/test isolation, quiescent). */
+    void clear();
+
+    /** Accumulate a scope delta under @p category (ignores < 0). */
+    void accumulate(int category, const perf::CounterValues &d);
+
+  private:
+    PerfAggregator() = default;
+
+    struct ThreadBucket {
+        // [category][cycles, instructions, cacheMisses, branchMisses,
+        // scopes] — single-writer relaxed stores, racing readers sum.
+        std::atomic<uint64_t> v[kPerfCategories][5] = {};
+    };
+
+    ThreadBucket &threadBucket();
+
+    mutable std::mutex mutex_;  ///< bucket registration / enumeration
+    std::vector<std::unique_ptr<ThreadBucket>> buckets_;
+};
+
+/**
+ * RAII counter sampling around a unit of work on ONE thread: reads
+ * the thread's grouped counters at construction and destruction (one
+ * read() syscall each), writes the delta into @p span's counter
+ * payload (null = aggregate only), and — when @p category >= 0 —
+ * accumulates it into the PerfAggregator.
+ *
+ * Nest freely: reads are cumulative, so inner scopes simply see a
+ * subset of the outer delta. Aggregating call sites must pass
+ * category >= 0 only at the outermost per-kernel level (the eval seam
+ * passes -1 for fused members so group totals count once); Level and
+ * Request scopes are attach-only by construction.
+ *
+ * The payload reflects the RECORDING thread's counters within the
+ * scope — meaningful for Node and Request scopes (work runs where it
+ * is recorded), coordination-only for a Level span whose kernels ran
+ * on pool workers.
+ */
+class CounterScope
+{
+  public:
+    explicit CounterScope(SpanEvent *span, int category = -1);
+    ~CounterScope();
+
+    CounterScope(const CounterScope &) = delete;
+    CounterScope &operator=(const CounterScope &) = delete;
+
+    bool armed() const { return armed_; }
+
+  private:
+    bool armed_;
+    SpanEvent *span_;
+    int category_;
+    perf::CounterValues start_;
+};
+
+}  // namespace obs
+}  // namespace ngb
+
+#endif  // NGB_OBS_PERF_H

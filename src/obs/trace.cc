@@ -270,6 +270,16 @@ spanArgs(const SpanEvent &ev)
     case SpanKind::Mark:
         break;
     }
+    if (ev.hasCounters) {
+        if (ev.countersMeasured) {
+            args.add("cycles", ev.cCycles);
+            args.add("instructions", ev.cInstr);
+            args.add("llc_misses", ev.cCacheMiss);
+            args.add("branch_misses", ev.cBranchMiss);
+        } else {
+            args.add("counters", "unavailable");
+        }
+    }
     return args;
 }
 
@@ -308,6 +318,21 @@ Tracer::writeChromeTrace(std::ostream &os) const
                             args);
         }
     }
+    // Trace-level metadata: total and per-thread ring drops, so
+    // consumers (tools/check_trace.py) can flag lossy traces without
+    // scanning every event for ring_dropped markers.
+    uint64_t dropped = 0;
+    JsonDict per_thread;
+    for (const auto &t : threads) {
+        dropped += t.dropped;
+        if (t.dropped > 0)
+            per_thread.add(t.name, t.dropped);
+    }
+    JsonDict meta;
+    meta.add("dropped_spans", dropped);
+    if (dropped > 0)
+        meta.addRaw("dropped_by_thread", per_thread.str());
+    w.topLevelRaw("otherData", meta.str());
     w.finish();
 }
 

@@ -94,6 +94,19 @@ struct SpanEvent {
     int64_t a2 = 0;
     char label[24] = {};
 
+    /**
+     * Optional hardware-counter payload (Node/Level/Request spans,
+     * filled by obs::CounterScope when --perf is on). countersMeasured
+     * distinguishes real PMU deltas from the clock fallback, whose
+     * counter fields stay zero and are never exported as numbers.
+     */
+    bool hasCounters = false;
+    bool countersMeasured = false;
+    uint64_t cCycles = 0;
+    uint64_t cInstr = 0;
+    uint64_t cCacheMiss = 0;   ///< LLC misses
+    uint64_t cBranchMiss = 0;
+
     void setLabel(const std::string &s)
     {
         size_t n = s.size() < sizeof(label) - 1 ? s.size()

@@ -34,6 +34,14 @@ Backend::evalTraced(const KernelContext &ctx) const
     if (!ctx.node.outShapes.empty())
         ev.a0 = ctx.node.outShapes[0].numel();
     ev.a1 = ctx.alloc ? ctx.alloc->plannedOffset(ctx.node, 0) : -1;
+    // Fused members (re-dispatched with synthetic negative ids) get a
+    // counter payload on their span but do NOT aggregate: the
+    // enclosing group scope already counts their work once, under the
+    // group's category — the same single-counting rule the time
+    // profile applies to node_us.
+    obs::CounterScope counters(
+        span.armed() ? &span.ev() : nullptr,
+        ctx.node.id < 0 ? -1 : static_cast<int>(ctx.node.category()));
     return kernelFor(ctx.node.kind)(ctx);
 }
 

@@ -8,6 +8,7 @@
 
 #include "graph/node.h"
 #include "graph/param_store.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "ops/allocator.h"
 #include "ops/op_types.h"
@@ -196,17 +197,18 @@ class Backend
     /**
      * Dispatch one node evaluation through this backend. This is the
      * single dispatch seam every executor funnels through, so it is
-     * also where the measured tracer hooks in: when tracing is off the
-     * guard inlines to one relaxed load and dispatch proceeds
-     * untouched; when on, the out-of-line traced path records a Node
-     * span (op kind, backend, fused flag, output numel, arena offset)
-     * around the kernel. Fused kernels re-dispatch their members
-     * through ctx.backend, so member spans nest inside the group span
-     * with no extra plumbing.
+     * also where the measured tracer AND the hardware-counter sampler
+     * hook in: when both are off the guard inlines to two relaxed
+     * loads and dispatch proceeds untouched; when on, the out-of-line
+     * traced path records a Node span (op kind, backend, fused flag,
+     * output numel, arena offset) and/or a CounterScope (counter
+     * payload + per-category aggregation) around the kernel. Fused
+     * kernels re-dispatch their members through ctx.backend, so member
+     * spans nest inside the group span with no extra plumbing.
      */
     std::vector<Tensor> eval(const KernelContext &ctx) const
     {
-        if (obs::traceEnabled())
+        if (obs::traceEnabled() || obs::perfEnabled())
             return evalTraced(ctx);
         return kernelFor(ctx.node.kind)(ctx);
     }

@@ -1,0 +1,245 @@
+#include "platform/perf_events.h"
+
+#include <chrono>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define NGB_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#else
+#define NGB_HAVE_PERF_EVENT 0
+#endif
+
+#if defined(__linux__)
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+namespace ngb {
+namespace perf {
+
+bool
+parseGroupRead(const uint64_t *words, size_t nwords, size_t expect,
+               CounterValues *out)
+{
+    *out = CounterValues{};
+    if (words == nullptr || nwords < 3)
+        return false;
+    uint64_t nr = words[0];
+    // The header must describe exactly the buffer handed to us, and
+    // we never map more values than the group was opened with.
+    if (nwords != 3 + nr || nr > expect)
+        return false;
+    out->timeEnabledNs = words[1];
+    out->timeRunningNs = words[2];
+    uint64_t *slot[4] = {&out->cycles, &out->instructions,
+                         &out->cacheMisses, &out->branchMisses};
+    for (uint64_t i = 0; i < nr && i < 4; ++i)
+        *slot[i] = words[3 + i];
+    out->measured = nr > 0;
+    return true;
+}
+
+namespace {
+
+uint64_t
+monotonicNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+#if NGB_HAVE_PERF_EVENT
+
+int
+openCounter(uint32_t type, uint64_t config, int groupFd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = groupFd < 0 ? 1 : 0;  // leader starts the group
+    // User-space only: works at perf_event_paranoid <= 2 (the common
+    // non-hardened default) without CAP_PERFMON.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return static_cast<int>(syscall(__NR_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1, groupFd,
+                                    /*flags=*/0));
+}
+
+std::string
+openErrorDetail(int err)
+{
+    std::string msg = std::string("perf_event_open: ") +
+                      std::strerror(err);
+    if (err == EACCES || err == EPERM)
+        msg += " (perf_event_paranoid too high? need <= 2, or "
+               "CAP_PERFMON)";
+    else if (err == ENOSYS)
+        msg += " (syscall unavailable — seccomp/container?)";
+    else if (err == ENOENT)
+        msg += " (event unsupported on this PMU)";
+    return msg;
+}
+
+#endif  // NGB_HAVE_PERF_EVENT
+
+}  // namespace
+
+PerfGroup::PerfGroup()
+{
+    open();
+}
+
+PerfGroup::PerfGroup(bool forceFallback)
+{
+    if (forceFallback)
+        detail_ = "fallback forced (test)";
+    else
+        open();
+}
+
+PerfGroup::~PerfGroup()
+{
+    closeAll();
+}
+
+void
+PerfGroup::open()
+{
+#if NGB_HAVE_PERF_EVENT
+    fd_ = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd_ < 0) {
+        detail_ = openErrorDetail(errno);
+        return;
+    }
+    nCounters_ = 1;
+    // Siblings in CounterValues order. A PMU short on programmable
+    // counters (or missing an event) just yields a smaller group —
+    // cycles+instructions still give IPC; misses stay "unavailable".
+    const uint64_t configs[3] = {PERF_COUNT_HW_INSTRUCTIONS,
+                                 PERF_COUNT_HW_CACHE_MISSES,
+                                 PERF_COUNT_HW_BRANCH_MISSES};
+    for (int i = 0; i < 3; ++i) {
+        // Stop at the first failure: CounterValues maps group slots
+        // positionally, so a hole would shift later counters into the
+        // wrong fields.
+        int fd = openCounter(PERF_TYPE_HARDWARE, configs[i], fd_);
+        if (fd < 0) {
+            detail_ = "partial group (" +
+                      std::to_string(nCounters_) + "/4): " +
+                      openErrorDetail(errno);
+            break;
+        }
+        siblings_[i] = fd;
+        ++nCounters_;
+    }
+    ioctl(fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#else
+    detail_ = "perf_event_open not compiled in (non-Linux host)";
+#endif
+}
+
+void
+PerfGroup::closeAll()
+{
+#if NGB_HAVE_PERF_EVENT
+    for (int i = 0; i < 3; ++i)
+        if (siblings_[i] >= 0)
+            ::close(siblings_[i]);
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+    fd_ = -1;
+    siblings_[0] = siblings_[1] = siblings_[2] = -1;
+    nCounters_ = 0;
+}
+
+CounterValues
+PerfGroup::read() const
+{
+    CounterValues v;
+#if NGB_HAVE_PERF_EVENT
+    if (fd_ >= 0) {
+        // [nr, time_enabled, time_running, v0..v3]
+        uint64_t buf[3 + 4] = {};
+        ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n >= 0 &&
+            parseGroupRead(buf, static_cast<size_t>(n) / sizeof(uint64_t),
+                           nCounters_, &v))
+            return v;
+        v = CounterValues{};  // torn read: degrade this sample
+    }
+#endif
+    v.timeEnabledNs = monotonicNs();
+    v.timeRunningNs = v.timeEnabledNs;
+    v.measured = false;
+    return v;
+}
+
+const PerfStatus &
+perfStatus()
+{
+    static const PerfStatus status = [] {
+        PerfStatus s;
+        PerfGroup probe;
+        s.available = probe.available();
+        s.counters = probe.counters();
+        s.detail = probe.available()
+                       ? (probe.detail().empty() ? "hardware counters"
+                                                 : probe.detail())
+                       : probe.detail();
+        return s;
+    }();
+    return status;
+}
+
+RaplReading
+readRaplJoules()
+{
+    RaplReading r;
+#if defined(__linux__)
+    // Top-level package domains only (intel-rapl:N); subdomains
+    // (intel-rapl:N:M) would double-count their parent package.
+    DIR *dir = opendir("/sys/class/powercap");
+    if (dir == nullptr)
+        return r;
+    while (dirent *e = readdir(dir)) {
+        const char *name = e->d_name;
+        if (std::strncmp(name, "intel-rapl:", 11) != 0 ||
+            std::strchr(name + 11, ':') != nullptr)
+            continue;
+        std::string path = std::string("/sys/class/powercap/") + name +
+                           "/energy_uj";
+        std::FILE *f = std::fopen(path.c_str(), "r");
+        if (f == nullptr)
+            continue;
+        unsigned long long uj = 0;
+        if (std::fscanf(f, "%llu", &uj) == 1) {
+            r.joules += static_cast<double>(uj) * 1e-6;
+            ++r.domains;
+        }
+        std::fclose(f);
+    }
+    closedir(dir);
+    r.ok = r.domains > 0;
+#endif
+    return r;
+}
+
+}  // namespace perf
+}  // namespace ngb

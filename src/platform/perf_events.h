@@ -1,0 +1,138 @@
+#ifndef NGB_PLATFORM_PERF_EVENTS_H
+#define NGB_PLATFORM_PERF_EVENTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/**
+ * @file
+ * Thin shim over Linux `perf_event_open`: one grouped set of hardware
+ * counters (cycles, instructions, LLC misses, branch misses) per
+ * thread, read with a single read() per scope so the four values are
+ * mutually consistent (the kernel schedules and unschedules a group
+ * atomically).
+ *
+ * Graceful degradation is the contract, not an afterthought: CI
+ * containers, hardened kernels (perf_event_paranoid >= 3), non-Linux
+ * hosts, and VMs without a PMU must all keep every caller green.
+ * Opening falls back through ever-smaller groups (4 -> 2 -> cycles
+ * alone) and finally to a clock-only mode whose CounterValues carry
+ * `measured = false` and real elapsed time — callers report "counters
+ * unavailable" with a reason string, never wrong numbers and never a
+ * hard failure.
+ */
+
+namespace ngb {
+namespace perf {
+
+/**
+ * One consistent reading of a thread's counter group. When `measured`
+ * is false the counter fields are zero and only the time fields are
+ * meaningful (clock fallback). timeEnabled/timeRunning expose kernel
+ * multiplexing: running < enabled means the PMU was oversubscribed and
+ * raw counts cover only the running fraction (ratios like IPC stay
+ * consistent because the whole group schedules together).
+ */
+struct CounterValues {
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t cacheMisses = 0;   ///< LLC misses
+    uint64_t branchMisses = 0;
+    uint64_t timeEnabledNs = 0;
+    uint64_t timeRunningNs = 0;
+    bool measured = false;  ///< true: real PMU counts; false: clock only
+};
+
+/**
+ * Decode one PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING
+ * read buffer: words = [nr, time_enabled, time_running, v0, v1, ...].
+ * The first @p expect values map onto cycles/instructions/cacheMisses/
+ * branchMisses in order; missing trailing counters (a degraded group)
+ * stay zero. Returns false (and leaves @p out zeroed) on a malformed
+ * buffer — nr mismatch or a buffer shorter than its own header claims.
+ * Pure function, unit-testable without a PMU.
+ */
+bool parseGroupRead(const uint64_t *words, size_t nwords, size_t expect,
+                    CounterValues *out);
+
+/**
+ * A per-thread group of hardware counters. Open on the thread that
+ * will be measured (the fd counts that thread only); read() from the
+ * same thread. Never throws: a group that cannot open degrades to the
+ * clock fallback and remembers why.
+ */
+class PerfGroup
+{
+  public:
+    /** Open the group for the calling thread (or degrade). */
+    PerfGroup();
+
+    /** Test seam: skip the syscall entirely and use the fallback. */
+    explicit PerfGroup(bool forceFallback);
+
+    ~PerfGroup();
+
+    PerfGroup(const PerfGroup &) = delete;
+    PerfGroup &operator=(const PerfGroup &) = delete;
+
+    /** True when real PMU counters are being read. */
+    bool available() const { return fd_ >= 0; }
+
+    /** Number of hardware counters actually opened (0 in fallback). */
+    size_t counters() const { return nCounters_; }
+
+    /** Why the group is degraded ("" when fully available). */
+    const std::string &detail() const { return detail_; }
+
+    /**
+     * One consistent sample: a single read() of the whole group, or
+     * the monotonic clock in fallback mode (measured = false, elapsed
+     * time still real so scope durations keep working).
+     */
+    CounterValues read() const;
+
+  private:
+    void open();
+    void closeAll();
+
+    int fd_ = -1;           ///< group leader; -1 = fallback mode
+    int siblings_[3] = {-1, -1, -1};
+    size_t nCounters_ = 0;  ///< leader + opened siblings
+    std::string detail_;
+};
+
+/**
+ * Process-level availability probe, evaluated once on first use (opens
+ * and closes a probe group on the calling thread). `detail` names the
+ * degradation cause — e.g. "perf_event_open: Permission denied
+ * (perf_event_paranoid too high?)" — for reports and JSON.
+ */
+struct PerfStatus {
+    bool available = false;
+    size_t counters = 0;
+    std::string detail;
+};
+
+const PerfStatus &perfStatus();
+
+/**
+ * RAPL package energy via /sys/class/powercap: the sum of every
+ * readable intel-rapl domain's energy_uj, in joules. ok = false when
+ * no domain is readable (unprivileged containers, non-Intel hosts) —
+ * callers must label their energy numbers as model-derived then.
+ * Counters wrap at max_energy_range_uj; diff two readings over a
+ * short window and treat negative deltas as a wrap.
+ */
+struct RaplReading {
+    bool ok = false;
+    double joules = 0;
+    int domains = 0;
+};
+
+RaplReading readRaplJoules();
+
+}  // namespace perf
+}  // namespace ngb
+
+#endif  // NGB_PLATFORM_PERF_EVENTS_H

@@ -144,6 +144,16 @@ printReport(const ProfileReport &r, std::ostream &os)
            << " execution, peak bound " << rt.measuredPeakBytes / 1024
            << " KiB, " << rt.heapAllocs << " heap tensor allocs, scratch "
            << rt.scratchPeakBytes / 1024 << " KiB\n";
+        if (rt.perf.enabled) {
+            if (rt.perf.measured)
+                os << "    hw counters: IPC " << std::setprecision(2)
+                   << rt.perf.total.ipc() << ", LLC MPKI "
+                   << rt.perf.total.missesPerKiloInstr() << " over "
+                   << rt.perf.total.scopes << " kernel scopes\n";
+            else
+                os << "    hw counters: unavailable (" << rt.perf.status
+                   << ")\n";
+        }
     }
 }
 
@@ -182,6 +192,47 @@ writeJsonReport(const ProfileReport &r, std::ostream &os)
            << ", \"heap_allocs\": " << r.runtime.heapAllocs
            << ", \"scratch_peak_bytes\": " << r.runtime.scratchPeakBytes
            << "},\n";
+    }
+    if (r.runtime.perf.enabled) {
+        const obs::PerfCounterStats &pf = r.runtime.perf;
+        double wall_s = r.runtime.wallUs * 1e-6;
+        double flops_per_s =
+            wall_s > 0
+                ? r.runtime.modelFlops * r.runtime.requests / wall_s
+                : 0;
+        double bw_proxy =
+            wall_s > 0 ? pf.total.bytesMovedEstimate() / wall_s : 0;
+        os << "  \"perf\": {\"measured\": "
+           << (pf.measured ? "true" : "false") << ", \"hw_counters\": "
+           << pf.hwCounters << ", \"status\": \"" << esc(pf.status)
+           << "\", \"cycles\": " << pf.total.cycles
+           << ", \"instructions\": " << pf.total.instructions
+           << ", \"llc_misses\": " << pf.total.cacheMisses
+           << ", \"branch_misses\": " << pf.total.branchMisses
+           << ", \"kernel_scopes\": " << pf.total.scopes
+           << ", \"ipc\": " << pf.total.ipc()
+           << ", \"llc_mpki\": " << pf.total.missesPerKiloInstr()
+           << ", \"model_flops\": " << r.runtime.modelFlops
+           << ", \"model_bytes\": " << r.runtime.modelBytes
+           << ", \"flops_per_sec\": " << flops_per_s
+           << ", \"bandwidth_proxy_bps\": " << bw_proxy
+           << ", \"categories\": {";
+        bool pfirst = true;
+        for (size_t c = 0; c < obs::kPerfCategories; ++c) {
+            const auto &b = pf.byCategory[c];
+            if (b.scopes == 0)
+                continue;
+            if (!pfirst)
+                os << ", ";
+            pfirst = false;
+            os << "\"" << opCategoryName(static_cast<OpCategory>(c))
+               << "\": {\"cycles\": " << b.cycles << ", \"instructions\": "
+               << b.instructions << ", \"llc_misses\": " << b.cacheMisses
+               << ", \"branch_misses\": " << b.branchMisses
+               << ", \"scopes\": " << b.scopes << ", \"ipc\": " << b.ipc()
+               << ", \"llc_mpki\": " << b.missesPerKiloInstr() << "}";
+        }
+        os << "}},\n";
     }
     os << "  \"energy_gpu_j\": " << r.energy.gpuJoules << ",\n";
     os << "  \"energy_cpu_j\": " << r.energy.cpuJoules << ",\n";

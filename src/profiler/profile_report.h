@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "deploy/fusion.h"
+#include "obs/perf.h"
 #include "platform/cost_model.h"
 #include "platform/plan.h"
 
@@ -74,6 +75,12 @@ struct ProfileReport {
         int64_t measuredPeakBytes = 0;  ///< max bound arena extent
         int64_t heapAllocs = 0;         ///< Storage heap allocs in run
         int64_t scratchPeakBytes = 0;   ///< kernel-temporary high water
+
+        // Hardware-counter aggregate + roofline inputs (--perf runs;
+        // perf.enabled false otherwise).
+        obs::PerfCounterStats perf;
+        double modelFlops = 0;  ///< cost-model FLOPs of one request
+        double modelBytes = 0;  ///< cost-model bytes of one request
     };
     MeasuredRuntime runtime;
 

@@ -2,8 +2,29 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <sstream>
 
 namespace ngb {
+
+namespace {
+
+/** 1234567 -> "1.23M": engineering notation for counter magnitudes. */
+std::string
+engFmt(double v)
+{
+    static const char *suffix[] = {"", "k", "M", "G", "T", "P"};
+    int mag = 0;
+    while (v >= 1000.0 && mag < 5) {
+        v /= 1000.0;
+        ++mag;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(v < 10 ? 2 : v < 100 ? 1 : 0)
+       << v << suffix[mag];
+    return os.str();
+}
+
+}  // namespace
 
 void
 printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
@@ -74,6 +95,47 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
            << std::right << std::setw(10) << std::setprecision(1) << us
            << " us  (" << std::setw(5)
            << (p.sumUs > 0 ? 100.0 * us / p.sumUs : 0) << "%)\n";
+
+    if (p.perf.enabled) {
+        const obs::PerfCounterStats &pf = p.perf;
+        if (!pf.measured) {
+            os << "  hw counters: unavailable (" << pf.status << ")  |  "
+               << pf.total.scopes << " kernel scopes clocked\n";
+        } else {
+            os << "  hw counters (" << pf.hwCounters
+               << "/4 grouped): cycles " << engFmt(pf.total.cycles)
+               << "  instr " << engFmt(pf.total.instructions)
+               << "  IPC " << std::setprecision(2) << pf.total.ipc()
+               << "  LLC MPKI " << pf.total.missesPerKiloInstr()
+               << "  |  " << pf.total.scopes << " kernel scopes";
+            if (!pf.status.empty())
+                os << "  (" << pf.status << ")";
+            os << "\n";
+            for (size_t c = 0; c < obs::kPerfCategories; ++c) {
+                const auto &b = pf.byCategory[c];
+                if (b.scopes == 0)
+                    continue;
+                os << "    " << std::left << std::setw(14)
+                   << opCategoryName(static_cast<OpCategory>(c))
+                   << std::right << " cycles " << std::setw(8)
+                   << engFmt(b.cycles) << "  IPC " << std::setw(5)
+                   << std::setprecision(2) << b.ipc() << "  MPKI "
+                   << std::setw(6) << b.missesPerKiloInstr() << "  ("
+                   << engFmt(static_cast<double>(b.scopes))
+                   << " scopes)\n";
+            }
+        }
+        os << "  roofline: " << engFmt(p.measuredFlopsPerSec())
+           << "FLOP/s (model FLOPs / measured wall)";
+        if (pf.measured)
+            os << "  |  bw proxy " << engFmt(p.measuredBandwidthProxy())
+               << "B/s (LLC-miss lines)  |  AI " << std::setprecision(1)
+               << p.measuredArithmeticIntensity() << " flop/B";
+        else
+            os << "  |  bw proxy unavailable (no LLC-miss counter)";
+        os << "  |  model " << engFmt(p.modelFlops) << "FLOP, "
+           << engFmt(p.modelBytes) << "B per request\n";
+    }
 }
 
 void

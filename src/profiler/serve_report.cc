@@ -85,6 +85,20 @@ printServeReport(const ServeStats &s, std::ostream &os)
            << s.arenaBlockBytes / 1024 << " KiB)";
     os << "\n";
 
+    if (s.perf.enabled) {
+        if (s.perf.measured)
+            os << "  hw counters: IPC " << std::setprecision(2)
+               << s.perf.total.ipc() << ", LLC MPKI "
+               << s.perf.total.missesPerKiloInstr() << ", "
+               << std::setprecision(0) << s.cyclesPerRequest() * 1e-6
+               << " Mcycles/request over " << s.perf.total.scopes
+               << " kernel scopes\n";
+        else
+            os << "  hw counters: unavailable (" << s.perf.status
+               << "), " << s.perf.total.scopes
+               << " kernel scopes clocked\n";
+    }
+
     int64_t timeout_closed = 0;
     for (const BatchRecord &b : s.batches)
         timeout_closed += b.closedByTimeout;
@@ -206,6 +220,22 @@ writeServeJson(const ServeStats &s, std::ostream &os)
        << ", \"allocs_per_request\": " << s.allocsPerRequest()
        << ", \"arena_blocks\": " << s.arenaBlocks
        << ", \"arena_block_bytes\": " << s.arenaBlockBytes << "},\n";
+    if (s.perf.enabled) {
+        const obs::PerfCounterStats &pf = s.perf;
+        os << "  \"perf\": {\"measured\": "
+           << (pf.measured ? "true" : "false") << ", \"hw_counters\": "
+           << pf.hwCounters << ", \"status\": "
+           << obs::jsonQuote(pf.status)
+           << ", \"cycles\": " << pf.total.cycles
+           << ", \"instructions\": " << pf.total.instructions
+           << ", \"llc_misses\": " << pf.total.cacheMisses
+           << ", \"branch_misses\": " << pf.total.branchMisses
+           << ", \"kernel_scopes\": " << pf.total.scopes
+           << ", \"ipc\": " << pf.total.ipc()
+           << ", \"llc_mpki\": " << pf.total.missesPerKiloInstr()
+           << ", \"cycles_per_request\": " << s.cyclesPerRequest()
+           << "},\n";
+    }
     os << "  \"batches\": " << s.batches.size() << ",\n";
     os << "  \"mean_batch_size\": " << s.meanBatchSize() << ",\n";
     os << "  \"batch_size_hist\": {";

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "tensor/scratch.h"
 
@@ -84,6 +85,10 @@ BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
     profile_.planUs = plan_->planUs + elapsedUsSince(t0);
     profile_.backend = backend_.name();
     profile_.fused = g_.hasFusedNodes();
+    for (const Node &n : g_.nodes()) {
+        profile_.modelFlops += n.cost.flops;
+        profile_.modelBytes += n.cost.totalBytes();
+    }
 }
 
 std::vector<Tensor>
@@ -181,6 +186,12 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
     uint64_t allocs0 = Storage::heapAllocCount();
     uint64_t alloc_bytes0 = Storage::heapAllocBytes();
 
+    // Post-join difference of cumulative aggregator snapshots = this
+    // batch's counter aggregate (the eval seam accumulates on workers).
+    obs::PerfCounterStats perf0;
+    if (obs::perfEnabled())
+        perf0 = obs::PerfAggregator::instance().totals();
+
     auto wall0 = Clock::now();
     pool_.parallelFor(requests.size(), [&](size_t r, int) {
         // The serving layer's per-request id rides into every span
@@ -192,9 +203,18 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
                                   : static_cast<uint64_t>(r) + 1);
         obs::ScopedSpan span(obs::SpanKind::Request);
         span.ev().a0 = static_cast<int64_t>(r);
+        // Attach-only: the request runs on this worker, so its span
+        // payload is the request's own counter footprint (kernel
+        // scopes inside it do the per-category aggregation).
+        obs::CounterScope counters(span.armed() ? &span.ev() : nullptr);
         outputs[r] = runOne(requests[r], node_us[r], req_mem[r]);
     });
     profile_.wallUs = elapsedUsSince(wall0);
+
+    profile_.perf = obs::PerfCounterStats{};
+    if (obs::perfEnabled())
+        profile_.perf = obs::PerfCounterStats::since(
+            perf0, obs::PerfAggregator::instance().totals());
 
     profile_.threads = pool_.threads();
     profile_.requests = static_cast<int>(requests.size());

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "tensor/scratch.h"
 
@@ -30,6 +31,10 @@ ParallelExecutor::ParallelExecutor(const Graph &g, Schedule sched,
     auto t0 = Clock::now();
     profile_.backend = backend_.name();
     profile_.fused = g_.hasFusedNodes();
+    for (const Node &n : g_.nodes()) {
+        profile_.modelFlops += n.cost.flops;
+        profile_.modelBytes += n.cost.totalBytes();
+    }
     memplan_ = planMemory(g_, sched_);
     arena_ = arena_ && memplan_.arenaBytes > 0;
     if (arena_)
@@ -113,6 +118,13 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
     // re-establish it inside each task so node spans stay tagged.
     uint64_t trace_id = obs::currentTraceId();
 
+    // Bracket the run with cumulative aggregator snapshots: the
+    // kernel-level CounterScopes (eval seam) accumulate on the pool's
+    // workers, and the post-join difference is this run's aggregate.
+    obs::PerfCounterStats perf0;
+    if (obs::perfEnabled())
+        perf0 = obs::PerfAggregator::instance().totals();
+
     profile_.levels.clear();
     auto wall0 = Clock::now();
     for (size_t lvl = 0; lvl < sched_.numLevels(); ++lvl) {
@@ -120,6 +132,10 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
         obs::ScopedSpan level_span(obs::SpanKind::Level);
         level_span.ev().a0 = static_cast<int64_t>(lvl);
         level_span.ev().a1 = static_cast<int64_t>(nodes.size());
+        // Attach-only (never aggregated): this is the dispatching
+        // thread's view of the fork-join region, not the workers'.
+        obs::CounterScope level_counters(
+            level_span.armed() ? &level_span.ev() : nullptr);
         auto t0 = Clock::now();
         pool_.parallelFor(nodes.size(), [&](size_t i, int) {
             obs::TraceIdScope tid(trace_id);
@@ -151,6 +167,11 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
             results[static_cast<size_t>(id)].clear();
     }
     profile_.wallUs = elapsedUsSince(wall0);
+
+    profile_.perf = obs::PerfCounterStats{};
+    if (obs::perfEnabled())
+        profile_.perf = obs::PerfCounterStats::since(
+            perf0, obs::PerfAggregator::instance().totals());
 
     profile_.threads = pool_.threads();
     profile_.schedule = sched_.stats();

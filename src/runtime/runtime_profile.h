@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/schedule.h"
+#include "obs/perf.h"
 #include "ops/op_types.h"
 
 namespace ngb {
@@ -103,6 +104,42 @@ struct RuntimeProfile {
 
     /** Measured kernel time by operator category. */
     std::map<OpCategory, double> usByCategory;
+
+    /**
+     * Hardware-counter aggregate of the run (perf.enabled false when
+     * --perf was off; perf.measured false on hosts without
+     * perf_event_open access, where only scope counts are real).
+     */
+    obs::PerfCounterStats perf;
+
+    /**
+     * Cost-model resource demand of ONE request through the graph
+     * (sum of OpCost over nodes) — the deterministic numerator the
+     * roofline divides by measured wall time.
+     */
+    double modelFlops = 0;
+    double modelBytes = 0;
+
+    /** Measured FLOP/s: modeled FLOPs over measured wall time. */
+    double measuredFlopsPerSec() const
+    {
+        return wallUs > 0 ? modelFlops * requests / (wallUs * 1e-6) : 0;
+    }
+
+    /** Measured DRAM-bandwidth proxy: LLC-miss lines over wall time. */
+    double measuredBandwidthProxy() const
+    {
+        return wallUs > 0
+                   ? perf.total.bytesMovedEstimate() / (wallUs * 1e-6)
+                   : 0;
+    }
+
+    /** FLOPs per byte actually moved (measured denominator). */
+    double measuredArithmeticIntensity() const
+    {
+        double bytes = perf.total.bytesMovedEstimate();
+        return bytes > 0 ? modelFlops * requests / bytes : 0;
+    }
 
     double gemmUs() const
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "graph/executor.h"
 #include "models/registry.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "runtime/request_util.h"
 #include "runtime/runtime_profile.h"
@@ -106,21 +108,40 @@ runClosedLoop(const ServeConfig &cfg, RequestQueue &queue,
     counters.rejected = rejected;
 }
 
+/**
+ * Atomically publish one snapshot file: write a sibling temp file,
+ * then rename() over the target (atomic within a filesystem on
+ * POSIX), so a scraper reading mid-tick sees either the previous
+ * complete snapshot or the new one — never a torn prefix.
+ */
+void
+publishSnapshot(const std::string &path,
+                const std::function<void(std::ostream &)> &write)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f)
+            return;
+        write(f);
+        if (!f.good())
+            return;  // keep the last good snapshot in place
+    }
+    std::rename(tmp.c_str(), path.c_str());
+}
+
 /** Rewrite the JSON / Prometheus metrics snapshot files (if set). */
 void
 writeMetricsSnapshots(const ServeConfig &cfg)
 {
     auto &reg = obs::MetricsRegistry::instance();
-    if (!cfg.metricsJsonPath.empty()) {
-        std::ofstream f(cfg.metricsJsonPath);
-        if (f)
-            reg.writeJson(f);
-    }
-    if (!cfg.metricsPromPath.empty()) {
-        std::ofstream f(cfg.metricsPromPath);
-        if (f)
-            reg.writePrometheus(f);
-    }
+    if (!cfg.metricsJsonPath.empty())
+        publishSnapshot(cfg.metricsJsonPath,
+                        [&](std::ostream &os) { reg.writeJson(os); });
+    if (!cfg.metricsPromPath.empty())
+        publishSnapshot(cfg.metricsPromPath, [&](std::ostream &os) {
+            reg.writePrometheus(os);
+        });
 }
 
 /**
@@ -260,6 +281,12 @@ runServe(const ServeConfig &cfg, ThreadPool &pool)
 
     uint64_t allocs0 = Storage::heapAllocCount();
     uint64_t alloc_bytes0 = Storage::heapAllocBytes();
+    // Session counter aggregate = post-drain minus pre-start snapshot
+    // of the cumulative per-thread tables (kernel scopes accumulate on
+    // the batcher/pool threads while requests execute).
+    obs::PerfCounterStats perf0;
+    if (obs::perfEnabled())
+        perf0 = obs::PerfAggregator::instance().totals();
     auto t0 = Clock::now();
     batcher.start(t0);
     SamplerThread sampler(cfg, queue, t0);
@@ -273,6 +300,9 @@ runServe(const ServeConfig &cfg, ThreadPool &pool)
 
     result.stats = batcher.stats();
     result.stats.durationUs = elapsedUsSince(t0);
+    if (obs::perfEnabled())
+        result.stats.perf = obs::PerfCounterStats::since(
+            perf0, obs::PerfAggregator::instance().totals());
     result.stats.samplerCadenceUs =
         cfg.samplerCadenceUs > 0 ? cfg.samplerCadenceUs : 0;
 

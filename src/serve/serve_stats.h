@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf.h"
+
 namespace ngb {
 
 /**
@@ -82,6 +84,21 @@ struct ServeStats {
     int64_t tensorAllocBytes = 0;
     int64_t arenaBlocks = 0;     ///< pooled blocks across all engines
     int64_t arenaBlockBytes = 0; ///< total bytes of those blocks
+
+    /**
+     * Hardware-counter aggregate of the session's kernel work (zeroed
+     * stats with enabled=false when --perf was off; measured=false
+     * with a status string on hosts without perf_event_open access).
+     */
+    obs::PerfCounterStats perf;
+
+    /** Session-mean counter footprint of one completed request. */
+    double cyclesPerRequest() const
+    {
+        return completed > 0 ? static_cast<double>(perf.total.cycles) /
+                                   static_cast<double>(completed)
+                             : 0;
+    }
 
     /**
      * Heap tensor allocations per completed request over the whole

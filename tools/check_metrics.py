@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate ngb metrics snapshots (JSON and/or Prometheus text).
+
+The serve loop republishes both files every sampler tick (atomically,
+via rename), so whatever a scraper reads must ALWAYS satisfy the
+invariants below — a violation means either a torn write escaped the
+publish path or an aggregation bug shipped a nonsense snapshot.
+
+JSON snapshot checks:
+ 1. parses, with the {"counters", "gauges", "histograms"} envelope;
+ 2. every counter is a non-negative finite number (counters only ever
+    increment);
+ 3. every gauge is a finite number;
+ 4. every histogram has count >= 0, sum/min/max finite, and its
+    quantile estimates ordered: min <= p50 <= p90 <= p95 <= p99
+    <= max (within a rounding epsilon — the estimates interpolate
+    inside log-spaced buckets, the bounds do not).
+
+Prometheus text checks:
+ 1. every sample line is `name value` or `name{quantile="q"} value`
+    with a legal metric name and a finite float value;
+ 2. every emitted metric family is preceded by its # TYPE line, and
+    the type is counter | gauge | summary;
+ 3. counter samples are non-negative;
+ 4. summary quantiles are ordered per family and each family carries
+    its _sum and _count samples.
+
+Exit status 0 when every given file validates; 1 with a diagnostic
+otherwise.
+
+Usage: check_metrics.py [--json FILE] [--prom FILE]
+"""
+import argparse
+import json
+import math
+import re
+import sys
+
+# Quantile estimates interpolate within log-spaced buckets and values
+# are printed with 3 fractional digits, so ordering may wobble by one
+# rounding step around bucket edges.
+EPS = 0.002
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{quantile="(?P<q>[0-9.]+)"\})?'
+    r" (?P<value>\S+)$"
+)
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}")
+    sys.exit(1)
+
+
+def finite(v):
+    return isinstance(v, (int, float)) and math.isfinite(v)
+
+
+def check_json(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(f"{path}: missing {section!r} section")
+
+    for name, v in doc["counters"].items():
+        if not finite(v) or v < 0:
+            fail(f"{path}: counter {name} = {v!r} (want >= 0)")
+    for name, v in doc["gauges"].items():
+        if not finite(v):
+            fail(f"{path}: gauge {name} = {v!r} (want finite number)")
+
+    for name, h in doc["histograms"].items():
+        for key in ("count", "sum", "min", "max", "p50", "p90", "p95",
+                    "p99"):
+            if key not in h or not finite(h[key]):
+                fail(f"{path}: histogram {name} missing/bad {key!r}")
+        if h["count"] < 0:
+            fail(f"{path}: histogram {name} count {h['count']} < 0")
+        if h["count"] > 0:
+            chain = [h["min"], h["p50"], h["p90"], h["p95"], h["p99"],
+                     h["max"]]
+            for lo, hi in zip(chain, chain[1:]):
+                if lo > hi + EPS:
+                    fail(
+                        f"{path}: histogram {name} quantiles not "
+                        f"monotone: {chain}"
+                    )
+    n = sum(len(doc[s]) for s in ("counters", "gauges", "histograms"))
+    print(f"check_metrics: {path}: OK ({n} series)")
+
+
+def check_prom(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+
+    types = {}          # family -> counter|gauge|summary
+    quantiles = {}      # family -> [(q, value)...]
+    suffixed = set()    # families that emitted _sum / _count
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"{path}:{i}: malformed TYPE line: {line!r}")
+            _, _, fam, kind = parts
+            if not NAME_RE.match(fam):
+                fail(f"{path}:{i}: bad metric name {fam!r}")
+            if kind not in ("counter", "gauge", "summary"):
+                fail(f"{path}:{i}: unexpected metric type {kind!r}")
+            types[fam] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{path}:{i}: unparseable sample line: {line!r}")
+        name = m.group("name")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail(f"{path}:{i}: non-numeric value in {line!r}")
+        if not math.isfinite(value):
+            fail(f"{path}:{i}: non-finite value in {line!r}")
+
+        fam = name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                fam = name[: -len(suffix)]
+                suffixed.add(fam)
+        if fam not in types:
+            fail(f"{path}:{i}: sample {name} has no preceding TYPE")
+        kind = types[fam]
+        if kind == "counter" and value < 0:
+            fail(f"{path}:{i}: counter {name} = {value} (want >= 0)")
+        if m.group("q") is not None:
+            if kind != "summary":
+                fail(f"{path}:{i}: quantile label on non-summary {fam}")
+            quantiles.setdefault(fam, []).append(
+                (float(m.group("q")), value)
+            )
+
+    for fam, kind in types.items():
+        if kind != "summary":
+            continue
+        if fam not in suffixed:
+            fail(f"{path}: summary {fam} missing _sum/_count samples")
+        qs = sorted(quantiles.get(fam, []))
+        for (qa, va), (qb, vb) in zip(qs, qs[1:]):
+            if va > vb + EPS:
+                fail(
+                    f"{path}: summary {fam} quantiles not monotone: "
+                    f"q{qa}={va} > q{qb}={vb}"
+                )
+    print(f"check_metrics: {path}: OK ({len(types)} families)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--json", help="metrics registry JSON snapshot")
+    ap.add_argument("--prom", help="Prometheus text snapshot")
+    args = ap.parse_args()
+    if not args.json and not args.prom:
+        fail("nothing to check: pass --json and/or --prom")
+    if args.json:
+        check_json(args.json)
+    if args.prom:
+        check_prom(args.prom)
+
+
+if __name__ == "__main__":
+    main()

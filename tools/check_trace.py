@@ -115,10 +115,27 @@ def main():
     if args.require_request_spans and not trace_ids:
         fail("no per-request trace ids found in span args")
 
+    # Ring-buffer overflow is exported as trace metadata rather than
+    # silently truncating: a nonzero drop count means the trace is
+    # incomplete (raise the ring size or shorten the run). Warn, don't
+    # fail — a truncated trace is still a valid trace.
+    dropped = doc.get("otherData", {}).get("dropped_spans", 0)
+    if dropped:
+        by_thread = doc["otherData"].get("dropped_by_thread", {})
+        detail = ", ".join(
+            f"{name}={n}" for name, n in sorted(by_thread.items())
+        )
+        print(
+            f"check_trace: WARNING: {dropped} spans dropped by full "
+            f"ring buffers ({detail or 'no per-thread detail'}); "
+            f"the trace is incomplete"
+        )
+
     n_tracks = len(by_track)
     print(
         f"check_trace: OK: {len(events)} events, {n_tracks} X-span "
-        f"tracks, {len(trace_ids)} request trace ids"
+        f"tracks, {len(trace_ids)} request trace ids, "
+        f"{dropped} dropped"
     )
 
 
