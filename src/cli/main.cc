@@ -30,6 +30,7 @@
 #include "profiler/svg_chart.h"
 #include "profiler/workload_report.h"
 #include "profiler/trace_export.h"
+#include "quant/quant_mode.h"
 #include "quant/quantize_pass.h"
 #include "runtime/arena.h"
 #include "runtime/batch_driver.h"
@@ -55,11 +56,19 @@ struct RuntimeCli {
                              ///< parallel mode the unfused graph is
                              ///< measured too and printed side by side
     std::string arena;       ///< "on"/"off"; "" = $NGB_ARENA default
+    std::string quant;       ///< quant mode; "" = $NGB_QUANT default
 
     /** Resolved arena mode: explicit flag beats the environment. */
     bool arenaOn() const
     {
         return arena.empty() ? arenaEnabledByEnv() : arena == "on";
+    }
+
+    /** Resolved quantization mode: explicit flag beats $NGB_QUANT. */
+    quant::QuantExecMode quantMode() const
+    {
+        return quant.empty() ? quant::quantModeFromEnv()
+                             : quant::parseQuantMode(quant);
     }
 };
 
@@ -152,6 +161,18 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
         qc.outlierFraction = cfg.outlierFraction;
         unfused = quantizeLlmInt8(unfused, qc);
     }
+    // Executable quantization rewrites the graph BEFORE fusion, so the
+    // fused form fuses Int8Linear-headed groups. The float graph is
+    // kept when verifying: int8 outputs are checked against it within
+    // quantization tolerance (relative L2, not element-wise).
+    quant::QuantExecMode qm = rt.quantMode();
+    Graph floatBaseline;
+    QuantizeStats qstats;
+    if (qm != quant::QuantExecMode::Off) {
+        if (rt.verify)
+            floatBaseline = unfused;
+        unfused = quant::applyQuantMode(unfused, qm, &qstats);
+    }
     // When fusing, keep the unfused graph: --verify compares the two
     // (the ternary only moves it in the unfused case).
     FusionStats fstats;
@@ -167,7 +188,25 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
     std::cout << "== " << name << "  (" << g.size() << " nodes, scale 1/"
               << rt.scale << ", " << requests << " request"
               << (requests == 1 ? "" : "s") << ", backend "
-              << backend.name() << (fuse ? ", fused" : "") << ")\n";
+              << backend.name() << (fuse ? ", fused" : "")
+              << (qm != quant::QuantExecMode::Off
+                      ? ", quant " + std::string(quant::quantModeName(qm))
+                      : "")
+              << ")\n";
+    if (qm != quant::QuantExecMode::Off && qstats.linearsQuantized > 0) {
+        std::cout << "  quant: " << qstats.linearsQuantized
+                  << " linears -> int8";
+        if (qstats.qdqPairsCancelled || qstats.requantFolded)
+            std::cout << ", " << qstats.qdqPairsCancelled
+                      << " Q/DQ pairs fused, " << qstats.requantFolded
+                      << " requantizes folded into GEMMs";
+        if (qstats.floatWeightBytes > 0)
+            std::cout << ", weight memory "
+                      << static_cast<double>(qstats.floatWeightBytes) /
+                             static_cast<double>(qstats.packedWeightBytes)
+                      << "x smaller";
+        std::cout << "\n";
+    }
     if (fuse)
         std::cout << "  fusion: " << fstats.groupsEmitted
                   << " kernel groups, " << fstats.fusedNonGemm << "/"
@@ -267,11 +306,21 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
                 backend.name() != referenceBackend().name();
             Executor unf(unfused, backend);
             bool all_bits = true;
+            bool act_quant_fused =
+                qm == quant::QuantExecMode::Int8 ||
+                qm == quant::QuantExecMode::Int8Raw;
             for (size_t r = 0; r < requests; ++r) {
                 std::vector<Tensor> want = unf.run(reqs[r]);
+                // Under activation quantization the conv-group
+                // reassociation is further amplified by absmax
+                // boundaries (see the backend check below), so the
+                // tolerance case widens to the quant comparator.
                 std::string diff =
-                    tolerance_ok ? closeDifference(outs[r], want)
-                                 : bitDifference(outs[r], want);
+                    tolerance_ok
+                        ? (act_quant_fused
+                               ? quantDifference(outs[r], want)
+                               : closeDifference(outs[r], want))
+                        : bitDifference(outs[r], want);
                 all_bits = all_bits && bitIdentical(outs[r], want);
                 if (!diff.empty()) {
                     std::cout << "  VERIFY FAILED: request " << r
@@ -288,11 +337,21 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
         // A non-reference backend must additionally reproduce the
         // reference numerics within float tolerance (optimized
         // kernels may reassociate accumulation, so not bit-for-bit).
+        // Activation-quantized graphs get the quant comparator
+        // instead: the backends' float ops legally differ by ulps,
+        // and an absmax scale moving one ulp shifts EVERY int8 code
+        // of that tensor by a step — element-wise tolerance explodes
+        // while the tensor as a whole stays within quantization
+        // noise.
+        bool act_quant = qm == quant::QuantExecMode::Int8 ||
+                         qm == quant::QuantExecMode::Int8Raw;
         if (backend.name() != referenceBackend().name()) {
             Executor refref(g, referenceBackend());
             for (size_t r = 0; r < requests; ++r) {
+                std::vector<Tensor> want = refref.run(reqs[r]);
                 std::string diff =
-                    closeDifference(outs[r], refref.run(reqs[r]));
+                    act_quant ? quantDifference(outs[r], want)
+                              : closeDifference(outs[r], want);
                 if (!diff.empty()) {
                     std::cout << "  VERIFY FAILED: request " << r
                               << " vs reference backend: " << diff
@@ -303,6 +362,25 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
             std::cout << "  verify: all " << requests
                       << " request outputs within tolerance of the "
                          "reference backend\n";
+        }
+        // Quantized execution must stay within quantization tolerance
+        // of the FLOAT graph (relative L2 per output): the A/B that
+        // proves int8 execution changed cost, not semantics.
+        if (qm != quant::QuantExecMode::Off) {
+            Executor fb(floatBaseline, backend);
+            for (size_t r = 0; r < requests; ++r) {
+                std::string diff =
+                    quantDifference(outs[r], fb.run(reqs[r]));
+                if (!diff.empty()) {
+                    std::cout << "  VERIFY FAILED: request " << r
+                              << " quantized vs float baseline: " << diff
+                              << "\n";
+                    return false;
+                }
+            }
+            std::cout << "  verify: all " << requests
+                      << " quantized outputs within quantization "
+                         "tolerance of the float graph\n";
         }
     }
     return true;
@@ -401,6 +479,7 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
             r.runtime.measuredPeakBytes = profile.memory.boundPeakBytes;
             r.runtime.heapAllocs = profile.memory.heapAllocs;
             r.runtime.scratchPeakBytes = profile.memory.scratchPeakBytes;
+            r.runtime.quant = profile.quant;
             r.runtime.perf = profile.perf;
             r.runtime.modelFlops = profile.modelFlops;
             r.runtime.modelBytes = profile.modelBytes;
@@ -443,6 +522,9 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
     if (rt.fuse)
         sc.engine.fuse = true;  // default: $NGB_FUSE
     sc.engine.arena = rt.arenaOn();
+    if (!rt.quant.empty())  // default: $NGB_QUANT (EngineConfig)
+        sc.engine.quant = quant::quantModeName(
+            quant::parseQuantMode(rt.quant));
     sc.seed = sv.seed;
     sc.verify = rt.verify;
     // The sampler thread rewrites these live every cadence tick; the
@@ -467,6 +549,8 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
               << (sc.engine.backend.empty() ? defaultBackend().name()
                                             : sc.engine.backend)
               << (sc.engine.fuse ? " (fused)" : "")
+              << (sc.engine.quant != "off" ? "  quant=" + sc.engine.quant
+                                           : "")
               << (sc.engine.arena ? "  memory=arena" : "  memory=heap")
               << "  seed=" << sc.seed << "\n";
 
@@ -558,6 +642,28 @@ usage()
         "                       --verify, heap-vs-arena identity is\n"
         "                       asserted. $NGB_ARENA=1 sets the\n"
         "                       process default\n"
+        "  --quant MODE         executable int8 quantization, applied\n"
+        "                       before fusion and planning:\n"
+        "                         int8     activations + weights int8,\n"
+        "                                  per-channel weight scales,\n"
+        "                                  requantize fused into the\n"
+        "                                  GEMM epilogue, adjacent Q/DQ\n"
+        "                                  pairs eliminated\n"
+        "                         int8-raw int8 without Q/DQ\n"
+        "                                  elimination (the granular\n"
+        "                                  form; bit-identical outputs\n"
+        "                                  to int8)\n"
+        "                         w8       weight-only int8: weights\n"
+        "                                  stored packed int8 and\n"
+        "                                  dequantized inside the GEMM\n"
+        "                         off      float execution (default)\n"
+        "                       With --verify, quantized outputs are\n"
+        "                       additionally checked against the float\n"
+        "                       graph within quantization tolerance\n"
+        "                       (relative L2 per output). $NGB_QUANT\n"
+        "                       sets the process default; works with\n"
+        "                       --serve too (quant mode is part of the\n"
+        "                       engine-cache key)\n"
         "  --fuse               applyFusion before executing: CONV+BN\n"
         "                       (+act) folding, point-wise chains, and\n"
         "                       GEMM epilogues run as single fused\n"
@@ -613,8 +719,9 @@ usage()
         "                       (see kernel.perf_event_paranoid).\n"
         "                       $NGB_PERF=1 enables it too\n"
         "\n"
-        "--threads/--scale/--seq/--verify/--backend/--fuse/--json\n"
-        "apply to --serve too (fused engines are cached separately).\n";
+        "--threads/--scale/--seq/--verify/--backend/--fuse/--quant/\n"
+        "--json apply to --serve too (fused and quantized engines are\n"
+        "cached separately).\n";
 }
 
 }  // namespace
@@ -774,6 +881,14 @@ main(int argc, char **argv)
                 std::cerr << "--arena expects on|off\n";
                 return 2;
             }
+        } else if (a == "--quant") {
+            rt.quant = next();
+            try {
+                quant::parseQuantMode(rt.quant);
+            } catch (const std::exception &e) {
+                std::cerr << e.what() << "\n";
+                return 2;
+            }
         } else if (a == "--threads") {
             rt.threads = nextInt(0, 1 << 14);
         } else if (a == "--scale") {
@@ -869,6 +984,17 @@ main(int argc, char **argv)
     if (!rt.arena.empty() && !rt.enabled && !sv.enabled) {
         std::cerr << "--arena requires --runtime or --serve (the "
                      "analytical bench does not allocate tensors)\n";
+        return 2;
+    }
+    if (!rt.quant.empty() && !rt.enabled && !sv.enabled) {
+        std::cerr << "--quant requires --runtime or --serve (use "
+                     "--quantize for the modeled LLM.int8() rewrite in "
+                     "the analytical bench)\n";
+        return 2;
+    }
+    if (!rt.quant.empty() && cfg.quantize) {
+        std::cerr << "--quant and --quantize are mutually exclusive "
+                     "(executable int8 vs the modeled rewrite)\n";
         return 2;
     }
     if (rt.arenaOn() && rt.enabled && !rt.parallel && !rt.arena.empty()) {

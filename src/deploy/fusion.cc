@@ -23,6 +23,8 @@ pointwiseFusible(const Node &n, bool through_layout)
 {
     if (n.kind == OpKind::Fused)
         return false;  // never nest fused groups
+    if (n.outShapes.size() != 1)
+        return false;  // e.g. executable Quantize: value + scale out
     switch (n.category()) {
       case OpCategory::Activation:
       case OpCategory::ElementWise:

@@ -57,6 +57,28 @@ computeOpCost(const Node &n, const Graph &g)
     for (const Shape &s : n.paramShapes)
         param_bytes += shapeBytes(s, n.paramDtype);
 
+    // Executable-quantization byte corrections: these nodes declare an
+    // F32 master weight but the kernel streams a derived narrow
+    // representation (int8 elements + one f32 scale per channel), or,
+    // for Dequantize/requantize nodes, touches only the [N] scales of
+    // the weight param they carry.
+    bool wq8 = n.kind == OpKind::Linear && n.attrs.getI("wq8", 0) != 0;
+    bool execInt8 = n.kind == OpKind::Int8Linear &&
+                    n.attrs.getI("executable", 0) != 0;
+    bool execQdq = (n.kind == OpKind::Quantize ||
+                    n.kind == OpKind::Dequantize) &&
+                   n.attrs.getI("executable", 0) != 0;
+    if ((wq8 || execInt8) && !n.paramShapes.empty()) {
+        const Shape &w = n.paramShapes[0];
+        param_bytes -= shapeBytes(w, n.paramDtype);
+        param_bytes += static_cast<double>(w.numel()) +      // int8 cells
+                       static_cast<double>(w[0]) * 4.0;      // f32 scales
+    } else if (execQdq && !n.paramShapes.empty()) {
+        const Shape &w = n.paramShapes[0];
+        param_bytes -= shapeBytes(w, n.paramDtype);
+        param_bytes += static_cast<double>(w[0]) * 4.0;      // f32 scales
+    }
+
     c.bytesIn = in_bytes;
     c.bytesOut = out_bytes;
     c.bytesParam = param_bytes;

@@ -5,6 +5,7 @@
 
 #include "obs/chrome_trace.h"
 #include "ops/op_types.h"
+#include "tensor/dtype.h"
 
 namespace ngb {
 namespace obs {
@@ -240,6 +241,9 @@ spanArgs(const SpanEvent &ev)
             args.add("numel", ev.a0);
         if (ev.a1 >= 0)
             args.add("arena_offset", ev.a1);
+        if (ev.a2 >= 0)
+            args.add("dtype",
+                     dtypeName(static_cast<DType>(ev.a2)));
         break;
     case SpanKind::Queue:
         if (ev.label[0] != '\0')

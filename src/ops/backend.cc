@@ -34,6 +34,11 @@ Backend::evalTraced(const KernelContext &ctx) const
     if (!ctx.node.outShapes.empty())
         ev.a0 = ctx.node.outShapes[0].numel();
     ev.a1 = ctx.alloc ? ctx.alloc->plannedOffset(ctx.node, 0) : -1;
+    // Output dtype, so traces distinguish int8 execution (quantized
+    // GEMMs, Q/DQ) from float kernels of the same op kind.
+    ev.a2 = ctx.node.outDtypes.empty()
+                ? -1
+                : static_cast<int64_t>(ctx.node.outDtypes[0]);
     // Fused members (re-dispatched with synthetic negative ids) get a
     // counter payload on their span but do NOT aggregate: the
     // enclosing group scope already counts their work once, under the

@@ -10,6 +10,8 @@
 #include "ops/kernels.h"
 #include "ops/optimized_kernels.h"
 #include "ops/scalar_ops.h"
+#include "quant/quant_kernels.h"
+#include "quant/weight_pack.h"
 #include "tensor/scratch.h"
 
 namespace ngb {
@@ -18,6 +20,7 @@ namespace {
 
 namespace sc = kernels::scalar;
 namespace ko = kernels::opt;
+namespace qnt = kernels::qnt;
 
 /** ParamStore::derived slots used on fused member nodes. */
 constexpr size_t kFoldedWeightSlot = 0;
@@ -460,9 +463,51 @@ evalFusedOptimized(const KernelContext &c)
         }
     }
 
+    // Int8Linear(requant) + unary epilogue: the whole quantized region
+    // tail — rescale, bias, and point-wise stages — runs inside the
+    // int8 GEMM's tile write-out. Bit-identical to the granular
+    // pipeline (i32 accumulation is order-exact, the epilogue is the
+    // shared scalar expression chain).
+    if (body[0].kind == OpKind::Int8Linear &&
+        body[0].attrs.getI("requant", 0) && body.size() > 1) {
+        std::vector<sc::UnaryStage> stages;
+        if (collectStages(body, 1, &stages)) {
+            const Node &lm = body[0];
+            const Tensor &xq = externalInput(c, lm, 0);
+            const Tensor &xs = externalInput(c, lm, 1);
+            Tensor b;
+            if (lm.paramShapes.size() > 1)
+                b = c.params.get(lm, lm.paramShapes.size() - 1);
+            return singleOutput(qnt::int8LinearPackedRequant(
+                xq, qnt::scaleValue(xs),
+                quant::packedWeight(lm, c.params),
+                quant::weightScales(lm, c.params), b, stages.data(),
+                stages.size(), c.out(0)));
+        }
+    }
+
+    // Weight-only-int8 Linear + unary epilogue: tiled GEMM over the
+    // packed int8 weight with scale/bias/stages in the write-out.
+    if (body[0].kind == OpKind::Linear &&
+        body[0].attrs.getI("wq8", 0) && body.size() > 1) {
+        std::vector<sc::UnaryStage> stages;
+        if (collectStages(body, 1, &stages)) {
+            const Node &lm = body[0];
+            const Tensor &x = externalInput(c, lm, 0);
+            Tensor b;
+            if (lm.paramShapes.size() > 1)
+                b = c.params.get(lm, lm.paramShapes.size() - 1);
+            return singleOutput(qnt::w8LinearPacked(
+                x, quant::packedWeight(lm, c.params),
+                quant::weightScales(lm, c.params), b, stages.data(),
+                stages.size(), c.out(0)));
+        }
+    }
+
     // Linear + unary epilogue: stages fused into the GEMM tile
     // write-out. Bit-identical to linearPacked + separate sweeps.
-    if (body[0].kind == OpKind::Linear && body.size() > 1) {
+    if (body[0].kind == OpKind::Linear &&
+        !body[0].attrs.getI("wq8", 0) && body.size() > 1) {
         std::vector<sc::UnaryStage> stages;
         if (collectStages(body, 1, &stages)) {
             const Node &lm = body[0];
@@ -509,9 +554,21 @@ prepareFusedGroups(const Graph &g, ParamStore &params)
             foldedConvWeight(body[0], body[1], params);
             foldedConvBias(body[0], body[1], params);
         }
-        for (const Node &m : body)
-            if (m.kind == OpKind::Linear && !m.paramShapes.empty())
-                packedLinearWeight(m, params);
+        for (const Node &m : body) {
+            if (m.kind == OpKind::Linear && !m.paramShapes.empty()) {
+                if (m.attrs.getI("wq8", 0))
+                    quant::packedWeight(m, params);
+                else
+                    packedLinearWeight(m, params);
+            }
+            if (m.kind == OpKind::Int8Linear &&
+                m.attrs.getI("executable", 0))
+                quant::packedWeight(m, params);
+            if ((m.kind == OpKind::Quantize ||
+                 m.kind == OpKind::Dequantize) &&
+                m.attrs.getI("executable", 0) && !m.paramShapes.empty())
+                quant::weightScales(m, params);
+        }
     }
 }
 

@@ -3,6 +3,8 @@
 #include "ops/backend.h"
 #include "ops/fused_kernels.h"
 #include "ops/optimized_kernels.h"
+#include "quant/quant_kernels.h"
+#include "quant/weight_pack.h"
 
 /**
  * @file
@@ -20,6 +22,7 @@ namespace ngb {
 namespace {
 
 namespace ko = kernels::opt;
+namespace qnt = kernels::qnt;
 
 Backend
 makeOptimizedBackend()
@@ -31,6 +34,14 @@ makeOptimizedBackend()
         return singleOutput(ko::matmul(c.in(0), c.in(1), c.out(0)));
     });
     b.registerKernel(OpKind::Linear, [](const KernelContext &c) {
+        if (c.node.attrs.getI("wq8", 0))
+            // Weight-only int8: tiled GEMM over the packed [K,N] int8
+            // weight with the per-channel rescale + bias fused into
+            // the tile write-out.
+            return singleOutput(qnt::w8LinearPacked(
+                c.in(0), quant::packedWeight(c.node, c.params),
+                quant::weightScales(c.node, c.params), c.optBias(),
+                nullptr, 0, c.out(0)));
         // Weights are immutable: pack the [N,K]->[K,N] transpose once
         // per node and amortize it across every request of an engine.
         const Tensor &wt = c.params.derived(c.node, 0, [&c] {
@@ -38,6 +49,23 @@ makeOptimizedBackend()
         });
         return singleOutput(
             ko::linearPacked(c.in(0), wt, c.optBias(), c.out(0)));
+    });
+    b.registerKernel(OpKind::Int8Linear, [](const KernelContext &c) {
+        if (c.node.attrs.getI("executable", 0)) {
+            // Executable int8 GEMM: 4x16 tiled i8 x i8 -> i32 core over
+            // the packed [K,N] weight; the "requant" form carries the
+            // rescale + bias in the tile write-out epilogue.
+            const Tensor &wtq = quant::packedWeight(c.node, c.params);
+            if (c.node.attrs.getI("requant", 0))
+                return singleOutput(qnt::int8LinearPackedRequant(
+                    c.in(0), qnt::scaleValue(c.in(1)), wtq,
+                    quant::weightScales(c.node, c.params), c.optBias(),
+                    nullptr, 0, c.out(0)));
+            return singleOutput(
+                qnt::int8AccLinearPacked(c.in(0), wtq, c.out(0)));
+        }
+        // The legacy modeled form stays on the reference kernel.
+        return referenceBackend().kernelFor(OpKind::Int8Linear)(c);
     });
     b.registerKernel(OpKind::BMM, [](const KernelContext &c) {
         return singleOutput(ko::bmm(c.in(0), c.in(1), c.out(0)));
@@ -112,11 +140,23 @@ makeOptimizedBackend()
     // so the first request's measured kernel time is the kernels
     // alone, not the one-time preprocessing.
     b.setPrepare([](const Graph &g, ParamStore &params) {
-        for (const Node &n : g.nodes())
-            if (n.kind == OpKind::Linear && !n.paramShapes.empty())
-                params.derived(n, 0, [&] {
-                    return ko::packWeightTranspose(params.get(n, 0));
-                });
+        for (const Node &n : g.nodes()) {
+            if (n.kind == OpKind::Linear && !n.paramShapes.empty()) {
+                if (n.attrs.getI("wq8", 0))
+                    quant::packedWeight(n, params);
+                else
+                    params.derived(n, 0, [&] {
+                        return ko::packWeightTranspose(params.get(n, 0));
+                    });
+            }
+            if (n.kind == OpKind::Int8Linear &&
+                n.attrs.getI("executable", 0))
+                quant::packedWeight(n, params);
+            if ((n.kind == OpKind::Dequantize ||
+                 n.kind == OpKind::Quantize) &&
+                n.attrs.getI("executable", 0) && !n.paramShapes.empty())
+                quant::weightScales(n, params);
+        }
         prepareFusedGroups(g, params);
     });
 

@@ -4,6 +4,8 @@
 #include "ops/backend.h"
 #include "ops/fused_kernels.h"
 #include "ops/kernels.h"
+#include "quant/quant_kernels.h"
+#include "quant/weight_pack.h"
 #include "tensor/scratch.h"
 
 /**
@@ -27,17 +29,40 @@ namespace ngb {
 namespace {
 
 namespace kn = kernels;
+namespace qnt = kernels::qnt;
 
 void
 registerGemmOps(Backend &b)
 {
     b.registerKernel(OpKind::Linear, [](const KernelContext &c) {
+        if (c.node.attrs.getI("wq8", 0))
+            // Weight-only int8: stream the derived int8 weight and
+            // rescale per channel as each f32 accumulator finishes.
+            return singleOutput(qnt::w8Linear(
+                c.in(0), quant::rowWeight(c.node, c.params),
+                quant::weightScales(c.node, c.params), c.optBias(),
+                c.out(0)));
         return singleOutput(
             kn::linear(c.in(0), c.param(0), c.optBias(), c.out(0)));
     });
     b.registerKernel(OpKind::Int8Linear, [](const KernelContext &c) {
-        // Dynamic activation quantization, absmax weight scale. The
-        // quantized operands are kernel-internal: scratch.
+        if (c.node.attrs.getI("executable", 0)) {
+            // Executable int8 GEMM over the derived per-channel int8
+            // weight. The "requant" form carries the rescale + bias in
+            // its write-out; the granular form emits raw accumulators
+            // for a downstream Dequantize/requantize node.
+            const Tensor &wq = quant::rowWeight(c.node, c.params);
+            if (c.node.attrs.getI("requant", 0))
+                return singleOutput(qnt::int8LinearRequant(
+                    c.in(0), qnt::scaleValue(c.in(1)), wq,
+                    quant::weightScales(c.node, c.params), c.optBias(),
+                    nullptr, 0, c.out(0)));
+            return singleOutput(
+                qnt::int8AccLinear(c.in(0), wq, c.out(0)));
+        }
+        // Legacy modeled form: dynamic activation quantization, absmax
+        // weight scale. The quantized operands are kernel-internal:
+        // scratch.
         float xs = kn::absmaxScale(c.in(0));
         Tensor wq = c.param(0);
         float ws = 1.0f;
@@ -310,10 +335,40 @@ registerMiscOps(Backend &b)
         return out;
     });
     b.registerKernel(OpKind::Quantize, [](const KernelContext &c) {
+        if (c.node.attrs.getI("executable", 0)) {
+            if (c.node.attrs.getI("fused_qdq", 0)) {
+                // Fused requantize: i32 accumulators straight to the
+                // next region's int8 activation. The f32 intermediate
+                // (exactly what the cancelled Dequantize would have
+                // produced) lives only in scratch.
+                Tensor f = qnt::requantize(
+                    c.in(0), qnt::scaleValue(c.in(1)),
+                    quant::weightScales(c.node, c.params), c.optBias(),
+                    scratchEmpty(c.node.outShapes[0], DType::F32));
+                auto qs = qnt::quantizeActivation(f, c.out(0), c.out(1));
+                std::vector<Tensor> out;
+                out.push_back(std::move(qs.first));
+                out.push_back(std::move(qs.second));
+                return out;
+            }
+            auto qs =
+                qnt::quantizeActivation(c.in(0), c.out(0), c.out(1));
+            std::vector<Tensor> out;
+            out.push_back(std::move(qs.first));
+            out.push_back(std::move(qs.second));
+            return out;
+        }
         return singleOutput(
             kn::quantize(c.in(0), kn::absmaxScale(c.in(0)), c.out(0)));
     });
     b.registerKernel(OpKind::Dequantize, [](const KernelContext &c) {
+        if (c.node.attrs.getI("executable", 0))
+            // Requantize the i32 accumulators: per-channel rescale
+            // (scales derived from the carried master weight) + bias.
+            return singleOutput(qnt::requantize(
+                c.in(0), qnt::scaleValue(c.in(1)),
+                quant::weightScales(c.node, c.params), c.optBias(),
+                c.out(0)));
         // Symmetric round-trip: reuse the producing scale when known.
         return singleOutput(kn::dequantize(c.in(0), 1.0f, c.out(0)));
     });

@@ -144,6 +144,12 @@ printReport(const ProfileReport &r, std::ostream &os)
            << " execution, peak bound " << rt.measuredPeakBytes / 1024
            << " KiB, " << rt.heapAllocs << " heap tensor allocs, scratch "
            << rt.scratchPeakBytes / 1024 << " KiB\n";
+        if (rt.quant.quantized)
+            os << "    quant (measured): " << rt.quant.int8Gemms
+               << " int8 GEMMs " << std::setprecision(1)
+               << rt.quant.int8GemmUs << " us, Q/DQ " << rt.quant.qdqUs
+               << " us, weights " << std::setprecision(2)
+               << rt.quant.weightCompression() << "x smaller\n";
         if (rt.perf.enabled) {
             if (rt.perf.measured)
                 os << "    hw counters: IPC " << std::setprecision(2)
@@ -192,6 +198,17 @@ writeJsonReport(const ProfileReport &r, std::ostream &os)
            << ", \"heap_allocs\": " << r.runtime.heapAllocs
            << ", \"scratch_peak_bytes\": " << r.runtime.scratchPeakBytes
            << "},\n";
+    }
+    if (r.runtime.quant.quantized) {
+        const quant::QuantExecStats &q = r.runtime.quant;
+        os << "  \"quant\": {\"int8_gemms\": " << q.int8Gemms
+           << ", \"qdq_ops\": " << q.qdqOps
+           << ", \"packed_weight_bytes\": " << q.packedWeightBytes
+           << ", \"float_weight_bytes\": " << q.floatWeightBytes
+           << ", \"weight_compression\": " << q.weightCompression()
+           << ", \"int8_gemm_us\": " << q.int8GemmUs
+           << ", \"float_gemm_us\": " << q.floatGemmUs
+           << ", \"qdq_us\": " << q.qdqUs << "},\n";
     }
     if (r.runtime.perf.enabled) {
         const obs::PerfCounterStats &pf = r.runtime.perf;

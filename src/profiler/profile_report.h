@@ -10,6 +10,7 @@
 #include "obs/perf.h"
 #include "platform/cost_model.h"
 #include "platform/plan.h"
+#include "quant/quant_mode.h"
 
 namespace ngb {
 
@@ -75,6 +76,10 @@ struct ProfileReport {
         int64_t measuredPeakBytes = 0;  ///< max bound arena extent
         int64_t heapAllocs = 0;         ///< Storage heap allocs in run
         int64_t scratchPeakBytes = 0;   ///< kernel-temporary high water
+
+        // Executable-quantization census + int8-vs-float kernel-time
+        // attribution (quant.quantized false on float graphs).
+        quant::QuantExecStats quant;
 
         // Hardware-counter aggregate + roofline inputs (--perf runs;
         // perf.enabled false otherwise).

@@ -96,6 +96,20 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
            << " us  (" << std::setw(5)
            << (p.sumUs > 0 ? 100.0 * us / p.sumUs : 0) << "%)\n";
 
+    if (p.quant.quantized) {
+        const quant::QuantExecStats &q = p.quant;
+        os << "  quant: " << q.int8Gemms << " int8 GEMMs, " << q.qdqOps
+           << " Q/DQ ops  |  weights " << q.packedWeightBytes / 1024
+           << " KiB int8 vs " << q.floatWeightBytes / 1024
+           << " KiB f32 (" << std::setprecision(2)
+           << q.weightCompression() << "x smaller)\n";
+        os << "    kernel time: int8 GEMM " << std::setprecision(1)
+           << q.int8GemmUs << " us  |  float GEMM " << q.floatGemmUs
+           << " us  |  Q/DQ " << q.qdqUs << " us ("
+           << (p.sumUs > 0 ? 100.0 * q.qdqUs / p.sumUs : 0)
+           << "% of kernel time)\n";
+    }
+
     if (p.perf.enabled) {
         const obs::PerfCounterStats &pf = p.perf;
         if (!pf.measured) {

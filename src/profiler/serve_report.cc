@@ -85,6 +85,15 @@ printServeReport(const ServeStats &s, std::ostream &os)
            << s.arenaBlockBytes / 1024 << " KiB)";
     os << "\n";
 
+    if (s.quant.quantized)
+        os << "  quant: mode " << s.quantMode << ", "
+           << s.quant.int8Gemms << " int8 GEMMs and " << s.quant.qdqOps
+           << " Q/DQ ops across engines, weights "
+           << s.quant.packedWeightBytes / 1024 << " KiB int8 vs "
+           << s.quant.floatWeightBytes / 1024 << " KiB f32 ("
+           << std::setprecision(2) << s.quant.weightCompression()
+           << "x smaller)\n";
+
     if (s.perf.enabled) {
         if (s.perf.measured)
             os << "  hw counters: IPC " << std::setprecision(2)
@@ -220,6 +229,14 @@ writeServeJson(const ServeStats &s, std::ostream &os)
        << ", \"allocs_per_request\": " << s.allocsPerRequest()
        << ", \"arena_blocks\": " << s.arenaBlocks
        << ", \"arena_block_bytes\": " << s.arenaBlockBytes << "},\n";
+    os << "  \"quant\": {\"mode\": " << obs::jsonQuote(s.quantMode)
+       << ", \"quantized\": " << (s.quant.quantized ? "true" : "false")
+       << ", \"int8_gemms\": " << s.quant.int8Gemms
+       << ", \"qdq_ops\": " << s.quant.qdqOps
+       << ", \"packed_weight_bytes\": " << s.quant.packedWeightBytes
+       << ", \"float_weight_bytes\": " << s.quant.floatWeightBytes
+       << ", \"weight_compression\": " << s.quant.weightCompression()
+       << "},\n";
     if (s.perf.enabled) {
         const obs::PerfCounterStats &pf = s.perf;
         os << "  \"perf\": {\"measured\": "

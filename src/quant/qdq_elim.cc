@@ -1,0 +1,196 @@
+#include "quant/qdq_elim.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/op_cost.h"
+
+namespace ngb {
+namespace quant {
+
+namespace {
+
+/** Per-value consumer census of a graph. */
+struct UseInfo {
+    // value -> consuming node ids (one entry per use).
+    std::map<std::pair<int, int>, std::vector<int>> consumers;
+    std::set<std::pair<int, int>> graphOutputs;
+
+    explicit UseInfo(const Graph &g)
+    {
+        for (const Node &n : g.nodes())
+            for (const Value &v : n.inputs)
+                consumers[{v.node, v.index}].push_back(n.id);
+        for (const Value &v : g.graphOutputs())
+            graphOutputs.insert({v.node, v.index});
+    }
+
+    /** The single consuming node of @p v when it has exactly one use
+     *  and is not a graph output; -1 otherwise. */
+    int soleConsumer(const Value &v) const
+    {
+        if (graphOutputs.count({v.node, v.index}))
+            return -1;
+        auto it = consumers.find({v.node, v.index});
+        if (it == consumers.end() || it->second.size() != 1)
+            return -1;
+        return it->second.front();
+    }
+};
+
+bool
+isExec(const Node &n)
+{
+    return n.attrs.getI("executable", 0) != 0;
+}
+
+/**
+ * Rebuild @p src, letting @p rewrite intercept each node. The callback
+ * returns true when it emitted replacement value mappings itself (or
+ * arranged for a later node to be skipped); false to copy the node
+ * verbatim (with inputs remapped and cost recomputed).
+ */
+template <class RewriteFn>
+Graph
+rebuild(const Graph &src, RewriteFn rewrite)
+{
+    Graph dst;
+    dst.setName(src.name());
+    std::map<std::pair<int, int>, Value> remap;
+    std::set<int> skip;
+    auto mapped = [&](const Value &v) { return remap.at({v.node, v.index}); };
+
+    for (const Node &n : src.nodes()) {
+        if (skip.count(n.id))
+            continue;
+        if (rewrite(dst, n, remap, skip, mapped))
+            continue;
+        Node c = n;
+        c.id = -1;
+        for (Value &v : c.inputs)
+            v = mapped(v);
+        if (!n.inputs.empty())
+            c.cost = computeOpCost(c, dst);
+        int id = dst.addNode(std::move(c));
+        for (size_t i = 0; i < n.outShapes.size(); ++i)
+            remap[{n.id, static_cast<int>(i)}] =
+                Value{id, static_cast<int>(i)};
+    }
+
+    // Input-ness is a graph property, not a node-shape one (a param
+    // node also has no inputs): remap the declared list verbatim.
+    for (const Value &v : src.graphInputs())
+        dst.markInput(mapped(v));
+    for (const Value &v : src.graphOutputs())
+        dst.markOutput(mapped(v));
+    return dst;
+}
+
+}  // namespace
+
+Graph
+cancelQdqPairs(const Graph &src, QdqElimStats *stats)
+{
+    UseInfo uses(src);
+    int64_t cancelled = 0;
+
+    Graph out = rebuild(
+        src, [&](Graph &dst, const Node &n, auto &remap, auto &skip,
+                 auto &mapped) -> bool {
+            if (n.kind != OpKind::Dequantize || !isExec(n))
+                return false;
+            int qid = uses.soleConsumer(Value{n.id, 0});
+            if (qid < 0)
+                return false;
+            const Node &q = src.node(qid);
+            if (q.kind != OpKind::Quantize || !isExec(q) ||
+                q.attrs.getI("fused_qdq", 0))
+                return false;
+
+            // One requantize node: i32 accumulators in, the NEXT
+            // region's int8 activation (+ its scale) out. Keeps the
+            // Dequantize's params (weight for the per-channel scales,
+            // optional bias) and seed, produces the Quantize's outputs.
+            Node rq;
+            rq.kind = OpKind::Quantize;
+            rq.name = n.name + "+" + q.name;
+            rq.inputs.clear();
+            for (const Value &v : n.inputs)
+                rq.inputs.push_back(mapped(v));
+            rq.outShapes = q.outShapes;
+            rq.outDtypes = q.outDtypes;
+            rq.paramShapes = n.paramShapes;
+            rq.paramDtype = n.paramDtype;
+            rq.attrs = n.attrs;
+            rq.attrs.set("fused_qdq", 1).set("kernels", 3);
+            rq.cost = computeOpCost(rq, dst);
+            int id = dst.addNode(std::move(rq));
+            skip.insert(qid);
+            for (size_t i = 0; i < q.outShapes.size(); ++i)
+                remap[{qid, static_cast<int>(i)}] =
+                    Value{id, static_cast<int>(i)};
+            ++cancelled;
+            return true;
+        });
+
+    if (stats)
+        stats->pairsCancelled += cancelled;
+    return out;
+}
+
+Graph
+foldRequantize(const Graph &src, QdqElimStats *stats)
+{
+    UseInfo uses(src);
+    int64_t folded = 0;
+
+    Graph out = rebuild(
+        src, [&](Graph &dst, const Node &n, auto &remap, auto &skip,
+                 auto &mapped) -> bool {
+            if (n.kind != OpKind::Int8Linear || !isExec(n) ||
+                n.attrs.getI("requant", 0))
+                return false;
+            int did = uses.soleConsumer(Value{n.id, 0});
+            if (did < 0)
+                return false;
+            const Node &d = src.node(did);
+            if (d.kind != OpKind::Dequantize || !isExec(d) ||
+                !(d.inputs[0] == Value{n.id, 0}))
+                return false;
+
+            // Fold the rescale + bias into the GEMM write-out: the
+            // node keeps its int8 GEMM inputs but now emits the
+            // finished F32 activation; the i32 accumulator tensor no
+            // longer exists.
+            Node fl = n;
+            fl.id = -1;
+            for (Value &v : fl.inputs)
+                v = mapped(v);
+            fl.outDtypes = {DType::F32};
+            fl.paramShapes = d.paramShapes;
+            fl.paramDtype = d.paramDtype;
+            fl.attrs.set("requant", 1);
+            fl.cost = computeOpCost(fl, dst);
+            int id = dst.addNode(std::move(fl));
+            skip.insert(did);
+            remap[{n.id, 0}] = Value{id, 0};
+            remap[{did, 0}] = Value{id, 0};
+            ++folded;
+            return true;
+        });
+
+    if (stats)
+        stats->requantFolded += folded;
+    return out;
+}
+
+Graph
+eliminateQdq(const Graph &src, QdqElimStats *stats)
+{
+    return foldRequantize(cancelQdqPairs(src, stats), stats);
+}
+
+}  // namespace quant
+}  // namespace ngb

@@ -1,0 +1,58 @@
+#ifndef NGB_QUANT_QDQ_ELIM_H
+#define NGB_QUANT_QDQ_ELIM_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+/**
+ * @file
+ * Q/DQ elimination over executable-quantized graphs.
+ *
+ * The executable LlmInt8 rewrite brackets every quantized GEMM with
+ * Quantize/Dequantize, so two quantized linears in sequence run
+ * DQ -> (float) -> Q between them: the activation leaves int8 only to
+ * immediately re-enter it. Two local rewrites remove that round trip:
+ *
+ *  1. cancelQdqPairs: a Dequantize whose sole consumer is the next
+ *     region's Quantize collapses with it into ONE fused requantize
+ *     node (attr "fused_qdq") that maps i32 accumulators straight to
+ *     the next region's int8 activation — the float tensor between
+ *     them never hits the arena. The fused node computes exactly the
+ *     f32 values the Dequantize would have produced before absmax
+ *     quantization, so results are bit-identical to the uneliminated
+ *     graph.
+ *
+ *  2. foldRequantize: a remaining Dequantize fed solely by its own
+ *     granular Int8Linear folds into the GEMM as the tile write-out
+ *     epilogue (attr "requant"): rescale + bias happen in registers as
+ *     each accumulator completes, and the i32 accumulator tensor
+ *     disappears from the graph.
+ *
+ * After both rewrites an activation-quantized region runs back-to-back
+ * in int8 with no standalone Q/DQ traffic inside it.
+ */
+
+namespace ngb {
+namespace quant {
+
+/** What eliminateQdq did, merged into QuantizeStats by the driver. */
+struct QdqElimStats {
+    int64_t pairsCancelled = 0;  ///< DQ->Q pairs fused into requantize
+    int64_t requantFolded = 0;   ///< DQs folded into Int8Linear epilogues
+};
+
+/** Collapse adjacent executable Dequantize->Quantize pairs. */
+Graph cancelQdqPairs(const Graph &src, QdqElimStats *stats = nullptr);
+
+/** Fold remaining executable Dequantizes into their Int8Linears. */
+Graph foldRequantize(const Graph &src, QdqElimStats *stats = nullptr);
+
+/** Both rewrites, in order: cancel cross-GEMM pairs first, then fold
+ *  what remains into the GEMM epilogues. */
+Graph eliminateQdq(const Graph &src, QdqElimStats *stats = nullptr);
+
+}  // namespace quant
+}  // namespace ngb
+
+#endif  // NGB_QUANT_QDQ_ELIM_H

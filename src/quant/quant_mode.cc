@@ -1,0 +1,149 @@
+#include "quant/quant_mode.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "quant/qdq_elim.h"
+#include "quant/weight_pack.h"
+
+namespace ngb {
+namespace quant {
+
+const char *
+quantModeName(QuantExecMode m)
+{
+    switch (m) {
+    case QuantExecMode::Off:
+        return "off";
+    case QuantExecMode::Int8:
+        return "int8";
+    case QuantExecMode::Int8Raw:
+        return "int8-raw";
+    case QuantExecMode::WeightOnly:
+        return "w8";
+    }
+    return "off";
+}
+
+QuantExecMode
+parseQuantMode(const std::string &s)
+{
+    if (s.empty() || s == "0" || s == "off")
+        return QuantExecMode::Off;
+    if (s == "1" || s == "int8")
+        return QuantExecMode::Int8;
+    if (s == "int8-raw" || s == "raw")
+        return QuantExecMode::Int8Raw;
+    if (s == "w8" || s == "weight-only")
+        return QuantExecMode::WeightOnly;
+    throw std::runtime_error(
+        "unknown quant mode '" + s +
+        "' (expected off, int8, int8-raw, or w8)");
+}
+
+QuantExecMode
+quantModeFromEnv()
+{
+    const char *v = std::getenv("NGB_QUANT");
+    return v ? parseQuantMode(v) : QuantExecMode::Off;
+}
+
+QuantizeConfig
+executableQuantConfig(QuantExecMode m)
+{
+    QuantizeConfig cfg;
+    cfg.executable = true;
+    cfg.minInFeatures = 32;
+    cfg.outlierFraction = 0.0;
+    cfg.method = m == QuantExecMode::WeightOnly
+                     ? QuantMethod::WeightOnlyInt8
+                     : QuantMethod::LlmInt8;
+    return cfg;
+}
+
+Graph
+applyQuantMode(const Graph &g, QuantExecMode mode, QuantizeStats *stats)
+{
+    if (mode == QuantExecMode::Off) {
+        if (stats)
+            *stats = QuantizeStats{};
+        return g;
+    }
+    QuantizeStats st;
+    Graph out = quantizeLlmInt8(g, executableQuantConfig(mode), &st);
+    if (mode == QuantExecMode::Int8) {
+        QdqElimStats elim;
+        out = eliminateQdq(out, &elim);
+        st.qdqPairsCancelled = elim.pairsCancelled;
+        st.requantFolded = elim.requantFolded;
+        st.nodesAfter = static_cast<int64_t>(out.size());
+    }
+    if (stats)
+        *stats = st;
+    // Every quantized graph build (runtime run or engine cache miss)
+    // accumulates onto the process-wide quant gauges, so a metrics
+    // scrape shows how much of the serving fleet runs int8.
+    if (obs::metricsEnabled()) {
+        auto &reg = obs::MetricsRegistry::instance();
+        reg.gauge("quant.linears_quantized").add(st.linearsQuantized);
+        reg.gauge("quant.packed_weight_bytes")
+            .add(st.packedWeightBytes);
+        reg.gauge("quant.weight_bytes_saved")
+            .add(st.floatWeightBytes - st.packedWeightBytes);
+    }
+    return out;
+}
+
+bool
+isInt8GemmNode(const Node &n)
+{
+    auto direct = [](const Node &m) {
+        if (m.kind == OpKind::Int8Linear)
+            return m.attrs.getI("executable", 0) != 0;
+        return m.kind == OpKind::Linear && m.attrs.getI("wq8", 0) != 0;
+    };
+    if (direct(n))
+        return true;
+    if (n.kind == OpKind::Fused && !n.fusedBody.empty())
+        return direct(n.fusedBody.front());
+    return false;
+}
+
+bool
+isQdqExecNode(const Node &n)
+{
+    return (n.kind == OpKind::Quantize || n.kind == OpKind::Dequantize) &&
+           n.attrs.getI("executable", 0) != 0;
+}
+
+QuantExecStats
+quantExecStatsOf(const Graph &g)
+{
+    QuantExecStats st;
+    auto tally = [&](const Node &m) {
+        if (!isInt8GemmNode(m))
+            return;
+        ++st.int8Gemms;
+        // Param 0 is the [N,K] master weight on every int8 GEMM form.
+        if (!m.paramShapes.empty()) {
+            st.packedWeightBytes += packedWeightBytes(m.paramShapes[0]);
+            st.floatWeightBytes += floatWeightBytes(m.paramShapes[0]);
+        }
+    };
+    for (const Node &n : g.nodes()) {
+        if (n.kind == OpKind::Fused) {
+            for (const Node &m : n.fusedBody)
+                tally(m);
+        } else {
+            tally(n);
+            if (isQdqExecNode(n))
+                ++st.qdqOps;
+        }
+    }
+    st.quantized = st.int8Gemms > 0 || st.qdqOps > 0;
+    return st;
+}
+
+}  // namespace quant
+}  // namespace ngb

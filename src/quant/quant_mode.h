@@ -1,0 +1,101 @@
+#ifndef NGB_QUANT_QUANT_MODE_H
+#define NGB_QUANT_QUANT_MODE_H
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "quant/quantize_pass.h"
+
+/**
+ * @file
+ * The executable quantization modes the runtime, the serving engine,
+ * and the CLI A/B on: one switch that names which rewrite the graph
+ * gets before fusion and planning.
+ *
+ *   off      float baseline (no rewrite)
+ *   int8     executable LLM.int8() + Q/DQ elimination — the production
+ *            form: requantize fused into GEMM epilogues, adjacent
+ *            DQ->Q pairs cancelled
+ *   int8-raw executable LLM.int8() WITHOUT elimination — the granular
+ *            Q -> Int8Linear -> DQ pipeline, kept as the A/B contrast
+ *            (bit-identical outputs to int8, more ops and arena)
+ *   w8       weight-only int8 — int8 weights dequantized inside the
+ *            GEMM, float activations, no Q/DQ ops at all
+ */
+
+namespace ngb {
+namespace quant {
+
+/** Which executable quantization rewrite to run (see file comment). */
+enum class QuantExecMode { Off, Int8, Int8Raw, WeightOnly };
+
+/** Canonical CLI/report name: "off", "int8", "int8-raw", "w8". */
+const char *quantModeName(QuantExecMode m);
+
+/**
+ * Parse a --quant / $NGB_QUANT value. Accepts "", "0", "off" -> Off;
+ * "1", "int8" -> Int8; "int8-raw", "raw" -> Int8Raw; "w8",
+ * "weight-only" -> WeightOnly. Throws on anything else.
+ */
+QuantExecMode parseQuantMode(const std::string &s);
+
+/** Mode from $NGB_QUANT (Off when unset). */
+QuantExecMode quantModeFromEnv();
+
+/**
+ * The QuantizeConfig the executable modes run with: executable
+ * emission, minInFeatures lowered to 32 (the registry's scale-8 build
+ * shrinks K well below the modeled default of 512), no outlier side
+ * path (its Slice is a modeled construct).
+ */
+QuantizeConfig executableQuantConfig(QuantExecMode m);
+
+/**
+ * Apply @p mode to @p g: the executable quantize rewrite, plus
+ * eliminateQdq for Int8. Returns @p g unchanged for Off. Stats (when
+ * requested) include the elimination counters.
+ */
+Graph applyQuantMode(const Graph &g, QuantExecMode mode,
+                     QuantizeStats *stats = nullptr);
+
+// ----- profile attribution helpers ---------------------------------------
+
+/** Static census of a (possibly fused) quantized graph, embedded in
+ *  runtime/serve profiles so reports can attribute int8 execution. */
+struct QuantExecStats {
+    bool quantized = false;        ///< any int8 execution in the graph
+    int64_t int8Gemms = 0;         ///< GEMM nodes running int8 weights
+    int64_t qdqOps = 0;            ///< standalone Q/DQ/requantize nodes
+    int64_t packedWeightBytes = 0; ///< int8 weights + f32 scales
+    int64_t floatWeightBytes = 0;  ///< f32 bytes those weights replace
+
+    // Measured kernel-time attribution, filled by the runtime drivers.
+    double int8GemmUs = 0;   ///< time in int8-weight GEMM kernels
+    double floatGemmUs = 0;  ///< time in float GEMM-category kernels
+    double qdqUs = 0;        ///< time in standalone Q/DQ kernels
+
+    /** Weight-memory reduction factor of the quantized GEMMs. */
+    double weightCompression() const
+    {
+        return packedWeightBytes > 0
+                   ? static_cast<double>(floatWeightBytes) /
+                         static_cast<double>(packedWeightBytes)
+                   : 1.0;
+    }
+};
+
+/** True when @p n executes an int8-weight GEMM: an executable
+ *  Int8Linear, a wq8 Linear, or a Fused group headed by either. */
+bool isInt8GemmNode(const Node &n);
+
+/** True when @p n is a standalone executable Q/DQ/requantize node. */
+bool isQdqExecNode(const Node &n);
+
+/** Static census of @p g (counts + weight bytes; times stay zero). */
+QuantExecStats quantExecStatsOf(const Graph &g);
+
+}  // namespace quant
+}  // namespace ngb
+
+#endif  // NGB_QUANT_QUANT_MODE_H

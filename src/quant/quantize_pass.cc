@@ -4,6 +4,7 @@
 #include <map>
 
 #include "graph/op_cost.h"
+#include "quant/weight_pack.h"
 
 namespace ngb {
 
@@ -16,6 +17,19 @@ emit(Graph &dst, Node n)
     n.cost = computeOpCost(n, dst);
     int id = dst.addNode(std::move(n));
     return {id, 0};
+}
+
+/**
+ * Pin the deterministic parameter seed to the source node. Copied and
+ * replacement nodes get fresh ids in the rewritten graph; without the
+ * pin ParamStore would seed their parameters from the NEW id and the
+ * quantized graph's weights would not match the float baseline's.
+ */
+void
+pinSeed(Node &c, const Node &src)
+{
+    c.attrs.set("seed_id",
+                static_cast<double>(src.attrs.getI("seed_id", src.id)));
 }
 
 }  // namespace
@@ -35,12 +49,14 @@ quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
 
     for (const Node &n : src.nodes()) {
         if (n.inputs.empty()) {
-            // Graph input: copy verbatim.
+            // Graph input or parameter-only node: copy verbatim.
+            // (Input-ness is NOT implied by having no inputs — e.g. a
+            // standalone embedding table is a param node — so the
+            // graph-input list is remapped explicitly at the end.)
             Node c = n;
             c.id = -1;
+            pinSeed(c, n);
             int id = dst.addNode(std::move(c));
-            Value nv{id, 0};
-            dst.markInput(nv);
             for (size_t i = 0; i < n.outShapes.size(); ++i)
                 remap[{n.id, static_cast<int>(i)}] =
                     Value{id, static_cast<int>(i)};
@@ -57,9 +73,23 @@ quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
             ++st.linearsQuantized;
             Node c = n;
             c.id = -1;
+            pinSeed(c, n);
             for (Value &v : c.inputs)
                 v = mapped(v);
-            c.paramDtype = DType::I8;
+            if (cfg.executable) {
+                // Executable form: the master weight stays F32 (the
+                // ParamStore Gaussians are far below one int8 step, so
+                // a narrow master would round to zero); the int8
+                // representation is derived per node and the "wq8"
+                // attr routes the kernel to it.
+                c.attrs.set("wq8", 1);
+                st.packedWeightBytes +=
+                    quant::packedWeightBytes(n.paramShapes[0]);
+                st.floatWeightBytes +=
+                    quant::floatWeightBytes(n.paramShapes[0]);
+            } else {
+                c.paramDtype = DType::I8;
+            }
             c.cost = computeOpCost(c, dst);
             int id = dst.addNode(std::move(c));
             remap[{n.id, 0}] = Value{id, 0};
@@ -71,6 +101,7 @@ quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
                 ++st.linearsKept;
             Node c = n;
             c.id = -1;
+            pinSeed(c, n);
             for (Value &v : c.inputs)
                 v = mapped(v);
             c.cost = computeOpCost(c, dst);
@@ -87,6 +118,64 @@ quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
         int64_t k = n.paramShapes[0][1];
         int64_t out_features = n.paramShapes[0][0];
         bool bias = n.paramShapes.size() > 1;
+        std::vector<int64_t> odims = xs.dims();
+        odims.back() = out_features;
+
+        if (cfg.executable) {
+            // Executable granular pipeline. The activation scale is a
+            // first-class [1] value flowing from Quantize to both
+            // consumers, so eliminateQdq can rewire it when it cancels
+            // or folds the Dequantize.
+            Node q;
+            q.kind = OpKind::Quantize;
+            q.name = n.name + ".quant";
+            q.inputs = {x};
+            q.outShapes = {xs, Shape{1}};
+            q.outDtypes = {DType::I8, DType::F32};
+            q.attrs.set("kernels", 3).set("executable", 1);
+            pinSeed(q, n);
+            Value xq = emit(dst, std::move(q));
+            Value xscale{xq.node, 1};
+            ++st.addedNonGemmOps;
+
+            // INT8 GEMM producing raw i32 accumulators. The master
+            // weight param stays F32; the kernels stream the derived
+            // per-channel int8 representation (weight_pack.h).
+            Node lin;
+            lin.kind = OpKind::Int8Linear;
+            lin.name = n.name + ".int8";
+            lin.inputs = {xq, xscale};
+            lin.outShapes = {Shape(odims)};
+            lin.outDtypes = {DType::I32};
+            lin.paramShapes = {Shape{out_features, k}};
+            pinSeed(lin, n);
+            lin.attrs.set("executable", 1);
+            Value acc = emit(dst, std::move(lin));
+
+            // Requantize: per-channel rescale of the accumulators plus
+            // the bias. Carries the weight param so it can derive the
+            // same per-channel scales the GEMM quantized with.
+            Node dq;
+            dq.kind = OpKind::Dequantize;
+            dq.name = n.name + ".dequant";
+            dq.inputs = {acc, xscale};
+            dq.outShapes = {Shape(odims)};
+            dq.outDtypes = {DType::F32};
+            dq.paramShapes = {Shape{out_features, k}};
+            if (bias)
+                dq.paramShapes.push_back(Shape{out_features});
+            dq.attrs.set("kernels", 2).set("executable", 1);
+            pinSeed(dq, n);
+            Value y = emit(dst, std::move(dq));
+            ++st.addedNonGemmOps;
+
+            st.packedWeightBytes +=
+                quant::packedWeightBytes(n.paramShapes[0]);
+            st.floatWeightBytes +=
+                quant::floatWeightBytes(n.paramShapes[0]);
+            remap[{n.id, 0}] = y;
+            continue;
+        }
 
         // absmax activation quantization (reduce + scale kernels).
         Node q;
@@ -104,8 +193,6 @@ quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
         lin.kind = OpKind::Int8Linear;
         lin.name = n.name + ".int8";
         lin.inputs = {xq};
-        std::vector<int64_t> odims = xs.dims();
-        odims.back() = out_features;
         lin.outShapes = {Shape(odims)};
         // The executable kernel fuses the x_scale*w_scale rescale into
         // the accumulator write-out, so the node's concrete output is
@@ -174,6 +261,8 @@ quantizeLlmInt8(const Graph &src, const QuantizeConfig &cfg,
         remap[{n.id, 0}] = y;
     }
 
+    for (const Value &v : src.graphInputs())
+        dst.markInput(mapped(v));
     for (const Value &v : src.graphOutputs())
         dst.markOutput(mapped(v));
 

@@ -40,6 +40,22 @@ struct QuantizeConfig {
      * Slice + fp16 GEMM + Add side path the method prescribes.
      */
     double outlierFraction = 0.01;
+
+    /**
+     * Emit the executable graph form instead of the modeled one. The
+     * executable LlmInt8 rewrite produces concrete dtypes the runtime
+     * honors: Quantize grows a second [1] F32 scale output, Int8Linear
+     * consumes {xq, xscale}, keeps its master weight in F32 (per-channel
+     * int8 representations are derived through ParamStore::derived) and
+     * produces raw I32 accumulators, and Dequantize carries the weight
+     * (+ bias) params so it can apply the per-channel rescale. Every
+     * emitted node pins "seed_id" to the source Linear's id so derived
+     * parameters match the float baseline exactly. The executable
+     * WeightOnlyInt8 rewrite keeps the Linear node and sets the "wq8"
+     * attr; the kernel streams the derived int8 weight. Executable mode
+     * emits no outlier side path.
+     */
+    bool executable = false;
 };
 
 /** What the pass did, for the workload report and Figure 9. */
@@ -49,6 +65,12 @@ struct QuantizeStats {
     int64_t addedNonGemmOps = 0;   ///< Q/DQ + decomposition ops inserted
     int64_t nodesBefore = 0;
     int64_t nodesAfter = 0;
+
+    // Executable-mode extras (zero for modeled rewrites).
+    int64_t qdqPairsCancelled = 0;  ///< DQ->Q pairs fused by eliminateQdq
+    int64_t requantFolded = 0;      ///< DQs folded into Int8Linear epilogues
+    int64_t packedWeightBytes = 0;  ///< int8 weights + f32 scales
+    int64_t floatWeightBytes = 0;   ///< the f32 weights they replace
 };
 
 /**

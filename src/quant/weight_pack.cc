@@ -1,0 +1,135 @@
+#include "quant/weight_pack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "quant/quant_kernels.h"
+
+namespace ngb {
+namespace quant {
+
+namespace {
+
+void
+requireRowWeight(const Tensor &w, const char *who)
+{
+    if (w.shape().rank() != 2)
+        throw std::runtime_error(std::string(who) +
+                                 ": [N,K] weight required, got " +
+                                 w.shape().str());
+}
+
+}  // namespace
+
+Tensor
+perChannelScales(const Tensor &w)
+{
+    requireRowWeight(w, "perChannelScales");
+    int64_t n = w.shape()[0], k = w.shape()[1];
+    Tensor out = Tensor::empty(Shape{n}, DType::F32);
+    float *po = out.dataF32();
+    for (int64_t j = 0; j < n; ++j) {
+        float mx = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk)
+            mx = std::max(mx, std::abs(w.flatAt(j * k + kk)));
+        po[j] = mx > 0.0f ? mx / 127.0f : 1.0f;
+    }
+    return out;
+}
+
+Tensor
+quantizeWeightRows(const Tensor &w, const Tensor &scales)
+{
+    requireRowWeight(w, "quantizeWeightRows");
+    int64_t n = w.shape()[0], k = w.shape()[1];
+    if (scales.numel() != n)
+        throw std::runtime_error("quantizeWeightRows: scale count " +
+                                 std::to_string(scales.numel()) +
+                                 " != output channels " +
+                                 std::to_string(n));
+    Tensor out = Tensor::empty(Shape{n, k}, DType::I8);
+    int8_t *po = out.dataI8();
+    for (int64_t j = 0; j < n; ++j) {
+        float s = scales.flatAt(j);
+        if (!(s > 0.0f) || !std::isfinite(s))
+            throw std::runtime_error(
+                "quantizeWeightRows: non-positive scale " +
+                std::to_string(s) + " for channel " + std::to_string(j));
+        for (int64_t kk = 0; kk < k; ++kk)
+            po[j * k + kk] =
+                kernels::qnt::satCastI8(w.flatAt(j * k + kk) / s);
+    }
+    return out;
+}
+
+Tensor
+packWeightInt8(const Tensor &w, const Tensor &scales)
+{
+    Tensor rows = quantizeWeightRows(w, scales);
+    int64_t n = rows.shape()[0], k = rows.shape()[1];
+    Tensor out = Tensor::empty(Shape{k, n}, DType::I8);
+    const int8_t *pr = rows.dataI8();
+    int8_t *po = out.dataI8();
+    for (int64_t j = 0; j < n; ++j)
+        for (int64_t kk = 0; kk < k; ++kk)
+            po[kk * n + j] = pr[j * k + kk];
+    return out;
+}
+
+Tensor
+unpackWeightInt8(const Tensor &wq, const Tensor &scales)
+{
+    requireRowWeight(wq, "unpackWeightInt8");
+    if (wq.dtype() != DType::I8)
+        throw std::runtime_error("unpackWeightInt8: int8 weight required");
+    int64_t n = wq.shape()[0], k = wq.shape()[1];
+    Tensor out = Tensor::empty(Shape{n, k}, DType::F32);
+    float *po = out.dataF32();
+    for (int64_t j = 0; j < n; ++j) {
+        float s = scales.flatAt(j);
+        for (int64_t kk = 0; kk < k; ++kk)
+            po[j * k + kk] = wq.flatAt(j * k + kk) * s;
+    }
+    return out;
+}
+
+const Tensor &
+weightScales(const Node &n, ParamStore &params)
+{
+    return params.derived(n, kWeightScaleSlot, [&]() -> Tensor {
+        return perChannelScales(params.get(n, 0));
+    });
+}
+
+const Tensor &
+packedWeight(const Node &n, ParamStore &params)
+{
+    return params.derived(n, kPackedWeightSlot, [&]() -> Tensor {
+        // Nested derived is safe: builds run outside the store mutex.
+        return packWeightInt8(params.get(n, 0), weightScales(n, params));
+    });
+}
+
+const Tensor &
+rowWeight(const Node &n, ParamStore &params)
+{
+    return params.derived(n, kRowWeightSlot, [&]() -> Tensor {
+        return quantizeWeightRows(params.get(n, 0),
+                                  weightScales(n, params));
+    });
+}
+
+int64_t
+packedWeightBytes(const Shape &w)
+{
+    return w.numel() + w[0] * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t
+floatWeightBytes(const Shape &w)
+{
+    return w.numel() * static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace quant
+}  // namespace ngb

@@ -85,6 +85,7 @@ BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
     profile_.planUs = plan_->planUs + elapsedUsSince(t0);
     profile_.backend = backend_.name();
     profile_.fused = g_.hasFusedNodes();
+    profile_.quant = quant::quantExecStatsOf(g_);
     for (const Node &n : g_.nodes()) {
         profile_.modelFlops += n.cost.flops;
         profile_.modelBytes += n.cost.totalBytes();
@@ -222,12 +223,21 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
     profile_.levels.clear();
     profile_.sumUs = 0;
     profile_.usByCategory.clear();
+    profile_.quant.int8GemmUs = 0;
+    profile_.quant.floatGemmUs = 0;
+    profile_.quant.qdqUs = 0;
     for (const Node &n : g_.nodes()) {
         double us = 0;
         for (const auto &per_request : node_us)
             us += per_request[static_cast<size_t>(n.id)];
         profile_.sumUs += us;
         profile_.usByCategory[n.category()] += us;
+        if (quant::isInt8GemmNode(n))
+            profile_.quant.int8GemmUs += us;
+        else if (n.category() == OpCategory::Gemm)
+            profile_.quant.floatGemmUs += us;
+        else if (quant::isQdqExecNode(n))
+            profile_.quant.qdqUs += us;
     }
     profile_.threadBusyUs.clear();
     profile_.steals = 0;

@@ -31,6 +31,7 @@ ParallelExecutor::ParallelExecutor(const Graph &g, Schedule sched,
     auto t0 = Clock::now();
     profile_.backend = backend_.name();
     profile_.fused = g_.hasFusedNodes();
+    profile_.quant = quant::quantExecStatsOf(g_);
     for (const Node &n : g_.nodes()) {
         profile_.modelFlops += n.cost.flops;
         profile_.modelBytes += n.cost.totalBytes();
@@ -177,10 +178,19 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
     profile_.schedule = sched_.stats();
     profile_.sumUs = 0;
     profile_.usByCategory.clear();
+    profile_.quant.int8GemmUs = 0;
+    profile_.quant.floatGemmUs = 0;
+    profile_.quant.qdqUs = 0;
     for (const Node &n : g_.nodes()) {
         double us = node_us[static_cast<size_t>(n.id)];
         profile_.sumUs += us;
         profile_.usByCategory[n.category()] += us;
+        if (quant::isInt8GemmNode(n))
+            profile_.quant.int8GemmUs += us;
+        else if (n.category() == OpCategory::Gemm)
+            profile_.quant.floatGemmUs += us;
+        else if (quant::isQdqExecNode(n))
+            profile_.quant.qdqUs += us;
     }
     profile_.threadBusyUs.clear();
     profile_.steals = 0;

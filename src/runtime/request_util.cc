@@ -1,5 +1,6 @@
 #include "runtime/request_util.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -100,6 +101,59 @@ closeDifference(const std::vector<Tensor> &a, const std::vector<Tensor> &b,
            std::to_string(rtol) + " (worst, " + std::to_string(worst) +
            "x tolerance): " + std::to_string(worst_x) + " vs " +
            std::to_string(worst_y);
+}
+
+std::string
+quantDifference(const std::vector<Tensor> &a, const std::vector<Tensor> &b,
+                double maxRelL2)
+{
+    if (a.size() != b.size())
+        return "output count differs: " + std::to_string(a.size()) +
+               " vs " + std::to_string(b.size());
+    double worst = 0;
+    size_t worst_i = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].shape() != b[i].shape())
+            return "output " + std::to_string(i) + " shape differs: " +
+                   a[i].shape().str() + " vs " + b[i].shape().str();
+        if (a[i].dtype() != b[i].dtype())
+            return "output " + std::to_string(i) + " dtype differs";
+        if (a[i].dtype() != DType::F32) {
+            // Integer outputs carry no quantization noise: exact.
+            for (int64_t j = 0; j < a[i].numel(); ++j)
+                if (a[i].flatAt(j) != b[i].flatAt(j))
+                    return "output " + std::to_string(i) +
+                           " (non-float) element " + std::to_string(j) +
+                           " differs: " + std::to_string(a[i].flatAt(j)) +
+                           " vs " + std::to_string(b[i].flatAt(j));
+            continue;
+        }
+        double err2 = 0, ref2 = 0;
+        for (int64_t j = 0; j < a[i].numel(); ++j) {
+            double x = a[i].flatAt(j), y = b[i].flatAt(j);
+            if (std::isnan(x) || std::isnan(y) || std::isinf(x) ||
+                std::isinf(y)) {
+                // Non-finite values must match bit-for-bit in kind.
+                if (std::isnan(x) != std::isnan(y) || (!std::isnan(x) && x != y))
+                    return "output " + std::to_string(i) + " element " +
+                           std::to_string(j) + " non-finite mismatch: " +
+                           std::to_string(x) + " vs " + std::to_string(y);
+                continue;
+            }
+            err2 += (x - y) * (x - y);
+            ref2 += y * y;
+        }
+        double rel = std::sqrt(err2) / std::max(std::sqrt(ref2), 1e-12);
+        if (rel > worst) {
+            worst = rel;
+            worst_i = i;
+        }
+    }
+    if (worst <= maxRelL2)
+        return "";
+    return "output " + std::to_string(worst_i) + " relative L2 error " +
+           std::to_string(worst) + " exceeds quant tolerance " +
+           std::to_string(maxRelL2);
 }
 
 }  // namespace ngb

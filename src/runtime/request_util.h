@@ -51,6 +51,28 @@ allClose(const std::vector<Tensor> &a, const std::vector<Tensor> &b,
     return closeDifference(a, b, rtol, atol).empty();
 }
 
+/**
+ * Compare a quantized run @p a against its float baseline @p b by
+ * relative L2 error per output tensor: ||a - b|| / max(||b||, eps)
+ * must stay below @p maxRelL2. Element-wise tolerances are the wrong
+ * yardstick for int8 — quantization error is a dense, small, roughly
+ * uniform perturbation, so individual near-zero elements legitimately
+ * move by many times their own magnitude while the tensor as a whole
+ * stays close. Non-F32 outputs (token ids) must still match exactly.
+ * Returns an empty string when within tolerance, else a description
+ * of the worst output.
+ */
+std::string quantDifference(const std::vector<Tensor> &a,
+                            const std::vector<Tensor> &b,
+                            double maxRelL2 = 0.12);
+
+inline bool
+quantClose(const std::vector<Tensor> &a, const std::vector<Tensor> &b,
+           double maxRelL2 = 0.12)
+{
+    return quantDifference(a, b, maxRelL2).empty();
+}
+
 }  // namespace ngb
 
 #endif  // NGB_RUNTIME_REQUEST_UTIL_H

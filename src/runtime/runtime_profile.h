@@ -10,6 +10,7 @@
 #include "graph/schedule.h"
 #include "obs/perf.h"
 #include "ops/op_types.h"
+#include "quant/quant_mode.h"
 
 namespace ngb {
 
@@ -104,6 +105,13 @@ struct RuntimeProfile {
 
     /** Measured kernel time by operator category. */
     std::map<OpCategory, double> usByCategory;
+
+    /**
+     * Executable-quantization census and int8-vs-float kernel-time
+     * attribution (quant.quantized false on float graphs; the drivers
+     * fill the census at plan time and the timers during execution).
+     */
+    quant::QuantExecStats quant;
 
     /**
      * Hardware-counter aggregate of the run (perf.enabled false when

@@ -31,6 +31,10 @@ Engine::Engine(const std::string &model, const EngineConfig &cfg,
     mc.seqLen = cfg.seqLen;
     mc.testScale = cfg.scale;
     graph_ = std::make_unique<Graph>(info.build(mc));
+    quantMode_ = quant::parseQuantMode(cfg.quant);
+    if (quantMode_ != quant::QuantExecMode::Off)
+        *graph_ = quant::applyQuantMode(*graph_, quantMode_,
+                                        &quantStats_);
     if (cfg.fuse)
         *graph_ = applyFusion(*graph_, executableFusionConfig());
     plan_ = buildEnginePlan(*graph_);
@@ -51,7 +55,7 @@ EngineCache::get(const std::string &model, const std::string &backend)
     std::lock_guard<std::mutex> lock(mutex_);
     EngineKey key{model, cfg_.scale, pool_.threads(),
                   resolveBackend(cfg_, backend).name(), cfg_.fuse,
-                  cfg_.arena};
+                  cfg_.arena, cfg_.quant};
     auto it = engines_.find(key);
     if (it != engines_.end()) {
         ++stats_.hits;
@@ -77,6 +81,12 @@ EngineCache::stats() const
         s.arenaBlockBytes +=
             static_cast<int64_t>(engine->arenaBlocks()) *
             engine->arenaBlockBytes();
+        const quant::QuantExecStats &q = engine->driver().profile().quant;
+        s.quant.quantized = s.quant.quantized || q.quantized;
+        s.quant.int8Gemms += q.int8Gemms;
+        s.quant.qdqOps += q.qdqOps;
+        s.quant.packedWeightBytes += q.packedWeightBytes;
+        s.quant.floatWeightBytes += q.floatWeightBytes;
     }
     return s;
 }

@@ -11,6 +11,7 @@
 
 #include "deploy/fusion.h"
 #include "ops/backend.h"
+#include "quant/quant_mode.h"
 #include "runtime/batch_driver.h"
 #include "runtime/thread_pool.h"
 
@@ -44,6 +45,15 @@ struct EngineConfig {
      * are bit-identical either way.
      */
     bool arena = arenaEnabledByEnv();
+
+    /**
+     * Executable quantization mode compiled into every engine of this
+     * cache ("off", "int8", "int8-raw", "w8"): the quantize rewrite
+     * (plus Q/DQ elimination for "int8") runs before fusion and
+     * planning, so served engines execute quantized plans end to end.
+     * Defaults to $NGB_QUANT.
+     */
+    std::string quant = quant::quantModeName(quant::quantModeFromEnv());
 };
 
 /**
@@ -62,12 +72,14 @@ struct EngineKey {
     std::string backend = "reference";
     bool fuse = false;   ///< engine graph was compiled with fusion
     bool arena = false;  ///< engine executes through pooled arenas
+    std::string quant = "off";  ///< quantization mode compiled in
 
     bool operator<(const EngineKey &o) const
     {
-        return std::tie(model, scale, threads, backend, fuse, arena) <
-               std::tie(o.model, o.scale, o.threads, o.backend, o.fuse,
-                        o.arena);
+        return std::tie(model, scale, threads, backend, fuse, arena,
+                        quant) < std::tie(o.model, o.scale, o.threads,
+                                          o.backend, o.fuse, o.arena,
+                                          o.quant);
     }
 };
 
@@ -114,6 +126,12 @@ class Engine
         return plan_->arenas.blockBytes();
     }
 
+    /** Quantization mode this engine was compiled with. */
+    quant::QuantExecMode quantMode() const { return quantMode_; }
+
+    /** What the quantize rewrite did (all-zero under mode off). */
+    const QuantizeStats &quantizeStats() const { return quantStats_; }
+
     /** @p traceIds: per-request span tags, see BatchDriver::run. */
     std::vector<std::vector<Tensor>>
     run(const std::vector<std::vector<Tensor>> &requests,
@@ -129,6 +147,8 @@ class Engine
     const Backend *backend_ = nullptr;
     std::unique_ptr<BatchDriver> driver_;
     double buildUs_ = 0;
+    quant::QuantExecMode quantMode_ = quant::QuantExecMode::Off;
+    QuantizeStats quantStats_;
 };
 
 /**
@@ -153,6 +173,10 @@ class EngineCache
 
         size_t arenaBlocks = 0;      ///< pooled blocks across engines
         int64_t arenaBlockBytes = 0; ///< total bytes of those blocks
+
+        /** Quantization census summed across cached engines (times
+         *  stay zero — serving attributes time per batch, not here). */
+        quant::QuantExecStats quant;
     };
 
     explicit EngineCache(ThreadPool &pool, EngineConfig cfg = {});

@@ -339,6 +339,8 @@ runServe(const ServeConfig &cfg, ThreadPool &pool)
     result.stats.arenaBlocks =
         static_cast<int64_t>(cache_stats.arenaBlocks);
     result.stats.arenaBlockBytes = cache_stats.arenaBlockBytes;
+    result.stats.quantMode = cfg.engine.quant;
+    result.stats.quant = cache_stats.quant;
 
     if (cfg.verify)
         verifyAgainstSerial(result, cache);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/perf.h"
+#include "quant/quant_mode.h"
 
 namespace ngb {
 
@@ -84,6 +85,12 @@ struct ServeStats {
     int64_t tensorAllocBytes = 0;
     int64_t arenaBlocks = 0;     ///< pooled blocks across all engines
     int64_t arenaBlockBytes = 0; ///< total bytes of those blocks
+
+    // -- Quantization of the served engines ---------------------------
+
+    std::string quantMode = "off";  ///< EngineConfig::quant compiled in
+    /** Census summed across cached engines (times stay zero). */
+    quant::QuantExecStats quant;
 
     /**
      * Hardware-counter aggregate of the session's kernel work (zeroed
