@@ -24,6 +24,7 @@
 #include "obs/perf.h"
 #include "obs/trace.h"
 #include "ops/backend.h"
+#include "platform/cpu_features.h"
 #include "profiler/nongemm_report.h"
 #include "profiler/runtime_report.h"
 #include "profiler/serve_report.h"
@@ -628,11 +629,23 @@ usage()
         "  --threads N          worker threads (default: hardware)\n"
         "  --scale N            shrink models by N for host execution\n"
         "                       (default 8; 1 = paper scale, slow)\n"
-        "  --backend NAME       kernel backend: reference | optimized,\n"
-        "                       or 'both' to measure the same graph\n"
-        "                       under both and print the side-by-side\n"
+        "  --backend NAME       kernel backend: reference | optimized\n"
+        "                       | simd, or 'both' to measure the same\n"
+        "                       graph under both reference and\n"
+        "                       optimized and print the side-by-side\n"
         "                       GEMM/non-GEMM attribution (default:\n"
         "                       $NGB_BACKEND or reference)\n"
+        "  --isa LEVEL          auto | scalar | neon | avx2 | avx512:\n"
+        "                       force the process-wide SIMD dispatch\n"
+        "                       level the simd backend registers its\n"
+        "                       kernels at. Forcing a level below what\n"
+        "                       the host supports is always allowed\n"
+        "                       (scalar makes every op fall through to\n"
+        "                       optimized); asking for more than the\n"
+        "                       host/build supports is an error. auto\n"
+        "                       (default) uses runtime CPU detection.\n"
+        "                       $NGB_ISA sets it ambiently (clamped,\n"
+        "                       with a warning, instead of erroring)\n"
         "  --arena MODE         on | off: execute through planned,\n"
         "                       pooled per-request memory arenas (the\n"
         "                       MemoryPlan made executable): zero\n"
@@ -873,6 +886,16 @@ main(int argc, char **argv)
             serveFlagsUsed = true;
         } else if (a == "--backend") {
             rt.backend = next();
+        } else if (a == "--isa") {
+            // Applied immediately, before any backend is built: the
+            // simd backend registers kernels for the level active at
+            // its first use, so the override must precede it.
+            try {
+                platform::setActiveIsaName(next());
+            } catch (const std::exception &e) {
+                std::cerr << e.what() << "\n";
+                return 2;
+            }
         } else if (a == "--fuse") {
             rt.fuse = true;
         } else if (a == "--arena") {

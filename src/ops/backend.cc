@@ -71,6 +71,7 @@ struct BuiltinBackend {
 constexpr BuiltinBackend kBuiltins[] = {
     {"reference", referenceBackend},
     {"optimized", optimizedBackend},
+    {"simd", simdBackend},
 };
 
 }  // namespace

@@ -249,6 +249,16 @@ const Backend &referenceBackend();
 const Backend &optimizedBackend();
 
 /**
+ * The explicit-SIMD backend: AVX2/AVX-512/NEON vector kernels for the
+ * GEMM family, layer norm, the simple elementwise ops, and the
+ * executable int8 GEMM, selected by runtime CPU detection
+ * (platform::activeIsa) and tile-tuned through the persistent
+ * TuningCache; falls back to optimized per-op for everything else —
+ * including everything, when dispatch resolves to scalar.
+ */
+const Backend &simdBackend();
+
+/**
  * The process-wide default: $NGB_BACKEND when set (so a CI leg can run
  * the whole suite under another backend), else reference.
  */

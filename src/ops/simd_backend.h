@@ -1,0 +1,85 @@
+#ifndef NGB_OPS_SIMD_BACKEND_H
+#define NGB_OPS_SIMD_BACKEND_H
+
+#include "ops/backend.h"
+#include "platform/cpu_features.h"
+#include "platform/simd.h"
+
+/**
+ * @file
+ * The "simd" backend: explicit-SIMD kernels (src/platform/simd.h)
+ * behind the Backend API, dispatched by runtime CPU detection and
+ * tile-tuned through the persistent TuningCache.
+ *
+ * Registration is SPARSE by design: only the ops with explicit vector
+ * kernels (matmul / linear / bmm / layer_norm / the simple
+ * elementwise family / executable Int8Linear) are registered; every
+ * other op — conv, softmax, transcendental activations, fused groups
+ * — falls through the chain to the optimized backend per-op. An
+ * unsupported ISA (or --isa scalar) registers NOTHING, so the whole
+ * process degrades to optimized without any caller noticing: that is
+ * the "per-op, not per-process" degradation story.
+ */
+
+namespace ngb {
+
+/**
+ * The process "simd" backend, built once at the dispatch level
+ * platform::activeIsa() reports on first use — set --isa / $NGB_ISA
+ * before first kernel dispatch (the CLI applies --isa while parsing).
+ */
+const Backend &simdBackend();
+
+/**
+ * A simd backend pinned to @p level regardless of the process active
+ * ISA (clamped to what is compiled in/supported, like dispatch is) —
+ * the per-level differential tests build one per supported level in a
+ * single process. Falls back to optimized exactly like simdBackend().
+ */
+Backend makeSimdBackend(platform::IsaLevel level);
+
+namespace kernels {
+namespace sd {
+
+/**
+ * Free-function entries at the process-active dispatch level, for the
+ * micro-bench and tests. Each delegates to the optimized kernel when
+ * the active level has no SIMD table (scalar), so they are always
+ * callable. GEMM entries tune through TuningCache::process().
+ */
+Tensor matmul(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
+                    Tensor dst = {});
+Tensor bmm(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor layerNorm(const Tensor &x, const Tensor &gamma,
+                 const Tensor &beta, float eps, Tensor dst = {});
+Tensor relu(const Tensor &x, Tensor dst = {});
+Tensor add(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor mul(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor addScalar(const Tensor &x, float s, Tensor dst = {});
+Tensor mulScalar(const Tensor &x, float s, Tensor dst = {});
+
+/** matmul with an explicit tile (no tuning) — the bit-identity-
+ *  across-candidates test hook. */
+Tensor matmulTiled(const Tensor &a, const Tensor &b,
+                   const simd::TileConfig &tile, Tensor dst = {});
+
+/**
+ * Re-pack a [K,N] int8 weight (quant::packWeightInt8 layout) into
+ * whatever layout the active level's int8 GEMM streams: the 4-deep
+ * dot interleave when the level has a dot-product unit, else an
+ * unchanged copy. Pair with int8LinearRequant below.
+ */
+Tensor packInt8Weight(const Tensor &wtq);
+
+/** Int8 linear with the requantize epilogue over a packInt8Weight-
+ *  packed operand; bit-identical to qnt::int8LinearPackedRequant. */
+Tensor int8LinearRequant(const Tensor &xq, float xScale,
+                         const Tensor &wPacked, const Tensor &wScales,
+                         const Tensor &bias, Tensor dst = {});
+
+}  // namespace sd
+}  // namespace kernels
+}  // namespace ngb
+
+#endif  // NGB_OPS_SIMD_BACKEND_H

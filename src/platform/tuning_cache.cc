@@ -1,0 +1,191 @@
+#include "platform/tuning_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/json_util.h"
+#include "platform/cpu_features.h"
+
+namespace ngb {
+namespace simd {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+/** Value of the string field @p key inside @p obj, "" when absent.
+ *  The cache only parses files it wrote itself (escaped, flat
+ *  objects), so a plain scan is sufficient and a malformed file
+ *  degrades to "no entries" rather than an error. */
+std::string
+fieldString(const std::string &obj, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    size_t pos = obj.find(needle);
+    if (pos == std::string::npos)
+        return "";
+    pos += needle.size();
+    while (pos < obj.size() && (obj[pos] == ' ' || obj[pos] == '\n'))
+        ++pos;
+    if (pos >= obj.size() || obj[pos] != '"')
+        return "";
+    size_t end = obj.find('"', pos + 1);
+    if (end == std::string::npos)
+        return "";
+    return obj.substr(pos + 1, end - pos - 1);
+}
+
+double
+fieldNumber(const std::string &obj, const std::string &key, double def)
+{
+    const std::string needle = "\"" + key + "\":";
+    size_t pos = obj.find(needle);
+    if (pos == std::string::npos)
+        return def;
+    return std::atof(obj.c_str() + pos + needle.size());
+}
+
+}  // namespace
+
+TuningCache::TuningCache(std::string path) : path_(std::move(path))
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    loadLocked();
+}
+
+void
+TuningCache::loadLocked()
+{
+    std::ifstream f(path_);
+    if (!f)
+        return;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string text = ss.str();
+    if (fieldNumber(text, "version", 0) != kFormatVersion ||
+        fieldString(text, "machine") != platform::machineTag()) {
+        // Another machine's (or another format's) tunings: tile
+        // choices do not transfer, drop the whole file's contents.
+        size_t n = 0;
+        for (size_t pos = text.find("{\"op\":");
+             pos != std::string::npos;
+             pos = text.find("{\"op\":", pos + 1))
+            ++n;
+        stats_.entriesRejected += n;
+        return;
+    }
+    for (size_t pos = text.find("{\"op\":"); pos != std::string::npos;
+         pos = text.find("{\"op\":", pos + 1)) {
+        size_t end = text.find('}', pos);
+        if (end == std::string::npos)
+            break;
+        const std::string obj = text.substr(pos, end - pos + 1);
+        TuneKey key{fieldString(obj, "op"), fieldString(obj, "shape"),
+                    fieldString(obj, "isa")};
+        if (key.op.empty() || key.shape.empty() || key.isa.empty()) {
+            ++stats_.entriesRejected;
+            continue;
+        }
+        Entry e;
+        e.choice = static_cast<int>(fieldNumber(obj, "choice", 0));
+        e.ns = fieldNumber(obj, "ns", 0);
+        table_[key] = e;
+        ++stats_.entriesLoaded;
+    }
+}
+
+void
+TuningCache::saveLocked() const
+{
+    if (path_.empty())
+        return;
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f)
+            return;
+        f << "{\n  \"version\": " << kFormatVersion
+          << ",\n  \"machine\": "
+          << obs::jsonQuote(platform::machineTag())
+          << ",\n  \"entries\": [\n";
+        size_t i = 0;
+        for (const auto &[key, e] : table_) {
+            obs::JsonDict d;
+            d.add("op", key.op)
+                .add("shape", key.shape)
+                .add("isa", key.isa)
+                .add("choice", e.choice)
+                .add("ns", e.ns, 1);
+            f << "    " << d.str()
+              << (++i < table_.size() ? "," : "") << "\n";
+        }
+        f << "  ]\n}\n";
+    }
+    std::rename(tmp.c_str(), path_.c_str());
+}
+
+int
+TuningCache::choose(const TuneKey &key, int nCandidates,
+                    const std::function<double(int)> &timeCandidate)
+{
+    if (nCandidates <= 1)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = table_.find(key);
+    if (it != table_.end() && it->second.choice >= 0 &&
+        it->second.choice < nCandidates) {
+        ++stats_.replays;
+        return it->second.choice;
+    }
+    int best = 0;
+    double bestNs = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < nCandidates; ++i) {
+        const double ns = timeCandidate(i);
+        ++stats_.tuneRuns;
+        if (ns < bestNs) {
+            bestNs = ns;
+            best = i;
+        }
+    }
+    table_[key] = Entry{best, bestNs};
+    ++stats_.tunedKeys;
+    saveLocked();
+    return best;
+}
+
+bool
+TuningCache::contains(const TuneKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return table_.count(key) != 0;
+}
+
+size_t
+TuningCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return table_.size();
+}
+
+TuneStats
+TuningCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+TuningCache &
+TuningCache::process()
+{
+    static TuningCache *cache = [] {
+        const char *env = std::getenv("NGB_TUNE_CACHE");
+        return env && *env ? new TuningCache(env) : new TuningCache();
+    }();
+    return *cache;
+}
+
+}  // namespace simd
+}  // namespace ngb

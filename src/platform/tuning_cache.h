@@ -1,0 +1,112 @@
+#ifndef NGB_PLATFORM_TUNING_CACHE_H
+#define NGB_PLATFORM_TUNING_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+/**
+ * @file
+ * The persistent tile-size autotuner behind the simd backend.
+ *
+ * Every GEMM-family kernel call asks the cache which TileConfig
+ * candidate to run for its (op, shape, isa) key — the same
+ * "identity of a planned artifact" idea as EngineCache, one level
+ * down. A hit replays the stored choice with zero measurement; a miss
+ * times every candidate once (they are bit-identical, so this is a
+ * pure timing decision), records the winner, and persists the whole
+ * table to the JSON file $NGB_TUNE_CACHE names (atomic tmp+rename).
+ * First request tunes, steady state replays, and the NEXT process
+ * pointed at the same file starts warm: its stats().tuneRuns stays 0,
+ * which is exactly what bench_micro_kernels --expect-warm asserts.
+ *
+ * Invalidation rule: the file carries the machine tag
+ * (platform::machineTag()) and a format version; a file written on a
+ * different microarchitecture (or an unknown version) is ignored
+ * wholesale — tile choices do not transfer between machines. Entries
+ * are additionally keyed by ISA name, so one file can hold tunings
+ * for several dispatch levels of the same machine (the per-level test
+ * sweep and the forced-scalar CI leg share a file safely).
+ */
+
+namespace ngb {
+namespace simd {
+
+/** Identity of one tuning decision: operator, problem shape, ISA. */
+struct TuneKey {
+    std::string op;     ///< "matmul" / "linear" / "bmm" / "int8_linear"
+    std::string shape;  ///< canonical "MxKxN" string
+    std::string isa;    ///< platform::isaName of the dispatch level
+
+    bool operator<(const TuneKey &o) const
+    {
+        return std::tie(op, shape, isa) <
+               std::tie(o.op, o.shape, o.isa);
+    }
+};
+
+struct TuneStats {
+    uint64_t tuneRuns = 0;    ///< timed candidate runs this process
+    uint64_t tunedKeys = 0;   ///< keys tuned (missed) this process
+    uint64_t replays = 0;     ///< lookups served without measuring
+    uint64_t entriesLoaded = 0;    ///< entries accepted from the file
+    uint64_t entriesRejected = 0;  ///< dropped: machine/version mismatch
+};
+
+class TuningCache
+{
+  public:
+    /** In-memory cache (no persistence) — tests and ad-hoc use. */
+    TuningCache() = default;
+
+    /** Cache backed by @p path: loads surviving entries now, rewrites
+     *  the file after every newly tuned key. */
+    explicit TuningCache(std::string path);
+
+    TuningCache(const TuningCache &) = delete;
+    TuningCache &operator=(const TuningCache &) = delete;
+
+    /**
+     * The candidate index to run for @p key. Replays the cached
+     * choice when one exists (and still names one of @p nCandidates);
+     * otherwise calls @p timeCandidate(i) for every candidate — it
+     * must run the real kernel and return its best observed ns —
+     * records the fastest, persists, and returns it. Thread-safe; a
+     * key is tuned at most once per process.
+     */
+    int choose(const TuneKey &key, int nCandidates,
+               const std::function<double(int)> &timeCandidate);
+
+    bool contains(const TuneKey &key) const;
+    size_t entries() const;
+    TuneStats stats() const;
+    const std::string &path() const { return path_; }
+
+    /**
+     * The process-wide cache: backed by $NGB_TUNE_CACHE when set,
+     * else in-memory only (tuning still happens, nothing persists).
+     */
+    static TuningCache &process();
+
+  private:
+    struct Entry {
+        int choice = 0;
+        double ns = 0;
+    };
+
+    void loadLocked();
+    void saveLocked() const;
+
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::map<TuneKey, Entry> table_;
+    TuneStats stats_;
+};
+
+}  // namespace simd
+}  // namespace ngb
+
+#endif  // NGB_PLATFORM_TUNING_CACHE_H

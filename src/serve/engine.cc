@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "models/registry.h"
+#include "platform/cpu_features.h"
 #include "runtime/runtime_profile.h"
 
 namespace ngb {
@@ -16,6 +17,14 @@ resolveBackend(const EngineConfig &cfg, const std::string &pin)
 {
     const std::string &name = !pin.empty() ? pin : cfg.backend;
     return name.empty() ? defaultBackend() : findBackend(name);
+}
+
+/** The ISA level an engine key records: config pin > active level. */
+std::string
+resolveIsa(const EngineConfig &cfg)
+{
+    return cfg.isa.empty() ? platform::isaName(platform::activeIsa())
+                           : cfg.isa;
 }
 
 }  // namespace
@@ -55,7 +64,7 @@ EngineCache::get(const std::string &model, const std::string &backend)
     std::lock_guard<std::mutex> lock(mutex_);
     EngineKey key{model, cfg_.scale, pool_.threads(),
                   resolveBackend(cfg_, backend).name(), cfg_.fuse,
-                  cfg_.arena, cfg_.quant};
+                  cfg_.arena, cfg_.quant, resolveIsa(cfg_)};
     auto it = engines_.find(key);
     if (it != engines_.end()) {
         ++stats_.hits;

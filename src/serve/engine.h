@@ -54,6 +54,16 @@ struct EngineConfig {
      * Defaults to $NGB_QUANT.
      */
     std::string quant = quant::quantModeName(quant::quantModeFromEnv());
+
+    /**
+     * ISA dispatch level recorded in this cache's engine keys; ""
+     * resolves to platform::activeIsa() when the key is built.
+     * Dispatch itself is process-global (--isa / $NGB_ISA) — this
+     * field keeps engines whose kernels were tile-tuned under one
+     * dispatch level cached apart from engines built under another,
+     * the same role the backend name plays in the key.
+     */
+    std::string isa;
 };
 
 /**
@@ -73,13 +83,14 @@ struct EngineKey {
     bool fuse = false;   ///< engine graph was compiled with fusion
     bool arena = false;  ///< engine executes through pooled arenas
     std::string quant = "off";  ///< quantization mode compiled in
+    std::string isa = "scalar"; ///< ISA dispatch level at build time
 
     bool operator<(const EngineKey &o) const
     {
         return std::tie(model, scale, threads, backend, fuse, arena,
-                        quant) < std::tie(o.model, o.scale, o.threads,
-                                          o.backend, o.fuse, o.arena,
-                                          o.quant);
+                        quant, isa) <
+               std::tie(o.model, o.scale, o.threads, o.backend, o.fuse,
+                        o.arena, o.quant, o.isa);
     }
 };
 

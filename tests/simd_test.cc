@@ -1,0 +1,430 @@
+/**
+ * @file
+ * The explicit-SIMD backend: ISA detection and override semantics,
+ * backend wiring and per-op fallback, numerics differentials at every
+ * host-supported dispatch level (bit-identity where the contract
+ * promises it, tolerance where FMA reassociation changes rounding),
+ * tile-candidate bit-identity (what makes autotuning a pure timing
+ * decision), the persistent tuning cache's round-trip and invalidation
+ * rules, ISA-keyed engine caching, and the full-registry differential
+ * sweep simd-vs-reference per level.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "graph/executor.h"
+#include "models/registry.h"
+#include "ops/backend.h"
+#include "ops/kernels.h"
+#include "ops/optimized_kernels.h"
+#include "ops/simd_backend.h"
+#include "platform/cpu_features.h"
+#include "platform/simd.h"
+#include "platform/tuning_cache.h"
+#include "quant/quant_kernels.h"
+#include "quant/weight_pack.h"
+#include "runtime/request_util.h"
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+
+namespace ngb {
+namespace {
+
+namespace kn = kernels;
+namespace ko = kernels::opt;
+namespace kq = kernels::qnt;
+namespace sd = kernels::sd;
+namespace pf = platform;
+
+/** Restore the process dispatch level on scope exit, so per-level
+ *  tests cannot leak a forced ISA into later tests. */
+class IsaGuard
+{
+  public:
+    IsaGuard() : saved_(pf::activeIsa()) {}
+    ~IsaGuard() { pf::setActiveIsa(saved_); }
+
+  private:
+    pf::IsaLevel saved_;
+};
+
+::testing::AssertionResult
+tensorsBitIdentical(const Tensor &a, const Tensor &b)
+{
+    std::string diff = bitDifference({a}, {b});
+    if (diff.empty())
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << diff;
+}
+
+::testing::AssertionResult
+tensorsClose(const Tensor &a, const Tensor &b, float rtol = 1e-3f,
+             float atol = 1e-5f)
+{
+    std::string diff = closeDifference({a}, {b}, rtol, atol);
+    if (diff.empty())
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << diff;
+}
+
+// ---- ISA detection & override semantics ----------------------------------
+
+TEST(CpuFeaturesTest, IsaNamesRoundTrip)
+{
+    for (pf::IsaLevel l :
+         {pf::IsaLevel::Scalar, pf::IsaLevel::Neon, pf::IsaLevel::Avx2,
+          pf::IsaLevel::Avx512})
+        EXPECT_EQ(pf::isaFromName(pf::isaName(l)), l);
+    EXPECT_EQ(pf::isaFromName("auto"), pf::detectIsa());
+    try {
+        pf::isaFromName("bogus");
+        FAIL() << "expected isaFromName to throw";
+    } catch (const std::exception &e) {
+        // The error lists the valid names, so a typoed --isa is
+        // self-correcting.
+        EXPECT_NE(std::string(e.what()).find("scalar"),
+                  std::string::npos);
+    }
+}
+
+TEST(CpuFeaturesTest, SupportedLevelsAscendFromScalar)
+{
+    std::vector<pf::IsaLevel> levels = pf::supportedIsaLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), pf::IsaLevel::Scalar);
+    for (size_t i = 1; i < levels.size(); ++i)
+        EXPECT_LT(static_cast<int>(levels[i - 1]),
+                  static_cast<int>(levels[i]));
+    EXPECT_EQ(levels.back(), pf::detectIsa());
+}
+
+TEST(CpuFeaturesTest, ForcingSupportedLevelsWorksOveraskThrows)
+{
+    IsaGuard guard;
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        pf::setActiveIsa(l);
+        EXPECT_EQ(pf::activeIsa(), l);
+    }
+    // Any level above what this host/build dispatches must be a loud
+    // error, never a silent illegal-instruction time bomb.
+    for (int l = static_cast<int>(pf::detectIsa()) + 1;
+         l <= static_cast<int>(pf::IsaLevel::Avx512); ++l)
+        EXPECT_THROW(pf::setActiveIsa(static_cast<pf::IsaLevel>(l)),
+                     std::exception);
+    pf::setActiveIsaName("auto");
+    EXPECT_EQ(pf::activeIsa(), pf::detectIsa());
+}
+
+// ---- backend wiring & per-op fallback ------------------------------------
+
+TEST(SimdBackendTest, RegisteredWithFallbackChainToOptimized)
+{
+    const Backend &b = findBackend("simd");
+    EXPECT_EQ(b.name(), "simd");
+    ASSERT_NE(b.fallback(), nullptr);
+    EXPECT_EQ(b.fallback()->name(), "optimized");
+    ASSERT_NE(b.fallback()->fallback(), nullptr);
+    EXPECT_EQ(b.fallback()->fallback()->name(), "reference");
+
+    bool listed = false;
+    for (const std::string &n : backendNames())
+        listed = listed || n == "simd";
+    EXPECT_TRUE(listed);
+}
+
+TEST(SimdBackendTest, ScalarLevelRegistersNothingButStillResolves)
+{
+    Backend b = makeSimdBackend(pf::IsaLevel::Scalar);
+    EXPECT_EQ(b.numKernels(), 0u);
+    EXPECT_FALSE(b.handles(OpKind::MatMul));
+    // Per-op degradation: every kernel resolves through the chain.
+    EXPECT_NO_THROW(b.kernelFor(OpKind::MatMul));
+    EXPECT_NO_THROW(b.kernelFor(OpKind::Conv2d));
+}
+
+TEST(SimdBackendTest, UnregisteredOpsFallThroughPerOp)
+{
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        Backend b = makeSimdBackend(l);
+        // Never registered at any level: conv, softmax, the
+        // transcendental activations, fused groups.
+        EXPECT_FALSE(b.handles(OpKind::Conv2d));
+        EXPECT_FALSE(b.handles(OpKind::Softmax));
+        EXPECT_FALSE(b.handles(OpKind::GELU));
+        EXPECT_FALSE(b.handles(OpKind::Fused));
+        EXPECT_NO_THROW(b.kernelFor(OpKind::Conv2d));
+        if (l != pf::IsaLevel::Scalar) {
+            EXPECT_TRUE(b.handles(OpKind::MatMul));
+            EXPECT_TRUE(b.handles(OpKind::Linear));
+            EXPECT_TRUE(b.handles(OpKind::LayerNorm));
+        }
+    }
+}
+
+// ---- per-level kernel differentials --------------------------------------
+
+TEST(SimdKernelsTest, GemmMatchesReferenceAtEveryLevel)
+{
+    IsaGuard guard;
+    const int64_t shapes[][3] = {
+        {1, 1, 1},  {3, 5, 7},   {8, 16, 8},
+        {5, 4, 64}, {64, 33, 17}, {17, 96, 33},
+    };
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        pf::setActiveIsa(l);
+        for (const auto &s : shapes) {
+            Tensor a = Tensor::randn(Shape{s[0], s[1]}, 7);
+            Tensor b = Tensor::randn(Shape{s[1], s[2]}, 8);
+            // FMA vs mul+add rounding: tolerance, not bit-identity.
+            EXPECT_TRUE(tensorsClose(sd::matmul(a, b), kn::matmul(a, b)))
+                << pf::isaName(l) << " " << s[0] << "x" << s[1] << "x"
+                << s[2];
+        }
+        Tensor x = Tensor::randn(Shape{9, 48}, 9);
+        Tensor w = Tensor::randn(Shape{33, 48}, 10);  // [N,K]
+        Tensor bias = Tensor::randn(Shape{33}, 11);
+        Tensor wt = ko::packWeightTranspose(w);
+        EXPECT_TRUE(tensorsClose(sd::linearPacked(x, wt, bias),
+                                 kn::linear(x, w, bias)))
+            << pf::isaName(l);
+        Tensor ba = Tensor::randn(Shape{3, 5, 12}, 12);
+        Tensor bb = Tensor::randn(Shape{3, 12, 9}, 13);
+        EXPECT_TRUE(tensorsClose(sd::bmm(ba, bb), kn::bmm(ba, bb)))
+            << pf::isaName(l);
+    }
+}
+
+TEST(SimdKernelsTest, ElementwiseBitIdenticalAtEveryLevel)
+{
+    IsaGuard guard;
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        pf::setActiveIsa(l);
+        for (int64_t n : {int64_t(1), int64_t(7), int64_t(64),
+                          int64_t(1000)}) {
+            Tensor x = Tensor::randn(Shape{n}, 21);
+            Tensor y = Tensor::randn(Shape{n}, 22);
+            EXPECT_TRUE(tensorsBitIdentical(sd::relu(x), kn::relu(x)))
+                << pf::isaName(l) << " n=" << n;
+            EXPECT_TRUE(tensorsBitIdentical(sd::add(x, y), kn::add(x, y)))
+                << pf::isaName(l) << " n=" << n;
+            EXPECT_TRUE(tensorsBitIdentical(sd::mul(x, y), kn::mul(x, y)))
+                << pf::isaName(l) << " n=" << n;
+            EXPECT_TRUE(tensorsBitIdentical(sd::addScalar(x, 0.5f),
+                                            kn::addScalar(x, 0.5f)))
+                << pf::isaName(l) << " n=" << n;
+            EXPECT_TRUE(tensorsBitIdentical(sd::mulScalar(x, -1.5f),
+                                            kn::mulScalar(x, -1.5f)))
+                << pf::isaName(l) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernelsTest, LayerNormWithinToleranceAtEveryLevel)
+{
+    IsaGuard guard;
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        pf::setActiveIsa(l);
+        for (int64_t d : {int64_t(3), int64_t(17), int64_t(256)}) {
+            Tensor x = Tensor::randn(Shape{5, d}, 31);
+            Tensor g = Tensor::randn(Shape{d}, 32, 0.1f);
+            Tensor b = Tensor::randn(Shape{d}, 33, 0.1f);
+            EXPECT_TRUE(tensorsClose(sd::layerNorm(x, g, b, 1e-5f),
+                                     kn::layerNorm(x, g, b, 1e-5f),
+                                     1e-3f, 1e-4f))
+                << pf::isaName(l) << " d=" << d;
+        }
+    }
+}
+
+// ---- tile candidates: bit-identity is what makes tuning safe -------------
+
+TEST(SimdKernelsTest, EveryTileCandidateProducesIdenticalBits)
+{
+    IsaGuard guard;
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        if (l == pf::IsaLevel::Scalar)
+            continue;
+        pf::setActiveIsa(l);
+        const std::vector<simd::TileConfig> &cands =
+            simd::gemmTileCandidates(l);
+        ASSERT_GT(cands.size(), 1u) << pf::isaName(l);
+        for (const auto &s :
+             {std::pair<int64_t, int64_t>{33, 47},
+              std::pair<int64_t, int64_t>{8, 8},
+              std::pair<int64_t, int64_t>{1, 64}}) {
+            Tensor a = Tensor::randn(Shape{s.first, s.second}, 41);
+            Tensor b = Tensor::randn(Shape{s.second, 29}, 42);
+            Tensor want = sd::matmulTiled(a, b, cands[0]);
+            for (size_t i = 1; i < cands.size(); ++i)
+                EXPECT_TRUE(tensorsBitIdentical(
+                    sd::matmulTiled(a, b, cands[i]), want))
+                    << pf::isaName(l) << " candidate " << i;
+        }
+    }
+}
+
+// ---- int8: exact i32 accumulation => bit-identity everywhere -------------
+
+TEST(SimdKernelsTest, Int8RequantBitIdenticalIncludingKTails)
+{
+    IsaGuard guard;
+    // K % 4 != 0 exercises the dot-product kernels' tail path (and
+    // the VNNI +128 compensation must cover only the interleaved
+    // body); K < 4 is all-tail.
+    const int64_t shapes[][3] = {
+        {2, 3, 5}, {5, 7, 9}, {8, 33, 16}, {3, 64, 20}, {4, 50, 40},
+    };
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        pf::setActiveIsa(l);
+        for (const auto &s : shapes) {
+            Tensor x = Tensor::randn(Shape{s[0], s[1]}, 51);
+            Tensor w = Tensor::randn(Shape{s[2], s[1]}, 52);
+            Tensor bias = Tensor::randn(Shape{s[2]}, 53);
+            auto [xq, xs] = kq::quantizeActivation(x);
+            float xScale = kq::scaleValue(xs);
+            Tensor scales = quant::perChannelScales(w);
+            Tensor wtq = quant::packWeightInt8(w, scales);
+            Tensor want = kq::int8LinearPackedRequant(
+                xq, xScale, wtq, scales, bias, nullptr, 0);
+            Tensor got = sd::int8LinearRequant(
+                xq, xScale, sd::packInt8Weight(wtq), scales, bias);
+            EXPECT_TRUE(tensorsBitIdentical(got, want))
+                << pf::isaName(l) << " " << s[0] << "x" << s[1] << "x"
+                << s[2];
+        }
+    }
+}
+
+// ---- tuning cache --------------------------------------------------------
+
+TEST(TuningCacheTest, TunesOncePersistsAndReplaysWarm)
+{
+    const std::string path = "simd_tune_test.json";
+    std::remove(path.c_str());
+    const simd::TuneKey key{"matmul", "8x8x8", "avx2"};
+    {
+        simd::TuningCache cache(path);
+        int runs = 0;
+        int choice = cache.choose(key, 3, [&](int i) {
+            ++runs;
+            return i == 1 ? 10.0 : 30.0 + i;
+        });
+        EXPECT_EQ(choice, 1);
+        EXPECT_EQ(runs, 3);
+        EXPECT_EQ(cache.stats().tuneRuns, 3u);
+        EXPECT_EQ(cache.stats().tunedKeys, 1u);
+        EXPECT_TRUE(cache.contains(key));
+        // Second lookup in the same process replays in-memory.
+        EXPECT_EQ(cache.choose(key, 3,
+                               [&](int) {
+                                   ADD_FAILURE() << "re-tuned";
+                                   return 0.0;
+                               }),
+                  1);
+        EXPECT_EQ(cache.stats().replays, 1u);
+    }
+    {
+        // A fresh cache on the same file starts warm: zero tuning
+        // runs — the --expect-warm contract.
+        simd::TuningCache cache(path);
+        EXPECT_EQ(cache.stats().entriesLoaded, 1u);
+        EXPECT_EQ(cache.choose(key, 3,
+                               [&](int) {
+                                   ADD_FAILURE() << "cold reload";
+                                   return 0.0;
+                               }),
+                  1);
+        EXPECT_EQ(cache.stats().tuneRuns, 0u);
+        EXPECT_EQ(cache.stats().replays, 1u);
+        // A stored choice that no longer names a valid candidate
+        // (the candidate list shrank) re-tunes instead of replaying
+        // out of range.
+        int runs = 0;
+        cache.choose({"matmul", "8x8x8", "avx2"}, 1, [&](int) {
+            ++runs;
+            return 1.0;
+        });
+        EXPECT_EQ(runs, 0);  // nCandidates <= 1 short-circuits
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TuningCacheTest, AnotherMachinesFileIsRejectedWholesale)
+{
+    const std::string path = "simd_tune_othermachine.json";
+    {
+        std::ofstream f(path);
+        f << "{\n  \"version\": 1,\n  \"machine\": \"other-box\",\n"
+          << "  \"entries\": [\n"
+          << "    {\"op\":\"matmul\",\"shape\":\"8x8x8\","
+          << "\"isa\":\"avx2\",\"choice\":2,\"ns\":5.0}\n  ]\n}\n";
+    }
+    simd::TuningCache cache(path);
+    EXPECT_EQ(cache.stats().entriesLoaded, 0u);
+    EXPECT_EQ(cache.stats().entriesRejected, 1u);
+    EXPECT_EQ(cache.entries(), 0u);
+    std::remove(path.c_str());
+}
+
+// ---- engine cache keys on ISA --------------------------------------------
+
+TEST(SimdEngineCacheTest, KeysDifferingOnlyInIsaAreDistinct)
+{
+    serve::EngineKey a, b;
+    b.isa = "avx2";
+    EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(SimdEngineCacheTest, ActiveIsaFlowsIntoEngineKeys)
+{
+    std::vector<pf::IsaLevel> levels = pf::supportedIsaLevels();
+    if (levels.size() < 2)
+        GTEST_SKIP() << "host dispatches a single level";
+    IsaGuard guard;
+    ThreadPool pool(1);
+    serve::EngineConfig cfg;  // cfg.isa empty: resolves at get() time
+    serve::EngineCache cache(pool, cfg);
+    pf::setActiveIsa(levels.front());
+    cache.get("vit_b");
+    pf::setActiveIsa(levels.back());
+    cache.get("vit_b");
+    EXPECT_EQ(cache.stats().engines, 2u);
+    EXPECT_EQ(cache.stats().misses, 2);
+}
+
+// ---- full-registry differential sweep per level --------------------------
+
+class SimdDifferentialTest
+    : public ::testing::TestWithParam<models::ModelInfo>
+{
+};
+
+TEST_P(SimdDifferentialTest, SimdMatchesReferenceAtEveryLevel)
+{
+    const models::ModelInfo &info = GetParam();
+    Graph g = info.build(ModelConfig{1, 8, false, 0, 8});
+    std::vector<Tensor> inputs = makeRequestInputs(g, 99);
+
+    Executor ref(g, referenceBackend());
+    std::vector<Tensor> want = ref.run(inputs);
+
+    for (pf::IsaLevel l : pf::supportedIsaLevels()) {
+        Backend b = makeSimdBackend(l);
+        Executor ex(g, b);
+        EXPECT_EQ(closeDifference(ex.run(inputs), want), "")
+            << info.name << " at " << pf::isaName(l);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistryModels, SimdDifferentialTest,
+    ::testing::ValuesIn(models::modelRegistry()),
+    [](const ::testing::TestParamInfo<models::ModelInfo> &i) {
+        return i.param.name;
+    });
+
+}  // namespace
+}  // namespace ngb
