@@ -19,6 +19,11 @@
  *   bench_micro_kernels --expect-warm    # exit 1 if any tile tuning ran
  *                                        # (the $NGB_TUNE_CACHE file was
  *                                        # expected to satisfy every key)
+ *   bench_micro_kernels --threads N      # also time the GEMM rows with
+ *                                        # an N-worker ParallelRegion
+ *                                        # (par_ns / par_x columns), so
+ *                                        # per-kernel scaling regressions
+ *                                        # are visible per ISA leg
  *
  * Timing method: repetitions are BATCHED between clock reads — the rep
  * count doubles until one batch is long enough to dwarf the clock-read
@@ -46,6 +51,8 @@
 #include "platform/tuning_cache.h"
 #include "quant/quant_kernels.h"
 #include "quant/weight_pack.h"
+#include "runtime/intraop.h"
+#include "runtime/thread_pool.h"
 
 using namespace ngb;
 namespace kn = kernels;
@@ -63,6 +70,7 @@ struct BenchResult {
     double refNs = 0;
     double optNs = 0;
     double simdNs = 0;  ///< 0 = no simd kernel for this op
+    double parNs = 0;   ///< 0 = op not timed under a ParallelRegion
 
     double speedup() const { return optNs > 0 ? refNs / optNs : 0; }
 
@@ -70,6 +78,16 @@ struct BenchResult {
     double simdSpeedup() const
     {
         return simdNs > 0 ? optNs / simdNs : 0;
+    }
+
+    /** Sharded vs serial of the same kernel — intra-op scaling. The
+     *  par lambda shards whichever kernel the ISA leg actually ships
+     *  (simd when a simd variant exists, optimized otherwise), so the
+     *  baseline follows suit. */
+    double parSpeedup() const
+    {
+        double base = simdNs > 0 ? simdNs : optNs;
+        return parNs > 0 ? base / parNs : 0;
     }
 };
 
@@ -135,11 +153,17 @@ timeNs(const std::function<void()> &fn, double minMs, int minReps)
 class Harness
 {
   public:
-    Harness(bool smoke) : smoke_(smoke) {}
+    Harness(bool smoke, int threads)
+        : smoke_(smoke), threads_(threads)
+    {
+    }
+
+    int threads() const { return threads_; }
 
     void add(const std::string &op, const std::string &shape,
              std::function<void()> ref, std::function<void()> opt,
-             std::function<void()> simd = nullptr)
+             std::function<void()> simd = nullptr,
+             std::function<void()> par = nullptr)
     {
         double minMs = smoke_ ? 5 : 100;
         int minReps = smoke_ ? 2 : 5;
@@ -150,8 +174,10 @@ class Harness
         r.optNs = timeNs(opt, minMs, minReps);
         if (simd)
             r.simdNs = timeNs(simd, minMs, minReps);
+        if (par && threads_ > 1)
+            r.parNs = timeNs(par, minMs, minReps);
         results_.push_back(r);
-        char simdNs[32], simdX[16];
+        char simdNs[32], simdX[16], parNs[32], parX[16];
         if (simd) {
             std::snprintf(simdNs, sizeof simdNs, "%14.0f", r.simdNs);
             std::snprintf(simdX, sizeof simdX, "%8.2fx",
@@ -160,9 +186,16 @@ class Harness
             std::snprintf(simdNs, sizeof simdNs, "%14s", "-");
             std::snprintf(simdX, sizeof simdX, "%9s", "-");
         }
-        std::printf("%-14s %-18s %14.0f %14.0f %8.2fx %s %s\n",
+        if (r.parNs > 0) {
+            std::snprintf(parNs, sizeof parNs, "%12.0f", r.parNs);
+            std::snprintf(parX, sizeof parX, "%7.2fx", r.parSpeedup());
+        } else {
+            std::snprintf(parNs, sizeof parNs, "%12s", "-");
+            std::snprintf(parX, sizeof parX, "%8s", "-");
+        }
+        std::printf("%-14s %-18s %14.0f %14.0f %8.2fx %s %s %s %s\n",
                     op.c_str(), shape.c_str(), r.refNs, r.optNs,
-                    r.speedup(), simdNs, simdX);
+                    r.speedup(), simdNs, simdX, parNs, parX);
         std::fflush(stdout);
     }
 
@@ -179,7 +212,7 @@ class Harness
           << ", \"tuned_keys\": " << ts.tunedKeys
           << ", \"replays\": " << ts.replays << ", \"entries\": "
           << simd::TuningCache::process().entries()
-          << "},\n  \"ops\": [\n";
+          << "},\n  \"threads\": " << threads_ << ",\n  \"ops\": [\n";
         for (size_t i = 0; i < results_.size(); ++i) {
             const BenchResult &r = results_[i];
             f << "    {\"op\": \"" << r.op << "\", \"shape\": \""
@@ -191,6 +224,9 @@ class Harness
             f << "}, \"speedup\": " << r.speedup();
             if (r.simdNs > 0)
                 f << ", \"speedup_simd\": " << r.simdSpeedup();
+            if (r.parNs > 0)
+                f << ", \"par_ns_per_op\": " << r.parNs
+                  << ", \"speedup_par\": " << r.parSpeedup();
             f << "}" << (i + 1 < results_.size() ? "," : "") << "\n";
         }
         f << "  ]\n}\n";
@@ -199,6 +235,7 @@ class Harness
 
   private:
     bool smoke_;
+    int threads_;
     std::vector<BenchResult> results_;
 };
 
@@ -215,7 +252,7 @@ bool
 knownFlag(const std::string &a)
 {
     return a == "--smoke" || a == "--check" || a == "--json" ||
-           a == "--isa" || a == "--expect-warm";
+           a == "--isa" || a == "--expect-warm" || a == "--threads";
 }
 
 }  // namespace
@@ -227,6 +264,7 @@ main(int argc, char **argv)
     bool json = false;
     bool check = false;
     bool expectWarm = false;
+    int threads = 1;
     std::string jsonPath = "BENCH_kernels.json";
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -247,6 +285,16 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", e.what());
                 return 2;
             }
+        } else if (a == "--threads") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for --threads\n");
+                return 2;
+            }
+            threads = std::atoi(argv[++i]);
+            if (threads < 1) {
+                std::fprintf(stderr, "--threads wants a count >= 1\n");
+                return 2;
+            }
         } else if (a == "--json") {
             json = true;
             // The next token is a path unless it is one of our flags —
@@ -258,7 +306,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: bench_micro_kernels [--smoke] "
                          "[--check] [--json [FILE]] [--isa LEVEL] "
-                         "[--expect-warm]\n");
+                         "[--expect-warm] [--threads N]\n");
             return 2;
         }
     }
@@ -272,12 +320,21 @@ main(int argc, char **argv)
 
     const char *isa = platform::isaName(platform::activeIsa());
     std::printf("micro_kernels: reference vs optimized vs simd[%s] "
-                "(%s shapes)\n",
-                isa, smoke ? "smoke" : "representative");
-    std::printf("%-14s %-18s %14s %14s %9s %14s %9s\n", "op", "shape",
-                "ref_ns", "opt_ns", "opt_x", "simd_ns", "simd_x");
+                "(%s shapes, %d intra-op thread%s)\n",
+                isa, smoke ? "smoke" : "representative", threads,
+                threads == 1 ? "" : "s");
+    std::printf("%-14s %-18s %14s %14s %9s %14s %9s %12s %8s\n", "op",
+                "shape", "ref_ns", "opt_ns", "opt_x", "simd_ns",
+                "simd_x", "par_ns", "par_x");
 
-    Harness h(smoke);
+    Harness h(smoke, threads);
+
+    // The GEMM rows also time the shipping kernel (simd where one
+    // exists, optimized otherwise) under an N-worker region when
+    // --threads asks for it; par lambdas are skipped at --threads 1.
+    ThreadPool parPool(threads);
+    ParallelRegion region(&parPool);
+    const ParallelRegion *par = &region;
 
     // ---- GEMM family ----------------------------------------------------
     {
@@ -286,7 +343,8 @@ main(int argc, char **argv)
         Tensor b = Tensor::randn(Shape{n, n}, 2);
         h.add("matmul", dims({n, n, n}),
               [=] { kn::matmul(a, b); }, [=] { ko::matmul(a, b); },
-              [=] { sd::matmul(a, b); });
+              [=] { sd::matmul(a, b); },
+              [=] { sd::matmul(a, b, {}, par); });
     }
     {
         int64_t m = smoke ? 32 : 128;
@@ -303,7 +361,8 @@ main(int argc, char **argv)
         h.add("linear_packed", dims({m, k, k}),
               [=] { kn::linear(x, w, b); },
               [=] { ko::linearPacked(x, wt, b); },
-              [=] { sd::linearPacked(x, wt, b); });
+              [=] { sd::linearPacked(x, wt, b); },
+              [=] { sd::linearPacked(x, wt, b, {}, par); });
     }
     {
         int64_t t = smoke ? 49 : 197;
@@ -311,7 +370,8 @@ main(int argc, char **argv)
         Tensor b = Tensor::randn(Shape{12, 64, t}, 7);
         h.add("bmm", dims({12, t, 64, t}),
               [=] { kn::bmm(a, b); }, [=] { ko::bmm(a, b); },
-              [=] { sd::bmm(a, b); });
+              [=] { sd::bmm(a, b); },
+              [=] { sd::bmm(a, b, {}, par); });
     }
     {
         // The executable-quantization hot path: reference = the naive
@@ -341,6 +401,10 @@ main(int argc, char **argv)
               },
               [=, xq = xq] {
                   sd::int8LinearRequant(xq, xScale, wsd, scales, bias);
+              },
+              [=, xq = xq] {
+                  sd::int8LinearRequant(xq, xScale, wsd, scales, bias,
+                                        {}, par);
               });
     }
 

@@ -58,11 +58,19 @@ struct RuntimeCli {
                              ///< measured too and printed side by side
     std::string arena;       ///< "on"/"off"; "" = $NGB_ARENA default
     std::string quant;       ///< quant mode; "" = $NGB_QUANT default
+    std::string intraop;     ///< "on"/"off"/"auto"; "" = $NGB_INTRAOP
 
     /** Resolved arena mode: explicit flag beats the environment. */
     bool arenaOn() const
     {
         return arena.empty() ? arenaEnabledByEnv() : arena == "on";
+    }
+
+    /** Resolved intra-op mode: explicit flag beats $NGB_INTRAOP. */
+    IntraOpMode intraOpMode() const
+    {
+        return intraop.empty() ? intraOpModeFromEnv()
+                               : parseIntraOpMode(intraop);
     }
 
     /** Resolved quantization mode: explicit flag beats $NGB_QUANT. */
@@ -220,7 +228,8 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
     if (rt.parallel && requests > 1) {
         // Inter-request parallelism: one planned graph, N requests.
         shared_plan = buildEnginePlan(g);
-        BatchDriver driver(g, pool, shared_plan, backend, rt.arenaOn());
+        BatchDriver driver(g, pool, shared_plan, backend, rt.arenaOn(),
+                           rt.intraOpMode());
         outs = driver.run(reqs);
         printMemoryPlan(driver.memoryPlan(), std::cout);
         printRuntimeReport(driver.profile(), std::cout);
@@ -231,8 +240,10 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
         if (outPlan)
             *outPlan = driver.memoryPlan();
     } else if (rt.parallel) {
-        // Single request: wavefront (intra-graph) parallelism.
-        ParallelExecutor ex(g, pool, backend, rt.arenaOn());
+        // Single request: wavefront (intra-graph) parallelism, deep
+        // levels handing the pool to GEMMs per the hybrid scheduler.
+        ParallelExecutor ex(g, pool, backend, rt.arenaOn(),
+                            rt.intraOpMode());
         outs[0] = ex.run(reqs[0]);
         printMemoryPlan(ex.memoryPlan(), std::cout);
         printRuntimeReport(ex.profile(), std::cout);
@@ -276,7 +287,7 @@ runRuntimeModel(const std::string &name, const BenchConfig &cfg,
             if (!shared_plan)
                 shared_plan = buildEnginePlan(g);
             BatchDriver heap_driver(g, pool, shared_plan, backend,
-                                    /*arena=*/false);
+                                    /*arena=*/false, rt.intraOpMode());
             std::vector<std::vector<Tensor>> heap_outs =
                 heap_driver.run(reqs);
             for (size_t r = 0; r < requests; ++r) {
@@ -468,6 +479,8 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
             r.runtime.backend = profile.backend;
             r.runtime.fused = profile.fused;
             r.runtime.threads = profile.threads;
+            r.runtime.intraop = profile.intraop;
+            r.runtime.deepLevels = profile.deepLevelCount();
             r.runtime.requests = profile.requests;
             r.runtime.wallUs = profile.wallUs;
             r.runtime.sumUs = profile.sumUs;
@@ -480,6 +493,8 @@ runtimeMain(const BenchConfig &cfg, const RuntimeCli &rt,
             r.runtime.measuredPeakBytes = profile.memory.boundPeakBytes;
             r.runtime.heapAllocs = profile.memory.heapAllocs;
             r.runtime.scratchPeakBytes = profile.memory.scratchPeakBytes;
+            r.runtime.scratchWorkerSumBytes =
+                profile.memory.scratchWorkerSumBytes;
             r.runtime.quant = profile.quant;
             r.runtime.perf = profile.perf;
             r.runtime.modelFlops = profile.modelFlops;
@@ -526,6 +541,7 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
     if (!rt.quant.empty())  // default: $NGB_QUANT (EngineConfig)
         sc.engine.quant = quant::quantModeName(
             quant::parseQuantMode(rt.quant));
+    sc.engine.intraop = rt.intraOpMode();  // flag beats $NGB_INTRAOP
     sc.seed = sv.seed;
     sc.verify = rt.verify;
     // The sampler thread rewrites these live every cadence tick; the
@@ -553,6 +569,7 @@ serveMain(const BenchConfig &cfg, const RuntimeCli &rt,
               << (sc.engine.quant != "off" ? "  quant=" + sc.engine.quant
                                            : "")
               << (sc.engine.arena ? "  memory=arena" : "  memory=heap")
+              << "  intraop=" << intraOpModeName(sc.engine.intraop)
               << "  seed=" << sc.seed << "\n";
 
     ThreadPool pool(threads);
@@ -677,6 +694,19 @@ usage()
         "                       sets the process default; works with\n"
         "                       --serve too (quant mode is part of the\n"
         "                       engine-cache key)\n"
+        "  --intraop MODE       on | off | auto: intra-op parallelism\n"
+        "                       (hybrid inter/intra-op scheduling).\n"
+        "                       off keeps kernels serial (wavefront /\n"
+        "                       batch parallelism only); on hands the\n"
+        "                       pool to GEMMs whenever a level or batch\n"
+        "                       is narrower than the pool; auto\n"
+        "                       (default) asks a per-level cost model.\n"
+        "                       Sharding splits M/N macro-tiles, never\n"
+        "                       the K reduction, so outputs are\n"
+        "                       bit-identical at every thread count.\n"
+        "                       $NGB_INTRAOP sets the process default;\n"
+        "                       applies to --serve too (part of the\n"
+        "                       engine-cache key)\n"
         "  --fuse               applyFusion before executing: CONV+BN\n"
         "                       (+act) folding, point-wise chains, and\n"
         "                       GEMM epilogues run as single fused\n"
@@ -733,8 +763,8 @@ usage()
         "                       $NGB_PERF=1 enables it too\n"
         "\n"
         "--threads/--scale/--seq/--verify/--backend/--fuse/--quant/\n"
-        "--json apply to --serve too (fused and quantized engines are\n"
-        "cached separately).\n";
+        "--intraop/--json apply to --serve too (fused, quantized, and\n"
+        "intra-op engines are cached separately).\n";
 }
 
 }  // namespace
@@ -908,6 +938,14 @@ main(int argc, char **argv)
             rt.quant = next();
             try {
                 quant::parseQuantMode(rt.quant);
+            } catch (const std::exception &e) {
+                std::cerr << e.what() << "\n";
+                return 2;
+            }
+        } else if (a == "--intraop") {
+            rt.intraop = next();
+            try {
+                parseIntraOpMode(rt.intraop);
             } catch (const std::exception &e) {
                 std::cerr << e.what() << "\n";
                 return 2;

@@ -25,14 +25,18 @@ namespace ngb {
  *
  * @p alloc, when non-null, provides the node's output buffers (the
  * runtime's planned-arena execution); null keeps the heap default.
+ *
+ * @p par, when non-null, lends the node's kernel an intra-op region
+ * (GEMMs shard across its workers); null keeps kernels serial.
  */
 inline std::vector<Tensor>
 evalNode(const Node &n,
          const std::function<const Tensor &(const Value &)> &input,
          ParamStore &params, const Backend &backend,
-         Allocator *alloc = nullptr)
+         Allocator *alloc = nullptr, const ParallelRegion *par = nullptr)
 {
-    return backend.eval(KernelContext{n, input, params, &backend, alloc});
+    return backend.eval(
+        KernelContext{n, input, params, &backend, alloc, par});
 }
 
 }  // namespace ngb

@@ -43,6 +43,8 @@ spanKindName(SpanKind k)
         return "level";
     case SpanKind::Node:
         return "node";
+    case SpanKind::Shard:
+        return "shard";
     case SpanKind::Plan:
         return "plan";
     case SpanKind::Mark:
@@ -192,6 +194,9 @@ spanDisplayName(const SpanEvent &ev)
         if (ev.op >= 0)
             return opKindName(static_cast<OpKind>(ev.op));
         break;
+    case SpanKind::Shard:
+        return "shard " + std::to_string(ev.a0) + "/" +
+               std::to_string(ev.a1);
     case SpanKind::Level:
         return "level " + std::to_string(ev.a0);
     default:
@@ -215,6 +220,7 @@ spanCategory(const SpanEvent &ev)
         return "serve";
     case SpanKind::Request:
     case SpanKind::Level:
+    case SpanKind::Shard:
         return "exec";
     case SpanKind::Plan:
         return "plan";
@@ -262,6 +268,10 @@ spanArgs(const SpanEvent &ev)
     case SpanKind::Level:
         args.add("level", ev.a0);
         args.add("nodes", ev.a1);
+        break;
+    case SpanKind::Shard:
+        args.add("shard", ev.a0);
+        args.add("shards", ev.a1);
         break;
     case SpanKind::Plan:
         if (ev.label[0] != '\0')

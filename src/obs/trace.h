@@ -65,6 +65,7 @@ enum class SpanKind : uint8_t {
     Request,  ///< one request's schedule walk inside a batch
     Level,    ///< one wavefront level's fork-join region
     Node,     ///< one kernel evaluation (Backend::eval)
+    Shard,    ///< one intra-op shard inside a Node's ParallelRegion
     Plan,     ///< engine/plan construction (cache-miss cost)
     Mark,     ///< generic labelled region
 };

@@ -36,6 +36,7 @@
 namespace ngb {
 
 class Backend;
+class ParallelRegion;
 
 /**
  * Everything one kernel invocation may read: the node (attributes,
@@ -68,6 +69,16 @@ struct KernelContext {
      * fused layout tails).
      */
     Allocator *alloc = nullptr;
+
+    /**
+     * Intra-op parallel region installed by the executor, or null for
+     * serial execution (the default everywhere). Kernels that can
+     * shard their iteration space — the GEMM family — run it across
+     * par->threads() pool workers; every other kernel ignores it.
+     * Sharding must never split a reduction (GEMM: M/N tiles only,
+     * never K) so outputs stay bit-identical at every thread count.
+     */
+    const ParallelRegion *par = nullptr;
 
     /**
      * Destination buffer for output @p i of this node: the planned

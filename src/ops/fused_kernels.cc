@@ -378,7 +378,8 @@ evalFusedChain(const KernelContext &c, const Backend &memberBackend)
         std::vector<Tensor> outs;
         try {
             outs = memberBackend.eval(KernelContext{
-                m, input, c.params, &memberBackend, member_alloc});
+                m, input, c.params, &memberBackend, member_alloc,
+                c.par});
         } catch (const std::exception &e) {
             throw std::runtime_error(
                 chainName(f) + ": cannot fold member '" + m.name +
@@ -459,7 +460,7 @@ evalFusedOptimized(const KernelContext &c)
                 x, w, b, static_cast<int>(conv.attrs.getI("stride")),
                 static_cast<int>(conv.attrs.getI("padding")),
                 static_cast<int>(conv.attrs.getI("groups", 1)),
-                stages.data(), stages.size(), c.out(0)));
+                stages.data(), stages.size(), c.out(0), c.par));
         }
     }
 
@@ -482,7 +483,7 @@ evalFusedOptimized(const KernelContext &c)
                 xq, qnt::scaleValue(xs),
                 quant::packedWeight(lm, c.params),
                 quant::weightScales(lm, c.params), b, stages.data(),
-                stages.size(), c.out(0)));
+                stages.size(), c.out(0), c.par));
         }
     }
 
@@ -500,7 +501,7 @@ evalFusedOptimized(const KernelContext &c)
             return singleOutput(qnt::w8LinearPacked(
                 x, quant::packedWeight(lm, c.params),
                 quant::weightScales(lm, c.params), b, stages.data(),
-                stages.size(), c.out(0)));
+                stages.size(), c.out(0), c.par));
         }
     }
 
@@ -517,7 +518,8 @@ evalFusedOptimized(const KernelContext &c)
             if (lm.paramShapes.size() > 1)
                 b = c.params.get(lm, lm.paramShapes.size() - 1);
             return singleOutput(ko::linearPackedEpi(
-                x, wt, b, stages.data(), stages.size(), c.out(0)));
+                x, wt, b, stages.data(), stages.size(), c.out(0),
+                c.par));
         }
     }
 

@@ -30,8 +30,11 @@ makeOptimizedBackend()
     Backend b("optimized", &referenceBackend());
 
     // GEMM family: 4x16 register-tiled core, fused bias epilogue.
+    // Each entry forwards c.par — the executor's intra-op region, or
+    // null for the (default) serial path.
     b.registerKernel(OpKind::MatMul, [](const KernelContext &c) {
-        return singleOutput(ko::matmul(c.in(0), c.in(1), c.out(0)));
+        return singleOutput(
+            ko::matmul(c.in(0), c.in(1), c.out(0), c.par));
     });
     b.registerKernel(OpKind::Linear, [](const KernelContext &c) {
         if (c.node.attrs.getI("wq8", 0))
@@ -41,14 +44,14 @@ makeOptimizedBackend()
             return singleOutput(qnt::w8LinearPacked(
                 c.in(0), quant::packedWeight(c.node, c.params),
                 quant::weightScales(c.node, c.params), c.optBias(),
-                nullptr, 0, c.out(0)));
+                nullptr, 0, c.out(0), c.par));
         // Weights are immutable: pack the [N,K]->[K,N] transpose once
         // per node and amortize it across every request of an engine.
         const Tensor &wt = c.params.derived(c.node, 0, [&c] {
             return ko::packWeightTranspose(c.param(0));
         });
-        return singleOutput(
-            ko::linearPacked(c.in(0), wt, c.optBias(), c.out(0)));
+        return singleOutput(ko::linearPacked(c.in(0), wt, c.optBias(),
+                                             c.out(0), c.par));
     });
     b.registerKernel(OpKind::Int8Linear, [](const KernelContext &c) {
         if (c.node.attrs.getI("executable", 0)) {
@@ -60,15 +63,16 @@ makeOptimizedBackend()
                 return singleOutput(qnt::int8LinearPackedRequant(
                     c.in(0), qnt::scaleValue(c.in(1)), wtq,
                     quant::weightScales(c.node, c.params), c.optBias(),
-                    nullptr, 0, c.out(0)));
+                    nullptr, 0, c.out(0), c.par));
             return singleOutput(
-                qnt::int8AccLinearPacked(c.in(0), wtq, c.out(0)));
+                qnt::int8AccLinearPacked(c.in(0), wtq, c.out(0),
+                                         c.par));
         }
         // The legacy modeled form stays on the reference kernel.
         return referenceBackend().kernelFor(OpKind::Int8Linear)(c);
     });
     b.registerKernel(OpKind::BMM, [](const KernelContext &c) {
-        return singleOutput(ko::bmm(c.in(0), c.in(1), c.out(0)));
+        return singleOutput(ko::bmm(c.in(0), c.in(1), c.out(0), c.par));
     });
 
     // Normalization: single-pass moments / hoisted channel affine.

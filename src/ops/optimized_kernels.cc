@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "ops/kernels.h"
+#include "runtime/intraop.h"
 
 namespace ngb {
 namespace kernels {
@@ -106,6 +108,156 @@ matmulCore(const float *A, const float *B, const float *bias, float *C,
     matmulCoreEpi(A, B, C, M, K, N, bias, nullptr, nullptr, 0);
 }
 
+// ----- cache-blocked parallel GEMM ---------------------------------------
+
+/** BLIS-style macro-tile extents (floats). mc/nc are multiples of the
+ *  kMR/kNR register tile so macro-tile interiors run the exact tile
+ *  body; kc bounds the packed panels (A: mc*kc, B: kc*nc) to stay
+ *  cache-resident per worker. */
+constexpr int64_t kMC = 64;
+constexpr int64_t kKC = 256;
+constexpr int64_t kNC = 128;
+
+/** Problems below this many flops shard poorly: the fork-join and
+ *  panel-pack overhead costs more than the multiply. */
+constexpr int64_t kParMinFlops = 1 << 17;
+
+/**
+ * One macro-tile of the blocked GEMM: C[M,N] block (row-major, leading
+ * dimension @p ldc) from PACKED panels A[M,K] (lda = K) and B[K,N]
+ * (ldb = N). @p first zero-initializes the accumulators, otherwise
+ * they resume from the exact f32 partial sums a previous k-block
+ * stored to C (a lossless round trip, so the per-element k-ascending
+ * chain is indistinguishable from the single-pass core); @p last
+ * applies bias + stages on write-out. The loop bodies mirror
+ * matmulCoreEpi expression for expression — per-element accumulation
+ * must stay bit-identical to the serial core at every block boundary.
+ */
+void
+matmulCoreEpiBlock(const float *A, const float *B, float *C, int64_t M,
+                   int64_t K, int64_t N, int64_t ldc,
+                   const float *colBias, const float *rowBias,
+                   const scalar::UnaryStage *stages, size_t nStages,
+                   bool first, bool last)
+{
+    auto finish = [&](int64_t row, int64_t col, float v) {
+        if (colBias)
+            v += colBias[col];
+        if (rowBias)
+            v += rowBias[row];
+        return scalar::applyStages(stages, nStages, v);
+    };
+    int64_t i = 0;
+    for (; i + kMR <= M; i += kMR) {
+        int64_t j = 0;
+        for (; j + kNR <= N; j += kNR) {
+            float acc[kMR][kNR];
+            for (int64_t r = 0; r < kMR; ++r)
+                for (int64_t jj = 0; jj < kNR; ++jj)
+                    acc[r][jj] =
+                        first ? 0.0f : C[(i + r) * ldc + j + jj];
+            for (int64_t k = 0; k < K; ++k) {
+                const float *brow = B + k * N + j;
+                float av[kMR];
+                for (int64_t r = 0; r < kMR; ++r)
+                    av[r] = A[(i + r) * K + k];
+                for (int64_t jj = 0; jj < kNR; ++jj) {
+                    float bv = brow[jj];
+                    for (int64_t r = 0; r < kMR; ++r)
+                        acc[r][jj] += av[r] * bv;
+                }
+            }
+            for (int64_t r = 0; r < kMR; ++r) {
+                float *crow = C + (i + r) * ldc + j;
+                for (int64_t jj = 0; jj < kNR; ++jj)
+                    crow[jj] = last ? finish(i + r, j + jj, acc[r][jj])
+                                    : acc[r][jj];
+            }
+        }
+        for (; j < N; ++j) {  // N tail: kMR scalar dot products
+            for (int64_t r = 0; r < kMR; ++r) {
+                float acc = first ? 0.0f : C[(i + r) * ldc + j];
+                for (int64_t k = 0; k < K; ++k)
+                    acc += A[(i + r) * K + k] * B[k * N + j];
+                C[(i + r) * ldc + j] =
+                    last ? finish(i + r, j, acc) : acc;
+            }
+        }
+    }
+    for (; i < M; ++i) {  // M tail: one row at a time, ikj
+        float *crow = C + i * ldc;
+        if (first)
+            for (int64_t j = 0; j < N; ++j)
+                crow[j] = 0.0f;
+        for (int64_t k = 0; k < K; ++k) {
+            float av = A[i * K + k];
+            const float *brow = B + k * N;
+            for (int64_t j = 0; j < N; ++j)
+                crow[j] += av * brow[j];
+        }
+        if (last && (colBias || rowBias || nStages))
+            for (int64_t j = 0; j < N; ++j)
+                crow[j] = finish(i, j, crow[j]);
+    }
+}
+
+/**
+ * matmulCoreEpi sharded across @p par's workers: the output is cut
+ * into mc x nc macro-tiles (grid aligned to the kMR/kNR register
+ * tile), each produced end to end by exactly ONE shard, walking k in
+ * kc blocks over panels packed into the worker's ScratchArena. Only M
+ * and N are ever split — never K — so every output element keeps its
+ * single k-ascending accumulator chain and the result is bit-identical
+ * to the serial core at any thread count (the differential suite
+ * enforces this across the registry).
+ */
+void
+matmulCoreEpiPar(const ParallelRegion *par, const float *A,
+                 const float *B, float *C, int64_t M, int64_t K,
+                 int64_t N, const float *colBias, const float *rowBias,
+                 const scalar::UnaryStage *stages, size_t nStages)
+{
+    const int threads = par ? par->threads() : 1;
+    if (threads <= 1 || K == 0 || 2 * M * N * K < kParMinFlops) {
+        matmulCoreEpi(A, B, C, M, K, N, colBias, rowBias, stages,
+                      nStages);
+        return;
+    }
+    const int64_t mBlocks = (M + kMC - 1) / kMC;
+    // Column blocks: narrow nc toward kNR until the grid can feed
+    // every worker, but never below one register tile.
+    int64_t nc = kNC;
+    while (nc > kNR &&
+           mBlocks * ((N + nc - 1) / nc) < static_cast<int64_t>(threads))
+        nc -= kNR;
+    const int64_t nBlocks = (N + nc - 1) / nc;
+
+    par->run(static_cast<size_t>(mBlocks * nBlocks), [&](size_t s, int) {
+        const int64_t i0 = static_cast<int64_t>(s) / nBlocks * kMC;
+        const int64_t j0 = static_cast<int64_t>(s) % nBlocks * nc;
+        const int64_t h = std::min(kMC, M - i0);
+        const int64_t w = std::min(nc, N - j0);
+        const int64_t kc = std::min(kKC, K);
+        Tensor apT = scratchEmpty(Shape{h, kc}, DType::F32);
+        Tensor bpT = scratchEmpty(Shape{kc, w}, DType::F32);
+        float *ap = apT.dataF32();
+        float *bp = bpT.dataF32();
+        for (int64_t k0 = 0; k0 < K; k0 += kc) {
+            const int64_t kLen = std::min(kc, K - k0);
+            for (int64_t r = 0; r < h; ++r)
+                std::memcpy(ap + r * kLen, A + (i0 + r) * K + k0,
+                            static_cast<size_t>(kLen) * sizeof(float));
+            for (int64_t k = 0; k < kLen; ++k)
+                std::memcpy(bp + k * w, B + (k0 + k) * N + j0,
+                            static_cast<size_t>(w) * sizeof(float));
+            matmulCoreEpiBlock(ap, bp, C + i0 * N + j0, h, kLen, w, N,
+                               colBias ? colBias + j0 : nullptr,
+                               rowBias ? rowBias + i0 : nullptr, stages,
+                               nStages, k0 == 0, k0 + kLen == K);
+        }
+    });
+}
+
 /**
  * Pack w[N,K] row-major into wt[K,N] row-major (the B-operand layout
  * matmulCore wants) with a 32x32 blocked raw-pointer transpose. The
@@ -131,7 +283,8 @@ packTranspose(const float *w, float *wt, int64_t n, int64_t k)
 }  // namespace
 
 Tensor
-matmul(const Tensor &a, const Tensor &b, Tensor dst)
+matmul(const Tensor &a, const Tensor &b, Tensor dst,
+       const ParallelRegion *par)
 {
     if (a.shape().rank() != 2 || b.shape().rank() != 2)
         throw std::runtime_error("matmul: rank-2 inputs required");
@@ -142,8 +295,8 @@ matmul(const Tensor &a, const Tensor &b, Tensor dst)
     Tensor ac = asF32(a);
     Tensor bc = asF32(b);
     Tensor out = claimOut(std::move(dst), Shape{m, n}, DType::F32);
-    matmulCore(ac.dataF32(), bc.dataF32(), nullptr, out.dataF32(), m, k,
-               n);
+    matmulCoreEpiPar(par, ac.dataF32(), bc.dataF32(), out.dataF32(), m,
+                     k, n, nullptr, nullptr, nullptr, 0);
     return out;
 }
 
@@ -162,7 +315,7 @@ packWeightTranspose(const Tensor &w)
 Tensor
 linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
                 const scalar::UnaryStage *stages, size_t nStages,
-                Tensor dst)
+                Tensor dst, const ParallelRegion *par)
 {
     if (wt.shape().rank() != 2)
         throw std::runtime_error("linearPacked: packed weight must be "
@@ -178,23 +331,23 @@ linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
     std::vector<int64_t> dims = x.shape().dims();
     dims.back() = n;
     Tensor out = claimOut(std::move(dst), Shape(dims), DType::F32);
-    matmulCoreEpi(rows.dataF32(), wc.dataF32(), out.dataF32(), m, k, n,
-                  bc.defined() ? bc.dataF32() : nullptr, nullptr, stages,
-                  nStages);
+    matmulCoreEpiPar(par, rows.dataF32(), wc.dataF32(), out.dataF32(),
+                     m, k, n, bc.defined() ? bc.dataF32() : nullptr,
+                     nullptr, stages, nStages);
     return out;
 }
 
 Tensor
 linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
-             Tensor dst)
+             Tensor dst, const ParallelRegion *par)
 {
-    return linearPackedEpi(x, wt, b, nullptr, 0, std::move(dst));
+    return linearPackedEpi(x, wt, b, nullptr, 0, std::move(dst), par);
 }
 
 Tensor
 conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
           int padding, int groups, const scalar::UnaryStage *stages,
-          size_t nStages, Tensor dst)
+          size_t nStages, Tensor dst, const ParallelRegion *par)
 {
     if (x.shape().rank() != 4 || w.shape().rank() != 4)
         throw std::runtime_error("conv2dEpi: NCHW input and FCRS weight");
@@ -224,48 +377,73 @@ conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
     // the filter bias and the point-wise stages applied in the tile
     // write-out: W[fg, patch] @ col[patch, oh*ow] -> out rows.
     int64_t patch = cg * r * s;
-    Tensor colT = scratchEmpty(Shape{patch, oh * ow}, DType::F32);
-    float *col = colT.dataF32();
-    for (int64_t img = 0; img < n; ++img) {
-        for (int g = 0; g < groups; ++g) {
-            for (int64_t cc = 0; cc < cg; ++cc) {
-                int64_t cin = g * cg + cc;
-                const float *chan = px + (img * c + cin) * h * wd;
-                for (int64_t rr = 0; rr < r; ++rr) {
-                    for (int64_t ss = 0; ss < s; ++ss) {
-                        int64_t row = (cc * r + rr) * s + ss;
-                        float *crow = col + row * oh * ow;
-                        for (int64_t oy = 0; oy < oh; ++oy) {
-                            int64_t iy = oy * stride - padding + rr;
-                            for (int64_t ox = 0; ox < ow; ++ox) {
-                                int64_t ix = ox * stride - padding + ss;
-                                float v = 0.0f;
-                                if (iy >= 0 && iy < h && ix >= 0 &&
-                                    ix < wd)
-                                    v = chan[iy * wd + ix];
-                                crow[oy * ow + ox] = v;
-                            }
+    auto fillCol = [&](int64_t img, int g, float *col) {
+        for (int64_t cc = 0; cc < cg; ++cc) {
+            int64_t cin = g * cg + cc;
+            const float *chan = px + (img * c + cin) * h * wd;
+            for (int64_t rr = 0; rr < r; ++rr) {
+                for (int64_t ss = 0; ss < s; ++ss) {
+                    int64_t row = (cc * r + rr) * s + ss;
+                    float *crow = col + row * oh * ow;
+                    for (int64_t oy = 0; oy < oh; ++oy) {
+                        int64_t iy = oy * stride - padding + rr;
+                        for (int64_t ox = 0; ox < ow; ++ox) {
+                            int64_t ix = ox * stride - padding + ss;
+                            float v = 0.0f;
+                            if (iy >= 0 && iy < h && ix >= 0 && ix < wd)
+                                v = chan[iy * wd + ix];
+                            crow[oy * ow + ox] = v;
                         }
                     }
                 }
             }
+        }
+    };
+    // Two sharding shapes, both bit-identical to the serial loop: with
+    // several (image, group) instances each shard runs ONE instance's
+    // im2col + GEMM start to finish (its col buffer lives in the
+    // worker's scratch); a single instance instead shards the one
+    // GEMM's macro-tiles, reading a shared col buffer.
+    if (par && par->threads() > 1 && n * groups > 1) {
+        par->run(static_cast<size_t>(n * groups), [&](size_t inst, int) {
+            int64_t img = static_cast<int64_t>(inst) / groups;
+            int g = static_cast<int>(inst % static_cast<size_t>(groups));
+            Tensor colT = scratchEmpty(Shape{patch, oh * ow}, DType::F32);
+            float *col = colT.dataF32();
+            fillCol(img, g, col);
             matmulCoreEpi(pw + g * fg * patch, col,
                           po + (img * f + g * fg) * oh * ow, fg, patch,
                           oh * ow, nullptr,
                           pb ? pb + g * fg : nullptr, stages, nStages);
+        });
+        return out;
+    }
+    Tensor colT = scratchEmpty(Shape{patch, oh * ow}, DType::F32);
+    float *col = colT.dataF32();
+    for (int64_t img = 0; img < n; ++img) {
+        for (int g = 0; g < groups; ++g) {
+            fillCol(img, g, col);
+            matmulCoreEpiPar(par, pw + g * fg * patch, col,
+                             po + (img * f + g * fg) * oh * ow, fg,
+                             patch, oh * ow, nullptr,
+                             pb ? pb + g * fg : nullptr, stages,
+                             nStages);
         }
     }
     return out;
 }
 
 Tensor
-linear(const Tensor &x, const Tensor &w, const Tensor &b, Tensor dst)
+linear(const Tensor &x, const Tensor &w, const Tensor &b, Tensor dst,
+       const ParallelRegion *par)
 {
-    return linearPacked(x, packWeightTranspose(w), b, std::move(dst));
+    return linearPacked(x, packWeightTranspose(w), b, std::move(dst),
+                        par);
 }
 
 Tensor
-bmm(const Tensor &a, const Tensor &b, Tensor dst)
+bmm(const Tensor &a, const Tensor &b, Tensor dst,
+    const ParallelRegion *par)
 {
     if (a.shape().rank() != 3 || b.shape().rank() != 3)
         throw std::runtime_error("bmm: rank-3 inputs required");
@@ -281,9 +459,20 @@ bmm(const Tensor &a, const Tensor &b, Tensor dst)
     const float *pa = ac.dataF32();
     const float *pb = bc.dataF32();
     float *po = out.dataF32();
+    if (par && par->threads() > 1 && bs > 1) {
+        // One batch item per shard: each item's GEMM is the unchanged
+        // serial core, so the batch split is trivially bit-identical.
+        par->run(static_cast<size_t>(bs), [&](size_t i, int) {
+            matmulCore(pa + static_cast<int64_t>(i) * m * k,
+                       pb + static_cast<int64_t>(i) * k * n, nullptr,
+                       po + static_cast<int64_t>(i) * m * n, m, k, n);
+        });
+        return out;
+    }
     for (int64_t i = 0; i < bs; ++i)
-        matmulCore(pa + i * m * k, pb + i * k * n, nullptr,
-                   po + i * m * n, m, k, n);
+        matmulCoreEpiPar(par, pa + i * m * k, pb + i * k * n,
+                         po + i * m * n, m, k, n, nullptr, nullptr,
+                         nullptr, 0);
     return out;
 }
 

@@ -40,6 +40,9 @@
  */
 
 namespace ngb {
+
+class ParallelRegion;
+
 namespace kernels {
 namespace opt {
 
@@ -68,11 +71,19 @@ asF32(const Tensor &t)
 }
 
 // ----- GEMM family (register-tiled core) ---------------------------------
+//
+// Every GEMM entry takes an optional ParallelRegion. Null (the
+// default) runs the unchanged serial core; a region shards the output
+// into mc/nc macro-tiles across the pool workers (packed kc panels in
+// per-worker scratch), splitting M and N only — never K — so results
+// are bit-identical to the serial core at every thread count.
 
-Tensor matmul(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor matmul(const Tensor &a, const Tensor &b, Tensor dst = {},
+              const ParallelRegion *par = nullptr);
 Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b,
-              Tensor dst = {});
-Tensor bmm(const Tensor &a, const Tensor &b, Tensor dst = {});
+              Tensor dst = {}, const ParallelRegion *par = nullptr);
+Tensor bmm(const Tensor &a, const Tensor &b, Tensor dst = {},
+           const ParallelRegion *par = nullptr);
 
 /**
  * Pack a [N,K] linear weight into the [K,N] row-major layout the GEMM
@@ -85,7 +96,7 @@ Tensor packWeightTranspose(const Tensor &w);
 
 /** linear() over an already-packed [K,N] weight from packWeightTranspose. */
 Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
-                    Tensor dst = {});
+                    Tensor dst = {}, const ParallelRegion *par = nullptr);
 
 /**
  * linearPacked() with a fused point-wise epilogue: @p stages are
@@ -97,7 +108,8 @@ Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
  */
 Tensor linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
                        const scalar::UnaryStage *stages, size_t nStages,
-                       Tensor dst = {});
+                       Tensor dst = {},
+                       const ParallelRegion *par = nullptr);
 
 /**
  * 2-D convolution (NCHW, im2col) through the register-tiled GEMM core
@@ -112,7 +124,7 @@ Tensor linearPackedEpi(const Tensor &x, const Tensor &wt, const Tensor &b,
 Tensor conv2dEpi(const Tensor &x, const Tensor &w, const Tensor &b,
                  int stride, int padding, int groups,
                  const scalar::UnaryStage *stages, size_t nStages,
-                 Tensor dst = {});
+                 Tensor dst = {}, const ParallelRegion *par = nullptr);
 
 // ----- Normalization ------------------------------------------------------
 

@@ -13,6 +13,7 @@
 #include "platform/tuning_cache.h"
 #include "quant/quant_kernels.h"
 #include "quant/weight_pack.h"
+#include "runtime/intraop.h"
 #include "tensor/scratch.h"
 
 /**
@@ -47,6 +48,57 @@ shapeKey(int64_t m, int64_t k, int64_t n)
            std::to_string(n);
 }
 
+/** Below this the sharding overhead exceeds the GEMM itself (same
+ *  threshold as the f32 core in optimized_kernels.cc). */
+constexpr int64_t kParMinFlops = 1 << 17;
+
+int
+parThreads(const ParallelRegion *par)
+{
+    return par ? par->threads() : 1;
+}
+
+/**
+ * One f32 GEMM through @p ops, sharded into macro-tiles across
+ * @p par's workers when profitable, serial otherwise. Shards call
+ * gemmF32Strided on row-band x column-slice sub-problems with the
+ * full K per shard — the per-element k chain is never split, so the
+ * result is bit-identical to one serial gemmF32 call (simd.h
+ * numerics contract) at every thread count.
+ */
+void
+simdGemmPar(const SimdOps *ops, const ParallelRegion *par,
+            const float *A, const float *B, float *C, int64_t m,
+            int64_t k, int64_t n, const float *bias,
+            const TileConfig &tile)
+{
+    const int threads = parThreads(par);
+    if (threads <= 1 || 2 * m * n * k < kParMinFlops) {
+        ops->gemmF32(A, B, C, m, k, n, bias, tile);
+        return;
+    }
+    // 64-row bands; column blocks shrink (in vector-width steps) until
+    // the grid covers the pool. Split geometry cannot change results —
+    // it is purely a load-balance / locality choice.
+    constexpr int64_t kMC = 64;
+    const int64_t mBlocks = (m + kMC - 1) / kMC;
+    const int64_t nUnit = ops->vectorWidthF32;
+    int64_t nc = 16 * nUnit < n ? 16 * nUnit : n;
+    while (nc > nUnit &&
+           mBlocks * ((n + nc - 1) / nc) < static_cast<int64_t>(threads))
+        nc -= nUnit;
+    const int64_t nBlocks = (n + nc - 1) / nc;
+    par->run(static_cast<size_t>(mBlocks * nBlocks), [&](size_t s, int) {
+        const int64_t i0 = static_cast<int64_t>(s) / nBlocks * kMC;
+        const int64_t j0 = static_cast<int64_t>(s) % nBlocks * nc;
+        const int64_t h = m - i0 < kMC ? m - i0 : kMC;
+        const int64_t w = n - j0 < nc ? n - j0 : nc;
+        ops->gemmF32Strided(A + i0 * k, k, B + j0, n, C + i0 * n + j0,
+                            n, h, k, w, bias ? bias + j0 : nullptr,
+                            tile);
+    });
+}
+
 /**
  * Pick the tile for one GEMM call: replay the tuning cache, or time
  * every candidate through @p run (each run produces the full, correct
@@ -56,11 +108,12 @@ shapeKey(int64_t m, int64_t k, int64_t n)
 TileConfig
 chooseTile(const SimdOps *ops, const char *op,
            const std::vector<TileConfig> &cands, int64_t m, int64_t k,
-           int64_t n, const std::function<void(const TileConfig &)> &run)
+           int64_t n, int threads,
+           const std::function<void(const TileConfig &)> &run)
 {
     using Clock = std::chrono::steady_clock;
     int idx = TuningCache::process().choose(
-        TuneKey{op, shapeKey(m, k, n), ops->name},
+        TuneKey{op, shapeKey(m, k, n), ops->name, threads},
         static_cast<int>(cands.size()), [&](int i) {
             // Two timed runs per candidate, best-of: the first pays
             // first-touch and warms caches for its successor, so the
@@ -83,7 +136,7 @@ chooseTile(const SimdOps *ops, const char *op,
 
 Tensor
 simdMatmul(const SimdOps *ops, const Tensor &a, const Tensor &b,
-           Tensor dst)
+           Tensor dst, const ParallelRegion *par)
 {
     if (a.shape().rank() != 2 || b.shape().rank() != 2)
         throw std::runtime_error("simd matmul: rank-2 inputs required");
@@ -95,11 +148,11 @@ simdMatmul(const SimdOps *ops, const Tensor &a, const Tensor &b,
     Tensor bc = ko::asF32(b);
     Tensor out = claimOut(std::move(dst), Shape{m, n}, DType::F32);
     auto run = [&](const TileConfig &t) {
-        ops->gemmF32(ac.dataF32(), bc.dataF32(), out.dataF32(), m, k, n,
-                     nullptr, t);
+        simdGemmPar(ops, par, ac.dataF32(), bc.dataF32(), out.dataF32(),
+                    m, k, n, nullptr, t);
     };
     run(chooseTile(ops, "matmul", simd::gemmTileCandidates(ops->level),
-                   m, k, n, run));
+                   m, k, n, parThreads(par), run));
     return out;
 }
 
@@ -120,7 +173,8 @@ simdMatmulTiled(const SimdOps *ops, const Tensor &a, const Tensor &b,
 
 Tensor
 simdLinearPacked(const SimdOps *ops, const Tensor &x, const Tensor &wt,
-                 const Tensor &b, Tensor dst)
+                 const Tensor &b, Tensor dst,
+                 const ParallelRegion *par)
 {
     if (wt.shape().rank() != 2)
         throw std::runtime_error("simd linear: [K,N] packed weight "
@@ -136,16 +190,18 @@ simdLinearPacked(const SimdOps *ops, const Tensor &x, const Tensor &wt,
     dims.back() = n;
     Tensor out = claimOut(std::move(dst), Shape(dims), DType::F32);
     auto run = [&](const TileConfig &t) {
-        ops->gemmF32(rows.dataF32(), wc.dataF32(), out.dataF32(), m, k,
-                     n, bc.defined() ? bc.dataF32() : nullptr, t);
+        simdGemmPar(ops, par, rows.dataF32(), wc.dataF32(),
+                    out.dataF32(), m, k, n,
+                    bc.defined() ? bc.dataF32() : nullptr, t);
     };
     run(chooseTile(ops, "linear", simd::gemmTileCandidates(ops->level),
-                   m, k, n, run));
+                   m, k, n, parThreads(par), run));
     return out;
 }
 
 Tensor
-simdBmm(const SimdOps *ops, const Tensor &a, const Tensor &b, Tensor dst)
+simdBmm(const SimdOps *ops, const Tensor &a, const Tensor &b, Tensor dst,
+        const ParallelRegion *par)
 {
     if (a.shape().rank() != 3 || b.shape().rank() != 3)
         throw std::runtime_error("simd bmm: rank-3 inputs required");
@@ -164,14 +220,35 @@ simdBmm(const SimdOps *ops, const Tensor &a, const Tensor &b, Tensor dst)
     auto run0 = [&](const TileConfig &t) {
         ops->gemmF32(pa, pb, po, m, k, n, nullptr, t);
     };
+    if (parThreads(par) > 1 && bs > 1) {
+        // One batch item per shard, each running the serial kernel —
+        // so the tile decision is the serial one (threads key 1, the
+        // same entry the intra-op-off path tunes and replays).
+        TileConfig tile = chooseTile(
+            ops, "bmm", simd::gemmTileCandidates(ops->level), m, k, n,
+            1, run0);
+        par->run(static_cast<size_t>(bs), [&](size_t i, int) {
+            ops->gemmF32(pa + static_cast<int64_t>(i) * m * k,
+                         pb + static_cast<int64_t>(i) * k * n,
+                         po + static_cast<int64_t>(i) * m * n, m, k, n,
+                         nullptr, tile);
+        });
+        return out;
+    }
+    // Serial, or a single batch item: macro-tile sharding inside the
+    // one GEMM instead (simdGemmPar degrades to the serial kernel
+    // when the region is absent or the problem is small).
+    auto runPar = [&](const TileConfig &t) {
+        simdGemmPar(ops, par, pa, pb, po, m, k, n, nullptr, t);
+    };
     TileConfig tile =
         bs > 0 ? chooseTile(ops, "bmm",
                             simd::gemmTileCandidates(ops->level), m, k,
-                            n, run0)
+                            n, parThreads(par), runPar)
                : TileConfig{};
     for (int64_t i = 0; i < bs; ++i)
-        ops->gemmF32(pa + i * m * k, pb + i * k * n, po + i * m * n, m,
-                     k, n, nullptr, tile);
+        simdGemmPar(ops, par, pa + i * m * k, pb + i * k * n,
+                    po + i * m * n, m, k, n, nullptr, tile);
     return out;
 }
 
@@ -267,22 +344,46 @@ packInt8ForOps(const SimdOps *ops, const Tensor &wtq)
 }
 
 /** Raw i8 x i8 -> i32 accumulators via the tuned SIMD kernel.
- *  @p wPacked must already be in packInt8ForOps layout. */
+ *  @p wPacked must already be in packInt8ForOps layout. A region
+ *  shards the output into row blocks (A/C slices; the weight layout —
+ *  dot-interleaved or plain — is position-independent in M, so shards
+ *  stream the same packed operand). i32 accumulation is exact, so any
+ *  row partition is bit-identical to the serial sweep. */
 void
-simdInt8Acc(const SimdOps *ops, const int8_t *xq, const int8_t *wPacked,
-            int32_t *acc, int64_t m, int64_t k, int64_t n)
+simdInt8Acc(const SimdOps *ops, const ParallelRegion *par,
+            const int8_t *xq, const int8_t *wPacked, int32_t *acc,
+            int64_t m, int64_t k, int64_t n)
 {
+    const int threads = parThreads(par);
+    if (threads <= 1 || m <= 1 || 2 * m * n * k < kParMinFlops) {
+        auto run = [&](const TileConfig &t) {
+            ops->gemmI8(xq, wPacked, acc, m, k, n, t);
+        };
+        run(chooseTile(ops, "int8_linear",
+                       simd::int8TileCandidates(ops->level), m, k, n, 1,
+                       run));
+        return;
+    }
+    const int64_t block = (m + threads - 1) / threads;
+    const int64_t nBlocks = (m + block - 1) / block;
     auto run = [&](const TileConfig &t) {
-        ops->gemmI8(xq, wPacked, acc, m, k, n, t);
+        par->run(static_cast<size_t>(nBlocks), [&](size_t s, int) {
+            const int64_t i0 = static_cast<int64_t>(s) * block;
+            const int64_t rows = m - i0 < block ? m - i0 : block;
+            ops->gemmI8(xq + i0 * k, wPacked, acc + i0 * n, rows, k, n,
+                        t);
+        });
     };
     run(chooseTile(ops, "int8_linear",
-                   simd::int8TileCandidates(ops->level), m, k, n, run));
+                   simd::int8TileCandidates(ops->level), m, k, n,
+                   threads, run));
 }
 
 Tensor
 simdInt8Requant(const SimdOps *ops, const Tensor &xq, float xScale,
                 const Tensor &wPacked, const Tensor &wScales,
-                const Tensor &bias, Tensor dst)
+                const Tensor &bias, Tensor dst,
+                const ParallelRegion *par)
 {
     int64_t k = wPacked.shape()[0], n = wPacked.shape()[1];
     int64_t m = xq.numel() / k;
@@ -291,8 +392,8 @@ simdInt8Requant(const SimdOps *ops, const Tensor &xq, float xScale,
     dims.back() = n;
     Tensor out = claimOut(std::move(dst), Shape(dims), DType::F32);
     Tensor accT = scratchEmpty(Shape{m, n}, DType::I32);
-    simdInt8Acc(ops, xc.dataI8(), wPacked.dataI8(), accT.dataI32(), m,
-                k, n);
+    simdInt8Acc(ops, par, xc.dataI8(), wPacked.dataI8(), accT.dataI32(),
+                m, k, n);
     // The shared epilogue expression (requantOne + bias): i32
     // accumulation is exact, so evaluating it in a separate sweep is
     // bit-identical to the scalar kernels' fused tile write-out.
@@ -326,7 +427,8 @@ buildSimdBackend(const SimdOps *ops)
         return b;
 
     b.registerKernel(OpKind::MatMul, [ops](const KernelContext &c) {
-        return singleOutput(simdMatmul(ops, c.in(0), c.in(1), c.out(0)));
+        return singleOutput(
+            simdMatmul(ops, c.in(0), c.in(1), c.out(0), c.par));
     });
     b.registerKernel(OpKind::Linear, [ops](const KernelContext &c) {
         if (c.node.attrs.getI("wq8", 0))
@@ -335,11 +437,13 @@ buildSimdBackend(const SimdOps *ops)
         const Tensor &wt = c.params.derived(c.node, 0, [&c] {
             return ko::packWeightTranspose(c.param(0));
         });
-        return singleOutput(
-            simdLinearPacked(ops, c.in(0), wt, c.optBias(), c.out(0)));
+        return singleOutput(simdLinearPacked(ops, c.in(0), wt,
+                                             c.optBias(), c.out(0),
+                                             c.par));
     });
     b.registerKernel(OpKind::BMM, [ops](const KernelContext &c) {
-        return singleOutput(simdBmm(ops, c.in(0), c.in(1), c.out(0)));
+        return singleOutput(
+            simdBmm(ops, c.in(0), c.in(1), c.out(0), c.par));
     });
     b.registerKernel(OpKind::Int8Linear, [ops](const KernelContext &c) {
         if (!c.node.attrs.getI("executable", 0))
@@ -353,14 +457,14 @@ buildSimdBackend(const SimdOps *ops)
             return singleOutput(simdInt8Requant(
                 ops, c.in(0), kq::scaleValue(c.in(1)), wp,
                 quant::weightScales(c.node, c.params), c.optBias(),
-                c.out(0)));
+                c.out(0), c.par));
         int64_t k = wtq.shape()[0], n = wtq.shape()[1];
         const Tensor &xq = c.in(0);
         Tensor xc = toContiguous(xq);
         std::vector<int64_t> dims = xq.shape().dims();
         dims.back() = n;
         Tensor out = claimOut(c.out(0), Shape(dims), DType::I32);
-        simdInt8Acc(ops, xc.dataI8(), wp.dataI8(), out.dataI32(),
+        simdInt8Acc(ops, c.par, xc.dataI8(), wp.dataI8(), out.dataI32(),
                     xq.numel() / k, k, n);
         return singleOutput(std::move(out));
     });
@@ -444,11 +548,12 @@ namespace kernels {
 namespace sd {
 
 Tensor
-matmul(const Tensor &a, const Tensor &b, Tensor dst)
+matmul(const Tensor &a, const Tensor &b, Tensor dst,
+       const ParallelRegion *par)
 {
     const SimdOps *ops = activeOps();
-    return ops ? simdMatmul(ops, a, b, std::move(dst))
-               : ko::matmul(a, b, std::move(dst));
+    return ops ? simdMatmul(ops, a, b, std::move(dst), par)
+               : ko::matmul(a, b, std::move(dst), par);
 }
 
 Tensor
@@ -462,19 +567,20 @@ matmulTiled(const Tensor &a, const Tensor &b, const simd::TileConfig &tile,
 
 Tensor
 linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
-             Tensor dst)
+             Tensor dst, const ParallelRegion *par)
 {
     const SimdOps *ops = activeOps();
-    return ops ? simdLinearPacked(ops, x, wt, b, std::move(dst))
-               : ko::linearPacked(x, wt, b, std::move(dst));
+    return ops ? simdLinearPacked(ops, x, wt, b, std::move(dst), par)
+               : ko::linearPacked(x, wt, b, std::move(dst), par);
 }
 
 Tensor
-bmm(const Tensor &a, const Tensor &b, Tensor dst)
+bmm(const Tensor &a, const Tensor &b, Tensor dst,
+    const ParallelRegion *par)
 {
     const SimdOps *ops = activeOps();
-    return ops ? simdBmm(ops, a, b, std::move(dst))
-               : ko::bmm(a, b, std::move(dst));
+    return ops ? simdBmm(ops, a, b, std::move(dst), par)
+               : ko::bmm(a, b, std::move(dst), par);
 }
 
 Tensor
@@ -537,15 +643,16 @@ packInt8Weight(const Tensor &wtq)
 
 Tensor
 int8LinearRequant(const Tensor &xq, float xScale, const Tensor &wPacked,
-                  const Tensor &wScales, const Tensor &bias, Tensor dst)
+                  const Tensor &wScales, const Tensor &bias, Tensor dst,
+                  const ParallelRegion *par)
 {
     const SimdOps *ops = activeOps();
     if (!ops)
         return kq::int8LinearPackedRequant(xq, xScale, wPacked, wScales,
                                            bias, nullptr, 0,
-                                           std::move(dst));
+                                           std::move(dst), par);
     return simdInt8Requant(ops, xq, xScale, wPacked, wScales, bias,
-                           std::move(dst));
+                           std::move(dst), par);
 }
 
 }  // namespace sd

@@ -23,6 +23,8 @@
 
 namespace ngb {
 
+class ParallelRegion;
+
 /**
  * The process "simd" backend, built once at the dispatch level
  * platform::activeIsa() reports on first use — set --isa / $NGB_ISA
@@ -45,12 +47,17 @@ namespace sd {
  * Free-function entries at the process-active dispatch level, for the
  * micro-bench and tests. Each delegates to the optimized kernel when
  * the active level has no SIMD table (scalar), so they are always
- * callable. GEMM entries tune through TuningCache::process().
+ * callable. GEMM entries tune through TuningCache::process() and take
+ * an optional ParallelRegion: null runs the serial kernels, a region
+ * shards macro-tiles across its workers (bit-identical either way —
+ * the simd.h numerics contract).
  */
-Tensor matmul(const Tensor &a, const Tensor &b, Tensor dst = {});
+Tensor matmul(const Tensor &a, const Tensor &b, Tensor dst = {},
+              const ParallelRegion *par = nullptr);
 Tensor linearPacked(const Tensor &x, const Tensor &wt, const Tensor &b,
-                    Tensor dst = {});
-Tensor bmm(const Tensor &a, const Tensor &b, Tensor dst = {});
+                    Tensor dst = {}, const ParallelRegion *par = nullptr);
+Tensor bmm(const Tensor &a, const Tensor &b, Tensor dst = {},
+           const ParallelRegion *par = nullptr);
 Tensor layerNorm(const Tensor &x, const Tensor &gamma,
                  const Tensor &beta, float eps, Tensor dst = {});
 Tensor relu(const Tensor &x, Tensor dst = {});
@@ -76,7 +83,8 @@ Tensor packInt8Weight(const Tensor &wtq);
  *  packed operand; bit-identical to qnt::int8LinearPackedRequant. */
 Tensor int8LinearRequant(const Tensor &xq, float xScale,
                          const Tensor &wPacked, const Tensor &wScales,
-                         const Tensor &bias, Tensor dst = {});
+                         const Tensor &bias, Tensor dst = {},
+                         const ParallelRegion *par = nullptr);
 
 }  // namespace sd
 }  // namespace kernels

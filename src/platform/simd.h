@@ -78,6 +78,18 @@ struct SimdOps {
                     const TileConfig &tile);
 
     /**
+     * gemmF32 over lda/ldb/ldc-strided sub-matrices. The per-element
+     * operation sequence is identical to gemmF32 (strides move
+     * pointers, never the k chain), so a macro-tile decomposition of a
+     * big GEMM through this entry — the intra-op sharding path — is
+     * bit-identical to one whole-problem gemmF32 call.
+     */
+    void (*gemmF32Strided)(const float *A, int64_t lda, const float *B,
+                           int64_t ldb, float *C, int64_t ldc,
+                           int64_t M, int64_t K, int64_t N,
+                           const float *bias, const TileConfig &tile);
+
+    /**
      * C[M,N] (i32) = A[M,K] (i8) * B (i8). B layout: the dot
      * interleave from packDotInterleave when int8Dot, else plain
      * row-major [K,N]. Only tile.mr participates in tuning here.

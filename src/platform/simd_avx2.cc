@@ -95,6 +95,7 @@ const SimdOps kOpsAvx2 = {
     V8::W,
     false,
     &inl::gemmF32Tmpl<V8>,
+    &inl::gemmF32StridedTmpl<V8>,
     &gemmI8Avx2,
     &inl::reluTmpl<V8>,
     &inl::addScalarTmpl<V8>,

@@ -176,6 +176,7 @@ const SimdOps kOpsPlain = {
     V16::W,
     false,
     &inl::gemmF32Tmpl<V16>,
+    &inl::gemmF32StridedTmpl<V16>,
     &gemmI8Widen512,
     &inl::reluTmpl<V16>,
     &inl::addScalarTmpl<V16>,
@@ -191,6 +192,7 @@ const SimdOps kOpsVnni = {
     V16::W,
     true,
     &inl::gemmF32Tmpl<V16>,
+    &inl::gemmF32StridedTmpl<V16>,
     &gemmI8Vnni,
     &inl::reluTmpl<V16>,
     &inl::addScalarTmpl<V16>,

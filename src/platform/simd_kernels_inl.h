@@ -119,12 +119,20 @@ gemmRowBand(const float *A, int64_t lda, const float *B, int64_t ldb,
                        first, last);
 }
 
-/** The f32 GEMM driver behind SimdOps::gemmF32. */
+/**
+ * The strided f32 GEMM driver behind SimdOps::gemmF32Strided: the
+ * operands are lda/ldb/ldc-strided sub-matrices of larger arrays.
+ * Per the numerics contract, strides move the pointers and never the
+ * per-element k chain, so computing a macro-tile of a big GEMM through
+ * this entry produces the same bits that one whole-problem gemmF32
+ * call writes into that tile — the seam intra-op sharding relies on.
+ */
 template <class V>
 void
-gemmF32Tmpl(const float *A, const float *B, float *C, int64_t M,
-            int64_t K, int64_t N, const float *bias,
-            const TileConfig &tile)
+gemmF32StridedTmpl(const float *A, int64_t lda, const float *B,
+                   int64_t ldb, float *C, int64_t ldc, int64_t M,
+                   int64_t K, int64_t N, const float *bias,
+                   const TileConfig &tile)
 {
     const int mr = tile.mr > 0 ? tile.mr : 4;
     const int nv = tile.nv > 0 ? tile.nv : 2;
@@ -137,31 +145,41 @@ gemmF32Tmpl(const float *A, const float *B, float *C, int64_t M,
         switch (mr) {
         case 8:
             for (; i + 8 <= M; i += 8)
-                gemmRowBand<V, 8>(A, K, B, N, C, N, i, N, nv, k0, k1,
-                                  bias, first, last);
+                gemmRowBand<V, 8>(A, lda, B, ldb, C, ldc, i, N, nv, k0,
+                                  k1, bias, first, last);
             break;
         case 6:
             for (; i + 6 <= M; i += 6)
-                gemmRowBand<V, 6>(A, K, B, N, C, N, i, N, nv, k0, k1,
-                                  bias, first, last);
+                gemmRowBand<V, 6>(A, lda, B, ldb, C, ldc, i, N, nv, k0,
+                                  k1, bias, first, last);
             break;
         case 2:
             for (; i + 2 <= M; i += 2)
-                gemmRowBand<V, 2>(A, K, B, N, C, N, i, N, nv, k0, k1,
-                                  bias, first, last);
+                gemmRowBand<V, 2>(A, lda, B, ldb, C, ldc, i, N, nv, k0,
+                                  k1, bias, first, last);
             break;
         default:
             for (; i + 4 <= M; i += 4)
-                gemmRowBand<V, 4>(A, K, B, N, C, N, i, N, nv, k0, k1,
-                                  bias, first, last);
+                gemmRowBand<V, 4>(A, lda, B, ldb, C, ldc, i, N, nv, k0,
+                                  k1, bias, first, last);
             break;
         }
         for (; i < M; ++i)
-            gemmRowBand<V, 1>(A, K, B, N, C, N, i, N, nv, k0, k1, bias,
-                              first, last);
+            gemmRowBand<V, 1>(A, lda, B, ldb, C, ldc, i, N, nv, k0, k1,
+                              bias, first, last);
         if (K == 0)
             break;
     }
+}
+
+/** The f32 GEMM driver behind SimdOps::gemmF32. */
+template <class V>
+void
+gemmF32Tmpl(const float *A, const float *B, float *C, int64_t M,
+            int64_t K, int64_t N, const float *bias,
+            const TileConfig &tile)
+{
+    gemmF32StridedTmpl<V>(A, K, B, N, C, N, M, K, N, bias, tile);
 }
 
 /** relu: max(x, 0) — the same expression the scalar kernels use. */

@@ -154,6 +154,7 @@ const SimdOps kOpsWiden = {
     V4::W,
     false,
     &inl::gemmF32Tmpl<V4>,
+    &inl::gemmF32StridedTmpl<V4>,
     &gemmI8Widen,
     &inl::reluTmpl<V4>,
     &inl::addScalarTmpl<V4>,
@@ -169,6 +170,7 @@ const SimdOps kOpsDot = {
     V4::W,
     true,
     &inl::gemmF32Tmpl<V4>,
+    &inl::gemmF32StridedTmpl<V4>,
     &gemmI8Dot,
     &inl::reluTmpl<V4>,
     &inl::addScalarTmpl<V4>,

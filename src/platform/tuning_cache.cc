@@ -14,7 +14,9 @@ namespace simd {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+// v2 added the "threads" key field (intra-op parallelism); v1 files
+// are dropped wholesale by the version check below.
+constexpr int kFormatVersion = 2;
 
 /** Value of the string field @p key inside @p obj, "" when absent.
  *  The cache only parses files it wrote itself (escaped, flat
@@ -84,7 +86,8 @@ TuningCache::loadLocked()
             break;
         const std::string obj = text.substr(pos, end - pos + 1);
         TuneKey key{fieldString(obj, "op"), fieldString(obj, "shape"),
-                    fieldString(obj, "isa")};
+                    fieldString(obj, "isa"),
+                    static_cast<int>(fieldNumber(obj, "threads", 1))};
         if (key.op.empty() || key.shape.empty() || key.isa.empty()) {
             ++stats_.entriesRejected;
             continue;
@@ -117,6 +120,7 @@ TuningCache::saveLocked() const
             d.add("op", key.op)
                 .add("shape", key.shape)
                 .add("isa", key.isa)
+                .add("threads", key.threads)
                 .add("choice", e.choice)
                 .add("ns", e.ns, 1);
             f << "    " << d.str()

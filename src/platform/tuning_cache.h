@@ -35,16 +35,21 @@
 namespace ngb {
 namespace simd {
 
-/** Identity of one tuning decision: operator, problem shape, ISA. */
+/** Identity of one tuning decision: operator, problem shape, ISA, and
+ *  the intra-op thread count the kernel shards across. The best tile
+ *  at one thread count is not the best at another (per-worker macro
+ *  tiles see different cache footprints), so entries tuned serially
+ *  and entries tuned under a ParallelRegion coexist in one file. */
 struct TuneKey {
     std::string op;     ///< "matmul" / "linear" / "bmm" / "int8_linear"
     std::string shape;  ///< canonical "MxKxN" string
     std::string isa;    ///< platform::isaName of the dispatch level
+    int threads = 1;    ///< intra-op workers (1 = serial kernel)
 
     bool operator<(const TuneKey &o) const
     {
-        return std::tie(op, shape, isa) <
-               std::tie(o.op, o.shape, o.isa);
+        return std::tie(op, shape, isa, threads) <
+               std::tie(o.op, o.shape, o.isa, o.threads);
     }
 };
 

@@ -133,6 +133,11 @@ printReport(const ProfileReport &r, std::ostream &os)
         const auto &rt = r.runtime;
         os << "  runtime (measured): backend=" << rt.backend
            << (rt.fused ? " (fused)" : "") << " threads=" << rt.threads
+           << " intraop=" << rt.intraop
+           << (rt.deepLevels > 0
+                   ? " (deep levels " + std::to_string(rt.deepLevels) +
+                         ")"
+                   : "")
            << " requests=" << rt.requests << "  wall "
            << std::setprecision(2) << rt.wallUs * 1e-3 << " ms, kernels "
            << rt.sumUs * 1e-3 << " ms, concurrency "
@@ -143,7 +148,8 @@ printReport(const ProfileReport &r, std::ostream &os)
         os << "    memory (measured): " << (rt.arena ? "arena" : "heap")
            << " execution, peak bound " << rt.measuredPeakBytes / 1024
            << " KiB, " << rt.heapAllocs << " heap tensor allocs, scratch "
-           << rt.scratchPeakBytes / 1024 << " KiB\n";
+           << rt.scratchPeakBytes / 1024 << " KiB (workers sum "
+           << rt.scratchWorkerSumBytes / 1024 << " KiB)\n";
         if (rt.quant.quantized)
             os << "    quant (measured): " << rt.quant.int8Gemms
                << " int8 GEMMs " << std::setprecision(1)
@@ -185,6 +191,8 @@ writeJsonReport(const ProfileReport &r, std::ostream &os)
            << esc(r.runtime.backend) << "\", \"fused\": "
            << (r.runtime.fused ? "true" : "false") << ", \"threads\": "
            << r.runtime.threads
+           << ", \"intraop\": \"" << esc(r.runtime.intraop) << "\""
+           << ", \"deep_levels\": " << r.runtime.deepLevels
            << ", \"requests\": " << r.runtime.requests
            << ", \"wall_us\": " << r.runtime.wallUs
            << ", \"kernel_us\": " << r.runtime.sumUs
@@ -197,6 +205,8 @@ writeJsonReport(const ProfileReport &r, std::ostream &os)
            << ", \"measured_peak_bytes\": " << r.runtime.measuredPeakBytes
            << ", \"heap_allocs\": " << r.runtime.heapAllocs
            << ", \"scratch_peak_bytes\": " << r.runtime.scratchPeakBytes
+           << ", \"scratch_worker_sum_bytes\": "
+           << r.runtime.scratchWorkerSumBytes
            << "},\n";
     }
     if (r.runtime.quant.quantized) {

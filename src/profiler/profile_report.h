@@ -62,6 +62,8 @@ struct ProfileReport {
         int threads = 0;
         int requests = 0;
         std::string backend = "reference";  ///< kernel backend measured
+        std::string intraop = "off";        ///< intra-op mode measured
+        int deepLevels = 0;  ///< levels the hybrid scheduler ran deep
         bool fused = false;  ///< graph was rewritten by applyFusion
         double wallUs = 0;           ///< fork-join wall clock
         double sumUs = 0;            ///< total kernel time
@@ -76,6 +78,7 @@ struct ProfileReport {
         int64_t measuredPeakBytes = 0;  ///< max bound arena extent
         int64_t heapAllocs = 0;         ///< Storage heap allocs in run
         int64_t scratchPeakBytes = 0;   ///< kernel-temporary high water
+        int64_t scratchWorkerSumBytes = 0;  ///< sum of worker high waters
 
         // Executable-quantization census + int8-vs-float kernel-time
         // attribution (quant.quantized false on float graphs).

@@ -32,10 +32,13 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
     os << "runtime: backend=" << p.backend
        << (p.fused ? " (fused)" : "") << " threads=" << p.threads
        << " requests=" << p.requests
+       << " intraop=" << p.intraop
        << "  levels=" << p.schedule.numLevels
        << " max_width=" << p.schedule.maxWidth << " avg_width="
-       << std::fixed << std::setprecision(1) << p.schedule.avgWidth
-       << "\n";
+       << std::fixed << std::setprecision(1) << p.schedule.avgWidth;
+    if (int deep = p.deepLevelCount())
+        os << "  deep_levels=" << deep << "/" << p.levels.size();
+    os << "\n";
     os << "  wall " << std::setprecision(2) << p.wallUs * 1e-3
        << " ms  |  kernel time " << p.sumUs * 1e-3 << " ms  |  concurrency "
        << p.concurrency() << "x  |  utilization " << std::setprecision(1)
@@ -69,7 +72,7 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
             os << "    level " << std::setw(4) << by_wall[i].level
                << "  nodes=" << std::setw(4) << by_wall[i].nodes
                << "  wall " << std::setprecision(1) << by_wall[i].wallUs
-               << " us\n";
+               << " us" << (by_wall[i].deep ? "  [deep]" : "") << "\n";
     }
 
     const MemoryStats &m = p.memory;
@@ -84,7 +87,9 @@ printRuntimeReport(const RuntimeProfile &p, std::ostream &os)
        << std::setprecision(2) << m.allocsPerRequest(p.requests)
        << "/request  |  outputs " << m.arenaTensors << " arena / "
        << m.heapTensors << " heap  |  blocks " << m.arenaBlocks
-       << "  |  scratch hw " << m.scratchPeakBytes / 1024 << " KiB\n";
+       << "  |  scratch hw " << m.scratchPeakBytes / 1024
+       << " KiB (workers sum " << m.scratchWorkerSumBytes / 1024
+       << " KiB)\n";
 
     os << "  measured split [" << p.backend << "]: GEMM "
        << std::setprecision(1)
@@ -211,9 +216,10 @@ printMemoryPlan(const MemoryPlan &plan, std::ostream &os)
 void
 writeLevelCsv(const RuntimeProfile &p, std::ostream &os)
 {
-    os << "level,nodes,wall_us\n";
+    os << "level,nodes,wall_us,deep\n";
     for (const LevelTiming &lt : p.levels)
-        os << lt.level << ',' << lt.nodes << ',' << lt.wallUs << '\n';
+        os << lt.level << ',' << lt.nodes << ',' << lt.wallUs << ','
+           << (lt.deep ? 1 : 0) << '\n';
 }
 
 }  // namespace ngb

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ops/kernels.h"
+#include "runtime/intraop.h"
 #include "tensor/scratch.h"
 
 namespace ngb {
@@ -128,6 +129,39 @@ w8TileLoop(const float *A, const int8_t *B, float *C, int64_t M,
             C[i * N + j] = finish(j, acc);
         }
     }
+}
+
+/// Below this the sharding overhead exceeds the int8 GEMM itself
+/// (same threshold as the f32 core in optimized_kernels.cc).
+constexpr int64_t kParMinFlops = 1 << 17;
+
+/**
+ * Run @p body(i0, rows) over kMR-aligned row blocks of [0,M), through
+ * @p par when profitable, serially otherwise. Rows of an int8 GEMM are
+ * independent — exact i32 sums, or per-row k-ascending f32 chains for
+ * the weight-only kernels — so any row partition is bit-identical to
+ * the serial sweep; the K reduction is never split. One block per
+ * worker: the packed kernels have no panel-packing stage, so finer
+ * grains would only add task overhead.
+ */
+template <class BodyFn>
+void
+shardRows(const ParallelRegion *par, int64_t m, int64_t k, int64_t n,
+          BodyFn body)
+{
+    const int threads = par ? par->threads() : 1;
+    if (threads <= 1 || m <= kMR || 2 * m * n * k < kParMinFlops) {
+        body(static_cast<int64_t>(0), m);
+        return;
+    }
+    const int64_t tiles = (m + kMR - 1) / kMR;
+    const int64_t block =
+        (tiles + threads - 1) / threads * kMR;
+    const int64_t nBlocks = (m + block - 1) / block;
+    par->run(static_cast<size_t>(nBlocks), [&](size_t s, int) {
+        const int64_t i0 = static_cast<int64_t>(s) * block;
+        body(i0, std::min(block, m - i0));
+    });
 }
 
 int64_t
@@ -323,7 +357,8 @@ int8LinearRequant(const Tensor &xq, float xScale, const Tensor &wq,
 }
 
 Tensor
-int8AccLinearPacked(const Tensor &xq, const Tensor &wtq, Tensor dst)
+int8AccLinearPacked(const Tensor &xq, const Tensor &wtq, Tensor dst,
+                    const ParallelRegion *par)
 {
     if (wtq.shape().rank() != 2)
         throw std::runtime_error("int8AccLinearPacked: [K,N] weight "
@@ -333,8 +368,13 @@ int8AccLinearPacked(const Tensor &xq, const Tensor &wtq, Tensor dst)
     Tensor xc = toContiguous(xq);
     Tensor out =
         claimOut(std::move(dst), withTrailing(xq.shape(), n), DType::I32);
-    int8TileLoop(xc.dataI8(), wtq.dataI8(), out.dataI32(), m, k, n,
-                 [](int64_t, int32_t acc) { return acc; });
+    const int8_t *px = xc.dataI8();
+    const int8_t *pw = wtq.dataI8();
+    int32_t *po = out.dataI32();
+    shardRows(par, m, k, n, [&](int64_t i0, int64_t rows) {
+        int8TileLoop(px + i0 * k, pw, po + i0 * n, rows, k, n,
+                     [](int64_t, int32_t acc) { return acc; });
+    });
     return out;
 }
 
@@ -342,7 +382,7 @@ Tensor
 int8LinearPackedRequant(const Tensor &xq, float xScale, const Tensor &wtq,
                         const Tensor &wScales, const Tensor &bias,
                         const scalar::UnaryStage *stages, size_t nStages,
-                        Tensor dst)
+                        Tensor dst, const ParallelRegion *par)
 {
     if (wtq.shape().rank() != 2)
         throw std::runtime_error("int8LinearPackedRequant: [K,N] weight "
@@ -355,13 +395,18 @@ int8LinearPackedRequant(const Tensor &xq, float xScale, const Tensor &wtq,
     Tensor xc = toContiguous(xq);
     Tensor out =
         claimOut(std::move(dst), withTrailing(xq.shape(), n), DType::F32);
-    int8TileLoop(xc.dataI8(), wtq.dataI8(), out.dataF32(), m, k, n,
-                 [&](int64_t col, int32_t acc) {
-                     float v = requantOne(acc, xScale, ps[col]);
-                     if (pb)
-                         v += pb[col];
-                     return scalar::applyStages(stages, nStages, v);
-                 });
+    const int8_t *px = xc.dataI8();
+    const int8_t *pw = wtq.dataI8();
+    float *po = out.dataF32();
+    shardRows(par, m, k, n, [&](int64_t i0, int64_t rows) {
+        int8TileLoop(px + i0 * k, pw, po + i0 * n, rows, k, n,
+                     [&](int64_t col, int32_t acc) {
+                         float v = requantOne(acc, xScale, ps[col]);
+                         if (pb)
+                             v += pb[col];
+                         return scalar::applyStages(stages, nStages, v);
+                     });
+    });
     return out;
 }
 
@@ -402,7 +447,7 @@ w8Linear(const Tensor &x, const Tensor &wq, const Tensor &wScales,
 Tensor
 w8LinearPacked(const Tensor &x, const Tensor &wtq, const Tensor &wScales,
                const Tensor &bias, const scalar::UnaryStage *stages,
-               size_t nStages, Tensor dst)
+               size_t nStages, Tensor dst, const ParallelRegion *par)
 {
     if (wtq.shape().rank() != 2)
         throw std::runtime_error("w8LinearPacked: [K,N] weight required");
@@ -414,13 +459,18 @@ w8LinearPacked(const Tensor &x, const Tensor &wtq, const Tensor &wScales,
     Tensor xc = toContiguousF32(x);
     Tensor out =
         claimOut(std::move(dst), withTrailing(x.shape(), n), DType::F32);
-    w8TileLoop(xc.dataF32(), wtq.dataI8(), out.dataF32(), m, k, n,
-               [&](int64_t col, float acc) {
-                   float v = acc * ps[col];
-                   if (pb)
-                       v += pb[col];
-                   return scalar::applyStages(stages, nStages, v);
-               });
+    const float *px = xc.dataF32();
+    const int8_t *pw = wtq.dataI8();
+    float *po = out.dataF32();
+    shardRows(par, m, k, n, [&](int64_t i0, int64_t rows) {
+        w8TileLoop(px + i0 * k, pw, po + i0 * n, rows, k, n,
+                   [&](int64_t col, float acc) {
+                       float v = acc * ps[col];
+                       if (pb)
+                           v += pb[col];
+                       return scalar::applyStages(stages, nStages, v);
+                   });
+    });
     return out;
 }
 

@@ -28,6 +28,9 @@
  */
 
 namespace ngb {
+
+class ParallelRegion;
+
 namespace kernels {
 namespace qnt {
 
@@ -95,10 +98,18 @@ Tensor int8LinearRequant(const Tensor &xq, float xScale, const Tensor &wq,
                          Tensor dst = {});
 
 // ----- packed tiled kernels ([K,N] weights from packWeightInt8) ----------
+//
+// The packed entries take an optional ParallelRegion. Null (the
+// default) runs the unchanged serial tile loop; a region shards the
+// output into row blocks across the pool workers. Rows are independent
+// (exact i32 sums, or per-row k-ascending f32 chains for weight-only),
+// so any row partition is bit-identical to the serial sweep — the K
+// reduction is never split.
 
 /** Tiled i8 GEMM -> raw i32 accumulators (packed [K,N] weight). */
 Tensor int8AccLinearPacked(const Tensor &xq, const Tensor &wtq,
-                           Tensor dst = {});
+                           Tensor dst = {},
+                           const ParallelRegion *par = nullptr);
 
 /**
  * The fused int8 GEMM: 4x16 register-tiled i8 x i8 -> i32 core with
@@ -110,7 +121,8 @@ Tensor int8LinearPackedRequant(const Tensor &xq, float xScale,
                                const Tensor &wtq, const Tensor &wScales,
                                const Tensor &bias,
                                const scalar::UnaryStage *stages,
-                               size_t nStages, Tensor dst = {});
+                               size_t nStages, Tensor dst = {},
+                               const ParallelRegion *par = nullptr);
 
 // ----- weight-only int8 (f32 activations, int8 weights) ------------------
 
@@ -125,7 +137,8 @@ Tensor w8Linear(const Tensor &x, const Tensor &wq, const Tensor &wScales,
 Tensor w8LinearPacked(const Tensor &x, const Tensor &wtq,
                       const Tensor &wScales, const Tensor &bias,
                       const scalar::UnaryStage *stages, size_t nStages,
-                      Tensor dst = {});
+                      Tensor dst = {},
+                      const ParallelRegion *par = nullptr);
 
 }  // namespace qnt
 }  // namespace kernels

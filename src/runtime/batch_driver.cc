@@ -62,16 +62,18 @@ buildEnginePlan(const Graph &g)
 }
 
 BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
-                         const Backend &backend, bool arena)
-    : BatchDriver(g, pool, buildEnginePlan(g), backend, arena)
+                         const Backend &backend, bool arena,
+                         IntraOpMode intraop)
+    : BatchDriver(g, pool, buildEnginePlan(g), backend, arena, intraop)
 {
 }
 
 BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
                          std::shared_ptr<EnginePlan> plan,
-                         const Backend &backend, bool arena)
+                         const Backend &backend, bool arena,
+                         IntraOpMode intraop)
     : g_(g), pool_(pool), plan_(std::move(plan)), backend_(backend),
-      arena_(arena)
+      arena_(arena), intraop_(intraop)
 {
     if (!plan_)
         throw std::runtime_error("BatchDriver: null EnginePlan");
@@ -94,7 +96,8 @@ BatchDriver::BatchDriver(const Graph &g, ThreadPool &pool,
 
 std::vector<Tensor>
 BatchDriver::runOne(const std::vector<Tensor> &inputs,
-                    std::vector<double> &node_us, RequestMemory &mem)
+                    std::vector<double> &node_us, RequestMemory &mem,
+                    const ParallelRegion *par)
 {
     const auto &gin = g_.graphInputs();
     if (inputs.size() != gin.size())
@@ -153,7 +156,7 @@ BatchDriver::runOne(const std::vector<Tensor> &inputs,
             } else {
                 ScratchScope scratch;  // node-lifetime temporaries
                 results[id] = evalNode(n, lookup, params, backend_,
-                                       arena_alloc.get());
+                                       arena_alloc.get(), par);
             }
             node_us[id] += elapsedUsSince(k0);
         }
@@ -193,8 +196,16 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
     if (obs::perfEnabled())
         perf0 = obs::PerfAggregator::instance().totals();
 
-    auto wall0 = Clock::now();
-    pool_.parallelFor(requests.size(), [&](size_t r, int) {
+    // Hybrid scheduling: many requests saturate the pool with
+    // inter-request parallelism (kernels serial); a batch of ONE
+    // request has no inter-request parallelism to exploit, so with
+    // intra-op enabled it runs HERE — on the dispatch thread, outside
+    // any pool task, so the nesting guard doesn't inline its shards —
+    // lending the whole pool to its GEMMs through a region.
+    const bool deep = intraop_ != IntraOpMode::Off &&
+                      requests.size() == 1 && pool_.threads() > 1;
+
+    auto run_request = [&](size_t r, const ParallelRegion *par) {
         // The serving layer's per-request id rides into every span
         // this request records on whichever worker picked it up.
         // Standalone (--runtime) batches get synthetic 1-based ids so
@@ -208,8 +219,17 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
         // payload is the request's own counter footprint (kernel
         // scopes inside it do the per-category aggregation).
         obs::CounterScope counters(span.armed() ? &span.ev() : nullptr);
-        outputs[r] = runOne(requests[r], node_us[r], req_mem[r]);
-    });
+        outputs[r] = runOne(requests[r], node_us[r], req_mem[r], par);
+    };
+
+    auto wall0 = Clock::now();
+    if (deep) {
+        ParallelRegion region(&pool_);
+        run_request(0, &region);
+    } else {
+        pool_.parallelFor(requests.size(),
+                          [&](size_t r, int) { run_request(r, nullptr); });
+    }
     profile_.wallUs = elapsedUsSince(wall0);
 
     profile_.perf = obs::PerfCounterStats{};
@@ -219,6 +239,7 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
 
     profile_.threads = pool_.threads();
     profile_.requests = static_cast<int>(requests.size());
+    profile_.intraop = intraOpModeName(intraop_);
     profile_.schedule = plan_->sched.stats();
     profile_.levels.clear();
     profile_.sumUs = 0;
@@ -256,6 +277,8 @@ BatchDriver::run(const std::vector<std::vector<Tensor>> &requests,
         static_cast<int64_t>(Storage::heapAllocBytes() - alloc_bytes0);
     profile_.memory.scratchPeakBytes =
         ScratchArena::globalHighWaterBytes();
+    profile_.memory.scratchWorkerSumBytes =
+        ScratchArena::globalHighWaterSumBytes();
     for (const RequestMemory &m : req_mem) {
         profile_.memory.boundPeakBytes = std::max(
             profile_.memory.boundPeakBytes, m.boundPeakBytes);

@@ -8,6 +8,7 @@
 #include "graph/node_eval.h"
 #include "graph/schedule.h"
 #include "runtime/arena.h"
+#include "runtime/intraop.h"
 #include "runtime/memory_planner.h"
 #include "runtime/runtime_profile.h"
 #include "runtime/thread_pool.h"
@@ -66,6 +67,14 @@ std::shared_ptr<EnginePlan> buildEnginePlan(const Graph &g);
  * serial Executor uses), so request i's outputs are bit-identical to
  * `Executor(g).run(requests[i])` for every i, independent of thread
  * count, batch size, or scheduling order.
+ *
+ * Hybrid scheduling: a batch of many requests saturates the pool with
+ * inter-request parallelism, so kernels stay serial. A batch of ONE
+ * request (the latency-bound serving case) leaves every worker idle —
+ * with intra-op enabled (IntraOpMode::On / Auto) it runs on the
+ * calling thread with a full-pool ParallelRegion instead, so its
+ * GEMMs shard across the workers. Outputs are bit-identical either
+ * way (the ParallelRegion determinism contract).
  */
 class BatchDriver
 {
@@ -73,13 +82,15 @@ class BatchDriver
     /** Plan internally (schedule + arena + params) for @p g. */
     BatchDriver(const Graph &g, ThreadPool &pool,
                 const Backend &backend = defaultBackend(),
-                bool arena = arenaEnabledByEnv());
+                bool arena = arenaEnabledByEnv(),
+                IntraOpMode intraop = intraOpModeFromEnv());
 
     /** Adopt an already-built @p plan for @p g (must match). */
     BatchDriver(const Graph &g, ThreadPool &pool,
                 std::shared_ptr<EnginePlan> plan,
                 const Backend &backend = defaultBackend(),
-                bool arena = arenaEnabledByEnv());
+                bool arena = arenaEnabledByEnv(),
+                IntraOpMode intraop = intraOpModeFromEnv());
 
     /**
      * Execute every request (one vector of graph-input tensors each)
@@ -113,6 +124,7 @@ class BatchDriver
     ParamStore &params() { return plan_->params; }
     const Backend &backend() const { return backend_; }
     bool arenaEnabled() const { return arena_; }
+    IntraOpMode intraOpMode() const { return intraop_; }
 
   private:
     struct RequestMemory {
@@ -123,13 +135,15 @@ class BatchDriver
 
     std::vector<Tensor> runOne(const std::vector<Tensor> &inputs,
                                std::vector<double> &node_us,
-                               RequestMemory &mem);
+                               RequestMemory &mem,
+                               const ParallelRegion *par = nullptr);
 
     const Graph &g_;
     ThreadPool &pool_;
     std::shared_ptr<EnginePlan> plan_;
     const Backend &backend_;
     bool arena_ = false;
+    IntraOpMode intraop_ = IntraOpMode::Auto;
 
     RuntimeProfile profile_;
 };

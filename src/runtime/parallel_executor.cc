@@ -1,5 +1,6 @@
 #include "runtime/parallel_executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <stdexcept>
@@ -14,19 +15,30 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/** GEMM work below this isn't worth forking a region for (matches the
+ *  kParMinFlops serial cut inside the kernels themselves). */
+constexpr double kDeepMinGemmFlops = 1 << 17;
+
+/** Fraction of linear speedup a sharded GEMM actually achieves (pack
+ *  overhead, ragged macro-tile grids, fork-join latency). */
+constexpr double kIntraOpEfficiency = 0.7;
+
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(const Graph &g, ThreadPool &pool,
-                                   const Backend &backend, bool arena)
-    : ParallelExecutor(g, Schedule::wavefront(g), pool, backend, arena)
+                                   const Backend &backend, bool arena,
+                                   IntraOpMode intraop)
+    : ParallelExecutor(g, Schedule::wavefront(g), pool, backend, arena,
+                       intraop)
 {
 }
 
 ParallelExecutor::ParallelExecutor(const Graph &g, Schedule sched,
                                    ThreadPool &pool,
-                                   const Backend &backend, bool arena)
+                                   const Backend &backend, bool arena,
+                                   IntraOpMode intraop)
     : g_(g), sched_(std::move(sched)), pool_(pool), backend_(backend),
-      params_(0x5eed), arena_(arena)
+      params_(0x5eed), arena_(arena), intraop_(intraop)
 {
     auto t0 = Clock::now();
     profile_.backend = backend_.name();
@@ -54,6 +66,45 @@ ParallelExecutor::ParallelExecutor(const Graph &g, Schedule sched,
         if (last_level[id] >= 0 && last_level[id] < final_level)
             releaseAfterLevel_[static_cast<size_t>(last_level[id])]
                 .push_back(static_cast<int>(id));
+
+    // Hybrid inter/intra-op decision, per level. Everything it reads
+    // is static (cost model + pool width), so it is resolved once
+    // here and replayed by every run().
+    const int T = pool_.threads();
+    deepLevels_.assign(sched_.numLevels(), 0);
+    if (intraop_ != IntraOpMode::Off && T > 1) {
+        for (size_t lvl = 0; lvl < sched_.numLevels(); ++lvl) {
+            const std::vector<int> &nodes = sched_.levels()[lvl];
+            const auto width = static_cast<int>(nodes.size());
+            double gemm_flops = 0;  // shardable work on this level
+            double max_flops = 0;   // wide critical path per wave
+            double deep_cost = 0;   // sequential, GEMMs sharded
+            for (int id : nodes) {
+                const Node &n = g_.node(id);
+                const double f = n.cost.flops;
+                max_flops = std::max(max_flops, f);
+                const bool shardable =
+                    n.category() == OpCategory::Gemm &&
+                    f >= kDeepMinGemmFlops;
+                if (shardable)
+                    gemm_flops += f;
+                deep_cost +=
+                    shardable ? f / (T * kIntraOpEfficiency) : f;
+            }
+            if (gemm_flops <= 0)
+                continue;  // nothing a region could speed up
+            if (intraop_ == IntraOpMode::On) {
+                deepLevels_[lvl] = width < T ? 1 : 0;
+                continue;
+            }
+            // Auto: wide runs the level in ceil(width/T) waves, each
+            // bounded by its heaviest node; deep runs nodes back to
+            // back with GEMMs at ~70% of linear pool speedup.
+            const double waves = (width + T - 1) / T;
+            const double wide_cost = waves * max_flops;
+            deepLevels_[lvl] = deep_cost < wide_cost ? 1 : 0;
+        }
+    }
     profile_.planUs = elapsedUsSince(t0);
 }
 
@@ -126,42 +177,61 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
     if (obs::perfEnabled())
         perf0 = obs::PerfAggregator::instance().totals();
 
+    // One node, either path. A null region keeps the kernel serial
+    // (wide levels); a pool-backed region lends it the workers (deep
+    // levels). Outputs are bit-identical either way.
+    auto eval_one = [&](int node_id, const ParallelRegion *par) {
+        const Node &n = g_.node(node_id);
+        auto id = static_cast<size_t>(n.id);
+        if (!results[id].empty() && results[id][0].defined())
+            return;  // graph input, already bound
+        auto k0 = Clock::now();
+        if (n.inputs.empty()) {
+            if (n.paramShapes.empty())
+                throw std::runtime_error(
+                    "ParallelExecutor: input node without a bound "
+                    "tensor: " + n.name);
+            results[id] = {params_.get(n, 0)};
+        } else {
+            ScratchScope scratch;  // node-lifetime temporaries
+            results[id] = evalNode(n, lookup, params_, backend_,
+                                   arena_alloc.get(), par);
+        }
+        node_us[id] = elapsedUsSince(k0);
+    };
+
     profile_.levels.clear();
     auto wall0 = Clock::now();
     for (size_t lvl = 0; lvl < sched_.numLevels(); ++lvl) {
         const std::vector<int> &nodes = sched_.levels()[lvl];
+        const bool deep = deepLevels_[lvl] != 0;
         obs::ScopedSpan level_span(obs::SpanKind::Level);
         level_span.ev().a0 = static_cast<int64_t>(lvl);
         level_span.ev().a1 = static_cast<int64_t>(nodes.size());
+        level_span.ev().a2 = deep ? 1 : 0;
         // Attach-only (never aggregated): this is the dispatching
         // thread's view of the fork-join region, not the workers'.
         obs::CounterScope level_counters(
             level_span.armed() ? &level_span.ev() : nullptr);
         auto t0 = Clock::now();
-        pool_.parallelFor(nodes.size(), [&](size_t i, int) {
-            obs::TraceIdScope tid(trace_id);
-            const Node &n = g_.node(nodes[i]);
-            auto id = static_cast<size_t>(n.id);
-            if (!results[id].empty() && results[id][0].defined())
-                return;  // graph input, already bound
-            auto k0 = Clock::now();
-            if (n.inputs.empty()) {
-                if (n.paramShapes.empty())
-                    throw std::runtime_error(
-                        "ParallelExecutor: input node without a bound "
-                        "tensor: " + n.name);
-                results[id] = {params_.get(n, 0)};
-            } else {
-                ScratchScope scratch;  // node-lifetime temporaries
-                results[id] = evalNode(n, lookup, params_, backend_,
-                                       arena_alloc.get());
-            }
-            node_us[id] = elapsedUsSince(k0);
-        });
+        if (deep) {
+            // Deep: nodes sequential on this thread, each GEMM
+            // sharding macro-tiles across the whole pool.
+            ParallelRegion region(&pool_);
+            for (int node_id : nodes)
+                eval_one(node_id, &region);
+        } else {
+            // Wide: one task per node, kernels serial.
+            pool_.parallelFor(nodes.size(), [&](size_t i, int) {
+                obs::TraceIdScope tid(trace_id);
+                eval_one(nodes[i], nullptr);
+            });
+        }
         LevelTiming lt;
         lt.level = static_cast<int>(lvl);
         lt.nodes = nodes.size();
         lt.wallUs = elapsedUsSince(t0);
+        lt.deep = deep;
         profile_.levels.push_back(lt);
 
         for (int id : releaseAfterLevel_[lvl])
@@ -175,6 +245,7 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
             perf0, obs::PerfAggregator::instance().totals());
 
     profile_.threads = pool_.threads();
+    profile_.intraop = intraOpModeName(intraop_);
     profile_.schedule = sched_.stats();
     profile_.sumUs = 0;
     profile_.usByCategory.clear();
@@ -209,6 +280,8 @@ ParallelExecutor::run(const std::vector<Tensor> &inputs)
         static_cast<int64_t>(Storage::heapAllocBytes() - alloc_bytes0);
     profile_.memory.scratchPeakBytes =
         ScratchArena::globalHighWaterBytes();
+    profile_.memory.scratchWorkerSumBytes =
+        ScratchArena::globalHighWaterSumBytes();
     if (arena_alloc) {
         profile_.memory.boundPeakBytes = arena_alloc->boundPeakBytes();
         profile_.memory.arenaTensors = arena_alloc->planned();

@@ -7,6 +7,7 @@
 #include "graph/node_eval.h"
 #include "graph/schedule.h"
 #include "runtime/arena.h"
+#include "runtime/intraop.h"
 #include "runtime/memory_planner.h"
 #include "runtime/runtime_profile.h"
 #include "runtime/thread_pool.h"
@@ -35,6 +36,19 @@ namespace ngb {
  * performs zero tensor mallocs and zero memsets. Outputs are returned
  * as views into the block; the pool recycles a block automatically
  * once the caller drops them. Results are bit-identical either way.
+ *
+ * Hybrid inter/intra-op scheduling: each level is dispatched either
+ * WIDE (the fork-join above — one task per node, kernels serial) or
+ * DEEP (nodes run sequentially on the dispatching thread, each with a
+ * full-pool ParallelRegion so its GEMMs shard macro-tiles across the
+ * workers). Wide wins when the level itself carries enough nodes to
+ * fill the pool; deep wins on narrow levels — the residual-stream
+ * trunk of a transformer — where wavefront parallelism has nothing to
+ * fork. IntraOpMode::Off pins every level wide (the pre-intra-op
+ * shape), On goes deep whenever a level is narrower than the pool,
+ * and Auto asks a per-level cost model (see deepLevels_ in the ctor).
+ * The choice never affects results: kernels are bit-identical at any
+ * thread count by the ParallelRegion determinism contract.
  */
 class ParallelExecutor
 {
@@ -42,11 +56,13 @@ class ParallelExecutor
     /** Uses an internally built wavefront schedule for @p g. */
     ParallelExecutor(const Graph &g, ThreadPool &pool,
                      const Backend &backend = defaultBackend(),
-                     bool arena = arenaEnabledByEnv());
+                     bool arena = arenaEnabledByEnv(),
+                     IntraOpMode intraop = intraOpModeFromEnv());
 
     ParallelExecutor(const Graph &g, Schedule sched, ThreadPool &pool,
                      const Backend &backend = defaultBackend(),
-                     bool arena = arenaEnabledByEnv());
+                     bool arena = arenaEnabledByEnv(),
+                     IntraOpMode intraop = intraOpModeFromEnv());
 
     /** Run the graph; same contract as Executor::run. */
     std::vector<Tensor> run(const std::vector<Tensor> &inputs);
@@ -59,6 +75,10 @@ class ParallelExecutor
     ParamStore &params() { return params_; }
     const Backend &backend() const { return backend_; }
     bool arenaEnabled() const { return arena_; }
+    IntraOpMode intraOpMode() const { return intraop_; }
+
+    /** Levels the hybrid scheduler resolved to deep (intra-op). */
+    const std::vector<char> &deepLevels() const { return deepLevels_; }
 
   private:
     const Graph &g_;
@@ -68,8 +88,12 @@ class ParallelExecutor
     MemoryPlan memplan_;
     ParamStore params_;
     bool arena_ = false;
+    IntraOpMode intraop_ = IntraOpMode::Auto;
     ArenaPool arenaPool_;
     bool warmedUp_ = false;
+
+    /** Per-level wide/deep decision (static: graph costs + pool width). */
+    std::vector<char> deepLevels_;
 
     /** Node ids whose results can be dropped after each level. */
     std::vector<std::vector<int>> releaseAfterLevel_;

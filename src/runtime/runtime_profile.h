@@ -28,6 +28,11 @@ struct LevelTiming {
     int level = 0;
     size_t nodes = 0;
     double wallUs = 0;
+
+    /** Hybrid scheduling: true when the level ran DEEP (nodes
+     *  sequential, each GEMM sharded across the pool) rather than
+     *  WIDE (one task per node, kernels serial). */
+    bool deep = false;
 };
 
 /**
@@ -55,6 +60,14 @@ struct MemoryStats {
      * a bigger model raises it for every later profile).
      */
     int64_t scratchPeakBytes = 0;
+
+    /**
+     * Sum of per-worker scratch high waters (same process-lifetime
+     * gauge) — the aggregate resident cost of intra-op sharding's
+     * per-worker pack panels: every pool worker's arena peaks
+     * independently, so the footprint is the sum, not the max.
+     */
+    int64_t scratchWorkerSumBytes = 0;
 
     /** Planned-vs-measured arena utilization (1.0 = fully exercised). */
     double utilization() const
@@ -86,6 +99,9 @@ struct RuntimeProfile {
 
     /** Kernel backend the measurement was taken under. */
     std::string backend = "reference";
+
+    /** Intra-op mode the run executed under ("off" / "on" / "auto"). */
+    std::string intraop = "off";
 
     /** True when the executed graph contained applyFusion's Fused
      *  groups (set automatically by the runtime drivers). */
@@ -147,6 +163,15 @@ struct RuntimeProfile {
     {
         double bytes = perf.total.bytesMovedEstimate();
         return bytes > 0 ? modelFlops * requests / bytes : 0;
+    }
+
+    /** Levels the hybrid scheduler ran deep in the last execution. */
+    int deepLevelCount() const
+    {
+        int n = 0;
+        for (const LevelTiming &lt : levels)
+            n += lt.deep ? 1 : 0;
+        return n;
     }
 
     double gemmUs() const

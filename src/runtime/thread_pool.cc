@@ -5,6 +5,47 @@
 
 namespace ngb {
 
+namespace {
+
+/**
+ * Nesting detection is thread-local rather than per-pool: a task is a
+ * task no matter which pool dealt it, and an intra-op region must
+ * degrade to inline execution even if it targets a different pool
+ * than the one whose task is running (oversubscription is about the
+ * thread, not the pool).
+ */
+thread_local int t_taskDepth = 0;
+thread_local int t_workerId = -1;
+
+/** RAII "this thread is executing task work for worker @p id". */
+struct TaskScope {
+    explicit TaskScope(int id) : saved(t_workerId)
+    {
+        t_workerId = id;
+        ++t_taskDepth;
+    }
+    ~TaskScope()
+    {
+        --t_taskDepth;
+        t_workerId = saved;
+    }
+    int saved;
+};
+
+}  // namespace
+
+bool
+ThreadPool::inTask()
+{
+    return t_taskDepth > 0;
+}
+
+int
+ThreadPool::currentWorker()
+{
+    return t_workerId;
+}
+
 int
 resolveThreads(int requested)
 {
@@ -97,6 +138,7 @@ ThreadPool::workUntilDrained(int id)
             return;  // stragglers are being finished by their owners
         auto t0 = std::chrono::steady_clock::now();
         try {
+            TaskScope scope(id);
             (*fn_)(task, id);
         } catch (...) {
             std::lock_guard<std::mutex> lock(errorMutex_);
@@ -121,13 +163,27 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t, int)> &fn)
 {
     if (n == 0)
         return;
+    if (t_taskDepth > 0) {
+        // Nested region: this thread is already executing a pool task
+        // (its region's fn_/remaining_ are live, and blocking here
+        // would deadlock a same-pool join). Run the iterations inline
+        // on the enclosing task's worker slot — no stats, since the
+        // enclosing task's busy timer is already running.
+        int id = t_workerId >= 0 ? t_workerId : 0;
+        for (size_t i = 0; i < n; ++i)
+            fn(i, id);
+        return;
+    }
     int workers = threads();
     if (workers == 1 || n == 1) {
         // Serial fast path on the calling thread.
         Queue &own = *queues_[0];
         for (size_t i = 0; i < n; ++i) {
             auto t0 = std::chrono::steady_clock::now();
-            fn(i, 0);
+            {
+                TaskScope scope(0);
+                fn(i, 0);
+            }
             own.stats.busyUs += elapsedUsSince(t0);
             ++own.stats.tasks;
         }

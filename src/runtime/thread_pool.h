@@ -34,11 +34,15 @@ int resolveThreads(int requested);
  * back of its neighbours' when empty — the classic Cilk/TBB shape that
  * keeps hot tasks local and migrates work only under imbalance.
  *
- * parallelFor() is a blocking fork-join region; nested parallelism is
- * not supported (the runtime never needs it: levels are dispatched one
- * at a time). Exceptions thrown by tasks are captured and the first
- * one is rethrown on the calling thread after the region completes, so
- * a throwing kernel cannot deadlock the pool.
+ * parallelFor() is a blocking fork-join region. Nesting is safe but
+ * degenerate by design: a parallelFor() issued from INSIDE a pool task
+ * (an intra-op region launched by a kernel that is itself a wavefront
+ * task) runs its iterations inline on the calling worker — no second
+ * fork-join is set up, so there is no deadlock, no oversubscription,
+ * and no double-counting of WorkerStats (the enclosing task's timer is
+ * already running). Exceptions thrown by tasks are captured and the
+ * first one is rethrown on the calling thread after the region
+ * completes, so a throwing kernel cannot deadlock the pool.
  */
 class ThreadPool
 {
@@ -66,6 +70,19 @@ class ThreadPool
 
     /** Per-worker counters accumulated since the last drain. */
     std::vector<WorkerStats> drainStats();
+
+    /**
+     * True while the calling thread is inside a parallelFor task of
+     * ANY pool (thread-local, not per-pool). Nested parallelFor calls
+     * consult this to degrade to inline execution.
+     */
+    static bool inTask();
+
+    /**
+     * The worker slot the calling thread occupies in the region it is
+     * currently executing a task for, or -1 outside any task.
+     */
+    static int currentWorker();
 
   private:
     struct Queue {

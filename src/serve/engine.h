@@ -64,6 +64,15 @@ struct EngineConfig {
      * the same role the backend name plays in the key.
      */
     std::string isa;
+
+    /**
+     * Intra-op mode compiled into every engine of this cache: how the
+     * BatchDriver hands pool threads to kernels on single-request
+     * batches (and how its GEMMs tile-tune — thread count is part of
+     * the TuneKey). Defaults to $NGB_INTRAOP; outputs are
+     * bit-identical across modes.
+     */
+    IntraOpMode intraop = intraOpModeFromEnv();
 };
 
 /**
@@ -84,13 +93,14 @@ struct EngineKey {
     bool arena = false;  ///< engine executes through pooled arenas
     std::string quant = "off";  ///< quantization mode compiled in
     std::string isa = "scalar"; ///< ISA dispatch level at build time
+    std::string intraop = "off"; ///< intra-op mode compiled in
 
     bool operator<(const EngineKey &o) const
     {
         return std::tie(model, scale, threads, backend, fuse, arena,
-                        quant, isa) <
+                        quant, isa, intraop) <
                std::tie(o.model, o.scale, o.threads, o.backend, o.fuse,
-                        o.arena, o.quant, o.isa);
+                        o.arena, o.quant, o.isa, o.intraop);
     }
 };
 

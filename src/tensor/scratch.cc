@@ -12,6 +12,10 @@ constexpr size_t kAlign = 64;
 constexpr size_t kMinBlock = size_t{1} << 20;  // 1 MiB
 
 std::atomic<int64_t> g_global_high_water{0};
+std::atomic<int64_t> g_global_high_water_sum{0};
+
+/** This thread's share already folded into the cross-thread sum. */
+thread_local int64_t t_sum_contribution = 0;
 
 size_t
 alignUp(size_t n)
@@ -111,6 +115,12 @@ ScratchArena::globalHighWaterBytes()
     return g_global_high_water.load();
 }
 
+int64_t
+ScratchArena::globalHighWaterSumBytes()
+{
+    return g_global_high_water_sum.load();
+}
+
 ScratchScope::ScratchScope()
 {
     ScratchArena &a = ScratchArena::local();
@@ -123,8 +133,16 @@ ScratchScope::~ScratchScope()
     ScratchArena &a = ScratchArena::local();
     a.reset(mark_);
     --a.depth_;
-    if (a.depth_ == 0)
+    if (a.depth_ == 0) {
         atomicStoreMax(g_global_high_water, a.high_water_);
+        // Fold only this thread's growth since its last contribution,
+        // so the sum counts each worker's peak exactly once.
+        if (a.high_water_ > t_sum_contribution) {
+            g_global_high_water_sum.fetch_add(a.high_water_ -
+                                              t_sum_contribution);
+            t_sum_contribution = a.high_water_;
+        }
+    }
 }
 
 Tensor

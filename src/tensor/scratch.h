@@ -67,6 +67,14 @@ class ScratchArena
     /** Max highWaterBytes() across every thread (updated on scope exit). */
     static int64_t globalHighWaterBytes();
 
+    /**
+     * Sum of highWaterBytes() across every thread that ever opened a
+     * scope — the aggregate footprint intra-op sharding pays for its
+     * per-worker pack panels (each worker arena peaks independently,
+     * so the sum, not the max, is what resident memory sees).
+     */
+    static int64_t globalHighWaterSumBytes();
+
   private:
     friend class ScratchScope;
 
